@@ -1,0 +1,107 @@
+// Ablation study (DESIGN.md): the three fast-repair optimizations of
+// §IV-B, each disabled individually:
+//   - rule order selection (topological order over the rule graph),
+//   - signature-based similarity indexes,
+//   - shared computation across rules (the value memo standing in for the
+//     paper's Fig. 5 inverted lists).
+// Reported on Nobel and UIS (Yago profile) with e=10%.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/repair.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+struct Config {
+  const char* label;
+  bool rule_order;
+  bool signature_index;
+  bool value_memo;
+};
+
+constexpr Config kConfigs[] = {
+    {"fRepair (all optimizations)", true, true, true},
+    {"  - rule order selection", false, true, true},
+    {"  - signature indexes", true, false, true},
+    {"  - shared computation", true, true, false},
+    {"bRepair (none; Algorithm 1)", false, false, false},
+};
+
+void RunAblation(const Dataset& dataset, const Relation& dirty) {
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  std::printf("%s (%zu tuples, %zu rules)\n", dataset.name.c_str(),
+              dirty.num_tuples(), dataset.rules.size());
+  std::printf("  %-32s %10s %14s %14s\n", "configuration", "time", "rule checks",
+              "cand. scans");
+  for (const Config& config : kConfigs) {
+    RepairOptions options;
+    options.use_rule_order = config.rule_order;
+    options.matcher.use_signature_index = config.signature_index;
+    options.matcher.use_value_memo = config.value_memo;
+
+    Relation copy = dirty;
+    double elapsed = 0;
+    size_t checks = 0;
+    size_t scans = 0;
+    if (config.label[0] == 'b') {  // the bRepair baseline row
+      BasicRepairer repairer(kb, dirty.schema(), dataset.rules, options);
+      repairer.Init().Abort("init");
+      double start = NowSeconds();
+      repairer.RepairRelation(&copy);
+      elapsed = NowSeconds() - start;
+      checks = repairer.stats().rule_checks;
+      scans = repairer.engine().matcher().stats().scans;
+    } else {
+      FastRepairer repairer(kb, dirty.schema(), dataset.rules, options);
+      repairer.Init().Abort("init");
+      double start = NowSeconds();
+      repairer.RepairRelation(&copy);
+      elapsed = NowSeconds() - start;
+      checks = repairer.stats().rule_checks;
+      scans = repairer.engine().matcher().stats().scans;
+    }
+    std::printf("  %-32s %9.3fs %14zu %14zu\n", config.label, elapsed, checks,
+                scans);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader("Ablation: the three fast-repair optimizations (§IV-B)",
+                     "each knob disabled individually; Yago profile, e=10%");
+
+  {
+    NobelOptions options;
+    Dataset dataset = GenerateNobel(options);
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    InjectErrors(&dirty, spec, dataset.alternatives);
+    RunAblation(dataset, dirty);
+  }
+  {
+    UisOptions options;
+    options.num_tuples = bench::FlagUint(argc, argv, "uis_tuples", 10000);
+    Dataset dataset = GenerateUis(options);
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    InjectErrors(&dirty, spec, dataset.alternatives);
+    RunAblation(dataset, dirty);
+  }
+
+  std::printf(
+      "Reading the ablation: dropping the signature indexes costs the most\n"
+      "on similarity-heavy rules; dropping the shared memo multiplies node\n"
+      "checks across rules; dropping rule ordering forces extra sweeps.\n");
+  return 0;
+}

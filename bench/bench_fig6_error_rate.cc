@@ -1,0 +1,85 @@
+// Figure 6 reproduction: effectiveness (precision / recall / F-measure)
+// while varying the error rate from 4% to 20%, on Nobel and UIS; typo and
+// semantic errors split 50-50 as in the paper. Series: bRepair(Yago),
+// bRepair(DBpedia), Llunatic, constant CFDs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+constexpr double kErrorRates[] = {0.04, 0.08, 0.12, 0.16, 0.20};
+
+void RunSweep(const Dataset& dataset) {
+  KnowledgeBase yago = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  KnowledgeBase dbpedia = dataset.world.ToKb(DBpediaProfile(), dataset.key_entities);
+  std::vector<char> eligible_yago =
+      EligibleRows(dataset.clean, yago, dataset.key_column);
+  std::vector<char> eligible_dbp =
+      EligibleRows(dataset.clean, dbpedia, dataset.key_column);
+
+  std::printf("%s (%zu tuples)\n", dataset.name.c_str(), dataset.clean.num_tuples());
+  std::printf("  %-6s | %-26s | %-26s | %-26s | %-26s\n", "e%", "bRepair(Yago)",
+              "bRepair(DBpedia)", "Llunatic", "constant CFDs");
+  for (double rate : kErrorRates) {
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = rate;
+    spec.typo_fraction = 0.5;
+    spec.seed = 99 + static_cast<uint64_t>(rate * 1000);
+    InjectErrors(&dirty, spec, dataset.alternatives);
+
+    auto run = [&](Method method, const KnowledgeBase* kb,
+                   const std::vector<char>& eligible) {
+      auto result = RunMethod(method, dataset, kb, dirty, eligible);
+      result.status().Abort("RunMethod");
+      return result->quality;
+    };
+    RepairQuality dr_yago = run(Method::kBasicRepair, &yago, eligible_yago);
+    RepairQuality dr_dbp = run(Method::kBasicRepair, &dbpedia, eligible_dbp);
+    RepairQuality llunatic = run(Method::kLlunatic, nullptr, eligible_yago);
+    RepairQuality cfd = run(Method::kConstantCfd, nullptr, eligible_yago);
+
+    auto cell = [](const RepairQuality& q) {
+      static char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "P=%.2f R=%.2f F=%.2f", q.precision(),
+                    q.recall(), q.f_measure());
+      return std::string(buffer);
+    };
+    std::printf("  %-6.0f | %-26s | %-26s | %-26s | %-26s\n", rate * 100,
+                cell(dr_yago).c_str(), cell(dr_dbp).c_str(), cell(llunatic).c_str(),
+                cell(cfd).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader("Figure 6: effectiveness varying error rate (4%-20%)",
+                     "series: bRepair(Yago), bRepair(DBpedia), Llunatic, CFDs");
+
+  {
+    NobelOptions options;
+    RunSweep(GenerateNobel(options));
+  }
+  {
+    UisOptions options;
+    options.num_tuples = bench::FlagUint(argc, argv, "uis_tuples", 5000);
+    RunSweep(GenerateUis(options));
+  }
+
+  std::printf(
+      "Paper shape check (Fig. 6): DR precision stays 1.00 and recall stays\n"
+      "flat as the error rate grows; Llunatic and constant CFDs decay —\n"
+      "their evidence (majorities / CFD left-hand sides) gets dirtier.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 7 reproduction: effectiveness while varying the typo share of the
+// injected errors from 0% to 100% (semantic errors take the rest), with the
+// total error rate fixed at 10%. Same series as Figure 6.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+constexpr double kTypoFractions[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+void RunSweep(const Dataset& dataset) {
+  KnowledgeBase yago = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  KnowledgeBase dbpedia = dataset.world.ToKb(DBpediaProfile(), dataset.key_entities);
+  std::vector<char> eligible_yago =
+      EligibleRows(dataset.clean, yago, dataset.key_column);
+  std::vector<char> eligible_dbp =
+      EligibleRows(dataset.clean, dbpedia, dataset.key_column);
+
+  std::printf("%s (%zu tuples, error rate fixed at 10%%)\n", dataset.name.c_str(),
+              dataset.clean.num_tuples());
+  std::printf("  %-7s | %-26s | %-26s | %-26s | %-26s\n", "typo%", "bRepair(Yago)",
+              "bRepair(DBpedia)", "Llunatic", "constant CFDs");
+  for (double typo : kTypoFractions) {
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    spec.typo_fraction = typo;
+    spec.seed = 1234 + static_cast<uint64_t>(typo * 100);
+    InjectErrors(&dirty, spec, dataset.alternatives);
+
+    auto run = [&](Method method, const KnowledgeBase* kb,
+                   const std::vector<char>& eligible) {
+      auto result = RunMethod(method, dataset, kb, dirty, eligible);
+      result.status().Abort("RunMethod");
+      return result->quality;
+    };
+    RepairQuality dr_yago = run(Method::kBasicRepair, &yago, eligible_yago);
+    RepairQuality dr_dbp = run(Method::kBasicRepair, &dbpedia, eligible_dbp);
+    RepairQuality llunatic = run(Method::kLlunatic, nullptr, eligible_yago);
+    RepairQuality cfd = run(Method::kConstantCfd, nullptr, eligible_yago);
+
+    auto cell = [](const RepairQuality& q) {
+      static char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "P=%.2f R=%.2f F=%.2f", q.precision(),
+                    q.recall(), q.f_measure());
+      return std::string(buffer);
+    };
+    std::printf("  %-7.0f | %-26s | %-26s | %-26s | %-26s\n", typo * 100,
+                cell(dr_yago).c_str(), cell(dr_dbp).c_str(), cell(llunatic).c_str(),
+                cell(cfd).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader("Figure 7: effectiveness varying typo rate (0%-100%)",
+                     "error rate fixed at 10%; the rest are semantic errors");
+
+  {
+    NobelOptions options;
+    RunSweep(GenerateNobel(options));
+  }
+  {
+    UisOptions options;
+    options.num_tuples = bench::FlagUint(argc, argv, "uis_tuples", 5000);
+    RunSweep(GenerateUis(options));
+  }
+
+  std::printf(
+      "Paper shape check (Fig. 7): detective rules and Llunatic handle typos\n"
+      "better than semantic errors (typos are repaired to the most similar\n"
+      "candidate); recall therefore rises with the typo share. Semantic\n"
+      "errors that land on DR evidence columns stay undetectable, which is\n"
+      "the low end of the curve at typo=0%%.\n");
+  return 0;
+}

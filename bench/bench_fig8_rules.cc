@@ -1,0 +1,139 @@
+// Figure 8(a)-(c) reproduction: repair time while varying the number of
+// rules — bRepair vs fRepair against both KB profiles.
+//   (a) WebTables: 10..50 rules (over the whole corpus);
+//   (b) Nobel:     1..5 rules;
+//   (c) UIS:       1..5 rules, 20K tuples (default reduced; --uis_tuples=).
+// As in the paper, KB build time is excluded here.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/repair.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "datagen/webtables_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+double TimeRepair(Method method, const KnowledgeBase& kb, const Schema& schema,
+                  const std::vector<DetectiveRule>& rules, const Relation& dirty) {
+  RepairOptions options;
+  if (method == Method::kBasicRepair) {
+    options.matcher.use_signature_index = false;
+    options.matcher.use_value_memo = false;
+  }
+  Relation copy = dirty;
+  double start = NowSeconds();
+  if (method == Method::kBasicRepair) {
+    BasicRepairer repairer(kb, schema, rules, options);
+    repairer.Init().Abort("init");
+    start = NowSeconds();
+    repairer.RepairRelation(&copy);
+  } else {
+    FastRepairer repairer(kb, schema, rules, options);
+    repairer.Init().Abort("init");
+    start = NowSeconds();
+    repairer.RepairRelation(&copy);
+  }
+  return NowSeconds() - start;
+}
+
+void SweepDataset(const char* label, const Dataset& dataset, const Relation& dirty) {
+  KnowledgeBase yago = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  KnowledgeBase dbpedia = dataset.world.ToKb(DBpediaProfile(), dataset.key_entities);
+  std::printf("%s (%zu tuples)\n", label, dirty.num_tuples());
+  std::printf("  %-7s %16s %16s %16s %16s\n", "#-rule", "bRepair(Yago)",
+              "fRepair(Yago)", "bRepair(DBp.)", "fRepair(DBp.)");
+  for (size_t count = 1; count <= dataset.rules.size(); ++count) {
+    std::vector<DetectiveRule> subset(dataset.rules.begin(),
+                                      dataset.rules.begin() + count);
+    std::printf("  %-7zu %14.3fs %14.3fs %14.3fs %14.3fs\n", count,
+                TimeRepair(Method::kBasicRepair, yago, dirty.schema(), subset, dirty),
+                TimeRepair(Method::kFastRepair, yago, dirty.schema(), subset, dirty),
+                TimeRepair(Method::kBasicRepair, dbpedia, dirty.schema(), subset,
+                           dirty),
+                TimeRepair(Method::kFastRepair, dbpedia, dirty.schema(), subset,
+                           dirty));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader("Figure 8(a)-(c): repair time varying #-rules",
+                     "bRepair vs fRepair, Yago vs DBpedia; KB read time excluded");
+
+  // (a) WebTables: vary the corpus-wide rule budget 10..50.
+  {
+    WebTablesOptions options;
+    WebTablesCorpus corpus = GenerateWebTables(options);
+    KnowledgeBase yago = corpus.world.ToKb(YagoProfile(), corpus.key_entities);
+    KnowledgeBase dbpedia = corpus.world.ToKb(DBpediaProfile(), corpus.key_entities);
+    std::printf("(a) WebTables (%zu tables)\n", corpus.tables.size());
+    std::printf("  %-7s %16s %16s %16s %16s\n", "#-rule", "bRepair(Yago)",
+                "fRepair(Yago)", "bRepair(DBp.)", "fRepair(DBp.)");
+    for (size_t budget = 10; budget <= 50; budget += 10) {
+      double times[4] = {0, 0, 0, 0};
+      size_t used = 0;
+      for (const WebTable& table : corpus.tables) {
+        // Tables contribute rules until the corpus-wide budget is reached.
+        std::vector<DetectiveRule> rules;
+        for (const DetectiveRule& rule : table.rules) {
+          if (used < budget) {
+            rules.push_back(rule);
+            ++used;
+          }
+        }
+        if (rules.empty()) continue;
+        times[0] += TimeRepair(Method::kBasicRepair, yago, table.dirty.schema(),
+                               rules, table.dirty);
+        times[1] += TimeRepair(Method::kFastRepair, yago, table.dirty.schema(),
+                               rules, table.dirty);
+        times[2] += TimeRepair(Method::kBasicRepair, dbpedia, table.dirty.schema(),
+                               rules, table.dirty);
+        times[3] += TimeRepair(Method::kFastRepair, dbpedia, table.dirty.schema(),
+                               rules, table.dirty);
+      }
+      std::printf("  %-7zu %13.1fms %13.1fms %13.1fms %13.1fms\n", budget,
+                  times[0] * 1000, times[1] * 1000, times[2] * 1000,
+                  times[3] * 1000);
+    }
+    std::printf("\n");
+  }
+
+  // (b) Nobel.
+  {
+    NobelOptions options;
+    Dataset dataset = GenerateNobel(options);
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    InjectErrors(&dirty, spec, dataset.alternatives);
+    SweepDataset("(b) Nobel", dataset, dirty);
+  }
+
+  // (c) UIS.
+  {
+    UisOptions options;
+    options.num_tuples = bench::FlagUint(argc, argv, "uis_tuples", 20000);
+    Dataset dataset = GenerateUis(options);
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    InjectErrors(&dirty, spec, dataset.alternatives);
+    SweepDataset("(c) UIS", dataset, dirty);
+  }
+
+  std::printf(
+      "Paper shape check (Fig. 8a-c): fRepair beats bRepair and the gap\n"
+      "widens with the rule count and the data size (shared node checks +\n"
+      "rule ordering + signature indexes); on the tiny WebTables the gap is\n"
+      "small because the index/bookkeeping overhead is not amortized.\n");
+  return 0;
+}

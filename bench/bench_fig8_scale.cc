@@ -1,0 +1,141 @@
+// Figure 8(d) reproduction: total cleaning time while varying the number of
+// UIS tuples, for all six methods. As in the paper, the time of "reading and
+// handling KBs" (here: projecting the world into the KB and building the
+// repairer's indexes) is INCLUDED in this experiment.
+//
+// Default sweep is 4K..20K tuples so the whole bench suite stays fast;
+// pass --full for the paper's 20K..100K.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "baselines/cfd.h"
+#include "baselines/katara.h"
+#include "baselines/llunatic.h"
+#include "core/parallel_repair.h"
+#include "core/repair.h"
+#include "datagen/uis_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+struct Timings {
+  double b_yago, f_yago, par_yago, b_dbp, f_dbp, katara_yago, katara_dbp, llunatic,
+      cfd;
+};
+
+double TimeParallel(const Dataset& dataset, const KbProfile& profile,
+                    const Relation& dirty) {
+  double start = NowSeconds();
+  KnowledgeBase kb = dataset.world.ToKb(profile, dataset.key_entities);
+  Relation copy = dirty;
+  ParallelRepair(kb, dataset.rules, &copy).status().Abort("parallel");
+  return NowSeconds() - start;
+}
+
+double TimeWithKb(Method method, const Dataset& dataset, const KbProfile& profile,
+                  const Relation& dirty) {
+  double start = NowSeconds();
+  KnowledgeBase kb = dataset.world.ToKb(profile, dataset.key_entities);  // "read KB"
+  Relation copy = dirty;
+  switch (method) {
+    case Method::kBasicRepair: {
+      RepairOptions options;
+      options.matcher.use_signature_index = false;
+      options.matcher.use_value_memo = false;
+      BasicRepairer repairer(kb, dirty.schema(), dataset.rules, options);
+      repairer.Init().Abort("init");
+      repairer.RepairRelation(&copy);
+      break;
+    }
+    case Method::kFastRepair: {
+      FastRepairer repairer(kb, dirty.schema(), dataset.rules);
+      repairer.Init().Abort("init");
+      repairer.RepairRelation(&copy);
+      break;
+    }
+    case Method::kKatara: {
+      Katara katara(kb, dataset.katara_pattern);
+      katara.Init(dirty.schema()).Abort("init");
+      katara.CleanRelation(&copy);
+      break;
+    }
+    default:
+      break;
+  }
+  return NowSeconds() - start;
+}
+
+double TimeIcMethod(Method method, const Dataset& dataset, const Relation& dirty) {
+  Relation copy = dirty;
+  double start = NowSeconds();
+  if (method == Method::kLlunatic) {
+    LlunaticRepairer repairer(dataset.fds);
+    repairer.Repair(&copy).Abort("llunatic");
+  } else {
+    auto cfds = MineConstantCfds(dataset.clean, dataset.fds);
+    cfds.status().Abort("mine");
+    CfdRepairer repairer(std::move(*cfds));
+    repairer.Init(dirty.schema()).Abort("init");
+    repairer.RepairRelation(&copy);
+  }
+  return NowSeconds() - start;
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader("Figure 8(d): cleaning time varying #-tuples (UIS)",
+                     "all methods; KB read/handling time included");
+
+  const bool full = bench::FlagBool(argc, argv, "full");
+  std::vector<size_t> sizes;
+  if (full) {
+    sizes = {20000, 40000, 60000, 80000, 100000};
+  } else {
+    sizes = {4000, 8000, 12000, 16000, 20000};
+    std::printf("(reduced sweep; pass --full for the paper's 20K-100K)\n\n");
+  }
+
+  std::printf("%-9s %12s %12s %12s %12s %12s %12s %12s %12s %12s\n", "#-tuple",
+              "bRep(Yago)", "fRep(Yago)", "par(Yago)", "bRep(DBp)", "fRep(DBp)",
+              "KAT(Yago)", "KAT(DBp)", "Llunatic", "cCFDs");
+  for (size_t size : sizes) {
+    UisOptions options;
+    options.num_tuples = size;
+    Dataset dataset = GenerateUis(options);
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    InjectErrors(&dirty, spec, dataset.alternatives);
+
+    Timings t;
+    t.b_yago = TimeWithKb(Method::kBasicRepair, dataset, YagoProfile(), dirty);
+    t.f_yago = TimeWithKb(Method::kFastRepair, dataset, YagoProfile(), dirty);
+    t.par_yago = TimeParallel(dataset, YagoProfile(), dirty);
+    t.b_dbp = TimeWithKb(Method::kBasicRepair, dataset, DBpediaProfile(), dirty);
+    t.f_dbp = TimeWithKb(Method::kFastRepair, dataset, DBpediaProfile(), dirty);
+    t.katara_yago = TimeWithKb(Method::kKatara, dataset, YagoProfile(), dirty);
+    t.katara_dbp = TimeWithKb(Method::kKatara, dataset, DBpediaProfile(), dirty);
+    t.llunatic = TimeIcMethod(Method::kLlunatic, dataset, dirty);
+    t.cfd = TimeIcMethod(Method::kConstantCfd, dataset, dirty);
+
+    std::printf(
+        "%-9zu %11.2fs %11.2fs %11.2fs %11.2fs %11.2fs %11.2fs %11.2fs %11.2fs "
+        "%11.2fs\n",
+        size, t.b_yago, t.f_yago, t.par_yago, t.b_dbp, t.f_dbp, t.katara_yago,
+        t.katara_dbp, t.llunatic, t.cfd);
+  }
+
+  std::printf(
+      "\nPaper shape check (Fig. 8d): fRepair stays far below bRepair and the\n"
+      "gap grows with the data; par(Yago) adds thread-parallel fRepair — the\n"
+      "paper's \"repairing one tuple is irrelevant to any other tuple\";\n"
+      "constant CFDs are near-instant (instance-only\n"
+      "hash lookups); Llunatic pays for holistic multi-tuple reasoning.\n");
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Micro-benchmarks (google-benchmark) for the substrates the repair
+// algorithms lean on: edit distance (full vs banded), signature index vs
+// linear scan, KB lookups, and single-rule evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/evidence_matcher.h"
+#include "core/repair.h"
+#include "core/rule_generation.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "text/edit_distance.h"
+#include "text/signature_index.h"
+
+namespace detective {
+namespace {
+
+std::vector<std::string> RandomStrings(size_t count, size_t length, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string s;
+    for (size_t j = 0; j < length; ++j) {
+      s.push_back(static_cast<char>('a' + rng.NextIndex(26)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  std::vector<std::string> strings = RandomStrings(64, state.range(0), 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EditDistance(strings[i % 64], strings[(i + 1) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  std::vector<std::string> strings = RandomStrings(64, state.range(0), 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedEditDistance(strings[i % 64], strings[(i + 1) % 64], 2));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceBanded)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SignatureIndexLookup(benchmark::State& state) {
+  std::vector<std::string> values =
+      RandomStrings(static_cast<size_t>(state.range(0)), 16, 2);
+  SignatureIndex index(Similarity::EditDistance(2));
+  for (uint32_t i = 0; i < values.size(); ++i) index.Add(i, values[i]);
+  index.Build();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Matches(values[i % values.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SignatureIndexLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LinearScanLookup(benchmark::State& state) {
+  std::vector<std::string> values =
+      RandomStrings(static_cast<size_t>(state.range(0)), 16, 2);
+  Similarity ed2 = Similarity::EditDistance(2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& query = values[i % values.size()];
+    size_t matches = 0;
+    for (const std::string& value : values) {
+      matches += ed2.Matches(query, value) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matches);
+    ++i;
+  }
+}
+BENCHMARK(BM_LinearScanLookup)->Arg(1000)->Arg(10000);
+
+void BM_KbEdgeLookup(benchmark::State& state) {
+  NobelOptions options;
+  options.num_laureates = 1069;
+  Dataset dataset = GenerateNobel(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  RelationId works = kb.FindRelation("worksAt");
+  std::vector<ItemId> people;
+  for (ItemId item : kb.InstancesOf(kb.FindClass("laureate"))) {
+    people.push_back(item);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.Objects(people[i % people.size()], works));
+    ++i;
+  }
+}
+BENCHMARK(BM_KbEdgeLookup);
+
+void BM_KbLabelLookup(benchmark::State& state) {
+  NobelOptions options;
+  Dataset dataset = GenerateNobel(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kb.ItemsWithLabel(dataset.clean.tuple(i % dataset.clean.num_tuples()).value(0)));
+    ++i;
+  }
+}
+BENCHMARK(BM_KbLabelLookup);
+
+void BM_RuleEvaluation(benchmark::State& state) {
+  const bool memo = state.range(0) != 0;
+  NobelOptions options;
+  options.num_laureates = 500;
+  Dataset dataset = GenerateNobel(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  RepairOptions ropts;
+  ropts.matcher.use_value_memo = memo;
+  RuleEngine engine(kb, dataset.clean.schema(), dataset.rules, ropts);
+  engine.Init().Abort("init");
+  size_t i = 0;
+  for (auto _ : state) {
+    const Tuple& tuple = dataset.clean.tuple(i % dataset.clean.num_tuples());
+    for (uint32_t r = 0; r < engine.num_rules(); ++r) {
+      benchmark::DoNotOptimize(engine.Evaluate(r, tuple));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_RuleEvaluation)->Arg(0)->Arg(1)->ArgNames({"memo"});
+
+void BM_UisTupleRepair(benchmark::State& state) {
+  UisOptions options;
+  options.num_tuples = 2000;
+  Dataset dataset = GenerateUis(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.10;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+  FastRepairer repairer(kb, dirty.schema(), dataset.rules);
+  repairer.Init().Abort("init");
+  size_t i = 0;
+  for (auto _ : state) {
+    Tuple tuple = dirty.tuple(i % dirty.num_tuples());
+    repairer.RepairTuple(&tuple);
+    benchmark::DoNotOptimize(tuple);
+    ++i;
+  }
+}
+BENCHMARK(BM_UisTupleRepair);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  // S1-S3 end to end over a slice of the Nobel world (the size the paper's
+  // "user provides a handful of examples" workflow implies).
+  NobelOptions options;
+  options.num_laureates = 200;
+  Dataset dataset = GenerateNobel(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+
+  const size_t examples = static_cast<size_t>(state.range(0));
+  Schema schema({"Name", "Institution", "City"});
+  Relation positives{schema};
+  Relation negatives{schema};
+  for (size_t row = 0; row < examples; ++row) {
+    const Tuple& t = dataset.clean.tuple(row);
+    positives.Append({t.value(0), t.value(4), t.value(5)}).Abort("p");
+    negatives.Append({t.value(0), t.value(4), dataset.alternatives[row][5][0]})
+        .Abort("n");
+  }
+  for (auto _ : state) {
+    auto rules = GenerateRules(kb, positives, negatives, "City");
+    rules.status().Abort("generate");
+    benchmark::DoNotOptimize(rules->size());
+  }
+}
+BENCHMARK(BM_RuleGeneration)->Arg(5)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace detective
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Table II reproduction: number of aligned classes and relationships per
+// dataset x KB. A class/relationship is "aligned" when the dataset's rules
+// or table pattern reference it and the KB defines it.
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench_util.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "datagen/webtables_gen.h"
+#include "kb/knowledge_base.h"
+
+namespace detective {
+namespace {
+
+struct Alignment {
+  size_t classes = 0;
+  size_t relations = 0;
+};
+
+void CollectVocabulary(const std::vector<DetectiveRule>& rules,
+                       std::set<std::string>* classes,
+                       std::set<std::string>* relations) {
+  for (const DetectiveRule& rule : rules) {
+    for (const MatchNode& node : rule.graph().nodes()) classes->insert(node.type);
+    for (const MatchEdge& edge : rule.graph().edges()) relations->insert(edge.relation);
+  }
+}
+
+Alignment Align(const std::set<std::string>& classes,
+                const std::set<std::string>& relations, const KnowledgeBase& kb) {
+  Alignment alignment;
+  for (const std::string& cls : classes) {
+    if (kb.FindClass(cls).valid()) ++alignment.classes;
+  }
+  for (const std::string& rel : relations) {
+    if (kb.FindRelation(rel).valid()) ++alignment.relations;
+  }
+  return alignment;
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader("Table II: datasets (aligned classes and relations)",
+                     "columns: dataset | KB | #-class | #-relationship");
+
+  struct Row {
+    std::string dataset;
+    std::string kb_name;
+    Alignment alignment;
+    std::string kb_summary;
+  };
+  std::vector<Row> rows;
+
+  // WebTables: vocabulary across all 37 tables' rules.
+  {
+    WebTablesOptions options;
+    options.seed = bench::FlagUint(argc, argv, "seed", 23);
+    WebTablesCorpus corpus = GenerateWebTables(options);
+    std::set<std::string> classes;
+    std::set<std::string> relations;
+    for (const WebTable& table : corpus.tables) {
+      CollectVocabulary(table.rules, &classes, &relations);
+    }
+    for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
+      KnowledgeBase kb = corpus.world.ToKb(profile, corpus.key_entities);
+      rows.push_back({"WebTables", profile.name, Align(classes, relations, kb),
+                      kb.DebugSummary()});
+    }
+  }
+
+  // Nobel and UIS.
+  {
+    NobelOptions options;
+    Dataset nobel = GenerateNobel(options);
+    std::set<std::string> classes;
+    std::set<std::string> relations;
+    CollectVocabulary(nobel.rules, &classes, &relations);
+    for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
+      KnowledgeBase kb = nobel.world.ToKb(profile, nobel.key_entities);
+      rows.push_back({"Nobel", profile.name, Align(classes, relations, kb),
+                      kb.DebugSummary()});
+    }
+  }
+  {
+    UisOptions options;
+    options.num_tuples = bench::FlagUint(argc, argv, "uis_tuples", 20000);
+    Dataset uis = GenerateUis(options);
+    std::set<std::string> classes;
+    std::set<std::string> relations;
+    CollectVocabulary(uis.rules, &classes, &relations);
+    for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
+      KnowledgeBase kb = uis.world.ToKb(profile, uis.key_entities);
+      rows.push_back({"UIS", profile.name, Align(classes, relations, kb),
+                      kb.DebugSummary()});
+    }
+  }
+
+  std::printf("%-10s %-8s %8s %15s   %s\n", "dataset", "KB", "#-class",
+              "#-relationship", "KB contents");
+  for (const Row& row : rows) {
+    std::printf("%-10s %-8s %8zu %15zu   %s\n", row.dataset.c_str(),
+                row.kb_name.c_str(), row.alignment.classes, row.alignment.relations,
+                row.kb_summary.c_str());
+  }
+  std::printf(
+      "\nPaper shape check: WebTables aligns an order of magnitude more\n"
+      "classes/relations than Nobel/UIS (42-51 vs ~5), and every dataset is\n"
+      "fully covered by both KB profiles at the vocabulary level.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Table III reproduction: data annotation and repair accuracy — precision,
+// recall, F-measure and #-POS for detective rules vs KATARA, on WebTables /
+// Nobel / UIS, against both KB profiles. Error rate 10% for Nobel and UIS
+// (WebTables are born dirty), as in the paper.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "baselines/katara.h"
+#include "core/repair.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "datagen/webtables_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+void PrintRow(const char* method, const char* kb_name, const RepairQuality& q) {
+  std::printf("  %-8s %-8s  P=%.2f  R=%.2f  F=%.2f  #-POS=%zu\n", method, kb_name,
+              q.precision(), q.recall(), q.f_measure(), q.pos_marks);
+}
+
+void RunDataset(const Dataset& dataset, const Relation& dirty) {
+  std::printf("%s (%zu tuples, %zu rules)\n", dataset.name.c_str(),
+              dataset.clean.num_tuples(), dataset.rules.size());
+  for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
+    KnowledgeBase kb = dataset.world.ToKb(profile, dataset.key_entities);
+    std::vector<char> eligible =
+        EligibleRows(dataset.clean, kb, dataset.key_column);
+    for (Method method : {Method::kFastRepair, Method::kKatara}) {
+      auto result = RunMethod(method, dataset, &kb, dirty, eligible);
+      result.status().Abort("RunMethod");
+      PrintRow(method == Method::kFastRepair ? "DRs" : "KATARA",
+               profile.name.c_str(), result->quality);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader(
+      "Table III: data annotation and repair accuracy",
+      "DRs vs KATARA on WebTables / Nobel / UIS x {Yago, DBpedia}, e=10%");
+
+  // ---- WebTables (born dirty; per-table evaluation merged) ----
+  {
+    WebTablesOptions options;
+    WebTablesCorpus corpus = GenerateWebTables(options);
+    std::printf("WebTables (%zu tables, %zu rules total)\n", corpus.tables.size(),
+                corpus.total_rules());
+    for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
+      KnowledgeBase kb = corpus.world.ToKb(profile, corpus.key_entities);
+      std::vector<RepairQuality> dr_parts;
+      std::vector<RepairQuality> katara_parts;
+      for (const WebTable& table : corpus.tables) {
+        std::vector<char> eligible = EligibleRows(table.clean, kb, table.key_column);
+        {
+          FastRepairer repairer(kb, table.clean.schema(), table.rules);
+          repairer.Init().Abort("init");
+          Relation repaired = table.dirty;
+          repairer.RepairRelation(&repaired);
+          dr_parts.push_back(
+              EvaluateRepair(table.clean, table.dirty, repaired, eligible));
+        }
+        {
+          Katara katara(kb, table.katara_pattern);
+          katara.Init(table.clean.schema()).Abort("katara");
+          Relation repaired = table.dirty;
+          katara.CleanRelation(&repaired);
+          katara_parts.push_back(
+              EvaluateRepair(table.clean, table.dirty, repaired, eligible));
+        }
+      }
+      PrintRow("DRs", profile.name.c_str(), MergeQualities(dr_parts));
+      PrintRow("KATARA", profile.name.c_str(), MergeQualities(katara_parts));
+    }
+    std::printf("\n");
+  }
+
+  // ---- Nobel ----
+  {
+    NobelOptions options;
+    Dataset dataset = GenerateNobel(options);
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    InjectErrors(&dirty, spec, dataset.alternatives);
+    RunDataset(dataset, dirty);
+  }
+
+  // ---- UIS ----
+  {
+    UisOptions options;
+    options.num_tuples = bench::FlagUint(argc, argv, "uis_tuples", 20000);
+    Dataset dataset = GenerateUis(options);
+    Relation dirty = dataset.clean;
+    ErrorSpec spec;
+    spec.error_rate = 0.10;
+    InjectErrors(&dirty, spec, dataset.alternatives);
+    RunDataset(dataset, dirty);
+  }
+
+  std::printf(
+      "Paper shape check (Table III): DR precision is always 1.00; DRs mark\n"
+      "far more positive cells (#-POS) than KATARA; DR recall is bounded by\n"
+      "KB coverage (Yago > DBpedia) and is lowest on WebTables, whose tables\n"
+      "have too few attributes to support corrections.\n");
+  return 0;
+}

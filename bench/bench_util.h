@@ -1,0 +1,47 @@
+#ifndef DETECTIVE_BENCH_BENCH_UTIL_H_
+#define DETECTIVE_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the experiment-reproduction benches (one binary per
+// paper table/figure). Each binary prints the same rows/series the paper
+// reports; absolute numbers differ from the authors' testbed, the *shape*
+// is what reproduces.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace detective::bench {
+
+/// Minimal --key=value flag reader: Flag(argc, argv, "tuples", 2000).
+inline uint64_t FlagUint(int argc, char** argv, const char* name,
+                         uint64_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      uint64_t value = 0;
+      if (ParseUint64(argv[i] + prefix.size(), &value)) return value;
+    }
+  }
+  return fallback;
+}
+
+inline bool FlagBool(int argc, char** argv, const char* name) {
+  std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+inline void PrintHeader(const char* title, const char* subtitle) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("%s\n", subtitle);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace detective::bench
+
+#endif  // DETECTIVE_BENCH_BENCH_UTIL_H_

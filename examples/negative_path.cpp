@@ -1,0 +1,93 @@
+// Negative paths via existential nodes — the extension the paper sketches
+// in §II-C ("It is straightforward to extend from one negative node ... to a
+// negative path"). An EXIST node binds to *some* KB instance of its type
+// without a table column, so a rule can route its evidence through entities
+// the relation never mentions.
+//
+// Scenario: a narrow table (Name, City) with no Institution column. The
+// anchored phi2 of the paper cannot even be written; the existential variant
+// routes through "some organization the person worksAt".
+
+#include <cstdio>
+
+#include "core/repair.h"
+#include "core/rule_io.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace {
+
+detective::KnowledgeBase BuildKb() {
+  using detective::ClassId;
+  using detective::ItemId;
+  using detective::RelationId;
+  detective::KbBuilder b;
+  ClassId laureate = b.AddClass("laureate");
+  ClassId organization = b.AddClass("organization");
+  ClassId city = b.AddClass("city");
+  RelationId works = b.AddRelation("worksAt");
+  RelationId located = b.AddRelation("locatedIn");
+  RelationId born = b.AddRelation("wasBornIn");
+
+  ItemId haifa = b.AddEntity("Haifa", {city});
+  ItemId karcag = b.AddEntity("Karcag", {city});
+  ItemId paris = b.AddEntity("Paris", {city});
+  ItemId warsaw = b.AddEntity("Warsaw", {city});
+  ItemId technion = b.AddEntity("Israel Institute of Technology", {organization});
+  ItemId pasteur = b.AddEntity("Pasteur Institute", {organization});
+  b.AddEdge(technion, located, haifa);
+  b.AddEdge(pasteur, located, paris);
+
+  ItemId hershko = b.AddEntity("Avram Hershko", {laureate});
+  b.AddEdge(hershko, works, technion);
+  b.AddEdge(hershko, born, karcag);
+  ItemId curie = b.AddEntity("Marie Curie", {laureate});
+  b.AddEdge(curie, works, pasteur);
+  b.AddEdge(curie, born, warsaw);
+  return std::move(b).Freeze();
+}
+
+}  // namespace
+
+int main() {
+  detective::KnowledgeBase kb = BuildKb();
+
+  // The rule: City must be where SOME institution the person works at is
+  // located (existential hop 'e'); the birth city is the negative semantics.
+  auto rules = detective::ParseRules(R"(
+RULE city_via_some_institution
+NODE a col=Name type=laureate sim="="
+EXIST e type=organization
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE a worksAt e
+EDGE e locatedIn p
+EDGE a wasBornIn n
+END
+)");
+  rules.status().Abort("rules");
+  std::printf("Rule with an existential hop:\n%s\n",
+              (*rules)[0].ToString().c_str());
+
+  detective::Relation table{detective::Schema({"Name", "City"})};
+  table.Append({"Avram Hershko", "Karcag"}).Abort("r1");  // birth city: wrong
+  table.Append({"Marie Curie", "Warsaw"}).Abort("r2");    // birth city: wrong
+
+  std::printf("Before:\n");
+  for (size_t row = 0; row < table.num_tuples(); ++row) {
+    std::printf("  %s\n", table.tuple(row).ToString().c_str());
+  }
+
+  detective::FastRepairer repairer(kb, table.schema(), *rules);
+  repairer.Init().Abort("init");
+  repairer.RepairRelation(&table);
+
+  std::printf("After:\n");
+  for (size_t row = 0; row < table.num_tuples(); ++row) {
+    std::printf("  %s\n", table.tuple(row).ToString().c_str());
+  }
+  std::printf(
+      "\nThe institution never appears in the table — the existential node\n"
+      "found it in the KB and used its locatedIn edge to draw the repair.\n");
+  return 0;
+}

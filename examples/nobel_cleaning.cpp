@@ -1,0 +1,79 @@
+// End-to-end cleaning of the Nobel dataset (paper §V dataset (2)):
+// generate the world, project it into a Yago-profile KB, dirty the relation
+// (10% errors, half typos half semantic), verify rule consistency on a
+// sample, repair with the fast algorithm, and evaluate against the ground
+// truth — the full production workflow of the library.
+
+#include <cstdio>
+
+#include "core/consistency.h"
+#include "core/repair.h"
+#include "core/rule_io.h"
+#include "datagen/nobel_gen.h"
+#include "eval/experiment.h"
+
+int main() {
+  using namespace detective;
+
+  // 1. Generate the dataset and its ground-truth world.
+  NobelOptions options;
+  options.num_laureates = 1069;  // as in the paper
+  Dataset dataset = GenerateNobel(options);
+  std::printf("Generated %zu laureates; %zu curated detective rules:\n\n",
+              dataset.clean.num_tuples(), dataset.rules.size());
+  std::printf("%s\n", FormatRules(dataset.rules).c_str());
+
+  // 2. Project the world into a KB (Yago profile) and dirty the relation.
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  std::printf("KB: %s\n\n", kb.DebugSummary().c_str());
+
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.10;
+  spec.typo_fraction = 0.5;
+  std::vector<ErrorRecord> errors = InjectErrors(&dirty, spec, dataset.alternatives);
+  std::printf("Injected %zu errors (10%% of cells; 50/50 typos vs semantic).\n",
+              errors.size());
+
+  // 3. Consistency check (paper §III-C) before trusting the rule set.
+  ConsistencyOptions copts;
+  copts.max_tuples = 64;
+  auto report = CheckConsistency(kb, dataset.rules, dirty, copts);
+  report.status().Abort("consistency");
+  std::printf("Consistency: %s\n\n", report->ToString().c_str());
+  if (!report->consistent) return 1;
+
+  // 4. Repair with the fast algorithm.
+  FastRepairer repairer(kb, dirty.schema(), dataset.rules);
+  repairer.Init().Abort("init");
+  Relation repaired = dirty;
+  double start = NowSeconds();
+  repairer.RepairRelation(&repaired);
+  double elapsed = NowSeconds() - start;
+
+  // 5. Evaluate against the ground truth (paper metrics).
+  std::vector<char> eligible = EligibleRows(dataset.clean, kb, dataset.key_column);
+  RepairQuality quality = EvaluateRepair(dataset.clean, dirty, repaired, eligible);
+  std::printf("Repaired in %.3fs: %s\n\n", elapsed, quality.ToString().c_str());
+
+  // 6. Show a few concrete repairs.
+  std::printf("Sample repairs:\n");
+  size_t shown = 0;
+  for (size_t row = 0; row < repaired.num_tuples() && shown < 5; ++row) {
+    const Tuple& tuple = repaired.tuple(row);
+    for (ColumnIndex c = 0; c < tuple.size() && shown < 5; ++c) {
+      if (!tuple.WasRepaired(c)) continue;
+      std::printf("  row %-5zu %-12s '%s' -> '%s'\n", row,
+                  repaired.schema().column_name(c).c_str(),
+                  tuple.OriginalValue(c).c_str(), tuple.value(c).c_str());
+      ++shown;
+    }
+  }
+  const RepairStats& stats = repairer.stats();
+  std::printf(
+      "\nEngine stats: %zu rule checks, %zu applications (%zu proofs positive, "
+      "%zu cells repaired), %zu cells marked.\n",
+      stats.rule_checks, stats.rule_applications, stats.proofs_positive,
+      stats.repairs, stats.cells_marked);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Cleaning a corpus of small heterogeneous Web tables (paper §V dataset
+// (1)): 37 tables over different domains share one general-purpose KB; each
+// table carries its own detective rules. Shows per-table and corpus-level
+// results, plus the conservative behaviour on tables that are too narrow to
+// support a repair.
+
+#include <cstdio>
+
+#include "core/repair.h"
+#include "datagen/webtables_gen.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace detective;
+
+  WebTablesOptions options;
+  WebTablesCorpus corpus = GenerateWebTables(options);
+  KnowledgeBase kb = corpus.world.ToKb(YagoProfile(), corpus.key_entities);
+  std::printf("Corpus: %zu tables, %zu rules total; shared KB: %s\n\n",
+              corpus.tables.size(), corpus.total_rules(),
+              kb.DebugSummary().c_str());
+
+  std::vector<RepairQuality> qualities;
+  std::printf("%-16s %7s %6s %8s %8s %8s\n", "table", "tuples", "rules", "P", "R",
+              "#-POS");
+  for (const WebTable& table : corpus.tables) {
+    FastRepairer repairer(kb, table.clean.schema(), table.rules);
+    repairer.Init().Abort(table.name.c_str());
+    Relation repaired = table.dirty;
+    repairer.RepairRelation(&repaired);
+
+    std::vector<char> eligible = EligibleRows(table.clean, kb, table.key_column);
+    RepairQuality quality =
+        EvaluateRepair(table.clean, table.dirty, repaired, eligible);
+    qualities.push_back(quality);
+    std::printf("%-16s %7zu %6zu %8.2f %8.2f %8zu\n", table.name.c_str(),
+                table.dirty.num_tuples(), table.rules.size(), quality.precision(),
+                quality.recall(), quality.pos_marks);
+  }
+
+  RepairQuality total = MergeQualities(qualities);
+  std::printf("\nCorpus total: %s\n", total.ToString().c_str());
+  std::printf(
+      "\nNote the paper's WebTables story: precision is 1.0 because DRs only\n"
+      "repair with sufficient evidence, while recall is modest — errors on a\n"
+      "table's key column leave nothing to collect evidence from, so the\n"
+      "rules conservatively leave those tuples alone.\n");
+  return 0;
+}

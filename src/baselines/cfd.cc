@@ -1,0 +1,127 @@
+#include "baselines/cfd.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace detective {
+
+std::string ConstantCfd::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += lhs[i].first + "=" + lhs[i].second;
+  }
+  out += "] -> " + rhs_column + "=" + rhs_value;
+  return out;
+}
+
+Result<std::vector<ConstantCfd>> MineConstantCfds(
+    const Relation& ground_truth, const std::vector<FunctionalDependency>& fds,
+    size_t min_support) {
+  std::vector<ConstantCfd> cfds;
+  for (const FunctionalDependency& fd : fds) {
+    ASSIGN_OR_RETURN(BoundFd bound, BindFd(fd, ground_truth.schema()));
+    struct PatternInfo {
+      size_t support = 0;
+      std::string rhs_value;
+      bool unique_rhs = true;
+      std::vector<std::string> lhs_values;
+    };
+    std::unordered_map<std::string, PatternInfo> patterns;
+    for (size_t row = 0; row < ground_truth.num_tuples(); ++row) {
+      const Tuple& tuple = ground_truth.tuple(row);
+      std::string key;
+      std::vector<std::string> lhs_values;
+      for (ColumnIndex c : bound.lhs) {
+        key += tuple.value(c);
+        key.push_back('\x1f');
+        lhs_values.push_back(tuple.value(c));
+      }
+      PatternInfo& info = patterns[key];
+      if (info.support == 0) {
+        info.rhs_value = tuple.value(bound.rhs);
+        info.lhs_values = std::move(lhs_values);
+      } else if (info.rhs_value != tuple.value(bound.rhs)) {
+        info.unique_rhs = false;  // the pattern does not determine the RHS
+      }
+      ++info.support;
+    }
+    for (const auto& [key, info] : patterns) {
+      if (!info.unique_rhs || info.support < min_support) continue;
+      ConstantCfd cfd;
+      for (size_t i = 0; i < fd.lhs.size(); ++i) {
+        cfd.lhs.emplace_back(fd.lhs[i], info.lhs_values[i]);
+      }
+      cfd.rhs_column = fd.rhs;
+      cfd.rhs_value = info.rhs_value;
+      cfds.push_back(std::move(cfd));
+    }
+  }
+  return cfds;
+}
+
+CfdRepairer::CfdRepairer(std::vector<ConstantCfd> cfds) : cfds_(std::move(cfds)) {}
+
+Status CfdRepairer::Init(const Schema& schema) {
+  indexes_.clear();
+  // Group CFDs by (LHS column set, RHS column) so each tuple does one hash
+  // probe per group rather than one scan per CFD.
+  std::unordered_map<std::string, size_t> group_of;
+  for (const ConstantCfd& cfd : cfds_) {
+    std::vector<ColumnIndex> columns;
+    std::string group_key;
+    for (const auto& [column, constant] : cfd.lhs) {
+      ColumnIndex index = schema.FindColumn(column);
+      if (index == kInvalidColumn) {
+        return Status::InvalidArgument("CFD references unknown column '", column, "'");
+      }
+      columns.push_back(index);
+      group_key += std::to_string(index);
+      group_key.push_back(',');
+    }
+    ColumnIndex rhs = schema.FindColumn(cfd.rhs_column);
+    if (rhs == kInvalidColumn) {
+      return Status::InvalidArgument("CFD references unknown column '",
+                                     cfd.rhs_column, "'");
+    }
+    group_key.push_back('>');
+    group_key += std::to_string(rhs);
+    auto [it, inserted] = group_of.try_emplace(group_key, indexes_.size());
+    if (inserted) {
+      indexes_.push_back({std::move(columns), rhs, {}});
+    }
+    std::string pattern;
+    for (const auto& [column, constant] : cfd.lhs) {
+      pattern += constant;
+      pattern.push_back('\x1f');
+    }
+    indexes_[it->second].pattern_to_value[pattern] = &cfd.rhs_value;
+  }
+  return Status::OK();
+}
+
+void CfdRepairer::RepairTuple(Tuple* tuple) {
+  ++stats_.tuples;
+  for (const PatternIndex& index : indexes_) {
+    std::string pattern;
+    for (ColumnIndex c : index.columns) {
+      pattern += tuple->value(c);
+      pattern.push_back('\x1f');
+    }
+    auto it = index.pattern_to_value.find(pattern);
+    if (it == index.pattern_to_value.end()) continue;
+    if (tuple->value(index.rhs) != *it->second) {
+      tuple->Repair(index.rhs, *it->second);
+      ++stats_.repairs;
+    }
+  }
+}
+
+void CfdRepairer::RepairRelation(Relation* relation) {
+  for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    RepairTuple(&relation->mutable_tuple(row));
+  }
+}
+
+}  // namespace detective

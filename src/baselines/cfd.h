@@ -1,0 +1,75 @@
+#ifndef DETECTIVE_BASELINES_CFD_H_
+#define DETECTIVE_BASELINES_CFD_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// A constant conditional functional dependency (Fan et al., TODS'08):
+/// if t[lhs columns] equal the constants, then t[rhs_column] = rhs_value.
+struct ConstantCfd {
+  std::vector<std::pair<std::string, std::string>> lhs;  // (column, constant)
+  std::string rhs_column;
+  std::string rhs_value;
+
+  std::string ToString() const;
+};
+
+/// Mines constant CFDs from `ground_truth`, one per distinct LHS pattern of
+/// each embedding FD whose RHS value is unique and whose support is at least
+/// `min_support` rows — the paper's Exp-2 setup ("for constant CFDs, they
+/// were generated from ground truth").
+Result<std::vector<ConstantCfd>> MineConstantCfds(
+    const Relation& ground_truth, const std::vector<FunctionalDependency>& fds,
+    size_t min_support = 1);
+
+/// Applies constant CFDs: whenever a tuple's LHS equals a rule's constants,
+/// the RHS cell is overwritten with the rule's constant (the paper's
+/// simulated user behaviour). Makes mistakes exactly when the tuple's LHS
+/// itself is dirty.
+class CfdRepairer {
+ public:
+  struct Stats {
+    size_t tuples = 0;
+    size_t repairs = 0;
+  };
+
+  explicit CfdRepairer(std::vector<ConstantCfd> cfds);
+
+  /// Resolves column names; fails on schema mismatch.
+  Status Init(const Schema& schema);
+
+  void RepairTuple(Tuple* tuple);
+  void RepairRelation(Relation* relation);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct BoundCfd {
+    std::vector<std::pair<ColumnIndex, const std::string*>> lhs;
+    ColumnIndex rhs = kInvalidColumn;
+    const std::string* rhs_value = nullptr;
+  };
+
+  std::vector<ConstantCfd> cfds_;
+  std::vector<BoundCfd> bound_;
+  // LHS-pattern hash index per distinct LHS column set, for O(1) matching.
+  struct PatternIndex {
+    std::vector<ColumnIndex> columns;
+    ColumnIndex rhs = kInvalidColumn;
+    std::unordered_map<std::string, const std::string*> pattern_to_value;
+  };
+  std::vector<PatternIndex> indexes_;
+  Stats stats_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_BASELINES_CFD_H_

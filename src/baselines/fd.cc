@@ -1,0 +1,62 @@
+#include "baselines/fd.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace detective {
+
+std::string FunctionalDependency::ToString() const {
+  std::string out = Join(lhs, ", ");
+  out += " -> ";
+  out += rhs;
+  return out;
+}
+
+Result<BoundFd> BindFd(const FunctionalDependency& fd, const Schema& schema) {
+  BoundFd bound;
+  if (fd.lhs.empty()) return Status::InvalidArgument("FD with empty LHS");
+  for (const std::string& column : fd.lhs) {
+    ColumnIndex index = schema.FindColumn(column);
+    if (index == kInvalidColumn) {
+      return Status::InvalidArgument("FD references unknown column '", column, "'");
+    }
+    bound.lhs.push_back(index);
+  }
+  bound.rhs = schema.FindColumn(fd.rhs);
+  if (bound.rhs == kInvalidColumn) {
+    return Status::InvalidArgument("FD references unknown column '", fd.rhs, "'");
+  }
+  return bound;
+}
+
+Result<std::vector<FdViolation>> FindViolations(
+    const Relation& relation, const std::vector<FunctionalDependency>& fds) {
+  std::vector<FdViolation> violations;
+  for (size_t f = 0; f < fds.size(); ++f) {
+    ASSIGN_OR_RETURN(BoundFd fd, BindFd(fds[f], relation.schema()));
+    // Group rows by LHS value vector.
+    std::unordered_map<std::string, std::vector<size_t>> groups;
+    for (size_t row = 0; row < relation.num_tuples(); ++row) {
+      std::string key;
+      for (ColumnIndex c : fd.lhs) {
+        key += relation.tuple(row).value(c);
+        key.push_back('\x1f');
+      }
+      groups[key].push_back(row);
+    }
+    for (const auto& [key, rows] : groups) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (size_t j = i + 1; j < rows.size(); ++j) {
+          if (relation.tuple(rows[i]).value(fd.rhs) !=
+              relation.tuple(rows[j]).value(fd.rhs)) {
+            violations.push_back({f, rows[i], rows[j]});
+          }
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace detective

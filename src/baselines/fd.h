@@ -1,0 +1,43 @@
+#ifndef DETECTIVE_BASELINES_FD_H_
+#define DETECTIVE_BASELINES_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// A functional dependency X -> A over a relation schema.
+struct FunctionalDependency {
+  std::vector<std::string> lhs;
+  std::string rhs;
+
+  std::string ToString() const;
+};
+
+/// An FD with columns resolved against a schema.
+struct BoundFd {
+  std::vector<ColumnIndex> lhs;
+  ColumnIndex rhs = kInvalidColumn;
+};
+
+Result<BoundFd> BindFd(const FunctionalDependency& fd, const Schema& schema);
+
+/// A violation: two rows agreeing on the FD's LHS but not its RHS.
+struct FdViolation {
+  size_t fd_index;
+  size_t row_a;
+  size_t row_b;
+};
+
+/// All pairwise violations of `fds` in `relation` (each conflicting pair
+/// reported once, row_a < row_b). Quadratic blow-up is avoided by grouping
+/// on LHS values first.
+Result<std::vector<FdViolation>> FindViolations(
+    const Relation& relation, const std::vector<FunctionalDependency>& fds);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_BASELINES_FD_H_

@@ -1,0 +1,118 @@
+#include "baselines/katara.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace detective {
+
+Katara::Katara(const KnowledgeBase& kb, SchemaMatchingGraph pattern,
+               KataraOptions options)
+    : kb_(kb), pattern_(std::move(pattern)), options_(options) {}
+
+Status Katara::Init(const Schema& schema) {
+  RETURN_NOT_OK(pattern_.Validate());
+  auto bound = BindGraph(pattern_, schema, kb_);
+  if (!bound.ok()) return bound.status();
+  bound_ = std::move(*bound);
+  matcher_ = std::make_unique<EvidenceMatcher>(kb_, options_.matcher);
+  return Status::OK();
+}
+
+std::vector<uint32_t> Katara::BestMatchedSubset(const Tuple& tuple,
+                                                std::vector<ItemId>* assignment) {
+  const size_t n = bound_.nodes.size();
+  std::vector<uint32_t> all(n);
+  for (uint32_t i = 0; i < n; ++i) all[i] = i;
+
+  // Full match first — the overwhelmingly common case for clean tuples.
+  if (matcher_->FindAssignment(bound_.nodes, bound_.edges, all, tuple, assignment)) {
+    return all;
+  }
+  if (n > options_.max_pattern_nodes) return {};
+
+  // Masks grouped by popcount, descending, so the first hit is a maximum
+  // matchable subset ("minimally unmatched attributes").
+  std::vector<std::vector<uint32_t>> masks_by_size(n);
+  for (uint32_t mask = 1; mask < (1u << n) - 1; ++mask) {
+    masks_by_size[static_cast<size_t>(std::popcount(mask))].push_back(mask);
+  }
+  for (size_t size = n - 1; size >= 1; --size) {
+    for (uint32_t mask : masks_by_size[size]) {
+      std::vector<uint32_t> subset;
+      subset.reserve(size);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) subset.push_back(i);
+      }
+      if (matcher_->FindAssignment(bound_.nodes, bound_.edges, subset, tuple,
+                                   assignment)) {
+        return subset;
+      }
+    }
+    if (size == 1) break;
+  }
+  return {};
+}
+
+void Katara::CleanTuple(Tuple* tuple) {
+  DETECTIVE_CHECK(matcher_ != nullptr) << "Init() not called";
+  ++stats_.tuples;
+  if (!bound_.usable) return;
+
+  std::vector<ItemId> assignment;
+  std::vector<uint32_t> matched = BestMatchedSubset(*tuple, &assignment);
+  if (matched.empty()) return;  // nothing recognizable; KATARA stays silent
+
+  if (matched.size() == bound_.nodes.size()) {
+    // Full match: the whole tuple is marked correct.
+    ++stats_.full_matches;
+    for (const BoundNode& node : bound_.nodes) {
+      if (node.IsExistential()) continue;
+      if (!tuple->IsPositive(node.column)) {
+        tuple->MarkPositive(node.column);
+        ++stats_.cells_marked;
+      }
+    }
+    return;
+  }
+
+  // Partial match: the minimally unmatched attributes are blamed and
+  // repaired to the KB candidate closest to the current (dirty) value.
+  ++stats_.partial_matches;
+  std::vector<char> in_subset(bound_.nodes.size(), 0);
+  for (uint32_t v : matched) in_subset[v] = 1;
+  for (uint32_t v = 0; v < bound_.nodes.size(); ++v) {
+    if (in_subset[v]) continue;
+    const BoundNode& node = bound_.nodes[v];
+    if (node.IsExistential()) continue;  // nothing to blame or repair
+    if (tuple->IsPositive(node.column)) continue;
+    std::vector<ItemId> candidates =
+        matcher_->TargetsFor(bound_.nodes, bound_.edges, v, assignment);
+    if (candidates.empty()) continue;
+    const std::string& current = tuple->value(node.column);
+    // Minimum repair cost = maximum similarity to the current value.
+    std::string best;
+    double best_score = -1;
+    for (ItemId candidate : candidates) {
+      std::string label(kb_.Label(candidate));
+      double score = node.sim.Score(current, label);
+      if (score > best_score || (score == best_score && label < best)) {
+        best = std::move(label);
+        best_score = score;
+      }
+    }
+    if (best != current) {
+      tuple->Repair(node.column, best);
+      ++stats_.repairs;
+    }
+  }
+}
+
+void Katara::CleanRelation(Relation* relation) {
+  for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    CleanTuple(&relation->mutable_tuple(row));
+  }
+}
+
+}  // namespace detective

@@ -1,0 +1,84 @@
+#ifndef DETECTIVE_BASELINES_KATARA_H_
+#define DETECTIVE_BASELINES_KATARA_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/bound_rule.h"
+#include "core/evidence_matcher.h"
+#include "core/matching_graph.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// Simulation of KATARA (Chu et al., SIGMOD'15) as revised by the paper for
+/// a crowd-free comparison (Exp-1):
+///
+///   "When there was a full match of a tuple and the KB under the table
+///    pattern defined by KATARA, the whole tuple was marked as correct.
+///    When there was a partial match, we revised KATARA by marking the
+///    minimally unmatched attributes as wrong. For repairing ... we picked
+///    the one from all candidates that minimizes the repair cost."
+///
+/// A table pattern is one holistic schema-level matching graph covering the
+/// whole table (discoverable with DiscoverMatchingGraph). Unlike detective
+/// rules, the pattern has no negative semantics: a mismatch does not say
+/// *which* cell is wrong, so KATARA guesses the maximal matchable subset and
+/// blames the rest — the source of its precision loss in Table III.
+
+/// Tuning knobs for the KATARA simulation.
+struct KataraOptions {
+  MatcherOptions matcher;
+  /// Patterns with more nodes than this skip the exponential subset search
+  /// and only attempt the full match (KATARA's patterns are small).
+  size_t max_pattern_nodes = 12;
+};
+
+class Katara {
+ public:
+  struct Stats {
+    size_t tuples = 0;
+    size_t full_matches = 0;
+    size_t partial_matches = 0;
+    size_t repairs = 0;
+    size_t cells_marked = 0;
+  };
+
+  /// `kb` must outlive the Katara instance.
+  Katara(const KnowledgeBase& kb, SchemaMatchingGraph pattern,
+         KataraOptions options = {});
+
+  /// Binds the pattern; fails on schema mismatch. An unusable pattern (KB
+  /// lacks a class/relation) makes CleanTuple a no-op, mirroring BindGraph.
+  Status Init(const Schema& schema);
+
+  /// Annotates and repairs one tuple:
+  ///   - full pattern match: mark every pattern column positive;
+  ///   - partial match: take a maximum matchable node subset, mark it
+  ///     positive, and repair each unmatched column to the minimum-cost
+  ///     candidate the KB offers (cost = dissimilarity to the current
+  ///     value); cells with no candidate are left untouched.
+  void CleanTuple(Tuple* tuple);
+  void CleanRelation(Relation* relation);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Finds the largest subset of pattern nodes with an instance-level match;
+  /// returns the subset (sorted) and fills `assignment` for its nodes.
+  std::vector<uint32_t> BestMatchedSubset(const Tuple& tuple,
+                                          std::vector<ItemId>* assignment);
+
+  const KnowledgeBase& kb_;
+  SchemaMatchingGraph pattern_;
+  KataraOptions options_;
+  BoundGraph bound_;
+  std::unique_ptr<EvidenceMatcher> matcher_;
+  Stats stats_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_BASELINES_KATARA_H_

@@ -1,0 +1,86 @@
+#include "baselines/llunatic.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace detective {
+
+LlunaticRepairer::LlunaticRepairer(std::vector<FunctionalDependency> fds,
+                                   LlunaticOptions options)
+    : fds_(std::move(fds)), options_(options) {}
+
+size_t LlunaticRepairer::ChaseRound(Relation* relation, const BoundFd& fd) {
+  // Equivalence classes: all RHS cells of rows sharing an LHS value vector.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    std::string key;
+    for (ColumnIndex c : fd.lhs) {
+      key += relation->tuple(row).value(c);
+      key.push_back('\x1f');
+    }
+    groups[key].push_back(row);
+  }
+
+  size_t changed = 0;
+  for (const auto& [key, rows] : groups) {
+    if (rows.size() < 2) continue;
+    // Frequency of each RHS value within the class; lluns never vote.
+    std::map<std::string, size_t> frequency;
+    for (size_t row : rows) {
+      const std::string& value = relation->tuple(row).value(fd.rhs);
+      if (value != kLlunValue) ++frequency[value];
+    }
+    if (frequency.size() <= 1) continue;  // already consistent
+    ++stats_.classes_resolved;
+
+    // Frequency cost-manager: unique maximum wins; tie => llun.
+    size_t best_count = 0;
+    size_t winners = 0;
+    std::string winner;
+    for (const auto& [value, count] : frequency) {
+      if (count > best_count) {
+        best_count = count;
+        winners = 1;
+        winner = value;
+      } else if (count == best_count) {
+        ++winners;
+      }
+    }
+    const bool tie = winners != 1;
+    for (size_t row : rows) {
+      Tuple& tuple = relation->mutable_tuple(row);
+      const std::string& value = tuple.value(fd.rhs);
+      if (tie) {
+        if (value != kLlunValue) {
+          tuple.Repair(fd.rhs, kLlunValue);
+          ++stats_.lluns;
+          ++changed;
+        }
+      } else if (value != winner) {
+        tuple.Repair(fd.rhs, winner);
+        ++stats_.repairs;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+Status LlunaticRepairer::Repair(Relation* relation) {
+  std::vector<BoundFd> bound;
+  bound.reserve(fds_.size());
+  for (const FunctionalDependency& fd : fds_) {
+    ASSIGN_OR_RETURN(BoundFd b, BindFd(fd, relation->schema()));
+    bound.push_back(b);
+  }
+  for (size_t round = 0; round < options_.max_rounds; ++round) {
+    ++stats_.rounds;
+    size_t changed = 0;
+    for (const BoundFd& fd : bound) changed += ChaseRound(relation, fd);
+    if (changed == 0) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace detective

@@ -1,0 +1,130 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace detective {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  size_t line = 1;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty() || field_was_quoted) {
+        return Status::ParseError("unexpected quote in unquoted field at line ", line);
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == options.delimiter) {
+      end_field();
+    } else if (c == '\r') {
+      // Consumed as part of \r\n; a bare \r inside a field is unusual enough
+      // to reject for data hygiene.
+      if (i + 1 >= text.size() || text[i + 1] != '\n') {
+        return Status::ParseError("stray carriage return at line ", line);
+      }
+    } else if (c == '\n') {
+      end_row();
+      ++line;
+    } else {
+      if (field_was_quoted) {
+        return Status::ParseError("content after closing quote at line ", line);
+      }
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field starting before line ", line);
+  }
+  // A trailing record without a final newline still counts.
+  if (!field.empty() || field_was_quoted || !row.empty()) end_row();
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(const std::string& path,
+                                                          const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open ", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for ", path);
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string EscapeCsvField(std::string_view field, char delimiter) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string result;
+  result.reserve(field.size() + 2);
+  result.push_back('"');
+  for (char c : field) {
+    if (c == '"') result.push_back('"');
+    result.push_back(c);
+  }
+  result.push_back('"');
+  return result;
+}
+
+std::string FormatCsv(const std::vector<std::vector<std::string>>& rows,
+                      const CsvOptions& options) {
+  std::string out;
+  for (const std::vector<std::string>& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      out.append(EscapeCsvField(row[i], options.delimiter));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open ", path, " for writing");
+  out << FormatCsv(rows, options);
+  out.flush();
+  if (!out) return Status::IOError("write failed for ", path);
+  return Status::OK();
+}
+
+}  // namespace detective

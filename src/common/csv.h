@@ -1,0 +1,46 @@
+#ifndef DETECTIVE_COMMON_CSV_H_
+#define DETECTIVE_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace detective {
+
+/// RFC-4180-style CSV support: fields containing the delimiter, quotes or
+/// newlines are enclosed in double quotes; embedded quotes are doubled.
+/// The parser accepts both "\n" and "\r\n" record terminators.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true, the first record is treated by callers as a header row
+  /// (the parser itself returns all rows; this is plumbing for Relation IO).
+  bool has_header = true;
+};
+
+/// Parses one CSV document into rows of fields.
+/// Rejects unterminated quoted fields and stray quotes inside unquoted fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(const std::string& path,
+                                                          const CsvOptions& options = {});
+
+/// Formats one field, quoting only when required.
+std::string EscapeCsvField(std::string_view field, char delimiter = ',');
+
+/// Serializes rows into a CSV document terminated by a final newline.
+std::string FormatCsv(const std::vector<std::vector<std::string>>& rows,
+                      const CsvOptions& options = {});
+
+/// Writes rows to a file, overwriting it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    const CsvOptions& options = {});
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_CSV_H_

@@ -1,0 +1,37 @@
+#ifndef DETECTIVE_COMMON_HASH_H_
+#define DETECTIVE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+namespace detective {
+
+/// FNV-1a over bytes; stable across platforms (unlike std::hash).
+inline uint64_t Fnv1a(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t hash = seed;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// boost-style combiner for aggregating member hashes.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash for pairs, usable as std::unordered_map<..., PairHash> key hasher.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return HashCombine(std::hash<A>{}(p.first), std::hash<B>{}(p.second));
+  }
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_HASH_H_

@@ -1,0 +1,78 @@
+#ifndef DETECTIVE_COMMON_LOGGING_H_
+#define DETECTIVE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace detective {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level that is emitted; defaults to kInfo. Not thread-safe to
+/// mutate concurrently with logging (set it once at startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line: accumulates pieces, emits on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement without evaluating the stream.
+struct LogVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace detective
+
+#define DETECTIVE_LOG_INTERNAL(level) \
+  ::detective::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define LOG_DEBUG() DETECTIVE_LOG_INTERNAL(::detective::LogLevel::kDebug)
+#define LOG_INFO() DETECTIVE_LOG_INTERNAL(::detective::LogLevel::kInfo)
+#define LOG_WARNING() DETECTIVE_LOG_INTERNAL(::detective::LogLevel::kWarning)
+#define LOG_ERROR() DETECTIVE_LOG_INTERNAL(::detective::LogLevel::kError)
+#define LOG_FATAL() DETECTIVE_LOG_INTERNAL(::detective::LogLevel::kFatal)
+
+/// Always-on invariant check; aborts with the streamed message on failure.
+#define DETECTIVE_CHECK(condition)                                      \
+  (condition) ? (void)0                                                 \
+              : ::detective::internal::LogVoidify() &                   \
+                    DETECTIVE_LOG_INTERNAL(::detective::LogLevel::kFatal) \
+                        << "Check failed: " #condition " "
+
+#define DETECTIVE_CHECK_EQ(a, b) DETECTIVE_CHECK((a) == (b))
+#define DETECTIVE_CHECK_NE(a, b) DETECTIVE_CHECK((a) != (b))
+#define DETECTIVE_CHECK_LT(a, b) DETECTIVE_CHECK((a) < (b))
+#define DETECTIVE_CHECK_LE(a, b) DETECTIVE_CHECK((a) <= (b))
+#define DETECTIVE_CHECK_GT(a, b) DETECTIVE_CHECK((a) > (b))
+#define DETECTIVE_CHECK_GE(a, b) DETECTIVE_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DETECTIVE_DCHECK(condition) \
+  while (false) DETECTIVE_CHECK(condition)
+#else
+#define DETECTIVE_DCHECK(condition) DETECTIVE_CHECK(condition)
+#endif
+
+#endif  // DETECTIVE_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+#ifndef DETECTIVE_COMMON_RANDOM_H_
+#define DETECTIVE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace detective {
+
+/// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// All data generators and error injectors take an explicit `Rng` (or seed)
+/// so every experiment in the benchmark harness is bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound); bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Uniformly chosen index into a non-empty container of size `size`.
+  size_t NextIndex(size_t size);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in selection order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed integers over [0, n): rank 0 is the most frequent.
+/// Used for skewed workload generation (entity popularity in synthetic KBs).
+class ZipfDistribution {
+ public:
+  /// `exponent` = 0 degenerates to uniform; typical workloads use ~0.8-1.2.
+  ZipfDistribution(size_t n, double exponent);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_RANDOM_H_

@@ -1,0 +1,96 @@
+#ifndef DETECTIVE_COMMON_RESULT_H_
+#define DETECTIVE_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace detective {
+
+/// A value-or-error holder, companion to `Status`.
+///
+/// `Result<T>` is either a `T` or a non-OK `Status`. It is the return type of
+/// operations that produce a value but can fail, e.g. parsers:
+///
+///   Result<KnowledgeBase> kb = ParseNTriples(path);
+///   if (!kb.ok()) return kb.status();
+///   Use(kb.ValueOrDie());
+///
+/// Or, inside a function that itself returns Status/Result:
+///
+///   ASSIGN_OR_RETURN(KnowledgeBase kb, ParseNTriples(path));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status (implicit so `return Status::...` works).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      Status::Internal("Result constructed from OK status").Abort("Result");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// The held value, or `fallback` on error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) std::get<Status>(repr_).Abort("Result::ValueOrDie");
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+#define DETECTIVE_CONCAT_IMPL(a, b) a##b
+#define DETECTIVE_CONCAT(a, b) DETECTIVE_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status from the
+/// enclosing function, otherwise declares `lhs` initialized with the value.
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(DETECTIVE_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr)   \
+  auto tmp = (rexpr);                            \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_RESULT_H_

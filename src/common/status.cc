@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace detective {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kInconsistent:
+      return "Inconsistent";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code()));
+  result.append(": ");
+  result.append(message());
+  return result;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string message(context);
+  message.append(": ");
+  message.append(this->message());
+  return Status(code(), std::move(message));
+}
+
+void Status::Abort(std::string_view context) const {
+  if (ok()) return;
+  std::fprintf(stderr, "FATAL%s%.*s: %s\n", context.empty() ? "" : " ",
+               static_cast<int>(context.size()), context.data(), ToString().c_str());
+  std::abort();
+}
+
+}  // namespace detective

@@ -1,0 +1,182 @@
+#ifndef DETECTIVE_COMMON_STATUS_H_
+#define DETECTIVE_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace detective {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kParseError = 6,
+  kInconsistent = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail, in the Arrow/RocksDB idiom.
+///
+/// A `Status` is either OK (the common, allocation-free case) or carries a
+/// `StatusCode` plus a context message. Functions that can fail return
+/// `Status` (or `Result<T>`, see result.h) instead of throwing: the library
+/// never throws on hot paths.
+///
+/// Usage:
+///
+///   Status DoThing() {
+///     RETURN_NOT_OK(Prepare());
+///     if (bad) return Status::InvalidArgument("bad input: ", detail);
+///     return Status::OK();
+///   }
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Inconsistent(Args&&... args) {
+    return Make(StatusCode::kInconsistent, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unimplemented(Args&&... args) {
+    return Make(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// The context message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsInconsistent() const { return code() == StatusCode::kInconsistent; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Appends further context to a non-OK status, preserving the code.
+  Status WithContext(std::string_view context) const;
+
+  /// Aborts the process with the status message if not OK. Reserved for
+  /// invariant violations where the caller cannot recover.
+  void Abort(std::string_view context = {}) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::string message;
+    (AppendPiece(&message, std::forward<Args>(args)), ...);
+    return Status(code, std::move(message));
+  }
+
+  static void AppendPiece(std::string* out, std::string_view piece) {
+    out->append(piece);
+  }
+  static void AppendPiece(std::string* out, const char* piece) { out->append(piece); }
+  static void AppendPiece(std::string* out, const std::string& piece) {
+    out->append(piece);
+  }
+  static void AppendPiece(std::string* out, char piece) { out->push_back(piece); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  static void AppendPiece(std::string* out, T piece) {
+    out->append(std::to_string(piece));
+  }
+
+  // nullptr means OK: the success path never allocates.
+  std::unique_ptr<State> state_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Propagates a non-OK status to the caller.
+#define RETURN_NOT_OK(expr)                    \
+  do {                                         \
+    ::detective::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Propagates a non-OK status, appending context for the error trail.
+#define RETURN_NOT_OK_CTX(expr, context)                 \
+  do {                                                   \
+    ::detective::Status _st = (expr);                    \
+    if (!_st.ok()) return _st.WithContext(context);      \
+  } while (false)
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_STATUS_H_

@@ -1,0 +1,168 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace detective {
+
+namespace {
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(input.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter) {
+  std::vector<std::string> pieces = Split(input, delimiter);
+  for (std::string& piece : pieces) piece = Trim(piece);
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result.append(separator);
+    result.append(pieces[i]);
+  }
+  return result;
+}
+
+std::string_view TrimView(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && IsSpace(input[begin])) ++begin;
+  while (end > begin && IsSpace(input[end - 1])) --end;
+  return input.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view input) { return std::string(TrimView(input)); }
+
+std::string ToLower(std::string_view input) {
+  std::string result(input);
+  for (char& c : result) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return result;
+}
+
+std::string ToUpper(std::string_view input) {
+  std::string result(input);
+  for (char& c : result) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string NormalizeWhitespace(std::string_view input) {
+  std::string result;
+  result.reserve(input.size());
+  bool pending_space = false;
+  for (char c : TrimView(input)) {
+    if (IsSpace(c)) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !result.empty()) result.push_back(' ');
+    pending_space = false;
+    result.push_back(c);
+  }
+  return result;
+}
+
+std::string ReplaceAll(std::string_view input, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(input);
+  std::string result;
+  result.reserve(input.size());
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(from, start);
+    if (pos == std::string_view::npos) {
+      result.append(input.substr(start));
+      return result;
+    }
+    result.append(input.substr(start, pos - start));
+    result.append(to);
+    start = pos + from.size();
+  }
+}
+
+bool ParseUint64(std::string_view text, uint64_t* value) {
+  if (text.empty()) return false;
+  uint64_t accumulated = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (accumulated > (std::numeric_limits<uint64_t>::max() - digit) / 10) return false;
+    accumulated = accumulated * 10 + digit;
+  }
+  *value = accumulated;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* value) {
+  if (text.empty()) return false;
+  bool negative = false;
+  if (text.front() == '-' || text.front() == '+') {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseUint64(text, &magnitude)) return false;
+  if (negative) {
+    if (magnitude > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1) {
+      return false;
+    }
+    *value = magnitude == static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1
+                 ? std::numeric_limits<int64_t>::min()
+                 : -static_cast<int64_t>(magnitude);
+  } else {
+    if (magnitude > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return false;
+    }
+    *value = static_cast<int64_t>(magnitude);
+  }
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  if (text.empty()) return false;
+  std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(buffer.c_str(), &end);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+}  // namespace detective

@@ -1,0 +1,50 @@
+#ifndef DETECTIVE_COMMON_STRING_UTIL_H_
+#define DETECTIVE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detective {
+
+/// Splits `input` at each occurrence of `delimiter`; empty pieces are kept.
+/// Splitting the empty string yields one empty piece.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Splits and trims ASCII whitespace from every piece.
+std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter);
+
+/// Joins `pieces` with `separator` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces, std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view input);
+std::string Trim(std::string_view input);
+
+/// ASCII-only case conversion.
+std::string ToLower(std::string_view input);
+std::string ToUpper(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-insensitive (ASCII) equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Collapses runs of whitespace into single spaces and trims the ends;
+/// used to normalize cell values and KB labels before matching.
+std::string NormalizeWhitespace(std::string_view input);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view input, std::string_view from,
+                       std::string_view to);
+
+/// Parses a non-negative base-10 integer; returns false on any non-digit or
+/// overflow. The strict contract suits configuration and file parsing.
+bool ParseUint64(std::string_view text, uint64_t* value);
+bool ParseInt64(std::string_view text, int64_t* value);
+bool ParseDouble(std::string_view text, double* value);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_STRING_UTIL_H_

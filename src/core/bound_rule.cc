@@ -1,0 +1,73 @@
+#include "core/bound_rule.h"
+
+namespace detective {
+
+std::vector<uint32_t> BoundRule::PositiveSideNodes() const {
+  std::vector<uint32_t> out;
+  out.reserve(nodes.size() - 1);
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    if (i != negative) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint32_t> BoundRule::NegativeSideNodes() const {
+  std::vector<uint32_t> out;
+  out.reserve(nodes.size() - 1);
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    if (i != positive) out.push_back(i);
+  }
+  return out;
+}
+
+Result<BoundGraph> BindGraph(const SchemaMatchingGraph& graph, const Schema& schema,
+                             const KnowledgeBase& kb) {
+  BoundGraph bound;
+  bound.usable = true;
+  bound.nodes.reserve(graph.nodes().size());
+  for (const MatchNode& node : graph.nodes()) {
+    BoundNode bn;
+    if (node.IsExistential()) {
+      bn.column = kInvalidColumn;  // no cell; matched purely through edges
+    } else {
+      bn.column = schema.FindColumn(node.column);
+      if (bn.column == kInvalidColumn) {
+        return Status::InvalidArgument("graph references column '", node.column,
+                                       "' absent from the schema");
+      }
+    }
+    bn.type = kb.FindClass(node.type);
+    if (!bn.type.valid()) bound.usable = false;  // KB lacks the class
+    bn.sim = node.sim;
+    bound.nodes.push_back(bn);
+  }
+  bound.edges.reserve(graph.edges().size());
+  for (const MatchEdge& edge : graph.edges()) {
+    BoundEdge be;
+    be.from = edge.from;
+    be.to = edge.to;
+    be.relation = kb.FindRelation(edge.relation);
+    if (!be.relation.valid()) bound.usable = false;  // KB lacks the relation
+    bound.edges.push_back(be);
+  }
+  return bound;
+}
+
+Result<BoundRule> BindRule(const DetectiveRule& rule, const Schema& schema,
+                           const KnowledgeBase& kb) {
+  RETURN_NOT_OK(rule.Validate());
+  auto graph = BindGraph(rule.graph(), schema, kb);
+  if (!graph.ok()) {
+    return graph.status().WithContext("rule '" + rule.name() + "'");
+  }
+  BoundRule bound;
+  bound.rule = &rule;
+  bound.positive = rule.positive_node();
+  bound.negative = rule.negative_node();
+  bound.usable = graph->usable;
+  bound.nodes = std::move(graph->nodes);
+  bound.edges = std::move(graph->edges);
+  return bound;
+}
+
+}  // namespace detective

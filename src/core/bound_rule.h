@@ -1,0 +1,78 @@
+#ifndef DETECTIVE_CORE_BOUND_RULE_H_
+#define DETECTIVE_CORE_BOUND_RULE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/rule.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// A rule node with its column resolved against a Schema and its type
+/// resolved against a KnowledgeBase. column == kInvalidColumn marks an
+/// existential node (MatchNode::IsExistential): no cell constraint, matched
+/// purely through its edges.
+struct BoundNode {
+  ColumnIndex column = kInvalidColumn;
+  ClassId type;
+  Similarity sim;
+
+  bool IsExistential() const { return column == kInvalidColumn; }
+};
+
+/// A rule edge with the relationship resolved to a KB RelationId.
+struct BoundEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  RelationId relation;
+};
+
+/// A schema-level matching graph resolved against a (Schema, KnowledgeBase)
+/// pair — the common currency of the instance-level matcher. Detective rules
+/// bind to a BoundGraph plus the p/n designations; KATARA's table patterns
+/// bind to a plain BoundGraph.
+struct BoundGraph {
+  std::vector<BoundNode> nodes;
+  std::vector<BoundEdge> edges;
+  bool usable = false;
+};
+
+/// Resolves a schema-level matching graph. Unknown columns are an error;
+/// unknown classes/relations yield usable=false.
+Result<BoundGraph> BindGraph(const SchemaMatchingGraph& graph, const Schema& schema,
+                             const KnowledgeBase& kb);
+
+/// A DetectiveRule compiled for one (Schema, KnowledgeBase) pair. Node and
+/// edge arrays are parallel to the source rule's graph.
+///
+/// A rule that references a class or relationship the KB does not contain is
+/// *unusable* rather than an error: the paper's experiments run the same
+/// rules against KBs of different coverage (Yago vs DBpedia), and a rule the
+/// KB cannot support simply never fires.
+struct BoundRule {
+  const DetectiveRule* rule = nullptr;  // not owned; must outlive the binding
+  std::vector<BoundNode> nodes;
+  std::vector<BoundEdge> edges;
+  uint32_t positive = 0;
+  uint32_t negative = 0;
+  bool usable = false;
+
+  /// Node indexes of the positive side (evidence ∪ {p}).
+  std::vector<uint32_t> PositiveSideNodes() const;
+  /// Node indexes of the negative side (evidence ∪ {n}).
+  std::vector<uint32_t> NegativeSideNodes() const;
+};
+
+/// Resolves `rule` against `schema` and `kb`.
+///
+/// Unknown columns are an InvalidArgument error (the rule does not belong to
+/// this relation); unknown classes/relations yield usable=false (the KB
+/// cannot power the rule).
+Result<BoundRule> BindRule(const DetectiveRule& rule, const Schema& schema,
+                           const KnowledgeBase& kb);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_BOUND_RULE_H_

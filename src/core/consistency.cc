@@ -1,0 +1,190 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/random.h"
+#include "core/repair.h"
+
+namespace detective {
+
+namespace {
+
+/// Canonical form of a fixpoint set: sorted multiset of value vectors,
+/// rendered as one string for cheap comparison and witness reporting.
+std::string CanonicalFixpoints(std::vector<Tuple> fixpoints) {
+  std::vector<std::string> rendered;
+  rendered.reserve(fixpoints.size());
+  for (const Tuple& t : fixpoints) {
+    std::string row;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) row.push_back('\x1f');
+      row += t.value(static_cast<ColumnIndex>(i));
+    }
+    rendered.push_back(std::move(row));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  std::string out;
+  for (const std::string& row : rendered) {
+    out += row;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// Runs the multi-version chase under one explicit rule order.
+std::vector<Tuple> ChaseWithOrder(RuleEngine& engine,
+                                  const std::vector<uint32_t>& order,
+                                  const Tuple& tuple, size_t max_versions) {
+  // Local re-implementation of the chase driver with a caller-chosen order:
+  // scan for the first applicable rule in `order`, apply, rescan.
+  struct Branch {
+    Tuple tuple;
+    std::vector<char> applied;
+  };
+  std::vector<Tuple> fixpoints;
+  std::vector<Branch> stack{{tuple, std::vector<char>(engine.num_rules(), 0)}};
+  while (!stack.empty()) {
+    Branch branch = std::move(stack.back());
+    stack.pop_back();
+    bool done = false;
+    while (!done) {
+      bool fired = false;
+      for (uint32_t index : order) {
+        if (branch.applied[index]) continue;
+        RuleEvaluation evaluation = engine.Evaluate(index, branch.tuple);
+        if (evaluation.action == RuleEvaluation::Action::kNone) continue;
+        branch.applied[index] = 1;
+        if (evaluation.action == RuleEvaluation::Action::kRepair &&
+            evaluation.corrections.size() > 1) {
+          for (size_t c = 0; c < evaluation.corrections.size(); ++c) {
+            if (fixpoints.size() + stack.size() >= max_versions) break;
+            Branch next{branch.tuple, branch.applied};
+            engine.Apply(index, evaluation, &next.tuple, c);
+            stack.push_back(std::move(next));
+          }
+          done = true;  // this branch forked; continuations are on the stack
+          fired = true;
+          break;
+        }
+        engine.Apply(index, evaluation, &branch.tuple, 0);
+        fired = true;
+        break;
+      }
+      if (done) break;
+      if (!fired) {
+        fixpoints.push_back(std::move(branch.tuple));
+        done = true;
+      }
+    }
+  }
+  return fixpoints;
+}
+
+std::vector<std::vector<uint32_t>> MakeOrders(size_t num_rules, size_t max_orders,
+                                              uint64_t seed, bool* exhaustive) {
+  std::vector<uint32_t> base(num_rules);
+  for (uint32_t i = 0; i < num_rules; ++i) base[i] = i;
+
+  // |Σ|! when small enough; avoids overflow past the cap.
+  size_t factorial = 1;
+  bool small = true;
+  for (size_t i = 2; i <= num_rules; ++i) {
+    factorial *= i;
+    if (factorial > max_orders) {
+      small = false;
+      break;
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> orders;
+  if (small) {
+    *exhaustive = true;
+    std::vector<uint32_t> permutation = base;
+    do {
+      orders.push_back(permutation);
+    } while (std::next_permutation(permutation.begin(), permutation.end()));
+  } else {
+    *exhaustive = false;
+    orders.push_back(base);  // always include the input order
+    Rng rng(seed);
+    std::set<std::vector<uint32_t>> seen{base};
+    while (orders.size() < max_orders) {
+      std::vector<uint32_t> permutation = base;
+      rng.Shuffle(&permutation);
+      if (seen.insert(permutation).second) orders.push_back(std::move(permutation));
+    }
+  }
+  return orders;
+}
+
+}  // namespace
+
+std::string ConsistencyReport::ToString() const {
+  std::ostringstream out;
+  if (consistent) {
+    out << (exhaustive ? "consistent (all orders enumerated, "
+                       : "consistent (sampled orders, ")
+        << tuples_checked << " tuples x " << orders_per_tuple << " orders)";
+  } else {
+    out << "INCONSISTENT at row " << witness_row << ":\n  fixpoints A:\n"
+        << witness_fixpoint_a << "  fixpoints B:\n" << witness_fixpoint_b;
+  }
+  return out.str();
+}
+
+Result<ConsistencyReport> CheckConsistency(const KnowledgeBase& kb,
+                                           const std::vector<DetectiveRule>& rules,
+                                           const Relation& relation,
+                                           const ConsistencyOptions& options) {
+  ConsistencyReport report;
+  if (rules.empty() || relation.num_tuples() == 0) {
+    report.exhaustive = true;
+    return report;
+  }
+
+  RepairOptions repair_options;
+  repair_options.matcher.use_value_memo = true;  // orders share all node work
+  RuleEngine engine(kb, relation.schema(), rules, repair_options);
+  RETURN_NOT_OK(engine.Init());
+
+  std::vector<std::vector<uint32_t>> orders =
+      MakeOrders(rules.size(), std::max<size_t>(options.max_orders, 2), options.seed,
+                 &report.exhaustive);
+  report.orders_per_tuple = orders.size();
+
+  // Sample tuples deterministically.
+  std::vector<size_t> rows;
+  if (options.max_tuples == 0 || relation.num_tuples() <= options.max_tuples) {
+    rows.resize(relation.num_tuples());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  } else {
+    Rng rng(options.seed + 1);
+    rows = rng.SampleWithoutReplacement(relation.num_tuples(), options.max_tuples);
+    std::sort(rows.begin(), rows.end());
+  }
+
+  const size_t max_versions = repair_options.max_versions;
+  for (size_t row : rows) {
+    ++report.tuples_checked;
+    const Tuple& tuple = relation.tuple(row);
+    std::string reference;
+    for (size_t o = 0; o < orders.size(); ++o) {
+      std::string fixpoint =
+          CanonicalFixpoints(ChaseWithOrder(engine, orders[o], tuple, max_versions));
+      if (o == 0) {
+        reference = std::move(fixpoint);
+      } else if (fixpoint != reference) {
+        report.consistent = false;
+        report.witness_row = row;
+        report.witness_fixpoint_a = reference;
+        report.witness_fixpoint_b = fixpoint;
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace detective

@@ -1,0 +1,59 @@
+#ifndef DETECTIVE_CORE_CONSISTENCY_H_
+#define DETECTIVE_CORE_CONSISTENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rule.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// Options for the dataset-specific consistency check.
+struct ConsistencyOptions {
+  /// Rule-application orders tried per tuple. When |Σ|! is at most this
+  /// bound every permutation is tried (exhaustive = a proof for the tuple);
+  /// beyond that, this many random permutations are sampled (the paper's
+  /// practice: "we run them on random sample tuples to check whether they
+  /// always compute the same results").
+  size_t max_orders = 120;
+  /// Tuples sampled from the relation (0 = all).
+  size_t max_tuples = 256;
+  uint64_t seed = 42;
+};
+
+/// Outcome of CheckConsistency.
+struct ConsistencyReport {
+  bool consistent = true;
+  /// True when every order was enumerated for every checked tuple, making
+  /// the verdict a proof for the sampled data rather than a sampling result.
+  bool exhaustive = false;
+  size_t tuples_checked = 0;
+  size_t orders_per_tuple = 0;
+  /// Witness of the first divergence found (valid iff !consistent).
+  size_t witness_row = 0;
+  std::string witness_fixpoint_a;
+  std::string witness_fixpoint_b;
+
+  std::string ToString() const;
+};
+
+/// Dataset-specific consistency (paper §III-C, Corollary 2): Σ is consistent
+/// w.r.t. D and K iff every tuple reaches the same fixpoint(s) under every
+/// rule-application order. The general problem is coNP-complete (Theorem 1);
+/// with the data at hand it is checkable in PTIME, which this implements by
+/// running the chase under multiple orders and comparing the resulting
+/// fixpoint sets (multi-version fixpoints compare as sets).
+///
+/// Fails with InvalidArgument if a rule does not bind to the schema.
+Result<ConsistencyReport> CheckConsistency(const KnowledgeBase& kb,
+                                           const std::vector<DetectiveRule>& rules,
+                                           const Relation& relation,
+                                           const ConsistencyOptions& options = {});
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_CONSISTENCY_H_

@@ -1,0 +1,360 @@
+#include "core/evidence_matcher.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace detective {
+
+EvidenceMatcher::EvidenceMatcher(const KnowledgeBase& kb, MatcherOptions options)
+    : kb_(kb), options_(options) {}
+
+std::string EvidenceMatcher::MemoKey(ClassId type, const Similarity& sim,
+                                     std::string_view value) const {
+  std::string key = std::to_string(type.value());
+  key.push_back('\x1f');
+  key += sim.ToString();
+  key.push_back('\x1f');
+  key.append(value);
+  return key;
+}
+
+const SignatureIndex& EvidenceMatcher::IndexFor(ClassId type, const Similarity& sim) {
+  std::string key = std::to_string(type.value());
+  key.push_back('\x1f');
+  key += sim.ToString();
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    auto index = std::make_unique<SignatureIndex>(sim);
+    for (ItemId item : kb_.InstancesOf(type)) {
+      index->Add(item.value(), kb_.Label(item));
+    }
+    index->Build();
+    it = indexes_.emplace(std::move(key), std::move(index)).first;
+  }
+  return *it->second;
+}
+
+std::vector<ItemId> EvidenceMatcher::NodeCandidates(ClassId type,
+                                                    const Similarity& sim,
+                                                    std::string_view value) {
+  ++stats_.node_checks;
+  std::string memo_key;
+  if (options_.use_value_memo) {
+    memo_key = MemoKey(type, sim, value);
+    auto it = memo_.find(memo_key);
+    if (it != memo_.end()) {
+      ++stats_.memo_hits;
+      return it->second;
+    }
+  }
+
+  std::vector<ItemId> result;
+  if (sim.kind() == SimilarityKind::kEquality) {
+    // Equality always goes through the label hash index — the paper uses a
+    // hash table for "=" even in the basic algorithm (§IV-B(2)).
+    ++stats_.index_lookups;
+    for (ItemId item : kb_.ItemsWithLabel(value)) {
+      if (kb_.IsInstanceOf(item, type)) result.push_back(item);
+    }
+  } else if (options_.use_signature_index) {
+    ++stats_.index_lookups;
+    for (uint32_t raw : IndexFor(type, sim).Matches(value)) {
+      result.push_back(ItemId(raw));
+    }
+  } else {
+    ++stats_.scans;
+    for (ItemId item : kb_.InstancesOf(type)) {
+      if (sim.Matches(value, kb_.Label(item))) result.push_back(item);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+
+  if (options_.use_value_memo) {
+    memo_.emplace(std::move(memo_key), result);
+  }
+  return result;
+}
+
+template <typename OnMatch>
+bool EvidenceMatcher::Search(const std::vector<BoundNode>& nodes,
+                             const std::vector<BoundEdge>& edges,
+                             const std::vector<uint32_t>& node_indexes,
+                             const Tuple& tuple, OnMatch&& on_match) {
+  struct SearchNode {
+    uint32_t node;
+    std::vector<ItemId> candidates;  // empty for existential nodes
+    bool existential;
+  };
+  std::vector<SearchNode> order;
+  std::vector<SearchNode> existentials;
+  order.reserve(node_indexes.size());
+  for (uint32_t v : node_indexes) {
+    const BoundNode& bn = nodes[v];
+    if (bn.IsExistential()) {
+      // No cell constraint: candidates are derived from edges at search
+      // time, once neighbouring nodes are assigned.
+      existentials.push_back({v, {}, true});
+      continue;
+    }
+    std::vector<ItemId> candidates =
+        NodeCandidates(bn.type, bn.sim, tuple.value(bn.column));
+    if (candidates.empty()) return true;  // no match can exist; fully explored
+    order.push_back({v, std::move(candidates), false});
+  }
+  // Most selective nodes first keeps the search tree narrow; existential
+  // nodes go last so their edge-derived candidate sets have anchors.
+  std::stable_sort(order.begin(), order.end(),
+                   [](const SearchNode& a, const SearchNode& b) {
+                     return a.candidates.size() < b.candidates.size();
+                   });
+  order.insert(order.end(), std::make_move_iterator(existentials.begin()),
+               std::make_move_iterator(existentials.end()));
+
+  std::vector<ItemId> assignment(nodes.size(), ItemId::Invalid());
+  size_t budget = options_.max_assignments;
+  bool within_budget = true;
+
+  auto consistent = [&](uint32_t v, ItemId x) {
+    for (const BoundEdge& edge : edges) {
+      if (edge.from == v && assignment[edge.to].valid()) {
+        if (!kb_.HasEdge(x, edge.relation, assignment[edge.to])) return false;
+      } else if (edge.to == v && assignment[edge.from].valid()) {
+        if (!kb_.HasEdge(assignment[edge.from], edge.relation, x)) return false;
+      }
+    }
+    return true;
+  };
+
+  // Returns false to abort the whole search (caller requested stop or
+  // budget exhausted).
+  auto recurse = [&](auto&& self, size_t depth) -> bool {
+    if (depth == order.size()) return on_match(assignment);
+    const SearchNode& current = order[depth];
+    // Existential nodes derive their candidates from already-assigned
+    // neighbours; without an anchor, fall back to every instance of the
+    // type (bounded by the assignment budget).
+    std::vector<ItemId> derived;
+    if (current.existential) {
+      bool anchored = false;
+      for (const BoundEdge& edge : edges) {
+        if ((edge.from == current.node && assignment[edge.to].valid()) ||
+            (edge.to == current.node && assignment[edge.from].valid())) {
+          anchored = true;
+          break;
+        }
+      }
+      if (anchored) {
+        derived = TargetsFor(nodes, edges, current.node, assignment);
+      } else {
+        std::span<const ItemId> all = kb_.InstancesOf(nodes[current.node].type);
+        derived.assign(all.begin(), all.end());
+      }
+    }
+    const std::vector<ItemId>& candidates =
+        current.existential ? derived : current.candidates;
+    for (ItemId x : candidates) {
+      if (budget == 0) {
+        within_budget = false;
+        return false;
+      }
+      --budget;
+      ++stats_.assignments_explored;
+      if (!consistent(current.node, x)) continue;
+      assignment[current.node] = x;
+      bool keep_going = self(self, depth + 1);
+      assignment[current.node] = ItemId::Invalid();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  bool completed = recurse(recurse, 0);
+  return completed && within_budget;
+}
+
+bool EvidenceMatcher::HasPositiveMatch(const BoundRule& rule, const Tuple& tuple) {
+  DETECTIVE_CHECK(rule.usable);
+  bool found = false;
+  Search(rule.nodes, rule.edges, rule.PositiveSideNodes(), tuple,
+         [&](const std::vector<ItemId>&) {
+           found = true;
+           return false;  // one witness suffices
+         });
+  return found;
+}
+
+bool EvidenceMatcher::BestPositiveMatch(const BoundRule& rule, const Tuple& tuple,
+                                        std::vector<ItemId>* best) {
+  DETECTIVE_CHECK(rule.usable);
+  const std::vector<uint32_t> subset = rule.PositiveSideNodes();
+  bool found = false;
+  double best_score = -1;
+  std::vector<std::string> best_labels;
+
+  Search(rule.nodes, rule.edges, subset, tuple,
+         [&](const std::vector<ItemId>& assignment) {
+           double score = 0;
+           std::vector<std::string> labels;
+           labels.reserve(subset.size());
+           for (uint32_t v : subset) {
+             if (rule.nodes[v].IsExistential()) continue;  // no cell to score
+             std::string label(kb_.Label(assignment[v]));
+             score += rule.nodes[v].sim.Score(tuple.value(rule.nodes[v].column), label);
+             labels.push_back(std::move(label));
+           }
+           bool better =
+               !found || score > best_score ||
+               (score == best_score && labels < best_labels);
+           if (better) {
+             found = true;
+             best_score = score;
+             best_labels = std::move(labels);
+             *best = assignment;
+           }
+           // A perfect assignment (every label equals its cell) cannot be
+           // improved; stop the enumeration.
+           return best_score + 1e-9 < static_cast<double>(subset.size());
+         });
+  return found;
+}
+
+bool EvidenceMatcher::FindAssignment(const std::vector<BoundNode>& nodes,
+                                     const std::vector<BoundEdge>& edges,
+                                     const std::vector<uint32_t>& subset,
+                                     const Tuple& tuple,
+                                     std::vector<ItemId>* assignment) {
+  bool found = false;
+  Search(nodes, edges, subset, tuple, [&](const std::vector<ItemId>& match) {
+    found = true;
+    if (assignment != nullptr) *assignment = match;
+    return false;  // one witness suffices
+  });
+  return found;
+}
+
+std::vector<ItemId> EvidenceMatcher::TargetsFor(
+    const std::vector<BoundNode>& nodes, const std::vector<BoundEdge>& edges,
+    uint32_t node, const std::vector<ItemId>& assignment) {
+  std::vector<ItemId> result;
+  bool first = true;
+  for (const BoundEdge& edge : edges) {
+    std::vector<ItemId> hop;
+    if (edge.to == node) {
+      ItemId source = assignment[edge.from];
+      if (!source.valid()) continue;
+      for (const KbEdge& e : kb_.Objects(source, edge.relation)) {
+        hop.push_back(e.target);
+      }
+    } else if (edge.from == node) {
+      ItemId target = assignment[edge.to];
+      if (!target.valid()) continue;
+      for (const KbEdge& e : kb_.Subjects(edge.relation, target)) {
+        hop.push_back(e.target);  // in-edge payload is the subject
+      }
+    } else {
+      continue;
+    }
+    std::sort(hop.begin(), hop.end());
+    hop.erase(std::unique(hop.begin(), hop.end()), hop.end());
+    if (first) {
+      result = std::move(hop);
+      first = false;
+    } else {
+      std::vector<ItemId> merged;
+      std::set_intersection(result.begin(), result.end(), hop.begin(), hop.end(),
+                            std::back_inserter(merged));
+      result = std::move(merged);
+    }
+    if (result.empty()) return result;
+  }
+  if (first) return {};  // node had no incident edge with an assigned endpoint
+
+  const BoundNode& target_node = nodes[node];
+  std::erase_if(result,
+                [&](ItemId x) { return !kb_.IsInstanceOf(x, target_node.type); });
+  return result;
+}
+
+std::vector<std::string> EvidenceMatcher::NegativeCorrections(
+    const BoundRule& rule, const Tuple& tuple,
+    std::vector<std::pair<ColumnIndex, std::string>>* evidence_normalizations) {
+  DETECTIVE_CHECK(rule.usable);
+  const ColumnIndex target_column = rule.nodes[rule.negative].column;
+  const std::string& current_value = tuple.value(target_column);
+
+  // Column-bearing evidence nodes, for scoring the witnessing assignments
+  // (existential nodes have no cell to score or normalize).
+  std::vector<uint32_t> evidence;
+  for (uint32_t v = 0; v < rule.nodes.size(); ++v) {
+    if (v != rule.positive && v != rule.negative && !rule.nodes[v].IsExistential()) {
+      evidence.push_back(v);
+    }
+  }
+
+  std::set<std::string> corrections;
+  bool have_witness = false;
+  double best_score = -1;
+  std::vector<std::string> best_labels;
+  std::vector<ItemId> best_assignment;
+
+  Search(rule.nodes, rule.edges, rule.NegativeSideNodes(), tuple,
+         [&](const std::vector<ItemId>& assignment) {
+           ItemId x_n = assignment[rule.negative];
+           bool witnessed = false;
+           for (ItemId x_p :
+                TargetsFor(rule.nodes, rule.edges, rule.positive, assignment)) {
+             if (x_p == x_n) continue;  // the wrong witness itself
+             std::string label(kb_.Label(x_p));
+             // A "correction" equal to the current value would be a no-op
+             // repair; the positive branch owns that case.
+             if (label == current_value) continue;
+             if (corrections.size() >= options_.max_corrections &&
+                 !corrections.contains(label)) {
+               break;  // hard cap, even within one assignment
+             }
+             corrections.insert(std::move(label));
+             witnessed = true;
+           }
+           if (witnessed && evidence_normalizations != nullptr) {
+             // Track the best-scoring witnessing assignment, mirroring
+             // BestPositiveMatch, so normalization is order-independent.
+             double score = 0;
+             std::vector<std::string> labels;
+             labels.reserve(evidence.size());
+             for (uint32_t v : evidence) {
+               std::string label(kb_.Label(assignment[v]));
+               score +=
+                   rule.nodes[v].sim.Score(tuple.value(rule.nodes[v].column), label);
+               labels.push_back(std::move(label));
+             }
+             if (!have_witness || score > best_score ||
+                 (score == best_score && labels < best_labels)) {
+               have_witness = true;
+               best_score = score;
+               best_labels = std::move(labels);
+               best_assignment = assignment;
+             }
+           }
+           return corrections.size() < options_.max_corrections;
+         });
+
+  if (evidence_normalizations != nullptr) {
+    evidence_normalizations->clear();
+    if (have_witness) {
+      for (uint32_t v : evidence) {
+        std::string label(kb_.Label(best_assignment[v]));
+        if (label != tuple.value(rule.nodes[v].column)) {
+          evidence_normalizations->emplace_back(rule.nodes[v].column,
+                                                std::move(label));
+        }
+      }
+    }
+  }
+  return {corrections.begin(), corrections.end()};
+}
+
+void EvidenceMatcher::ClearMemo() { memo_.clear(); }
+
+}  // namespace detective

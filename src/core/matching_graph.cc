@@ -1,0 +1,140 @@
+#include "core/matching_graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace detective {
+
+uint32_t SchemaMatchingGraph::AddNode(MatchNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+Status SchemaMatchingGraph::AddEdge(uint32_t from, uint32_t to, std::string relation) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) return Status::InvalidArgument("self-loop edges are not allowed");
+  if (relation.empty()) return Status::InvalidArgument("edge relation must be named");
+  edges_.push_back({from, to, std::move(relation)});
+  return Status::OK();
+}
+
+uint32_t SchemaMatchingGraph::FindNodeByColumn(std::string_view column) const {
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].column == column) return i;
+  }
+  return static_cast<uint32_t>(nodes_.size());
+}
+
+Status SchemaMatchingGraph::Validate() const {
+  if (nodes_.empty()) return Status::InvalidArgument("matching graph has no nodes");
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type.empty()) {
+      return Status::InvalidArgument("node ", i, " has no type");
+    }
+    if (nodes_[i].IsExistential()) continue;  // no column to clash on
+    for (uint32_t j = i + 1; j < nodes_.size(); ++j) {
+      if (nodes_[i].column == nodes_[j].column) {
+        return Status::InvalidArgument("nodes ", i, " and ", j,
+                                       " share column '", nodes_[i].column, "'");
+      }
+    }
+  }
+  for (const MatchEdge& edge : edges_) {
+    if (edge.from >= nodes_.size() || edge.to >= nodes_.size()) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (edge.from == edge.to) return Status::InvalidArgument("self-loop edge");
+    if (edge.relation.empty()) return Status::InvalidArgument("unnamed edge");
+  }
+  if (!Connected()) return Status::InvalidArgument("matching graph is disconnected");
+  return Status::OK();
+}
+
+bool SchemaMatchingGraph::ConnectedWithout(uint32_t excluded) const {
+  size_t remaining = nodes_.size() - (excluded < nodes_.size() ? 1 : 0);
+  if (remaining <= 1) return true;
+  // BFS over the undirected view, skipping the excluded node.
+  std::vector<char> seen(nodes_.size(), 0);
+  uint32_t start = 0;
+  while (start < nodes_.size() && start == excluded) ++start;
+  std::vector<uint32_t> frontier = {start};
+  seen[start] = 1;
+  size_t visited = 1;
+  while (!frontier.empty()) {
+    uint32_t current = frontier.back();
+    frontier.pop_back();
+    for (const MatchEdge& edge : edges_) {
+      if (edge.from == excluded || edge.to == excluded) continue;
+      uint32_t next = nodes_.size();
+      if (edge.from == current) next = edge.to;
+      if (edge.to == current) next = edge.from;
+      if (next < nodes_.size() && !seen[next]) {
+        seen[next] = 1;
+        ++visited;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return visited == remaining;
+}
+
+bool SchemaMatchingGraph::Connected() const {
+  return ConnectedWithout(static_cast<uint32_t>(nodes_.size()));
+}
+
+bool SchemaMatchingGraph::EquivalentExceptNode(const SchemaMatchingGraph& a,
+                                               uint32_t drop_a,
+                                               const SchemaMatchingGraph& b,
+                                               uint32_t drop_b) {
+  if (a.nodes_.size() != b.nodes_.size()) return false;
+  // Map a-node index -> b-node index via the column label; columns are
+  // distinct within a graph so the mapping is unique if it exists.
+  const uint32_t kUnmapped = static_cast<uint32_t>(b.nodes_.size());
+  std::vector<uint32_t> to_b(a.nodes_.size(), kUnmapped);
+  for (uint32_t i = 0; i < a.nodes_.size(); ++i) {
+    if (i == drop_a) continue;
+    uint32_t j = b.FindNodeByColumn(a.nodes_[i].column);
+    if (j == b.nodes_.size() || j == drop_b) return false;
+    if (!(a.nodes_[i] == b.nodes_[j])) return false;
+    to_b[i] = j;
+  }
+  // Compare edge sets restricted to the kept nodes, as sets.
+  auto kept_edges = [&](const SchemaMatchingGraph& g, uint32_t drop) {
+    std::vector<MatchEdge> out;
+    for (const MatchEdge& e : g.edges_) {
+      if (e.from != drop && e.to != drop) out.push_back(e);
+    }
+    return out;
+  };
+  std::vector<MatchEdge> ea = kept_edges(a, drop_a);
+  std::vector<MatchEdge> eb = kept_edges(b, drop_b);
+  if (ea.size() != eb.size()) return false;
+  for (MatchEdge& e : ea) {
+    e.from = to_b[e.from];
+    e.to = to_b[e.to];
+  }
+  auto edge_less = [](const MatchEdge& x, const MatchEdge& y) {
+    return std::tie(x.from, x.to, x.relation) < std::tie(y.from, y.to, y.relation);
+  };
+  std::sort(ea.begin(), ea.end(), edge_less);
+  std::sort(eb.begin(), eb.end(), edge_less);
+  return ea == eb;
+}
+
+std::string SchemaMatchingGraph::ToString() const {
+  std::ostringstream out;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    out << "  v" << i << ": col=" << nodes_[i].column << " type=" << nodes_[i].type
+        << " sim=" << nodes_[i].sim.ToString() << "\n";
+  }
+  for (const MatchEdge& edge : edges_) {
+    out << "  v" << edge.from << " -" << edge.relation << "-> v" << edge.to << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace detective

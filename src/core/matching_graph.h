@@ -1,0 +1,99 @@
+#ifndef DETECTIVE_CORE_MATCHING_GRAPH_H_
+#define DETECTIVE_CORE_MATCHING_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/similarity.h"
+
+namespace detective {
+
+/// A vertex of a schema-level matching graph (paper §II-B): the match
+/// between one relation column and one KB type, with the matching operation
+/// that decides whether a cell value and a KB instance denote the same
+/// entity.
+struct MatchNode {
+  std::string column;  // col(u): column name in the relation; EMPTY for an
+                       // existential node (see below)
+  std::string type;    // type(u): class name in the KB, or "literal"
+  Similarity sim;      // sim(u): matching operation (ignored if existential)
+
+  /// An existential node binds to *some* KB instance of its type without a
+  /// value constraint — the building block of the paper's "negative path"
+  /// extension (§II-C remark: "extend from one negative node ... to a
+  /// negative path"): intermediate hops of a path need not correspond to any
+  /// table column.
+  bool IsExistential() const { return column.empty(); }
+
+  friend bool operator==(const MatchNode&, const MatchNode&) = default;
+};
+
+/// A directed labelled edge: how col(from) and col(to) are semantically
+/// linked in the KB (a relationship or property name).
+struct MatchEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  std::string relation;  // rel(e)
+
+  friend bool operator==(const MatchEdge&, const MatchEdge&) = default;
+};
+
+/// Schema-level matching graph GS(VS, ES): a local interpretation of how a
+/// subset of the table's columns are linked through the KB. Instance-level
+/// matching (the instantiation against one tuple) lives in
+/// core/evidence_matcher.h.
+class SchemaMatchingGraph {
+ public:
+  SchemaMatchingGraph() = default;
+  SchemaMatchingGraph(std::vector<MatchNode> nodes, std::vector<MatchEdge> edges)
+      : nodes_(std::move(nodes)), edges_(std::move(edges)) {}
+
+  const std::vector<MatchNode>& nodes() const { return nodes_; }
+  const std::vector<MatchEdge>& edges() const { return edges_; }
+  const MatchNode& node(uint32_t index) const { return nodes_[index]; }
+
+  /// Appends a node, returning its index.
+  uint32_t AddNode(MatchNode node);
+  /// Appends an edge between existing nodes.
+  Status AddEdge(uint32_t from, uint32_t to, std::string relation);
+
+  /// Index of the (unique) node on `column`, or nodes().size() if absent.
+  uint32_t FindNodeByColumn(std::string_view column) const;
+
+  /// Validates the §II-B well-formedness conditions:
+  ///   - at least one node;
+  ///   - all edge endpoints valid, no self-loops, non-empty relations;
+  ///   - distinct nodes map distinct columns;
+  ///   - the graph is connected (the paper's default assumption).
+  Status Validate() const;
+
+  /// True iff the graph restricted to all nodes except `excluded` is
+  /// connected (vacuously true when <= 1 node remains). Used to validate
+  /// detective rules, whose positive/negative sides must each be connected.
+  bool ConnectedWithout(uint32_t excluded) const;
+  bool Connected() const;
+
+  /// True iff `a` minus node `drop_a` equals `b` minus node `drop_b`
+  /// (paper: "the subgraphs G1\{p} and G2\{n} are isomorphic"). Because
+  /// columns are distinct within a graph, the only possible isomorphism maps
+  /// nodes with equal column names, so this is a label-driven comparison,
+  /// not a search.
+  static bool EquivalentExceptNode(const SchemaMatchingGraph& a, uint32_t drop_a,
+                                   const SchemaMatchingGraph& b, uint32_t drop_b);
+
+  /// Multi-line debug rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const SchemaMatchingGraph&, const SchemaMatchingGraph&) =
+      default;
+
+ private:
+  std::vector<MatchNode> nodes_;
+  std::vector<MatchEdge> edges_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_MATCHING_GRAPH_H_

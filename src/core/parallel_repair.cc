@@ -1,0 +1,62 @@
+#include "core/parallel_repair.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace detective {
+
+Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
+                                   const std::vector<DetectiveRule>& rules,
+                                   Relation* relation,
+                                   ParallelRepairOptions options) {
+  size_t threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<size_t>(1, relation->num_tuples()));
+
+  // Validate the binding once up front so workers cannot fail.
+  {
+    RuleEngine probe(kb, relation->schema(), rules, options.repair);
+    RETURN_NOT_OK(probe.Init());
+  }
+  if (threads == 1 || relation->num_tuples() == 0) {
+    FastRepairer repairer(kb, relation->schema(), rules, options.repair);
+    RETURN_NOT_OK(repairer.Init());
+    repairer.RepairRelation(relation);
+    return repairer.stats();
+  }
+
+  const size_t rows = relation->num_tuples();
+  std::vector<RepairStats> stats(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    size_t lo = rows * t / threads;
+    size_t hi = rows * (t + 1) / threads;
+    workers.emplace_back([&, t, lo, hi] {
+      FastRepairer repairer(kb, relation->schema(), rules, options.repair);
+      // Binding was validated above; a failure here would be a logic error.
+      repairer.Init().Abort("ParallelRepair worker");
+      for (size_t row = lo; row < hi; ++row) {
+        repairer.RepairTuple(&relation->mutable_tuple(row));
+      }
+      stats[t] = repairer.stats();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  RepairStats merged;
+  for (const RepairStats& part : stats) {
+    merged.tuples_processed += part.tuples_processed;
+    merged.rule_checks += part.rule_checks;
+    merged.rule_applications += part.rule_applications;
+    merged.proofs_positive += part.proofs_positive;
+    merged.repairs += part.repairs;
+    merged.cells_marked += part.cells_marked;
+  }
+  return merged;
+}
+
+}  // namespace detective

@@ -1,0 +1,34 @@
+#ifndef DETECTIVE_CORE_PARALLEL_REPAIR_H_
+#define DETECTIVE_CORE_PARALLEL_REPAIR_H_
+
+#include "common/result.h"
+#include "core/repair.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+struct ParallelRepairOptions {
+  RepairOptions repair;
+  /// 0 = std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+};
+
+/// Repairs `relation` in place with the fast algorithm across threads.
+///
+/// The paper's scalability argument (§V summary: "repairing one tuple is
+/// irrelevant to any other tuple") makes the chase embarrassingly parallel:
+/// rows are sharded contiguously, each worker owns a private FastRepairer
+/// (signature indexes and value memos are per-worker; the KnowledgeBase is
+/// immutable and shared). The result is bit-identical to the sequential
+/// fast repairer — a property the tests assert.
+///
+/// Returns the merged RepairStats. Fails if the rules do not bind.
+Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
+                                   const std::vector<DetectiveRule>& rules,
+                                   Relation* relation,
+                                   ParallelRepairOptions options = {});
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_PARALLEL_REPAIR_H_

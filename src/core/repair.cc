@@ -1,0 +1,281 @@
+#include "core/repair.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace detective {
+
+// ---- RuleEngine --------------------------------------------------------------
+
+RuleEngine::RuleEngine(const KnowledgeBase& kb, const Schema& schema,
+                       std::vector<DetectiveRule> rules, RepairOptions options)
+    : kb_(kb),
+      schema_(schema),
+      rules_(std::move(rules)),
+      options_(options),
+      matcher_(std::make_unique<EvidenceMatcher>(kb, options.matcher)) {}
+
+Status RuleEngine::Init() {
+  bound_.clear();
+  bound_.reserve(rules_.size());
+  for (const DetectiveRule& rule : rules_) {
+    auto bound = BindRule(rule, schema_, kb_);
+    if (!bound.ok()) return bound.status();
+    bound_.push_back(std::move(*bound));
+  }
+  return Status::OK();
+}
+
+size_t RuleEngine::num_usable_rules() const {
+  size_t count = 0;
+  for (const BoundRule& rule : bound_) count += rule.usable ? 1 : 0;
+  return count;
+}
+
+RuleEvaluation RuleEngine::Evaluate(uint32_t index, const Tuple& tuple) {
+  ++stats_.rule_checks;
+  RuleEvaluation evaluation;
+  const BoundRule& rule = bound_[index];
+  if (!rule.usable) return evaluation;
+
+  // Applicability condition (ii): there must be something new to mark.
+  bool marks_something = false;
+  for (uint32_t v = 0; v < rule.nodes.size(); ++v) {
+    if (v == rule.negative || rule.nodes[v].IsExistential()) continue;
+    if (!tuple.IsPositive(rule.nodes[v].column)) {
+      marks_something = true;
+      break;
+    }
+  }
+  if (!marks_something) return evaluation;
+
+  std::vector<ItemId> assignment;
+  if (matcher_->BestPositiveMatch(rule, tuple, &assignment)) {
+    evaluation.action = RuleEvaluation::Action::kProofPositive;
+    // Cells that matched fuzzily get standardized to the KB label.
+    for (uint32_t v = 0; v < rule.nodes.size(); ++v) {
+      if (v == rule.negative || rule.nodes[v].IsExistential()) continue;
+      const BoundNode& node = rule.nodes[v];
+      if (tuple.IsPositive(node.column)) continue;  // already proven
+      std::string label(kb_.Label(assignment[v]));
+      if (label != tuple.value(node.column)) {
+        evaluation.normalizations.emplace_back(node.column, std::move(label));
+      }
+    }
+    return evaluation;
+  }
+
+  // Applicability condition (i): a positively marked cell is never changed.
+  if (tuple.IsPositive(rule.nodes[rule.negative].column)) return evaluation;
+
+  evaluation.corrections =
+      matcher_->NegativeCorrections(rule, tuple, &evaluation.normalizations);
+  if (!evaluation.corrections.empty()) {
+    evaluation.action = RuleEvaluation::Action::kRepair;
+    // Fuzzy-matched evidence cells are about to be marked positive; drop
+    // normalizations for cells already proven.
+    std::erase_if(evaluation.normalizations, [&](const auto& n) {
+      return tuple.IsPositive(n.first);
+    });
+  } else {
+    evaluation.normalizations.clear();
+  }
+  return evaluation;
+}
+
+void RuleEngine::Apply(uint32_t index, const RuleEvaluation& evaluation, Tuple* tuple,
+                       size_t correction_index) {
+  const BoundRule& rule = bound_[index];
+  DETECTIVE_CHECK(evaluation.action != RuleEvaluation::Action::kNone);
+  ++stats_.rule_applications;
+
+  if (evaluation.action == RuleEvaluation::Action::kRepair) {
+    DETECTIVE_CHECK_LT(correction_index, evaluation.corrections.size());
+    ColumnIndex target = rule.nodes[rule.negative].column;
+    DETECTIVE_CHECK(!tuple->IsPositive(target));
+    tuple->Repair(target, evaluation.corrections[correction_index]);
+    ++stats_.repairs;
+  } else {
+    ++stats_.proofs_positive;
+  }
+  // Standardize fuzzy-matched cells (evidence, and for proof positive also
+  // the target) before marking them: a positive mark certifies the value.
+  for (const auto& [column, label] : evaluation.normalizations) {
+    if (tuple->IsPositive(column)) continue;  // proven since Evaluate
+    if (tuple->value(column) != label) {
+      tuple->Repair(column, label);
+      ++stats_.repairs;
+    }
+  }
+
+  // Both actions mark col(Ve) ∪ col(p) positive (the repaired value was just
+  // drawn from the KB, so it is positive by construction); existential nodes
+  // have no cell to mark.
+  for (uint32_t v = 0; v < rule.nodes.size(); ++v) {
+    if (v == rule.negative || rule.nodes[v].IsExistential()) continue;
+    if (!tuple->IsPositive(rule.nodes[v].column)) {
+      tuple->MarkPositive(rule.nodes[v].column);
+      ++stats_.cells_marked;
+    }
+  }
+}
+
+namespace {
+
+/// Shared multi-version chase (§IV-C): depth-first branching over ambiguous
+/// corrections, following `check_order` and applying each rule at most once
+/// per branch. `rescan` = true reproduces the basic algorithm's "rescan
+/// after every application" discipline; false walks the order resuming where
+/// the branch left off, looping until stable (fast algorithm).
+void MultiVersionChase(RuleEngine& engine, const std::vector<uint32_t>& check_order,
+                       size_t max_versions, Tuple tuple, std::vector<char> applied,
+                       std::vector<Tuple>* out) {
+  while (true) {
+    bool fired = false;
+    for (uint32_t index : check_order) {
+      if (applied[index]) continue;
+      RuleEvaluation evaluation = engine.Evaluate(index, tuple);
+      if (evaluation.action == RuleEvaluation::Action::kNone) continue;
+      applied[index] = 1;
+      if (evaluation.action == RuleEvaluation::Action::kRepair &&
+          evaluation.corrections.size() > 1) {
+        // Branch: one continuation per correction, capped at max_versions
+        // total fixpoints (earliest corrections win when the cap bites).
+        for (size_t c = 0; c < evaluation.corrections.size(); ++c) {
+          if (out->size() >= max_versions) break;
+          Tuple branch = tuple;
+          engine.Apply(index, evaluation, &branch, c);
+          MultiVersionChase(engine, check_order, max_versions, std::move(branch),
+                            applied, out);
+        }
+        return;
+      }
+      engine.Apply(index, evaluation, &tuple, 0);
+      fired = true;
+      break;  // restart the scan (chase discipline)
+    }
+    if (!fired) {
+      out->push_back(std::move(tuple));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// ---- BasicRepairer -----------------------------------------------------------
+
+BasicRepairer::BasicRepairer(const KnowledgeBase& kb, const Schema& schema,
+                             std::vector<DetectiveRule> rules, RepairOptions options)
+    : engine_(kb, schema, std::move(rules), options) {}
+
+void BasicRepairer::RepairTuple(Tuple* tuple) {
+  ++engine_.stats().tuples_processed;
+  std::vector<char> applied(engine_.num_rules(), 0);
+  // Algorithm 1: pick any applicable rule, apply, and rescan; every rule is
+  // used at most once, so at most |Σ| iterations of the outer loop.
+  while (true) {
+    bool fired = false;
+    for (uint32_t index = 0; index < engine_.num_rules(); ++index) {
+      if (applied[index]) continue;
+      RuleEvaluation evaluation = engine_.Evaluate(index, *tuple);
+      if (evaluation.action == RuleEvaluation::Action::kNone) continue;
+      engine_.Apply(index, evaluation, tuple, 0);
+      applied[index] = 1;
+      fired = true;
+      break;
+    }
+    if (!fired) return;
+  }
+}
+
+void BasicRepairer::RepairRelation(Relation* relation) {
+  for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    RepairTuple(&relation->mutable_tuple(row));
+  }
+}
+
+std::vector<Tuple> BasicRepairer::RepairMultiVersion(const Tuple& tuple) {
+  ++engine_.stats().tuples_processed;
+  std::vector<uint32_t> order(engine_.num_rules());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<Tuple> out;
+  MultiVersionChase(engine_, order, engine_.options().max_versions, tuple,
+                    std::vector<char>(engine_.num_rules(), 0), &out);
+  return out;
+}
+
+// ---- FastRepairer ------------------------------------------------------------
+
+FastRepairer::FastRepairer(const KnowledgeBase& kb, const Schema& schema,
+                           std::vector<DetectiveRule> rules, RepairOptions options)
+    : engine_(kb, schema, std::move(rules), options) {}
+
+Status FastRepairer::Init() {
+  RETURN_NOT_OK(engine_.Init());
+  rule_graph_ = std::make_unique<RuleGraph>(engine_.rules());
+  check_order_ = engine_.options().use_rule_order ? rule_graph_->CheckOrder()
+                                                  : std::vector<uint32_t>{};
+  if (check_order_.empty()) {
+    check_order_.resize(engine_.num_rules());
+    for (uint32_t i = 0; i < check_order_.size(); ++i) check_order_[i] = i;
+  }
+  return Status::OK();
+}
+
+void FastRepairer::RepairTuple(Tuple* tuple) {
+  ++engine_.stats().tuples_processed;
+  DETECTIVE_CHECK(rule_graph_ != nullptr) << "Init() not called";
+  std::vector<char> applied(engine_.num_rules(), 0);
+
+  // One forward sweep in topological order. Rules sharing a dependency
+  // cycle live in one SCC; those are re-swept locally until stable.
+  const std::vector<uint32_t>& components = rule_graph_->ComponentOf();
+  size_t i = 0;
+  while (i < check_order_.size()) {
+    // The component block [i, j).
+    size_t j = i + 1;
+    if (engine_.options().use_rule_order) {
+      while (j < check_order_.size() &&
+             components[check_order_[j]] == components[check_order_[i]]) {
+        ++j;
+      }
+    } else {
+      j = check_order_.size();  // no order info: sweep everything repeatedly
+    }
+    bool stable = false;
+    while (!stable) {
+      stable = true;
+      for (size_t k = i; k < j; ++k) {
+        uint32_t index = check_order_[k];
+        if (applied[index]) continue;
+        RuleEvaluation evaluation = engine_.Evaluate(index, *tuple);
+        if (evaluation.action == RuleEvaluation::Action::kNone) continue;
+        engine_.Apply(index, evaluation, tuple, 0);
+        applied[index] = 1;
+        stable = false;
+      }
+      // Single-rule components cannot re-enable themselves.
+      if (j - i == 1) break;
+    }
+    i = j;
+  }
+}
+
+void FastRepairer::RepairRelation(Relation* relation) {
+  for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    RepairTuple(&relation->mutable_tuple(row));
+  }
+}
+
+std::vector<Tuple> FastRepairer::RepairMultiVersion(const Tuple& tuple) {
+  ++engine_.stats().tuples_processed;
+  DETECTIVE_CHECK(rule_graph_ != nullptr) << "Init() not called";
+  std::vector<Tuple> out;
+  MultiVersionChase(engine_, check_order_, engine_.options().max_versions, tuple,
+                    std::vector<char>(engine_.num_rules(), 0), &out);
+  return out;
+}
+
+}  // namespace detective

@@ -1,0 +1,155 @@
+#ifndef DETECTIVE_CORE_REPAIR_H_
+#define DETECTIVE_CORE_REPAIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bound_rule.h"
+#include "core/evidence_matcher.h"
+#include "core/rule_graph.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// Knobs shared by both repair algorithms plus the fast-repair extras.
+struct RepairOptions {
+  MatcherOptions matcher;
+  /// Fast repair only: check rules in the rule-graph topological order
+  /// (§IV-B(1)). Off = input order, which degenerates to re-scanning.
+  bool use_rule_order = true;
+  /// Cap on tuple versions produced by multi-version repair (§IV-C).
+  size_t max_versions = 8;
+};
+
+/// Counters reported by the efficiency benchmarks (Fig. 8).
+struct RepairStats {
+  size_t tuples_processed = 0;
+  size_t rule_checks = 0;        // Evaluate() calls
+  size_t rule_applications = 0;  // rules that fired
+  size_t proofs_positive = 0;
+  size_t repairs = 0;            // cells rewritten
+  size_t cells_marked = 0;       // cells newly marked positive
+};
+
+/// Outcome of evaluating one rule against one tuple.
+struct RuleEvaluation {
+  enum class Action {
+    kNone,           // rule not applicable
+    kProofPositive,  // marks evidence + target correct, changes nothing
+    kRepair,         // rewrites the target cell, then marks
+  };
+  Action action = Action::kNone;
+  /// Candidate corrections (distinct, sorted). Size 1 in the common
+  /// functional case; >1 triggers multi-version branching.
+  std::vector<std::string> corrections;
+  /// Cells that matched their KB instance only fuzzily and are standardized
+  /// to the instance's label on Apply (this is how typos are corrected
+  /// through the positive semantics; cf. the paper's "Paster Institute" →
+  /// "Pasteur Institute" fix in Table I). Populated for kProofPositive (all
+  /// positive-side cells) and for kRepair (evidence cells), so a cell is
+  /// never marked positive while holding an unproven spelling.
+  std::vector<std::pair<ColumnIndex, std::string>> normalizations;
+};
+
+/// Shared rule-evaluation engine: binds a rule set to a (schema, KB) pair
+/// and implements the single-rule semantics of §III-B, including the
+/// applicability conditions over positively-marked cells:
+///   (i)  a rule never changes a cell already marked positive;
+///   (ii) a rule is applicable only if it marks at least one new cell.
+class RuleEngine {
+ public:
+  /// `kb` must outlive the engine; the rules are copied (they are small
+  /// value objects), so temporaries are safe to pass.
+  RuleEngine(const KnowledgeBase& kb, const Schema& schema,
+             std::vector<DetectiveRule> rules, RepairOptions options = {});
+
+  /// Resolves all rules; fails on schema mismatches. Rules the KB cannot
+  /// power are kept but never fire (usable() reports how many are live).
+  Status Init();
+
+  size_t num_rules() const { return bound_.size(); }
+  size_t num_usable_rules() const;
+  const std::vector<DetectiveRule>& rules() const { return rules_; }
+  const BoundRule& bound_rule(uint32_t index) const { return bound_[index]; }
+
+  /// Evaluates rule `index` against `tuple` (read-only).
+  RuleEvaluation Evaluate(uint32_t index, const Tuple& tuple);
+
+  /// Applies a previously computed evaluation; for kRepair the correction at
+  /// `correction_index` is written. Updates marks and stats.
+  void Apply(uint32_t index, const RuleEvaluation& evaluation, Tuple* tuple,
+             size_t correction_index = 0);
+
+  EvidenceMatcher& matcher() { return *matcher_; }
+  const RepairOptions& options() const { return options_; }
+  RepairStats& stats() { return stats_; }
+  const RepairStats& stats() const { return stats_; }
+
+ private:
+  const KnowledgeBase& kb_;
+  Schema schema_;
+  std::vector<DetectiveRule> rules_;
+  RepairOptions options_;
+  std::unique_ptr<EvidenceMatcher> matcher_;
+  std::vector<BoundRule> bound_;
+  RepairStats stats_;
+};
+
+/// Algorithm 1 (bRepair): chase to fixpoint by rescanning the rule set for
+/// an applicable rule after every application. No rule ordering, no shared
+/// computation (unless the caller opts in through RepairOptions.matcher).
+class BasicRepairer {
+ public:
+  BasicRepairer(const KnowledgeBase& kb, const Schema& schema,
+                std::vector<DetectiveRule> rules, RepairOptions options = {});
+
+  Status Init() { return engine_.Init(); }
+
+  /// Repairs one tuple in place to its fixpoint (single-version: the first
+  /// correction in sorted order is taken when several exist).
+  void RepairTuple(Tuple* tuple);
+
+  /// Repairs every tuple of `relation` in place.
+  void RepairRelation(Relation* relation);
+
+  /// Multi-version repair (§IV-C): all fixpoints reachable when ambiguous
+  /// corrections branch. Returns at least one tuple.
+  std::vector<Tuple> RepairMultiVersion(const Tuple& tuple);
+
+  RuleEngine& engine() { return engine_; }
+  const RepairStats& stats() const { return engine_.stats(); }
+
+ private:
+  RuleEngine engine_;
+};
+
+/// Algorithm 2 (fRepair): rules are checked in the rule-graph topological
+/// order; node/edge work is shared across rules through the matcher's value
+/// memo (the role of the paper's Fig. 5 inverted lists); components that
+/// form dependency cycles are iterated locally until stable.
+class FastRepairer {
+ public:
+  FastRepairer(const KnowledgeBase& kb, const Schema& schema,
+               std::vector<DetectiveRule> rules, RepairOptions options = {});
+
+  Status Init();
+
+  void RepairTuple(Tuple* tuple);
+  void RepairRelation(Relation* relation);
+  std::vector<Tuple> RepairMultiVersion(const Tuple& tuple);
+
+  RuleEngine& engine() { return engine_; }
+  const RepairStats& stats() const { return engine_.stats(); }
+  const RuleGraph& rule_graph() const { return *rule_graph_; }
+
+ private:
+  RuleEngine engine_;
+  std::unique_ptr<RuleGraph> rule_graph_;
+  std::vector<uint32_t> check_order_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_REPAIR_H_

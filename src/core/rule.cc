@@ -1,0 +1,144 @@
+#include "core/rule.h"
+
+#include <sstream>
+
+namespace detective {
+
+std::vector<uint32_t> DetectiveRule::EvidenceNodes() const {
+  std::vector<uint32_t> out;
+  out.reserve(graph_.nodes().size() - 2);
+  for (uint32_t i = 0; i < graph_.nodes().size(); ++i) {
+    if (i != positive_ && i != negative_) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::string> DetectiveRule::EvidenceColumns() const {
+  std::vector<std::string> out;
+  for (uint32_t i : EvidenceNodes()) {
+    if (!graph_.node(i).IsExistential()) out.push_back(graph_.node(i).column);
+  }
+  return out;
+}
+
+Status DetectiveRule::Validate() const {
+  const auto& nodes = graph_.nodes();
+  if (nodes.size() < 3) {
+    return Status::InvalidArgument("rule '", name_,
+                                   "' needs >= 1 evidence node plus p and n");
+  }
+  if (positive_ >= nodes.size() || negative_ >= nodes.size()) {
+    return Status::InvalidArgument("rule '", name_, "' has bad p/n node index");
+  }
+  if (positive_ == negative_) {
+    return Status::InvalidArgument("rule '", name_, "' has p == n");
+  }
+  if (nodes[positive_].IsExistential() || nodes[negative_].IsExistential()) {
+    return Status::InvalidArgument("rule '", name_,
+                                   "': p and n must map table columns");
+  }
+  if (nodes[positive_].column != nodes[negative_].column) {
+    return Status::InvalidArgument("rule '", name_, "': col(p) '",
+                                   nodes[positive_].column, "' != col(n) '",
+                                   nodes[negative_].column, "'");
+  }
+  // Column uniqueness among evidence ∪ {p} (n deliberately repeats col(p));
+  // existential evidence nodes carry no column. At least one evidence node
+  // must be value-anchored or the rule cannot collect evidence from tuples.
+  size_t anchored_evidence = 0;
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    if (i == negative_) continue;
+    if (nodes[i].type.empty()) {
+      return Status::InvalidArgument("rule '", name_, "' node ", i, " has no type");
+    }
+    if (nodes[i].IsExistential()) continue;
+    if (i != positive_) ++anchored_evidence;
+    for (uint32_t j = i + 1; j < nodes.size(); ++j) {
+      if (j == negative_ || nodes[j].IsExistential()) continue;
+      if (nodes[i].column == nodes[j].column) {
+        return Status::InvalidArgument("rule '", name_, "' nodes ", i, " and ", j,
+                                       " share column '", nodes[i].column, "'");
+      }
+    }
+  }
+  if (anchored_evidence == 0) {
+    return Status::InvalidArgument(
+        "rule '", name_, "' needs at least one column-bearing evidence node");
+  }
+  for (const MatchEdge& edge : graph_.edges()) {
+    if (edge.from >= nodes.size() || edge.to >= nodes.size()) {
+      return Status::InvalidArgument("rule '", name_, "' edge endpoint out of range");
+    }
+    bool touches_p = edge.from == positive_ || edge.to == positive_;
+    bool touches_n = edge.from == negative_ || edge.to == negative_;
+    if (touches_p && touches_n) {
+      return Status::InvalidArgument("rule '", name_, "' has an edge between p and n");
+    }
+    if (edge.relation.empty()) {
+      return Status::InvalidArgument("rule '", name_, "' has an unnamed edge");
+    }
+  }
+  if (!graph_.ConnectedWithout(negative_)) {
+    return Status::InvalidArgument("rule '", name_,
+                                   "': positive side is disconnected");
+  }
+  if (!graph_.ConnectedWithout(positive_)) {
+    return Status::InvalidArgument("rule '", name_,
+                                   "': negative side is disconnected");
+  }
+  return Status::OK();
+}
+
+std::string DetectiveRule::ToString() const {
+  std::ostringstream out;
+  out << "DR " << name_ << " (target column: " << TargetColumn() << ")\n";
+  const auto& nodes = graph_.nodes();
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    const char* role = i == positive_ ? "POS" : (i == negative_ ? "NEG" : "EVD");
+    out << "  [" << role << "] v" << i << ": col=" << nodes[i].column
+        << " type=" << nodes[i].type << " sim=" << nodes[i].sim.ToString() << "\n";
+  }
+  for (const MatchEdge& edge : graph_.edges()) {
+    out << "  v" << edge.from << " -" << edge.relation << "-> v" << edge.to << "\n";
+  }
+  return out.str();
+}
+
+Result<DetectiveRule> MergeIntoRule(std::string name,
+                                    const SchemaMatchingGraph& positive_graph,
+                                    const SchemaMatchingGraph& negative_graph,
+                                    std::string_view target_column) {
+  uint32_t p_in_pos = positive_graph.FindNodeByColumn(target_column);
+  uint32_t n_in_neg = negative_graph.FindNodeByColumn(target_column);
+  if (p_in_pos == positive_graph.nodes().size()) {
+    return Status::InvalidArgument("positive graph lacks column '", target_column, "'");
+  }
+  if (n_in_neg == negative_graph.nodes().size()) {
+    return Status::InvalidArgument("negative graph lacks column '", target_column, "'");
+  }
+  if (!SchemaMatchingGraph::EquivalentExceptNode(positive_graph, p_in_pos,
+                                                 negative_graph, n_in_neg)) {
+    return Status::InvalidArgument(
+        "graphs differ beyond the node on column '", target_column,
+        "' — cannot merge into a detective rule");
+  }
+
+  // Carry all positive nodes over, then append the negative node and remap
+  // the negative graph's edges through the column labels.
+  SchemaMatchingGraph merged = positive_graph;
+  uint32_t negative_index = merged.AddNode(negative_graph.node(n_in_neg));
+  for (const MatchEdge& edge : negative_graph.edges()) {
+    if (edge.from != n_in_neg && edge.to != n_in_neg) continue;  // shared edge
+    auto map_node = [&](uint32_t v) {
+      if (v == n_in_neg) return negative_index;
+      return merged.FindNodeByColumn(negative_graph.node(v).column);
+    };
+    RETURN_NOT_OK(merged.AddEdge(map_node(edge.from), map_node(edge.to),
+                                 edge.relation));
+  }
+  DetectiveRule rule(std::move(name), std::move(merged), p_in_pos, negative_index);
+  RETURN_NOT_OK(rule.Validate());
+  return rule;
+}
+
+}  // namespace detective

@@ -1,0 +1,90 @@
+#ifndef DETECTIVE_CORE_RULE_H_
+#define DETECTIVE_CORE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/matching_graph.h"
+
+namespace detective {
+
+/// A detective rule (paper §II-C): the merge of two schema-level matching
+/// graphs over the same columns — one capturing the *positive* semantics of
+/// column col(p) (how the correct value links to the evidence columns) and
+/// one capturing a *negative* semantics (how a known class of wrong values
+/// links to the same evidence).
+///
+/// Stored as one graph whose nodes are partitioned into evidence nodes Ve,
+/// the positive node p, and the negative node n, with col(p) = col(n).
+/// The positive side of the rule is the subgraph without n; the negative
+/// side is the subgraph without p; both must be connected.
+///
+/// Semantics against a tuple t and KB K (see core/repair.h):
+///   1. Proof positive — an instance-level match of Ve ∪ {p} marks
+///      t[col(Ve) ∪ col(p)] correct.
+///   2. Proof negative + correction — an instance-level match of Ve ∪ {n}
+///      (so t[col(n)] currently holds a *wrong* value) plus an instance x_p
+///      consistent with the positive side and different from the negative
+///      witness: t[col(n)] is repaired to label(x_p) and marked correct.
+class DetectiveRule {
+ public:
+  DetectiveRule() = default;
+
+  /// `graph` must contain both special nodes; every other node is evidence.
+  DetectiveRule(std::string name, SchemaMatchingGraph graph, uint32_t positive_node,
+                uint32_t negative_node)
+      : name_(std::move(name)),
+        graph_(std::move(graph)),
+        positive_(positive_node),
+        negative_(negative_node) {}
+
+  const std::string& name() const { return name_; }
+  const SchemaMatchingGraph& graph() const { return graph_; }
+  uint32_t positive_node() const { return positive_; }
+  uint32_t negative_node() const { return negative_; }
+
+  /// Node indexes of the evidence set Ve (everything but p and n).
+  std::vector<uint32_t> EvidenceNodes() const;
+
+  /// Column names of the evidence nodes, in node order.
+  std::vector<std::string> EvidenceColumns() const;
+
+  /// The column this rule judges: col(p) = col(n).
+  const std::string& TargetColumn() const { return graph_.node(positive_).column; }
+
+  /// Checks the §II-C well-formedness conditions:
+  ///   - the underlying graph is valid except that p and n intentionally
+  ///     share a column;
+  ///   - col(p) == col(n) and p != n;
+  ///   - no edge connects p and n;
+  ///   - both the positive subgraph (drop n) and the negative subgraph
+  ///     (drop p) are connected;
+  ///   - there is at least one evidence node.
+  Status Validate() const;
+
+  /// Multi-line rendering for logs / example output.
+  std::string ToString() const;
+
+  friend bool operator==(const DetectiveRule&, const DetectiveRule&) = default;
+
+ private:
+  std::string name_;
+  SchemaMatchingGraph graph_;
+  uint32_t positive_ = 0;
+  uint32_t negative_ = 0;
+};
+
+/// Assembles a DetectiveRule from its two constituent matching graphs
+/// (paper §III-A step S3): `positive_graph` and `negative_graph` must agree
+/// on all nodes except the one over the shared target column. Fails if the
+/// graphs differ in more than that node.
+Result<DetectiveRule> MergeIntoRule(std::string name,
+                                    const SchemaMatchingGraph& positive_graph,
+                                    const SchemaMatchingGraph& negative_graph,
+                                    std::string_view target_column);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_RULE_H_

@@ -1,0 +1,470 @@
+#include "core/rule_generation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "text/signature_index.h"
+
+namespace detective {
+
+namespace {
+
+/// Candidate KB items per cell of one column, plus the matching operation
+/// that produced them.
+struct ColumnMatch {
+  std::vector<std::vector<ItemId>> row_items;  // per example row
+  Similarity sim = Similarity::Equality();
+  size_t covered_rows = 0;
+};
+
+ColumnMatch MatchColumn(const KnowledgeBase& kb, const Relation& examples,
+                        ColumnIndex column, const DiscoveryOptions& options) {
+  ColumnMatch match;
+  match.row_items.resize(examples.num_tuples());
+  for (size_t row = 0; row < examples.num_tuples(); ++row) {
+    for (ItemId item : kb.ItemsWithLabel(examples.tuple(row).value(column))) {
+      match.row_items[row].push_back(item);
+    }
+    if (!match.row_items[row].empty()) ++match.covered_rows;
+  }
+  double coverage = examples.num_tuples() == 0
+                        ? 0
+                        : static_cast<double>(match.covered_rows) /
+                              static_cast<double>(examples.num_tuples());
+  if (coverage >= options.min_support || options.ed_fallback == 0) return match;
+
+  // Exact matching is too weak for this column: rebuild with the ED
+  // fallback over the whole item collection (example sets are small, so one
+  // throwaway index is fine).
+  SignatureIndex index(Similarity::EditDistance(options.ed_fallback));
+  for (uint32_t i = 0; i < kb.num_items(); ++i) {
+    index.Add(i, kb.Label(ItemId(i)));
+  }
+  index.Build();
+  ColumnMatch fuzzy;
+  fuzzy.sim = Similarity::EditDistance(options.ed_fallback);
+  fuzzy.row_items.resize(examples.num_tuples());
+  for (size_t row = 0; row < examples.num_tuples(); ++row) {
+    for (uint32_t raw : index.Matches(examples.tuple(row).value(column))) {
+      fuzzy.row_items[row].push_back(ItemId(raw));
+    }
+    if (!fuzzy.row_items[row].empty()) ++fuzzy.covered_rows;
+  }
+  return fuzzy.covered_rows > match.covered_rows ? fuzzy : match;
+}
+
+/// Most specific class covering >= min_support of the matched rows.
+ClassId ChooseType(const KnowledgeBase& kb, const ColumnMatch& match,
+                   const DiscoveryOptions& options) {
+  if (match.covered_rows == 0) return ClassId::Invalid();
+  std::map<ClassId, size_t> support;
+  for (const std::vector<ItemId>& items : match.row_items) {
+    if (items.empty()) continue;
+    std::set<ClassId> row_classes;
+    for (ItemId item : items) {
+      if (kb.IsLiteral(item)) {
+        row_classes.insert(kb.literal_class());
+        continue;
+      }
+      for (ClassId direct : kb.DirectClasses(item)) {
+        for (ClassId ancestor : kb.AncestorsOf(direct)) row_classes.insert(ancestor);
+      }
+    }
+    for (ClassId cls : row_classes) ++support[cls];
+  }
+  size_t needed = static_cast<size_t>(
+      std::ceil(options.min_support * static_cast<double>(match.covered_rows)));
+  needed = std::max<size_t>(needed, 1);
+
+  ClassId best = ClassId::Invalid();
+  size_t best_instances = 0;
+  size_t best_support = 0;
+  for (const auto& [cls, count] : support) {
+    if (count < needed) continue;
+    size_t instances = kb.InstancesOf(cls).size();
+    // Most specific = fewest instances; break ties toward higher support,
+    // then the smaller id for determinism.
+    bool better = !best.valid() || instances < best_instances ||
+                  (instances == best_instances && count > best_support);
+    if (better) {
+      best = cls;
+      best_instances = instances;
+      best_support = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<DiscoveredGraph> DiscoverMatchingGraph(const KnowledgeBase& kb,
+                                              const Relation& examples,
+                                              std::string_view target_column,
+                                              const DiscoveryOptions& options) {
+  const Schema& schema = examples.schema();
+  if (examples.num_tuples() == 0) {
+    return Status::InvalidArgument("no example tuples to discover from");
+  }
+  if (!target_column.empty() && schema.FindColumn(target_column) == kInvalidColumn) {
+    return Status::InvalidArgument("target column '", target_column,
+                                   "' not in the example schema");
+  }
+
+  // S1/S2 column typing.
+  struct TypedColumn {
+    ColumnIndex column;
+    ClassId type;
+    ColumnMatch match;
+  };
+  std::vector<TypedColumn> typed;
+  for (ColumnIndex c = 0; c < schema.num_columns(); ++c) {
+    ColumnMatch match = MatchColumn(kb, examples, c, options);
+    ClassId type = ChooseType(kb, match, options);
+    if (!type.valid()) continue;
+    // Keep only items consistent with the chosen type; rows that lose all
+    // items no longer support edges.
+    for (std::vector<ItemId>& items : match.row_items) {
+      std::erase_if(items, [&](ItemId x) { return !kb.IsInstanceOf(x, type); });
+    }
+    typed.push_back({c, type, std::move(match)});
+  }
+  if (typed.empty()) {
+    return Status::NotFound("no column could be typed against the KB");
+  }
+
+  DiscoveredGraph result;
+  std::vector<uint32_t> node_of(schema.num_columns(),
+                                static_cast<uint32_t>(-1));
+  for (const TypedColumn& tc : typed) {
+    node_of[tc.column] =
+        result.graph.AddNode({schema.column_name(tc.column),
+                              std::string(kb.ClassName(tc.type)), tc.match.sim});
+  }
+
+  // Edge discovery per ordered column pair.
+  struct ScoredEdge {
+    uint32_t from_node;
+    uint32_t to_node;
+    std::string relation;
+    double support;
+  };
+  std::vector<ScoredEdge> chosen;
+  for (const TypedColumn& a : typed) {
+    for (const TypedColumn& b : typed) {
+      if (a.column == b.column) continue;
+      std::map<std::string, size_t> relation_support;
+      size_t rows_both = 0;
+      for (size_t row = 0; row < examples.num_tuples(); ++row) {
+        const std::vector<ItemId>& items_a = a.match.row_items[row];
+        const std::vector<ItemId>& items_b = b.match.row_items[row];
+        if (items_a.empty() || items_b.empty()) continue;
+        ++rows_both;
+        std::unordered_set<uint32_t> b_set;
+        for (ItemId x : items_b) b_set.insert(x.value());
+        std::set<std::string> row_relations;
+        for (ItemId x : items_a) {
+          for (const KbEdge& edge : kb.OutEdges(x)) {
+            if (b_set.contains(edge.target.value())) {
+              row_relations.insert(std::string(kb.RelationName(edge.relation)));
+            }
+          }
+        }
+        for (const std::string& rel : row_relations) ++relation_support[rel];
+      }
+      if (rows_both == 0) continue;
+      const ScoredEdge* best = nullptr;
+      std::vector<ScoredEdge> qualifying;
+      for (const auto& [rel, count] : relation_support) {
+        double support = static_cast<double>(count) / static_cast<double>(rows_both);
+        if (support + 1e-9 < options.min_support) continue;
+        qualifying.push_back(
+            {node_of[a.column], node_of[b.column], rel, support});
+      }
+      std::sort(qualifying.begin(), qualifying.end(),
+                [](const ScoredEdge& x, const ScoredEdge& y) {
+                  if (x.support != y.support) return x.support > y.support;
+                  return x.relation < y.relation;
+                });
+      if (!qualifying.empty()) {
+        best = &qualifying.front();
+        chosen.push_back(*best);
+      }
+      // Record every qualifying edge that touches the target column.
+      if (!target_column.empty()) {
+        for (const ScoredEdge& e : qualifying) {
+          const std::string& from_col = result.graph.node(e.from_node).column;
+          const std::string& to_col = result.graph.node(e.to_node).column;
+          if (from_col == target_column || to_col == target_column) {
+            result.target_edges.push_back({from_col, to_col, e.relation, e.support});
+          }
+        }
+      }
+    }
+  }
+  for (const ScoredEdge& e : chosen) {
+    RETURN_NOT_OK(result.graph.AddEdge(e.from_node, e.to_node, e.relation));
+  }
+
+  // Optional 2-hop path discovery for pairs with no direct relationship:
+  // col A -rel1-> (mid) -rel2-> col B, the mid entity existentially
+  // quantified (paper §II-C's path extension applied to S1/S2).
+  if (options.discover_paths) {
+    std::set<std::pair<uint32_t, uint32_t>> directly_connected;
+    for (const ScoredEdge& e : chosen) directly_connected.insert({e.from_node, e.to_node});
+
+    for (const TypedColumn& a : typed) {
+      for (const TypedColumn& b : typed) {
+        if (a.column == b.column) continue;
+        if (directly_connected.contains({node_of[a.column], node_of[b.column]})) {
+          continue;  // a direct edge is always preferred
+        }
+        // Per-row support of (rel1, mid class, rel2) triples.
+        std::map<std::tuple<std::string, std::string, std::string>, size_t> support;
+        size_t rows_both = 0;
+        for (size_t row = 0; row < examples.num_tuples(); ++row) {
+          const std::vector<ItemId>& items_a = a.match.row_items[row];
+          const std::vector<ItemId>& items_b = b.match.row_items[row];
+          if (items_a.empty() || items_b.empty()) continue;
+          ++rows_both;
+          std::unordered_set<uint32_t> b_set;
+          for (ItemId y : items_b) b_set.insert(y.value());
+          std::set<std::tuple<std::string, std::string, std::string>> row_paths;
+          for (ItemId x : items_a) {
+            for (const KbEdge& hop1 : kb.OutEdges(x)) {
+              ItemId mid = hop1.target;
+              if (kb.IsLiteral(mid)) continue;
+              for (const KbEdge& hop2 : kb.OutEdges(mid)) {
+                if (!b_set.contains(hop2.target.value())) continue;
+                for (ClassId mid_class : kb.DirectClasses(mid)) {
+                  row_paths.insert({std::string(kb.RelationName(hop1.relation)),
+                                    std::string(kb.ClassName(mid_class)),
+                                    std::string(kb.RelationName(hop2.relation))});
+                }
+              }
+            }
+          }
+          for (const auto& path : row_paths) ++support[path];
+        }
+        if (rows_both == 0) continue;
+        std::vector<PathCandidate> qualifying;
+        for (const auto& [path, count] : support) {
+          double s = static_cast<double>(count) / static_cast<double>(rows_both);
+          if (s + 1e-9 < options.min_support) continue;
+          const auto& [rel1, mid_class, rel2] = path;
+          qualifying.push_back({result.graph.node(node_of[a.column]).column,
+                                result.graph.node(node_of[b.column]).column, rel1,
+                                mid_class, rel2, s});
+        }
+        std::sort(qualifying.begin(), qualifying.end(),
+                  [](const PathCandidate& x, const PathCandidate& y) {
+                    if (x.support != y.support) return x.support > y.support;
+                    return std::tie(x.rel1, x.mid_class, x.rel2) <
+                           std::tie(y.rel1, y.mid_class, y.rel2);
+                  });
+        if (!qualifying.empty()) {
+          const PathCandidate& best = qualifying.front();
+          uint32_t mid = result.graph.AddNode(
+              {"", best.mid_class, Similarity::Equality()});
+          RETURN_NOT_OK(
+              result.graph.AddEdge(node_of[a.column], mid, best.rel1));
+          RETURN_NOT_OK(
+              result.graph.AddEdge(mid, node_of[b.column], best.rel2));
+        }
+        if (!target_column.empty()) {
+          for (const PathCandidate& path : qualifying) {
+            if (path.from_column == target_column ||
+                path.to_column == target_column) {
+              result.target_paths.push_back(path);
+            }
+          }
+        }
+      }
+    }
+    std::sort(result.target_paths.begin(), result.target_paths.end(),
+              [](const PathCandidate& x, const PathCandidate& y) {
+                if (x.support != y.support) return x.support > y.support;
+                return std::tie(x.rel1, x.mid_class, x.rel2) <
+                       std::tie(y.rel1, y.mid_class, y.rel2);
+              });
+  }
+  std::sort(result.target_edges.begin(), result.target_edges.end(),
+            [](const EdgeCandidate& x, const EdgeCandidate& y) {
+              if (x.support != y.support) return x.support > y.support;
+              return std::tie(x.relation, x.from_column, x.to_column) <
+                     std::tie(y.relation, y.from_column, y.to_column);
+            });
+
+  // Restrict to the component containing the target column, if given.
+  if (!target_column.empty()) {
+    uint32_t target_node = result.graph.FindNodeByColumn(target_column);
+    if (target_node == result.graph.nodes().size()) {
+      return Status::NotFound("target column '", target_column,
+                              "' could not be typed against the KB");
+    }
+    // BFS over the undirected view from the target.
+    const auto& nodes = result.graph.nodes();
+    const auto& edges = result.graph.edges();
+    std::vector<char> keep(nodes.size(), 0);
+    std::vector<uint32_t> frontier{target_node};
+    keep[target_node] = 1;
+    while (!frontier.empty()) {
+      uint32_t v = frontier.back();
+      frontier.pop_back();
+      for (const MatchEdge& e : edges) {
+        uint32_t other = static_cast<uint32_t>(nodes.size());
+        if (e.from == v) other = e.to;
+        if (e.to == v) other = e.from;
+        if (other < nodes.size() && !keep[other]) {
+          keep[other] = 1;
+          frontier.push_back(other);
+        }
+      }
+    }
+    SchemaMatchingGraph pruned;
+    std::vector<uint32_t> remap(nodes.size(), static_cast<uint32_t>(-1));
+    for (uint32_t v = 0; v < nodes.size(); ++v) {
+      if (keep[v]) remap[v] = pruned.AddNode(nodes[v]);
+    }
+    for (const MatchEdge& e : edges) {
+      if (keep[e.from] && keep[e.to]) {
+        RETURN_NOT_OK(pruned.AddEdge(remap[e.from], remap[e.to], e.relation));
+      }
+    }
+    result.graph = std::move(pruned);
+  }
+  RETURN_NOT_OK(result.graph.Validate());
+  return result;
+}
+
+Result<std::vector<DetectiveRule>> GenerateRules(const KnowledgeBase& kb,
+                                                 const Relation& positives,
+                                                 const Relation& negatives,
+                                                 std::string_view target_column,
+                                                 const DiscoveryOptions& options) {
+  if (positives.schema() != negatives.schema()) {
+    return Status::InvalidArgument("positive and negative examples differ in schema");
+  }
+  // S1 and S2.
+  auto positive = DiscoverMatchingGraph(kb, positives, target_column, options);
+  if (!positive.ok()) return positive.status().WithContext("S1 (positive examples)");
+  auto negative = DiscoverMatchingGraph(kb, negatives, target_column, options);
+  if (!negative.ok()) return negative.status().WithContext("S2 (negative examples)");
+
+  const SchemaMatchingGraph& gp = positive->graph;
+  uint32_t p_node = gp.FindNodeByColumn(target_column);
+  DETECTIVE_CHECK_LT(p_node, gp.nodes().size());
+  uint32_t n_node_src = negative->graph.FindNodeByColumn(target_column);
+  const MatchNode& negative_target = negative->graph.node(n_node_src);
+
+  // The positive semantics of the target: its incident edges in G+.
+  auto edge_semantics = [&](const EdgeCandidate& cand) {
+    for (const MatchEdge& e : gp.edges()) {
+      if (e.from != p_node && e.to != p_node) continue;
+      const std::string& from_col = gp.node(e.from).column;
+      const std::string& to_col = gp.node(e.to).column;
+      if (from_col == cand.from_column && to_col == cand.to_column &&
+          e.relation == cand.relation) {
+        return true;  // identical to a positive edge: degenerate
+      }
+    }
+    return false;
+  };
+
+  // S3: one candidate DR per distinct negative edge semantics.
+  std::vector<DetectiveRule> rules;
+  std::set<std::string> seen;
+  size_t counter = 0;
+  for (const EdgeCandidate& cand : negative->target_edges) {
+    if (edge_semantics(cand)) continue;
+    std::string signature = cand.from_column + "\x1f" + cand.relation + "\x1f" +
+                            cand.to_column;
+    if (!seen.insert(signature).second) continue;
+
+    // Build the negative graph: G+ evidence (drop the target node) plus the
+    // negative target node linked by this candidate edge.
+    SchemaMatchingGraph gn;
+    std::vector<uint32_t> remap(gp.nodes().size(), static_cast<uint32_t>(-1));
+    for (uint32_t v = 0; v < gp.nodes().size(); ++v) {
+      if (v == p_node) continue;
+      remap[v] = gn.AddNode(gp.node(v));
+    }
+    uint32_t n_node = gn.AddNode(negative_target);
+    for (const MatchEdge& e : gp.edges()) {
+      if (e.from == p_node || e.to == p_node) continue;
+      RETURN_NOT_OK(gn.AddEdge(remap[e.from], remap[e.to], e.relation));
+    }
+    bool target_is_source = cand.from_column == target_column;
+    uint32_t other = gn.FindNodeByColumn(target_is_source ? cand.to_column
+                                                          : cand.from_column);
+    if (other >= gn.nodes().size()) continue;  // endpoint outside the component
+    RETURN_NOT_OK(gn.AddEdge(target_is_source ? n_node : other,
+                             target_is_source ? other : n_node, cand.relation));
+    if (!gn.Connected()) continue;
+
+    std::string name =
+        std::string(target_column) + "_dr" + std::to_string(++counter);
+    auto rule = MergeIntoRule(std::move(name), gp, gn, target_column);
+    if (!rule.ok()) continue;  // e.g. positive side disconnected without n
+    rules.push_back(std::move(*rule));
+  }
+
+  // Negative *paths* (discover_paths only): a candidate whose negative
+  // semantics routes through an existential intermediate, e.g.
+  // Name -memberOf-> (club) -meetsIn-> City. Constructed directly because
+  // the merged graph gains two nodes (n and the existential mid).
+  //
+  // Positive path signatures incident to p, to skip degenerate candidates.
+  std::set<std::string> positive_paths;
+  for (uint32_t m = 0; m < gp.nodes().size(); ++m) {
+    if (!gp.node(m).IsExistential()) continue;
+    for (const MatchEdge& e1 : gp.edges()) {
+      for (const MatchEdge& e2 : gp.edges()) {
+        if (e1.to == m && e2.from == m && e2.to == p_node) {
+          positive_paths.insert(gp.node(e1.from).column + "\x1f" + e1.relation +
+                                "\x1f" + gp.node(m).type + "\x1f" + e2.relation);
+        }
+      }
+    }
+  }
+  for (const PathCandidate& path : negative->target_paths) {
+    bool target_is_source = path.from_column == target_column;
+    const std::string& anchor_column =
+        target_is_source ? path.to_column : path.from_column;
+    if (!target_is_source) {
+      std::string signature = path.from_column + "\x1f" + path.rel1 + "\x1f" +
+                              path.mid_class + "\x1f" + path.rel2;
+      if (positive_paths.contains(signature)) continue;  // degenerate
+    }
+    std::string signature = "path\x1f" + path.from_column + "\x1f" + path.rel1 +
+                            "\x1f" + path.mid_class + "\x1f" + path.rel2 + "\x1f" +
+                            path.to_column;
+    if (!seen.insert(signature).second) continue;
+
+    SchemaMatchingGraph graph = gp;  // positive side stays intact
+    uint32_t anchor = graph.FindNodeByColumn(anchor_column);
+    if (anchor >= graph.nodes().size() || anchor == p_node) continue;
+    uint32_t n_node = graph.AddNode(negative_target);
+    uint32_t mid = graph.AddNode({"", path.mid_class, Similarity::Equality()});
+    Status st = target_is_source
+                    ? graph.AddEdge(n_node, mid, path.rel1)
+                    : graph.AddEdge(anchor, mid, path.rel1);
+    if (!st.ok()) continue;
+    st = target_is_source ? graph.AddEdge(mid, anchor, path.rel2)
+                          : graph.AddEdge(mid, n_node, path.rel2);
+    if (!st.ok()) continue;
+
+    std::string name =
+        std::string(target_column) + "_pathdr" + std::to_string(++counter);
+    DetectiveRule rule(std::move(name), std::move(graph), p_node, n_node);
+    if (!rule.Validate().ok()) continue;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace detective

@@ -1,0 +1,99 @@
+#ifndef DETECTIVE_CORE_RULE_GENERATION_H_
+#define DETECTIVE_CORE_RULE_GENERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rule.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// Knobs for discovering schema-level matching graphs from example tuples
+/// (paper §III-A steps S1/S2; the same discovery doubles as KATARA-style
+/// table-pattern mining, which the paper cites as prior work [7]).
+struct DiscoveryOptions {
+  /// Fraction of (covered) example tuples that must support a column type or
+  /// an edge for it to enter the graph.
+  double min_support = 0.6;
+  /// When exact label matching covers fewer than min_support of a column's
+  /// cells, retry with edit distance <= ed_fallback and record "ED,k" as the
+  /// node's matching operation (0 disables the fallback).
+  uint32_t ed_fallback = 2;
+  /// Also search 2-hop connections through an intermediate KB entity when a
+  /// column pair has no direct relationship: col A -rel1-> (mid) -rel2->
+  /// col B. A discovered path materializes as an existential node plus two
+  /// edges — the paper's "negative path" extension applied to discovery.
+  bool discover_paths = false;
+};
+
+/// One discovered edge with its support; alternatives near the target column
+/// are reported so rule generation can enumerate candidate negative
+/// semantics.
+struct EdgeCandidate {
+  std::string from_column;
+  std::string to_column;
+  std::string relation;
+  double support = 0;
+};
+
+/// A discovered 2-hop path col A -rel1-> (mid: mid_class) -rel2-> col B,
+/// found only when discover_paths is on and no direct edge qualified.
+struct PathCandidate {
+  std::string from_column;
+  std::string to_column;
+  std::string rel1;
+  std::string mid_class;
+  std::string rel2;
+  double support = 0;
+};
+
+/// Result of schema-level matching-graph discovery.
+struct DiscoveredGraph {
+  /// The discovered graph; when a target column was given, restricted to the
+  /// connected component containing it.
+  SchemaMatchingGraph graph;
+  /// All supported edges incident to the target column (the chosen one plus
+  /// runners-up), by descending support.
+  std::vector<EdgeCandidate> target_edges;
+  /// 2-hop paths ending at the target column, by descending support
+  /// (discover_paths only).
+  std::vector<PathCandidate> target_paths;
+};
+
+/// Discovers a schema-level matching graph for `examples` against `kb`
+/// (S1 when examples are correct tuples, S2 when one column is wrong):
+/// each column is typed with the most specific KB class that covers
+/// min_support of its (label-matched) cells; each ordered column pair gets
+/// the best-supported relationship, if any.
+///
+/// `target_column` may be empty (keep the whole graph — the KATARA table
+/// pattern use case). Fails when no column can be typed.
+Result<DiscoveredGraph> DiscoverMatchingGraph(const KnowledgeBase& kb,
+                                              const Relation& examples,
+                                              std::string_view target_column,
+                                              const DiscoveryOptions& options = {});
+
+/// Generates candidate detective rules for `target_column` from positive
+/// examples (all values correct) and negative examples (only the target
+/// column wrong), per §III-A:
+///
+///   S1  discover G+ from the positives;
+///   S2  discover G- from the negatives;
+///   S3  for every supported negative edge on the target column whose
+///       semantics differ from the positive one, merge G+ and the
+///       corresponding variant of G- into one candidate DR.
+///
+/// Candidates are returned by descending negative-edge support; the caller
+/// (the paper's "user") picks the valid ones.
+Result<std::vector<DetectiveRule>> GenerateRules(const KnowledgeBase& kb,
+                                                 const Relation& positives,
+                                                 const Relation& negatives,
+                                                 std::string_view target_column,
+                                                 const DiscoveryOptions& options = {});
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_RULE_GENERATION_H_

@@ -1,0 +1,48 @@
+#ifndef DETECTIVE_CORE_RULE_GRAPH_H_
+#define DETECTIVE_CORE_RULE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rule.h"
+
+namespace detective {
+
+/// Rule dependency graph (paper §IV-B(1)): an edge φ → φ' means φ may write
+/// a column (col(p) of φ) that φ' reads as evidence, so φ should be checked
+/// first. Cycles are condensed into strongly connected components; the
+/// repair order is a topological order of the condensation, stable with
+/// respect to the input rule order within and across components.
+class RuleGraph {
+ public:
+  explicit RuleGraph(const std::vector<DetectiveRule>& rules);
+
+  size_t num_rules() const { return adjacency_.size(); }
+
+  /// Direct successors of rule `r` (rules that consume col(p) of `r`).
+  const std::vector<uint32_t>& Successors(uint32_t rule) const {
+    return adjacency_[rule];
+  }
+
+  /// Rule indexes in the order the fast repairer should check them.
+  const std::vector<uint32_t>& CheckOrder() const { return order_; }
+
+  /// Component id per rule; components are numbered in topological order.
+  const std::vector<uint32_t>& ComponentOf() const { return component_; }
+  size_t num_components() const { return num_components_; }
+
+  /// True iff the dependency graph is acyclic (every SCC is a single rule
+  /// without a self-loop) — when it holds, one pass in CheckOrder suffices.
+  bool IsAcyclic() const { return acyclic_; }
+
+ private:
+  std::vector<std::vector<uint32_t>> adjacency_;
+  std::vector<uint32_t> order_;
+  std::vector<uint32_t> component_;
+  size_t num_components_ = 0;
+  bool acyclic_ = true;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_RULE_GRAPH_H_

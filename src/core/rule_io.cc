@@ -1,0 +1,301 @@
+#include "core/rule_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace detective {
+
+namespace {
+
+/// Splits a DSL line into tokens; a token is either a bare word or a
+/// double-quoted string ("" escapes a quote inside). key="value" stays one
+/// token ('key="value"' -> 'key=value').
+Status TokenizeLine(std::string_view line, size_t line_number,
+                    std::vector<std::string>* tokens) {
+  tokens->clear();
+  std::string current;
+  bool in_quotes = false;
+  bool token_active = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      token_active = true;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      if (token_active) {
+        tokens->push_back(std::move(current));
+        current.clear();
+        token_active = false;
+      }
+    } else if (c == '#') {
+      break;  // comment until end of line
+    } else {
+      current.push_back(c);
+      token_active = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote on line ", line_number);
+  }
+  if (token_active) tokens->push_back(std::move(current));
+  return Status::OK();
+}
+
+/// Parses 'key=value' into the out-param for a known key.
+Status ParseAttribute(const std::string& token, size_t line_number,
+                      std::string* column, std::string* type, std::string* sim) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::ParseError("expected key=value, got '", token, "' on line ",
+                              line_number);
+  }
+  std::string key = ToLower(token.substr(0, eq));
+  std::string value = token.substr(eq + 1);
+  if (key == "col" || key == "column") {
+    *column = value;
+  } else if (key == "type") {
+    *type = value;
+  } else if (key == "sim") {
+    *sim = value;
+  } else {
+    return Status::ParseError("unknown attribute '", key, "' on line ", line_number);
+  }
+  return Status::OK();
+}
+
+struct RuleDraft {
+  std::string name;
+  SchemaMatchingGraph graph;
+  std::unordered_map<std::string, uint32_t> alias_to_node;
+  uint32_t positive = static_cast<uint32_t>(-1);
+  uint32_t negative = static_cast<uint32_t>(-1);
+  struct PendingEdge {
+    std::string from, relation, to;
+    size_t line;
+  };
+  std::vector<PendingEdge> pending_edges;
+  bool active = false;
+};
+
+Status FinishRule(RuleDraft* draft, std::vector<DetectiveRule>* out) {
+  for (const RuleDraft::PendingEdge& edge : draft->pending_edges) {
+    auto from = draft->alias_to_node.find(edge.from);
+    auto to = draft->alias_to_node.find(edge.to);
+    if (from == draft->alias_to_node.end()) {
+      return Status::ParseError("unknown node alias '", edge.from, "' on line ",
+                                edge.line);
+    }
+    if (to == draft->alias_to_node.end()) {
+      return Status::ParseError("unknown node alias '", edge.to, "' on line ",
+                                edge.line);
+    }
+    RETURN_NOT_OK(draft->graph.AddEdge(from->second, to->second, edge.relation));
+  }
+  if (draft->positive == static_cast<uint32_t>(-1) ||
+      draft->negative == static_cast<uint32_t>(-1)) {
+    return Status::ParseError("rule '", draft->name, "' needs one POS and one NEG node");
+  }
+  DetectiveRule rule(draft->name, std::move(draft->graph), draft->positive,
+                     draft->negative);
+  RETURN_NOT_OK(rule.Validate());
+  out->push_back(std::move(rule));
+  *draft = RuleDraft();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<DetectiveRule>> ParseRules(std::string_view text) {
+  std::vector<DetectiveRule> rules;
+  RuleDraft draft;
+  std::vector<std::string> tokens;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = end == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_number;
+    Status st = TokenizeLine(line, line_number, &tokens);
+    if (!st.ok()) return st;
+    if (!tokens.empty()) {
+      std::string keyword = ToUpper(tokens[0]);
+      if (keyword == "RULE") {
+        if (draft.active) {
+          return Status::ParseError("RULE before END on line ", line_number);
+        }
+        if (tokens.size() != 2) {
+          return Status::ParseError("RULE needs a name on line ", line_number);
+        }
+        draft.active = true;
+        draft.name = tokens[1];
+      } else if (keyword == "EXIST") {
+        // Existential node: EXIST <alias> type="..." — no column, no sim.
+        if (!draft.active) {
+          return Status::ParseError("EXIST outside RULE on line ", line_number);
+        }
+        if (tokens.size() < 2) {
+          return Status::ParseError("EXIST needs an alias on line ", line_number);
+        }
+        const std::string& alias = tokens[1];
+        if (draft.alias_to_node.contains(alias)) {
+          return Status::ParseError("duplicate node alias '", alias, "' on line ",
+                                    line_number);
+        }
+        std::string column;
+        std::string type;
+        std::string sim_text = "=";
+        for (size_t i = 2; i < tokens.size(); ++i) {
+          st = ParseAttribute(tokens[i], line_number, &column, &type, &sim_text);
+          if (!st.ok()) return st;
+        }
+        if (!column.empty()) {
+          return Status::ParseError("EXIST nodes cannot carry col= on line ",
+                                    line_number);
+        }
+        if (type.empty()) {
+          return Status::ParseError("EXIST needs type= on line ", line_number);
+        }
+        draft.alias_to_node.emplace(
+            alias, draft.graph.AddNode({"", type, Similarity::Equality()}));
+      } else if (keyword == "NODE" || keyword == "POS" || keyword == "NEG") {
+        if (!draft.active) {
+          return Status::ParseError(keyword, " outside RULE on line ", line_number);
+        }
+        if (tokens.size() < 2) {
+          return Status::ParseError(keyword, " needs an alias on line ", line_number);
+        }
+        const std::string& alias = tokens[1];
+        if (draft.alias_to_node.contains(alias)) {
+          return Status::ParseError("duplicate node alias '", alias, "' on line ",
+                                    line_number);
+        }
+        std::string column;
+        std::string type;
+        std::string sim_text = "=";
+        for (size_t i = 2; i < tokens.size(); ++i) {
+          st = ParseAttribute(tokens[i], line_number, &column, &type, &sim_text);
+          if (!st.ok()) return st;
+        }
+        auto sim = Similarity::Parse(sim_text);
+        if (!sim.ok()) return sim.status().WithContext("line " + std::to_string(line_number));
+        uint32_t node = draft.graph.AddNode({column, type, *sim});
+        draft.alias_to_node.emplace(alias, node);
+        if (keyword == "POS") {
+          if (draft.positive != static_cast<uint32_t>(-1)) {
+            return Status::ParseError("second POS node on line ", line_number);
+          }
+          draft.positive = node;
+        } else if (keyword == "NEG") {
+          if (draft.negative != static_cast<uint32_t>(-1)) {
+            return Status::ParseError("second NEG node on line ", line_number);
+          }
+          draft.negative = node;
+        }
+      } else if (keyword == "EDGE") {
+        if (!draft.active) {
+          return Status::ParseError("EDGE outside RULE on line ", line_number);
+        }
+        if (tokens.size() != 4) {
+          return Status::ParseError("EDGE needs <from> <relation> <to> on line ",
+                                    line_number);
+        }
+        draft.pending_edges.push_back({tokens[1], tokens[2], tokens[3], line_number});
+      } else if (keyword == "END") {
+        if (!draft.active) {
+          return Status::ParseError("END outside RULE on line ", line_number);
+        }
+        st = FinishRule(&draft, &rules);
+        if (!st.ok()) return st;
+      } else {
+        return Status::ParseError("unknown keyword '", tokens[0], "' on line ",
+                                  line_number);
+      }
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  if (draft.active) {
+    return Status::ParseError("rule '", draft.name, "' missing END");
+  }
+  return rules;
+}
+
+Result<std::vector<DetectiveRule>> ParseRulesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open ", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for ", path);
+  return ParseRules(buffer.str());
+}
+
+namespace {
+
+std::string Quote(std::string_view value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string FormatRules(const std::vector<DetectiveRule>& rules) {
+  std::ostringstream out;
+  for (const DetectiveRule& rule : rules) {
+    out << "RULE " << rule.name() << "\n";
+    const auto& nodes = rule.graph().nodes();
+    for (uint32_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].IsExistential()) {
+        out << "EXIST v" << i << " type=" << Quote(nodes[i].type) << "\n";
+        continue;
+      }
+      const char* keyword = i == rule.positive_node()
+                                ? "POS "
+                                : (i == rule.negative_node() ? "NEG " : "NODE");
+      out << keyword << " v" << i << " col=" << Quote(nodes[i].column)
+          << " type=" << Quote(nodes[i].type)
+          << " sim=" << Quote(nodes[i].sim.ToString()) << "\n";
+    }
+    for (const MatchEdge& edge : rule.graph().edges()) {
+      out << "EDGE v" << edge.from << " " << Quote(edge.relation) << " v" << edge.to
+          << "\n";
+    }
+    out << "END\n\n";
+  }
+  return out.str();
+}
+
+Status WriteRulesFile(const std::string& path,
+                      const std::vector<DetectiveRule>& rules) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open ", path, " for writing");
+  out << FormatRules(rules);
+  out.flush();
+  if (!out) return Status::IOError("write failed for ", path);
+  return Status::OK();
+}
+
+}  // namespace detective

@@ -1,0 +1,39 @@
+#ifndef DETECTIVE_CORE_RULE_IO_H_
+#define DETECTIVE_CORE_RULE_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/rule.h"
+
+namespace detective {
+
+/// Text DSL for detective rules, so rule sets are data files rather than
+/// code. Example (the paper's rule φ2 of Fig. 4):
+///
+///   RULE phi2
+///   NODE w1 col="Name" type="Nobel laureates in Chemistry" sim="="
+///   NODE w2 col="Institution" type="organization" sim="ED,2"
+///   POS  p2 col="City" type="city" sim="="
+///   NEG  n2 col="City" type="city" sim="="
+///   EDGE w1 worksAt w2
+///   EDGE w2 locatedIn p2
+///   EDGE w1 wasBornIn n2
+///   END
+///
+/// Grammar notes: '#' starts a comment; attribute values and edge relations
+/// may be double-quoted (required when they contain spaces); node aliases
+/// (w1, p2, ...) are file-local names; exactly one POS and one NEG node per
+/// rule, on the same column.
+Result<std::vector<DetectiveRule>> ParseRules(std::string_view text);
+Result<std::vector<DetectiveRule>> ParseRulesFile(const std::string& path);
+
+/// Inverse of ParseRules (round-trips modulo alias names and whitespace).
+std::string FormatRules(const std::vector<DetectiveRule>& rules);
+Status WriteRulesFile(const std::string& path, const std::vector<DetectiveRule>& rules);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_RULE_IO_H_

@@ -1,0 +1,38 @@
+#ifndef DETECTIVE_DATAGEN_DATASET_H_
+#define DETECTIVE_DATAGEN_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/fd.h"
+#include "core/matching_graph.h"
+#include "core/rule.h"
+#include "datagen/error_injector.h"
+#include "datagen/world.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// Everything one experiment needs about a generated dataset: the clean
+/// relation (ground truth), the world model it was projected from, the
+/// curated detective rules (the paper's expert-verified rules), the inputs
+/// for every baseline, and the per-cell semantic-error alternatives for the
+/// injector.
+struct Dataset {
+  std::string name;
+  Relation clean;
+  World world;
+  SemanticAlternatives alternatives;
+  std::vector<DetectiveRule> rules;
+  std::vector<FunctionalDependency> fds;  // for Llunatic / constant CFDs
+  SchemaMatchingGraph katara_pattern;     // holistic table pattern for KATARA
+  ColumnIndex key_column = 0;
+  /// World entities backing the key column, pinned into every KB projection
+  /// so evaluation eligibility (key present in KB) matches the paper's
+  /// methodology.
+  std::vector<World::EntityIndex> key_entities;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_DATAGEN_DATASET_H_

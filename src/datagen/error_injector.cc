@@ -1,0 +1,93 @@
+#include "datagen/error_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace detective {
+
+std::string MakeTypo(const std::string& value, Rng* rng) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string result = value;
+  size_t edits = 1 + static_cast<size_t>(rng->NextUint64(2));
+  for (size_t i = 0; i < edits; ++i) {
+    if (result.empty()) {
+      result.push_back(kAlphabet[rng->NextIndex(26)]);
+      continue;
+    }
+    switch (rng->NextUint64(3)) {
+      case 0: {  // substitute
+        size_t pos = rng->NextIndex(result.size());
+        char replacement = kAlphabet[rng->NextIndex(26)];
+        if (result[pos] == replacement) replacement = replacement == 'z' ? 'a' : replacement + 1;
+        result[pos] = replacement;
+        break;
+      }
+      case 1: {  // delete
+        result.erase(rng->NextIndex(result.size()), 1);
+        break;
+      }
+      default: {  // insert
+        size_t pos = static_cast<size_t>(rng->NextUint64(result.size() + 1));
+        result.insert(result.begin() + static_cast<ptrdiff_t>(pos),
+                      kAlphabet[rng->NextIndex(26)]);
+        break;
+      }
+    }
+  }
+  if (result == value) result.push_back('x');  // edits cancelled out
+  return result;
+}
+
+std::vector<ErrorRecord> InjectErrors(Relation* relation, const ErrorSpec& spec,
+                                      const SemanticAlternatives& alternatives) {
+  Rng rng(spec.seed);
+  const size_t num_cells = relation->num_cells();
+  size_t num_errors = static_cast<size_t>(
+      std::llround(spec.error_rate * static_cast<double>(num_cells)));
+  num_errors = std::min(num_errors, num_cells);
+
+  const size_t num_columns = relation->schema().num_columns();
+  std::vector<size_t> cells = rng.SampleWithoutReplacement(num_cells, num_errors);
+  std::sort(cells.begin(), cells.end());
+
+  std::vector<ErrorRecord> errors;
+  errors.reserve(num_errors);
+  for (size_t cell : cells) {
+    size_t row = cell / num_columns;
+    ColumnIndex column = static_cast<ColumnIndex>(cell % num_columns);
+    Tuple& tuple = relation->mutable_tuple(row);
+    std::string clean = tuple.value(column);
+
+    bool typo = rng.NextBernoulli(spec.typo_fraction);
+    std::string dirty;
+    ErrorType type;
+    const std::vector<std::string>* options = nullptr;
+    if (!typo && row < alternatives.size() && column < alternatives[row].size() &&
+        !alternatives[row][column].empty()) {
+      options = &alternatives[row][column];
+    }
+    if (options != nullptr) {
+      dirty = (*options)[rng.NextIndex(options->size())];
+      type = ErrorType::kSemantic;
+      if (dirty == clean) {
+        dirty = MakeTypo(clean, &rng);  // degenerate alternative; fall back
+        type = ErrorType::kTypo;
+      }
+    } else {
+      dirty = MakeTypo(clean, &rng);
+      type = ErrorType::kTypo;
+    }
+    tuple.SetValue(column, dirty);
+    errors.push_back({row, column, std::move(clean), std::move(dirty), type});
+  }
+  return errors;
+}
+
+std::vector<ErrorRecord> InjectErrors(Relation* relation, const ErrorSpec& spec) {
+  return InjectErrors(relation, spec, SemanticAlternatives{});
+}
+
+}  // namespace detective

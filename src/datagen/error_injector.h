@@ -1,0 +1,58 @@
+#ifndef DETECTIVE_DATAGEN_ERROR_INJECTOR_H_
+#define DETECTIVE_DATAGEN_ERROR_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// The two noise types of the paper's experiments (§V-A):
+///   "(i) typos; (ii) semantic errors: the value is replaced with a
+///    different one from a semantically related attribute."
+enum class ErrorType : uint8_t { kTypo, kSemantic };
+
+/// Record of one injected error — the evaluation's ground truth.
+struct ErrorRecord {
+  size_t row;
+  ColumnIndex column;
+  std::string clean_value;
+  std::string dirty_value;
+  ErrorType type;
+};
+
+struct ErrorSpec {
+  /// Fraction of data cells to dirty (the paper's e%).
+  double error_rate = 0.10;
+  /// Fraction of errors that are typos; the rest are semantic errors
+  /// (paper Fig. 7 sweeps this from 0% to 100%).
+  double typo_fraction = 0.5;
+  uint64_t seed = 99;
+};
+
+/// Per-cell semantic alternatives: alternatives[row][column] lists values
+/// that are wrong but semantically plausible for that cell (e.g. the birth
+/// city for a work-city column). Dataset generators produce this alongside
+/// the clean relation. Cells without alternatives fall back to a typo.
+using SemanticAlternatives = std::vector<std::vector<std::vector<std::string>>>;
+
+/// Applies 1–2 random character edits (insert/delete/substitute) that are
+/// guaranteed to change the string. Exposed for tests and ad-hoc noise.
+std::string MakeTypo(const std::string& value, Rng* rng);
+
+/// Dirties `relation` in place: picks round(error_rate * num_cells) distinct
+/// cells uniformly at random, then flips a typo_fraction-weighted coin per
+/// cell for the error type. Returns the injected errors (sorted by row,
+/// column). Deterministic in ErrorSpec::seed.
+std::vector<ErrorRecord> InjectErrors(Relation* relation, const ErrorSpec& spec,
+                                      const SemanticAlternatives& alternatives);
+
+/// Convenience overload without semantic alternatives (typos only).
+std::vector<ErrorRecord> InjectErrors(Relation* relation, const ErrorSpec& spec);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_DATAGEN_ERROR_INJECTOR_H_

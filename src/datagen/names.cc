@@ -1,0 +1,79 @@
+#include "datagen/names.h"
+
+#include <array>
+#include <cctype>
+
+namespace detective {
+
+namespace {
+
+constexpr std::array<const char*, 24> kSyllables = {
+    "ba", "ke", "li", "mo", "ran", "sel", "ta", "vi", "wen", "zor", "dra", "fel",
+    "gos", "hul", "jin", "kas", "lum", "mer", "nor", "pel", "quin", "rud", "sin",
+    "tor"};
+
+}  // namespace
+
+std::string NameGenerator::Word(size_t min_syllables, size_t max_syllables) {
+  size_t count = min_syllables +
+                 static_cast<size_t>(rng_->NextUint64(max_syllables - min_syllables + 1));
+  std::string word;
+  for (size_t i = 0; i < count; ++i) {
+    word += kSyllables[rng_->NextIndex(kSyllables.size())];
+  }
+  return word;
+}
+
+std::string NameGenerator::Capitalized(size_t min_syllables, size_t max_syllables) {
+  std::string word = Word(min_syllables, max_syllables);
+  word[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+  return word;
+}
+
+std::string NameGenerator::PersonName() {
+  return Capitalized(2, 3) + " " + Capitalized(2, 4);
+}
+
+std::string NameGenerator::PlaceName() { return Capitalized(2, 4); }
+
+std::string NameGenerator::InstitutionName(const std::string& city) {
+  switch (rng_->NextUint64(4)) {
+    case 0:
+      return "University of " + city;
+    case 1:
+      return city + " Institute of Technology";
+    case 2:
+      return city + " State University";
+    default:
+      return Capitalized(2, 3) + " College of " + city;
+  }
+}
+
+std::string NameGenerator::AwardName(const std::string& field) {
+  switch (rng_->NextUint64(3)) {
+    case 0:
+      return Capitalized(2, 3) + " Prize in " + field;
+    case 1:
+      return Capitalized(2, 3) + " Medal of " + field;
+    default:
+      return Capitalized(2, 3) + " Award for " + field;
+  }
+}
+
+std::string NameGenerator::DateString(int year_lo, int year_hi) {
+  int year = static_cast<int>(rng_->NextInt64(year_lo, year_hi));
+  int month = static_cast<int>(rng_->NextInt64(1, 12));
+  int day = static_cast<int>(rng_->NextInt64(1, 28));
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", year, month, day);
+  return buffer;
+}
+
+std::string NameGenerator::ZipCode() {
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "%05llu",
+                static_cast<unsigned long long>(rng_->NextUint64(100000)));
+  return buffer;
+}
+
+}  // namespace detective

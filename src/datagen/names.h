@@ -1,0 +1,44 @@
+#ifndef DETECTIVE_DATAGEN_NAMES_H_
+#define DETECTIVE_DATAGEN_NAMES_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace detective {
+
+/// Deterministic synthetic label generators. Labels are pronounceable
+/// letter strings (syllable-concatenated) so that edit-distance matching
+/// and typo injection behave like they do on real entity names.
+class NameGenerator {
+ public:
+  explicit NameGenerator(Rng* rng) : rng_(rng) {}
+
+  /// "Baro Keslin" — capitalized given + family name.
+  std::string PersonName();
+
+  /// "Sandoria", "Velgrad" — one capitalized word.
+  std::string PlaceName();
+
+  /// "University of Sandoria" / "Velgrad Institute of Technology".
+  std::string InstitutionName(const std::string& city);
+
+  /// "Kesl Prize in Chemistry" and similar award names.
+  std::string AwardName(const std::string& field);
+
+  /// ISO-ish date string "1937-12-31" within [year_lo, year_hi].
+  std::string DateString(int year_lo, int year_hi);
+
+  /// Zero-padded 5-digit code, e.g. "04712".
+  std::string ZipCode();
+
+ private:
+  std::string Word(size_t min_syllables, size_t max_syllables);
+  std::string Capitalized(size_t min_syllables, size_t max_syllables);
+
+  Rng* rng_;  // not owned
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_DATAGEN_NAMES_H_

@@ -1,0 +1,262 @@
+#include "datagen/nobel_gen.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/names.h"
+
+namespace detective {
+
+namespace {
+
+/// Convenience rule assembly: nodes are (column, type, sim) with one POS and
+/// one NEG, edges given by node index.
+struct RuleSpec {
+  std::string name;
+  std::vector<MatchNode> nodes;
+  uint32_t positive;
+  uint32_t negative;
+  std::vector<MatchEdge> edges;
+};
+
+DetectiveRule BuildRule(RuleSpec spec) {
+  SchemaMatchingGraph graph(std::move(spec.nodes), std::move(spec.edges));
+  DetectiveRule rule(std::move(spec.name), std::move(graph), spec.positive,
+                     spec.negative);
+  rule.Validate().Abort("BuildRule");
+  return rule;
+}
+
+}  // namespace
+
+Dataset GenerateNobel(const NobelOptions& options) {
+  Rng rng(options.seed);
+  NameGenerator names(&rng);
+  Dataset dataset;
+  dataset.name = "Nobel";
+  World& world = dataset.world;
+
+  // ---- Taxonomy (the rich layers only materialize in Yago-style KBs) ----
+  world.AddSubclass("laureate", "person");
+  world.AddSubclass("chemistry award", "award");
+  world.AddSubclass("other award", "award");
+  world.AddSubclass("city", "populated place");
+  world.AddSubclass("country", "populated place");
+  world.AddSubclass("organization", "legal entity");
+
+  std::unordered_set<std::string> used_labels;
+  auto fresh = [&](auto&& generate) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string label = generate();
+      if (used_labels.insert(label).second) return label;
+    }
+    // Fall back to suffixing; uniqueness matters more than aesthetics.
+    std::string label = generate() + " " + std::to_string(used_labels.size());
+    used_labels.insert(label);
+    return label;
+  };
+
+  // ---- Geography ----
+  std::vector<World::EntityIndex> countries;
+  for (size_t i = 0; i < options.num_countries; ++i) {
+    countries.push_back(world.AddEntity(fresh([&] { return names.PlaceName(); }),
+                                        "country"));
+  }
+  struct CityInfo {
+    World::EntityIndex entity;
+    size_t country;
+  };
+  std::vector<CityInfo> cities;
+  for (size_t i = 0; i < options.num_cities; ++i) {
+    size_t country = rng.NextIndex(countries.size());
+    World::EntityIndex city =
+        world.AddEntity(fresh([&] { return names.PlaceName(); }), "city");
+    world.AddFact(city, "locatedIn", countries[country]);
+    cities.push_back({city, country});
+  }
+
+  // ---- Institutions ----
+  struct InstitutionInfo {
+    World::EntityIndex entity;
+    size_t city;
+  };
+  std::vector<InstitutionInfo> institutions;
+  for (size_t i = 0; i < options.num_institutions; ++i) {
+    size_t city = rng.NextIndex(cities.size());
+    World::EntityIndex inst = world.AddEntity(
+        fresh([&] { return names.InstitutionName(world.label(cities[city].entity)); }),
+        "organization");
+    world.AddFact(inst, "locatedIn", cities[city].entity);
+    institutions.push_back({inst, city});
+  }
+
+  // ---- Prizes ----
+  World::EntityIndex nobel_prize =
+      world.AddEntity("Nobel Prize in Chemistry", "chemistry award");
+  std::vector<World::EntityIndex> other_awards;
+  for (size_t i = 0; i < options.num_other_awards; ++i) {
+    other_awards.push_back(world.AddEntity(
+        fresh([&] { return names.AwardName("Science"); }), "other award"));
+  }
+
+  // ---- Laureates and the relation ----
+  dataset.clean = Relation(
+      Schema({"Name", "DOB", "Country", "Prize", "Institution", "City"}));
+  dataset.key_column = 0;
+
+  for (size_t i = 0; i < options.num_laureates; ++i) {
+    std::string person_name = fresh([&] { return names.PersonName(); });
+    World::EntityIndex person = world.AddEntity(person_name, "laureate");
+    dataset.key_entities.push_back(person);
+
+    // Work institution determines the work city; citizenship follows the
+    // work city's country so that the country rule's two positive edges
+    // (isCitizenOf + City locatedIn) agree.
+    size_t inst = rng.NextIndex(institutions.size());
+    size_t work_city = institutions[inst].city;
+    size_t citizenship = cities[work_city].country;
+
+    // Birth city: a different city, preferably in a different country, so
+    // semantic errors on City/Country are detectably wrong.
+    size_t birth_city = rng.NextIndex(cities.size());
+    for (int attempt = 0;
+         attempt < 16 && (birth_city == work_city ||
+                          cities[birth_city].country == citizenship);
+         ++attempt) {
+      birth_city = rng.NextIndex(cities.size());
+    }
+    size_t birth_country = cities[birth_city].country;
+
+    // Alma mater distinct from the work institution.
+    size_t alma = rng.NextIndex(institutions.size());
+    if (alma == inst) alma = (alma + 1) % institutions.size();
+
+    std::string dob = names.DateString(1900, 1980);
+    std::string dod = names.DateString(1981, 2015);
+    World::EntityIndex other_award = other_awards[rng.NextIndex(other_awards.size())];
+
+    world.AddFact(person, "worksAt", institutions[inst].entity);
+    world.AddFact(person, "graduatedFrom", institutions[alma].entity);
+    world.AddFact(person, "wasBornIn", cities[birth_city].entity);
+    world.AddFact(person, "isCitizenOf", countries[citizenship]);
+    world.AddFact(person, "bornInCountry", countries[birth_country]);
+    world.AddFact(person, "wonPrize", nobel_prize);
+    world.AddFact(person, "wonPrize", other_award);
+    world.AddLiteralFact(person, "bornOnDate", dob);
+    world.AddLiteralFact(person, "diedOnDate", dod);
+
+    dataset.clean
+        .Append({person_name, dob, world.label(countries[citizenship]),
+                 "Nobel Prize in Chemistry", world.label(institutions[inst].entity),
+                 world.label(cities[work_city].entity)})
+        .Abort("GenerateNobel");
+
+    // Semantic alternatives per column, aligned with the rules' negative
+    // semantics. Name has none (typos only).
+    dataset.alternatives.push_back({
+        /*Name*/ {},
+        /*DOB*/ {dod},
+        /*Country*/ {world.label(countries[birth_country])},
+        /*Prize*/ {world.label(other_award)},
+        /*Institution*/ {world.label(institutions[alma].entity)},
+        /*City*/ {world.label(cities[birth_city].entity)},
+    });
+  }
+
+  // ---- Detective rules (mirroring the paper's Fig. 4) ----
+  const Similarity eq = Similarity::Equality();
+  const Similarity ed2 = Similarity::EditDistance(2);
+
+  // phi1-style: Institution via worksAt (+) vs graduatedFrom (-).
+  dataset.rules.push_back(BuildRule({
+      .name = "nobel_institution",
+      .nodes = {{"Name", "laureate", eq},
+                {"DOB", "literal", eq},
+                {"Institution", "organization", ed2},   // p
+                {"Institution", "organization", ed2}},  // n
+      .positive = 2,
+      .negative = 3,
+      .edges = {{0, 1, "bornOnDate"}, {0, 2, "worksAt"}, {0, 3, "graduatedFrom"}},
+  }));
+
+  // phi2-style: City via worksAt.locatedIn (+) vs wasBornIn (-).
+  dataset.rules.push_back(BuildRule({
+      .name = "nobel_city",
+      .nodes = {{"Name", "laureate", eq},
+                {"Institution", "organization", ed2},
+                {"City", "city", ed2},   // p
+                {"City", "city", ed2}},  // n
+      .positive = 2,
+      .negative = 3,
+      .edges = {{0, 1, "worksAt"}, {1, 2, "locatedIn"}, {0, 3, "wasBornIn"}},
+  }));
+
+  // phi3-style: Country via isCitizenOf + City.locatedIn (+) vs
+  // bornInCountry (-); evidence Name, Institution, City.
+  dataset.rules.push_back(BuildRule({
+      .name = "nobel_country",
+      .nodes = {{"Name", "laureate", eq},
+                {"Institution", "organization", ed2},
+                {"City", "city", ed2},
+                {"Country", "country", ed2},   // p
+                {"Country", "country", ed2}},  // n
+      .positive = 3,
+      .negative = 4,
+      .edges = {{0, 1, "worksAt"},
+                {1, 2, "locatedIn"},
+                {2, 3, "locatedIn"},
+                {0, 3, "isCitizenOf"},
+                {0, 4, "bornInCountry"}},
+  }));
+
+  // phi4-style: Prize via wonPrize into disjoint award classes.
+  dataset.rules.push_back(BuildRule({
+      .name = "nobel_prize",
+      .nodes = {{"Name", "laureate", eq},
+                {"Prize", "chemistry award", ed2},  // p
+                {"Prize", "other award", ed2}},     // n
+      .positive = 1,
+      .negative = 2,
+      .edges = {{0, 1, "wonPrize"}, {0, 2, "wonPrize"}},
+  }));
+
+  // DOB via bornOnDate (+) vs diedOnDate (-).
+  dataset.rules.push_back(BuildRule({
+      .name = "nobel_dob",
+      .nodes = {{"Name", "laureate", eq},
+                {"DOB", "literal", ed2},   // p
+                {"DOB", "literal", ed2}},  // n
+      .positive = 1,
+      .negative = 2,
+      .edges = {{0, 1, "bornOnDate"}, {0, 2, "diedOnDate"}},
+  }));
+
+  // ---- KATARA table pattern: the holistic positive-semantics graph ----
+  {
+    SchemaMatchingGraph pattern;
+    uint32_t name = pattern.AddNode({"Name", "laureate", eq});
+    uint32_t dob = pattern.AddNode({"DOB", "literal", eq});
+    uint32_t country = pattern.AddNode({"Country", "country", eq});
+    uint32_t prize = pattern.AddNode({"Prize", "chemistry award", eq});
+    // KATARA "does not support fuzzy matching" (paper Exp-1), so its
+    // pattern uses equality everywhere.
+    uint32_t inst = pattern.AddNode({"Institution", "organization", eq});
+    uint32_t city = pattern.AddNode({"City", "city", eq});
+    pattern.AddEdge(name, dob, "bornOnDate").Abort("pattern");
+    pattern.AddEdge(name, country, "isCitizenOf").Abort("pattern");
+    pattern.AddEdge(name, prize, "wonPrize").Abort("pattern");
+    pattern.AddEdge(name, inst, "worksAt").Abort("pattern");
+    pattern.AddEdge(inst, city, "locatedIn").Abort("pattern");
+    dataset.katara_pattern = std::move(pattern);
+  }
+
+  // ---- FDs for the IC baselines ----
+  dataset.fds = {
+      {{"Institution"}, "City"},
+      {{"City"}, "Country"},
+  };
+  return dataset;
+}
+
+}  // namespace detective

@@ -1,0 +1,40 @@
+#ifndef DETECTIVE_DATAGEN_NOBEL_GEN_H_
+#define DETECTIVE_DATAGEN_NOBEL_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace detective {
+
+/// Options for the synthetic Nobel-laureates dataset (paper §V-A dataset
+/// (2): 1069 tuples about Nobel laureates joined from Wikipedia).
+struct NobelOptions {
+  size_t num_laureates = 1069;
+  size_t num_countries = 40;
+  size_t num_cities = 200;
+  size_t num_institutions = 120;
+  size_t num_other_awards = 30;
+  uint64_t seed = 7;
+};
+
+/// Generates the Nobel dataset: schema
+///   Nobel(Name, DOB, Country, Prize, Institution, City)
+/// mirroring paper Table I, with the ground-truth world graph of Fig. 1
+/// (worksAt, locatedIn, isCitizenOf, wasBornIn, bornOnDate, wonPrize, ...)
+/// and five curated detective rules shaped like the paper's Fig. 4:
+///
+///   nobel_institution : worksAt (+) vs graduatedFrom (-), evid {Name, DOB}
+///   nobel_city        : worksAt.locatedIn (+) vs wasBornIn (-)
+///   nobel_country     : isCitizenOf & City.locatedIn (+) vs bornInCountry (-)
+///   nobel_prize       : wonPrize:chemistry award (+) vs wonPrize:other (-)
+///   nobel_dob         : bornOnDate (+) vs diedOnDate (-)
+///
+/// The semantic-error alternatives line up with the rules' negative
+/// semantics (birth city for City, alma mater for Institution, ...), which
+/// is exactly the error model the paper's injector uses.
+Dataset GenerateNobel(const NobelOptions& options = {});
+
+}  // namespace detective
+
+#endif  // DETECTIVE_DATAGEN_NOBEL_GEN_H_

@@ -1,0 +1,230 @@
+#include "datagen/uis_gen.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/names.h"
+
+namespace detective {
+
+namespace {
+
+struct RuleSpec {
+  std::string name;
+  std::vector<MatchNode> nodes;
+  uint32_t positive;
+  uint32_t negative;
+  std::vector<MatchEdge> edges;
+};
+
+DetectiveRule BuildRule(RuleSpec spec) {
+  SchemaMatchingGraph graph(std::move(spec.nodes), std::move(spec.edges));
+  DetectiveRule rule(std::move(spec.name), std::move(graph), spec.positive,
+                     spec.negative);
+  rule.Validate().Abort("BuildRule");
+  return rule;
+}
+
+}  // namespace
+
+Dataset GenerateUis(const UisOptions& options) {
+  Rng rng(options.seed);
+  NameGenerator names(&rng);
+  Dataset dataset;
+  dataset.name = "UIS";
+  World& world = dataset.world;
+
+  world.AddSubclass("student", "person");
+  world.AddSubclass("university", "organization");
+  world.AddSubclass("city", "populated place");
+  world.AddSubclass("state", "populated place");
+  world.AddSubclass("zipcode", "identifier");
+
+  std::unordered_set<std::string> used_labels;
+  auto fresh = [&](auto&& generate) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      std::string label = generate();
+      if (used_labels.insert(label).second) return label;
+    }
+    std::string label = generate() + " " + std::to_string(used_labels.size());
+    used_labels.insert(label);
+    return label;
+  };
+
+  // ---- States, cities (with current + old zip), universities ----
+  std::vector<World::EntityIndex> states;
+  for (size_t i = 0; i < options.num_states; ++i) {
+    states.push_back(world.AddEntity(fresh([&] { return names.PlaceName(); }),
+                                     "state"));
+  }
+  struct CityInfo {
+    World::EntityIndex entity;
+    World::EntityIndex zip;
+    std::string zip_label;
+    std::string old_zip_label;
+    size_t state;
+  };
+  std::vector<CityInfo> cities;
+  for (size_t i = 0; i < options.num_cities; ++i) {
+    size_t state = rng.NextIndex(states.size());
+    World::EntityIndex city =
+        world.AddEntity(fresh([&] { return names.PlaceName(); }), "city");
+    std::string zip_label = fresh([&] { return names.ZipCode(); });
+    std::string old_zip_label = fresh([&] { return names.ZipCode(); });
+    World::EntityIndex zip = world.AddEntity(zip_label, "zipcode");
+    World::EntityIndex old_zip = world.AddEntity(old_zip_label, "zipcode");
+    world.AddFact(city, "locatedIn", states[state]);
+    world.AddFact(city, "hasZip", zip);
+    world.AddFact(city, "oldZip", old_zip);
+    world.AddFact(zip, "zipInState", states[state]);
+    cities.push_back({city, zip, zip_label, old_zip_label, state});
+  }
+  struct UniversityInfo {
+    World::EntityIndex entity;
+    size_t city;
+  };
+  std::vector<UniversityInfo> universities;
+  for (size_t i = 0; i < options.num_universities; ++i) {
+    size_t city = rng.NextIndex(cities.size());
+    World::EntityIndex univ = world.AddEntity(
+        fresh([&] { return names.InstitutionName(world.label(cities[city].entity)); }),
+        "university");
+    world.AddFact(univ, "locatedIn", cities[city].entity);
+    universities.push_back({univ, city});
+  }
+
+  // ---- Students and the relation ----
+  dataset.clean = Relation(Schema({"Name", "University", "City", "State", "Zip"}));
+  dataset.key_column = 0;
+
+  for (size_t i = 0; i < options.num_tuples; ++i) {
+    std::string person_name = fresh([&] { return names.PersonName(); });
+    World::EntityIndex person = world.AddEntity(person_name, "student");
+    dataset.key_entities.push_back(person);
+
+    size_t univ = rng.NextIndex(universities.size());
+    size_t city = universities[univ].city;
+    size_t state = cities[city].state;
+
+    size_t applied = rng.NextIndex(universities.size());
+    if (applied == univ) applied = (applied + 1) % universities.size();
+
+    size_t birth_city = rng.NextIndex(cities.size());
+    for (int attempt = 0;
+         attempt < 16 && (birth_city == city || cities[birth_city].state == state);
+         ++attempt) {
+      birth_city = rng.NextIndex(cities.size());
+    }
+    size_t birth_state = cities[birth_city].state;
+
+    world.AddFact(person, "studiesAt", universities[univ].entity);
+    world.AddFact(person, "appliedTo", universities[applied].entity);
+    world.AddFact(person, "livesIn", cities[city].entity);
+    world.AddFact(person, "bornIn", cities[birth_city].entity);
+    world.AddFact(person, "bornInState", states[birth_state]);
+
+    dataset.clean
+        .Append({person_name, world.label(universities[univ].entity),
+                 world.label(cities[city].entity), world.label(states[state]),
+                 cities[city].zip_label})
+        .Abort("GenerateUis");
+
+    dataset.alternatives.push_back({
+        /*Name*/ {},
+        /*University*/ {world.label(universities[applied].entity)},
+        /*City*/ {world.label(cities[birth_city].entity)},
+        /*State*/ {world.label(states[birth_state])},
+        /*Zip*/ {cities[city].old_zip_label},
+    });
+  }
+
+  // ---- Detective rules ----
+  const Similarity eq = Similarity::Equality();
+  const Similarity ed2 = Similarity::EditDistance(2);
+
+  dataset.rules.push_back(BuildRule({
+      .name = "uis_university",
+      .nodes = {{"Name", "student", eq},
+                {"University", "university", ed2},   // p
+                {"University", "university", ed2}},  // n
+      .positive = 1,
+      .negative = 2,
+      .edges = {{0, 1, "studiesAt"}, {0, 2, "appliedTo"}},
+  }));
+
+  dataset.rules.push_back(BuildRule({
+      .name = "uis_city",
+      .nodes = {{"Name", "student", eq},
+                {"University", "university", ed2},
+                {"City", "city", ed2},   // p
+                {"City", "city", ed2}},  // n
+      .positive = 2,
+      .negative = 3,
+      .edges = {{0, 1, "studiesAt"}, {1, 2, "locatedIn"}, {0, 3, "bornIn"}},
+  }));
+
+  dataset.rules.push_back(BuildRule({
+      .name = "uis_state",
+      .nodes = {{"Name", "student", eq},
+                {"City", "city", ed2},
+                {"State", "state", ed2},   // p
+                {"State", "state", ed2}},  // n
+      .positive = 2,
+      .negative = 3,
+      .edges = {{0, 1, "livesIn"}, {1, 2, "locatedIn"}, {0, 3, "bornInState"}},
+  }));
+
+  dataset.rules.push_back(BuildRule({
+      .name = "uis_zip",
+      .nodes = {{"Name", "student", eq},
+                {"City", "city", ed2},
+                {"Zip", "zipcode", ed2},   // p
+                {"Zip", "zipcode", ed2}},  // n
+      .positive = 2,
+      .negative = 3,
+      .edges = {{0, 1, "livesIn"}, {1, 2, "hasZip"}, {1, 3, "oldZip"}},
+  }));
+
+  // Second witness for State, routed through the zip code; consistent with
+  // uis_state because zipInState(city's zip) == locatedIn(city).
+  dataset.rules.push_back(BuildRule({
+      .name = "uis_state_via_zip",
+      .nodes = {{"Name", "student", eq},
+                {"City", "city", ed2},
+                {"Zip", "zipcode", ed2},
+                {"State", "state", ed2},   // p
+                {"State", "state", ed2}},  // n
+      .positive = 3,
+      .negative = 4,
+      .edges = {{0, 1, "livesIn"},
+                {1, 2, "hasZip"},
+                {2, 3, "zipInState"},
+                {0, 4, "bornInState"}},
+  }));
+
+  // ---- KATARA table pattern ----
+  {
+    SchemaMatchingGraph pattern;
+    uint32_t name = pattern.AddNode({"Name", "student", eq});
+    // KATARA without fuzzy matching (paper Exp-1).
+    uint32_t univ = pattern.AddNode({"University", "university", eq});
+    uint32_t city = pattern.AddNode({"City", "city", eq});
+    uint32_t state = pattern.AddNode({"State", "state", eq});
+    uint32_t zip = pattern.AddNode({"Zip", "zipcode", eq});
+    pattern.AddEdge(name, univ, "studiesAt").Abort("pattern");
+    pattern.AddEdge(univ, city, "locatedIn").Abort("pattern");
+    pattern.AddEdge(city, state, "locatedIn").Abort("pattern");
+    pattern.AddEdge(city, zip, "hasZip").Abort("pattern");
+    dataset.katara_pattern = std::move(pattern);
+  }
+
+  dataset.fds = {
+      {{"University"}, "City"},
+      {{"City"}, "State"},
+      {{"City"}, "Zip"},
+  };
+  return dataset;
+}
+
+}  // namespace detective

@@ -1,0 +1,37 @@
+#ifndef DETECTIVE_DATAGEN_UIS_GEN_H_
+#define DETECTIVE_DATAGEN_UIS_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/dataset.h"
+
+namespace detective {
+
+/// Options for the synthetic UIS dataset (paper §V-A dataset (3): 100K
+/// tuples from the UIS Database Generator).
+struct UisOptions {
+  size_t num_tuples = 100000;
+  size_t num_states = 50;
+  size_t num_cities = 400;
+  size_t num_universities = 300;
+  uint64_t seed = 11;
+};
+
+/// Generates the UIS dataset: schema
+///   UIS(Name, University, City, State, Zip)
+/// where University determines City (locatedIn), City determines State
+/// (inState) and Zip (hasZip). Five curated detective rules:
+///
+///   uis_university : studiesAt (+) vs appliedTo (-), evid {Name}
+///   uis_city       : studiesAt.locatedIn (+) vs bornIn (-)
+///   uis_state      : City inState (+) vs bornInState (-)
+///   uis_zip        : City hasZip (+) vs City oldZip (-)
+///   uis_city_zip   : Zip zipOfCity (+) vs bornIn (-)   [second witness for City]
+///
+/// Semantic alternatives: applied-to university, birth city, birth state,
+/// the city's previous zip code.
+Dataset GenerateUis(const UisOptions& options = {});
+
+}  // namespace detective
+
+#endif  // DETECTIVE_DATAGEN_UIS_GEN_H_

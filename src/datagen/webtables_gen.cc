@@ -1,0 +1,230 @@
+#include "datagen/webtables_gen.h"
+
+#include <array>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "datagen/names.h"
+
+namespace detective {
+
+namespace {
+
+/// One attribute column of a domain: entities of `cls` linked from the key
+/// by `pos_rel` (the correct semantics) and `neg_rel` (the confusable one).
+struct AttrSpec {
+  const char* column;
+  const char* cls;
+  const char* pos_rel;
+  const char* neg_rel;
+  /// Whether the rule nodes use fuzzy matching (ED,2) — mixed across
+  /// domains so typo repairability varies like it does on real Web tables.
+  bool fuzzy;
+};
+
+struct DomainSpec {
+  const char* name;
+  const char* key_column;
+  const char* key_cls;
+  AttrSpec first;
+  AttrSpec second;  // used only by three-column tables
+};
+
+constexpr std::array<DomainSpec, 13> kDomains = {{
+    {"countries", "Country", "country",
+     {"Capital", "city", "hasCapital", "largestCity", true},
+     {"Currency", "currency", "usesCurrency", "formerCurrency", false}},
+    {"books", "Book", "book",
+     {"Author", "writer", "writtenBy", "translatedBy", true},
+     {"Publisher", "publisher", "publishedBy", "distributedBy", false}},
+    {"films", "Film", "film",
+     {"Director", "director", "directedBy", "producedBy", true},
+     {"Studio", "studio", "madeBy", "fundedBy", false}},
+    {"companies", "Company", "company",
+     {"CEO", "executive", "ledBy", "foundedBy", true},
+     {"Headquarters", "city", "headquarteredIn", "registeredIn", false}},
+    {"teams", "Team", "sports team",
+     {"HomeCity", "city", "basedIn", "foundedIn", true},
+     {"Stadium", "stadium", "playsAt", "trainedAt", false}},
+    {"mountains", "Mountain", "mountain",
+     {"Range", "mountain range", "partOf", "visibleFrom", false},
+     {"Country", "country", "locatedIn", "borderedBy", true}},
+    {"rivers", "River", "river",
+     {"Mouth", "sea", "flowsInto", "originatesNear", false},
+     {"Country", "country", "flowsThrough", "namedAfterPlace", true}},
+    {"albums", "Album", "album",
+     {"Artist", "musician", "performedBy", "producedByArtist", true},
+     {"Label", "record label", "releasedBy", "licensedBy", false}},
+    {"museums", "Museum", "museum",
+     {"City", "city", "locatedIn", "foundedInCity", true},
+     {"Founder", "person", "foundedByPerson", "curatedBy", false}},
+    {"airlines", "Airline", "airline",
+     {"Hub", "airport", "hubAt", "foundedAt", false},
+     {"Country", "country", "registeredInCountry", "fliesTo", true}},
+    {"languages", "Language", "language",
+     {"Country", "country", "officialIn", "minorityIn", true},
+     {"Family", "language family", "memberOf", "influencedBy", false}},
+    {"dishes", "Dish", "dish",
+     {"Origin", "country", "originatesFrom", "popularIn", true},
+     {"Ingredient", "ingredient", "madeWith", "garnishedWith", false}},
+    {"operas", "Opera", "opera",
+     {"Composer", "composer", "composedBy", "conductedBy", true},
+     {"Premiere", "city", "premieredIn", "revivedIn", false}},
+}};
+
+/// Per-domain entity pools, built once into the shared world.
+struct DomainPool {
+  std::vector<World::EntityIndex> keys;
+  // Per key: correct and confusable entity for each attribute.
+  std::vector<World::EntityIndex> first_pos, first_neg;
+  std::vector<World::EntityIndex> second_pos, second_neg;
+};
+
+DetectiveRule MakeWebRule(const std::string& table, const DomainSpec& domain,
+                          const AttrSpec& attr) {
+  Similarity key_sim = Similarity::Equality();
+  Similarity attr_sim =
+      attr.fuzzy ? Similarity::EditDistance(2) : Similarity::Equality();
+  SchemaMatchingGraph graph(
+      {{domain.key_column, domain.key_cls, key_sim},
+       {attr.column, attr.cls, attr_sim},    // p
+       {attr.column, attr.cls, attr_sim}},   // n
+      {{0, 1, attr.pos_rel}, {0, 2, attr.neg_rel}});
+  DetectiveRule rule(table + "_" + attr.column, std::move(graph), 1, 2);
+  rule.Validate().Abort("MakeWebRule");
+  return rule;
+}
+
+}  // namespace
+
+size_t WebTablesCorpus::total_rules() const {
+  size_t count = 0;
+  for (const WebTable& table : tables) count += table.rules.size();
+  return count;
+}
+
+WebTablesCorpus GenerateWebTables(const WebTablesOptions& options) {
+  Rng rng(options.seed);
+  NameGenerator names(&rng);
+  WebTablesCorpus corpus;
+  World& world = corpus.world;
+
+  std::unordered_set<std::string> used_labels;
+  auto fresh = [&]() {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      std::string label = names.PersonName();
+      if (rng.NextBernoulli(0.5)) label = names.PlaceName();
+      if (used_labels.insert(label).second) return label;
+    }
+    std::string label = names.PlaceName() + " " + std::to_string(used_labels.size());
+    used_labels.insert(label);
+    return label;
+  };
+
+  // ---- Shared world: pools per domain ----
+  constexpr size_t kKeysPerDomain = 120;
+  constexpr size_t kAttrPoolSize = 60;
+  std::vector<DomainPool> pools(kDomains.size());
+  for (size_t d = 0; d < kDomains.size(); ++d) {
+    const DomainSpec& domain = kDomains[d];
+    DomainPool& pool = pools[d];
+    auto attr_pool = [&](const char* cls) {
+      std::vector<World::EntityIndex> entities;
+      for (size_t i = 0; i < kAttrPoolSize; ++i) {
+        entities.push_back(world.AddEntity(fresh(), cls));
+      }
+      return entities;
+    };
+    std::vector<World::EntityIndex> first_entities = attr_pool(domain.first.cls);
+    std::vector<World::EntityIndex> second_entities = attr_pool(domain.second.cls);
+
+    for (size_t k = 0; k < kKeysPerDomain; ++k) {
+      World::EntityIndex key = world.AddEntity(fresh(), domain.key_cls);
+      pool.keys.push_back(key);
+      auto link = [&](const AttrSpec& attr,
+                      const std::vector<World::EntityIndex>& entities,
+                      std::vector<World::EntityIndex>* pos_out,
+                      std::vector<World::EntityIndex>* neg_out) {
+        size_t pos = rng.NextIndex(entities.size());
+        size_t neg = rng.NextIndex(entities.size());
+        if (neg == pos) neg = (neg + 1) % entities.size();
+        world.AddFact(key, attr.pos_rel, entities[pos]);
+        world.AddFact(key, attr.neg_rel, entities[neg]);
+        pos_out->push_back(entities[pos]);
+        neg_out->push_back(entities[neg]);
+      };
+      link(domain.first, first_entities, &pool.first_pos, &pool.first_neg);
+      link(domain.second, second_entities, &pool.second_pos, &pool.second_neg);
+    }
+  }
+
+  // ---- Tables ----
+  for (size_t t = 0; t < options.num_tables; ++t) {
+    size_t d = t % kDomains.size();
+    const DomainSpec& domain = kDomains[d];
+    const DomainPool& pool = pools[d];
+    const bool three_columns = t < kDomains.size();
+
+    WebTable table;
+    table.name = std::string(domain.name) + "_" + std::to_string(t);
+    std::vector<std::string> columns = {domain.key_column, domain.first.column};
+    if (three_columns) columns.push_back(domain.second.column);
+    table.clean = Relation(Schema(std::move(columns)));
+    table.key_column = 0;
+
+    size_t tuples = options.avg_tuples;
+    size_t spread = options.avg_tuples / 3;
+    tuples = options.avg_tuples - spread +
+             static_cast<size_t>(rng.NextUint64(2 * spread + 1));
+    tuples = std::min(tuples, pool.keys.size());
+
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(pool.keys.size(), tuples);
+    for (size_t pick : picks) {
+      corpus.key_entities.push_back(pool.keys[pick]);
+      std::vector<std::string> row = {world.label(pool.keys[pick]),
+                                      world.label(pool.first_pos[pick])};
+      std::vector<std::vector<std::string>> alts = {
+          {}, {world.label(pool.first_neg[pick])}};
+      if (three_columns) {
+        row.push_back(world.label(pool.second_pos[pick]));
+        alts.push_back({world.label(pool.second_neg[pick])});
+      }
+      table.clean.Append(std::move(row)).Abort("GenerateWebTables");
+      table.alternatives.push_back(std::move(alts));
+    }
+
+    // Rules and the KATARA pattern.
+    table.rules.push_back(MakeWebRule(table.name, domain, domain.first));
+    SchemaMatchingGraph pattern;
+    uint32_t key_node = pattern.AddNode(
+        {domain.key_column, domain.key_cls, Similarity::Equality()});
+    uint32_t first_node = pattern.AddNode(
+        {domain.first.column, domain.first.cls,
+         domain.first.fuzzy ? Similarity::EditDistance(2) : Similarity::Equality()});
+    pattern.AddEdge(key_node, first_node, domain.first.pos_rel).Abort("pattern");
+    if (three_columns) {
+      table.rules.push_back(MakeWebRule(table.name, domain, domain.second));
+      uint32_t second_node = pattern.AddNode(
+          {domain.second.column, domain.second.cls,
+           domain.second.fuzzy ? Similarity::EditDistance(2)
+                               : Similarity::Equality()});
+      pattern.AddEdge(key_node, second_node, domain.second.pos_rel).Abort("pattern");
+    }
+    table.katara_pattern = std::move(pattern);
+
+    // Born dirty: inject noise now and keep the records.
+    table.dirty = table.clean;
+    ErrorSpec spec;
+    spec.error_rate = options.error_rate;
+    spec.typo_fraction = options.typo_fraction;
+    spec.seed = options.seed * 1000 + t;
+    table.errors = InjectErrors(&table.dirty, spec, table.alternatives);
+
+    corpus.tables.push_back(std::move(table));
+  }
+  return corpus;
+}
+
+}  // namespace detective

@@ -1,0 +1,58 @@
+#ifndef DETECTIVE_DATAGEN_WEBTABLES_GEN_H_
+#define DETECTIVE_DATAGEN_WEBTABLES_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/matching_graph.h"
+#include "core/rule.h"
+#include "datagen/error_injector.h"
+#include "datagen/world.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// One synthetic Web table (paper §V-A dataset (1): 37 tables, ~44 tuples
+/// each, "dirty originally" — so the generator injects the noise itself and
+/// the errors come with the table).
+struct WebTable {
+  std::string name;
+  Relation clean;   // ground truth for evaluation
+  Relation dirty;   // the table as "found on the web"
+  std::vector<ErrorRecord> errors;
+  SemanticAlternatives alternatives;
+  std::vector<DetectiveRule> rules;
+  SchemaMatchingGraph katara_pattern;
+  ColumnIndex key_column = 0;
+};
+
+/// The whole corpus shares one world / KB, like real Web tables share Yago.
+struct WebTablesCorpus {
+  World world;
+  std::vector<WebTable> tables;
+  /// Key entities of all tables, pinned into KB projections.
+  std::vector<World::EntityIndex> key_entities;
+
+  size_t total_rules() const;
+};
+
+struct WebTablesOptions {
+  size_t num_tables = 37;
+  size_t avg_tuples = 44;     // actual size uniform in [avg-14, avg+14]
+  double error_rate = 0.10;   // the tables are born dirty at this rate
+  double typo_fraction = 0.5;
+  uint64_t seed = 23;
+};
+
+/// Generates the corpus: tables cycle through 13 domains (country→capital,
+/// book→author, film→director, ...), each pairing a key column with one or
+/// two attribute columns whose positive relationship has a confusable
+/// negative counterpart (capital vs largest city, author vs translator, …).
+/// The first 13 tables carry three columns (two rules each), the rest two
+/// columns (one rule each) — 50 rules over 37 tables, as in the paper.
+WebTablesCorpus GenerateWebTables(const WebTablesOptions& options = {});
+
+}  // namespace detective
+
+#endif  // DETECTIVE_DATAGEN_WEBTABLES_GEN_H_

@@ -1,0 +1,97 @@
+#include "datagen/world.h"
+
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace detective {
+
+KbProfile YagoProfile() {
+  KbProfile profile;
+  profile.name = "Yago";
+  profile.entity_coverage = 0.97;
+  profile.fact_coverage = 0.96;
+  profile.rich_taxonomy = true;
+  profile.seed = 1234;
+  return profile;
+}
+
+KbProfile DBpediaProfile() {
+  KbProfile profile;
+  profile.name = "DBpedia";
+  profile.entity_coverage = 0.92;
+  profile.fact_coverage = 0.88;
+  profile.rich_taxonomy = false;
+  profile.seed = 5678;
+  return profile;
+}
+
+World::EntityIndex World::AddEntity(std::string label, std::string cls) {
+  entities_.push_back({std::move(label), std::move(cls)});
+  return static_cast<EntityIndex>(entities_.size() - 1);
+}
+
+void World::AddFact(EntityIndex subject, std::string relation, EntityIndex object) {
+  facts_.push_back({subject, std::move(relation), object, false, {}});
+}
+
+void World::AddLiteralFact(EntityIndex subject, std::string relation,
+                           std::string literal) {
+  facts_.push_back({subject, std::move(relation), 0, true, std::move(literal)});
+}
+
+void World::AddSubclass(std::string sub, std::string super) {
+  taxonomy_.emplace_back(std::move(sub), std::move(super));
+}
+
+KnowledgeBase World::ToKb(const KbProfile& profile,
+                          const std::vector<EntityIndex>& always_keep) const {
+  Rng rng(profile.seed);
+  std::unordered_set<EntityIndex> pinned(always_keep.begin(), always_keep.end());
+
+  KbBuilder builder;
+  if (profile.rich_taxonomy) {
+    for (const auto& [sub, super] : taxonomy_) builder.AddSubclass(sub, super);
+  }
+  // Classes and relation names are schema-level vocabulary: they exist in
+  // the KB even when coverage drops their instances/facts (a real KB's
+  // ontology does not shrink because a fact is missing). Only instance and
+  // fact coverage vary per profile.
+  for (const Entity& entity : entities_) builder.AddClass(entity.cls);
+  for (const Fact& fact : facts_) builder.AddRelation(fact.relation);
+
+  // Entity projection. ItemId::Invalid() marks dropped entities. Hub
+  // entities (high fact degree) are always kept: missing coverage in real
+  // KBs concentrates in the long tail.
+  std::vector<size_t> degree(entities_.size(), 0);
+  for (const Fact& fact : facts_) {
+    ++degree[fact.subject];
+    if (!fact.object_is_literal) ++degree[fact.object];
+  }
+  std::vector<ItemId> item_of(entities_.size(), ItemId::Invalid());
+  for (EntityIndex e = 0; e < entities_.size(); ++e) {
+    bool keep = pinned.contains(e) || degree[e] >= profile.popular_degree ||
+                rng.NextBernoulli(profile.entity_coverage);
+    if (!keep) continue;
+    ClassId cls = builder.AddClass(entities_[e].cls);
+    item_of[e] = builder.AddEntity(entities_[e].label, {cls});
+  }
+
+  // Fact projection.
+  for (const Fact& fact : facts_) {
+    ItemId subject = item_of[fact.subject];
+    if (!subject.valid()) continue;
+    if (!rng.NextBernoulli(profile.fact_coverage)) continue;
+    RelationId relation = builder.AddRelation(fact.relation);
+    if (fact.object_is_literal) {
+      builder.AddEdge(subject, relation, builder.AddLiteral(fact.literal));
+    } else {
+      ItemId object = item_of[fact.object];
+      if (!object.valid()) continue;
+      builder.AddEdge(subject, relation, object);
+    }
+  }
+  return std::move(builder).Freeze();
+}
+
+}  // namespace detective

@@ -1,0 +1,87 @@
+#ifndef DETECTIVE_DATAGEN_WORLD_H_
+#define DETECTIVE_DATAGEN_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace detective {
+
+/// A KB coverage/taxonomy profile (DESIGN.md substitution for the real Yago
+/// and DBpedia dumps). The cleaning algorithms only see the KB through typed
+/// lookups and edges, so the experimentally relevant differences between the
+/// two KBs reduce to coverage and taxonomy shape:
+///   - Yago: richer taxonomy, higher fact coverage → higher DR recall;
+///   - DBpedia: flatter taxonomy, lower coverage → lower recall.
+struct KbProfile {
+  std::string name = "Yago";
+  /// Probability that a ground-truth entity exists in the KB at all.
+  /// Applies only to *unpopular* entities: an entity participating in at
+  /// least `popular_degree` facts is always kept, because real KBs do not
+  /// lose hub entities (every KB knows the Nobel Prize), they lose tail
+  /// facts.
+  double entity_coverage = 0.97;
+  size_t popular_degree = 16;
+  /// Probability that a ground-truth fact (edge) of a kept entity is kept.
+  double fact_coverage = 0.92;
+  /// Emit the intermediate taxonomy layers (wikicat-style classes). The
+  /// flat variant keeps only the leaf classes, as DBpedia tends to.
+  bool rich_taxonomy = true;
+  uint64_t seed = 1234;
+};
+
+/// The built-in profiles used throughout the experiments.
+KbProfile YagoProfile();
+KbProfile DBpediaProfile();
+
+/// Ground-truth world model: the complete, correct entity graph a dataset
+/// generator produces. Both the relation (rows of labels) and the KBs
+/// (subsets of facts under a KbProfile) are projections of one World, which
+/// is what lets the evaluation score repairs against a consistent truth.
+class World {
+ public:
+  /// Index into entities().
+  using EntityIndex = uint32_t;
+
+  struct Entity {
+    std::string label;
+    std::string cls;  // leaf class name
+  };
+
+  struct Fact {
+    EntityIndex subject;
+    std::string relation;
+    EntityIndex object;          // meaningful when !object_is_literal
+    bool object_is_literal;
+    std::string literal;         // meaningful when object_is_literal
+  };
+
+  EntityIndex AddEntity(std::string label, std::string cls);
+  void AddFact(EntityIndex subject, std::string relation, EntityIndex object);
+  void AddLiteralFact(EntityIndex subject, std::string relation, std::string literal);
+  /// Declares `sub` a subclass of `super` in the rich taxonomy.
+  void AddSubclass(std::string sub, std::string super);
+
+  const std::vector<Entity>& entities() const { return entities_; }
+  const std::vector<Fact>& facts() const { return facts_; }
+  const std::string& label(EntityIndex e) const { return entities_[e].label; }
+
+  /// Projects the world into a KnowledgeBase under `profile`: entities are
+  /// kept with entity_coverage, facts of kept entities with fact_coverage;
+  /// the rich taxonomy layers are included only for rich_taxonomy profiles.
+  /// Entities listed in `always_keep` are exempt from the coverage coin flip
+  /// (used for key-column entities whose presence gates evaluation).
+  KnowledgeBase ToKb(const KbProfile& profile,
+                     const std::vector<EntityIndex>& always_keep = {}) const;
+
+ private:
+  std::vector<Entity> entities_;
+  std::vector<Fact> facts_;
+  std::vector<std::pair<std::string, std::string>> taxonomy_;  // (sub, super)
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_DATAGEN_WORLD_H_

@@ -1,0 +1,96 @@
+#include "eval/experiment.h"
+
+#include <chrono>
+
+#include "baselines/cfd.h"
+#include "baselines/katara.h"
+#include "baselines/llunatic.h"
+#include "core/repair.h"
+
+namespace detective {
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kBasicRepair:
+      return "bRepair";
+    case Method::kFastRepair:
+      return "fRepair";
+    case Method::kKatara:
+      return "KATARA";
+    case Method::kLlunatic:
+      return "Llunatic";
+    case Method::kConstantCfd:
+      return "constant CFDs";
+  }
+  return "?";
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<ExperimentResult> RunMethod(Method method, const Dataset& dataset,
+                                   const KnowledgeBase* kb, const Relation& dirty,
+                                   const std::vector<char>& eligible) {
+  ExperimentResult result;
+  result.repaired = dirty;
+
+  switch (method) {
+    case Method::kBasicRepair: {
+      if (kb == nullptr) return Status::InvalidArgument("bRepair needs a KB");
+      RepairOptions options;
+      // The basic algorithm: no signature indexes, no shared computation.
+      options.matcher.use_signature_index = false;
+      options.matcher.use_value_memo = false;
+      BasicRepairer repairer(*kb, dataset.clean.schema(), dataset.rules, options);
+      RETURN_NOT_OK(repairer.Init());
+      double start = NowSeconds();
+      repairer.RepairRelation(&result.repaired);
+      result.seconds = NowSeconds() - start;
+      break;
+    }
+    case Method::kFastRepair: {
+      if (kb == nullptr) return Status::InvalidArgument("fRepair needs a KB");
+      RepairOptions options;  // all optimizations on by default
+      FastRepairer repairer(*kb, dataset.clean.schema(), dataset.rules, options);
+      RETURN_NOT_OK(repairer.Init());
+      double start = NowSeconds();
+      repairer.RepairRelation(&result.repaired);
+      result.seconds = NowSeconds() - start;
+      break;
+    }
+    case Method::kKatara: {
+      if (kb == nullptr) return Status::InvalidArgument("KATARA needs a KB");
+      Katara katara(*kb, dataset.katara_pattern);
+      RETURN_NOT_OK(katara.Init(dataset.clean.schema()));
+      double start = NowSeconds();
+      katara.CleanRelation(&result.repaired);
+      result.seconds = NowSeconds() - start;
+      break;
+    }
+    case Method::kLlunatic: {
+      LlunaticRepairer repairer(dataset.fds);
+      double start = NowSeconds();
+      RETURN_NOT_OK(repairer.Repair(&result.repaired));
+      result.seconds = NowSeconds() - start;
+      break;
+    }
+    case Method::kConstantCfd: {
+      ASSIGN_OR_RETURN(std::vector<ConstantCfd> cfds,
+                       MineConstantCfds(dataset.clean, dataset.fds));
+      CfdRepairer repairer(std::move(cfds));
+      RETURN_NOT_OK(repairer.Init(dataset.clean.schema()));
+      double start = NowSeconds();
+      repairer.RepairRelation(&result.repaired);
+      result.seconds = NowSeconds() - start;
+      break;
+    }
+  }
+
+  result.quality = EvaluateRepair(dataset.clean, dirty, result.repaired, eligible);
+  return result;
+}
+
+}  // namespace detective

@@ -1,0 +1,46 @@
+#ifndef DETECTIVE_EVAL_EXPERIMENT_H_
+#define DETECTIVE_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "datagen/dataset.h"
+#include "eval/metrics.h"
+#include "kb/knowledge_base.h"
+
+namespace detective {
+
+/// The competitors of the paper's evaluation (§V-A "Algorithms").
+enum class Method {
+  kBasicRepair,  // bRepair: Algorithm 1, no indexes/order/sharing
+  kFastRepair,   // fRepair: Algorithm 2
+  kKatara,       // KB-powered baseline (Exp-1)
+  kLlunatic,     // IC-based heuristic repair (Exp-2)
+  kConstantCfd,  // constant CFDs mined from ground truth (Exp-2)
+};
+
+std::string_view MethodName(Method method);
+
+struct ExperimentResult {
+  Relation repaired;
+  RepairQuality quality;
+  double seconds = 0;  // wall-clock repair time (excludes KB generation)
+};
+
+/// Runs one method over one dirtied instance of `dataset`.
+///
+/// `kb` is the KB projection to clean against (ignored by the IC methods).
+/// `eligible` restricts the quality metrics (see EligibleRows); pass empty
+/// to score all rows. Constant CFDs are mined from dataset.clean, matching
+/// the paper's setup.
+Result<ExperimentResult> RunMethod(Method method, const Dataset& dataset,
+                                   const KnowledgeBase* kb, const Relation& dirty,
+                                   const std::vector<char>& eligible);
+
+/// Monotonic wall-clock seconds (benchmark harness timer).
+double NowSeconds();
+
+}  // namespace detective
+
+#endif  // DETECTIVE_EVAL_EXPERIMENT_H_

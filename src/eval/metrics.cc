@@ -1,0 +1,89 @@
+#include "eval/metrics.h"
+
+#include <cstdio>
+
+#include "baselines/llunatic.h"
+#include "common/logging.h"
+
+namespace detective {
+
+std::string RepairQuality::ToString() const {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "P=%.3f R=%.3f F=%.3f (repairs=%zu/%zu errors, #-POS=%zu, "
+                "annotationP=%.3f)",
+                precision(), recall(), f_measure(), repairs, errors, pos_marks,
+                annotation_precision());
+  return buffer;
+}
+
+std::vector<char> EligibleRows(const Relation& clean, const KnowledgeBase& kb,
+                               ColumnIndex key_column) {
+  std::vector<char> eligible(clean.num_tuples(), 0);
+  for (size_t row = 0; row < clean.num_tuples(); ++row) {
+    for (ItemId item : kb.ItemsWithLabel(clean.tuple(row).value(key_column))) {
+      if (!kb.IsLiteral(item)) {
+        eligible[row] = 1;
+        break;
+      }
+    }
+  }
+  return eligible;
+}
+
+RepairQuality EvaluateRepair(const Relation& clean, const Relation& dirty,
+                             const Relation& repaired,
+                             const std::vector<char>& eligible) {
+  DETECTIVE_CHECK_EQ(clean.num_tuples(), dirty.num_tuples());
+  DETECTIVE_CHECK_EQ(clean.num_tuples(), repaired.num_tuples());
+  DETECTIVE_CHECK(clean.schema() == repaired.schema());
+
+  RepairQuality quality;
+  const size_t num_columns = clean.schema().num_columns();
+  for (size_t row = 0; row < clean.num_tuples(); ++row) {
+    if (!eligible.empty() && !eligible[row]) continue;
+    ++quality.eligible_rows;
+    const Tuple& clean_tuple = clean.tuple(row);
+    const Tuple& dirty_tuple = dirty.tuple(row);
+    const Tuple& repaired_tuple = repaired.tuple(row);
+    for (ColumnIndex c = 0; c < num_columns; ++c) {
+      const std::string& truth = clean_tuple.value(c);
+      const std::string& before = dirty_tuple.value(c);
+      const std::string& after = repaired_tuple.value(c);
+      const bool was_error = before != truth;
+      if (was_error) ++quality.errors;
+      if (after != before) {
+        ++quality.repairs;
+        if (after == truth) {
+          ++quality.exact_correct;
+          quality.weighted_correct += 1.0;
+        } else if (after == kLlunValue && was_error) {
+          // Metric 0.5: a llun over a genuinely dirty cell is a partially
+          // correct change.
+          quality.weighted_correct += 0.5;
+        }
+      }
+      if (repaired_tuple.IsPositive(c)) {
+        ++quality.pos_marks;
+        if (after == truth) ++quality.pos_marks_correct;
+      }
+    }
+  }
+  return quality;
+}
+
+RepairQuality MergeQualities(const std::vector<RepairQuality>& parts) {
+  RepairQuality total;
+  for (const RepairQuality& part : parts) {
+    total.eligible_rows += part.eligible_rows;
+    total.errors += part.errors;
+    total.repairs += part.repairs;
+    total.exact_correct += part.exact_correct;
+    total.weighted_correct += part.weighted_correct;
+    total.pos_marks += part.pos_marks;
+    total.pos_marks_correct += part.pos_marks_correct;
+  }
+  return total;
+}
+
+}  // namespace detective

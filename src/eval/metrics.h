@@ -1,0 +1,67 @@
+#ifndef DETECTIVE_EVAL_METRICS_H_
+#define DETECTIVE_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// Cell-level repair quality (paper §V-A "Measuring Quality"):
+///   precision = correctly repaired cells / all repaired cells
+///   recall    = correctly repaired cells / all erroneous cells
+///   F-measure = harmonic mean.
+/// A cell repaired to the llun marker counts 0.5 when the cell was indeed
+/// erroneous (Llunatic's "metric 0.5"). #-POS counts positively marked
+/// cells (Table III's annotation metric).
+struct RepairQuality {
+  size_t eligible_rows = 0;
+  size_t errors = 0;            // dirty cells within eligible rows
+  size_t repairs = 0;           // cells the method changed
+  size_t exact_correct = 0;     // repairs restoring the clean value
+  double weighted_correct = 0;  // exact_correct + 0.5 per justified llun
+  size_t pos_marks = 0;         // cells marked positive (#-POS)
+  size_t pos_marks_correct = 0; // marked cells whose value is actually clean
+
+  double precision() const {
+    return repairs == 0 ? 1.0 : weighted_correct / static_cast<double>(repairs);
+  }
+  double recall() const {
+    return errors == 0 ? 1.0 : weighted_correct / static_cast<double>(errors);
+  }
+  double f_measure() const {
+    double p = precision();
+    double r = recall();
+    return p + r == 0 ? 0 : 2 * p * r / (p + r);
+  }
+  /// Fraction of positive marks that are justified (annotation precision).
+  double annotation_precision() const {
+    return pos_marks == 0
+               ? 1.0
+               : static_cast<double>(pos_marks_correct) / static_cast<double>(pos_marks);
+  }
+
+  std::string ToString() const;
+};
+
+/// Rows whose (clean) key value has a corresponding entity in the KB — the
+/// paper's evaluation scope ("we mainly evaluated the tuples whose value in
+/// key attribute have corresponding entities in KBs").
+std::vector<char> EligibleRows(const Relation& clean, const KnowledgeBase& kb,
+                               ColumnIndex key_column);
+
+/// Scores `repaired` against the ground truth, restricted to eligible rows
+/// (pass empty to score everything). The three relations must share schema
+/// and row order.
+RepairQuality EvaluateRepair(const Relation& clean, const Relation& dirty,
+                             const Relation& repaired,
+                             const std::vector<char>& eligible = {});
+
+/// Merges per-table qualities (for the WebTables corpus) by summing counts.
+RepairQuality MergeQualities(const std::vector<RepairQuality>& parts);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_EVAL_METRICS_H_

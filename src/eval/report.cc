@@ -1,0 +1,94 @@
+#include "eval/report.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace detective {
+
+std::vector<CellDiff> DiffRelations(const Relation& before, const Relation& after) {
+  DETECTIVE_CHECK(before.schema() == after.schema());
+  DETECTIVE_CHECK_EQ(before.num_tuples(), after.num_tuples());
+  std::vector<CellDiff> diffs;
+  const size_t columns = before.schema().num_columns();
+  for (size_t row = 0; row < before.num_tuples(); ++row) {
+    for (ColumnIndex c = 0; c < columns; ++c) {
+      const std::string& old_value = before.tuple(row).value(c);
+      const std::string& new_value = after.tuple(row).value(c);
+      if (old_value != new_value) {
+        diffs.push_back({row, c, old_value, new_value});
+      }
+    }
+  }
+  return diffs;
+}
+
+namespace {
+
+/// Escapes the characters that would break a markdown table cell.
+std::string EscapeCell(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '|') {
+      out += "\\|";
+    } else if (c == '\n') {
+      out += ' ';
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MarkdownReport(const Schema& schema, const RepairQuality& quality,
+                           const std::vector<CellDiff>& repairs, size_t max_rows) {
+  std::ostringstream out;
+  out << "# Cleaning report\n\n";
+  out << "## Quality\n\n";
+  out << "- precision: " << quality.precision() << "\n";
+  out << "- recall: " << quality.recall() << "\n";
+  out << "- F-measure: " << quality.f_measure() << "\n";
+  out << "- repairs: " << quality.repairs << " (" << quality.exact_correct
+      << " exactly correct)\n";
+  out << "- errors in scope: " << quality.errors << "\n";
+  out << "- cells marked correct (#-POS): " << quality.pos_marks << "\n\n";
+
+  out << "## Repairs by column\n\n";
+  std::map<ColumnIndex, size_t> per_column;
+  for (const CellDiff& diff : repairs) ++per_column[diff.column];
+  if (per_column.empty()) {
+    out << "(none)\n\n";
+  } else {
+    out << "| column | repairs |\n|---|---|\n";
+    for (const auto& [column, count] : per_column) {
+      out << "| " << EscapeCell(schema.column_name(column)) << " | " << count
+          << " |\n";
+    }
+    out << "\n";
+  }
+
+  out << "## Repaired cells\n\n";
+  if (repairs.empty()) {
+    out << "(none)\n";
+    return out.str();
+  }
+  out << "| row | column | before | after |\n|---|---|---|---|\n";
+  size_t shown = 0;
+  for (const CellDiff& diff : repairs) {
+    if (shown == max_rows) break;
+    out << "| " << diff.row << " | " << EscapeCell(schema.column_name(diff.column))
+        << " | " << EscapeCell(diff.before) << " | " << EscapeCell(diff.after)
+        << " |\n";
+    ++shown;
+  }
+  if (repairs.size() > max_rows) {
+    out << "\n(" << repairs.size() - max_rows << " more repairs truncated)\n";
+  }
+  return out.str();
+}
+
+}  // namespace detective

@@ -1,0 +1,35 @@
+#ifndef DETECTIVE_EVAL_REPORT_H_
+#define DETECTIVE_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "relation/relation.h"
+
+namespace detective {
+
+/// One cell-level difference between two same-schema relations.
+struct CellDiff {
+  size_t row;
+  ColumnIndex column;
+  std::string before;
+  std::string after;
+
+  friend bool operator==(const CellDiff&, const CellDiff&) = default;
+};
+
+/// All cells where `after` differs from `before`, ordered by (row, column).
+/// The relations must share schema and row order (checked).
+std::vector<CellDiff> DiffRelations(const Relation& before, const Relation& after);
+
+/// Human-readable markdown report of a cleaning run: the quality block, a
+/// repairs table (capped at `max_rows` diff rows, with a truncation note),
+/// and the per-column repair tally. `column_names` come from the schema.
+std::string MarkdownReport(const Schema& schema, const RepairQuality& quality,
+                           const std::vector<CellDiff>& repairs,
+                           size_t max_rows = 100);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_EVAL_REPORT_H_

@@ -1,0 +1,53 @@
+#ifndef DETECTIVE_KB_IDS_H_
+#define DETECTIVE_KB_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace detective {
+
+/// Strongly-typed 32-bit index. The tag prevents, e.g., passing a ClassId
+/// where an ItemId is expected — a cheap guard for a codebase that juggles
+/// four id spaces.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr Id Invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  static constexpr uint32_t kInvalidValue = std::numeric_limits<uint32_t>::max();
+  uint32_t value_;
+};
+
+struct ItemTag {};
+struct ClassTag {};
+struct RelationTag {};
+
+/// A vertex of the KB graph: an entity (instance) or a literal.
+using ItemId = Id<ItemTag>;
+/// A class (concept) in the taxonomy, e.g. "city".
+using ClassId = Id<ClassTag>;
+/// An edge label: a relationship (entity→entity) or property (entity→literal).
+using RelationId = Id<RelationTag>;
+
+}  // namespace detective
+
+template <typename Tag>
+struct std::hash<detective::Id<Tag>> {
+  size_t operator()(detective::Id<Tag> id) const {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+
+#endif  // DETECTIVE_KB_IDS_H_

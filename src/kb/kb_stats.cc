@@ -1,0 +1,77 @@
+#include "kb/kb_stats.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace detective {
+
+KbStats ComputeKbStats(const KnowledgeBase& kb) {
+  KbStats stats;
+  stats.num_classes = kb.num_classes();
+  stats.num_relations = kb.num_relations();
+  stats.num_entities = kb.num_entities();
+  stats.num_literals = kb.num_items() - kb.num_entities();
+  stats.num_edges = kb.num_edges();
+
+  stats.classes.reserve(kb.num_classes());
+  for (uint32_t c = 0; c < kb.num_classes(); ++c) {
+    ClassId cls(c);
+    stats.classes.push_back(
+        {std::string(kb.ClassName(cls)), kb.InstancesOf(cls).size()});
+  }
+  std::sort(stats.classes.begin(), stats.classes.end(),
+            [](const KbStats::ClassCount& a, const KbStats::ClassCount& b) {
+              if (a.closure_instances != b.closure_instances) {
+                return a.closure_instances > b.closure_instances;
+              }
+              return a.name < b.name;
+            });
+
+  std::map<uint32_t, size_t> relation_edges;
+  size_t total_out = 0;
+  for (uint32_t i = 0; i < kb.num_items(); ++i) {
+    ItemId item(i);
+    if (kb.IsLiteral(item)) continue;
+    std::span<const KbEdge> out = kb.OutEdges(item);
+    total_out += out.size();
+    stats.max_out_degree = std::max(stats.max_out_degree, out.size());
+    for (const KbEdge& edge : out) ++relation_edges[edge.relation.value()];
+  }
+  stats.mean_out_degree =
+      kb.num_entities() == 0
+          ? 0
+          : static_cast<double>(total_out) / static_cast<double>(kb.num_entities());
+
+  stats.relations.reserve(relation_edges.size());
+  for (const auto& [relation, count] : relation_edges) {
+    stats.relations.push_back(
+        {std::string(kb.RelationName(RelationId(relation))), count});
+  }
+  std::sort(stats.relations.begin(), stats.relations.end(),
+            [](const KbStats::RelationCount& a, const KbStats::RelationCount& b) {
+              if (a.edges != b.edges) return a.edges > b.edges;
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+std::string KbStats::ToString(size_t top_k) const {
+  std::ostringstream out;
+  out << "classes=" << num_classes << " relations=" << num_relations
+      << " entities=" << num_entities << " literals=" << num_literals
+      << " edges=" << num_edges << " mean_out_degree=" << mean_out_degree
+      << " max_out_degree=" << max_out_degree << "\n";
+  out << "top classes:";
+  for (size_t i = 0; i < std::min(top_k, classes.size()); ++i) {
+    out << " " << classes[i].name << "(" << classes[i].closure_instances << ")";
+  }
+  out << "\ntop relations:";
+  for (size_t i = 0; i < std::min(top_k, relations.size()); ++i) {
+    out << " " << relations[i].name << "(" << relations[i].edges << ")";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace detective

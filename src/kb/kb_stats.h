@@ -1,0 +1,48 @@
+#ifndef DETECTIVE_KB_KB_STATS_H_
+#define DETECTIVE_KB_KB_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace detective {
+
+/// Aggregate statistics over a KnowledgeBase, for dataset reports (Table II
+/// style), capacity planning, and tests that assert projection behaviour.
+struct KbStats {
+  size_t num_classes = 0;
+  size_t num_relations = 0;
+  size_t num_entities = 0;
+  size_t num_literals = 0;
+  size_t num_edges = 0;
+
+  /// Per-class direct + closure instance counts, sorted by descending
+  /// closure count then name.
+  struct ClassCount {
+    std::string name;
+    size_t closure_instances = 0;
+  };
+  std::vector<ClassCount> classes;
+
+  /// Per-relation edge counts, sorted by descending count then name.
+  struct RelationCount {
+    std::string name;
+    size_t edges = 0;
+  };
+  std::vector<RelationCount> relations;
+
+  /// Out-degree distribution over entities.
+  size_t max_out_degree = 0;
+  double mean_out_degree = 0;
+
+  /// Multi-line rendering (top `top_k` classes/relations).
+  std::string ToString(size_t top_k = 10) const;
+};
+
+/// Computes the statistics in one pass over the KB.
+KbStats ComputeKbStats(const KnowledgeBase& kb);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_KB_KB_STATS_H_

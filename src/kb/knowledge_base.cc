@@ -1,0 +1,293 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace detective {
+
+namespace {
+constexpr std::string_view kLiteralClassName = "literal";
+}  // namespace
+
+// ---- KnowledgeBase queries --------------------------------------------------
+
+ClassId KnowledgeBase::FindClass(std::string_view name) const {
+  auto it = class_by_name_.find(std::string(name));
+  return it == class_by_name_.end() ? ClassId::Invalid() : it->second;
+}
+
+RelationId KnowledgeBase::FindRelation(std::string_view name) const {
+  auto it = relation_by_name_.find(std::string(name));
+  return it == relation_by_name_.end() ? RelationId::Invalid() : it->second;
+}
+
+std::string_view KnowledgeBase::ClassName(ClassId id) const {
+  return classes_[id.value()].name;
+}
+
+std::string_view KnowledgeBase::RelationName(RelationId id) const {
+  return relation_names_[id.value()];
+}
+
+std::span<const ClassId> KnowledgeBase::DirectClasses(ItemId id) const {
+  return item_classes_[id.value()];
+}
+
+bool KnowledgeBase::IsInstanceOf(ItemId item, ClassId cls) const {
+  if (IsLiteral(item)) return cls == literal_class_;
+  if (cls == literal_class_) return false;
+  for (ClassId direct : item_classes_[item.value()]) {
+    const std::vector<ClassId>& ancestors = classes_[direct.value()].ancestors;
+    if (std::binary_search(ancestors.begin(), ancestors.end(), cls)) return true;
+  }
+  return false;
+}
+
+std::span<const ItemId> KnowledgeBase::InstancesOf(ClassId cls) const {
+  return classes_[cls.value()].instances;
+}
+
+std::span<const ItemId> KnowledgeBase::ItemsWithLabel(std::string_view label) const {
+  auto it = items_by_label_.find(std::string(label));
+  if (it == items_by_label_.end()) return {};
+  return it->second;
+}
+
+std::span<const KbEdge> KnowledgeBase::OutEdges(ItemId source) const {
+  return out_edges_[source.value()];
+}
+
+std::span<const KbEdge> KnowledgeBase::InEdges(ItemId target) const {
+  return in_edges_[target.value()];
+}
+
+std::span<const KbEdge> KnowledgeBase::EdgeRange(const std::vector<KbEdge>& edges,
+                                                 RelationId relation) {
+  auto lower = std::lower_bound(
+      edges.begin(), edges.end(), relation,
+      [](const KbEdge& e, RelationId r) { return e.relation < r; });
+  auto upper = std::upper_bound(
+      edges.begin(), edges.end(), relation,
+      [](RelationId r, const KbEdge& e) { return r < e.relation; });
+  return {&*edges.begin() + (lower - edges.begin()),
+          static_cast<size_t>(upper - lower)};
+}
+
+std::span<const KbEdge> KnowledgeBase::Objects(ItemId source,
+                                               RelationId relation) const {
+  const std::vector<KbEdge>& edges = out_edges_[source.value()];
+  if (edges.empty()) return {};
+  return EdgeRange(edges, relation);
+}
+
+std::span<const KbEdge> KnowledgeBase::Subjects(RelationId relation,
+                                                ItemId target) const {
+  const std::vector<KbEdge>& edges = in_edges_[target.value()];
+  if (edges.empty()) return {};
+  return EdgeRange(edges, relation);
+}
+
+bool KnowledgeBase::HasEdge(ItemId source, RelationId relation, ItemId target) const {
+  const std::vector<KbEdge>& edges = out_edges_[source.value()];
+  return std::binary_search(edges.begin(), edges.end(), KbEdge{relation, target});
+}
+
+std::span<const ClassId> KnowledgeBase::AncestorsOf(ClassId cls) const {
+  return classes_[cls.value()].ancestors;
+}
+
+bool KnowledgeBase::IsSubclassOf(ClassId sub, ClassId super) const {
+  const std::vector<ClassId>& ancestors = classes_[sub.value()].ancestors;
+  return std::binary_search(ancestors.begin(), ancestors.end(), super);
+}
+
+std::string KnowledgeBase::DebugSummary() const {
+  std::ostringstream out;
+  out << "KnowledgeBase{classes=" << num_classes() << ", relations=" << num_relations()
+      << ", entities=" << num_entities() << ", literals=" << (num_items() - num_entities())
+      << ", edges=" << num_edges() << "}";
+  return out.str();
+}
+
+// ---- KbBuilder ---------------------------------------------------------------
+
+KbBuilder::KbBuilder() {
+  kb_.literal_class_ = AddClass(kLiteralClassName);
+}
+
+ClassId KbBuilder::AddClass(std::string_view name,
+                            const std::vector<std::string>& parents) {
+  std::string key(name);
+  auto [it, inserted] = kb_.class_by_name_.try_emplace(key, ClassId::Invalid());
+  if (inserted) {
+    it->second = ClassId(static_cast<uint32_t>(kb_.classes_.size()));
+    kb_.classes_.push_back({.name = std::move(key), .parents = {}, .ancestors = {},
+                            .instances = {}});
+  }
+  ClassId id = it->second;
+  for (const std::string& parent : parents) {
+    ClassId parent_id = AddClass(parent);
+    kb_.classes_[id.value()].parents.push_back(parent_id);
+  }
+  return id;
+}
+
+void KbBuilder::AddSubclass(std::string_view sub, std::string_view super) {
+  ClassId sub_id = AddClass(sub);
+  ClassId super_id = AddClass(super);
+  kb_.classes_[sub_id.value()].parents.push_back(super_id);
+}
+
+RelationId KbBuilder::AddRelation(std::string_view name) {
+  std::string key(name);
+  auto [it, inserted] =
+      kb_.relation_by_name_.try_emplace(key, RelationId::Invalid());
+  if (inserted) {
+    it->second = RelationId(static_cast<uint32_t>(kb_.relation_names_.size()));
+    kb_.relation_names_.push_back(std::move(key));
+  }
+  return it->second;
+}
+
+ItemId KbBuilder::AddEntity(std::string_view label,
+                            const std::vector<ClassId>& classes) {
+  ItemId id(static_cast<uint32_t>(kb_.items_.size()));
+  std::string normalized = NormalizeWhitespace(label);
+  kb_.items_by_label_[normalized].push_back(id);
+  kb_.items_.push_back({.label = std::move(normalized), .is_literal = false});
+  kb_.item_classes_.push_back(classes);
+  kb_.out_edges_.emplace_back();
+  kb_.in_edges_.emplace_back();
+  ++kb_.num_entities_;
+  return id;
+}
+
+void KbBuilder::AddClassToEntity(ItemId entity, ClassId cls) {
+  DETECTIVE_CHECK(!kb_.items_[entity.value()].is_literal);
+  kb_.item_classes_[entity.value()].push_back(cls);
+}
+
+ItemId KbBuilder::AddLiteral(std::string_view value) {
+  std::string normalized = NormalizeWhitespace(value);
+  auto [it, inserted] = literal_by_value_.try_emplace(normalized, ItemId::Invalid());
+  if (!inserted) return it->second;
+  ItemId id(static_cast<uint32_t>(kb_.items_.size()));
+  it->second = id;
+  kb_.items_by_label_[normalized].push_back(id);
+  kb_.items_.push_back({.label = std::move(normalized), .is_literal = true});
+  kb_.item_classes_.emplace_back();
+  kb_.out_edges_.emplace_back();
+  kb_.in_edges_.emplace_back();
+  return id;
+}
+
+void KbBuilder::AddEdge(ItemId subject, RelationId relation, ItemId object) {
+  DETECTIVE_CHECK(subject.valid() && relation.valid() && object.valid());
+  DETECTIVE_CHECK(!kb_.items_[subject.value()].is_literal)
+      << "literals cannot be triple subjects";
+  kb_.out_edges_[subject.value()].push_back({relation, object});
+  kb_.in_edges_[object.value()].push_back({relation, subject});
+}
+
+ItemId KbBuilder::FindEntity(std::string_view label) const {
+  auto it = kb_.items_by_label_.find(NormalizeWhitespace(label));
+  if (it == kb_.items_by_label_.end()) return ItemId::Invalid();
+  for (ItemId id : it->second) {
+    if (!kb_.items_[id.value()].is_literal) return id;
+  }
+  return ItemId::Invalid();
+}
+
+Status KbBuilder::FreezeInto(KnowledgeBase* out) && {
+  const size_t num_classes = kb_.classes_.size();
+
+  // Ancestor closure by DFS with cycle detection (0 = white, 1 = on stack,
+  // 2 = done). The taxonomy is small relative to the instance data, so the
+  // quadratic worst case of storing full closures is acceptable and buys
+  // O(log a) IsInstanceOf checks.
+  std::vector<int> color(num_classes, 0);
+  std::vector<std::vector<ClassId>> closures(num_classes);
+  // Iterative DFS to keep deep taxonomies off the call stack.
+  for (uint32_t root = 0; root < num_classes; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<uint32_t, size_t>> stack;  // (class, next parent idx)
+    stack.emplace_back(root, 0);
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [cls, next] = stack.back();
+      const std::vector<ClassId>& parents = kb_.classes_[cls].parents;
+      if (next < parents.size()) {
+        ClassId parent = parents[next++];
+        if (color[parent.value()] == 1) {
+          return Status::InvalidArgument("subClassOf cycle involving class '",
+                                         kb_.classes_[parent.value()].name, "'");
+        }
+        if (color[parent.value()] == 0) {
+          color[parent.value()] = 1;
+          stack.emplace_back(parent.value(), 0);
+        }
+        continue;
+      }
+      // All parents done: closure = self ∪ parents' closures.
+      std::vector<ClassId>& closure = closures[cls];
+      closure.push_back(ClassId(cls));
+      for (ClassId parent : parents) {
+        const std::vector<ClassId>& pc = closures[parent.value()];
+        closure.insert(closure.end(), pc.begin(), pc.end());
+      }
+      std::sort(closure.begin(), closure.end());
+      closure.erase(std::unique(closure.begin(), closure.end()), closure.end());
+      color[cls] = 2;
+      stack.pop_back();
+    }
+  }
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    kb_.classes_[c].ancestors = std::move(closures[c]);
+  }
+
+  // Per-class instance lists over the closure: every entity contributes to
+  // each ancestor of each of its direct classes. Literals go to the literal
+  // class only.
+  for (uint32_t i = 0; i < kb_.items_.size(); ++i) {
+    ItemId item(i);
+    if (kb_.items_[i].is_literal) {
+      kb_.classes_[kb_.literal_class_.value()].instances.push_back(item);
+      continue;
+    }
+    // Dedup ancestors across multiple direct classes.
+    std::vector<ClassId> all;
+    for (ClassId direct : kb_.item_classes_[i]) {
+      const std::vector<ClassId>& anc = kb_.classes_[direct.value()].ancestors;
+      all.insert(all.end(), anc.begin(), anc.end());
+    }
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    for (ClassId cls : all) kb_.classes_[cls.value()].instances.push_back(item);
+  }
+  // Sort + dedup adjacency for binary-searchable edge queries.
+  size_t edge_count = 0;
+  for (std::vector<KbEdge>& edges : kb_.out_edges_) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edge_count += edges.size();
+  }
+  for (std::vector<KbEdge>& edges : kb_.in_edges_) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  kb_.num_edges_ = edge_count;
+
+  *out = std::move(kb_);
+  return Status::OK();
+}
+
+KnowledgeBase KbBuilder::Freeze() && {
+  KnowledgeBase kb;
+  std::move(*this).FreezeInto(&kb).Abort("KbBuilder::Freeze");
+  return kb;
+}
+
+}  // namespace detective

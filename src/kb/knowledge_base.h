@@ -1,0 +1,203 @@
+#ifndef DETECTIVE_KB_KNOWLEDGE_BASE_H_
+#define DETECTIVE_KB_KNOWLEDGE_BASE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/ids.h"
+
+namespace detective {
+
+/// One edge of the KB graph, in query results.
+struct KbEdge {
+  RelationId relation;
+  ItemId target;
+
+  friend bool operator==(const KbEdge&, const KbEdge&) = default;
+  friend bool operator<(const KbEdge& a, const KbEdge& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.target < b.target;
+  }
+};
+
+/// In-memory RDF-style knowledge base (paper §II-A).
+///
+/// Vertices ("items") are entities or literals; labelled directed edges carry
+/// relationships (entity→entity) and properties (entity→literal); entities
+/// belong to classes arranged in a subClassOf taxonomy (Yago-style).
+///
+/// A KnowledgeBase is immutable: construct one through `KbBuilder` (which
+/// finalizes indexes) or a parser in ntriples_parser.h. All queries are
+/// const, O(log degree) or hash lookups, and thread-compatible.
+class KnowledgeBase {
+ public:
+  /// Vertex payload.
+  struct Item {
+    std::string label;          // normalized display label, used for matching
+    bool is_literal = false;    // literals have no classes and no out-edges
+  };
+
+  KnowledgeBase() = default;
+
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  KnowledgeBase(KnowledgeBase&&) noexcept = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) noexcept = default;
+
+  // ---- Vocabulary lookups --------------------------------------------------
+
+  /// Id of the built-in class that types all literals. Always valid.
+  ClassId literal_class() const { return literal_class_; }
+
+  /// Finds a class/relation by name; Invalid() when absent.
+  ClassId FindClass(std::string_view name) const;
+  RelationId FindRelation(std::string_view name) const;
+
+  std::string_view ClassName(ClassId id) const;
+  std::string_view RelationName(RelationId id) const;
+
+  size_t num_classes() const { return classes_.size(); }
+  size_t num_relations() const { return relation_names_.size(); }
+  size_t num_items() const { return items_.size(); }
+  size_t num_entities() const { return num_entities_; }
+  size_t num_edges() const { return num_edges_; }
+
+  // ---- Item queries --------------------------------------------------------
+
+  const Item& item(ItemId id) const { return items_[id.value()]; }
+  std::string_view Label(ItemId id) const { return items_[id.value()].label; }
+  bool IsLiteral(ItemId id) const { return items_[id.value()].is_literal; }
+
+  /// Direct classes of an entity (empty for literals).
+  std::span<const ClassId> DirectClasses(ItemId id) const;
+
+  /// True iff `item` is an instance of `cls`, honouring the subClassOf
+  /// closure; every literal is an instance of `literal_class()` only.
+  bool IsInstanceOf(ItemId item, ClassId cls) const;
+
+  /// All items of a class, subClassOf closure included (for the literal
+  /// class: all literals). Precomputed at freeze time; O(1) span access.
+  std::span<const ItemId> InstancesOf(ClassId cls) const;
+
+  /// Items whose label equals `label` exactly (labels are normalized at
+  /// build time with NormalizeWhitespace).
+  std::span<const ItemId> ItemsWithLabel(std::string_view label) const;
+
+  // ---- Edge queries --------------------------------------------------------
+
+  /// All out-edges of `source`, sorted by (relation, target).
+  std::span<const KbEdge> OutEdges(ItemId source) const;
+  /// All in-edges of `target`, sorted by (relation, source).
+  std::span<const KbEdge> InEdges(ItemId target) const;
+
+  /// Objects o with (source, relation, o) in the KB.
+  std::span<const KbEdge> Objects(ItemId source, RelationId relation) const;
+  /// Subjects s with (s, relation, target) in the KB.
+  std::span<const KbEdge> Subjects(RelationId relation, ItemId target) const;
+
+  /// True iff the triple (source, relation, target) exists. O(log degree).
+  bool HasEdge(ItemId source, RelationId relation, ItemId target) const;
+
+  /// Ancestor closure of a class (including itself), sorted.
+  std::span<const ClassId> AncestorsOf(ClassId cls) const;
+
+  /// True iff `sub` == `super` or `sub` is a (transitive) subclass.
+  bool IsSubclassOf(ClassId sub, ClassId super) const;
+
+  /// Human-readable one-line summary, e.g. for logs and Table II output.
+  std::string DebugSummary() const;
+
+ private:
+  friend class KbBuilder;
+
+  struct ClassInfo {
+    std::string name;
+    std::vector<ClassId> parents;      // direct superclasses
+    std::vector<ClassId> ancestors;    // transitive closure incl. self, sorted
+    std::vector<ItemId> instances;     // closure instances, sorted (frozen)
+  };
+
+  static std::span<const KbEdge> EdgeRange(const std::vector<KbEdge>& edges,
+                                           RelationId relation);
+
+  ClassId literal_class_;
+  std::vector<ClassInfo> classes_;
+  std::unordered_map<std::string, ClassId> class_by_name_;
+
+  std::vector<std::string> relation_names_;
+  std::unordered_map<std::string, RelationId> relation_by_name_;
+
+  std::vector<Item> items_;
+  std::vector<std::vector<ClassId>> item_classes_;  // direct, parallel to items_
+  std::vector<std::vector<KbEdge>> out_edges_;      // sorted at freeze
+  std::vector<std::vector<KbEdge>> in_edges_;       // sorted at freeze
+  std::unordered_map<std::string, std::vector<ItemId>> items_by_label_;
+  size_t num_entities_ = 0;
+  size_t num_edges_ = 0;
+};
+
+/// Mutating construction API for KnowledgeBase.
+///
+/// Typical use:
+///   KbBuilder b;
+///   ClassId city = b.AddClass("city");
+///   ItemId haifa = b.AddEntity("Haifa", {city});
+///   ItemId technion = b.AddEntity("Israel Institute of Technology", {org});
+///   b.AddEdge(technion, b.AddRelation("locatedIn"), haifa);
+///   KnowledgeBase kb = std::move(b).Freeze();
+class KbBuilder {
+ public:
+  KbBuilder();
+
+  /// Declares (or finds) a class. `parents` may name classes not yet added;
+  /// they are created on the fly.
+  ClassId AddClass(std::string_view name,
+                   const std::vector<std::string>& parents = {});
+
+  /// Adds a subClassOf edge between existing or new classes.
+  void AddSubclass(std::string_view sub, std::string_view super);
+
+  /// Declares (or finds) an edge label.
+  RelationId AddRelation(std::string_view name);
+
+  /// Creates a new entity vertex. Labels are normalized; entities with equal
+  /// labels remain distinct vertices (homonyms are real in KBs).
+  ItemId AddEntity(std::string_view label, const std::vector<ClassId>& classes);
+
+  /// Adds `cls` to an existing entity.
+  void AddClassToEntity(ItemId entity, ClassId cls);
+
+  /// Returns the literal vertex for `value`, creating it on first use
+  /// (literals are deduplicated by value).
+  ItemId AddLiteral(std::string_view value);
+
+  /// Adds the triple (subject, relation, object). Duplicate triples are
+  /// deduplicated at freeze time.
+  void AddEdge(ItemId subject, RelationId relation, ItemId object);
+
+  /// First entity with this normalized label, or Invalid().
+  ItemId FindEntity(std::string_view label) const;
+
+  size_t num_items() const { return kb_.items_.size(); }
+
+  /// Validates the taxonomy (rejects subClassOf cycles), sorts adjacency,
+  /// computes ancestor closures and per-class instance lists. The builder is
+  /// consumed.
+  Status FreezeInto(KnowledgeBase* out) &&;
+
+  /// Convenience wrapper that aborts on invalid input; for generators and
+  /// tests whose input is correct by construction.
+  KnowledgeBase Freeze() &&;
+
+ private:
+  KnowledgeBase kb_;
+  std::unordered_map<std::string, ItemId> literal_by_value_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,428 @@
+#include "kb/ntriples_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace detective {
+
+namespace {
+
+constexpr std::string_view kTypePredicates[] = {"rdf:type", "a", "type"};
+constexpr std::string_view kSubclassPredicates[] = {"rdfs:subClassOf", "subClassOf"};
+constexpr std::string_view kLabelPredicates[] = {"rdfs:label", "label"};
+constexpr std::string_view kClassMarkers[] = {"rdfs:Class", "owl:Class"};
+
+bool IsAnyOf(std::string_view name, std::span<const std::string_view> set) {
+  for (std::string_view candidate : set) {
+    if (name == candidate) return true;
+  }
+  return false;
+}
+
+/// A triple whose IRIs have been reduced to local names but whose role
+/// (class vs entity) is not yet known.
+struct RawTriple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  bool object_is_literal = false;
+};
+
+/// Strips a namespace prefix and turns underscores into spaces so IRIs match
+/// relational cell values ("Avram_Hershko" -> "Avram Hershko"). Predicates
+/// keep their prefix if it is a schema one (rdf:/rdfs:/owl:).
+std::string PrettifyLocalName(std::string_view iri) {
+  size_t cut = iri.find_last_of("/#");
+  std::string_view local = cut == std::string_view::npos ? iri : iri.substr(cut + 1);
+  return ReplaceAll(local, "_", " ");
+}
+
+/// Parses a quoted literal starting at text[pos] == '"'. Handles \" \\ \n \t
+/// escapes and strips trailing @lang / ^^<datatype> suffixes.
+Status ParseLiteral(std::string_view text, size_t* pos, std::string* out,
+                    size_t line_number) {
+  size_t i = *pos + 1;  // skip opening quote
+  out->clear();
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      char next = text[i + 1];
+      switch (next) {
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case '"':
+        case '\\':
+          out->push_back(next);
+          break;
+        default:
+          out->push_back(next);
+          break;
+      }
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      i += 1;
+      // Skip @lang or ^^<datatype> suffix.
+      if (i < text.size() && text[i] == '@') {
+        while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+      } else if (i + 1 < text.size() && text[i] == '^' && text[i + 1] == '^') {
+        while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      *pos = i;
+      return Status::OK();
+    }
+    out->push_back(c);
+    ++i;
+  }
+  return Status::ParseError("unterminated literal on line ", line_number);
+}
+
+Status ParseNTriplesLine(std::string_view line, size_t line_number,
+                         std::vector<RawTriple>* out) {
+  std::string_view trimmed = TrimView(line);
+  if (trimmed.empty() || trimmed.front() == '#') return Status::OK();
+
+  auto skip_ws = [&](size_t i) {
+    while (i < trimmed.size() && std::isspace(static_cast<unsigned char>(trimmed[i]))) ++i;
+    return i;
+  };
+  auto read_iri = [&](size_t* i, std::string_view* iri) -> Status {
+    if (*i >= trimmed.size() || trimmed[*i] != '<') {
+      return Status::ParseError("expected '<' on line ", line_number);
+    }
+    size_t end = trimmed.find('>', *i);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI on line ", line_number);
+    }
+    *iri = trimmed.substr(*i + 1, end - *i - 1);
+    *i = end + 1;
+    return Status::OK();
+  };
+
+  RawTriple triple;
+  size_t i = 0;
+  std::string_view subject_iri;
+  RETURN_NOT_OK(read_iri(&i, &subject_iri));
+  triple.subject = std::string(subject_iri);
+
+  i = skip_ws(i);
+  // Predicates may be bare tokens (rdf:type, a) or IRIs.
+  if (i < trimmed.size() && trimmed[i] == '<') {
+    std::string_view predicate_iri;
+    RETURN_NOT_OK(read_iri(&i, &predicate_iri));
+    triple.predicate = std::string(predicate_iri);
+  } else {
+    size_t start = i;
+    while (i < trimmed.size() && !std::isspace(static_cast<unsigned char>(trimmed[i]))) ++i;
+    if (start == i) return Status::ParseError("missing predicate on line ", line_number);
+    triple.predicate = std::string(trimmed.substr(start, i - start));
+  }
+
+  i = skip_ws(i);
+  if (i >= trimmed.size()) {
+    return Status::ParseError("missing object on line ", line_number);
+  }
+  if (trimmed[i] == '"') {
+    RETURN_NOT_OK(ParseLiteral(trimmed, &i, &triple.object, line_number));
+    triple.object_is_literal = true;
+  } else {
+    std::string_view object_iri;
+    RETURN_NOT_OK(read_iri(&i, &object_iri));
+    triple.object = std::string(object_iri);
+  }
+
+  i = skip_ws(i);
+  if (i >= trimmed.size() || trimmed[i] != '.') {
+    return Status::ParseError("expected terminating '.' on line ", line_number);
+  }
+  if (skip_ws(i + 1) != trimmed.size()) {
+    return Status::ParseError("trailing content after '.' on line ", line_number);
+  }
+  out->push_back(std::move(triple));
+  return Status::OK();
+}
+
+Status ParseTsvLine(std::string_view line, size_t line_number,
+                    std::vector<RawTriple>* out) {
+  std::string_view trimmed = TrimView(line);
+  if (trimmed.empty() || trimmed.front() == '#') return Status::OK();
+  std::vector<std::string> fields = Split(trimmed, '\t');
+  if (fields.size() != 3) {
+    return Status::ParseError("expected 3 tab-separated fields on line ", line_number,
+                              ", got ", fields.size());
+  }
+  RawTriple triple;
+  triple.subject = Trim(fields[0]);
+  triple.predicate = Trim(fields[1]);
+  std::string object = Trim(fields[2]);
+  if (object.size() >= 2 && object.front() == '"' && object.back() == '"') {
+    triple.object = object.substr(1, object.size() - 2);
+    triple.object_is_literal = true;
+  } else {
+    triple.object = std::move(object);
+  }
+  if (triple.subject.empty() || triple.predicate.empty()) {
+    return Status::ParseError("empty subject or predicate on line ", line_number);
+  }
+  out->push_back(std::move(triple));
+  return Status::OK();
+}
+
+/// Second pass shared by both formats: decide which names denote classes,
+/// then build the KB.
+Result<KnowledgeBase> BuildFromTriples(const std::vector<RawTriple>& triples) {
+  // A name is a class iff it appears as (a) the object of rdf:type (unless
+  // that object is the explicit class marker, which classifies the subject),
+  // or (b) either side of rdfs:subClassOf.
+  std::unordered_set<std::string> class_names;
+  for (const RawTriple& t : triples) {
+    if (IsAnyOf(t.predicate, kSubclassPredicates)) {
+      class_names.insert(t.subject);
+      class_names.insert(t.object);
+    } else if (IsAnyOf(t.predicate, kTypePredicates) && !t.object_is_literal) {
+      if (IsAnyOf(t.object, kClassMarkers)) {
+        class_names.insert(t.subject);
+      } else {
+        class_names.insert(t.object);
+      }
+    }
+  }
+
+  // Explicit rdfs:label beats the prettified IRI; collect before creating
+  // any entity so the right label is used regardless of triple order.
+  std::unordered_map<std::string, std::string> labels;  // iri -> explicit label
+  for (const RawTriple& t : triples) {
+    if (IsAnyOf(t.predicate, kLabelPredicates) && t.object_is_literal) {
+      labels[t.subject] = t.object;
+    }
+  }
+
+  KbBuilder builder;
+  std::unordered_map<std::string, ClassId> class_ids;
+  class_ids.reserve(class_names.size());
+  for (const std::string& name : class_names) {
+    class_ids.emplace(name, builder.AddClass(PrettifyLocalName(name)));
+  }
+
+  // Entities are identified by IRI (not by label): create lazily.
+  std::unordered_map<std::string, ItemId> entity_ids;
+  auto entity_for = [&](const std::string& iri) {
+    auto [it, inserted] = entity_ids.try_emplace(iri, ItemId::Invalid());
+    if (inserted) {
+      auto label_it = labels.find(iri);
+      it->second = builder.AddEntity(
+          label_it != labels.end() ? label_it->second : PrettifyLocalName(iri), {});
+    }
+    return it->second;
+  };
+
+  for (const RawTriple& t : triples) {
+    if (IsAnyOf(t.predicate, kSubclassPredicates)) continue;  // handled below
+    if (IsAnyOf(t.predicate, kTypePredicates) && !t.object_is_literal) {
+      if (IsAnyOf(t.object, kClassMarkers)) continue;  // class declaration
+      if (class_names.contains(t.subject)) continue;   // classes aren't entities
+      builder.AddClassToEntity(entity_for(t.subject), class_ids.at(t.object));
+      continue;
+    }
+    if (IsAnyOf(t.predicate, kLabelPredicates) && t.object_is_literal) {
+      continue;  // applied at entity creation
+    }
+    ItemId subject = entity_for(t.subject);
+    RelationId relation = builder.AddRelation(PrettifyLocalName(t.predicate));
+    ItemId object = t.object_is_literal ? builder.AddLiteral(t.object)
+                                        : entity_for(t.object);
+    builder.AddEdge(subject, relation, object);
+  }
+
+  for (const RawTriple& t : triples) {
+    if (!IsAnyOf(t.predicate, kSubclassPredicates)) continue;
+    builder.AddSubclass(PrettifyLocalName(t.subject), PrettifyLocalName(t.object));
+  }
+
+  KnowledgeBase kb;
+  Status st = std::move(builder).FreezeInto(&kb);
+  if (!st.ok()) return st;
+  return kb;
+}
+
+Result<std::vector<RawTriple>> TokenizeNTriples(std::string_view text) {
+  std::vector<RawTriple> triples;
+  size_t line_number = 1;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = end == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    Status st = ParseNTriplesLine(line, line_number, &triples);
+    if (!st.ok()) return st;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+    ++line_number;
+  }
+  return triples;
+}
+
+}  // namespace
+
+Result<KnowledgeBase> ParseNTriples(std::string_view text) {
+  auto triples = TokenizeNTriples(text);
+  if (!triples.ok()) return triples.status();
+  return BuildFromTriples(*triples);
+}
+
+Result<KnowledgeBase> ParseNTriplesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open ", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for ", path);
+  return ParseNTriples(buffer.str());
+}
+
+Result<KnowledgeBase> ParseTsvTriples(std::string_view text) {
+  std::vector<RawTriple> triples;
+  size_t line_number = 1;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = end == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    Status st = ParseTsvLine(line, line_number, &triples);
+    if (!st.ok()) return st;
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+    ++line_number;
+  }
+  return BuildFromTriples(triples);
+}
+
+namespace {
+
+std::string EscapeIri(std::string_view label) {
+  std::string out = ReplaceAll(label, " ", "_");
+  // Angle brackets and whitespace are the only characters our reader cannot
+  // round-trip inside an IRI.
+  out = ReplaceAll(out, "<", "(");
+  out = ReplaceAll(out, ">", ")");
+  return out;
+}
+
+std::string EscapeLiteral(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToNTriples(const KnowledgeBase& kb) {
+  std::ostringstream out;
+  // Class declarations and taxonomy.
+  for (uint32_t c = 0; c < kb.num_classes(); ++c) {
+    ClassId cls(c);
+    if (cls == kb.literal_class()) continue;
+    std::string class_iri = EscapeIri(kb.ClassName(cls));
+    out << "<" << class_iri << "> rdf:type <rdfs:Class> .\n";
+    // Direct parents are not exposed; emit the ancestor closure minus self,
+    // which parses back to an equivalent taxonomy.
+    for (ClassId ancestor : kb.AncestorsOf(cls)) {
+      if (ancestor == cls) continue;
+      out << "<" << class_iri << "> rdfs:subClassOf <"
+          << EscapeIri(kb.ClassName(ancestor)) << "> .\n";
+    }
+  }
+  // Entities: identity is the item id, label carried via rdfs:label.
+  auto iri_of = [](ItemId id) { return "e" + std::to_string(id.value()); };
+  for (uint32_t i = 0; i < kb.num_items(); ++i) {
+    ItemId item(i);
+    if (kb.IsLiteral(item)) continue;
+    out << "<" << iri_of(item) << "> rdfs:label \"" << EscapeLiteral(kb.Label(item))
+        << "\" .\n";
+    for (ClassId cls : kb.DirectClasses(item)) {
+      out << "<" << iri_of(item) << "> rdf:type <" << EscapeIri(kb.ClassName(cls))
+          << "> .\n";
+    }
+    for (const KbEdge& edge : kb.OutEdges(item)) {
+      out << "<" << iri_of(item) << "> <" << EscapeIri(kb.RelationName(edge.relation))
+          << "> ";
+      if (kb.IsLiteral(edge.target)) {
+        out << "\"" << EscapeLiteral(kb.Label(edge.target)) << "\"";
+      } else {
+        out << "<" << iri_of(edge.target) << ">";
+      }
+      out << " .\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ToTsvTriples(const KnowledgeBase& kb) {
+  std::ostringstream out;
+  auto iri_of = [](ItemId id) { return "e" + std::to_string(id.value()); };
+  for (uint32_t c = 0; c < kb.num_classes(); ++c) {
+    ClassId cls(c);
+    if (cls == kb.literal_class()) continue;
+    std::string class_iri = EscapeIri(kb.ClassName(cls));
+    out << class_iri << "\trdf:type\trdfs:Class\n";
+    for (ClassId ancestor : kb.AncestorsOf(cls)) {
+      if (ancestor == cls) continue;
+      out << class_iri << "\trdfs:subClassOf\t" << EscapeIri(kb.ClassName(ancestor))
+          << "\n";
+    }
+  }
+  for (uint32_t i = 0; i < kb.num_items(); ++i) {
+    ItemId item(i);
+    if (kb.IsLiteral(item)) continue;
+    // TSV fields cannot hold tabs/newlines; labels are normalized at build
+    // time so plain emission is safe.
+    out << iri_of(item) << "\trdfs:label\t\"" << kb.Label(item) << "\"\n";
+    for (ClassId cls : kb.DirectClasses(item)) {
+      out << iri_of(item) << "\trdf:type\t" << EscapeIri(kb.ClassName(cls)) << "\n";
+    }
+    for (const KbEdge& edge : kb.OutEdges(item)) {
+      out << iri_of(item) << "\t" << EscapeIri(kb.RelationName(edge.relation))
+          << "\t";
+      if (kb.IsLiteral(edge.target)) {
+        out << "\"" << kb.Label(edge.target) << "\"";
+      } else {
+        out << iri_of(edge.target);
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace detective

@@ -1,0 +1,49 @@
+#ifndef DETECTIVE_KB_NTRIPLES_PARSER_H_
+#define DETECTIVE_KB_NTRIPLES_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "kb/knowledge_base.h"
+
+namespace detective {
+
+/// Hand-rolled parser for the N-Triples subset that Yago/DBpedia dumps use
+/// in practice (no prefixes, no blank nodes, no datatype/lang tags needed by
+/// the cleaning algorithms — tags are accepted and stripped).
+///
+/// Accepted line forms ('#' starts a comment; blank lines are skipped):
+///
+///   <subject> <predicate> <object> .
+///   <subject> <predicate> "literal value" .
+///
+/// Three predicates receive schema treatment:
+///   rdf:type / <rdf:type>         — types the subject with the object class
+///   rdfs:subClassOf               — taxonomy edge between two classes
+///   rdfs:label                    — sets the subject's display label
+///
+/// Every other predicate becomes a relationship (entity object) or property
+/// (literal object). IRIs are reduced to their local name; underscores become
+/// spaces, so `<Avram_Hershko>` matches the cell value "Avram Hershko".
+///
+/// The same data can be supplied as TAB-separated values (one triple per
+/// line, literal objects double-quoted); see ParseTsvTriples.
+Result<KnowledgeBase> ParseNTriples(std::string_view text);
+Result<KnowledgeBase> ParseNTriplesFile(const std::string& path);
+
+/// TSV flavour: `subject<TAB>predicate<TAB>object`, with `"..."` marking
+/// literal objects. Schema predicates behave as in ParseNTriples.
+Result<KnowledgeBase> ParseTsvTriples(std::string_view text);
+
+/// Serializes a KnowledgeBase back to the N-Triples subset (round-trips
+/// through ParseNTriples; used by tests and by the example programs to show
+/// the generated KBs).
+std::string ToNTriples(const KnowledgeBase& kb);
+
+/// TSV counterpart of ToNTriples (round-trips through ParseTsvTriples).
+std::string ToTsvTriples(const KnowledgeBase& kb);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_KB_NTRIPLES_PARSER_H_

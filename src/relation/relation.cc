@@ -1,0 +1,124 @@
+#include "relation/relation.h"
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace detective {
+
+Schema::Schema(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      DETECTIVE_CHECK(columns_[i] != columns_[j])
+          << "duplicate column name '" << columns_[i] << "'";
+    }
+  }
+}
+
+ColumnIndex Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<ColumnIndex>(i);
+  }
+  return kInvalidColumn;
+}
+
+Tuple::Tuple(std::vector<std::string> values)
+    : values_(std::move(values)),
+      marks_(values_.size(), CellMark::kUnknown),
+      repaired_(values_.size(), 0),
+      originals_(values_.size()) {}
+
+size_t Tuple::CountPositive() const {
+  size_t count = 0;
+  for (CellMark mark : marks_) count += mark == CellMark::kPositive ? 1 : 0;
+  return count;
+}
+
+void Tuple::Repair(ColumnIndex column, std::string new_value) {
+  if (!repaired_[column]) {
+    originals_[column] = values_[column];
+    repaired_[column] = 1;
+  }
+  values_[column] = std::move(new_value);
+}
+
+size_t Tuple::CountRepaired() const {
+  size_t count = 0;
+  for (uint8_t flag : repaired_) count += flag;
+  return count;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << values_[i];
+    if (marks_[i] == CellMark::kPositive) out << "+";
+  }
+  out << ")";
+  return out.str();
+}
+
+Status Relation::Append(std::vector<std::string> values) {
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row has ", values.size(), " values, schema has ",
+                                   schema_.num_columns(), " columns");
+  }
+  tuples_.emplace_back(std::move(values));
+  return Status::OK();
+}
+
+void Relation::Append(Tuple tuple) {
+  DETECTIVE_CHECK_EQ(tuple.size(), schema_.num_columns());
+  tuples_.push_back(std::move(tuple));
+}
+
+size_t Relation::CountPositiveCells() const {
+  size_t count = 0;
+  for (const Tuple& tuple : tuples_) count += tuple.CountPositive();
+  return count;
+}
+
+Result<Relation> Relation::FromCsv(std::string_view text) {
+  auto rows = ParseCsv(text);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return Status::InvalidArgument("CSV has no header row");
+  Relation relation{Schema((*rows)[0])};
+  for (size_t i = 1; i < rows->size(); ++i) {
+    Status st = relation.Append(std::move((*rows)[i]));
+    if (!st.ok()) return st.WithContext("row " + std::to_string(i + 1));
+  }
+  return relation;
+}
+
+Result<Relation> Relation::FromCsvFile(const std::string& path) {
+  auto rows = ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return Status::InvalidArgument(path, " has no header row");
+  Relation relation{Schema((*rows)[0])};
+  for (size_t i = 1; i < rows->size(); ++i) {
+    Status st = relation.Append(std::move((*rows)[i]));
+    if (!st.ok()) return st.WithContext(path + " row " + std::to_string(i + 1));
+  }
+  return relation;
+}
+
+std::string Relation::ToCsv() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tuples_.size() + 1);
+  rows.push_back(schema_.columns());
+  for (const Tuple& tuple : tuples_) rows.push_back(tuple.values());
+  return FormatCsv(rows);
+}
+
+Status Relation::ToCsvFile(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(tuples_.size() + 1);
+  rows.push_back(schema_.columns());
+  for (const Tuple& tuple : tuples_) rows.push_back(tuple.values());
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace detective

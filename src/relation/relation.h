@@ -1,0 +1,135 @@
+#ifndef DETECTIVE_RELATION_RELATION_H_
+#define DETECTIVE_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace detective {
+
+/// Index of a column within a Schema.
+using ColumnIndex = uint32_t;
+inline constexpr ColumnIndex kInvalidColumn = static_cast<ColumnIndex>(-1);
+
+/// An ordered list of named columns (relation schema R).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const std::string& column_name(ColumnIndex index) const { return columns_[index]; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Index of `name`, or kInvalidColumn.
+  ColumnIndex FindColumn(std::string_view name) const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// Correctness marking of one cell. The paper marks cells "positive" (+)
+/// when a rule proves them correct — either directly or after a repair; all
+/// other cells are of unknown correctness.
+enum class CellMark : uint8_t {
+  kUnknown = 0,
+  kPositive = 1,
+};
+
+/// One row: string cells plus per-cell marks and repair provenance.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<std::string> values);
+
+  size_t size() const { return values_.size(); }
+  const std::string& value(ColumnIndex column) const { return values_[column]; }
+  const std::vector<std::string>& values() const { return values_; }
+
+  CellMark mark(ColumnIndex column) const { return marks_[column]; }
+  bool IsPositive(ColumnIndex column) const {
+    return marks_[column] == CellMark::kPositive;
+  }
+  size_t CountPositive() const;
+
+  /// Marks a cell positive (monotone: never un-marked).
+  void MarkPositive(ColumnIndex column) { marks_[column] = CellMark::kPositive; }
+
+  /// Overwrites a cell value as a repair and records provenance. The caller
+  /// is responsible for the paper's invariant that positively-marked cells
+  /// are never repaired (repairers enforce it with a check).
+  void Repair(ColumnIndex column, std::string new_value);
+
+  /// Plain write without provenance, for loading and generators.
+  void SetValue(ColumnIndex column, std::string new_value) {
+    values_[column] = std::move(new_value);
+  }
+
+  bool WasRepaired(ColumnIndex column) const { return repaired_[column]; }
+  /// The value the cell held before its first repair (meaningful only when
+  /// WasRepaired(column)).
+  const std::string& OriginalValue(ColumnIndex column) const {
+    return originals_[column];
+  }
+  size_t CountRepaired() const;
+
+  /// "v1, v2+, v3" rendering used in examples and test failures (the paper's
+  /// + notation for marked tuples).
+  std::string ToString() const;
+
+  /// Equality over values only (marks/provenance ignored) — what fixpoint
+  /// comparison needs.
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<std::string> values_;
+  std::vector<CellMark> marks_;
+  std::vector<uint8_t> repaired_;      // bool per cell
+  std::vector<std::string> originals_; // pre-repair values
+};
+
+/// A table instance D of schema R.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_tuples() const { return tuples_.size(); }
+
+  const Tuple& tuple(size_t row) const { return tuples_[row]; }
+  Tuple& mutable_tuple(size_t row) { return tuples_[row]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a row; must have schema().num_columns() values.
+  Status Append(std::vector<std::string> values);
+  void Append(Tuple tuple);
+
+  /// Total number of cells (rows × columns).
+  size_t num_cells() const { return tuples_.size() * schema_.num_columns(); }
+
+  /// Cells marked positive across all tuples — the paper's #-POS metric.
+  size_t CountPositiveCells() const;
+
+  /// CSV round-trip: first record is the header.
+  static Result<Relation> FromCsvFile(const std::string& path);
+  static Result<Relation> FromCsv(std::string_view text);
+  Status ToCsvFile(const std::string& path) const;
+  std::string ToCsv() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_RELATION_RELATION_H_

@@ -1,0 +1,71 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace detective {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter: less memory
+  if (b.empty()) return a.size();
+
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];  // DP[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];  // DP[i-1][j]
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, above + 1, diagonal + cost});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b, size_t max_edits) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t big = max_edits + 1;
+  // Length difference alone already exceeds the band.
+  if (a.size() - b.size() > max_edits) return big;
+  if (b.empty()) return a.size();
+
+  // Only cells with |i - j| <= max_edits can hold a value <= max_edits, so we
+  // evaluate a diagonal band of width 2*max_edits+1 per row.
+  std::vector<size_t> row(b.size() + 1, big);
+  for (size_t j = 0; j <= std::min(b.size(), max_edits); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t lo = i > max_edits ? i - max_edits : 0;
+    size_t hi = std::min(b.size(), i + max_edits);
+    size_t diagonal = row[lo > 0 ? lo - 1 : 0];  // DP[i-1][lo-1]
+    size_t row_min = big;
+    if (lo == 0) {
+      diagonal = row[0];
+      row[0] = i;
+      row_min = i;
+    } else {
+      // Left neighbour of the first band cell lies outside the band.
+      row[lo - 1] = big;
+    }
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      size_t above = row[j];
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      size_t best = std::min({row[j - 1] + 1, above + 1, diagonal + cost});
+      row[j] = std::min(best, big);
+      row_min = std::min(row_min, row[j]);
+      diagonal = above;
+    }
+    if (hi < b.size()) row[hi + 1] = big;  // right edge of next row's band
+    if (row_min > max_edits) return big;   // the band can only grow
+  }
+  return row[b.size()];
+}
+
+bool WithinEditDistance(std::string_view a, std::string_view b, size_t max_edits) {
+  return BoundedEditDistance(a, b, max_edits) <= max_edits;
+}
+
+}  // namespace detective

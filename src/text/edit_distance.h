@@ -1,0 +1,23 @@
+#ifndef DETECTIVE_TEXT_EDIT_DISTANCE_H_
+#define DETECTIVE_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace detective {
+
+/// Levenshtein distance (insert / delete / substitute, unit costs).
+/// O(|a|·|b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: returns the exact distance when it is <= `max_edits`,
+/// otherwise any value > `max_edits`. O((|a|+|b|)·max_edits) time — this is
+/// the verification step behind the paper's "ED, k" matching operation.
+size_t BoundedEditDistance(std::string_view a, std::string_view b, size_t max_edits);
+
+/// True iff EditDistance(a, b) <= max_edits.
+bool WithinEditDistance(std::string_view a, std::string_view b, size_t max_edits);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,264 @@
+#include "text/signature_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace detective {
+
+namespace {
+
+/// Segment layout of the PASS-JOIN even partition for a string of length
+/// `total` split into `parts` segments: the first `parts - total % parts`
+/// segments take floor(total/parts) characters, the rest one more.
+struct SegmentLayout {
+  size_t start;
+  size_t length;
+};
+
+std::vector<SegmentLayout> PartitionLayout(size_t total, size_t parts) {
+  std::vector<SegmentLayout> layout(parts);
+  size_t base = total / parts;
+  size_t longer = total % parts;
+  size_t pos = 0;
+  for (size_t i = 0; i < parts; ++i) {
+    size_t len = base + (i >= parts - longer ? 1 : 0);
+    layout[i] = {pos, len};
+    pos += len;
+  }
+  return layout;
+}
+
+std::string SegmentKey(size_t length, size_t slot, std::string_view segment) {
+  std::string key = std::to_string(length);
+  key.push_back('|');
+  key += std::to_string(slot);
+  key.push_back('|');
+  key.append(segment);
+  return key;
+}
+
+void SortUnique(std::vector<uint32_t>* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+}  // namespace
+
+SignatureIndex::SignatureIndex(Similarity similarity) : similarity_(similarity) {}
+
+void SignatureIndex::Add(uint32_t id, std::string_view value) {
+  DETECTIVE_CHECK(!built_) << "Add after Build";
+  entries_.push_back({id, std::string(value)});
+}
+
+void SignatureIndex::Build() {
+  DETECTIVE_CHECK(!built_) << "Build called twice";
+  built_ = true;
+  switch (similarity_.kind()) {
+    case SimilarityKind::kEquality:
+      for (uint32_t e = 0; e < entries_.size(); ++e) {
+        exact_[entries_[e].value].push_back(e);
+      }
+      break;
+    case SimilarityKind::kEditDistance:
+      BuildEditDistance();
+      break;
+    case SimilarityKind::kJaccard:
+    case SimilarityKind::kCosine:
+      BuildPrefixFilter();
+      break;
+  }
+}
+
+void SignatureIndex::BuildEditDistance() {
+  const size_t parts = similarity_.max_edits() + 1;
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    const std::string& value = entries_[e].value;
+    if (value.size() < parts) {
+      // Too short to host non-empty segments: filed under a catch-all list
+      // that every query probes (such strings are rare and cheap to verify).
+      lists_["~short"].push_back(e);
+      continue;
+    }
+    for (size_t slot = 0; slot < parts; ++slot) {
+      std::vector<SegmentLayout> layout = PartitionLayout(value.size(), parts);
+      std::string_view segment(value.data() + layout[slot].start, layout[slot].length);
+      lists_[SegmentKey(value.size(), slot, segment)].push_back(e);
+    }
+  }
+}
+
+std::vector<uint32_t> SignatureIndex::CandidatesEditDistance(
+    std::string_view query) const {
+  const size_t k = similarity_.max_edits();
+  const size_t parts = k + 1;
+  std::vector<uint32_t> out;
+
+  if (auto it = lists_.find("~short"); it != lists_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+
+  // Any match has length within k of the query; for each such length we probe
+  // the segments that could appear in the query, shifted by at most k.
+  size_t min_len = query.size() > k ? query.size() - k : parts;
+  size_t max_len = query.size() + k;
+  for (size_t len = std::max(min_len, parts); len <= max_len; ++len) {
+    std::vector<SegmentLayout> layout = PartitionLayout(len, parts);
+    for (size_t slot = 0; slot < parts; ++slot) {
+      const SegmentLayout& seg = layout[slot];
+      if (seg.length == 0 || seg.length > query.size()) continue;
+      size_t lo = seg.start > k ? seg.start - k : 0;
+      size_t hi = std::min(query.size() - seg.length, seg.start + k);
+      for (size_t start = lo; start <= hi; ++start) {
+        std::string key =
+            SegmentKey(len, slot, query.substr(start, seg.length));
+        if (auto it = lists_.find(key); it != lists_.end()) {
+          out.insert(out.end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+  }
+  SortUnique(&out);
+  return out;
+}
+
+size_t SignatureIndex::PrefixLength(size_t set_size) const {
+  if (set_size == 0) return 0;
+  double t = similarity_.threshold();
+  double keep = similarity_.kind() == SimilarityKind::kJaccard
+                    ? t * static_cast<double>(set_size)
+                    : t * t * static_cast<double>(set_size);
+  size_t kept = static_cast<size_t>(std::ceil(keep - 1e-9));
+  if (kept > set_size) kept = set_size;
+  return set_size - kept + 1;
+}
+
+void SignatureIndex::BuildPrefixFilter() {
+  // Global order: ascending document frequency, ties broken lexicographically
+  // (rarest tokens first maximize pruning).
+  std::unordered_map<std::string, uint32_t> frequency;
+  std::vector<std::vector<std::string>> token_sets(entries_.size());
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    token_sets[e] = WordTokenSet(entries_[e].value);
+    for (const std::string& token : token_sets[e]) ++frequency[token];
+  }
+  std::vector<std::pair<uint32_t, std::string>> order;
+  order.reserve(frequency.size());
+  for (auto& [token, count] : frequency) order.emplace_back(count, token);
+  std::sort(order.begin(), order.end());
+  token_rank_.reserve(order.size());
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    token_rank_.emplace(order[rank].second, rank);
+  }
+
+  entry_tokens_.resize(entries_.size());
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    std::vector<uint32_t>& ranks = entry_tokens_[e];
+    ranks.reserve(token_sets[e].size());
+    for (const std::string& token : token_sets[e]) {
+      ranks.push_back(token_rank_.at(token));
+    }
+    std::sort(ranks.begin(), ranks.end());
+    size_t prefix = PrefixLength(ranks.size());
+    for (size_t i = 0; i < prefix; ++i) {
+      lists_[order[ranks[i]].second].push_back(e);
+    }
+    if (ranks.empty()) lists_["~empty"].push_back(e);
+  }
+}
+
+std::vector<uint32_t> SignatureIndex::CandidatesPrefixFilter(
+    std::string_view query) const {
+  std::vector<std::string> tokens = WordTokenSet(query);
+  std::vector<uint32_t> out;
+  if (tokens.empty()) {
+    if (auto it = lists_.find("~empty"); it != lists_.end()) {
+      out = it->second;
+    }
+    SortUnique(&out);
+    return out;
+  }
+  // Order query tokens by the global rank; tokens outside the indexed
+  // vocabulary sort first (they are the rarest possible) and probe nothing.
+  std::vector<std::pair<uint64_t, const std::string*>> ordered;
+  ordered.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    auto it = token_rank_.find(token);
+    // Unseen tokens get rank below every known token; disambiguate by hash
+    // only for ordering stability (any consistent order is correct).
+    uint64_t rank = it == token_rank_.end()
+                        ? 0
+                        : static_cast<uint64_t>(it->second) + 1;
+    ordered.emplace_back(rank, &token);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t prefix = PrefixLength(ordered.size());
+  for (size_t i = 0; i < prefix; ++i) {
+    auto it = lists_.find(*ordered[i].second);
+    if (it != lists_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  SortUnique(&out);
+  return out;
+}
+
+std::vector<uint32_t> SignatureIndex::Candidates(std::string_view query) const {
+  DETECTIVE_CHECK(built_) << "Candidates before Build";
+  std::vector<uint32_t> entry_indexes;
+  switch (similarity_.kind()) {
+    case SimilarityKind::kEquality: {
+      auto it = exact_.find(std::string(query));
+      if (it != exact_.end()) entry_indexes = it->second;
+      break;
+    }
+    case SimilarityKind::kEditDistance:
+      entry_indexes = CandidatesEditDistance(query);
+      break;
+    case SimilarityKind::kJaccard:
+    case SimilarityKind::kCosine:
+      entry_indexes = CandidatesPrefixFilter(query);
+      break;
+  }
+  std::vector<uint32_t> ids;
+  ids.reserve(entry_indexes.size());
+  for (uint32_t e : entry_indexes) ids.push_back(entries_[e].id);
+  SortUnique(&ids);
+  return ids;
+}
+
+std::vector<uint32_t> SignatureIndex::Matches(std::string_view query) const {
+  DETECTIVE_CHECK(built_) << "Matches before Build";
+  std::vector<uint32_t> entry_indexes;
+  switch (similarity_.kind()) {
+    case SimilarityKind::kEquality: {
+      // Exact lookups need no verification.
+      auto it = exact_.find(std::string(query));
+      if (it == exact_.end()) return {};
+      std::vector<uint32_t> ids;
+      ids.reserve(it->second.size());
+      for (uint32_t e : it->second) ids.push_back(entries_[e].id);
+      SortUnique(&ids);
+      return ids;
+    }
+    case SimilarityKind::kEditDistance:
+      entry_indexes = CandidatesEditDistance(query);
+      break;
+    case SimilarityKind::kJaccard:
+    case SimilarityKind::kCosine:
+      entry_indexes = CandidatesPrefixFilter(query);
+      break;
+  }
+  std::vector<uint32_t> ids;
+  for (uint32_t e : entry_indexes) {
+    if (similarity_.Matches(query, entries_[e].value)) ids.push_back(entries_[e].id);
+  }
+  SortUnique(&ids);
+  return ids;
+}
+
+}  // namespace detective

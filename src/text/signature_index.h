@@ -1,0 +1,94 @@
+#ifndef DETECTIVE_TEXT_SIGNATURE_INDEX_H_
+#define DETECTIVE_TEXT_SIGNATURE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/similarity.h"
+
+namespace detective {
+
+/// Signature-based inverted index over a string collection (paper §IV-B(2)).
+///
+/// "For each type(u), we generate signatures for each instance in KB
+///  belonging to type(u). If a cell value can match an instance, they must
+///  share a common signature... for each signature we maintain an inverted
+///  list of instances that contain the signature."
+///
+/// Signature schemes by similarity kind:
+///   - equality:      the whole string (a plain hash index);
+///   - edit distance: PASS-JOIN partitions — each indexed string is split
+///     into `max_edits`+1 segments; by pigeonhole, any string within k edits
+///     must contain one segment verbatim at a compatible position;
+///   - Jaccard/Cosine: prefix filtering — tokens are globally ordered by
+///     ascending frequency; two sets meeting the threshold must share a token
+///     in each other's prefix.
+///
+/// `Candidates()` returns a superset of the true matches (the completeness
+/// property our tests check); `Matches()` verifies candidates with the exact
+/// similarity predicate.
+class SignatureIndex {
+ public:
+  explicit SignatureIndex(Similarity similarity);
+
+  /// Registers a string under the caller's id (ids may repeat across values;
+  /// one id per Add call). Must be called before Build().
+  void Add(uint32_t id, std::string_view value);
+
+  /// Finalizes the index. Add() must not be called afterwards.
+  void Build();
+
+  /// Ids whose values *may* match `query` (no false negatives). Sorted,
+  /// deduplicated.
+  std::vector<uint32_t> Candidates(std::string_view query) const;
+
+  /// Ids whose values match `query` under the similarity. Sorted.
+  std::vector<uint32_t> Matches(std::string_view query) const;
+
+  size_t size() const { return entries_.size(); }
+  const Similarity& similarity() const { return similarity_; }
+
+  /// Number of inverted-list probes the last Candidates() call performed —
+  /// exposed for the micro-benchmarks and tests of pruning power.
+  struct Stats {
+    size_t probes = 0;
+    size_t candidates = 0;
+  };
+
+ private:
+  struct Entry {
+    uint32_t id;
+    std::string value;
+  };
+
+  // --- edit-distance scheme ---
+  // Key: (segment slot, segment length bucket...) encoded into the string key
+  // "slot|len|segment"; value: entry indexes.
+  void BuildEditDistance();
+  std::vector<uint32_t> CandidatesEditDistance(std::string_view query) const;
+
+  // --- prefix-filter scheme ---
+  void BuildPrefixFilter();
+  std::vector<uint32_t> CandidatesPrefixFilter(std::string_view query) const;
+  size_t PrefixLength(size_t set_size) const;
+
+  Similarity similarity_;
+  bool built_ = false;
+  std::vector<Entry> entries_;
+
+  // equality: value -> entry indexes
+  std::unordered_map<std::string, std::vector<uint32_t>> exact_;
+  // ED / prefix: signature -> entry indexes
+  std::unordered_map<std::string, std::vector<uint32_t>> lists_;
+  // prefix filter: token -> global frequency rank
+  std::unordered_map<std::string, uint32_t> token_rank_;
+  // token sets of indexed entries, ordered by rank (parallel to entries_)
+  std::vector<std::vector<uint32_t>> entry_tokens_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_TEXT_SIGNATURE_INDEX_H_

@@ -1,0 +1,134 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+#include "text/tokenizer.h"
+
+namespace detective {
+
+namespace {
+
+size_t IntersectionSize(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double JaccardSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = WordTokenSet(a);
+  std::vector<std::string> tb = WordTokenSet(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  size_t inter = IntersectionSize(ta, tb);
+  size_t uni = ta.size() + tb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CosineSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = WordTokenSet(a);
+  std::vector<std::string> tb = WordTokenSet(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = IntersectionSize(ta, tb);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(ta.size()) * static_cast<double>(tb.size()));
+}
+
+bool Similarity::Matches(std::string_view a, std::string_view b) const {
+  switch (kind_) {
+    case SimilarityKind::kEquality:
+      return a == b;
+    case SimilarityKind::kEditDistance:
+      return WithinEditDistance(a, b, max_edits_);
+    case SimilarityKind::kJaccard:
+      return JaccardSimilarity(a, b) >= threshold_;
+    case SimilarityKind::kCosine:
+      return CosineSimilarity(a, b) >= threshold_;
+  }
+  return false;
+}
+
+double Similarity::Score(std::string_view a, std::string_view b) const {
+  switch (kind_) {
+    case SimilarityKind::kEquality:
+      return a == b ? 1.0 : 0.0;
+    case SimilarityKind::kEditDistance: {
+      if (a.empty() && b.empty()) return 1.0;
+      double ed = static_cast<double>(::detective::EditDistance(a, b));
+      return 1.0 - ed / static_cast<double>(std::max(a.size(), b.size()));
+    }
+    case SimilarityKind::kJaccard:
+      return JaccardSimilarity(a, b);
+    case SimilarityKind::kCosine:
+      return CosineSimilarity(a, b);
+  }
+  return 0.0;
+}
+
+std::string Similarity::ToString() const {
+  switch (kind_) {
+    case SimilarityKind::kEquality:
+      return "=";
+    case SimilarityKind::kEditDistance:
+      return "ED," + std::to_string(max_edits_);
+    case SimilarityKind::kJaccard:
+    case SimilarityKind::kCosine: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%s,%.2f",
+                    kind_ == SimilarityKind::kJaccard ? "JAC" : "COS", threshold_);
+      return buffer;
+    }
+  }
+  return "?";
+}
+
+Result<Similarity> Similarity::Parse(std::string_view text) {
+  std::string_view trimmed = TrimView(text);
+  if (trimmed == "=" || EqualsIgnoreCase(trimmed, "EQ")) return Equality();
+
+  size_t comma = trimmed.find(',');
+  if (comma == std::string_view::npos) {
+    return Status::ParseError("cannot parse similarity '", trimmed, "'");
+  }
+  std::string_view name = TrimView(trimmed.substr(0, comma));
+  std::string_view arg = TrimView(trimmed.substr(comma + 1));
+  if (EqualsIgnoreCase(name, "ED")) {
+    uint64_t edits = 0;
+    if (!ParseUint64(arg, &edits) || edits > 16) {
+      return Status::ParseError("bad edit-distance bound '", arg, "'");
+    }
+    return EditDistance(static_cast<uint32_t>(edits));
+  }
+  double threshold = 0;
+  if (!ParseDouble(arg, &threshold) || threshold < 0 || threshold > 1) {
+    return Status::ParseError("bad similarity threshold '", arg, "'");
+  }
+  if (EqualsIgnoreCase(name, "JAC") || EqualsIgnoreCase(name, "JACCARD")) {
+    return Jaccard(threshold);
+  }
+  if (EqualsIgnoreCase(name, "COS") || EqualsIgnoreCase(name, "COSINE")) {
+    return Cosine(threshold);
+  }
+  return Status::ParseError("unknown similarity function '", name, "'");
+}
+
+}  // namespace detective

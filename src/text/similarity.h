@@ -1,0 +1,86 @@
+#ifndef DETECTIVE_TEXT_SIMILARITY_H_
+#define DETECTIVE_TEXT_SIMILARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace detective {
+
+/// The matching operations a detective-rule node may carry (paper §II-B:
+/// "We can utilize similarity functions, e.g., Jaccard, Cosine or edit
+/// distance"; equality and ED are the paper's running examples).
+enum class SimilarityKind : uint8_t {
+  kEquality,      // exact string equality ("=")
+  kEditDistance,  // EditDistance(a, b) <= max_edits ("ED,k")
+  kJaccard,       // Jaccard(tokens) >= threshold ("JAC,t")
+  kCosine,        // Cosine(tokens)  >= threshold ("COS,t")
+};
+
+/// A value object describing one matching operation. Cheap to copy, hashable
+/// and comparable so it can key per-(column,type,sim) index caches.
+class Similarity {
+ public:
+  /// Defaults to exact equality — the most common operation in the paper.
+  Similarity() = default;
+
+  static Similarity Equality() { return Similarity(SimilarityKind::kEquality, 0, 0); }
+  static Similarity EditDistance(uint32_t max_edits) {
+    return Similarity(SimilarityKind::kEditDistance, max_edits, 0);
+  }
+  static Similarity Jaccard(double threshold) {
+    return Similarity(SimilarityKind::kJaccard, 0, threshold);
+  }
+  static Similarity Cosine(double threshold) {
+    return Similarity(SimilarityKind::kCosine, 0, threshold);
+  }
+
+  SimilarityKind kind() const { return kind_; }
+  uint32_t max_edits() const { return max_edits_; }
+  double threshold() const { return threshold_; }
+
+  /// Whether `a` and `b` refer to the same entity under this operation.
+  bool Matches(std::string_view a, std::string_view b) const;
+
+  /// Normalized similarity in [0, 1] (1 = identical); used by baselines that
+  /// rank repair candidates.
+  double Score(std::string_view a, std::string_view b) const;
+
+  /// "=", "ED,2", "JAC,0.80", "COS,0.80" — the notation of paper Fig. 2.
+  std::string ToString() const;
+
+  /// Inverse of ToString; accepts what the rule DSL writes.
+  static Result<Similarity> Parse(std::string_view text);
+
+  friend bool operator==(const Similarity&, const Similarity&) = default;
+
+ private:
+  Similarity(SimilarityKind kind, uint32_t max_edits, double threshold)
+      : kind_(kind), max_edits_(max_edits), threshold_(threshold) {}
+
+  SimilarityKind kind_ = SimilarityKind::kEquality;
+  uint32_t max_edits_ = 0;
+  double threshold_ = 0;
+};
+
+/// Jaccard coefficient of the word-token sets of `a` and `b`.
+double JaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Cosine similarity of the word-token sets (binary weights).
+double CosineSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace detective
+
+template <>
+struct std::hash<detective::Similarity> {
+  size_t operator()(const detective::Similarity& s) const {
+    size_t h = static_cast<size_t>(s.kind());
+    h = h * 1000003 + s.max_edits();
+    h = h * 1000003 + std::hash<double>{}(s.threshold());
+    return h;
+  }
+};
+
+#endif  // DETECTIVE_TEXT_SIMILARITY_H_

@@ -1,0 +1,49 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace detective {
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> WordTokenSet(std::string_view text) {
+  std::vector<std::string> tokens = WordTokens(text);
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+std::vector<std::string> QGrams(std::string_view text, size_t q, bool pad) {
+  std::vector<std::string> grams;
+  if (q == 0) return grams;
+  std::string lowered;
+  lowered.reserve(text.size() + (pad ? 2 * (q - 1) : 0));
+  if (pad) lowered.append(q - 1, '#');
+  for (char c : text) {
+    lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (pad) lowered.append(q - 1, '$');
+  if (lowered.size() < q) return grams;
+  grams.reserve(lowered.size() - q + 1);
+  for (size_t i = 0; i + q <= lowered.size(); ++i) {
+    grams.emplace_back(lowered.substr(i, q));
+  }
+  std::sort(grams.begin(), grams.end());
+  return grams;
+}
+
+}  // namespace detective

@@ -1,0 +1,25 @@
+#ifndef DETECTIVE_TEXT_TOKENIZER_H_
+#define DETECTIVE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detective {
+
+/// Splits on non-alphanumeric characters and lowercases (ASCII); used by the
+/// set-similarity functions (Jaccard / Cosine).
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Distinct sorted word tokens — the set representation.
+std::vector<std::string> WordTokenSet(std::string_view text);
+
+/// Overlapping character q-grams of the lowercased input. When
+/// `pad` is true the string is padded with q-1 '#' / '$' sentinels so every
+/// character participates in q grams. Returns the multiset (duplicates kept,
+/// sorted).
+std::vector<std::string> QGrams(std::string_view text, size_t q, bool pad = true);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_TEXT_TOKENIZER_H_

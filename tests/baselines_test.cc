@@ -1,0 +1,246 @@
+// Tests for src/baselines: FDs/violations, the Llunatic-style chase with the
+// frequency cost-manager, constant CFDs, and the KATARA simulation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/cfd.h"
+#include "baselines/fd.h"
+#include "baselines/katara.h"
+#include "baselines/llunatic.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+Relation CityCountryTable(std::vector<std::vector<std::string>> rows) {
+  Relation r{Schema({"City", "Country"})};
+  for (auto& row : rows) r.Append(std::move(row)).Abort("row");
+  return r;
+}
+
+// ---- FDs ------------------------------------------------------------------
+
+TEST(FdTest, BindChecksColumns) {
+  Schema schema({"City", "Country"});
+  EXPECT_TRUE(BindFd({{"City"}, "Country"}, schema).ok());
+  EXPECT_FALSE(BindFd({{"Town"}, "Country"}, schema).ok());
+  EXPECT_FALSE(BindFd({{"City"}, "Nation"}, schema).ok());
+  EXPECT_FALSE(BindFd({{}, "Country"}, schema).ok());
+}
+
+TEST(FdTest, FindViolations) {
+  Relation r = CityCountryTable({{"Paris", "France"},
+                                 {"Paris", "Italy"},
+                                 {"Rome", "Italy"},
+                                 {"Oslo", "Norway"}});
+  auto violations = FindViolations(r, {{{"City"}, "Country"}});
+  ASSERT_TRUE(violations.ok());
+  ASSERT_EQ(violations->size(), 1u);
+  EXPECT_EQ((*violations)[0].row_a, 0u);
+  EXPECT_EQ((*violations)[0].row_b, 1u);
+}
+
+TEST(FdTest, NoViolationsOnCleanData) {
+  Relation r = CityCountryTable({{"Paris", "France"}, {"Rome", "Italy"}});
+  auto violations = FindViolations(r, {{{"City"}, "Country"}});
+  ASSERT_TRUE(violations.ok());
+  EXPECT_TRUE(violations->empty());
+}
+
+TEST(FdTest, ToStringReadable) {
+  FunctionalDependency fd{{"A", "B"}, "C"};
+  EXPECT_EQ(fd.ToString(), "A, B -> C");
+}
+
+// ---- Llunatic --------------------------------------------------------------
+
+TEST(LlunaticTest, MajorityWins) {
+  Relation r = CityCountryTable({{"Paris", "France"},
+                                 {"Paris", "France"},
+                                 {"Paris", "Italy"}});
+  LlunaticRepairer repairer(std::vector<FunctionalDependency>{{{"City"}, "Country"}});
+  ASSERT_TRUE(repairer.Repair(&r).ok());
+  for (size_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(r.tuple(row).value(1), "France") << row;
+  }
+  EXPECT_EQ(repairer.stats().repairs, 1u);
+  EXPECT_EQ(repairer.stats().lluns, 0u);
+}
+
+TEST(LlunaticTest, TieProducesLluns) {
+  Relation r = CityCountryTable({{"Paris", "France"}, {"Paris", "Italy"}});
+  LlunaticRepairer repairer(std::vector<FunctionalDependency>{{{"City"}, "Country"}});
+  ASSERT_TRUE(repairer.Repair(&r).ok());
+  EXPECT_EQ(r.tuple(0).value(1), kLlunValue);
+  EXPECT_EQ(r.tuple(1).value(1), kLlunValue);
+  EXPECT_EQ(repairer.stats().lluns, 2u);
+}
+
+TEST(LlunaticTest, CleanGroupsUntouched) {
+  Relation r = CityCountryTable({{"Paris", "France"}, {"Rome", "Italy"}});
+  Relation before = r;
+  LlunaticRepairer repairer(std::vector<FunctionalDependency>{{{"City"}, "Country"}});
+  ASSERT_TRUE(repairer.Repair(&r).ok());
+  for (size_t row = 0; row < 2; ++row) {
+    EXPECT_EQ(r.tuple(row).values(), before.tuple(row).values());
+  }
+}
+
+TEST(LlunaticTest, ChasePropagatesAcrossFds) {
+  // FD1: A -> B; FD2: B -> C. Fixing B creates the grouping FD2 needs.
+  Relation r{Schema({"A", "B", "C"})};
+  ASSERT_TRUE(r.Append({"a1", "b1", "c1"}).ok());
+  ASSERT_TRUE(r.Append({"a1", "b1", "c1"}).ok());
+  ASSERT_TRUE(r.Append({"a1", "bX", "c2"}).ok());  // B wrong, C wrong
+  LlunaticRepairer repairer(
+      std::vector<FunctionalDependency>{{{"A"}, "B"}, {{"B"}, "C"}});
+  ASSERT_TRUE(repairer.Repair(&r).ok());
+  EXPECT_EQ(r.tuple(2).value(1), "b1");
+  EXPECT_EQ(r.tuple(2).value(2), "c1");
+  EXPECT_GE(repairer.stats().rounds, 2u);
+}
+
+TEST(LlunaticTest, DirtyLhsMisleadsTheCostManager) {
+  // The majority itself is wrong: heuristic repair damages the minority.
+  Relation r = CityCountryTable({{"Paris", "Italy"},
+                                 {"Paris", "Italy"},
+                                 {"Paris", "France"}});
+  LlunaticRepairer repairer(std::vector<FunctionalDependency>{{{"City"}, "Country"}});
+  ASSERT_TRUE(repairer.Repair(&r).ok());
+  EXPECT_EQ(r.tuple(2).value(1), "Italy");  // the correct cell got "repaired"
+}
+
+// ---- Constant CFDs -----------------------------------------------------------
+
+TEST(CfdTest, MiningFindsDeterminedPatterns) {
+  Relation truth = CityCountryTable({{"Paris", "France"},
+                                     {"Paris", "France"},
+                                     {"Rome", "Italy"}});
+  auto cfds = MineConstantCfds(truth, {{{"City"}, "Country"}});
+  ASSERT_TRUE(cfds.ok());
+  ASSERT_EQ(cfds->size(), 2u);
+  std::vector<std::string> rendered;
+  for (const ConstantCfd& cfd : *cfds) rendered.push_back(cfd.ToString());
+  std::sort(rendered.begin(), rendered.end());
+  EXPECT_EQ(rendered[0], "[City=Paris] -> Country=France");
+  EXPECT_EQ(rendered[1], "[City=Rome] -> Country=Italy");
+}
+
+TEST(CfdTest, MiningSkipsAmbiguousPatterns) {
+  // Netherlands-style: one LHS, two truthful RHS values -> no constant CFD.
+  Relation truth = CityCountryTable({{"Paris", "France"}, {"Paris", "Texas"}});
+  auto cfds = MineConstantCfds(truth, {{{"City"}, "Country"}});
+  ASSERT_TRUE(cfds.ok());
+  EXPECT_TRUE(cfds->empty());
+}
+
+TEST(CfdTest, MinSupportFilters) {
+  Relation truth = CityCountryTable({{"Paris", "France"},
+                                     {"Paris", "France"},
+                                     {"Rome", "Italy"}});
+  auto cfds = MineConstantCfds(truth, {{{"City"}, "Country"}}, /*min_support=*/2);
+  ASSERT_TRUE(cfds.ok());
+  ASSERT_EQ(cfds->size(), 1u);
+  EXPECT_EQ((*cfds)[0].rhs_value, "France");
+}
+
+TEST(CfdTest, RepairerOverwritesRhsOnLhsMatch) {
+  Relation truth = CityCountryTable({{"Paris", "France"}, {"Rome", "Italy"}});
+  auto cfds = MineConstantCfds(truth, {{{"City"}, "Country"}});
+  ASSERT_TRUE(cfds.ok());
+  CfdRepairer repairer(*cfds);
+  ASSERT_TRUE(repairer.Init(truth.schema()).ok());
+
+  Relation dirty = CityCountryTable({{"Paris", "Italy"},     // RHS error: fixed
+                                     {"Pariis", "France"}});  // LHS typo: missed
+  repairer.RepairRelation(&dirty);
+  EXPECT_EQ(dirty.tuple(0).value(1), "France");
+  EXPECT_EQ(dirty.tuple(1).value(1), "France");  // untouched (LHS did not match)
+  EXPECT_EQ(repairer.stats().repairs, 1u);
+}
+
+TEST(CfdTest, InitRejectsWrongSchema) {
+  ConstantCfd cfd{{{"City", "Paris"}}, "Country", "France"};
+  CfdRepairer repairer({cfd});
+  EXPECT_FALSE(repairer.Init(Schema({"A", "B"})).ok());
+}
+
+// ---- KATARA ---------------------------------------------------------------------
+
+class KataraTest : public ::testing::Test {
+ protected:
+  KataraTest()
+      : kb_(testing::BuildFigure1Kb()),
+        dirty_(testing::BuildTableI()),
+        clean_(testing::BuildTableIClean()) {}
+
+  SchemaMatchingGraph Pattern() {
+    SchemaMatchingGraph g;
+    uint32_t name =
+        g.AddNode({"Name", "Nobel laureates in Chemistry", Similarity::Equality()});
+    uint32_t inst =
+        g.AddNode({"Institution", "organization", Similarity::EditDistance(2)});
+    uint32_t city = g.AddNode({"City", "city", Similarity::Equality()});
+    g.AddEdge(name, inst, "worksAt").Abort("e");
+    g.AddEdge(inst, city, "locatedIn").Abort("e");
+    return g;
+  }
+
+  KnowledgeBase kb_;
+  Relation dirty_;
+  Relation clean_;
+};
+
+TEST_F(KataraTest, FullMatchMarksWholePattern) {
+  Katara katara(kb_, Pattern());
+  ASSERT_TRUE(katara.Init(dirty_.schema()).ok());
+  // r2 restricted to the pattern columns is clean modulo the fuzzy typo.
+  Tuple r2 = dirty_.tuple(1);
+  katara.CleanTuple(&r2);
+  EXPECT_TRUE(r2.IsPositive(dirty_.schema().FindColumn("Name")));
+  EXPECT_TRUE(r2.IsPositive(dirty_.schema().FindColumn("Institution")));
+  EXPECT_TRUE(r2.IsPositive(dirty_.schema().FindColumn("City")));
+  EXPECT_EQ(katara.stats().full_matches, 1u);
+}
+
+TEST_F(KataraTest, PartialMatchBlamesAndRepairsMinimalSet) {
+  Katara katara(kb_, Pattern());
+  ASSERT_TRUE(katara.Init(dirty_.schema()).ok());
+  // r1's City (Karcag) breaks the pattern; Name+Institution still match, and
+  // the KB offers Haifa through locatedIn.
+  Tuple r1 = dirty_.tuple(0);
+  katara.CleanTuple(&r1);
+  EXPECT_EQ(r1.value(dirty_.schema().FindColumn("City")), "Haifa");
+  EXPECT_EQ(katara.stats().partial_matches, 1u);
+  EXPECT_EQ(katara.stats().repairs, 1u);
+}
+
+TEST_F(KataraTest, UnusablePatternIsNoop) {
+  KbBuilder b;
+  b.AddClass("unrelated");
+  KnowledgeBase sparse = std::move(b).Freeze();
+  Katara katara(sparse, Pattern());
+  ASSERT_TRUE(katara.Init(dirty_.schema()).ok());
+  Tuple r1 = dirty_.tuple(0);
+  Tuple before = r1;
+  katara.CleanTuple(&r1);
+  EXPECT_EQ(r1.values(), before.values());
+}
+
+TEST_F(KataraTest, InitRejectsWrongSchema) {
+  Katara katara(kb_, Pattern());
+  EXPECT_FALSE(katara.Init(Schema({"A", "B"})).ok());
+}
+
+TEST_F(KataraTest, CleanRelationCountsTuples) {
+  Katara katara(kb_, Pattern());
+  ASSERT_TRUE(katara.Init(dirty_.schema()).ok());
+  Relation copy = dirty_;
+  katara.CleanRelation(&copy);
+  EXPECT_EQ(katara.stats().tuples, copy.num_tuples());
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,373 @@
+// Unit tests for src/common: Status/Result, string utilities, CSV, RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace detective {
+namespace {
+
+// ---- Status -------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad ", 42, " things");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad 42 things");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad 42 things");
+}
+
+TEST(StatusTest, AllFactoriesMapToCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Inconsistent("x").IsInconsistent());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  Status st = Status::NotFound("row 3").WithContext("loading table");
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "loading table: row 3");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("whatever").ok());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::IOError("disk");
+  Status copy = st;
+  EXPECT_EQ(copy, st);
+  Status moved = std::move(copy);
+  EXPECT_EQ(moved, st);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsInternal());
+}
+
+// ---- Result ---------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto produce = []() -> Result<std::string> { return std::string("hello"); };
+  auto consume = [&]() -> Result<size_t> {
+    ASSIGN_OR_RETURN(std::string s, produce());
+    return s.size();
+  };
+  ASSERT_TRUE(consume().ok());
+  EXPECT_EQ(*consume(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto produce = []() -> Result<std::string> { return Status::IOError("gone"); };
+  auto consume = [&]() -> Result<size_t> {
+    ASSIGN_OR_RETURN(std::string s, produce());
+    return s.size();
+  };
+  EXPECT_TRUE(consume().status().IsIOError());
+}
+
+// ---- string_util ----------------------------------------------------------
+
+TEST(StringUtilTest, SplitBasics) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  EXPECT_EQ(SplitAndTrim(" a , b ,c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(Split(Join(pieces, ";"), ';'), pieces);
+}
+
+TEST(StringUtilTest, TrimVariants) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToUpper("MiXeD 123"), "MIXED 123");
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(EqualsIgnoreCase("Hello", "Hellos"));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("detective", "det"));
+  EXPECT_FALSE(StartsWith("det", "detective"));
+  EXPECT_TRUE(EndsWith("detective", "ive"));
+  EXPECT_FALSE(EndsWith("ive", "detective"));
+}
+
+TEST(StringUtilTest, NormalizeWhitespace) {
+  EXPECT_EQ(NormalizeWhitespace("  a \t b\n c  "), "a b c");
+  EXPECT_EQ(NormalizeWhitespace("abc"), "abc");
+  EXPECT_EQ(NormalizeWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a_b_c", "_", " "), "a b c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "x", "y"), "abc");
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // max
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("+7", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));  // min
+  EXPECT_EQ(v, std::numeric_limits<int64_t>::min());
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));  // overflow
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+// ---- CSV --------------------------------------------------------------------
+
+TEST(CsvTest, ParseSimple) {
+  auto rows = ParseCsv("a,b\n1,2\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto rows = ParseCsv("\"a,b\",\"x\"\"y\",\"line\nbreak\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a,b", "x\"y", "line\nbreak"}));
+}
+
+TEST(CsvTest, ParseCrLf) {
+  auto rows = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvTest, MissingFinalNewlineStillCounts) {
+  auto rows = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_TRUE(ParseCsv("\"abc\n").status().IsParseError());
+}
+
+TEST(CsvTest, RejectsStrayQuote) {
+  EXPECT_TRUE(ParseCsv("ab\"c\n").status().IsParseError());
+}
+
+TEST(CsvTest, RejectsContentAfterClosingQuote) {
+  EXPECT_TRUE(ParseCsv("\"abc\"def\n").status().IsParseError());
+}
+
+TEST(CsvTest, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"h1", "h,2", "h\"3"},
+      {"", "multi\nline", "plain"},
+  };
+  auto parsed = ParseCsv(FormatCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/detective_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {{"a", "b"}, {"1", "2,3"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, rows);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/path.csv").status().IsIOError());
+}
+
+// ---- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) any_different |= a.NextUint64() != b.NextUint64();
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextUint64(10), 10u);
+}
+
+TEST(RngTest, NextInt64Range) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(9);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleAllYieldsPermutation) {
+  Rng rng(10);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  Rng rng(12);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], 20000 / 100);  // far above uniform share
+}
+
+TEST(ZipfTest, ZeroExponentIsRoughlyUniform) {
+  Rng rng(13);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int count : counts) EXPECT_NEAR(count, 2000, 300);
+}
+
+// ---- hash ----------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aStableAndSensitive) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+  EXPECT_NE(Fnv1a(""), Fnv1a("a"));
+}
+
+TEST(HashTest, PairHashUsable) {
+  PairHash hasher;
+  EXPECT_EQ(hasher(std::make_pair(1, 2)), hasher(std::make_pair(1, 2)));
+  EXPECT_NE(hasher(std::make_pair(1, 2)), hasher(std::make_pair(2, 1)));
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,105 @@
+// Tests for core/consistency (§III-C): the dataset-specific PTIME check,
+// including a deliberately inconsistent rule set that the checker must
+// expose with a witness.
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+TEST(ConsistencyTest, Figure4RulesAreConsistentOnTableI) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  auto report = CheckConsistency(kb, testing::BuildFigure4Rules(),
+                                 testing::BuildTableI());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->consistent) << report->ToString();
+  EXPECT_TRUE(report->exhaustive);  // 4! = 24 orders all enumerated
+  EXPECT_EQ(report->tuples_checked, 4u);
+  EXPECT_EQ(report->orders_per_tuple, 24u);
+}
+
+TEST(ConsistencyTest, EmptyRuleSetIsTriviallyConsistent) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  auto report = CheckConsistency(kb, {}, testing::BuildTableI());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent);
+}
+
+TEST(ConsistencyTest, SchemaMismatchIsAnError) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  Relation wrong{Schema({"A", "B"})};
+  ASSERT_TRUE(wrong.Append({"x", "y"}).ok());
+  EXPECT_FALSE(CheckConsistency(kb, testing::BuildFigure4Rules(), wrong).ok());
+}
+
+/// Two rules that repair the same column from different, conflicting
+/// evidence: whichever runs first marks the cell positive and blocks the
+/// other, so different orders reach different fixpoints.
+TEST(ConsistencyTest, DetectsConflictingRules) {
+  KbBuilder b;
+  ClassId person = b.AddClass("person");
+  ClassId city = b.AddClass("city");
+  RelationId lives = b.AddRelation("livesIn");
+  RelationId works = b.AddRelation("worksIn");
+  RelationId born = b.AddRelation("bornIn");
+  ItemId alice = b.AddEntity("Alice", {person});
+  ItemId rome = b.AddEntity("Rome", {city});
+  ItemId oslo = b.AddEntity("Oslo", {city});
+  ItemId cairo = b.AddEntity("Cairo", {city});
+  b.AddEdge(alice, lives, rome);
+  b.AddEdge(alice, works, oslo);
+  b.AddEdge(alice, born, cairo);
+  KnowledgeBase kb = std::move(b).Freeze();
+
+  // Rule A: City should be where Alice lives (negative: born city).
+  // Rule B: City should be where Alice works (negative: born city).
+  // On t = (Alice, Cairo), A repairs to Rome and B to Oslo.
+  auto make = [&](const char* name, const char* pos_rel) {
+    SchemaMatchingGraph g;
+    uint32_t e = g.AddNode({"Name", "person", Similarity::Equality()});
+    uint32_t p = g.AddNode({"City", "city", Similarity::Equality()});
+    uint32_t n = g.AddNode({"City", "city", Similarity::Equality()});
+    g.AddEdge(e, p, pos_rel).Abort("e");
+    g.AddEdge(e, n, "bornIn").Abort("e");
+    return DetectiveRule(name, g, p, n);
+  };
+  std::vector<DetectiveRule> rules = {make("via_lives", "livesIn"),
+                                      make("via_works", "worksIn")};
+
+  Relation table{Schema({"Name", "City"})};
+  ASSERT_TRUE(table.Append({"Alice", "Cairo"}).ok());
+
+  auto report = CheckConsistency(kb, rules, table);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->consistent);
+  EXPECT_EQ(report->witness_row, 0u);
+  EXPECT_NE(report->witness_fixpoint_a, report->witness_fixpoint_b);
+  // The witness fixpoints carry the two competing repairs.
+  std::string both = report->witness_fixpoint_a + report->witness_fixpoint_b;
+  EXPECT_NE(both.find("Rome"), std::string::npos);
+  EXPECT_NE(both.find("Oslo"), std::string::npos);
+}
+
+TEST(ConsistencyTest, SamplingCapsTuples) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  ConsistencyOptions options;
+  options.max_tuples = 2;
+  auto report = CheckConsistency(kb, testing::BuildFigure4Rules(),
+                                 testing::BuildTableI(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tuples_checked, 2u);
+}
+
+TEST(ConsistencyTest, ReportToStringIsInformative) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  auto report = CheckConsistency(kb, testing::BuildFigure4Rules(),
+                                 testing::BuildTableI());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->ToString().find("consistent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace detective

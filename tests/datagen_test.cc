@@ -1,0 +1,308 @@
+// Tests for src/datagen: world -> KB projection under profiles, the error
+// injector's accounting, and the three dataset generators.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/fd.h"
+#include "core/bound_rule.h"
+#include "core/consistency.h"
+#include "datagen/error_injector.h"
+#include "datagen/names.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "datagen/webtables_gen.h"
+#include "datagen/world.h"
+#include "text/edit_distance.h"
+
+namespace detective {
+namespace {
+
+// ---- NameGenerator -----------------------------------------------------------
+
+TEST(NamesTest, Deterministic) {
+  Rng a(1), b(1);
+  NameGenerator ga(&a), gb(&b);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ga.PersonName(), gb.PersonName());
+}
+
+TEST(NamesTest, ShapesAreReasonable) {
+  Rng rng(2);
+  NameGenerator names(&rng);
+  std::string person = names.PersonName();
+  EXPECT_NE(person.find(' '), std::string::npos);
+  EXPECT_TRUE(std::isupper(static_cast<unsigned char>(person[0])));
+  std::string date = names.DateString(1900, 1950);
+  EXPECT_EQ(date.size(), 10u);
+  EXPECT_EQ(date[4], '-');
+  std::string zip = names.ZipCode();
+  EXPECT_EQ(zip.size(), 5u);
+}
+
+// ---- World -> KB projection -----------------------------------------------------
+
+TEST(WorldTest, FullCoverageKeepsEverything) {
+  World world;
+  auto c1 = world.AddEntity("Haifa", "city");
+  auto c2 = world.AddEntity("Israel", "country");
+  world.AddFact(c1, "locatedIn", c2);
+  world.AddLiteralFact(c1, "founded", "1905");
+  world.AddSubclass("city", "place");
+
+  KbProfile full;
+  full.entity_coverage = 1.0;
+  full.fact_coverage = 1.0;
+  KnowledgeBase kb = world.ToKb(full);
+  EXPECT_EQ(kb.num_entities(), 2u);
+  EXPECT_EQ(kb.num_edges(), 2u);
+  EXPECT_TRUE(kb.IsSubclassOf(kb.FindClass("city"), kb.FindClass("place")));
+}
+
+TEST(WorldTest, FlatProfileDropsTaxonomy) {
+  World world;
+  world.AddEntity("Haifa", "city");
+  world.AddSubclass("city", "place");
+  KbProfile flat;
+  flat.rich_taxonomy = false;
+  flat.entity_coverage = 1.0;
+  KnowledgeBase kb = world.ToKb(flat);
+  EXPECT_TRUE(kb.FindClass("city").valid());
+  EXPECT_FALSE(kb.FindClass("place").valid());
+}
+
+TEST(WorldTest, CoverageShrinksTheKb) {
+  World world;
+  std::vector<World::EntityIndex> people;
+  for (int i = 0; i < 500; ++i) {
+    people.push_back(world.AddEntity("P" + std::to_string(i), "person"));
+  }
+  for (int i = 1; i < 500; ++i) world.AddFact(people[i - 1], "knows", people[i]);
+
+  KbProfile half;
+  half.entity_coverage = 0.5;
+  half.fact_coverage = 0.5;
+  KnowledgeBase kb = world.ToKb(half);
+  EXPECT_LT(kb.num_entities(), 350u);
+  EXPECT_GT(kb.num_entities(), 150u);
+  EXPECT_LT(kb.num_edges(), 200u);
+}
+
+TEST(WorldTest, PinnedEntitiesSurviveAnyCoverage) {
+  World world;
+  std::vector<World::EntityIndex> keys;
+  for (int i = 0; i < 100; ++i) {
+    keys.push_back(world.AddEntity("K" + std::to_string(i), "person"));
+  }
+  KbProfile tiny;
+  tiny.entity_coverage = 0.01;
+  KnowledgeBase kb = world.ToKb(tiny, keys);
+  EXPECT_EQ(kb.num_entities(), 100u);
+}
+
+TEST(WorldTest, ProjectionIsDeterministicPerSeed) {
+  World world;
+  for (int i = 0; i < 100; ++i) world.AddEntity("E" + std::to_string(i), "thing");
+  KbProfile profile;
+  profile.entity_coverage = 0.7;
+  EXPECT_EQ(world.ToKb(profile).num_entities(), world.ToKb(profile).num_entities());
+}
+
+TEST(WorldTest, BuiltInProfilesDiffer) {
+  KbProfile yago = YagoProfile();
+  KbProfile dbpedia = DBpediaProfile();
+  EXPECT_GT(yago.fact_coverage, dbpedia.fact_coverage);
+  EXPECT_TRUE(yago.rich_taxonomy);
+  EXPECT_FALSE(dbpedia.rich_taxonomy);
+}
+
+// ---- Error injector ---------------------------------------------------------------
+
+TEST(ErrorInjectorTest, MakeTypoAlwaysChanges) {
+  Rng rng(3);
+  for (const char* value : {"Haifa", "a", "", "University of Sandoria"}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_NE(MakeTypo(value, &rng), value);
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, MakeTypoStaysWithinTwoEdits) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    std::string typo = MakeTypo("Pasteur Institute", &rng);
+    EXPECT_LE(EditDistance("Pasteur Institute", typo), 2u);
+  }
+}
+
+Relation ThreeColumnRelation(size_t rows) {
+  Relation r{Schema({"A", "B", "C"})};
+  for (size_t i = 0; i < rows; ++i) {
+    r.Append({"a" + std::to_string(i), "b" + std::to_string(i),
+              "c" + std::to_string(i)})
+        .Abort("row");
+  }
+  return r;
+}
+
+TEST(ErrorInjectorTest, ExactErrorBudget) {
+  Relation r = ThreeColumnRelation(100);  // 300 cells
+  ErrorSpec spec;
+  spec.error_rate = 0.10;
+  std::vector<ErrorRecord> errors = InjectErrors(&r, spec);
+  EXPECT_EQ(errors.size(), 30u);
+  // Every record points at a cell that indeed changed to the dirty value.
+  std::set<std::pair<size_t, ColumnIndex>> cells;
+  for (const ErrorRecord& e : errors) {
+    EXPECT_NE(e.clean_value, e.dirty_value);
+    EXPECT_EQ(r.tuple(e.row).value(e.column), e.dirty_value);
+    EXPECT_TRUE(cells.insert({e.row, e.column}).second) << "duplicate cell";
+  }
+}
+
+TEST(ErrorInjectorTest, TypoFractionExtremes) {
+  Relation all_typos = ThreeColumnRelation(100);
+  ErrorSpec spec;
+  spec.error_rate = 0.2;
+  spec.typo_fraction = 1.0;
+  SemanticAlternatives alternatives(100,
+                                    {{{"altA"}}, {{"altB"}}, {{"altC"}}});
+  for (const ErrorRecord& e : InjectErrors(&all_typos, spec, alternatives)) {
+    EXPECT_EQ(e.type, ErrorType::kTypo);
+  }
+
+  Relation all_semantic = ThreeColumnRelation(100);
+  spec.typo_fraction = 0.0;
+  for (const ErrorRecord& e : InjectErrors(&all_semantic, spec, alternatives)) {
+    EXPECT_EQ(e.type, ErrorType::kSemantic);
+  }
+}
+
+TEST(ErrorInjectorTest, SemanticFallsBackToTypoWithoutAlternatives) {
+  Relation r = ThreeColumnRelation(50);
+  ErrorSpec spec;
+  spec.error_rate = 0.2;
+  spec.typo_fraction = 0.0;
+  for (const ErrorRecord& e : InjectErrors(&r, spec)) {
+    EXPECT_EQ(e.type, ErrorType::kTypo);
+  }
+}
+
+TEST(ErrorInjectorTest, DeterministicPerSeed) {
+  Relation a = ThreeColumnRelation(50);
+  Relation b = ThreeColumnRelation(50);
+  ErrorSpec spec;
+  spec.error_rate = 0.15;
+  spec.seed = 77;
+  InjectErrors(&a, spec);
+  InjectErrors(&b, spec);
+  for (size_t row = 0; row < a.num_tuples(); ++row) {
+    EXPECT_EQ(a.tuple(row).values(), b.tuple(row).values());
+  }
+}
+
+// ---- Dataset generators -------------------------------------------------------------
+
+TEST(NobelGenTest, ShapeAndAlternatives) {
+  NobelOptions options;
+  options.num_laureates = 50;
+  Dataset nobel = GenerateNobel(options);
+  EXPECT_EQ(nobel.clean.num_tuples(), 50u);
+  EXPECT_EQ(nobel.clean.schema().num_columns(), 6u);
+  EXPECT_EQ(nobel.rules.size(), 5u);
+  EXPECT_EQ(nobel.alternatives.size(), 50u);
+  EXPECT_EQ(nobel.key_entities.size(), 50u);
+  for (const DetectiveRule& rule : nobel.rules) {
+    EXPECT_TRUE(rule.Validate().ok()) << rule.name();
+  }
+  EXPECT_TRUE(nobel.katara_pattern.Validate().ok());
+  // Semantic alternatives differ from the clean values.
+  for (size_t row = 0; row < nobel.clean.num_tuples(); ++row) {
+    for (ColumnIndex c = 0; c < 6; ++c) {
+      for (const std::string& alt : nobel.alternatives[row][c]) {
+        EXPECT_NE(alt, nobel.clean.tuple(row).value(c));
+      }
+    }
+  }
+}
+
+TEST(NobelGenTest, RulesBindToBothProfiles) {
+  NobelOptions options;
+  options.num_laureates = 30;
+  Dataset nobel = GenerateNobel(options);
+  for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
+    KnowledgeBase kb = nobel.world.ToKb(profile, nobel.key_entities);
+    for (const DetectiveRule& rule : nobel.rules) {
+      auto bound = BindRule(rule, nobel.clean.schema(), kb);
+      ASSERT_TRUE(bound.ok()) << profile.name << " " << rule.name();
+      EXPECT_TRUE(bound->usable) << profile.name << " " << rule.name();
+    }
+  }
+}
+
+TEST(NobelGenTest, RulesAreConsistentOnSample) {
+  NobelOptions options;
+  options.num_laureates = 25;
+  Dataset nobel = GenerateNobel(options);
+  KnowledgeBase kb = nobel.world.ToKb(YagoProfile(), nobel.key_entities);
+  ConsistencyOptions copts;
+  copts.max_orders = 24;
+  copts.max_tuples = 10;
+  auto report = CheckConsistency(kb, nobel.rules, nobel.clean, copts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent) << report->ToString();
+}
+
+TEST(UisGenTest, ShapeAndFds) {
+  UisOptions options;
+  options.num_tuples = 200;
+  Dataset uis = GenerateUis(options);
+  EXPECT_EQ(uis.clean.num_tuples(), 200u);
+  EXPECT_EQ(uis.clean.schema().num_columns(), 5u);
+  EXPECT_EQ(uis.rules.size(), 5u);
+  EXPECT_EQ(uis.fds.size(), 3u);
+  for (const DetectiveRule& rule : uis.rules) {
+    EXPECT_TRUE(rule.Validate().ok()) << rule.name();
+  }
+  // The clean data satisfies its own FDs.
+  auto violations = FindViolations(uis.clean, uis.fds);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_TRUE(violations->empty());
+}
+
+TEST(WebTablesGenTest, CorpusShape) {
+  WebTablesOptions options;
+  WebTablesCorpus corpus = GenerateWebTables(options);
+  EXPECT_EQ(corpus.tables.size(), 37u);
+  EXPECT_EQ(corpus.total_rules(), 50u);
+  size_t total_tuples = 0;
+  for (const WebTable& table : corpus.tables) {
+    EXPECT_GE(table.clean.schema().num_columns(), 2u);
+    EXPECT_LE(table.clean.schema().num_columns(), 3u);
+    EXPECT_EQ(table.clean.num_tuples(), table.dirty.num_tuples());
+    EXPECT_FALSE(table.errors.empty());
+    total_tuples += table.clean.num_tuples();
+    for (const DetectiveRule& rule : table.rules) {
+      EXPECT_TRUE(rule.Validate().ok()) << table.name << " " << rule.name();
+    }
+  }
+  // Average around 44 tuples per table.
+  double average = static_cast<double>(total_tuples) / corpus.tables.size();
+  EXPECT_NEAR(average, 44.0, 8.0);
+}
+
+TEST(WebTablesGenTest, DirtyDiffersExactlyAtErrorRecords) {
+  WebTablesCorpus corpus = GenerateWebTables({});
+  const WebTable& table = corpus.tables[0];
+  std::set<std::pair<size_t, ColumnIndex>> recorded;
+  for (const ErrorRecord& e : table.errors) recorded.insert({e.row, e.column});
+  for (size_t row = 0; row < table.clean.num_tuples(); ++row) {
+    for (ColumnIndex c = 0; c < table.clean.schema().num_columns(); ++c) {
+      bool differs = table.clean.tuple(row).value(c) != table.dirty.tuple(row).value(c);
+      EXPECT_EQ(differs, recorded.contains({row, c})) << row << "," << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detective

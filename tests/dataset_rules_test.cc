@@ -1,0 +1,198 @@
+// Per-rule behavioural tests for the generated Nobel and UIS datasets: each
+// curated rule must repair exactly its own error class and leave the others
+// alone, and the rule-dependency chains must be ordered correctly.
+
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "core/rule_graph.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+
+namespace detective {
+namespace {
+
+/// Plants the semantic alternative into `column` of row 0 and repairs with
+/// only `rule_index` active; returns the repaired value.
+std::string RepairWithSingleRule(const Dataset& dataset, const KnowledgeBase& kb,
+                                 size_t row, ColumnIndex column,
+                                 size_t rule_index) {
+  Tuple tuple = dataset.clean.tuple(row);
+  EXPECT_FALSE(dataset.alternatives[row][column].empty());
+  tuple.SetValue(column, dataset.alternatives[row][column][0]);
+
+  std::vector<DetectiveRule> one = {dataset.rules[rule_index]};
+  FastRepairer repairer(kb, dataset.clean.schema(), one);
+  repairer.Init().Abort("init");
+  repairer.RepairTuple(&tuple);
+  return tuple.value(column);
+}
+
+class NobelRulesTest : public ::testing::Test {
+ protected:
+  NobelRulesTest() {
+    NobelOptions options;
+    options.num_laureates = 40;
+    dataset_ = GenerateNobel(options);
+    KbProfile full = YagoProfile();
+    full.entity_coverage = 1.0;
+    full.fact_coverage = 1.0;  // rule semantics, not coverage, under test
+    kb_ = dataset_.world.ToKb(full, dataset_.key_entities);
+  }
+
+  Dataset dataset_;
+  KnowledgeBase kb_;
+};
+
+TEST_F(NobelRulesTest, InstitutionRuleRepairsAlmaMater) {
+  ColumnIndex col = dataset_.clean.schema().FindColumn("Institution");
+  for (size_t row : {0u, 5u, 11u}) {
+    EXPECT_EQ(RepairWithSingleRule(dataset_, kb_, row, col, 0),
+              dataset_.clean.tuple(row).value(col))
+        << "row " << row;
+  }
+}
+
+TEST_F(NobelRulesTest, CityRuleRepairsBirthCity) {
+  ColumnIndex col = dataset_.clean.schema().FindColumn("City");
+  for (size_t row : {1u, 7u, 19u}) {
+    EXPECT_EQ(RepairWithSingleRule(dataset_, kb_, row, col, 1),
+              dataset_.clean.tuple(row).value(col))
+        << "row " << row;
+  }
+}
+
+TEST_F(NobelRulesTest, CountryRuleRepairsBirthCountry) {
+  ColumnIndex col = dataset_.clean.schema().FindColumn("Country");
+  for (size_t row : {2u, 8u, 23u}) {
+    EXPECT_EQ(RepairWithSingleRule(dataset_, kb_, row, col, 2),
+              dataset_.clean.tuple(row).value(col))
+        << "row " << row;
+  }
+}
+
+TEST_F(NobelRulesTest, PrizeRuleRepairsOtherAward) {
+  ColumnIndex col = dataset_.clean.schema().FindColumn("Prize");
+  for (size_t row : {3u, 9u, 27u}) {
+    EXPECT_EQ(RepairWithSingleRule(dataset_, kb_, row, col, 3),
+              dataset_.clean.tuple(row).value(col))
+        << "row " << row;
+  }
+}
+
+TEST_F(NobelRulesTest, DobRuleRepairsDeathDate) {
+  ColumnIndex col = dataset_.clean.schema().FindColumn("DOB");
+  for (size_t row : {4u, 10u, 31u}) {
+    EXPECT_EQ(RepairWithSingleRule(dataset_, kb_, row, col, 4),
+              dataset_.clean.tuple(row).value(col))
+        << "row " << row;
+  }
+}
+
+TEST_F(NobelRulesTest, RuleGraphChainsInstitutionCityCountry) {
+  RuleGraph graph(dataset_.rules);
+  const std::vector<uint32_t>& order = graph.CheckOrder();
+  auto position = [&](const char* name) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (dataset_.rules[order[i]].name() == name) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(position("nobel_institution"), position("nobel_city"));
+  EXPECT_LT(position("nobel_city"), position("nobel_country"));
+  EXPECT_TRUE(graph.IsAcyclic());
+}
+
+TEST_F(NobelRulesTest, CrossColumnErrorsNeedTheChain) {
+  // Institution AND City both wrong: the city rule alone cannot repair City
+  // (its evidence is dirty), but the full rule set can.
+  ColumnIndex inst = dataset_.clean.schema().FindColumn("Institution");
+  ColumnIndex city = dataset_.clean.schema().FindColumn("City");
+  size_t row = 13;
+  Tuple tuple = dataset_.clean.tuple(row);
+  tuple.SetValue(inst, dataset_.alternatives[row][inst][0]);
+  tuple.SetValue(city, dataset_.alternatives[row][city][0]);
+
+  // City rule alone: Institution evidence (the alma mater) breaks the
+  // worksAt edge, so no repair happens.
+  {
+    std::vector<DetectiveRule> one = {dataset_.rules[1]};
+    FastRepairer repairer(kb_, dataset_.clean.schema(), one);
+    ASSERT_TRUE(repairer.Init().ok());
+    Tuple copy = tuple;
+    repairer.RepairTuple(&copy);
+    EXPECT_EQ(copy.value(city), tuple.value(city));
+  }
+  // Whole set: institution rule fires first (topological order), city rule
+  // follows.
+  {
+    FastRepairer repairer(kb_, dataset_.clean.schema(), dataset_.rules);
+    ASSERT_TRUE(repairer.Init().ok());
+    Tuple copy = tuple;
+    repairer.RepairTuple(&copy);
+    EXPECT_EQ(copy.value(inst), dataset_.clean.tuple(row).value(inst));
+    EXPECT_EQ(copy.value(city), dataset_.clean.tuple(row).value(city));
+  }
+}
+
+class UisRulesTest : public ::testing::Test {
+ protected:
+  UisRulesTest() {
+    UisOptions options;
+    options.num_tuples = 60;
+    dataset_ = GenerateUis(options);
+    KbProfile full = YagoProfile();
+    full.entity_coverage = 1.0;
+    full.fact_coverage = 1.0;
+    kb_ = dataset_.world.ToKb(full, dataset_.key_entities);
+  }
+
+  Dataset dataset_;
+  KnowledgeBase kb_;
+};
+
+TEST_F(UisRulesTest, EachRuleRepairsItsErrorClass) {
+  struct Case {
+    const char* column;
+    size_t rule_index;
+  };
+  for (const Case& c : {Case{"University", 0}, Case{"City", 1}, Case{"State", 2},
+                        Case{"Zip", 3}}) {
+    ColumnIndex col = dataset_.clean.schema().FindColumn(c.column);
+    ASSERT_NE(col, kInvalidColumn);
+    for (size_t row : {0u, 17u, 42u}) {
+      EXPECT_EQ(RepairWithSingleRule(dataset_, kb_, row, col, c.rule_index),
+                dataset_.clean.tuple(row).value(col))
+          << c.column << " row " << row;
+    }
+  }
+}
+
+TEST_F(UisRulesTest, StateHasTwoConsistentWitnessRules) {
+  // uis_state (via City) and uis_state_via_zip (via Zip) both repair State;
+  // run each alone and both together on a dirty State cell.
+  ColumnIndex col = dataset_.clean.schema().FindColumn("State");
+  size_t row = 9;
+  std::string via_city = RepairWithSingleRule(dataset_, kb_, row, col, 2);
+  std::string via_zip = RepairWithSingleRule(dataset_, kb_, row, col, 4);
+  EXPECT_EQ(via_city, via_zip);
+  EXPECT_EQ(via_city, dataset_.clean.tuple(row).value(col));
+}
+
+TEST_F(UisRulesTest, RuleGraphOrdersTheChain) {
+  RuleGraph graph(dataset_.rules);
+  const std::vector<uint32_t>& order = graph.CheckOrder();
+  auto position = [&](const char* name) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (dataset_.rules[order[i]].name() == name) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(position("uis_university"), position("uis_city"));
+  EXPECT_LT(position("uis_city"), position("uis_state"));
+  EXPECT_LT(position("uis_city"), position("uis_zip"));
+  EXPECT_LT(position("uis_zip"), position("uis_state_via_zip"));
+}
+
+}  // namespace
+}  // namespace detective

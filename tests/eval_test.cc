@@ -1,0 +1,199 @@
+// Tests for src/eval: the quality metrics (precision / recall / F-measure,
+// llun partial credit, #-POS, eligibility) and the method runner.
+
+#include <gtest/gtest.h>
+
+#include "baselines/llunatic.h"
+#include "datagen/nobel_gen.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+Relation OneColumn(std::vector<std::string> values) {
+  Relation r{Schema({"V"})};
+  for (std::string& v : values) r.Append({std::move(v)}).Abort("row");
+  return r;
+}
+
+TEST(MetricsTest, PerfectRepairScoresOne) {
+  Relation clean = OneColumn({"a", "b", "c"});
+  Relation dirty = OneColumn({"a", "X", "c"});
+  Relation repaired = OneColumn({"a", "b", "c"});
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired);
+  EXPECT_EQ(q.errors, 1u);
+  EXPECT_EQ(q.repairs, 1u);
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(q.f_measure(), 1.0);
+}
+
+TEST(MetricsTest, WrongRepairHurtsPrecision) {
+  Relation clean = OneColumn({"a", "b"});
+  Relation dirty = OneColumn({"a", "X"});
+  Relation repaired = OneColumn({"a", "Y"});  // repaired to the wrong value
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired);
+  EXPECT_EQ(q.repairs, 1u);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.0);
+}
+
+TEST(MetricsTest, MissedErrorHurtsRecallOnly) {
+  Relation clean = OneColumn({"a", "b"});
+  Relation dirty = OneColumn({"X", "Y"});
+  Relation repaired = OneColumn({"a", "Y"});  // only one fixed
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired);
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.5);
+  EXPECT_NEAR(q.f_measure(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, DamagingACleanCellCountsAgainstPrecision) {
+  Relation clean = OneColumn({"a"});
+  Relation dirty = OneColumn({"a"});
+  Relation repaired = OneColumn({"Z"});
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired);
+  EXPECT_EQ(q.errors, 0u);
+  EXPECT_EQ(q.repairs, 1u);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+}
+
+TEST(MetricsTest, LlunOverErrorGetsHalfCredit) {
+  Relation clean = OneColumn({"a", "b"});
+  Relation dirty = OneColumn({"X", "b"});
+  Relation repaired = OneColumn({kLlunValue, "b"});
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.5);
+}
+
+TEST(MetricsTest, LlunOverCleanCellGetsNoCredit) {
+  Relation clean = OneColumn({"a"});
+  Relation dirty = OneColumn({"a"});
+  Relation repaired = OneColumn({kLlunValue});
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired);
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+}
+
+TEST(MetricsTest, NoRepairsMeansVacuousPrecision) {
+  Relation clean = OneColumn({"a"});
+  Relation dirty = OneColumn({"X"});
+  RepairQuality q = EvaluateRepair(clean, dirty, dirty);
+  EXPECT_DOUBLE_EQ(q.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(q.f_measure(), 0.0);
+}
+
+TEST(MetricsTest, PosMarksCounted) {
+  Relation clean = OneColumn({"a", "b"});
+  Relation dirty = OneColumn({"a", "X"});
+  Relation repaired = dirty;
+  repaired.mutable_tuple(0).MarkPositive(0);  // justified
+  repaired.mutable_tuple(1).MarkPositive(0);  // unjustified (value is X)
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired);
+  EXPECT_EQ(q.pos_marks, 2u);
+  EXPECT_EQ(q.pos_marks_correct, 1u);
+  EXPECT_DOUBLE_EQ(q.annotation_precision(), 0.5);
+}
+
+TEST(MetricsTest, EligibilityRestrictsScope) {
+  Relation clean = OneColumn({"a", "b"});
+  Relation dirty = OneColumn({"X", "Y"});
+  Relation repaired = OneColumn({"a", "Y"});
+  RepairQuality q = EvaluateRepair(clean, dirty, repaired, {1, 0});
+  EXPECT_EQ(q.eligible_rows, 1u);
+  EXPECT_EQ(q.errors, 1u);
+  EXPECT_DOUBLE_EQ(q.recall(), 1.0);
+}
+
+TEST(MetricsTest, EligibleRowsMatchesKbPresence) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  Relation clean = testing::BuildTableIClean();
+  std::vector<char> eligible = EligibleRows(clean, kb, 0);
+  EXPECT_EQ(eligible, (std::vector<char>{1, 1, 1, 1}));
+
+  Relation stranger{clean.schema()};
+  stranger
+      .Append({"Nobody Anyone", "1900-01-01", "Israel", "Nobel Prize in Chemistry",
+               "Technion", "Haifa"})
+      .Abort("row");
+  EXPECT_EQ(EligibleRows(stranger, kb, 0), (std::vector<char>{0}));
+}
+
+TEST(MetricsTest, MergeQualitiesSumsCounts) {
+  RepairQuality a;
+  a.errors = 2;
+  a.repairs = 2;
+  a.weighted_correct = 2;
+  RepairQuality b;
+  b.errors = 2;
+  b.repairs = 0;
+  RepairQuality merged = MergeQualities({a, b});
+  EXPECT_EQ(merged.errors, 4u);
+  EXPECT_DOUBLE_EQ(merged.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(merged.recall(), 0.5);
+}
+
+// ---- RunMethod -------------------------------------------------------------------
+
+TEST(ExperimentTest, MethodNames) {
+  EXPECT_EQ(MethodName(Method::kBasicRepair), "bRepair");
+  EXPECT_EQ(MethodName(Method::kFastRepair), "fRepair");
+  EXPECT_EQ(MethodName(Method::kKatara), "KATARA");
+  EXPECT_EQ(MethodName(Method::kLlunatic), "Llunatic");
+  EXPECT_EQ(MethodName(Method::kConstantCfd), "constant CFDs");
+}
+
+TEST(ExperimentTest, RunsAllMethodsOnSmallNobel) {
+  NobelOptions options;
+  options.num_laureates = 60;
+  Dataset dataset = GenerateNobel(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.1;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+  std::vector<char> eligible = EligibleRows(dataset.clean, kb, dataset.key_column);
+
+  for (Method method : {Method::kBasicRepair, Method::kFastRepair, Method::kKatara,
+                        Method::kLlunatic, Method::kConstantCfd}) {
+    auto result = RunMethod(method, dataset, &kb, dirty, eligible);
+    ASSERT_TRUE(result.ok()) << MethodName(method) << ": "
+                             << result.status().ToString();
+    EXPECT_GE(result->seconds, 0.0);
+    EXPECT_LE(result->quality.precision(), 1.0);
+  }
+}
+
+TEST(ExperimentTest, KbMethodsRequireKb) {
+  NobelOptions options;
+  options.num_laureates = 5;
+  Dataset dataset = GenerateNobel(options);
+  EXPECT_FALSE(RunMethod(Method::kFastRepair, dataset, nullptr, dataset.clean, {}).ok());
+  EXPECT_FALSE(RunMethod(Method::kKatara, dataset, nullptr, dataset.clean, {}).ok());
+}
+
+TEST(ExperimentTest, DetectiveRulesHavePerfectPrecisionOnNobel) {
+  NobelOptions options;
+  options.num_laureates = 120;
+  Dataset dataset = GenerateNobel(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.1;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+  std::vector<char> eligible = EligibleRows(dataset.clean, kb, dataset.key_column);
+
+  auto result = RunMethod(Method::kFastRepair, dataset, &kb, dirty, eligible);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->quality.precision(), 1.0)
+      << result->quality.ToString();
+  EXPECT_GT(result->quality.recall(), 0.4) << result->quality.ToString();
+}
+
+}  // namespace
+}  // namespace detective

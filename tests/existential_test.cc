@@ -1,0 +1,222 @@
+// Tests for existential nodes — the "negative path" extension the paper
+// sketches in §II-C ("It is straightforward to extend from one negative node
+// (i.e., one relationship) to a negative path (i.e., a sequence of nodes)").
+// An existential node binds to some KB instance of its type without a value
+// constraint, so rules can route evidence through entities the table does
+// not mention.
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/repair.h"
+#include "core/rule_io.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+/// A City rule over a table WITHOUT an Institution column: the institution
+/// hop is existential. Positive path: Name -worksAt-> (inst) -locatedIn->
+/// City; negative: Name -wasBornIn-> City.
+constexpr const char kExistentialCityRule[] = R"(
+RULE city_via_some_institution
+NODE a col=Name type="Nobel laureates in Chemistry" sim="="
+EXIST e type=organization
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE a worksAt e
+EDGE e locatedIn p
+EDGE a wasBornIn n
+END
+)";
+
+class ExistentialTest : public ::testing::Test {
+ protected:
+  ExistentialTest() : kb_(testing::BuildFigure1Kb()) {}
+
+  KnowledgeBase kb_;
+};
+
+TEST_F(ExistentialTest, DslParsesExistNodes) {
+  auto rules = ParseRules(kExistentialCityRule);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 1u);
+  const DetectiveRule& rule = (*rules)[0];
+  EXPECT_TRUE(rule.Validate().ok()) << rule.Validate().ToString();
+  EXPECT_EQ(rule.graph().nodes().size(), 4u);
+  EXPECT_TRUE(rule.graph().node(1).IsExistential());
+  // Existential nodes contribute no evidence column.
+  EXPECT_EQ(rule.EvidenceColumns(), (std::vector<std::string>{"Name"}));
+}
+
+TEST_F(ExistentialTest, DslRoundTripsExistNodes) {
+  auto rules = ParseRules(kExistentialCityRule);
+  ASSERT_TRUE(rules.ok());
+  auto reparsed = ParseRules(FormatRules(*rules));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ((*reparsed)[0], (*rules)[0]);
+}
+
+TEST_F(ExistentialTest, DslRejectsExistWithColumn) {
+  EXPECT_TRUE(ParseRules(R"(
+RULE r
+EXIST e col=City type=city
+POS p col=X type=t
+NEG n col=X type=t
+END
+)")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(ExistentialTest, PandNMustBeAnchored) {
+  SchemaMatchingGraph g;
+  uint32_t a = g.AddNode({"Name", "person", Similarity::Equality()});
+  uint32_t p = g.AddNode({"", "city", Similarity::Equality()});  // existential p
+  uint32_t n = g.AddNode({"", "city", Similarity::Equality()});
+  g.AddEdge(a, p, "livesIn").Abort("e");
+  g.AddEdge(a, n, "bornIn").Abort("e");
+  EXPECT_TRUE(DetectiveRule("bad", g, p, n).Validate().IsInvalidArgument());
+}
+
+TEST_F(ExistentialTest, NeedsOneAnchoredEvidenceNode) {
+  SchemaMatchingGraph g;
+  uint32_t e = g.AddNode({"", "person", Similarity::Equality()});  // existential
+  uint32_t p = g.AddNode({"City", "city", Similarity::Equality()});
+  uint32_t n = g.AddNode({"City", "city", Similarity::Equality()});
+  g.AddEdge(e, p, "livesIn").Abort("e");
+  g.AddEdge(e, n, "bornIn").Abort("e");
+  EXPECT_TRUE(DetectiveRule("bad", g, p, n).Validate().IsInvalidArgument());
+}
+
+TEST_F(ExistentialTest, RepairsThroughExistentialHop) {
+  auto rules = ParseRules(kExistentialCityRule);
+  ASSERT_TRUE(rules.ok());
+
+  // No Institution column: the rule must route through the KB on its own.
+  Relation table{Schema({"Name", "City"})};
+  ASSERT_TRUE(table.Append({"Avram Hershko", "Karcag"}).ok());     // wrong: birth city
+  ASSERT_TRUE(table.Append({"Roald Hoffmann", "Ithaca"}).ok());    // correct
+  ASSERT_TRUE(table.Append({"Marie Curie", "Paris"}).ok());        // correct
+
+  FastRepairer repairer(kb_, table.schema(), *rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&table);
+
+  EXPECT_EQ(table.tuple(0).value(1), "Haifa");
+  EXPECT_TRUE(table.tuple(0).IsPositive(1));
+  EXPECT_EQ(table.tuple(1).value(1), "Ithaca");
+  EXPECT_TRUE(table.tuple(1).IsPositive(1));
+  EXPECT_EQ(table.tuple(2).value(1), "Paris");
+}
+
+TEST_F(ExistentialTest, MultiVersionThroughExistentialHop) {
+  auto rules = ParseRules(kExistentialCityRule);
+  ASSERT_TRUE(rules.ok());
+  // Melvin Calvin works at two institutions in two cities; with the
+  // institution existential, a wrong City yields two corrections.
+  Relation table{Schema({"Name", "City"})};
+  ASSERT_TRUE(table.Append({"Melvin Calvin", "St. Paul"}).ok());  // birth city
+
+  FastRepairer repairer(kb_, table.schema(), *rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  std::vector<Tuple> versions = repairer.RepairMultiVersion(table.tuple(0));
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].value(1), "Berkeley");
+  EXPECT_EQ(versions[1].value(1), "Manchester");
+}
+
+TEST_F(ExistentialTest, ConsistentWithAnchoredVariantOnFunctionalData) {
+  // The existential rule and the paper's phi2 (institution anchored) agree
+  // wherever the worksAt relationship is functional: rows r1-r3 of Table I.
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+  auto existential = ParseRules(kExistentialCityRule);
+  ASSERT_TRUE(existential.ok());
+  rules.push_back((*existential)[0]);
+
+  Relation functional{testing::BuildTableI().schema()};
+  for (size_t row : {0u, 1u, 2u}) {
+    functional.Append(testing::BuildTableI().tuple(row));
+  }
+  auto report = CheckConsistency(kb_, rules, functional);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent) << report->ToString();
+
+  FastRepairer repairer(kb_, functional.schema(), rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&functional);
+  Relation clean = testing::BuildTableIClean();
+  for (size_t row = 0; row < functional.num_tuples(); ++row) {
+    EXPECT_EQ(functional.tuple(row).values(), clean.tuple(row).values()) << row;
+  }
+}
+
+TEST_F(ExistentialTest, ConsistencyCheckerCatchesNonFunctionalShortcut) {
+  // On the two-institution tuple (Melvin Calvin, Example 10), the
+  // existential city rule is NOT functional: it can pick the city of either
+  // institution independently of what phi1 chooses for the Institution
+  // column, producing mixed fixpoints under some orders. This is precisely
+  // the hazard the paper warns about ("the user picks the ones that
+  // semantically, the repair is approximately functional") — and the
+  // dataset-specific consistency check (§III-C) must expose it.
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+  auto existential = ParseRules(kExistentialCityRule);
+  ASSERT_TRUE(existential.ok());
+  rules.push_back((*existential)[0]);
+
+  Relation table = testing::BuildTableI();  // includes r4 (Calvin)
+  auto report = CheckConsistency(kb_, rules, table);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->consistent);
+  EXPECT_EQ(report->witness_row, 3u);
+}
+
+TEST_F(ExistentialTest, UnanchoredExistentialFallsBackToTypeScan) {
+  // An existential node whose only edges lead to other not-yet-assigned
+  // nodes still matches via the instances-of-type fallback: chain
+  // Name -> e1 -> e2 -> City with two existential hops.
+  KbBuilder b;
+  ClassId person = b.AddClass("person");
+  ClassId dept = b.AddClass("department");
+  ClassId building = b.AddClass("building");
+  ClassId room = b.AddClass("room");
+  RelationId in_dept = b.AddRelation("memberOf");
+  RelationId housed = b.AddRelation("housedIn");
+  RelationId has_room = b.AddRelation("hasRoom");
+  RelationId assigned = b.AddRelation("assignedRoom");
+  ItemId alice = b.AddEntity("Alice", {person});
+  ItemId cs = b.AddEntity("CS", {dept});
+  ItemId tower = b.AddEntity("Tower", {building});
+  ItemId r101 = b.AddEntity("Room 101", {room});
+  ItemId r102 = b.AddEntity("Room 102", {room});
+  b.AddEdge(alice, in_dept, cs);
+  b.AddEdge(cs, housed, tower);
+  b.AddEdge(tower, has_room, r101);
+  b.AddEdge(alice, assigned, r102);
+  KnowledgeBase kb = std::move(b).Freeze();
+
+  auto rules = ParseRules(R"(
+RULE room_via_building
+NODE a col=Name type=person sim="="
+EXIST d type=department
+EXIST bu type=building
+POS  p col=Room type=room sim="="
+NEG  n col=Room type=room sim="="
+EDGE a memberOf d
+EDGE d housedIn bu
+EDGE bu hasRoom p
+EDGE a assignedRoom n
+END
+)");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+
+  Relation table{Schema({"Name", "Room"})};
+  ASSERT_TRUE(table.Append({"Alice", "Room 102"}).ok());
+  FastRepairer repairer(kb, table.schema(), *rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&table);
+  EXPECT_EQ(table.tuple(0).value(1), "Room 101");
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,145 @@
+// Rules whose nodes use the set-similarity operations (Jaccard / Cosine) —
+// exercising the prefix-filter signature indexes through the full matcher
+// and repair stack, plus matcher budget behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "core/rule_io.h"
+
+namespace detective {
+namespace {
+
+/// KB where institution names are word-set variants of the cell values
+/// ("Berkeley University" vs "University of Berkeley").
+KnowledgeBase WordyKb() {
+  KbBuilder b;
+  ClassId person = b.AddClass("person");
+  ClassId org = b.AddClass("organization");
+  ClassId city = b.AddClass("city");
+  RelationId works = b.AddRelation("worksAt");
+  RelationId located = b.AddRelation("locatedIn");
+  RelationId born = b.AddRelation("wasBornIn");
+
+  ItemId berkeley = b.AddEntity("Berkeley", {city});
+  ItemId st_paul = b.AddEntity("St. Paul", {city});
+  ItemId uc = b.AddEntity("University of California Berkeley", {org});
+  b.AddEdge(uc, located, berkeley);
+  ItemId calvin = b.AddEntity("Melvin Calvin", {person});
+  b.AddEdge(calvin, works, uc);
+  b.AddEdge(calvin, born, st_paul);
+  return std::move(b).Freeze();
+}
+
+TEST(FuzzyRuleTest, JaccardEvidenceMatchesWordReordering) {
+  KnowledgeBase kb = WordyKb();
+  auto rules = ParseRules(R"(
+RULE city_jac
+NODE a col=Name type=person sim="="
+NODE i col=Institution type=organization sim="JAC,0.7"
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE a worksAt i
+EDGE i locatedIn p
+EDGE a wasBornIn n
+END
+)");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+
+  Relation table{Schema({"Name", "Institution", "City"})};
+  // The cell reorders and drops one token: Jaccard({berkeley, california,
+  // university}) vs {university, of, california, berkeley}: note tokenizer
+  // drops nothing but "of" counts — 3/4 = 0.75 >= 0.7.
+  ASSERT_TRUE(
+      table.Append({"Melvin Calvin", "California University Berkeley", "St. Paul"})
+          .ok());
+  FastRepairer repairer(kb, table.schema(), *rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&table);
+  EXPECT_EQ(table.tuple(0).value(2), "Berkeley");
+  // The fuzzily matched evidence cell was standardized to the KB label.
+  EXPECT_EQ(table.tuple(0).value(1), "University of California Berkeley");
+}
+
+TEST(FuzzyRuleTest, CosineNodeWorksThroughTheStack) {
+  KnowledgeBase kb = WordyKb();
+  auto rules = ParseRules(R"(
+RULE city_cos
+NODE a col=Name type=person sim="="
+NODE i col=Institution type=organization sim="COS,0.8"
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE a worksAt i
+EDGE i locatedIn p
+EDGE a wasBornIn n
+END
+)");
+  ASSERT_TRUE(rules.ok());
+  Relation table{Schema({"Name", "Institution", "City"})};
+  ASSERT_TRUE(
+      table.Append({"Melvin Calvin", "university of berkeley california", "St. Paul"})
+          .ok());
+  FastRepairer repairer(kb, table.schema(), *rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&table);
+  EXPECT_EQ(table.tuple(0).value(2), "Berkeley");
+}
+
+TEST(FuzzyRuleTest, BelowThresholdDoesNotMatch) {
+  KnowledgeBase kb = WordyKb();
+  auto rules = ParseRules(R"(
+RULE city_jac_strict
+NODE a col=Name type=person sim="="
+NODE i col=Institution type=organization sim="JAC,0.9"
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE a worksAt i
+EDGE i locatedIn p
+EDGE a wasBornIn n
+END
+)");
+  ASSERT_TRUE(rules.ok());
+  Relation table{Schema({"Name", "Institution", "City"})};
+  ASSERT_TRUE(table.Append({"Melvin Calvin", "Berkeley Labs", "St. Paul"}).ok());
+  FastRepairer repairer(kb, table.schema(), *rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  Relation before = table;
+  repairer.RepairRelation(&table);
+  EXPECT_EQ(table.tuple(0).values(), before.tuple(0).values());
+}
+
+TEST(FuzzyRuleTest, AssignmentBudgetBoundsTheSearch) {
+  // A pathological node (type literal, ED huge tolerance) with a tiny budget
+  // must terminate and simply find nothing.
+  KbBuilder b;
+  ClassId person = b.AddClass("person");
+  RelationId has = b.AddRelation("hasCode");
+  ItemId alice = b.AddEntity("Alice", {person});
+  for (int i = 0; i < 500; ++i) {
+    b.AddEdge(alice, has, b.AddLiteral("code" + std::to_string(i)));
+  }
+  KnowledgeBase kb = std::move(b).Freeze();
+  auto rules = ParseRules(R"(
+RULE code
+NODE a col=Name type=person sim="="
+POS  p col=Code type=literal sim="ED,8"
+NEG  n col=Code type=literal sim="ED,8"
+EDGE a hasCode p
+EDGE a oldCode n
+END
+)");
+  ASSERT_TRUE(rules.ok());
+
+  RepairOptions options;
+  options.matcher.max_assignments = 10;  // absurdly small
+  Relation table{Schema({"Name", "Code"})};
+  ASSERT_TRUE(table.Append({"Alice", "code9999"}).ok());
+  FastRepairer bounded(kb, table.schema(), *rules, options);
+  ASSERT_TRUE(bounded.Init().ok());
+  Relation copy = table;
+  bounded.RepairRelation(&copy);  // must terminate promptly
+  EXPECT_LE(bounded.engine().matcher().stats().assignments_explored, 40u);
+}
+
+}  // namespace
+}  // namespace detective

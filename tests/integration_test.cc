@@ -1,0 +1,207 @@
+// Cross-module integration tests: full generate -> project -> dirty ->
+// repair -> evaluate pipelines over all three datasets, checking the
+// qualitative relationships the paper's evaluation establishes.
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/repair.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "datagen/webtables_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+struct Pipeline {
+  Dataset dataset;
+  KnowledgeBase kb;
+  Relation dirty;
+  std::vector<char> eligible;
+};
+
+Pipeline MakeNobelPipeline(size_t laureates, double error_rate,
+                           double typo_fraction = 0.5) {
+  Pipeline p;
+  NobelOptions options;
+  options.num_laureates = laureates;
+  p.dataset = GenerateNobel(options);
+  p.kb = p.dataset.world.ToKb(YagoProfile(), p.dataset.key_entities);
+  p.dirty = p.dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = error_rate;
+  spec.typo_fraction = typo_fraction;
+  InjectErrors(&p.dirty, spec, p.dataset.alternatives);
+  p.eligible = EligibleRows(p.dataset.clean, p.kb, p.dataset.key_column);
+  return p;
+}
+
+TEST(IntegrationTest, NobelDetectiveRulesBeatBaselines) {
+  Pipeline p = MakeNobelPipeline(300, 0.10);
+
+  auto dr = RunMethod(Method::kFastRepair, p.dataset, &p.kb, p.dirty, p.eligible);
+  auto katara = RunMethod(Method::kKatara, p.dataset, &p.kb, p.dirty, p.eligible);
+  auto llunatic = RunMethod(Method::kLlunatic, p.dataset, &p.kb, p.dirty, p.eligible);
+  auto cfd = RunMethod(Method::kConstantCfd, p.dataset, &p.kb, p.dirty, p.eligible);
+  ASSERT_TRUE(dr.ok() && katara.ok() && llunatic.ok() && cfd.ok());
+
+  // The paper's Table III relationships.
+  EXPECT_DOUBLE_EQ(dr->quality.precision(), 1.0) << dr->quality.ToString();
+  EXPECT_GT(dr->quality.precision(), katara->quality.precision());
+  EXPECT_GT(dr->quality.f_measure(), llunatic->quality.f_measure());
+  EXPECT_GT(dr->quality.f_measure(), cfd->quality.f_measure());
+  EXPECT_GT(dr->quality.pos_marks, katara->quality.pos_marks);
+  EXPECT_GT(dr->quality.recall(), 0.5);
+}
+
+TEST(IntegrationTest, NobelYagoBeatsDBpediaOnRecall) {
+  Pipeline p = MakeNobelPipeline(300, 0.10);
+  KnowledgeBase dbpedia = p.dataset.world.ToKb(DBpediaProfile(), p.dataset.key_entities);
+
+  auto yago = RunMethod(Method::kFastRepair, p.dataset, &p.kb, p.dirty, p.eligible);
+  auto dbp = RunMethod(Method::kFastRepair, p.dataset, &dbpedia, p.dirty,
+                       EligibleRows(p.dataset.clean, dbpedia, p.dataset.key_column));
+  ASSERT_TRUE(yago.ok() && dbp.ok());
+  EXPECT_GT(yago->quality.recall(), dbp->quality.recall());
+  EXPECT_DOUBLE_EQ(dbp->quality.precision(), 1.0);
+}
+
+TEST(IntegrationTest, LlunaticDegradesWithErrorRate) {
+  Pipeline low = MakeNobelPipeline(300, 0.04);
+  Pipeline high = MakeNobelPipeline(300, 0.20);
+  auto low_result =
+      RunMethod(Method::kLlunatic, low.dataset, nullptr, low.dirty, low.eligible);
+  auto high_result =
+      RunMethod(Method::kLlunatic, high.dataset, nullptr, high.dirty, high.eligible);
+  ASSERT_TRUE(low_result.ok() && high_result.ok());
+  EXPECT_GT(low_result->quality.precision(), high_result->quality.precision());
+}
+
+TEST(IntegrationTest, DetectiveRulesStableAcrossErrorRates) {
+  // Fig. 6: "our methods had stable performance when error rates increased."
+  Pipeline low = MakeNobelPipeline(300, 0.04);
+  Pipeline high = MakeNobelPipeline(300, 0.20);
+  auto low_result =
+      RunMethod(Method::kFastRepair, low.dataset, &low.kb, low.dirty, low.eligible);
+  auto high_result = RunMethod(Method::kFastRepair, high.dataset, &high.kb,
+                               high.dirty, high.eligible);
+  ASSERT_TRUE(low_result.ok() && high_result.ok());
+  EXPECT_DOUBLE_EQ(low_result->quality.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(high_result->quality.precision(), 1.0);
+  EXPECT_NEAR(low_result->quality.recall(), high_result->quality.recall(), 0.15);
+}
+
+TEST(IntegrationTest, TyposRepairBetterThanSemanticForDrAndLlunatic) {
+  // Fig. 7: both DRs and Llunatic handle typos better than semantic errors.
+  Pipeline typos = MakeNobelPipeline(300, 0.10, /*typo_fraction=*/1.0);
+  Pipeline semantic = MakeNobelPipeline(300, 0.10, /*typo_fraction=*/0.0);
+  auto dr_typo =
+      RunMethod(Method::kFastRepair, typos.dataset, &typos.kb, typos.dirty,
+                typos.eligible);
+  auto dr_sem = RunMethod(Method::kFastRepair, semantic.dataset, &semantic.kb,
+                          semantic.dirty, semantic.eligible);
+  ASSERT_TRUE(dr_typo.ok() && dr_sem.ok());
+  EXPECT_GE(dr_typo->quality.f_measure(), dr_sem->quality.f_measure());
+}
+
+TEST(IntegrationTest, UisEndToEnd) {
+  UisOptions options;
+  options.num_tuples = 500;
+  Dataset dataset = GenerateUis(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.10;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+  std::vector<char> eligible = EligibleRows(dataset.clean, kb, dataset.key_column);
+
+  auto dr = RunMethod(Method::kFastRepair, dataset, &kb, dirty, eligible);
+  ASSERT_TRUE(dr.ok());
+  EXPECT_DOUBLE_EQ(dr->quality.precision(), 1.0) << dr->quality.ToString();
+  EXPECT_GT(dr->quality.recall(), 0.5) << dr->quality.ToString();
+
+  auto llunatic = RunMethod(Method::kLlunatic, dataset, nullptr, dirty, eligible);
+  ASSERT_TRUE(llunatic.ok());
+  EXPECT_GT(dr->quality.f_measure(), llunatic->quality.f_measure());
+}
+
+TEST(IntegrationTest, UisRulesAreConsistent) {
+  UisOptions options;
+  options.num_tuples = 100;
+  Dataset dataset = GenerateUis(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  ConsistencyOptions copts;
+  copts.max_orders = 30;
+  copts.max_tuples = 20;
+  auto report = CheckConsistency(kb, dataset.rules, dataset.clean, copts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->consistent) << report->ToString();
+}
+
+TEST(IntegrationTest, WebTablesCorpusEndToEnd) {
+  WebTablesOptions options;
+  WebTablesCorpus corpus = GenerateWebTables(options);
+  KnowledgeBase kb = corpus.world.ToKb(YagoProfile(), corpus.key_entities);
+
+  std::vector<RepairQuality> qualities;
+  for (const WebTable& table : corpus.tables) {
+    FastRepairer repairer(kb, table.clean.schema(), table.rules);
+    ASSERT_TRUE(repairer.Init().ok()) << table.name;
+    Relation repaired = table.dirty;
+    repairer.RepairRelation(&repaired);
+    std::vector<char> eligible = EligibleRows(table.clean, kb, table.key_column);
+    qualities.push_back(EvaluateRepair(table.clean, table.dirty, repaired, eligible));
+  }
+  RepairQuality total = MergeQualities(qualities);
+  EXPECT_DOUBLE_EQ(total.precision(), 1.0) << total.ToString();
+  // Few attributes per table bound what DRs can repair (paper: R=0.38-0.43).
+  EXPECT_GT(total.recall(), 0.15) << total.ToString();
+  EXPECT_LT(total.recall(), 0.75) << total.ToString();
+  EXPECT_GT(total.pos_marks, 0u);
+}
+
+TEST(IntegrationTest, FastAndBasicAgreeOnUis) {
+  UisOptions options;
+  options.num_tuples = 200;
+  Dataset dataset = GenerateUis(options);
+  KnowledgeBase kb = dataset.world.ToKb(DBpediaProfile(), dataset.key_entities);
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.12;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+
+  auto basic = RunMethod(Method::kBasicRepair, dataset, &kb, dirty, {});
+  auto fast = RunMethod(Method::kFastRepair, dataset, &kb, dirty, {});
+  ASSERT_TRUE(basic.ok() && fast.ok());
+  for (size_t row = 0; row < dirty.num_tuples(); ++row) {
+    EXPECT_EQ(basic->repaired.tuple(row).values(), fast->repaired.tuple(row).values())
+        << "row " << row;
+  }
+}
+
+TEST(IntegrationTest, FastRepairDoesLessWorkThanBasic) {
+  Pipeline p = MakeNobelPipeline(200, 0.10);
+
+  RepairOptions basic_options;
+  basic_options.matcher.use_signature_index = false;
+  basic_options.matcher.use_value_memo = false;
+  BasicRepairer basic(p.kb, p.dirty.schema(), p.dataset.rules, basic_options);
+  ASSERT_TRUE(basic.Init().ok());
+  Relation r1 = p.dirty;
+  basic.RepairRelation(&r1);
+
+  FastRepairer fast(p.kb, p.dirty.schema(), p.dataset.rules);
+  ASSERT_TRUE(fast.Init().ok());
+  Relation r2 = p.dirty;
+  fast.RepairRelation(&r2);
+
+  // The fast repairer issues fewer rule checks (one ordered sweep vs the
+  // rescan loop) and far fewer candidate scans (memo + indexes).
+  EXPECT_LE(fast.stats().rule_checks, basic.stats().rule_checks);
+  EXPECT_LT(fast.engine().matcher().stats().scans,
+            std::max<size_t>(basic.engine().matcher().stats().scans, 1));
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,175 @@
+// Deeper tests for multi-version repairs (§IV-C): nested branching across
+// several ambiguous rules, cap interaction, branch-local marks, and the
+// agreement between the basic and fast drivers' fixpoint sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/repair.h"
+#include "core/rule_io.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+/// A world where a person has two offices and each office building has two
+/// mail stops: repairing (Office, MailStop) branches twice -> up to 4
+/// fixpoints.
+KnowledgeBase BranchyKb() {
+  KbBuilder b;
+  ClassId person = b.AddClass("person");
+  ClassId office = b.AddClass("office");
+  ClassId stop = b.AddClass("mailstop");
+  RelationId works = b.AddRelation("worksIn");
+  RelationId old_office = b.AddRelation("formerOffice");
+  RelationId served = b.AddRelation("servedBy");
+  RelationId old_stop = b.AddRelation("formerStop");
+
+  ItemId alice = b.AddEntity("Alice", {person});
+  ItemId north = b.AddEntity("North Wing", {office});
+  ItemId south = b.AddEntity("South Wing", {office});
+  ItemId attic = b.AddEntity("Attic", {office});
+  b.AddEdge(alice, works, north);
+  b.AddEdge(alice, works, south);
+  b.AddEdge(alice, old_office, attic);
+
+  auto add_stop = [&](const char* label, ItemId o) {
+    ItemId s = b.AddEntity(label, {stop});
+    b.AddEdge(o, served, s);
+    return s;
+  };
+  add_stop("N1", north);
+  add_stop("N2", north);
+  add_stop("S1", south);
+  ItemId basement = b.AddEntity("Basement", {stop});
+  b.AddEdge(attic, old_stop, basement);
+  b.AddEdge(alice, b.AddRelation("legacyStop"), basement);
+  return std::move(b).Freeze();
+}
+
+std::vector<DetectiveRule> BranchyRules() {
+  auto rules = ParseRules(R"(
+RULE office_rule
+NODE a col=Name type=person sim="="
+POS  p col=Office type=office sim="="
+NEG  n col=Office type=office sim="="
+EDGE a worksIn p
+EDGE a formerOffice n
+END
+RULE stop_rule
+NODE a col=Name type=person sim="="
+NODE o col=Office type=office sim="="
+POS  p col=MailStop type=mailstop sim="="
+NEG  n col=MailStop type=mailstop sim="="
+EDGE a worksIn o
+EDGE o servedBy p
+EDGE a legacyStop n
+END
+)");
+  rules.status().Abort("BranchyRules");
+  return *rules;
+}
+
+std::set<std::vector<std::string>> FixpointSet(const std::vector<Tuple>& tuples) {
+  std::set<std::vector<std::string>> out;
+  for (const Tuple& t : tuples) out.insert(t.values());
+  return out;
+}
+
+TEST(MultiVersionTest, NestedBranchingProducesAllCombinations) {
+  KnowledgeBase kb = BranchyKb();
+  std::vector<DetectiveRule> rules = BranchyRules();
+  Relation table{Schema({"Name", "Office", "MailStop"})};
+  ASSERT_TRUE(table.Append({"Alice", "Attic", "Basement"}).ok());
+
+  RepairOptions options;
+  options.max_versions = 16;
+  FastRepairer repairer(kb, table.schema(), rules, options);
+  ASSERT_TRUE(repairer.Init().ok());
+  std::vector<Tuple> versions = repairer.RepairMultiVersion(table.tuple(0));
+
+  // Office branches to {North Wing, South Wing}; North Wing then branches
+  // the mail stop to {N1, N2}; South Wing has only S1 -> 3 fixpoints.
+  std::set<std::vector<std::string>> expected = {
+      {"Alice", "North Wing", "N1"},
+      {"Alice", "North Wing", "N2"},
+      {"Alice", "South Wing", "S1"},
+  };
+  EXPECT_EQ(FixpointSet(versions), expected);
+  // Every version is fully marked.
+  for (const Tuple& version : versions) {
+    EXPECT_EQ(version.CountPositive(), version.size());
+  }
+}
+
+TEST(MultiVersionTest, CapTruncatesButKeepsValidFixpoints) {
+  KnowledgeBase kb = BranchyKb();
+  std::vector<DetectiveRule> rules = BranchyRules();
+  Relation table{Schema({"Name", "Office", "MailStop"})};
+  ASSERT_TRUE(table.Append({"Alice", "Attic", "Basement"}).ok());
+
+  RepairOptions options;
+  options.max_versions = 2;
+  FastRepairer repairer(kb, table.schema(), rules, options);
+  ASSERT_TRUE(repairer.Init().ok());
+  std::vector<Tuple> versions = repairer.RepairMultiVersion(table.tuple(0));
+  EXPECT_EQ(versions.size(), 2u);
+  std::set<std::vector<std::string>> all = {
+      {"Alice", "North Wing", "N1"},
+      {"Alice", "North Wing", "N2"},
+      {"Alice", "South Wing", "S1"},
+  };
+  for (const auto& values : FixpointSet(versions)) {
+    EXPECT_TRUE(all.contains(values));
+  }
+}
+
+TEST(MultiVersionTest, BasicAndFastDriversAgreeOnFixpointSets) {
+  KnowledgeBase kb = BranchyKb();
+  std::vector<DetectiveRule> rules = BranchyRules();
+  Relation table{Schema({"Name", "Office", "MailStop"})};
+  ASSERT_TRUE(table.Append({"Alice", "Attic", "Basement"}).ok());
+
+  RepairOptions options;
+  options.max_versions = 16;
+  BasicRepairer basic(kb, table.schema(), rules, options);
+  ASSERT_TRUE(basic.Init().ok());
+  FastRepairer fast(kb, table.schema(), rules, options);
+  ASSERT_TRUE(fast.Init().ok());
+  EXPECT_EQ(FixpointSet(basic.RepairMultiVersion(table.tuple(0))),
+            FixpointSet(fast.RepairMultiVersion(table.tuple(0))));
+}
+
+TEST(MultiVersionTest, CleanTupleYieldsOneFullyMarkedVersion) {
+  KnowledgeBase kb = BranchyKb();
+  std::vector<DetectiveRule> rules = BranchyRules();
+  Relation table{Schema({"Name", "Office", "MailStop"})};
+  ASSERT_TRUE(table.Append({"Alice", "South Wing", "S1"}).ok());
+
+  FastRepairer repairer(kb, table.schema(), rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  std::vector<Tuple> versions = repairer.RepairMultiVersion(table.tuple(0));
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].values(),
+            (std::vector<std::string>{"Alice", "South Wing", "S1"}));
+  EXPECT_EQ(versions[0].CountPositive(), 3u);
+}
+
+TEST(MultiVersionTest, MatcherCorrectionCapBoundsBranching) {
+  KnowledgeBase kb = BranchyKb();
+  std::vector<DetectiveRule> rules = BranchyRules();
+  Relation table{Schema({"Name", "Office", "MailStop"})};
+  ASSERT_TRUE(table.Append({"Alice", "Attic", "Basement"}).ok());
+
+  RepairOptions options;
+  options.matcher.max_corrections = 1;  // the matcher itself truncates
+  FastRepairer repairer(kb, table.schema(), rules, options);
+  ASSERT_TRUE(repairer.Init().ok());
+  std::vector<Tuple> versions = repairer.RepairMultiVersion(table.tuple(0));
+  EXPECT_EQ(versions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,159 @@
+// Tests for 2-hop path discovery in rule generation (discover_paths): when
+// two columns share no direct KB relationship, discovery finds
+// colA -rel1-> (existential mid) -rel2-> colB and rule generation can emit
+// rules whose positive or negative side is a path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/repair.h"
+#include "core/rule_generation.h"
+
+namespace detective {
+namespace {
+
+/// World: person works at an institution located in a city (no direct
+/// person->city "work city" relation), and person is a member of a club
+/// that meets in a (different) city — the confusable path semantics.
+KnowledgeBase PathKb() {
+  KbBuilder b;
+  ClassId person = b.AddClass("person");
+  ClassId org = b.AddClass("organization");
+  ClassId club = b.AddClass("club");
+  ClassId city = b.AddClass("city");
+  RelationId works = b.AddRelation("worksAt");
+  RelationId located = b.AddRelation("locatedIn");
+  RelationId member = b.AddRelation("memberOf");
+  RelationId meets = b.AddRelation("meetsIn");
+
+  ItemId haifa = b.AddEntity("Haifa", {city});
+  ItemId paris = b.AddEntity("Paris", {city});
+  ItemId oslo = b.AddEntity("Oslo", {city});
+  ItemId rome = b.AddEntity("Rome", {city});
+  ItemId technion = b.AddEntity("Technion", {org});
+  ItemId pasteur = b.AddEntity("Pasteur", {org});
+  b.AddEdge(technion, located, haifa);
+  b.AddEdge(pasteur, located, paris);
+  ItemId chess = b.AddEntity("Chess Club", {club});
+  ItemId rowing = b.AddEntity("Rowing Club", {club});
+  b.AddEdge(chess, meets, oslo);
+  b.AddEdge(rowing, meets, rome);
+
+  auto person_at = [&](const char* name, ItemId inst, ItemId c) {
+    ItemId p = b.AddEntity(name, {person});
+    b.AddEdge(p, works, inst);
+    b.AddEdge(p, member, c);
+    return p;
+  };
+  person_at("Alice", technion, chess);
+  person_at("Bob", pasteur, rowing);
+  person_at("Carol", technion, rowing);
+  return std::move(b).Freeze();
+}
+
+Relation Positives() {
+  Relation r{Schema({"Name", "City"})};
+  r.Append({"Alice", "Haifa"}).Abort("p");
+  r.Append({"Bob", "Paris"}).Abort("p");
+  r.Append({"Carol", "Haifa"}).Abort("p");
+  return r;
+}
+
+Relation Negatives() {
+  // City wrongly holds the club's meeting city.
+  Relation r{Schema({"Name", "City"})};
+  r.Append({"Alice", "Oslo"}).Abort("n");
+  r.Append({"Bob", "Rome"}).Abort("n");
+  return r;
+}
+
+TEST(PathDiscoveryTest, OffByDefaultFindsNoConnection) {
+  KnowledgeBase kb = PathKb();
+  auto discovered = DiscoverMatchingGraph(kb, Positives(), "City");
+  // Without paths there is no direct Name-City relationship, so the
+  // component containing City is just the City node — an invalid
+  // single-node disconnected graph is still "connected", but no edges.
+  ASSERT_TRUE(discovered.ok()) << discovered.status().ToString();
+  EXPECT_TRUE(discovered->graph.edges().empty());
+  EXPECT_TRUE(discovered->target_paths.empty());
+}
+
+TEST(PathDiscoveryTest, FindsTheWorkCityPath) {
+  KnowledgeBase kb = PathKb();
+  DiscoveryOptions options;
+  options.discover_paths = true;
+  auto discovered = DiscoverMatchingGraph(kb, Positives(), "City", options);
+  ASSERT_TRUE(discovered.ok()) << discovered.status().ToString();
+
+  // The graph gained an existential organization node with worksAt/locatedIn.
+  const SchemaMatchingGraph& g = discovered->graph;
+  bool found_existential = false;
+  for (const MatchNode& node : g.nodes()) {
+    if (node.IsExistential()) {
+      found_existential = true;
+      EXPECT_EQ(node.type, "organization");
+    }
+  }
+  EXPECT_TRUE(found_existential);
+  ASSERT_FALSE(discovered->target_paths.empty());
+  EXPECT_EQ(discovered->target_paths[0].rel1, "worksAt");
+  EXPECT_EQ(discovered->target_paths[0].rel2, "locatedIn");
+  EXPECT_DOUBLE_EQ(discovered->target_paths[0].support, 1.0);
+}
+
+TEST(PathDiscoveryTest, GeneratesAPathRuleThatRepairs) {
+  KnowledgeBase kb = PathKb();
+  DiscoveryOptions options;
+  options.discover_paths = true;
+  auto rules = GenerateRules(kb, Positives(), Negatives(), "City", options);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_FALSE(rules->empty());
+
+  // At least one candidate must carry the club path as negative semantics.
+  const DetectiveRule* path_rule = nullptr;
+  for (const DetectiveRule& rule : *rules) {
+    size_t existentials = 0;
+    for (const MatchNode& node : rule.graph().nodes()) {
+      existentials += node.IsExistential() ? 1 : 0;
+    }
+    if (existentials >= 2) path_rule = &rule;  // positive path + negative path
+  }
+  ASSERT_NE(path_rule, nullptr);
+  EXPECT_TRUE(path_rule->Validate().ok());
+
+  // The generated rule repairs a fresh dirty tuple end to end.
+  Relation table{Schema({"Name", "City"})};
+  ASSERT_TRUE(table.Append({"Carol", "Rome"}).ok());  // rowing club city
+  std::vector<DetectiveRule> one = {*path_rule};
+  FastRepairer repairer(kb, table.schema(), one);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&table);
+  EXPECT_EQ(table.tuple(0).value(1), "Haifa");
+  EXPECT_TRUE(table.tuple(0).IsPositive(1));
+}
+
+TEST(PathDiscoveryTest, DirectEdgeStillPreferredWhenPresent) {
+  // Add a direct livesIn relation: discovery must use it, not a path.
+  KbBuilder b;
+  ClassId person = b.AddClass("person");
+  ClassId city = b.AddClass("city");
+  RelationId lives = b.AddRelation("livesIn");
+  ItemId haifa = b.AddEntity("Haifa", {city});
+  ItemId alice = b.AddEntity("Alice", {person});
+  b.AddEdge(alice, lives, haifa);
+  KnowledgeBase kb = std::move(b).Freeze();
+
+  Relation examples{Schema({"Name", "City"})};
+  ASSERT_TRUE(examples.Append({"Alice", "Haifa"}).ok());
+  DiscoveryOptions options;
+  options.discover_paths = true;
+  auto discovered = DiscoverMatchingGraph(kb, examples, "City", options);
+  ASSERT_TRUE(discovered.ok());
+  for (const MatchNode& node : discovered->graph.nodes()) {
+    EXPECT_FALSE(node.IsExistential());
+  }
+}
+
+}  // namespace
+}  // namespace detective

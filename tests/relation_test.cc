@@ -1,0 +1,109 @@
+// Unit tests for src/relation: Schema, Tuple (marks + provenance), Relation
+// and its CSV round-trip.
+
+#include <gtest/gtest.h>
+
+#include "relation/relation.h"
+
+namespace detective {
+namespace {
+
+TEST(SchemaTest, FindColumn) {
+  Schema schema({"Name", "DOB", "City"});
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.FindColumn("DOB"), 1u);
+  EXPECT_EQ(schema.FindColumn("dob"), kInvalidColumn);  // case sensitive
+  EXPECT_EQ(schema.FindColumn("Missing"), kInvalidColumn);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(Schema({"a", "b"}), Schema({"a", "b"}));
+  EXPECT_FALSE(Schema({"a", "b"}) == Schema({"b", "a"}));
+}
+
+TEST(TupleTest, MarksStartUnknown) {
+  Tuple t({"x", "y"});
+  EXPECT_EQ(t.CountPositive(), 0u);
+  EXPECT_FALSE(t.IsPositive(0));
+  t.MarkPositive(0);
+  EXPECT_TRUE(t.IsPositive(0));
+  EXPECT_EQ(t.CountPositive(), 1u);
+}
+
+TEST(TupleTest, RepairRecordsProvenance) {
+  Tuple t({"Karcag", "Israel"});
+  EXPECT_FALSE(t.WasRepaired(0));
+  t.Repair(0, "Haifa");
+  EXPECT_TRUE(t.WasRepaired(0));
+  EXPECT_EQ(t.value(0), "Haifa");
+  EXPECT_EQ(t.OriginalValue(0), "Karcag");
+  // A second repair keeps the original original.
+  t.Repair(0, "Tel Aviv");
+  EXPECT_EQ(t.OriginalValue(0), "Karcag");
+  EXPECT_EQ(t.CountRepaired(), 1u);
+}
+
+TEST(TupleTest, ToStringShowsMarks) {
+  Tuple t({"a", "b"});
+  t.MarkPositive(1);
+  EXPECT_EQ(t.ToString(), "(a, b+)");
+}
+
+TEST(TupleTest, EqualityIgnoresMarks) {
+  Tuple a({"x"});
+  Tuple b({"x"});
+  b.MarkPositive(0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RelationTest, AppendChecksArity) {
+  Relation r{Schema({"a", "b"})};
+  EXPECT_TRUE(r.Append({"1", "2"}).ok());
+  EXPECT_TRUE(r.Append({"1"}).IsInvalidArgument());
+  EXPECT_TRUE(r.Append({"1", "2", "3"}).IsInvalidArgument());
+  EXPECT_EQ(r.num_tuples(), 1u);
+  EXPECT_EQ(r.num_cells(), 2u);
+}
+
+TEST(RelationTest, CountPositiveCells) {
+  Relation r{Schema({"a", "b"})};
+  ASSERT_TRUE(r.Append({"1", "2"}).ok());
+  ASSERT_TRUE(r.Append({"3", "4"}).ok());
+  r.mutable_tuple(0).MarkPositive(0);
+  r.mutable_tuple(1).MarkPositive(0);
+  r.mutable_tuple(1).MarkPositive(1);
+  EXPECT_EQ(r.CountPositiveCells(), 3u);
+}
+
+TEST(RelationTest, CsvRoundTrip) {
+  Relation r{Schema({"Name", "City"})};
+  ASSERT_TRUE(r.Append({"Avram, Hershko", "Haifa"}).ok());
+  ASSERT_TRUE(r.Append({"says \"hi\"", ""}).ok());
+  auto loaded = Relation::FromCsv(r.ToCsv());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->schema(), r.schema());
+  ASSERT_EQ(loaded->num_tuples(), 2u);
+  EXPECT_EQ(loaded->tuple(0).values(), r.tuple(0).values());
+  EXPECT_EQ(loaded->tuple(1).values(), r.tuple(1).values());
+}
+
+TEST(RelationTest, CsvFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/detective_relation.csv";
+  Relation r{Schema({"a", "b"})};
+  ASSERT_TRUE(r.Append({"1", "2"}).ok());
+  ASSERT_TRUE(r.ToCsvFile(path).ok());
+  auto loaded = Relation::FromCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_tuples(), 1u);
+}
+
+TEST(RelationTest, FromCsvRejectsEmpty) {
+  EXPECT_TRUE(Relation::FromCsv("").status().IsInvalidArgument());
+}
+
+TEST(RelationTest, FromCsvRejectsRaggedRows) {
+  EXPECT_FALSE(Relation::FromCsv("a,b\n1\n").ok());
+}
+
+}  // namespace
+}  // namespace detective

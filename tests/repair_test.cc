@@ -1,0 +1,273 @@
+// Tests for core/repair and core/rule_graph: the basic (Alg. 1) and fast
+// (Alg. 2) repairers, rule ordering, marks, multi-version repair (§IV-C),
+// and the Church–Rosser equivalence property that consistent rule sets make
+// both algorithms (and any order) reach the same fixpoint.
+
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "core/rule_graph.h"
+#include "datagen/error_injector.h"
+#include "datagen/nobel_gen.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+class RepairTest : public ::testing::Test {
+ protected:
+  RepairTest()
+      : kb_(testing::BuildFigure1Kb()),
+        dirty_(testing::BuildTableI()),
+        clean_(testing::BuildTableIClean()),
+        rules_(testing::BuildFigure4Rules()) {}
+
+  KnowledgeBase kb_;
+  Relation dirty_;
+  Relation clean_;
+  std::vector<DetectiveRule> rules_;
+};
+
+// ---- RuleGraph ---------------------------------------------------------------
+
+TEST_F(RepairTest, RuleGraphCapturesDependencies) {
+  RuleGraph graph(rules_);
+  // phi1 writes Institution, used as evidence by phi2 and phi3;
+  // phi2 writes City, used by phi3; phi4 is isolated.
+  EXPECT_EQ(graph.Successors(0), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(graph.Successors(1), (std::vector<uint32_t>{2}));
+  EXPECT_TRUE(graph.Successors(2).empty());
+  EXPECT_TRUE(graph.Successors(3).empty());
+  EXPECT_TRUE(graph.IsAcyclic());
+
+  // The topological order must check phi1 before phi2 before phi3.
+  const std::vector<uint32_t>& order = graph.CheckOrder();
+  auto position = [&](uint32_t rule) {
+    return std::find(order.begin(), order.end(), rule) - order.begin();
+  };
+  EXPECT_LT(position(0), position(1));
+  EXPECT_LT(position(1), position(2));
+}
+
+TEST_F(RepairTest, RuleGraphHandlesCycles) {
+  // Two artificial rules that feed each other: A repairs col X with evidence
+  // Y, B repairs Y with evidence X.
+  auto make = [&](const char* name, const char* evidence_col, const char* target_col) {
+    SchemaMatchingGraph g;
+    uint32_t e = g.AddNode({evidence_col, "t", Similarity::Equality()});
+    uint32_t p = g.AddNode({target_col, "t2", Similarity::Equality()});
+    uint32_t n = g.AddNode({target_col, "t2", Similarity::Equality()});
+    g.AddEdge(e, p, "pos").Abort("e");
+    g.AddEdge(e, n, "neg").Abort("e");
+    return DetectiveRule(name, g, p, n);
+  };
+  std::vector<DetectiveRule> cyclic = {make("a", "Y", "X"), make("b", "X", "Y")};
+  RuleGraph graph(cyclic);
+  EXPECT_FALSE(graph.IsAcyclic());
+  EXPECT_EQ(graph.num_components(), 1u);
+  EXPECT_EQ(graph.ComponentOf()[0], graph.ComponentOf()[1]);
+}
+
+// ---- Single-rule engine semantics ------------------------------------------------
+
+TEST_F(RepairTest, EvaluateProofPositive) {
+  RuleEngine engine(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(engine.Init().ok());
+  RuleEvaluation eval = engine.Evaluate(0, dirty_.tuple(0));  // phi1 on r1
+  EXPECT_EQ(eval.action, RuleEvaluation::Action::kProofPositive);
+  EXPECT_TRUE(eval.normalizations.empty());  // values match exactly
+}
+
+TEST_F(RepairTest, EvaluateNormalizationForTypo) {
+  RuleEngine engine(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(engine.Init().ok());
+  RuleEvaluation eval = engine.Evaluate(0, dirty_.tuple(1));  // phi1 on r2
+  EXPECT_EQ(eval.action, RuleEvaluation::Action::kProofPositive);
+  ASSERT_EQ(eval.normalizations.size(), 1u);
+  EXPECT_EQ(eval.normalizations[0].second, "Pasteur Institute");
+}
+
+TEST_F(RepairTest, EvaluateRepairAction) {
+  RuleEngine engine(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(engine.Init().ok());
+  RuleEvaluation eval = engine.Evaluate(1, dirty_.tuple(0));  // phi2 on r1
+  EXPECT_EQ(eval.action, RuleEvaluation::Action::kRepair);
+  EXPECT_EQ(eval.corrections, (std::vector<std::string>{"Haifa"}));
+}
+
+TEST_F(RepairTest, MarkedCellsAreNeverRepaired) {
+  RuleEngine engine(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(engine.Init().ok());
+  Tuple tuple = dirty_.tuple(0);
+  tuple.MarkPositive(5);  // protect the (wrong) City cell
+  RuleEvaluation eval = engine.Evaluate(1, tuple);
+  EXPECT_EQ(eval.action, RuleEvaluation::Action::kNone);
+}
+
+TEST_F(RepairTest, FullyMarkedTupleIsNotTouched) {
+  RuleEngine engine(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(engine.Init().ok());
+  Tuple tuple = dirty_.tuple(0);
+  for (ColumnIndex c = 0; c < tuple.size(); ++c) tuple.MarkPositive(c);
+  for (uint32_t r = 0; r < rules_.size(); ++r) {
+    EXPECT_EQ(engine.Evaluate(r, tuple).action, RuleEvaluation::Action::kNone);
+  }
+}
+
+// ---- End-to-end repair --------------------------------------------------------
+
+TEST_F(RepairTest, BasicRepairFixesTableI) {
+  BasicRepairer repairer(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  Relation repaired = dirty_;
+  repairer.RepairRelation(&repaired);
+  for (size_t row = 0; row < repaired.num_tuples(); ++row) {
+    EXPECT_EQ(repaired.tuple(row).values(), clean_.tuple(row).values())
+        << "row " << row;
+  }
+}
+
+TEST_F(RepairTest, FastRepairFixesTableI) {
+  FastRepairer repairer(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  Relation repaired = dirty_;
+  repairer.RepairRelation(&repaired);
+  for (size_t row = 0; row < repaired.num_tuples(); ++row) {
+    EXPECT_EQ(repaired.tuple(row).values(), clean_.tuple(row).values())
+        << "row " << row;
+  }
+}
+
+TEST_F(RepairTest, RepairedCellsAreMarkedPositive) {
+  FastRepairer repairer(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  Tuple tuple = dirty_.tuple(0);
+  repairer.RepairTuple(&tuple);
+  // Every column of r1 is covered by some rule and ends up marked.
+  EXPECT_EQ(tuple.CountPositive(), tuple.size());
+  EXPECT_TRUE(tuple.WasRepaired(5));  // City was repaired
+  EXPECT_EQ(tuple.OriginalValue(5), "Karcag");
+}
+
+TEST_F(RepairTest, RepairIsIdempotent) {
+  FastRepairer repairer(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  Relation once = dirty_;
+  repairer.RepairRelation(&once);
+  Relation twice = once;
+  FastRepairer second(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(second.Init().ok());
+  second.RepairRelation(&twice);
+  for (size_t row = 0; row < once.num_tuples(); ++row) {
+    EXPECT_EQ(twice.tuple(row).values(), once.tuple(row).values());
+  }
+}
+
+TEST_F(RepairTest, StatsAreConsistent) {
+  FastRepairer repairer(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  Relation repaired = dirty_;
+  repairer.RepairRelation(&repaired);
+  const RepairStats& stats = repairer.stats();
+  EXPECT_EQ(stats.tuples_processed, 4u);
+  EXPECT_GT(stats.rule_checks, 0u);
+  EXPECT_GE(stats.rule_checks, stats.rule_applications);
+  // repairs counts rewritten cells: each kRepair application rewrites one,
+  // and proof-positive normalizations (typo fixes) add more.
+  EXPECT_GE(stats.proofs_positive + stats.repairs, stats.rule_applications);
+  EXPECT_GT(stats.cells_marked, 0u);
+}
+
+TEST_F(RepairTest, UnusableRulesNeverFire) {
+  KbBuilder b;
+  b.AddClass("unrelated");
+  KnowledgeBase empty_kb = std::move(b).Freeze();
+  FastRepairer repairer(empty_kb, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  EXPECT_EQ(repairer.engine().num_usable_rules(), 0u);
+  Relation repaired = dirty_;
+  repairer.RepairRelation(&repaired);
+  for (size_t row = 0; row < repaired.num_tuples(); ++row) {
+    EXPECT_EQ(repaired.tuple(row).values(), dirty_.tuple(row).values());
+  }
+}
+
+// ---- Multi-version (§IV-C) -----------------------------------------------------
+
+TEST_F(RepairTest, MultiVersionExample10) {
+  FastRepairer repairer(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  std::vector<Tuple> versions = repairer.RepairMultiVersion(dirty_.tuple(3));
+  ASSERT_EQ(versions.size(), 2u);
+  // One fixpoint per institution, each with its consistent city.
+  EXPECT_EQ(versions[0].value(4), "UC Berkeley");
+  EXPECT_EQ(versions[0].value(5), "Berkeley");
+  EXPECT_EQ(versions[1].value(4), "University of Manchester");
+  EXPECT_EQ(versions[1].value(5), "Manchester");
+}
+
+TEST_F(RepairTest, MultiVersionSingleFixpointForUnambiguousTuples) {
+  FastRepairer repairer(kb_, dirty_.schema(), rules_);
+  ASSERT_TRUE(repairer.Init().ok());
+  for (size_t row : {0u, 1u, 2u}) {
+    std::vector<Tuple> versions = repairer.RepairMultiVersion(dirty_.tuple(row));
+    ASSERT_EQ(versions.size(), 1u) << "row " << row;
+    EXPECT_EQ(versions[0].values(), clean_.tuple(row).values());
+  }
+}
+
+TEST_F(RepairTest, MultiVersionRespectsCap) {
+  RepairOptions options;
+  options.max_versions = 1;
+  FastRepairer repairer(kb_, dirty_.schema(), rules_, options);
+  ASSERT_TRUE(repairer.Init().ok());
+  EXPECT_EQ(repairer.RepairMultiVersion(dirty_.tuple(3)).size(), 1u);
+}
+
+// ---- Church–Rosser property ------------------------------------------------------
+
+/// For a consistent rule set, both algorithms and all matcher configurations
+/// must agree on every fixpoint — swept over noisy variants of the Nobel
+/// dataset.
+class ChurchRosserProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurchRosserProperty, BasicAndFastAgree) {
+  NobelOptions nobel_options;
+  nobel_options.num_laureates = 40;
+  nobel_options.seed = GetParam();
+  Dataset dataset = GenerateNobel(nobel_options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.15;
+  spec.seed = GetParam() * 31 + 1;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+
+  RepairOptions basic_options;
+  basic_options.matcher.use_signature_index = false;
+  basic_options.matcher.use_value_memo = false;
+  BasicRepairer basic(kb, dirty.schema(), dataset.rules, basic_options);
+  ASSERT_TRUE(basic.Init().ok());
+  Relation by_basic = dirty;
+  basic.RepairRelation(&by_basic);
+
+  FastRepairer fast(kb, dirty.schema(), dataset.rules);
+  ASSERT_TRUE(fast.Init().ok());
+  Relation by_fast = dirty;
+  fast.RepairRelation(&by_fast);
+
+  for (size_t row = 0; row < dirty.num_tuples(); ++row) {
+    EXPECT_EQ(by_basic.tuple(row).values(), by_fast.tuple(row).values())
+        << "row " << row << " dirty=" << dirty.tuple(row).ToString();
+    EXPECT_EQ(by_basic.tuple(row).CountPositive(),
+              by_fast.tuple(row).CountPositive())
+        << "row " << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurchRosserProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace detective

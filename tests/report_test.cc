@@ -1,0 +1,100 @@
+// Tests for eval/report: relation diffing and the markdown cleaning report.
+
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "eval/report.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+TEST(DiffRelationsTest, FindsExactlyTheChangedCells) {
+  Relation before{Schema({"A", "B"})};
+  ASSERT_TRUE(before.Append({"1", "2"}).ok());
+  ASSERT_TRUE(before.Append({"3", "4"}).ok());
+  Relation after = before;
+  after.mutable_tuple(0).SetValue(1, "x");
+  after.mutable_tuple(1).SetValue(0, "y");
+
+  std::vector<CellDiff> diffs = DiffRelations(before, after);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0], (CellDiff{0, 1, "2", "x"}));
+  EXPECT_EQ(diffs[1], (CellDiff{1, 0, "3", "y"}));
+}
+
+TEST(DiffRelationsTest, IdenticalRelationsProduceNoDiff) {
+  Relation r = testing::BuildTableI();
+  EXPECT_TRUE(DiffRelations(r, r).empty());
+}
+
+TEST(DiffRelationsTest, EndToEndDiffMatchesRepairProvenance) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  Relation dirty = testing::BuildTableI();
+  Relation repaired = dirty;
+  FastRepairer repairer(kb, dirty.schema(), testing::BuildFigure4Rules());
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&repaired);
+
+  std::vector<CellDiff> diffs = DiffRelations(dirty, repaired);
+  // Every diff corresponds to a provenance-recorded repair and vice versa.
+  size_t provenance_repairs = 0;
+  for (size_t row = 0; row < repaired.num_tuples(); ++row) {
+    for (ColumnIndex c = 0; c < repaired.schema().num_columns(); ++c) {
+      if (repaired.tuple(row).WasRepaired(c)) ++provenance_repairs;
+    }
+  }
+  EXPECT_EQ(diffs.size(), provenance_repairs);
+  for (const CellDiff& diff : diffs) {
+    EXPECT_TRUE(repaired.tuple(diff.row).WasRepaired(diff.column));
+    EXPECT_EQ(repaired.tuple(diff.row).OriginalValue(diff.column), diff.before);
+    EXPECT_EQ(repaired.tuple(diff.row).value(diff.column), diff.after);
+  }
+}
+
+TEST(MarkdownReportTest, ContainsQualityAndRepairs) {
+  Schema schema({"Name", "City"});
+  RepairQuality quality;
+  quality.errors = 2;
+  quality.repairs = 2;
+  quality.exact_correct = 2;
+  quality.weighted_correct = 2;
+  quality.pos_marks = 4;
+  std::vector<CellDiff> repairs = {{0, 1, "Karcag", "Haifa"},
+                                   {3, 1, "St. Paul", "Berkeley"}};
+  std::string report = MarkdownReport(schema, quality, repairs);
+  EXPECT_NE(report.find("precision: 1"), std::string::npos);
+  EXPECT_NE(report.find("| City | 2 |"), std::string::npos);
+  EXPECT_NE(report.find("| 0 | City | Karcag | Haifa |"), std::string::npos);
+  EXPECT_EQ(report.find("truncated"), std::string::npos);
+}
+
+TEST(MarkdownReportTest, TruncatesLongDiffLists) {
+  Schema schema({"A"});
+  RepairQuality quality;
+  std::vector<CellDiff> repairs;
+  for (size_t i = 0; i < 150; ++i) {
+    repairs.push_back({i, 0, "x", "y"});
+  }
+  std::string report = MarkdownReport(schema, quality, repairs, /*max_rows=*/100);
+  EXPECT_NE(report.find("(50 more repairs truncated)"), std::string::npos);
+}
+
+TEST(MarkdownReportTest, EscapesTableBreakers) {
+  Schema schema({"A"});
+  RepairQuality quality;
+  std::vector<CellDiff> repairs = {{0, 0, "a|b", "c\nd"}};
+  std::string report = MarkdownReport(schema, quality, repairs);
+  EXPECT_NE(report.find("a\\|b"), std::string::npos);
+  EXPECT_NE(report.find("c d"), std::string::npos);
+}
+
+TEST(MarkdownReportTest, EmptyRepairs) {
+  Schema schema({"A"});
+  RepairQuality quality;
+  std::string report = MarkdownReport(schema, quality, {});
+  EXPECT_NE(report.find("(none)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace detective

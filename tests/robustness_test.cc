@@ -1,0 +1,172 @@
+// Robustness ("fuzz-lite") tests: every parser must reject arbitrary input
+// with a Status — never crash, never accept garbage silently — and parsing
+// must be deterministic. Inputs are seeded random byte strings plus mutated
+// valid documents.
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "core/rule_io.h"
+#include "kb/kb_stats.h"
+#include "kb/ntriples_parser.h"
+#include "test_fixtures.h"
+#include "text/similarity.h"
+
+namespace detective {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_length, bool printable) {
+  size_t length = rng->NextIndex(max_length + 1);
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    if (printable) {
+      // Bias toward structural characters that stress the parsers.
+      static constexpr char kAlphabet[] =
+          "<>\"\\.,#=\n\t abcdefgRULENODEPOSEDGEXIST0123_:";
+      out.push_back(kAlphabet[rng->NextIndex(sizeof(kAlphabet) - 1)]);
+    } else {
+      out.push_back(static_cast<char>(rng->NextUint64(256)));
+    }
+  }
+  return out;
+}
+
+std::string Mutate(const std::string& input, Rng* rng, size_t mutations) {
+  std::string out = input;
+  for (size_t i = 0; i < mutations && !out.empty(); ++i) {
+    size_t pos = rng->NextIndex(out.size());
+    switch (rng->NextUint64(3)) {
+      case 0:
+        out[pos] = static_cast<char>(rng->NextUint64(256));
+        break;
+      case 1:
+        out.erase(pos, 1);
+        break;
+      default:
+        out.insert(pos, 1, static_cast<char>(rng->NextUint64(256)));
+        break;
+    }
+  }
+  return out;
+}
+
+class ParserRobustness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRobustness, CsvNeverCrashes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input = RandomBytes(&rng, 200, trial % 2 == 0);
+    auto result = ParseCsv(input);
+    if (result.ok()) {
+      // Accepted input must round-trip through the formatter.
+      auto again = ParseCsv(FormatCsv(*result));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *result);
+    }
+  }
+}
+
+TEST_P(ParserRobustness, NTriplesNeverCrashes) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input = RandomBytes(&rng, 200, trial % 2 == 0);
+    (void)ParseNTriples(input);  // must return, OK or error
+  }
+}
+
+TEST_P(ParserRobustness, TsvTriplesNeverCrashes) {
+  Rng rng(GetParam() + 200);
+  for (int trial = 0; trial < 300; ++trial) {
+    (void)ParseTsvTriples(RandomBytes(&rng, 200, trial % 2 == 0));
+  }
+}
+
+TEST_P(ParserRobustness, RuleDslNeverCrashes) {
+  Rng rng(GetParam() + 300);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto result = ParseRules(RandomBytes(&rng, 300, trial % 2 == 0));
+    if (result.ok()) {
+      // Anything accepted must be valid and format/parse round-trippable.
+      for (const DetectiveRule& rule : *result) {
+        EXPECT_TRUE(rule.Validate().ok());
+      }
+      EXPECT_TRUE(ParseRules(FormatRules(*result)).ok());
+    }
+  }
+}
+
+TEST_P(ParserRobustness, MutatedValidRulesNeverCrash) {
+  Rng rng(GetParam() + 400);
+  std::string valid = FormatRules(testing::BuildFigure4Rules());
+  for (int trial = 0; trial < 300; ++trial) {
+    (void)ParseRules(Mutate(valid, &rng, 1 + rng.NextIndex(8)));
+  }
+}
+
+TEST_P(ParserRobustness, MutatedValidNTriplesNeverCrash) {
+  Rng rng(GetParam() + 500);
+  std::string valid = ToNTriples(testing::BuildFigure1Kb());
+  for (int trial = 0; trial < 100; ++trial) {
+    (void)ParseNTriples(Mutate(valid, &rng, 1 + rng.NextIndex(12)));
+  }
+}
+
+TEST_P(ParserRobustness, SimilarityParseNeverCrashes) {
+  Rng rng(GetParam() + 600);
+  for (int trial = 0; trial < 500; ++trial) {
+    (void)Similarity::Parse(RandomBytes(&rng, 24, trial % 2 == 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Values(1, 7, 42));
+
+TEST(ParserDeterminism, SameInputSameOutcome) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string input = RandomBytes(&rng, 150, true);
+    auto a = ParseRules(input);
+    auto b = ParseRules(input);
+    EXPECT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b);
+    }
+  }
+}
+
+// ---- KbStats (exercised here since it feeds reports) -------------------------
+
+TEST(KbStatsTest, CountsMatchTheKb) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  KbStats stats = ComputeKbStats(kb);
+  EXPECT_EQ(stats.num_entities, kb.num_entities());
+  EXPECT_EQ(stats.num_edges, kb.num_edges());
+  EXPECT_EQ(stats.num_classes, kb.num_classes());
+  EXPECT_EQ(stats.num_relations, kb.num_relations());
+  EXPECT_GT(stats.mean_out_degree, 0.0);
+  EXPECT_GE(stats.max_out_degree, 8u);  // each laureate has >= 8 out-edges
+
+  // Relation edge counts must sum to the total edge count.
+  size_t sum = 0;
+  for (const auto& relation : stats.relations) sum += relation.edges;
+  EXPECT_EQ(sum, stats.num_edges);
+
+  // Classes are sorted by descending closure size.
+  for (size_t i = 1; i < stats.classes.size(); ++i) {
+    EXPECT_GE(stats.classes[i - 1].closure_instances,
+              stats.classes[i].closure_instances);
+  }
+  EXPECT_NE(stats.ToString().find("top classes:"), std::string::npos);
+}
+
+TEST(KbStatsTest, EmptyKb) {
+  KnowledgeBase kb = KbBuilder().Freeze();
+  KbStats stats = ComputeKbStats(kb);
+  EXPECT_EQ(stats.num_entities, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_out_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace detective

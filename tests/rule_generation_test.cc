@@ -1,0 +1,162 @@
+// Tests for core/rule_generation (§III-A): schema-level matching graph
+// discovery from examples (S1/S2) and candidate DR generation (S3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/repair.h"
+#include "core/rule_generation.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+class RuleGenerationTest : public ::testing::Test {
+ protected:
+  RuleGenerationTest() : kb_(testing::BuildFigure1Kb()) {}
+
+  /// Positive examples: correct (Name, Institution, City) rows. The mix is
+  /// deliberately discriminative: Hershko was born elsewhere (so wasBornIn
+  /// cannot reach 60% support on the positives) and Calvin studied elsewhere
+  /// (so graduatedFrom cannot either) — worksAt/locatedIn dominate.
+  Relation Positives() {
+    Relation r{Schema({"Name", "Institution", "City"})};
+    r.Append({"Avram Hershko", "Israel Institute of Technology", "Haifa"})
+        .Abort("p");
+    r.Append({"Marie Curie", "Pasteur Institute", "Paris"}).Abort("p");
+    r.Append({"Melvin Calvin", "UC Berkeley", "Berkeley"}).Abort("p");
+    return r;
+  }
+
+  /// Negative examples: only City wrong (replaced by the birth city).
+  Relation Negatives() {
+    Relation r{Schema({"Name", "Institution", "City"})};
+    r.Append({"Avram Hershko", "Israel Institute of Technology", "Karcag"})
+        .Abort("n");
+    r.Append({"Melvin Calvin", "UC Berkeley", "St. Paul"}).Abort("n");
+    return r;
+  }
+
+  KnowledgeBase kb_;
+};
+
+TEST_F(RuleGenerationTest, DiscoverTypesAndEdges) {
+  auto discovered = DiscoverMatchingGraph(kb_, Positives(), "");
+  ASSERT_TRUE(discovered.ok()) << discovered.status().ToString();
+  const SchemaMatchingGraph& g = discovered->graph;
+  ASSERT_EQ(g.nodes().size(), 3u);
+
+  uint32_t name = g.FindNodeByColumn("Name");
+  uint32_t inst = g.FindNodeByColumn("Institution");
+  uint32_t city = g.FindNodeByColumn("City");
+  ASSERT_LT(name, g.nodes().size());
+  ASSERT_LT(inst, g.nodes().size());
+  ASSERT_LT(city, g.nodes().size());
+  EXPECT_EQ(g.node(name).type, "Nobel laureates in Chemistry");
+  EXPECT_EQ(g.node(inst).type, "organization");
+  EXPECT_EQ(g.node(city).type, "city");
+
+  // worksAt and locatedIn must be discovered with full support.
+  auto has_edge = [&](uint32_t from, uint32_t to, const char* rel) {
+    return std::any_of(g.edges().begin(), g.edges().end(), [&](const MatchEdge& e) {
+      return e.from == from && e.to == to && e.relation == rel;
+    });
+  };
+  EXPECT_TRUE(has_edge(name, inst, "worksAt"));
+  EXPECT_TRUE(has_edge(inst, city, "locatedIn"));
+}
+
+TEST_F(RuleGenerationTest, DiscoverPrefersMostSpecificClass) {
+  // All three names are laureates, which is more specific than person.
+  auto discovered = DiscoverMatchingGraph(kb_, Positives(), "");
+  ASSERT_TRUE(discovered.ok());
+  uint32_t name = discovered->graph.FindNodeByColumn("Name");
+  EXPECT_EQ(discovered->graph.node(name).type, "Nobel laureates in Chemistry");
+}
+
+TEST_F(RuleGenerationTest, TargetEdgesRankedBySupport) {
+  auto discovered = DiscoverMatchingGraph(kb_, Positives(), "City");
+  ASSERT_TRUE(discovered.ok());
+  ASSERT_FALSE(discovered->target_edges.empty());
+  for (size_t i = 1; i < discovered->target_edges.size(); ++i) {
+    EXPECT_GE(discovered->target_edges[i - 1].support,
+              discovered->target_edges[i].support);
+  }
+}
+
+TEST_F(RuleGenerationTest, EmptyExamplesRejected) {
+  Relation empty{Schema({"Name"})};
+  EXPECT_FALSE(DiscoverMatchingGraph(kb_, empty, "").ok());
+}
+
+TEST_F(RuleGenerationTest, UnmatchableColumnsRejected) {
+  Relation r{Schema({"X"})};
+  ASSERT_TRUE(r.Append({"no such entity anywhere"}).ok());
+  EXPECT_FALSE(DiscoverMatchingGraph(kb_, r, "").ok());
+}
+
+TEST_F(RuleGenerationTest, GeneratesCityRule) {
+  auto rules = GenerateRules(kb_, Positives(), Negatives(), "City");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_FALSE(rules->empty());
+
+  // The top candidate should capture wasBornIn as the negative semantics.
+  bool found_born = false;
+  for (const DetectiveRule& rule : *rules) {
+    EXPECT_TRUE(rule.Validate().ok()) << rule.name();
+    EXPECT_EQ(rule.TargetColumn(), "City");
+    for (const MatchEdge& e : rule.graph().edges()) {
+      if ((e.from == rule.negative_node() || e.to == rule.negative_node()) &&
+          e.relation == "wasBornIn") {
+        found_born = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_born);
+}
+
+TEST_F(RuleGenerationTest, GeneratedRuleActuallyRepairs) {
+  auto rules = GenerateRules(kb_, Positives(), Negatives(), "City");
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+
+  // Apply the generated rules to a fresh dirty tuple: Hoffmann with his
+  // birth-semantics city replaced; note Hoffmann was born in Ithaca in the
+  // fixture (wasBornIn Ithaca == work city), so use Hershko instead.
+  Relation table{Schema({"Name", "Institution", "City"})};
+  ASSERT_TRUE(
+      table.Append({"Avram Hershko", "Israel Institute of Technology", "Karcag"})
+          .ok());
+  FastRepairer repairer(kb_, table.schema(), *rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&table);
+  EXPECT_EQ(table.tuple(0).value(2), "Haifa");
+}
+
+TEST_F(RuleGenerationTest, DegenerateNegativeSemanticsSkipped) {
+  // Negatives identical to positives (City holds the work city) offer no
+  // distinct negative edge, so no rule should emerge for the work-city
+  // semantics itself.
+  auto rules = GenerateRules(kb_, Positives(), Positives(), "City");
+  ASSERT_TRUE(rules.ok());
+  for (const DetectiveRule& rule : *rules) {
+    for (const MatchEdge& e : rule.graph().edges()) {
+      bool touches_n =
+          e.from == rule.negative_node() || e.to == rule.negative_node();
+      if (touches_n) {
+        EXPECT_NE(e.relation, "locatedIn")
+            << "degenerate rule " << rule.name() << " replicates the positive edge";
+      }
+    }
+  }
+}
+
+TEST_F(RuleGenerationTest, SchemaMismatchBetweenExampleSetsRejected) {
+  Relation other{Schema({"A", "B"})};
+  ASSERT_TRUE(other.Append({"x", "y"}).ok());
+  EXPECT_FALSE(GenerateRules(kb_, Positives(), other, "City").ok());
+}
+
+}  // namespace
+}  // namespace detective

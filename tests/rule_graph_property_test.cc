@@ -1,0 +1,159 @@
+// Property tests for core/rule_graph over randomly generated rule sets:
+// the check order must respect every cross-component dependency edge, the
+// component numbering must be topological, and IsAcyclic must agree with a
+// reference cycle detector.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "core/rule_graph.h"
+
+namespace detective {
+namespace {
+
+/// Builds a random rule set over `num_columns` columns: each rule targets a
+/// random column and reads 1-3 other columns as evidence. Dependencies (and
+/// cycles) arise naturally from target/evidence overlaps.
+std::vector<DetectiveRule> RandomRules(Rng* rng, size_t num_rules,
+                                       size_t num_columns) {
+  auto column_name = [](size_t c) { return "C" + std::to_string(c); };
+  std::vector<DetectiveRule> rules;
+  for (size_t r = 0; r < num_rules; ++r) {
+    size_t target = rng->NextIndex(num_columns);
+    SchemaMatchingGraph g;
+    size_t num_evidence = 1 + rng->NextIndex(3);
+    std::vector<size_t> evidence_columns;
+    for (size_t e = 0; e < num_evidence; ++e) {
+      size_t c = rng->NextIndex(num_columns);
+      if (c == target) c = (c + 1) % num_columns;
+      if (std::find(evidence_columns.begin(), evidence_columns.end(), c) !=
+          evidence_columns.end()) {
+        continue;
+      }
+      evidence_columns.push_back(c);
+    }
+    std::vector<uint32_t> evidence_nodes;
+    for (size_t c : evidence_columns) {
+      evidence_nodes.push_back(
+          g.AddNode({column_name(c), "t" + std::to_string(c), Similarity::Equality()}));
+    }
+    uint32_t p = g.AddNode(
+        {column_name(target), "t" + std::to_string(target), Similarity::Equality()});
+    uint32_t n = g.AddNode(
+        {column_name(target), "t" + std::to_string(target), Similarity::Equality()});
+    for (uint32_t e : evidence_nodes) {
+      g.AddEdge(e, p, "pos").Abort("edge");
+      g.AddEdge(e, n, "neg").Abort("edge");
+    }
+    DetectiveRule rule("r" + std::to_string(r), std::move(g), p, n);
+    rule.Validate().Abort("RandomRules");
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+/// Reference cycle check: DFS over the adjacency.
+bool HasCycle(const RuleGraph& graph) {
+  const size_t n = graph.num_rules();
+  std::vector<int> color(n, 0);
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.push_back({root, 0});
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      const std::vector<uint32_t>& successors = graph.Successors(v);
+      if (next < successors.size()) {
+        uint32_t w = successors[next++];
+        if (color[w] == 1) return true;
+        if (color[w] == 0) {
+          color[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+class RuleGraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuleGraphProperty, InvariantsHoldOnRandomRuleSets) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t num_rules = 1 + rng.NextIndex(12);
+    size_t num_columns = 2 + rng.NextIndex(6);
+    std::vector<DetectiveRule> rules = RandomRules(&rng, num_rules, num_columns);
+    RuleGraph graph(rules);
+
+    // CheckOrder is a permutation of the rules.
+    std::vector<uint32_t> order = graph.CheckOrder();
+    std::vector<uint32_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (uint32_t i = 0; i < num_rules; ++i) ASSERT_EQ(sorted[i], i);
+
+    // Component ids never decrease along an edge, and strictly increase for
+    // cross-component edges.
+    const std::vector<uint32_t>& component = graph.ComponentOf();
+    for (uint32_t r = 0; r < num_rules; ++r) {
+      for (uint32_t s : graph.Successors(r)) {
+        ASSERT_LE(component[r], component[s]);
+      }
+    }
+
+    // Positions in CheckOrder respect component order.
+    std::vector<size_t> position(num_rules);
+    for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    for (uint32_t r = 0; r < num_rules; ++r) {
+      for (uint32_t s : graph.Successors(r)) {
+        if (component[r] != component[s]) {
+          ASSERT_LT(position[r], position[s])
+              << "producer r" << r << " must be checked before consumer r" << s;
+        }
+      }
+    }
+
+    // IsAcyclic agrees with the reference detector.
+    ASSERT_EQ(graph.IsAcyclic(), !HasCycle(graph));
+    // Acyclic <=> every rule is its own component.
+    ASSERT_EQ(graph.IsAcyclic(), graph.num_components() == num_rules);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleGraphProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(RuleGraphTest, EmptyRuleSet) {
+  RuleGraph graph({});
+  EXPECT_EQ(graph.num_rules(), 0u);
+  EXPECT_TRUE(graph.CheckOrder().empty());
+  EXPECT_TRUE(graph.IsAcyclic());
+}
+
+TEST(RuleGraphTest, ThreeCycleCondensesToOneComponent) {
+  auto make = [&](const char* name, const char* evidence, const char* target) {
+    SchemaMatchingGraph g;
+    uint32_t e = g.AddNode({evidence, "t", Similarity::Equality()});
+    uint32_t p = g.AddNode({target, "t2", Similarity::Equality()});
+    uint32_t n = g.AddNode({target, "t2", Similarity::Equality()});
+    g.AddEdge(e, p, "pos").Abort("e");
+    g.AddEdge(e, n, "neg").Abort("e");
+    return DetectiveRule(name, g, p, n);
+  };
+  // A -> B -> C -> A.
+  std::vector<DetectiveRule> rules = {make("a", "Z", "X"), make("b", "X", "Y"),
+                                      make("c", "Y", "Z")};
+  RuleGraph graph(rules);
+  EXPECT_FALSE(graph.IsAcyclic());
+  EXPECT_EQ(graph.num_components(), 1u);
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,258 @@
+// Unit tests for core/matching_graph, core/rule, core/rule_io: graph
+// validation, rule well-formedness (§II-C), rule merging (§III-A S3), and
+// the rule DSL round-trip.
+
+#include <gtest/gtest.h>
+
+#include "core/matching_graph.h"
+#include "core/rule.h"
+#include "core/rule_io.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+SchemaMatchingGraph TwoNodeGraph(const std::string& relation = "worksAt") {
+  SchemaMatchingGraph g;
+  uint32_t a = g.AddNode({"Name", "person", Similarity::Equality()});
+  uint32_t b = g.AddNode({"Institution", "organization", Similarity::EditDistance(2)});
+  g.AddEdge(a, b, relation).Abort("edge");
+  return g;
+}
+
+// ---- SchemaMatchingGraph ----------------------------------------------------
+
+TEST(MatchingGraphTest, ValidGraphPasses) {
+  EXPECT_TRUE(TwoNodeGraph().Validate().ok());
+}
+
+TEST(MatchingGraphTest, EmptyGraphFails) {
+  EXPECT_TRUE(SchemaMatchingGraph().Validate().IsInvalidArgument());
+}
+
+TEST(MatchingGraphTest, DuplicateColumnsFail) {
+  SchemaMatchingGraph g;
+  g.AddNode({"Name", "person", Similarity::Equality()});
+  g.AddNode({"Name", "city", Similarity::Equality()});
+  EXPECT_TRUE(g.Validate().IsInvalidArgument());
+}
+
+TEST(MatchingGraphTest, DisconnectedGraphFails) {
+  SchemaMatchingGraph g;
+  g.AddNode({"A", "person", Similarity::Equality()});
+  g.AddNode({"B", "city", Similarity::Equality()});
+  EXPECT_TRUE(g.Validate().IsInvalidArgument());
+}
+
+TEST(MatchingGraphTest, SelfLoopRejected) {
+  SchemaMatchingGraph g;
+  uint32_t a = g.AddNode({"A", "person", Similarity::Equality()});
+  EXPECT_TRUE(g.AddEdge(a, a, "r").IsInvalidArgument());
+}
+
+TEST(MatchingGraphTest, EdgeOutOfRangeRejected) {
+  SchemaMatchingGraph g;
+  g.AddNode({"A", "person", Similarity::Equality()});
+  EXPECT_TRUE(g.AddEdge(0, 5, "r").IsInvalidArgument());
+}
+
+TEST(MatchingGraphTest, FindNodeByColumn) {
+  SchemaMatchingGraph g = TwoNodeGraph();
+  EXPECT_EQ(g.FindNodeByColumn("Institution"), 1u);
+  EXPECT_EQ(g.FindNodeByColumn("Missing"), g.nodes().size());
+}
+
+TEST(MatchingGraphTest, ConnectedWithout) {
+  // Path A - B - C: dropping B disconnects it.
+  SchemaMatchingGraph g;
+  uint32_t a = g.AddNode({"A", "t", Similarity::Equality()});
+  uint32_t b = g.AddNode({"B", "t2", Similarity::Equality()});
+  uint32_t c = g.AddNode({"C", "t3", Similarity::Equality()});
+  g.AddEdge(a, b, "r1").Abort("e");
+  g.AddEdge(b, c, "r2").Abort("e");
+  EXPECT_TRUE(g.Connected());
+  EXPECT_FALSE(g.ConnectedWithout(b));
+  EXPECT_TRUE(g.ConnectedWithout(a));
+  EXPECT_TRUE(g.ConnectedWithout(c));
+}
+
+TEST(MatchingGraphTest, EquivalentExceptNode) {
+  SchemaMatchingGraph g1 = TwoNodeGraph("worksAt");
+  SchemaMatchingGraph g2 = TwoNodeGraph("graduatedFrom");
+  // Dropping the Institution node (index 1) leaves just the Name node.
+  EXPECT_TRUE(SchemaMatchingGraph::EquivalentExceptNode(g1, 1, g2, 1));
+  // Dropping the Name node leaves differing edges? No — edges touching the
+  // dropped node are removed, so both reduce to the bare Institution node.
+  EXPECT_TRUE(SchemaMatchingGraph::EquivalentExceptNode(g1, 0, g2, 0));
+  // Without dropping the differing edge's node, graphs differ.
+  SchemaMatchingGraph g3 = TwoNodeGraph("worksAt");
+  uint32_t extra = const_cast<SchemaMatchingGraph&>(g3).AddNode(
+      {"City", "city", Similarity::Equality()});
+  g3.AddEdge(1, extra, "locatedIn").Abort("e");
+  EXPECT_FALSE(SchemaMatchingGraph::EquivalentExceptNode(g1, 0, g3, 0));
+}
+
+// ---- DetectiveRule ------------------------------------------------------------
+
+TEST(RuleTest, Figure4RulesAreValid) {
+  for (const DetectiveRule& rule : testing::BuildFigure4Rules()) {
+    EXPECT_TRUE(rule.Validate().ok()) << rule.name();
+  }
+}
+
+TEST(RuleTest, EvidenceAccessors) {
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+  const DetectiveRule& phi2 = rules[1];
+  EXPECT_EQ(phi2.name(), "phi2");
+  EXPECT_EQ(phi2.TargetColumn(), "City");
+  EXPECT_EQ(phi2.EvidenceColumns(),
+            (std::vector<std::string>{"Name", "Institution"}));
+  EXPECT_EQ(phi2.EvidenceNodes().size(), 2u);
+}
+
+TEST(RuleTest, MismatchedTargetColumnsRejected) {
+  SchemaMatchingGraph g;
+  uint32_t a = g.AddNode({"Name", "person", Similarity::Equality()});
+  uint32_t p = g.AddNode({"City", "city", Similarity::Equality()});
+  uint32_t n = g.AddNode({"Country", "country", Similarity::Equality()});
+  g.AddEdge(a, p, "livesIn").Abort("e");
+  g.AddEdge(a, n, "bornIn").Abort("e");
+  DetectiveRule rule("bad", g, p, n);
+  EXPECT_TRUE(rule.Validate().IsInvalidArgument());
+}
+
+TEST(RuleTest, EdgeBetweenPandNRejected) {
+  SchemaMatchingGraph g;
+  uint32_t a = g.AddNode({"Name", "person", Similarity::Equality()});
+  uint32_t p = g.AddNode({"City", "city", Similarity::Equality()});
+  uint32_t n = g.AddNode({"City", "city", Similarity::Equality()});
+  g.AddEdge(a, p, "livesIn").Abort("e");
+  g.AddEdge(p, n, "near").Abort("e");
+  DetectiveRule rule("bad", g, p, n);
+  EXPECT_TRUE(rule.Validate().IsInvalidArgument());
+}
+
+TEST(RuleTest, DisconnectedNegativeSideRejected) {
+  SchemaMatchingGraph g;
+  uint32_t a = g.AddNode({"Name", "person", Similarity::Equality()});
+  uint32_t p = g.AddNode({"City", "city", Similarity::Equality()});
+  g.AddNode({"City", "city", Similarity::Equality()});  // n, no edges
+  g.AddEdge(a, p, "livesIn").Abort("e");
+  DetectiveRule rule("bad", g, 1, 2);
+  EXPECT_TRUE(rule.Validate().IsInvalidArgument());
+}
+
+TEST(RuleTest, NeedsEvidence) {
+  SchemaMatchingGraph g;
+  g.AddNode({"City", "city", Similarity::Equality()});
+  g.AddNode({"City", "city", Similarity::Equality()});
+  DetectiveRule rule("bad", g, 0, 1);
+  EXPECT_TRUE(rule.Validate().IsInvalidArgument());
+}
+
+TEST(RuleTest, MergeIntoRuleBuildsPhi1Shape) {
+  // Positive: Name -worksAt-> Institution; negative: Name -graduatedFrom->.
+  SchemaMatchingGraph positive = TwoNodeGraph("worksAt");
+  SchemaMatchingGraph negative = TwoNodeGraph("graduatedFrom");
+  auto rule = MergeIntoRule("merged", positive, negative, "Institution");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->Validate().ok());
+  EXPECT_EQ(rule->TargetColumn(), "Institution");
+  EXPECT_EQ(rule->EvidenceColumns(), (std::vector<std::string>{"Name"}));
+  EXPECT_EQ(rule->graph().edges().size(), 2u);
+}
+
+TEST(RuleTest, MergeRejectsDivergentEvidence) {
+  SchemaMatchingGraph positive = TwoNodeGraph("worksAt");
+  SchemaMatchingGraph negative;
+  uint32_t a = negative.AddNode({"Name", "city", Similarity::Equality()});  // type differs
+  uint32_t b =
+      negative.AddNode({"Institution", "organization", Similarity::EditDistance(2)});
+  negative.AddEdge(a, b, "graduatedFrom").Abort("e");
+  EXPECT_FALSE(MergeIntoRule("bad", positive, negative, "Institution").ok());
+}
+
+TEST(RuleTest, MergeRejectsMissingTarget) {
+  SchemaMatchingGraph g = TwoNodeGraph();
+  EXPECT_FALSE(MergeIntoRule("bad", g, g, "City").ok());
+}
+
+// ---- Rule DSL -------------------------------------------------------------------
+
+TEST(RuleIoTest, FormatParseRoundTrip) {
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+  auto reparsed = ParseRules(FormatRules(rules));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->size(), rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ((*reparsed)[i], rules[i]) << rules[i].name();
+  }
+}
+
+TEST(RuleIoTest, QuotedValuesAndComments) {
+  auto rules = ParseRules(R"(
+# leading comment
+RULE r1
+NODE a col="Full Name" type="Nobel laureates in Chemistry" sim="="
+POS  p col=City type=city sim="ED,2"  # trailing comment
+NEG  n col=City type=city
+EDGE a "lives in" p
+EDGE a wasBornIn n
+END
+)");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 1u);
+  const DetectiveRule& rule = (*rules)[0];
+  EXPECT_EQ(rule.graph().node(0).column, "Full Name");
+  EXPECT_EQ(rule.graph().edges()[0].relation, "lives in");
+  // NEG without sim defaults to equality.
+  EXPECT_EQ(rule.graph().node(rule.negative_node()).sim, Similarity::Equality());
+}
+
+TEST(RuleIoTest, Errors) {
+  EXPECT_TRUE(ParseRules("NODE a col=x type=t\n").status().IsParseError());
+  EXPECT_TRUE(ParseRules("RULE r\nEND\n").status().IsParseError());  // no nodes
+  EXPECT_TRUE(ParseRules("RULE r\nRULE s\n").status().IsParseError());
+  EXPECT_TRUE(ParseRules("RULE r\nNODE a col=x type=t\n").status().IsParseError());
+  EXPECT_TRUE(
+      ParseRules("RULE r\nNODE a col=x bogus=1\nEND\n").status().IsParseError());
+  EXPECT_TRUE(ParseRules("RULE r\nEDGE a b\nEND\n").status().IsParseError());
+  EXPECT_TRUE(ParseRules("FROB x\n").status().IsParseError());
+}
+
+TEST(RuleIoTest, DuplicateAliasRejected) {
+  EXPECT_TRUE(ParseRules(R"(
+RULE r
+NODE a col=x type=t
+NODE a col=y type=t2
+END
+)")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(RuleIoTest, UnknownEdgeAliasRejected) {
+  EXPECT_TRUE(ParseRules(R"(
+RULE r
+NODE a col=x type=t
+POS  p col=y type=t2
+NEG  n col=y type=t2
+EDGE a r1 p
+EDGE a r2 q
+END
+)")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(RuleIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/rules.dr";
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+  ASSERT_TRUE(WriteRulesFile(path, rules).ok());
+  auto loaded = ParseRulesFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), rules.size());
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,40 @@
+#ifndef DETECTIVE_TESTS_TEST_FIXTURES_H_
+#define DETECTIVE_TESTS_TEST_FIXTURES_H_
+
+// Shared fixtures: the paper's Fig. 1 knowledge base excerpt (extended to
+// cover all four tuples of Table I), the Table I relation, and the Fig. 4
+// detective rules. Tests across modules reuse these so expectations can be
+// cross-checked against the paper's worked examples.
+
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+#include "core/rule_io.h"
+#include "kb/knowledge_base.h"
+#include "relation/relation.h"
+
+namespace detective::testing {
+
+/// The Fig. 1 excerpt: laureates, institutions, cities, countries, prizes.
+/// Extended with Marie Curie / Roald Hoffmann / Melvin Calvin facts so every
+/// Table I repair is derivable (Melvin Calvin has two worksAt institutions,
+/// enabling the multi-version Example 10).
+KnowledgeBase BuildFigure1Kb();
+
+/// Table I with its errors:
+///   r1: Prize + City wrong; r2: Institution typo; r3: Country + Prize
+///   wrong; r4: Institution + City wrong (multi-version).
+Relation BuildTableI();
+
+/// Ground truth for Table I (the bracketed values), with UC Berkeley as the
+/// canonical Calvin institution.
+Relation BuildTableIClean();
+
+/// The four Fig. 4 rules: phi1 (Institution), phi2 (City), phi3 (Country),
+/// phi4 (Prize).
+std::vector<DetectiveRule> BuildFigure4Rules();
+
+}  // namespace detective::testing
+
+#endif  // DETECTIVE_TESTS_TEST_FIXTURES_H_

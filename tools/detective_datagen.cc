@@ -1,0 +1,149 @@
+// detective_datagen: materializes the paper's experimental datasets as
+// plain files, so detective_clean (and any external tool) can run on them.
+//
+//   detective_datagen --dataset=nobel|uis --out=DIR [--tuples=N] [--seed=S]
+//                     [--error-rate=R] [--typo-fraction=T]
+//
+// Writes into DIR:
+//   kb_yago.nt / kb_dbpedia.nt   KB projections under both profiles
+//   clean.csv / dirty.csv        ground truth and the dirtied instance
+//   rules.dr                     the curated detective rules (rule DSL)
+//   errors.csv                   injected errors (row, column, clean, dirty, type)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/rule_io.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/uis_gen.h"
+#include "kb/ntriples_parser.h"
+
+namespace detective {
+namespace {
+
+struct Args {
+  std::string dataset = "nobel";
+  std::string out_dir;
+  size_t tuples = 0;  // 0 = dataset default
+  uint64_t seed = 7;
+  double error_rate = 0.10;
+  double typo_fraction = 0.5;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value_of = [&](std::string_view name) -> std::string_view {
+      std::string prefix = std::string("--") + std::string(name) + "=";
+      if (StartsWith(arg, prefix)) return arg.substr(prefix.size());
+      return {};
+    };
+    if (auto v = value_of("dataset"); !v.empty()) {
+      args->dataset = std::string(v);
+    } else if (auto v2 = value_of("out"); !v2.empty()) {
+      args->out_dir = std::string(v2);
+    } else if (auto v3 = value_of("tuples"); !v3.empty()) {
+      uint64_t n = 0;
+      if (!ParseUint64(v3, &n)) return false;
+      args->tuples = n;
+    } else if (auto v4 = value_of("seed"); !v4.empty()) {
+      if (!ParseUint64(v4, &args->seed)) return false;
+    } else if (auto v5 = value_of("error-rate"); !v5.empty()) {
+      if (!ParseDouble(v5, &args->error_rate)) return false;
+    } else if (auto v6 = value_of("typo-fraction"); !v6.empty()) {
+      if (!ParseDouble(v6, &args->typo_fraction)) return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return !args->out_dir.empty() &&
+         (args->dataset == "nobel" || args->dataset == "uis");
+}
+
+Status WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open ", path);
+  out << text;
+  out.flush();
+  if (!out) return Status::IOError("write failed for ", path);
+  return Status::OK();
+}
+
+int Run(const Args& args) {
+  Dataset dataset;
+  if (args.dataset == "nobel") {
+    NobelOptions options;
+    options.seed = args.seed;
+    if (args.tuples > 0) options.num_laureates = args.tuples;
+    dataset = GenerateNobel(options);
+  } else {
+    UisOptions options;
+    options.seed = args.seed;
+    if (args.tuples > 0) options.num_tuples = args.tuples;
+    dataset = GenerateUis(options);
+  }
+
+  std::filesystem::create_directories(args.out_dir);
+  auto path = [&](const char* name) { return args.out_dir + "/" + name; };
+
+  // KBs under both profiles.
+  for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
+    KnowledgeBase kb = dataset.world.ToKb(profile, dataset.key_entities);
+    std::string file = profile.name == "Yago" ? "kb_yago.nt" : "kb_dbpedia.nt";
+    Status st = WriteText(path(file.c_str()), ToNTriples(kb));
+    st.Abort("write KB");
+    std::printf("%s: %s\n", file.c_str(), kb.DebugSummary().c_str());
+  }
+
+  // Relations.
+  dataset.clean.ToCsvFile(path("clean.csv")).Abort("clean.csv");
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = args.error_rate;
+  spec.typo_fraction = args.typo_fraction;
+  spec.seed = args.seed + 1;
+  std::vector<ErrorRecord> errors = InjectErrors(&dirty, spec, dataset.alternatives);
+  dirty.ToCsvFile(path("dirty.csv")).Abort("dirty.csv");
+
+  // Rules and the error ledger.
+  WriteRulesFile(path("rules.dr"), dataset.rules).Abort("rules.dr");
+  std::vector<std::vector<std::string>> rows = {
+      {"row", "column", "clean", "dirty", "type"}};
+  for (const ErrorRecord& e : errors) {
+    rows.push_back({std::to_string(e.row),
+                    dataset.clean.schema().column_name(e.column), e.clean_value,
+                    e.dirty_value, e.type == ErrorType::kTypo ? "typo" : "semantic"});
+  }
+  WriteCsvFile(path("errors.csv"), rows).Abort("errors.csv");
+
+  std::printf(
+      "%s dataset written to %s: %zu tuples, %zu injected errors, %zu rules\n",
+      args.dataset.c_str(), args.out_dir.c_str(), dataset.clean.num_tuples(),
+      errors.size(), dataset.rules.size());
+  std::printf(
+      "try: detective_clean --kb=%s/kb_yago.nt --rules=%s/rules.dr "
+      "--input=%s/dirty.csv --output=%s/repaired.csv\n",
+      args.out_dir.c_str(), args.out_dir.c_str(), args.out_dir.c_str(),
+      args.out_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  detective::Args args;
+  if (!detective::ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: detective_datagen --dataset=nobel|uis --out=DIR\n"
+                 "                         [--tuples=N] [--seed=S]\n"
+                 "                         [--error-rate=R] [--typo-fraction=T]\n");
+    return 64;
+  }
+  return detective::Run(args);
+}
