@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_typo_rate.dir/bench_fig7_typo_rate.cc.o"
+  "CMakeFiles/bench_fig7_typo_rate.dir/bench_fig7_typo_rate.cc.o.d"
+  "bench_fig7_typo_rate"
+  "bench_fig7_typo_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_typo_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

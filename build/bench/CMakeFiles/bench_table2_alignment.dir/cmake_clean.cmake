@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_alignment.dir/bench_table2_alignment.cc.o"
+  "CMakeFiles/bench_table2_alignment.dir/bench_table2_alignment.cc.o.d"
+  "bench_table2_alignment"
+  "bench_table2_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_negative_path.dir/negative_path.cpp.o"
+  "CMakeFiles/example_negative_path.dir/negative_path.cpp.o.d"
+  "example_negative_path"
+  "example_negative_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_negative_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nobel_cleaning.dir/nobel_cleaning.cpp.o"
+  "CMakeFiles/example_nobel_cleaning.dir/nobel_cleaning.cpp.o.d"
+  "example_nobel_cleaning"
+  "example_nobel_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nobel_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

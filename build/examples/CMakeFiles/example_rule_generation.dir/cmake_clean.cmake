@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rule_generation.dir/rule_generation.cpp.o"
+  "CMakeFiles/example_rule_generation.dir/rule_generation.cpp.o.d"
+  "example_rule_generation"
+  "example_rule_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rule_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_webtables_cleaning.dir/webtables_cleaning.cpp.o"
+  "CMakeFiles/example_webtables_cleaning.dir/webtables_cleaning.cpp.o.d"
+  "example_webtables_cleaning"
+  "example_webtables_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_webtables_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cfd.cc" "src/CMakeFiles/detective.dir/baselines/cfd.cc.o" "gcc" "src/CMakeFiles/detective.dir/baselines/cfd.cc.o.d"
+  "/root/repo/src/baselines/fd.cc" "src/CMakeFiles/detective.dir/baselines/fd.cc.o" "gcc" "src/CMakeFiles/detective.dir/baselines/fd.cc.o.d"
+  "/root/repo/src/baselines/katara.cc" "src/CMakeFiles/detective.dir/baselines/katara.cc.o" "gcc" "src/CMakeFiles/detective.dir/baselines/katara.cc.o.d"
+  "/root/repo/src/baselines/llunatic.cc" "src/CMakeFiles/detective.dir/baselines/llunatic.cc.o" "gcc" "src/CMakeFiles/detective.dir/baselines/llunatic.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/detective.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/detective.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/detective.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/detective.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/detective.dir/common/random.cc.o" "gcc" "src/CMakeFiles/detective.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/detective.dir/common/status.cc.o" "gcc" "src/CMakeFiles/detective.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/detective.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/detective.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/bound_rule.cc" "src/CMakeFiles/detective.dir/core/bound_rule.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/bound_rule.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/CMakeFiles/detective.dir/core/consistency.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/consistency.cc.o.d"
+  "/root/repo/src/core/evidence_matcher.cc" "src/CMakeFiles/detective.dir/core/evidence_matcher.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/evidence_matcher.cc.o.d"
+  "/root/repo/src/core/matching_graph.cc" "src/CMakeFiles/detective.dir/core/matching_graph.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/matching_graph.cc.o.d"
+  "/root/repo/src/core/parallel_repair.cc" "src/CMakeFiles/detective.dir/core/parallel_repair.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/parallel_repair.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/CMakeFiles/detective.dir/core/repair.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/repair.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/CMakeFiles/detective.dir/core/rule.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/rule.cc.o.d"
+  "/root/repo/src/core/rule_generation.cc" "src/CMakeFiles/detective.dir/core/rule_generation.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/rule_generation.cc.o.d"
+  "/root/repo/src/core/rule_graph.cc" "src/CMakeFiles/detective.dir/core/rule_graph.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/rule_graph.cc.o.d"
+  "/root/repo/src/core/rule_io.cc" "src/CMakeFiles/detective.dir/core/rule_io.cc.o" "gcc" "src/CMakeFiles/detective.dir/core/rule_io.cc.o.d"
+  "/root/repo/src/datagen/error_injector.cc" "src/CMakeFiles/detective.dir/datagen/error_injector.cc.o" "gcc" "src/CMakeFiles/detective.dir/datagen/error_injector.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/CMakeFiles/detective.dir/datagen/names.cc.o" "gcc" "src/CMakeFiles/detective.dir/datagen/names.cc.o.d"
+  "/root/repo/src/datagen/nobel_gen.cc" "src/CMakeFiles/detective.dir/datagen/nobel_gen.cc.o" "gcc" "src/CMakeFiles/detective.dir/datagen/nobel_gen.cc.o.d"
+  "/root/repo/src/datagen/uis_gen.cc" "src/CMakeFiles/detective.dir/datagen/uis_gen.cc.o" "gcc" "src/CMakeFiles/detective.dir/datagen/uis_gen.cc.o.d"
+  "/root/repo/src/datagen/webtables_gen.cc" "src/CMakeFiles/detective.dir/datagen/webtables_gen.cc.o" "gcc" "src/CMakeFiles/detective.dir/datagen/webtables_gen.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/CMakeFiles/detective.dir/datagen/world.cc.o" "gcc" "src/CMakeFiles/detective.dir/datagen/world.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/detective.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/detective.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/detective.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/detective.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/detective.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/detective.dir/eval/report.cc.o.d"
+  "/root/repo/src/kb/kb_stats.cc" "src/CMakeFiles/detective.dir/kb/kb_stats.cc.o" "gcc" "src/CMakeFiles/detective.dir/kb/kb_stats.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/CMakeFiles/detective.dir/kb/knowledge_base.cc.o" "gcc" "src/CMakeFiles/detective.dir/kb/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/ntriples_parser.cc" "src/CMakeFiles/detective.dir/kb/ntriples_parser.cc.o" "gcc" "src/CMakeFiles/detective.dir/kb/ntriples_parser.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/detective.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/detective.dir/relation/relation.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/detective.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/detective.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/signature_index.cc" "src/CMakeFiles/detective.dir/text/signature_index.cc.o" "gcc" "src/CMakeFiles/detective.dir/text/signature_index.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/CMakeFiles/detective.dir/text/similarity.cc.o" "gcc" "src/CMakeFiles/detective.dir/text/similarity.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/detective.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/detective.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_rules_test.dir/dataset_rules_test.cc.o"
+  "CMakeFiles/dataset_rules_test.dir/dataset_rules_test.cc.o.d"
+  "dataset_rules_test"
+  "dataset_rules_test.pdb"
+  "dataset_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detective_test_fixtures.dir/test_fixtures.cc.o"
+  "CMakeFiles/detective_test_fixtures.dir/test_fixtures.cc.o.d"
+  "libdetective_test_fixtures.a"
+  "libdetective_test_fixtures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detective_test_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdetective_test_fixtures.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for detective_test_fixtures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/existential_test.dir/existential_test.cc.o"
+  "CMakeFiles/existential_test.dir/existential_test.cc.o.d"
+  "existential_test"
+  "existential_test.pdb"
+  "existential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/existential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_rules_test.dir/fuzzy_rules_test.cc.o"
+  "CMakeFiles/fuzzy_rules_test.dir/fuzzy_rules_test.cc.o.d"
+  "fuzzy_rules_test"
+  "fuzzy_rules_test.pdb"
+  "fuzzy_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

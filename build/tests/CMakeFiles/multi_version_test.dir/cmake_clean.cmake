@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_version_test.dir/multi_version_test.cc.o"
+  "CMakeFiles/multi_version_test.dir/multi_version_test.cc.o.d"
+  "multi_version_test"
+  "multi_version_test.pdb"
+  "multi_version_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_version_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_repair_test.dir/parallel_repair_test.cc.o"
+  "CMakeFiles/parallel_repair_test.dir/parallel_repair_test.cc.o.d"
+  "parallel_repair_test"
+  "parallel_repair_test.pdb"
+  "parallel_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_discovery_test.dir/path_discovery_test.cc.o"
+  "CMakeFiles/path_discovery_test.dir/path_discovery_test.cc.o.d"
+  "path_discovery_test"
+  "path_discovery_test.pdb"
+  "path_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_generation_test.dir/rule_generation_test.cc.o"
+  "CMakeFiles/rule_generation_test.dir/rule_generation_test.cc.o.d"
+  "rule_generation_test"
+  "rule_generation_test.pdb"
+  "rule_generation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_graph_property_test.dir/rule_graph_property_test.cc.o"
+  "CMakeFiles/rule_graph_property_test.dir/rule_graph_property_test.cc.o.d"
+  "rule_graph_property_test"
+  "rule_graph_property_test.pdb"
+  "rule_graph_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_graph_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/data_files_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/existential_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzzy_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/kb_test[1]_include.cmake")
+include("/root/repo/build/tests/logging_test[1]_include.cmake")
+include("/root/repo/build/tests/matcher_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_version_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_repair_test[1]_include.cmake")
+include("/root/repo/build/tests/path_discovery_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/relation_test[1]_include.cmake")
+include("/root/repo/build/tests/repair_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_generation_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_graph_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")

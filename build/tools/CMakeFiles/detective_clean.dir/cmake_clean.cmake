@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detective_clean.dir/detective_clean.cc.o"
+  "CMakeFiles/detective_clean.dir/detective_clean.cc.o.d"
+  "detective_clean"
+  "detective_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detective_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for detective_clean.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detective_datagen.dir/detective_datagen.cc.o"
+  "CMakeFiles/detective_datagen.dir/detective_datagen.cc.o.d"
+  "detective_datagen"
+  "detective_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detective_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

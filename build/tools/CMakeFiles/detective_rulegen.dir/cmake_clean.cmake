@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detective_rulegen.dir/detective_rulegen.cc.o"
+  "CMakeFiles/detective_rulegen.dir/detective_rulegen.cc.o.d"
+  "detective_rulegen"
+  "detective_rulegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detective_rulegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
