@@ -32,7 +32,8 @@ constexpr Config kConfigs[] = {
     {"bRepair (none; Algorithm 1)", false, false, false},
 };
 
-void RunAblation(const Dataset& dataset, const Relation& dirty) {
+void RunAblation(const Dataset& dataset, const Relation& dirty,
+                 bench::BenchJsonWriter* json) {
   KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
   std::printf("%s (%zu tuples, %zu rules)\n", dataset.name.c_str(),
               dirty.num_tuples(), dataset.rules.size());
@@ -67,6 +68,8 @@ void RunAblation(const Dataset& dataset, const Relation& dirty) {
     }
     std::printf("  %-32s %9.3fs %14zu %14zu\n", config.label, elapsed, checks,
                 scans);
+    json->Add(dataset.name + "/" + Trim(config.label), 0, elapsed * 1000,
+              {{"rule_checks", checks}, {"candidate_scans", scans}});
   }
   std::printf("\n");
 }
@@ -78,6 +81,7 @@ int main(int argc, char** argv) {
   using namespace detective;
   bench::PrintHeader("Ablation: the three fast-repair optimizations (§IV-B)",
                      "each knob disabled individually; Yago profile, e=10%");
+  bench::BenchJsonWriter json("ablation");
 
   {
     NobelOptions options;
@@ -86,7 +90,7 @@ int main(int argc, char** argv) {
     ErrorSpec spec;
     spec.error_rate = 0.10;
     InjectErrors(&dirty, spec, dataset.alternatives);
-    RunAblation(dataset, dirty);
+    RunAblation(dataset, dirty, &json);
   }
   {
     UisOptions options;
@@ -96,12 +100,13 @@ int main(int argc, char** argv) {
     ErrorSpec spec;
     spec.error_rate = 0.10;
     InjectErrors(&dirty, spec, dataset.alternatives);
-    RunAblation(dataset, dirty);
+    RunAblation(dataset, dirty, &json);
   }
 
   std::printf(
       "Reading the ablation: dropping the signature indexes costs the most\n"
       "on similarity-heavy rules; dropping the shared memo multiplies node\n"
       "checks across rules; dropping rule ordering forces extra sweeps.\n");
+  if (!json.WriteTo(bench::FlagString(argc, argv, "json"))) return 1;
   return 0;
 }

@@ -15,7 +15,19 @@ namespace {
 
 constexpr double kTypoFractions[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
 
-void RunSweep(const Dataset& dataset) {
+std::map<std::string, uint64_t> QualityCounters(const RepairQuality& q,
+                                                double seconds) {
+  return {{"errors", q.errors},
+          {"repairs", q.repairs},
+          {"exact_correct", q.exact_correct},
+          {"pos_marks", q.pos_marks},
+          {"precision_milli", static_cast<uint64_t>(q.precision() * 1000 + 0.5)},
+          {"recall_milli", static_cast<uint64_t>(q.recall() * 1000 + 0.5)},
+          {"f_measure_milli", static_cast<uint64_t>(q.f_measure() * 1000 + 0.5)},
+          {"repair_ms", static_cast<uint64_t>(seconds * 1000 + 0.5)}};
+}
+
+void RunSweep(const Dataset& dataset, bench::BenchJsonWriter* json) {
   KnowledgeBase yago = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
   KnowledgeBase dbpedia = dataset.world.ToKb(DBpediaProfile(), dataset.key_entities);
   std::vector<char> eligible_yago =
@@ -35,16 +47,20 @@ void RunSweep(const Dataset& dataset) {
     spec.seed = 1234 + static_cast<uint64_t>(typo * 100);
     InjectErrors(&dirty, spec, dataset.alternatives);
 
-    auto run = [&](Method method, const KnowledgeBase* kb,
+    auto run = [&](const char* series, Method method, const KnowledgeBase* kb,
                    const std::vector<char>& eligible) {
       auto result = RunMethod(method, dataset, kb, dirty, eligible);
       result.status().Abort("RunMethod");
+      json->Add(dataset.name + "/" + series, typo * 100, result->seconds * 1000,
+                QualityCounters(result->quality, result->seconds));
       return result->quality;
     };
-    RepairQuality dr_yago = run(Method::kBasicRepair, &yago, eligible_yago);
-    RepairQuality dr_dbp = run(Method::kBasicRepair, &dbpedia, eligible_dbp);
-    RepairQuality llunatic = run(Method::kLlunatic, nullptr, eligible_yago);
-    RepairQuality cfd = run(Method::kConstantCfd, nullptr, eligible_yago);
+    RepairQuality dr_yago =
+        run("bRepair(Yago)", Method::kBasicRepair, &yago, eligible_yago);
+    RepairQuality dr_dbp =
+        run("bRepair(DBpedia)", Method::kBasicRepair, &dbpedia, eligible_dbp);
+    RepairQuality llunatic = run("Llunatic", Method::kLlunatic, nullptr, eligible_yago);
+    RepairQuality cfd = run("cCFDs", Method::kConstantCfd, nullptr, eligible_yago);
 
     auto cell = [](const RepairQuality& q) {
       static char buffer[64];
@@ -67,14 +83,15 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Figure 7: effectiveness varying typo rate (0%-100%)",
                      "error rate fixed at 10%; the rest are semantic errors");
 
+  bench::BenchJsonWriter json("fig7_typo_rate");
   {
     NobelOptions options;
-    RunSweep(GenerateNobel(options));
+    RunSweep(GenerateNobel(options), &json);
   }
   {
     UisOptions options;
     options.num_tuples = bench::FlagUint(argc, argv, "uis_tuples", 5000);
-    RunSweep(GenerateUis(options));
+    RunSweep(GenerateUis(options), &json);
   }
 
   std::printf(
@@ -83,5 +100,6 @@ int main(int argc, char** argv) {
       "candidate); recall therefore rises with the typo share. Semantic\n"
       "errors that land on DR evidence columns stay undetectable, which is\n"
       "the low end of the curve at typo=0%%.\n");
+  if (!json.WriteTo(bench::FlagString(argc, argv, "json"))) return 1;
   return 0;
 }

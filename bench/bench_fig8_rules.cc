@@ -41,7 +41,8 @@ double TimeRepair(Method method, const KnowledgeBase& kb, const Schema& schema,
   return NowSeconds() - start;
 }
 
-void SweepDataset(const char* label, const Dataset& dataset, const Relation& dirty) {
+void SweepDataset(const char* label, const Dataset& dataset, const Relation& dirty,
+                  bench::BenchJsonWriter* json) {
   KnowledgeBase yago = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
   KnowledgeBase dbpedia = dataset.world.ToKb(DBpediaProfile(), dataset.key_entities);
   std::printf("%s (%zu tuples)\n", label, dirty.num_tuples());
@@ -50,13 +51,17 @@ void SweepDataset(const char* label, const Dataset& dataset, const Relation& dir
   for (size_t count = 1; count <= dataset.rules.size(); ++count) {
     std::vector<DetectiveRule> subset(dataset.rules.begin(),
                                       dataset.rules.begin() + count);
+    auto time = [&](const char* series, Method method, const KnowledgeBase& kb) {
+      double seconds = TimeRepair(method, kb, dirty.schema(), subset, dirty);
+      json->Add(dataset.name + "/" + series, static_cast<double>(count),
+                seconds * 1000);
+      return seconds;
+    };
     std::printf("  %-7zu %14.3fs %14.3fs %14.3fs %14.3fs\n", count,
-                TimeRepair(Method::kBasicRepair, yago, dirty.schema(), subset, dirty),
-                TimeRepair(Method::kFastRepair, yago, dirty.schema(), subset, dirty),
-                TimeRepair(Method::kBasicRepair, dbpedia, dirty.schema(), subset,
-                           dirty),
-                TimeRepair(Method::kFastRepair, dbpedia, dirty.schema(), subset,
-                           dirty));
+                time("bRepair(Yago)", Method::kBasicRepair, yago),
+                time("fRepair(Yago)", Method::kFastRepair, yago),
+                time("bRepair(DBpedia)", Method::kBasicRepair, dbpedia),
+                time("fRepair(DBpedia)", Method::kFastRepair, dbpedia));
   }
   std::printf("\n");
 }
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   using namespace detective;
   bench::PrintHeader("Figure 8(a)-(c): repair time varying #-rules",
                      "bRepair vs fRepair, Yago vs DBpedia; KB read time excluded");
+  bench::BenchJsonWriter json("fig8_rules");
 
   // (a) WebTables: vary the corpus-wide rule budget 10..50.
   {
@@ -103,6 +109,12 @@ int main(int argc, char** argv) {
       std::printf("  %-7zu %13.1fms %13.1fms %13.1fms %13.1fms\n", budget,
                   times[0] * 1000, times[1] * 1000, times[2] * 1000,
                   times[3] * 1000);
+      const char* series[4] = {"WebTables/bRepair(Yago)", "WebTables/fRepair(Yago)",
+                               "WebTables/bRepair(DBpedia)",
+                               "WebTables/fRepair(DBpedia)"};
+      for (int s = 0; s < 4; ++s) {
+        json.Add(series[s], static_cast<double>(budget), times[s] * 1000);
+      }
     }
     std::printf("\n");
   }
@@ -115,7 +127,7 @@ int main(int argc, char** argv) {
     ErrorSpec spec;
     spec.error_rate = 0.10;
     InjectErrors(&dirty, spec, dataset.alternatives);
-    SweepDataset("(b) Nobel", dataset, dirty);
+    SweepDataset("(b) Nobel", dataset, dirty, &json);
   }
 
   // (c) UIS.
@@ -127,7 +139,7 @@ int main(int argc, char** argv) {
     ErrorSpec spec;
     spec.error_rate = 0.10;
     InjectErrors(&dirty, spec, dataset.alternatives);
-    SweepDataset("(c) UIS", dataset, dirty);
+    SweepDataset("(c) UIS", dataset, dirty, &json);
   }
 
   std::printf(
@@ -135,5 +147,6 @@ int main(int argc, char** argv) {
       "widens with the rule count and the data size (shared node checks +\n"
       "rule ordering + signature indexes); on the tiny WebTables the gap is\n"
       "small because the index/bookkeeping overhead is not amortized.\n");
+  if (!json.WriteTo(bench::FlagString(argc, argv, "json"))) return 1;
   return 0;
 }

@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/random.h"
 #include "core/evidence_matcher.h"
 #include "core/repair.h"
@@ -182,7 +187,49 @@ void BM_RuleGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_RuleGeneration)->Arg(5)->Arg(20)->Arg(50);
 
+/// ConsoleReporter that additionally copies every run into a BenchJsonWriter
+/// so bench_micro emits the same BENCH_*.json schema as the figure/table
+/// benches (series = benchmark name, x = 0, counters = {"iterations": n}).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::BenchJsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // real_accumulated_time is in seconds; report per-iteration wall ms.
+      double iterations = run.iterations > 0 ? static_cast<double>(run.iterations) : 1;
+      json_->Add(run.benchmark_name(), 0,
+                 run.real_accumulated_time / iterations * 1e3,
+                 {{"iterations", static_cast<uint64_t>(run.iterations)}});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchJsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace detective
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace detective;
+  // benchmark::Initialize rejects flags it does not know, so take --json=
+  // out of argv before handing the rest over.
+  std::string json_path = bench::FlagString(argc, argv, "json");
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) != 0) rest.push_back(argv[i]);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+
+  bench::BenchJsonWriter json("micro");
+  JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json.WriteTo(json_path)) return 1;
+  return 0;
+}

@@ -22,7 +22,26 @@ void PrintRow(const char* method, const char* kb_name, const RepairQuality& q) {
               q.precision(), q.recall(), q.f_measure(), q.pos_marks);
 }
 
-void RunDataset(const Dataset& dataset, const Relation& dirty) {
+/// Same per-mille encoding as the figure benches: integer counters only.
+std::map<std::string, uint64_t> QualityCounters(const RepairQuality& q) {
+  return {{"errors", q.errors},
+          {"repairs", q.repairs},
+          {"exact_correct", q.exact_correct},
+          {"pos_marks", q.pos_marks},
+          {"precision_milli", static_cast<uint64_t>(q.precision() * 1000 + 0.5)},
+          {"recall_milli", static_cast<uint64_t>(q.recall() * 1000 + 0.5)},
+          {"f_measure_milli", static_cast<uint64_t>(q.f_measure() * 1000 + 0.5)}};
+}
+
+void AddRow(bench::BenchJsonWriter* json, const std::string& dataset,
+            const char* method, const std::string& kb_name, const RepairQuality& q,
+            double seconds) {
+  json->Add(dataset + "/" + method + "(" + kb_name + ")", 0, seconds * 1000,
+            QualityCounters(q));
+}
+
+void RunDataset(const Dataset& dataset, const Relation& dirty,
+                bench::BenchJsonWriter* json) {
   std::printf("%s (%zu tuples, %zu rules)\n", dataset.name.c_str(),
               dataset.clean.num_tuples(), dataset.rules.size());
   for (const KbProfile& profile : {YagoProfile(), DBpediaProfile()}) {
@@ -32,8 +51,10 @@ void RunDataset(const Dataset& dataset, const Relation& dirty) {
     for (Method method : {Method::kFastRepair, Method::kKatara}) {
       auto result = RunMethod(method, dataset, &kb, dirty, eligible);
       result.status().Abort("RunMethod");
-      PrintRow(method == Method::kFastRepair ? "DRs" : "KATARA",
-               profile.name.c_str(), result->quality);
+      const char* name = method == Method::kFastRepair ? "DRs" : "KATARA";
+      PrintRow(name, profile.name.c_str(), result->quality);
+      AddRow(json, dataset.name, name, profile.name, result->quality,
+             result->seconds);
     }
   }
   std::printf("\n");
@@ -47,6 +68,7 @@ int main(int argc, char** argv) {
   bench::PrintHeader(
       "Table III: data annotation and repair accuracy",
       "DRs vs KATARA on WebTables / Nobel / UIS x {Yago, DBpedia}, e=10%");
+  bench::BenchJsonWriter json("table3_accuracy");
 
   // ---- WebTables (born dirty; per-table evaluation merged) ----
   {
@@ -77,8 +99,12 @@ int main(int argc, char** argv) {
               EvaluateRepair(table.clean, table.dirty, repaired, eligible));
         }
       }
-      PrintRow("DRs", profile.name.c_str(), MergeQualities(dr_parts));
-      PrintRow("KATARA", profile.name.c_str(), MergeQualities(katara_parts));
+      RepairQuality dr_merged = MergeQualities(dr_parts);
+      RepairQuality katara_merged = MergeQualities(katara_parts);
+      PrintRow("DRs", profile.name.c_str(), dr_merged);
+      PrintRow("KATARA", profile.name.c_str(), katara_merged);
+      AddRow(&json, "WebTables", "DRs", profile.name, dr_merged, 0);
+      AddRow(&json, "WebTables", "KATARA", profile.name, katara_merged, 0);
     }
     std::printf("\n");
   }
@@ -91,7 +117,7 @@ int main(int argc, char** argv) {
     ErrorSpec spec;
     spec.error_rate = 0.10;
     InjectErrors(&dirty, spec, dataset.alternatives);
-    RunDataset(dataset, dirty);
+    RunDataset(dataset, dirty, &json);
   }
 
   // ---- UIS ----
@@ -103,7 +129,7 @@ int main(int argc, char** argv) {
     ErrorSpec spec;
     spec.error_rate = 0.10;
     InjectErrors(&dirty, spec, dataset.alternatives);
-    RunDataset(dataset, dirty);
+    RunDataset(dataset, dirty, &json);
   }
 
   std::printf(
@@ -111,5 +137,6 @@ int main(int argc, char** argv) {
       "far more positive cells (#-POS) than KATARA; DR recall is bounded by\n"
       "KB coverage (Yago > DBpedia) and is lowest on WebTables, whose tables\n"
       "have too few attributes to support corrections.\n");
+  if (!json.WriteTo(bench::FlagString(argc, argv, "json"))) return 1;
   return 0;
 }

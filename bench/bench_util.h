@@ -5,10 +5,34 @@
 // paper table/figure). Each binary prints the same rows/series the paper
 // reports; absolute numbers differ from the authors' testbed, the *shape*
 // is what reproduces.
+//
+// Every binary also accepts --json=<path> and emits the machine-readable
+// form of its table through BenchJsonWriter below — one schema for the
+// whole suite so the perf-trajectory tooling (tools/check_bench_regression.py
+// and the CI bench-smoke job) can consume any BENCH_*.json without
+// per-binary parsing:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<binary name without bench_ prefix>",
+//     "entries": [
+//       {"series": "fRepair(Yago)", "x": 4000, "wall_ms": 12.5,
+//        "counters": {"repair.rule_checks": 123, ...}},
+//       ...
+//     ]
+//   }
+//
+// "series" names one line of a figure (or one row label of a table), "x" is
+// the swept parameter (0 when nothing is swept), "wall_ms" the measured wall
+// clock, and "counters" any integer-valued extras (work counters, quality
+// tallies scaled to counts — never floats).
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 
@@ -35,12 +59,95 @@ inline bool FlagBool(int argc, char** argv, const char* name) {
   return false;
 }
 
+inline std::string FlagString(int argc, char** argv, const char* name,
+                              std::string fallback = "") {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
 inline void PrintHeader(const char* title, const char* subtitle) {
   std::printf("==========================================================\n");
   std::printf("%s\n", title);
   std::printf("%s\n", subtitle);
   std::printf("==========================================================\n");
 }
+
+/// Collects (series, x, wall_ms, counters) measurements and writes the
+/// schema-stable JSON document described at the top of this header.
+class BenchJsonWriter {
+ public:
+  /// `bench_name` identifies the binary, e.g. "fig8_scale".
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(std::string series, double x, double wall_ms,
+           std::map<std::string, uint64_t> counters = {}) {
+    entries_.push_back(
+        {std::move(series), x, wall_ms, std::move(counters)});
+  }
+
+  /// Writes the document; no-op returning true when `path` is empty (the
+  /// caller can pass FlagString(argc, argv, "json") unconditionally).
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n  \"schema_version\": 1,\n  \"bench\": \"" << Escaped(bench_name_)
+        << "\",\n  \"entries\": [";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      char number[64];
+      std::snprintf(number, sizeof(number), "%.6g", e.x);
+      out << "    {\"series\": \"" << Escaped(e.series) << "\", \"x\": " << number;
+      std::snprintf(number, sizeof(number), "%.6f", e.wall_ms);
+      out << ", \"wall_ms\": " << number << ", \"counters\": {";
+      bool first = true;
+      for (const auto& [name, value] : e.counters) {
+        out << (first ? "" : ", ") << "\"" << Escaped(name) << "\": " << value;
+        first = false;
+      }
+      out << "}}";
+    }
+    out << (entries_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+    if (out.good()) {
+      std::printf("\nbench JSON written to %s (%zu entries)\n", path.c_str(),
+                  entries_.size());
+      return true;
+    }
+    std::fprintf(stderr, "error writing bench JSON to %s\n", path.c_str());
+    return false;
+  }
+
+ private:
+  struct Entry {
+    std::string series;
+    double x;
+    double wall_ms;
+    std::map<std::string, uint64_t> counters;
+  };
+
+  static std::string Escaped(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // series names never need control characters
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace detective::bench
 

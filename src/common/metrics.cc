@@ -1,0 +1,389 @@
+#include "common/metrics.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace detective::metrics {
+
+// ---- MetricsSnapshot ---------------------------------------------------------
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot::Timer MetricsSnapshot::timer(std::string_view name) const {
+  auto it = timers.find(std::string(name));
+  return it == timers.end() ? Timer{} : it->second;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Cursor over a JSON document; every Take* consumes leading whitespace.
+/// Only the constructs ToJson() emits are supported — this is a schema
+/// reader, not a general JSON library.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument("metrics JSON: expected '", std::string(1, c),
+                                     "' at offset ", std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool TryConsume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> TakeString() {
+    RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("metrics JSON: truncated \\u escape");
+            }
+            unsigned value = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return Status::InvalidArgument("metrics JSON: bad \\u escape");
+              }
+              value = value * 16 +
+                      static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(h))
+                                                ? h - '0'
+                                                : std::tolower(h) - 'a' + 10);
+            }
+            if (value > 0x7f) {
+              return Status::InvalidArgument(
+                  "metrics JSON: non-ASCII \\u escape unsupported");
+            }
+            out.push_back(static_cast<char>(value));
+            break;
+          }
+          default:
+            return Status::InvalidArgument("metrics JSON: unsupported escape '\\",
+                                           std::string(1, escaped), "'");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("metrics JSON: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<uint64_t> TakeUint() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("metrics JSON: expected integer at offset ",
+                                     std::to_string(start));
+    }
+    uint64_t value = 0;
+    for (size_t i = start; i < pos_; ++i) {
+      uint64_t digit = static_cast<uint64_t>(text_[i] - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        return Status::InvalidArgument("metrics JSON: integer overflow");
+      }
+      value = value * 10 + digit;
+    }
+    return value;
+  }
+
+  Status ExpectEnd() {
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("metrics JSON: trailing content at offset ",
+                                     std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"timers\": {";
+  first = true;
+  for (const auto& [name, timer] : timers) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": {\"count\": ";
+    out += std::to_string(timer.count);
+    out += ", \"total_ns\": ";
+    out += std::to_string(timer.total_ns);
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(std::string_view json) {
+  MetricsSnapshot snapshot;
+  JsonCursor cursor(json);
+  RETURN_NOT_OK(cursor.Expect('{'));
+
+  bool saw_counters = false;
+  bool saw_timers = false;
+  if (!cursor.TryConsume('}')) {
+    do {
+      ASSIGN_OR_RETURN(std::string section, cursor.TakeString());
+      RETURN_NOT_OK(cursor.Expect(':'));
+      RETURN_NOT_OK(cursor.Expect('{'));
+      if (section == "counters") {
+        if (saw_counters) {
+          return Status::InvalidArgument("metrics JSON: duplicate \"counters\"");
+        }
+        saw_counters = true;
+        if (!cursor.TryConsume('}')) {
+          do {
+            ASSIGN_OR_RETURN(std::string name, cursor.TakeString());
+            RETURN_NOT_OK(cursor.Expect(':'));
+            ASSIGN_OR_RETURN(uint64_t value, cursor.TakeUint());
+            snapshot.counters[std::move(name)] = value;
+          } while (cursor.TryConsume(','));
+          RETURN_NOT_OK(cursor.Expect('}'));
+        }
+      } else if (section == "timers") {
+        if (saw_timers) {
+          return Status::InvalidArgument("metrics JSON: duplicate \"timers\"");
+        }
+        saw_timers = true;
+        if (!cursor.TryConsume('}')) {
+          do {
+            ASSIGN_OR_RETURN(std::string name, cursor.TakeString());
+            RETURN_NOT_OK(cursor.Expect(':'));
+            RETURN_NOT_OK(cursor.Expect('{'));
+            MetricsSnapshot::Timer timer;
+            do {
+              ASSIGN_OR_RETURN(std::string field, cursor.TakeString());
+              RETURN_NOT_OK(cursor.Expect(':'));
+              ASSIGN_OR_RETURN(uint64_t value, cursor.TakeUint());
+              if (field == "count") {
+                timer.count = value;
+              } else if (field == "total_ns") {
+                timer.total_ns = value;
+              } else {
+                return Status::InvalidArgument("metrics JSON: unknown timer field \"",
+                                               field, "\"");
+              }
+            } while (cursor.TryConsume(','));
+            RETURN_NOT_OK(cursor.Expect('}'));
+            snapshot.timers[std::move(name)] = timer;
+          } while (cursor.TryConsume(','));
+          RETURN_NOT_OK(cursor.Expect('}'));
+        }
+      } else {
+        return Status::InvalidArgument("metrics JSON: unknown section \"", section,
+                                       "\"");
+      }
+    } while (cursor.TryConsume(','));
+    RETURN_NOT_OK(cursor.Expect('}'));
+  }
+  RETURN_NOT_OK(cursor.ExpectEnd());
+  return snapshot;
+}
+
+// ---- Shard -------------------------------------------------------------------
+
+void Shard::AddCounter(uint32_t id, uint64_t n) {
+  if (id >= counters_.size()) EnsureCounter(id);
+  counters_[id].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Shard::AddTimer(uint32_t id, uint64_t ns) {
+  if (id >= timers_.size()) EnsureTimer(id);
+  TimerCell& cell = timers_[id];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void Shard::EnsureCounter(uint32_t id) {
+  // Growth is structural, so it synchronizes with Snapshot()/Reset() through
+  // the registry mutex; the deque keeps existing cell addresses stable.
+  std::lock_guard<std::mutex> lock(Registry::Global().mutex_);
+  while (counters_.size() <= id) counters_.emplace_back(0);
+}
+
+void Shard::EnsureTimer(uint32_t id) {
+  std::lock_guard<std::mutex> lock(Registry::Global().mutex_);
+  while (timers_.size() <= id) timers_.emplace_back();
+}
+
+// ---- Registry ----------------------------------------------------------------
+
+Registry& Registry::Global() {
+  // Leaked on purpose: thread_local shard destructors may run after static
+  // destructors would have torn a non-leaked registry down.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+uint32_t Registry::CounterId(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(counter_names_.size());
+  counter_names_.emplace_back(name);
+  counter_ids_.emplace(counter_names_.back(), id);
+  return id;
+}
+
+uint32_t Registry::TimerId(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timer_ids_.find(name);
+  if (it != timer_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(timer_names_.size());
+  timer_names_.emplace_back(name);
+  timer_ids_.emplace(timer_names_.back(), id);
+  return id;
+}
+
+void Registry::MergeShardLocked(const Shard& shard, MetricsSnapshot* out) const {
+  for (uint32_t id = 0; id < shard.counters_.size(); ++id) {
+    uint64_t value = shard.counters_[id].load(std::memory_order_relaxed);
+    if (value != 0) out->counters[counter_names_[id]] += value;
+  }
+  for (uint32_t id = 0; id < shard.timers_.size(); ++id) {
+    const Shard::TimerCell& cell = shard.timers_[id];
+    uint64_t count = cell.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    MetricsSnapshot::Timer& timer = out->timers[timer_names_[id]];
+    timer.count += count;
+    timer.total_ns += cell.total_ns.load(std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot Registry::Snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out = retired_;
+  for (const Shard* shard : shards_) MergeShardLocked(*shard, &out);
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_ = MetricsSnapshot{};
+  for (Shard* shard : shards_) {
+    for (auto& cell : shard->counters_) cell.store(0, std::memory_order_relaxed);
+    for (auto& cell : shard->timers_) {
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.total_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t Registry::num_counters() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counter_names_.size();
+}
+
+size_t Registry::num_timers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timer_names_.size();
+}
+
+void Registry::RegisterShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shards_.push_back(shard);
+}
+
+void Registry::UnregisterShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MergeShardLocked(*shard, &retired_);
+  std::erase(shards_, shard);
+}
+
+// ---- ThisThreadShard ---------------------------------------------------------
+
+namespace {
+
+/// Owns the thread's shard; folds it into the registry's retired totals when
+/// the thread exits so no recorded value is ever lost.
+struct ShardHolder {
+  Shard shard;
+  ShardHolder() { Registry::Global().RegisterShard(&shard); }
+  ~ShardHolder() { Registry::Global().UnregisterShard(&shard); }
+};
+
+}  // namespace
+
+Shard& ThisThreadShard() {
+  thread_local ShardHolder holder;
+  return holder.shard;
+}
+
+}  // namespace detective::metrics

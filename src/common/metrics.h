@@ -1,0 +1,217 @@
+#ifndef DETECTIVE_COMMON_METRICS_H_
+#define DETECTIVE_COMMON_METRICS_H_
+
+// Lightweight process-wide observability: named monotonic counters and
+// scoped wall-clock timers behind a global registry.
+//
+// Design goals, in order:
+//   1. Hot-path increments must not contend. Every thread writes to its own
+//      shard (created lazily on first use); shards are merged at snapshot
+//      time, the same discipline ParallelRepair uses for RepairStats.
+//   2. Instrumentation must compile out to nothing. The DETECTIVE_COUNT /
+//      DETECTIVE_SCOPED_TIMER macros expand to empty statements when the
+//      build sets DETECTIVE_METRICS_ENABLED=0 (CMake option
+//      DETECTIVE_METRICS=OFF); the classes below stay available either way
+//      so tests and tools always link.
+//   3. Snapshots are machine-readable. MetricsSnapshot::ToJson() emits the
+//      stable schema documented in docs/observability.md, consumed by
+//      `detective_clean --metrics-json` and the bench JSON pipeline.
+//
+// Cells are relaxed atomics: a shard is written only by its owning thread,
+// but a snapshot may read it concurrently, and TSan rightly flags plain
+// loads/stores for that pattern. Relaxed atomics on a thread-private cache
+// line cost roughly an uncontended add.
+//
+// Usage at an instrumentation site (name must be a string literal or have
+// static storage duration — the id is resolved once per site):
+//
+//   DETECTIVE_COUNT("kb.label_lookups");
+//   DETECTIVE_COUNT_N("matcher.assignments_explored", explored);
+//   DETECTIVE_SCOPED_TIMER("repair.relation");
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+#ifndef DETECTIVE_METRICS_ENABLED
+#define DETECTIVE_METRICS_ENABLED 1
+#endif
+
+namespace detective::metrics {
+
+/// A merged, point-in-time view of every counter and timer, detached from
+/// the registry (plain values, safe to copy/serialize).
+struct MetricsSnapshot {
+  struct Timer {
+    uint64_t count = 0;     // number of timed scopes
+    uint64_t total_ns = 0;  // summed wall-clock nanoseconds
+
+    friend bool operator==(const Timer&, const Timer&) = default;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, Timer> timers;
+
+  /// Value of a counter, 0 when never recorded.
+  uint64_t counter(std::string_view name) const;
+  /// Timer totals, zeros when never recorded.
+  Timer timer(std::string_view name) const;
+
+  /// Stable JSON encoding:
+  ///   {"counters": {"name": 123, ...},
+  ///    "timers": {"name": {"count": 2, "total_ns": 456}, ...}}
+  /// Keys are sorted (std::map order); values are non-negative integers.
+  std::string ToJson() const;
+
+  /// Parses a document produced by ToJson(). Accepts arbitrary whitespace
+  /// between tokens; rejects anything outside the schema above.
+  static Result<MetricsSnapshot> FromJson(std::string_view json);
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
+};
+
+/// Per-thread metric storage. Obtain via ThisThreadShard(); never share a
+/// shard across threads — only the owner writes, the registry reads.
+class Shard {
+ public:
+  /// Adds `n` to the counter with registry id `id`.
+  void AddCounter(uint32_t id, uint64_t n);
+  /// Records one timed scope of `ns` nanoseconds for timer id `id`.
+  void AddTimer(uint32_t id, uint64_t ns);
+
+ private:
+  friend class Registry;
+
+  struct TimerCell {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> total_ns{0};
+  };
+
+  // Grown lazily under the registry mutex; std::deque keeps cell addresses
+  // stable so the owner can keep incrementing while another id is added.
+  std::deque<std::atomic<uint64_t>> counters_;
+  std::deque<TimerCell> timers_;
+
+  void EnsureCounter(uint32_t id);
+  void EnsureTimer(uint32_t id);
+};
+
+/// Global name→id table plus the set of live thread shards and the totals
+/// of exited threads. All methods are thread-safe.
+class Registry {
+ public:
+  static Registry& Global();
+
+  /// Resolves (registering on first use) the id of a counter/timer name.
+  /// Ids are dense and stable for the process lifetime.
+  uint32_t CounterId(std::string_view name);
+  uint32_t TimerId(std::string_view name);
+
+  /// Merges every live shard and all retired totals into one snapshot.
+  MetricsSnapshot Snapshot();
+
+  /// Zeroes all live shards and drops retired totals. Meant for tests and
+  /// benchmarks that measure deltas; racing writers may leak a few counts
+  /// into the fresh epoch, so quiesce workers first for exact numbers.
+  void Reset();
+
+  size_t num_counters();
+  size_t num_timers();
+
+  /// Shard lifecycle hooks — called by the thread-local shard holder, not
+  /// meant for direct use. Unregistering folds the shard into retired_.
+  void RegisterShard(Shard* shard);
+  void UnregisterShard(Shard* shard);
+
+ private:
+  friend class Shard;
+
+  Registry() = default;
+
+  void MergeShardLocked(const Shard& shard, MetricsSnapshot* out) const;
+
+  std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::map<std::string, uint32_t, std::less<>> counter_ids_;
+  std::vector<std::string> timer_names_;
+  std::map<std::string, uint32_t, std::less<>> timer_ids_;
+  std::vector<Shard*> shards_;
+  MetricsSnapshot retired_;  // totals of threads that have exited
+};
+
+/// The calling thread's shard, created and registered on first use.
+Shard& ThisThreadShard();
+
+/// RAII wall-clock timer; records into the calling thread's shard on
+/// destruction. `timer_id` must come from Registry::TimerId.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint32_t timer_id)
+      : timer_id_(timer_id), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    ThisThreadShard().AddTimer(
+        timer_id_,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  uint32_t timer_id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detective::metrics
+
+#define DETECTIVE_METRICS_CONCAT_IMPL(a, b) a##b
+#define DETECTIVE_METRICS_CONCAT(a, b) DETECTIVE_METRICS_CONCAT_IMPL(a, b)
+
+#if DETECTIVE_METRICS_ENABLED
+
+#define DETECTIVE_COUNT_N(name, n)                                              \
+  do {                                                                          \
+    static const uint32_t DETECTIVE_METRICS_CONCAT(detective_metric_id_,        \
+                                                   __LINE__) =                  \
+        ::detective::metrics::Registry::Global().CounterId(name);               \
+    ::detective::metrics::ThisThreadShard().AddCounter(                         \
+        DETECTIVE_METRICS_CONCAT(detective_metric_id_, __LINE__),               \
+        static_cast<uint64_t>(n));                                              \
+  } while (0)
+
+#define DETECTIVE_COUNT(name) DETECTIVE_COUNT_N(name, 1)
+
+#define DETECTIVE_SCOPED_TIMER(name)                                            \
+  static const uint32_t DETECTIVE_METRICS_CONCAT(detective_timer_id_,           \
+                                                 __LINE__) =                    \
+      ::detective::metrics::Registry::Global().TimerId(name);                   \
+  ::detective::metrics::ScopedTimer DETECTIVE_METRICS_CONCAT(                   \
+      detective_scoped_timer_, __LINE__)(                                       \
+      DETECTIVE_METRICS_CONCAT(detective_timer_id_, __LINE__))
+
+#else  // !DETECTIVE_METRICS_ENABLED
+
+#define DETECTIVE_COUNT_N(name, n) \
+  do {                             \
+    (void)sizeof(n);               \
+  } while (0)
+#define DETECTIVE_COUNT(name) \
+  do {                        \
+  } while (0)
+#define DETECTIVE_SCOPED_TIMER(name) \
+  do {                               \
+  } while (0)
+
+#endif  // DETECTIVE_METRICS_ENABLED
+
+#endif  // DETECTIVE_COMMON_METRICS_H_

@@ -1,5 +1,7 @@
 #include "core/bound_rule.h"
 
+#include "common/metrics.h"
+
 namespace detective {
 
 std::vector<uint32_t> BoundRule::PositiveSideNodes() const {
@@ -67,6 +69,8 @@ Result<BoundRule> BindRule(const DetectiveRule& rule, const Schema& schema,
   bound.usable = graph->usable;
   bound.nodes = std::move(graph->nodes);
   bound.edges = std::move(graph->edges);
+  DETECTIVE_COUNT("rules.bound");
+  if (!bound.usable) DETECTIVE_COUNT("rules.unusable");
   return bound;
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace detective {
 
@@ -26,6 +27,8 @@ const SignatureIndex& EvidenceMatcher::IndexFor(ClassId type, const Similarity& 
   key += sim.ToString();
   auto it = indexes_.find(key);
   if (it == indexes_.end()) {
+    DETECTIVE_COUNT("matcher.index_builds");
+    DETECTIVE_SCOPED_TIMER("matcher.index_build");
     auto index = std::make_unique<SignatureIndex>(sim);
     for (ItemId item : kb_.InstancesOf(type)) {
       index->Add(item.value(), kb_.Label(item));
@@ -40,12 +43,14 @@ std::vector<ItemId> EvidenceMatcher::NodeCandidates(ClassId type,
                                                     const Similarity& sim,
                                                     std::string_view value) {
   ++stats_.node_checks;
+  DETECTIVE_COUNT("matcher.node_queries");
   std::string memo_key;
   if (options_.use_value_memo) {
     memo_key = MemoKey(type, sim, value);
     auto it = memo_.find(memo_key);
     if (it != memo_.end()) {
       ++stats_.memo_hits;
+      DETECTIVE_COUNT("matcher.memo_hits");
       return it->second;
     }
   }
@@ -55,16 +60,19 @@ std::vector<ItemId> EvidenceMatcher::NodeCandidates(ClassId type,
     // Equality always goes through the label hash index — the paper uses a
     // hash table for "=" even in the basic algorithm (§IV-B(2)).
     ++stats_.index_lookups;
+    DETECTIVE_COUNT("matcher.label_index_lookups");
     for (ItemId item : kb_.ItemsWithLabel(value)) {
       if (kb_.IsInstanceOf(item, type)) result.push_back(item);
     }
   } else if (options_.use_signature_index) {
     ++stats_.index_lookups;
+    DETECTIVE_COUNT("matcher.signature_lookups");
     for (uint32_t raw : IndexFor(type, sim).Matches(value)) {
       result.push_back(ItemId(raw));
     }
   } else {
     ++stats_.scans;
+    DETECTIVE_COUNT("matcher.scans");
     for (ItemId item : kb_.InstancesOf(type)) {
       if (sim.Matches(value, kb_.Label(item))) result.push_back(item);
     }
@@ -171,6 +179,9 @@ bool EvidenceMatcher::Search(const std::vector<BoundNode>& nodes,
     return true;
   };
   bool completed = recurse(recurse, 0);
+  // One add per Search keeps the per-candidate loop free of bookkeeping.
+  DETECTIVE_COUNT_N("matcher.assignments_explored", options_.max_assignments - budget);
+  if (!within_budget) DETECTIVE_COUNT("matcher.budget_exhausted");
   return completed && within_budget;
 }
 
@@ -188,6 +199,7 @@ bool EvidenceMatcher::HasPositiveMatch(const BoundRule& rule, const Tuple& tuple
 bool EvidenceMatcher::BestPositiveMatch(const BoundRule& rule, const Tuple& tuple,
                                         std::vector<ItemId>* best) {
   DETECTIVE_CHECK(rule.usable);
+  DETECTIVE_COUNT("matcher.positive_searches");
   const std::vector<uint32_t> subset = rule.PositiveSideNodes();
   bool found = false;
   double best_score = -1;
@@ -281,6 +293,7 @@ std::vector<std::string> EvidenceMatcher::NegativeCorrections(
     const BoundRule& rule, const Tuple& tuple,
     std::vector<std::pair<ColumnIndex, std::string>>* evidence_normalizations) {
   DETECTIVE_CHECK(rule.usable);
+  DETECTIVE_COUNT("matcher.negative_searches");
   const ColumnIndex target_column = rule.nodes[rule.negative].column;
   const std::string& current_value = tuple.value(target_column);
 
@@ -352,6 +365,7 @@ std::vector<std::string> EvidenceMatcher::NegativeCorrections(
       }
     }
   }
+  DETECTIVE_COUNT_N("matcher.corrections_emitted", corrections.size());
   return {corrections.begin(), corrections.end()};
 }
 

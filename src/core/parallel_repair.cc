@@ -4,12 +4,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace detective {
 
 Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
                                    const std::vector<DetectiveRule>& rules,
                                    Relation* relation,
                                    ParallelRepairOptions options) {
+  DETECTIVE_SCOPED_TIMER("parallel.repair");
   size_t threads = options.num_threads;
   if (threads == 0) {
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -29,6 +32,7 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
   }
 
   const size_t rows = relation->num_tuples();
+  DETECTIVE_COUNT_N("parallel.workers_launched", threads);
   std::vector<RepairStats> stats(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -36,6 +40,9 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
     size_t lo = rows * t / threads;
     size_t hi = rows * (t + 1) / threads;
     workers.emplace_back([&, t, lo, hi] {
+      // Workers record into their own thread-local metric shards; the global
+      // snapshot merges them, so instrumented totals match a sequential run.
+      DETECTIVE_SCOPED_TIMER("parallel.worker");
       FastRepairer repairer(kb, relation->schema(), rules, options.repair);
       // Binding was validated above; a failure here would be a logic error.
       repairer.Init().Abort("ParallelRepair worker");

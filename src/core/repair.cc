@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace detective {
 
@@ -35,6 +36,7 @@ size_t RuleEngine::num_usable_rules() const {
 
 RuleEvaluation RuleEngine::Evaluate(uint32_t index, const Tuple& tuple) {
   ++stats_.rule_checks;
+  DETECTIVE_COUNT("repair.rule_checks");
   RuleEvaluation evaluation;
   const BoundRule& rule = bound_[index];
   if (!rule.usable) return evaluation;
@@ -52,6 +54,7 @@ RuleEvaluation RuleEngine::Evaluate(uint32_t index, const Tuple& tuple) {
 
   std::vector<ItemId> assignment;
   if (matcher_->BestPositiveMatch(rule, tuple, &assignment)) {
+    DETECTIVE_COUNT("repair.positive_matches");
     evaluation.action = RuleEvaluation::Action::kProofPositive;
     // Cells that matched fuzzily get standardized to the KB label.
     for (uint32_t v = 0; v < rule.nodes.size(); ++v) {
@@ -72,6 +75,7 @@ RuleEvaluation RuleEngine::Evaluate(uint32_t index, const Tuple& tuple) {
   evaluation.corrections =
       matcher_->NegativeCorrections(rule, tuple, &evaluation.normalizations);
   if (!evaluation.corrections.empty()) {
+    DETECTIVE_COUNT("repair.negative_matches");
     evaluation.action = RuleEvaluation::Action::kRepair;
     // Fuzzy-matched evidence cells are about to be marked positive; drop
     // normalizations for cells already proven.
@@ -89,6 +93,7 @@ void RuleEngine::Apply(uint32_t index, const RuleEvaluation& evaluation, Tuple* 
   const BoundRule& rule = bound_[index];
   DETECTIVE_CHECK(evaluation.action != RuleEvaluation::Action::kNone);
   ++stats_.rule_applications;
+  DETECTIVE_COUNT("repair.rule_applications");
 
   if (evaluation.action == RuleEvaluation::Action::kRepair) {
     DETECTIVE_CHECK_LT(correction_index, evaluation.corrections.size());
@@ -96,8 +101,10 @@ void RuleEngine::Apply(uint32_t index, const RuleEvaluation& evaluation, Tuple* 
     DETECTIVE_CHECK(!tuple->IsPositive(target));
     tuple->Repair(target, evaluation.corrections[correction_index]);
     ++stats_.repairs;
+    DETECTIVE_COUNT("repair.cell_repairs");
   } else {
     ++stats_.proofs_positive;
+    DETECTIVE_COUNT("repair.proofs_positive");
   }
   // Standardize fuzzy-matched cells (evidence, and for proof positive also
   // the target) before marking them: a positive mark certifies the value.
@@ -106,6 +113,7 @@ void RuleEngine::Apply(uint32_t index, const RuleEvaluation& evaluation, Tuple* 
     if (tuple->value(column) != label) {
       tuple->Repair(column, label);
       ++stats_.repairs;
+      DETECTIVE_COUNT("repair.cell_repairs");
     }
   }
 
@@ -117,6 +125,7 @@ void RuleEngine::Apply(uint32_t index, const RuleEvaluation& evaluation, Tuple* 
     if (!tuple->IsPositive(rule.nodes[v].column)) {
       tuple->MarkPositive(rule.nodes[v].column);
       ++stats_.cells_marked;
+      DETECTIVE_COUNT("repair.cells_marked");
     }
   }
 }
@@ -132,6 +141,7 @@ void MultiVersionChase(RuleEngine& engine, const std::vector<uint32_t>& check_or
                        size_t max_versions, Tuple tuple, std::vector<char> applied,
                        std::vector<Tuple>* out) {
   while (true) {
+    DETECTIVE_COUNT("repair.chase_rounds");
     bool fired = false;
     for (uint32_t index : check_order) {
       if (applied[index]) continue;
@@ -156,6 +166,7 @@ void MultiVersionChase(RuleEngine& engine, const std::vector<uint32_t>& check_or
       break;  // restart the scan (chase discipline)
     }
     if (!fired) {
+      DETECTIVE_COUNT("repair.versions_emitted");
       out->push_back(std::move(tuple));
       return;
     }
@@ -172,10 +183,12 @@ BasicRepairer::BasicRepairer(const KnowledgeBase& kb, const Schema& schema,
 
 void BasicRepairer::RepairTuple(Tuple* tuple) {
   ++engine_.stats().tuples_processed;
+  DETECTIVE_COUNT("repair.tuples_processed");
   std::vector<char> applied(engine_.num_rules(), 0);
   // Algorithm 1: pick any applicable rule, apply, and rescan; every rule is
   // used at most once, so at most |Σ| iterations of the outer loop.
   while (true) {
+    DETECTIVE_COUNT("repair.chase_rounds");
     bool fired = false;
     for (uint32_t index = 0; index < engine_.num_rules(); ++index) {
       if (applied[index]) continue;
@@ -191,6 +204,7 @@ void BasicRepairer::RepairTuple(Tuple* tuple) {
 }
 
 void BasicRepairer::RepairRelation(Relation* relation) {
+  DETECTIVE_SCOPED_TIMER("repair.relation");
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
     RepairTuple(&relation->mutable_tuple(row));
   }
@@ -226,6 +240,7 @@ Status FastRepairer::Init() {
 
 void FastRepairer::RepairTuple(Tuple* tuple) {
   ++engine_.stats().tuples_processed;
+  DETECTIVE_COUNT("repair.tuples_processed");
   DETECTIVE_CHECK(rule_graph_ != nullptr) << "Init() not called";
   std::vector<char> applied(engine_.num_rules(), 0);
 
@@ -246,6 +261,7 @@ void FastRepairer::RepairTuple(Tuple* tuple) {
     }
     bool stable = false;
     while (!stable) {
+      DETECTIVE_COUNT("repair.chase_rounds");
       stable = true;
       for (size_t k = i; k < j; ++k) {
         uint32_t index = check_order_[k];
@@ -264,6 +280,7 @@ void FastRepairer::RepairTuple(Tuple* tuple) {
 }
 
 void FastRepairer::RepairRelation(Relation* relation) {
+  DETECTIVE_SCOPED_TIMER("repair.relation");
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
     RepairTuple(&relation->mutable_tuple(row));
   }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace detective {
@@ -37,6 +38,7 @@ std::span<const ClassId> KnowledgeBase::DirectClasses(ItemId id) const {
 }
 
 bool KnowledgeBase::IsInstanceOf(ItemId item, ClassId cls) const {
+  DETECTIVE_COUNT("kb.instance_checks");
   if (IsLiteral(item)) return cls == literal_class_;
   if (cls == literal_class_) return false;
   for (ClassId direct : item_classes_[item.value()]) {
@@ -51,8 +53,10 @@ std::span<const ItemId> KnowledgeBase::InstancesOf(ClassId cls) const {
 }
 
 std::span<const ItemId> KnowledgeBase::ItemsWithLabel(std::string_view label) const {
+  DETECTIVE_COUNT("kb.label_lookups");
   auto it = items_by_label_.find(std::string(label));
   if (it == items_by_label_.end()) return {};
+  DETECTIVE_COUNT("kb.label_hits");
   return it->second;
 }
 
@@ -78,6 +82,7 @@ std::span<const KbEdge> KnowledgeBase::EdgeRange(const std::vector<KbEdge>& edge
 
 std::span<const KbEdge> KnowledgeBase::Objects(ItemId source,
                                                RelationId relation) const {
+  DETECTIVE_COUNT("kb.edge_queries");
   const std::vector<KbEdge>& edges = out_edges_[source.value()];
   if (edges.empty()) return {};
   return EdgeRange(edges, relation);
@@ -85,12 +90,14 @@ std::span<const KbEdge> KnowledgeBase::Objects(ItemId source,
 
 std::span<const KbEdge> KnowledgeBase::Subjects(RelationId relation,
                                                 ItemId target) const {
+  DETECTIVE_COUNT("kb.edge_queries");
   const std::vector<KbEdge>& edges = in_edges_[target.value()];
   if (edges.empty()) return {};
   return EdgeRange(edges, relation);
 }
 
 bool KnowledgeBase::HasEdge(ItemId source, RelationId relation, ItemId target) const {
+  DETECTIVE_COUNT("kb.edge_checks");
   const std::vector<KbEdge>& edges = out_edges_[source.value()];
   return std::binary_search(edges.begin(), edges.end(), KbEdge{relation, target});
 }
@@ -202,6 +209,7 @@ ItemId KbBuilder::FindEntity(std::string_view label) const {
 }
 
 Status KbBuilder::FreezeInto(KnowledgeBase* out) && {
+  DETECTIVE_SCOPED_TIMER("kb.freeze");
   const size_t num_classes = kb_.classes_.size();
 
   // Ancestor closure by DFS with cycle detection (0 = white, 1 = on stack,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "text/tokenizer.h"
 
 namespace detective {
@@ -56,6 +57,8 @@ void SignatureIndex::Add(uint32_t id, std::string_view value) {
 
 void SignatureIndex::Build() {
   DETECTIVE_CHECK(!built_) << "Build called twice";
+  DETECTIVE_SCOPED_TIMER("sigindex.build");
+  DETECTIVE_COUNT_N("sigindex.entries_indexed", entries_.size());
   built_ = true;
   switch (similarity_.kind()) {
     case SimilarityKind::kEquality:
@@ -96,6 +99,7 @@ std::vector<uint32_t> SignatureIndex::CandidatesEditDistance(
   const size_t k = similarity_.max_edits();
   const size_t parts = k + 1;
   std::vector<uint32_t> out;
+  size_t probes = 1;  // the ~short probe below
 
   if (auto it = lists_.find("~short"); it != lists_.end()) {
     out.insert(out.end(), it->second.begin(), it->second.end());
@@ -115,12 +119,14 @@ std::vector<uint32_t> SignatureIndex::CandidatesEditDistance(
       for (size_t start = lo; start <= hi; ++start) {
         std::string key =
             SegmentKey(len, slot, query.substr(start, seg.length));
+        ++probes;
         if (auto it = lists_.find(key); it != lists_.end()) {
           out.insert(out.end(), it->second.begin(), it->second.end());
         }
       }
     }
   }
+  DETECTIVE_COUNT_N("sigindex.probes", probes);
   SortUnique(&out);
   return out;
 }
@@ -197,6 +203,7 @@ std::vector<uint32_t> SignatureIndex::CandidatesPrefixFilter(
   std::stable_sort(ordered.begin(), ordered.end(),
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   size_t prefix = PrefixLength(ordered.size());
+  DETECTIVE_COUNT_N("sigindex.probes", prefix);
   for (size_t i = 0; i < prefix; ++i) {
     auto it = lists_.find(*ordered[i].second);
     if (it != lists_.end()) {
@@ -233,6 +240,7 @@ std::vector<uint32_t> SignatureIndex::Candidates(std::string_view query) const {
 
 std::vector<uint32_t> SignatureIndex::Matches(std::string_view query) const {
   DETECTIVE_CHECK(built_) << "Matches before Build";
+  DETECTIVE_COUNT("sigindex.queries");
   std::vector<uint32_t> entry_indexes;
   switch (similarity_.kind()) {
     case SimilarityKind::kEquality: {
@@ -253,6 +261,7 @@ std::vector<uint32_t> SignatureIndex::Matches(std::string_view query) const {
       entry_indexes = CandidatesPrefixFilter(query);
       break;
   }
+  DETECTIVE_COUNT_N("sigindex.candidates_verified", entry_indexes.size());
   std::vector<uint32_t> ids;
   for (uint32_t e : entry_indexes) {
     if (similarity_.Matches(query, entries_[e].value)) ids.push_back(entries_[e].id);

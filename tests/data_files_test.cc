@@ -16,11 +16,15 @@
 namespace detective {
 namespace {
 
-// Tests run from the build tree; data/ lives at the repository root. Try the
-// common relative locations so the test works from both `ctest --test-dir
-// build` and direct binary invocation.
+// Tests run from the build tree; data/ lives at the repository root. The
+// source dir baked in at configure time covers out-of-tree builds; the
+// relative fallbacks keep direct binary invocation working from odd cwds.
 std::string DataPath(const std::string& name) {
-  for (const char* prefix : {"../data/", "data/", "../../data/"}) {
+  for (const char* prefix : {
+#ifdef DETECTIVE_SOURCE_DIR
+           DETECTIVE_SOURCE_DIR "/data/",
+#endif
+           "../data/", "data/", "../../data/"}) {
     std::string candidate = prefix + name;
     if (std::ifstream(candidate).good()) return candidate;
   }

@@ -1,0 +1,173 @@
+// Tests for common/metrics: the counter/timer registry, thread-local shard
+// merging under concurrent writers, and the snapshot JSON round-trip.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace detective::metrics {
+namespace {
+
+// The registry is process-global, so every test starts from a clean epoch.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().Reset(); }
+};
+
+TEST_F(MetricsTest, CounterIdsAreDenseAndStable) {
+  Registry& registry = Registry::Global();
+  uint32_t a = registry.CounterId("test.ids.a");
+  uint32_t b = registry.CounterId("test.ids.b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, registry.CounterId("test.ids.a"));
+  EXPECT_EQ(b, registry.CounterId("test.ids.b"));
+  // Counter and timer namespaces are independent: the same name may exist
+  // in both without clashing.
+  uint32_t t = registry.TimerId("test.ids.a");
+  EXPECT_EQ(t, registry.TimerId("test.ids.a"));
+}
+
+TEST_F(MetricsTest, CountsAccumulateIntoSnapshot) {
+  DETECTIVE_COUNT("test.acc.hits");
+  DETECTIVE_COUNT("test.acc.hits");
+  DETECTIVE_COUNT_N("test.acc.bytes", 40);
+  DETECTIVE_COUNT_N("test.acc.bytes", 2);
+
+  MetricsSnapshot snapshot = Registry::Global().Snapshot();
+#if DETECTIVE_METRICS_ENABLED
+  EXPECT_EQ(snapshot.counter("test.acc.hits"), 2u);
+  EXPECT_EQ(snapshot.counter("test.acc.bytes"), 42u);
+#else
+  EXPECT_EQ(snapshot.counter("test.acc.hits"), 0u);
+#endif
+  EXPECT_EQ(snapshot.counter("test.acc.never_recorded"), 0u);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsCountAndNonZeroTime) {
+  for (int i = 0; i < 3; ++i) {
+    DETECTIVE_SCOPED_TIMER("test.timer.scope");
+    // A little real work so even a coarse clock ticks.
+    volatile uint64_t sink = 0;
+    for (int j = 0; j < 10000; ++j) sink = sink + j;
+  }
+  MetricsSnapshot snapshot = Registry::Global().Snapshot();
+#if DETECTIVE_METRICS_ENABLED
+  EXPECT_EQ(snapshot.timer("test.timer.scope").count, 3u);
+  EXPECT_GT(snapshot.timer("test.timer.scope").total_ns, 0u);
+#else
+  EXPECT_EQ(snapshot.timer("test.timer.scope").count, 0u);
+#endif
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  DETECTIVE_COUNT("test.reset.counter");
+  { DETECTIVE_SCOPED_TIMER("test.reset.timer"); }
+  Registry::Global().Reset();
+  MetricsSnapshot snapshot = Registry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter("test.reset.counter"), 0u);
+  EXPECT_EQ(snapshot.timer("test.reset.timer").count, 0u);
+}
+
+// The core thread-safety contract: N threads hammering the same counters
+// through their private shards merge to exact totals, including threads
+// that have already exited by snapshot time (their shards fold into the
+// registry's retired totals).
+TEST_F(MetricsTest, ConcurrentWritersMergeExactly) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        DETECTIVE_COUNT("test.mt.shared");
+        DETECTIVE_COUNT_N("test.mt.weighted", t + 1);
+      }
+      DETECTIVE_SCOPED_TIMER("test.mt.worker");
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  MetricsSnapshot snapshot = Registry::Global().Snapshot();
+#if DETECTIVE_METRICS_ENABLED
+  EXPECT_EQ(snapshot.counter("test.mt.shared"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  // sum over t of (t+1) * kIncrements = kIncrements * kThreads*(kThreads+1)/2
+  EXPECT_EQ(snapshot.counter("test.mt.weighted"),
+            static_cast<uint64_t>(kIncrements) * kThreads * (kThreads + 1) / 2);
+  EXPECT_EQ(snapshot.timer("test.mt.worker").count,
+            static_cast<uint64_t>(kThreads));
+#endif
+}
+
+// Snapshotting while writers are live must be safe (TSan-clean) and must
+// never observe values beyond what has been written.
+TEST_F(MetricsTest, SnapshotDuringWritesIsSafeAndBounded) {
+  constexpr uint64_t kTotal = 50000;
+  std::thread writer([] {
+    for (uint64_t i = 0; i < kTotal; ++i) DETECTIVE_COUNT("test.race.counter");
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t now = Registry::Global().Snapshot().counter("test.race.counter");
+    EXPECT_GE(now, last);  // monotone across snapshots
+    EXPECT_LE(now, kTotal);
+    last = now;
+  }
+  writer.join();
+#if DETECTIVE_METRICS_ENABLED
+  EXPECT_EQ(Registry::Global().Snapshot().counter("test.race.counter"), kTotal);
+#endif
+}
+
+TEST_F(MetricsTest, ToJsonFromJsonRoundTrip) {
+  MetricsSnapshot original;
+  original.counters["kb.label_lookups"] = 123;
+  original.counters["repair.rule_checks"] = 0;
+  original.counters["weird \"name\" \\ with escapes"] = 7;
+  original.timers["repair.relation"] = {4, 987654321};
+  original.timers["kb.freeze"] = {1, 0};
+
+  std::string json = original.ToJson();
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST_F(MetricsTest, EmptySnapshotRoundTrips) {
+  MetricsSnapshot empty;
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(empty.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST_F(MetricsTest, LiveSnapshotRoundTripsThroughJson) {
+  DETECTIVE_COUNT_N("test.json.counter", 99);
+  { DETECTIVE_SCOPED_TIMER("test.json.timer"); }
+  MetricsSnapshot live = Registry::Global().Snapshot();
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(live.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(*parsed, live);
+}
+
+TEST_F(MetricsTest, FromJsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(MetricsSnapshot::FromJson("").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("[]").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"counters\": {\"a\": -1}}").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"counters\": {\"a\": 1}").ok());
+  EXPECT_FALSE(
+      MetricsSnapshot::FromJson("{\"counters\": {}, \"bogus\": {}}").ok());
+  EXPECT_FALSE(
+      MetricsSnapshot::FromJson(
+          "{\"timers\": {\"t\": {\"count\": 1, \"wrong_field\": 2}}}")
+          .ok());
+  // Trailing garbage after a valid document.
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"counters\": {}} x").ok());
+}
+
+}  // namespace
+}  // namespace detective::metrics

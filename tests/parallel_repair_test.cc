@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "core/parallel_repair.h"
 #include "datagen/uis_gen.h"
 #include "test_fixtures.h"
@@ -68,6 +69,49 @@ TEST_P(ParallelEquivalenceProperty, MatchesSequentialOnNoisyUis) {
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceProperty,
                          ::testing::Values(1, 2, 4, 7));
+
+#if DETECTIVE_METRICS_ENABLED
+// The per-worker thread-local metric shards must merge to the same totals
+// the sequential repairer produces: parallel repair shards the relation, so
+// the summed per-tuple work is identical even though it happened on many
+// threads. Only the repair.* counters are compared — matcher memo counters
+// legitimately differ because each worker owns a private memo.
+TEST(ParallelRepairTest, WorkerMetricsSumToSequentialRun) {
+  UisOptions options;
+  options.num_tuples = 300;
+  Dataset dataset = GenerateUis(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.12;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+
+  metrics::Registry& registry = metrics::Registry::Global();
+
+  registry.Reset();
+  Relation sequential = dirty;
+  FastRepairer repairer(kb, dirty.schema(), dataset.rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&sequential);
+  metrics::MetricsSnapshot seq = registry.Snapshot();
+
+  registry.Reset();
+  Relation parallel = dirty;
+  ParallelRepairOptions popts;
+  popts.num_threads = 4;
+  ASSERT_TRUE(ParallelRepair(kb, dataset.rules, &parallel, popts).ok());
+  metrics::MetricsSnapshot par = registry.Snapshot();
+
+  ASSERT_GT(seq.counter("repair.tuples_processed"), 0u);
+  for (const char* name :
+       {"repair.tuples_processed", "repair.rule_checks", "repair.rule_applications",
+        "repair.cell_repairs", "repair.cells_marked", "repair.chase_rounds"}) {
+    EXPECT_EQ(par.counter(name), seq.counter(name)) << name;
+  }
+  EXPECT_EQ(par.counter("parallel.workers_launched"), 4u);
+  EXPECT_EQ(par.timer("parallel.worker").count, 4u);
+}
+#endif  // DETECTIVE_METRICS_ENABLED
 
 TEST(ParallelRepairTest, EmptyRelationIsFine) {
   KnowledgeBase kb = testing::BuildFigure1Kb();

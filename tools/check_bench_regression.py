@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against a committed baseline.
+
+Both files must follow the schema emitted by bench/bench_util.h
+(BenchJsonWriter): {"schema_version": 1, "bench": ..., "entries":
+[{"series", "x", "wall_ms", "counters"}, ...]}.
+
+Entries are matched by (series, x). For every matched pair the wall_ms
+ratio fresh/baseline must stay within the tolerance band; counters present
+in both entries are compared the same way. Entries only present on one
+side are reported but are not failures (benchmarks come and go), unless
+--strict is given.
+
+Wall-clock numbers move with the host, so CI calls this with a generous
+tolerance; the default +/-30% is meant for same-machine comparisons such
+as the committed-baseline refresh workflow described in
+docs/observability.md.
+
+Exit status: 0 when everything is within tolerance, 1 on regressions or
+malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema_version") != 1:
+        raise ValueError(f"{path}: schema_version != 1")
+    entries = {}
+    for entry in doc["entries"]:
+        key = (entry["series"], entry["x"])
+        if key in entries:
+            raise ValueError(f"{path}: duplicate entry for {key}")
+        entries[key] = entry
+    return doc.get("bench", "?"), entries
+
+
+def within(fresh, baseline, tolerance):
+    """True when fresh is inside [baseline/(1+t), baseline*(1+t)]."""
+    if baseline == 0:
+        return fresh == 0
+    ratio = fresh / baseline
+    return 1 / (1 + tolerance) <= ratio <= 1 + tolerance
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="newly generated BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative deviation, e.g. 0.30 = +/-30%% (default)",
+    )
+    parser.add_argument(
+        "--min-wall-ms",
+        type=float,
+        default=0.001,
+        help="skip wall_ms comparison below this value (clock-noise floor)",
+    )
+    parser.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="compare only counters, not wall_ms (machine-independent mode)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="entries missing from either side are failures too",
+    )
+    args = parser.parse_args()
+
+    try:
+        fresh_name, fresh = load(args.fresh)
+        base_name, baseline = load(args.baseline)
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if fresh_name != base_name:
+        print(
+            f"error: bench mismatch: fresh={fresh_name!r} baseline={base_name!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    compared = 0
+    for key in sorted(set(fresh) | set(baseline), key=str):
+        series, x = key
+        label = f"{series} @ x={x}"
+        if key not in fresh or key not in baseline:
+            side = "baseline" if key not in fresh else "fresh run"
+            print(f"  note: {label} missing from {side}")
+            if args.strict:
+                failures.append(f"{label}: missing entry")
+            continue
+        f, b = fresh[key], baseline[key]
+        if not args.counters_only:
+            fw, bw = f["wall_ms"], b["wall_ms"]
+            if max(fw, bw) >= args.min_wall_ms:
+                compared += 1
+                if not within(fw, bw, args.tolerance):
+                    failures.append(
+                        f"{label}: wall_ms {bw:.4f} -> {fw:.4f} "
+                        f"({fw / bw:+.1%} of baseline)" if bw else
+                        f"{label}: wall_ms 0 -> {fw:.4f}"
+                    )
+        shared = set(f.get("counters", {})) & set(b.get("counters", {}))
+        for counter in sorted(shared):
+            fc, bc = f["counters"][counter], b["counters"][counter]
+            compared += 1
+            if not within(fc, bc, args.tolerance):
+                failures.append(f"{label}: counter {counter} {bc} -> {fc}")
+
+    print(
+        f"compared {compared} values across {len(set(fresh) & set(baseline))} "
+        f"entries of bench {fresh_name!r} (tolerance +/-{args.tolerance:.0%})"
+    )
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

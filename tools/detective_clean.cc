@@ -15,6 +15,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/consistency.h"
 #include "core/repair.h"
@@ -32,6 +33,7 @@ struct Args {
   std::string input_path;
   std::string output_path;
   std::string report_path;
+  std::string metrics_json_path;
   std::string algorithm = "fast";
   bool check_consistency = false;
   bool multi_version = false;
@@ -43,14 +45,16 @@ void PrintUsage() {
       "usage: detective_clean --kb=KB.nt --rules=RULES.dr --input=IN.csv\n"
       "                       --output=OUT.csv [--report=REPORT.txt]\n"
       "                       [--algorithm=fast|basic] [--check-consistency]\n"
-      "                       [--multi-version]\n\n"
+      "                       [--multi-version] [--metrics-json=METRICS.json]\n\n"
       "  --kb                RDF knowledge base (N-Triples subset; a .tsv\n"
       "                      extension selects tab-separated triples)\n"
       "  --rules             detective rules in the rule DSL\n"
       "  --input/--output    CSV relation, first record is the header\n"
       "  --check-consistency run the dataset-specific consistency check and\n"
       "                      refuse to repair on divergence\n"
-      "  --multi-version     emit one output row per repair fixpoint\n");
+      "  --multi-version     emit one output row per repair fixpoint\n"
+      "  --metrics-json      dump the per-stage metrics snapshot (KB lookups,\n"
+      "                      rule matches, chase rounds, timers) as JSON\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -66,7 +70,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     };
     if (take("kb", &args->kb_path) || take("rules", &args->rules_path) ||
         take("input", &args->input_path) || take("output", &args->output_path) ||
-        take("report", &args->report_path) || take("algorithm", &args->algorithm)) {
+        take("report", &args->report_path) || take("algorithm", &args->algorithm) ||
+        take("metrics-json", &args->metrics_json_path)) {
       continue;
     }
     if (arg == "--check-consistency") {
@@ -223,6 +228,24 @@ int Run(const Args& args) {
       return 1;
     }
     std::printf("report written to %s\n", args.report_path.c_str());
+  }
+
+  if (!args.metrics_json_path.empty()) {
+    metrics::MetricsSnapshot snapshot = metrics::Registry::Global().Snapshot();
+    std::ofstream out(args.metrics_json_path, std::ios::trunc);
+    out << snapshot.ToJson();
+    if (!out) {
+      std::fprintf(stderr, "error writing metrics to %s\n",
+                   args.metrics_json_path.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s (%zu counters, %zu timers)\n",
+                args.metrics_json_path.c_str(), snapshot.counters.size(),
+                snapshot.timers.size());
+#if !DETECTIVE_METRICS_ENABLED
+    std::fprintf(stderr,
+                 "note: built with DETECTIVE_METRICS=OFF; the snapshot is empty\n");
+#endif
   }
   return 0;
 }
