@@ -1,0 +1,126 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace detective::analysis {
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string_view DiagnosticCodeName(DiagnosticCode code) {
+  switch (code) {
+    case DiagnosticCode::kConflictingRules:
+      return "conflicting-rules";
+    case DiagnosticCode::kOscillationCycle:
+      return "oscillation-cycle";
+    case DiagnosticCode::kUnsupportedClass:
+      return "unsupported-class";
+    case DiagnosticCode::kUnsupportedRelation:
+      return "unsupported-relation";
+    case DiagnosticCode::kEmptyClass:
+      return "empty-class";
+    case DiagnosticCode::kUnsupportedEdge:
+      return "unsupported-edge";
+    case DiagnosticCode::kUnsatisfiablePattern:
+      return "unsatisfiable-pattern";
+    case DiagnosticCode::kMalformedRule:
+      return "malformed-rule";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  out += SeverityName(severity);
+  out += '[';
+  out += DiagnosticCodeName(code);
+  out += ']';
+  if (!rules.empty()) {
+    out += " rules=";
+    out += Join(rules, ",");
+  }
+  if (!column.empty()) {
+    out += " column=";
+    out += column;
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticReport::Add(Diagnostic diagnostic) {
+  ++counts_[static_cast<size_t>(diagnostic.severity)];
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticReport::SortBySeverity() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+                   });
+}
+
+std::string DiagnosticReport::Summary() const {
+  std::string out = std::to_string(size());
+  out += size() == 1 ? " diagnostic: " : " diagnostics: ";
+  out += std::to_string(errors());
+  out += errors() == 1 ? " error, " : " errors, ";
+  out += std::to_string(warnings());
+  out += warnings() == 1 ? " warning, " : " warnings, ";
+  out += std::to_string(infos());
+  out += infos() == 1 ? " info" : " infos";
+  return out;
+}
+
+std::string DiagnosticReport::ToString() const {
+  std::string out = Summary();
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    out += "\n  ";
+    out += diagnostic.ToString();
+  }
+  return out;
+}
+
+std::string DiagnosticReport::ToJson() const {
+  std::string out = "{\n  \"summary\": {\"errors\": ";
+  out += std::to_string(errors());
+  out += ", \"warnings\": ";
+  out += std::to_string(warnings());
+  out += ", \"infos\": ";
+  out += std::to_string(infos());
+  out += "},\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"severity\": ";
+    AppendJsonString(SeverityName(diagnostic.severity), &out);
+    out += ", \"code\": ";
+    AppendJsonString(DiagnosticCodeName(diagnostic.code), &out);
+    out += ", \"rules\": [";
+    for (size_t i = 0; i < diagnostic.rules.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonString(diagnostic.rules[i], &out);
+    }
+    out += "], \"column\": ";
+    AppendJsonString(diagnostic.column, &out);
+    out += ", \"message\": ";
+    AppendJsonString(diagnostic.message, &out);
+    out += '}';
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace detective::analysis

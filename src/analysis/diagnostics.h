@@ -1,0 +1,120 @@
+#ifndef DETECTIVE_ANALYSIS_DIAGNOSTICS_H_
+#define DETECTIVE_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detective::analysis {
+
+/// How bad a finding is. `kError` findings make a rule set unloadable under
+/// `--lint=strict`; `kWarning` findings are surfaced but do not block;
+/// `kInfo` findings are observations (e.g. a rule pair that provably agrees).
+enum class Severity : uint8_t {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+/// Stable lowercase name ("info", "warning", "error").
+std::string_view SeverityName(Severity severity);
+
+/// The diagnostic classes of the static rule analyzer (docs/static_analysis.md).
+enum class DiagnosticCode : uint8_t {
+  /// Two rules over the same target column whose negative patterns can bind
+  /// the same cell while their positive patterns force different corrections
+  /// (paper §III-C: the rules are not compatible).
+  kConflictingRules = 0,
+  /// A cycle in the rule interaction graph: each rule's repaired column
+  /// feeds the next rule's pattern, so corrections can oscillate between
+  /// application orders instead of converging to one fixpoint.
+  kOscillationCycle = 1,
+  /// A rule node names a class the KB does not declare: the node can never
+  /// match an instance, so the rule is dead.
+  kUnsupportedClass = 2,
+  /// A rule edge names a relationship the KB does not declare.
+  kUnsupportedRelation = 3,
+  /// The class exists but has zero instances — statically dead until the KB
+  /// gains coverage.
+  kEmptyClass = 4,
+  /// Class and relationship both exist, but no KB edge with that label joins
+  /// instances of the two endpoint types: zero static match possibility.
+  kUnsupportedEdge = 5,
+  /// The pattern graph cannot be instantiated against any KB: a literal-typed
+  /// node used as an edge subject, a disconnected side, or contradictory node
+  /// constraints.
+  kUnsatisfiablePattern = 6,
+  /// The rule failed DetectiveRule::Validate (§II-C well-formedness); kept as
+  /// a diagnostic so programmatic callers get one uniform report.
+  kMalformedRule = 7,
+};
+
+/// Stable kebab-case name, e.g. "conflicting-rules"; used in JSON output.
+std::string_view DiagnosticCodeName(DiagnosticCode code);
+
+/// One finding of the static analyzer, with enough of a witness to act on:
+/// the rules involved (a pair for conflicts, the cycle path for oscillation,
+/// a single rule otherwise) and the contested column when there is one.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  DiagnosticCode code = DiagnosticCode::kMalformedRule;
+  /// Self-contained human-readable explanation.
+  std::string message;
+  /// Witness rules, in evidence order (conflict: the two rules; cycle: the
+  /// rules along the cycle, first repeated at the end).
+  std::vector<std::string> rules;
+  /// The column the finding is about; empty when not column-specific.
+  std::string column;
+
+  /// "error[conflicting-rules] rules=phi1,phi2 column=City: ..." one-liner.
+  std::string ToString() const;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// The analyzer's output: an ordered list of diagnostics plus severity
+/// tallies, serializable to the JSON schema of docs/static_analysis.md.
+class DiagnosticReport {
+ public:
+  void Add(Diagnostic diagnostic);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  size_t size() const { return diagnostics_.size(); }
+
+  size_t errors() const { return counts_[static_cast<size_t>(Severity::kError)]; }
+  size_t warnings() const {
+    return counts_[static_cast<size_t>(Severity::kWarning)];
+  }
+  size_t infos() const { return counts_[static_cast<size_t>(Severity::kInfo)]; }
+
+  /// True iff no error-level finding exists (warnings allowed).
+  bool clean() const { return errors() == 0; }
+
+  /// Reorders diagnostics most-severe-first, stable within a severity.
+  void SortBySeverity();
+
+  /// Multi-line human-readable rendering, one diagnostic per line, plus a
+  /// summary line ("3 diagnostics: 1 error, 2 warnings").
+  std::string ToString() const;
+
+  /// One summary line only.
+  std::string Summary() const;
+
+  /// Stable JSON:
+  ///   {"summary": {"errors": 1, "warnings": 2, "infos": 0},
+  ///    "diagnostics": [{"severity": "error", "code": "conflicting-rules",
+  ///                     "rules": ["phi1", "phi2"], "column": "City",
+  ///                     "message": "..."}]}
+  std::string ToJson() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t counts_[3] = {0, 0, 0};
+};
+
+}  // namespace detective::analysis
+
+#endif  // DETECTIVE_ANALYSIS_DIAGNOSTICS_H_

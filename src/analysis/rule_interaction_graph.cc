@@ -1,0 +1,91 @@
+#include "analysis/rule_interaction_graph.h"
+
+#include <algorithm>
+
+#include "core/rule_graph.h"
+
+namespace detective::analysis {
+
+RuleInteractionGraph::RuleInteractionGraph(const std::vector<DetectiveRule>& rules) {
+  const size_t n = rules.size();
+  adjacency_.resize(n);
+
+  // A → B iff col(p) of A is an evidence column of B. The same adjacency the
+  // repairer's RuleGraph orders by; here the mediating column is retained as
+  // the diagnostic witness.
+  for (uint32_t a = 0; a < n; ++a) {
+    const std::string& produced = rules[a].TargetColumn();
+    for (uint32_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const std::vector<std::string> evidence = rules[b].EvidenceColumns();
+      if (std::find(evidence.begin(), evidence.end(), produced) != evidence.end()) {
+        adjacency_[a].push_back({b, produced});
+      }
+    }
+  }
+
+  // SCC condensation comes from the core RuleGraph (identical edges); any
+  // component with >= 2 rules contains a cycle, for which we extract one
+  // witness path by DFS inside the component.
+  RuleGraph scc(rules);
+  const std::vector<uint32_t>& component = scc.ComponentOf();
+  for (uint32_t c = 0; c < scc.num_components(); ++c) {
+    uint32_t start = static_cast<uint32_t>(n);
+    size_t members = 0;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (component[r] != c) continue;
+      ++members;
+      if (start == n) start = r;  // lowest rule index: deterministic entry
+    }
+    if (members < 2) continue;
+
+    // DFS within the component from `start` until an edge returns to it.
+    std::vector<uint32_t> path{start};
+    std::vector<char> visited(n, 0);
+    visited[start] = 1;
+    while (!path.empty()) {
+      uint32_t v = path.back();
+      bool closed = false;
+      bool advanced = false;
+      for (const Edge& edge : adjacency_[v]) {
+        if (component[edge.to] != c) continue;
+        if (edge.to == start) {
+          closed = true;
+          break;
+        }
+        if (!visited[edge.to]) {
+          visited[edge.to] = 1;
+          path.push_back(edge.to);
+          advanced = true;
+          break;
+        }
+      }
+      if (closed) break;
+      // Dead end inside the SCC: backtrack (a vertex with an edge to `start`
+      // is always reached before the path empties, because every path between
+      // SCC members stays inside the SCC).
+      if (!advanced) path.pop_back();
+    }
+    if (path.empty()) continue;  // unreachable; guards the invariant above
+    path.push_back(start);
+    cycles_.push_back(std::move(path));
+  }
+}
+
+std::vector<std::string> RuleInteractionGraph::CycleColumns(
+    const std::vector<uint32_t>& cycle) const {
+  std::vector<std::string> columns;
+  if (cycle.size() < 2) return columns;
+  columns.reserve(cycle.size() - 1);
+  for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+    for (const Edge& edge : adjacency_[cycle[i]]) {
+      if (edge.to == cycle[i + 1]) {
+        columns.push_back(edge.column);
+        break;
+      }
+    }
+  }
+  return columns;
+}
+
+}  // namespace detective::analysis

@@ -1,0 +1,56 @@
+#ifndef DETECTIVE_ANALYSIS_RULE_INTERACTION_GRAPH_H_
+#define DETECTIVE_ANALYSIS_RULE_INTERACTION_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rule.h"
+
+namespace detective::analysis {
+
+/// Write-to-read interaction graph over a rule set, the static object behind
+/// the termination analysis (paper §III-C): an edge A → B, labelled with a
+/// column, means rule A repairs that column and rule B binds it as evidence —
+/// so applying A can re-trigger B. Every cycle is a potential oscillation:
+/// rules in the cycle can keep re-deriving corrections from each other's
+/// output, and the fixpoint reached may depend on application order.
+///
+/// The core repairer's RuleGraph uses the same adjacency to pick a check
+/// order; this class keeps the mediating columns (the witness a diagnostic
+/// needs) and extracts one concrete cycle per strongly connected component.
+class RuleInteractionGraph {
+ public:
+  struct Edge {
+    uint32_t to = 0;
+    std::string column;  // col(p) of the source = evidence column of `to`
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
+  explicit RuleInteractionGraph(const std::vector<DetectiveRule>& rules);
+
+  size_t num_rules() const { return adjacency_.size(); }
+  const std::vector<Edge>& Successors(uint32_t rule) const {
+    return adjacency_[rule];
+  }
+
+  bool IsAcyclic() const { return cycles_.empty(); }
+
+  /// One witness cycle per non-trivial strongly connected component: rule
+  /// indexes in traversal order, with the first rule repeated at the end
+  /// (e.g. {0, 2, 0}). Deterministic for a given rule order.
+  const std::vector<std::vector<uint32_t>>& Cycles() const { return cycles_; }
+
+  /// The columns along `cycle` (as returned by Cycles()): element i is the
+  /// column through which cycle[i] feeds cycle[i+1].
+  std::vector<std::string> CycleColumns(const std::vector<uint32_t>& cycle) const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<std::vector<uint32_t>> cycles_;
+};
+
+}  // namespace detective::analysis
+
+#endif  // DETECTIVE_ANALYSIS_RULE_INTERACTION_GRAPH_H_

@@ -1,0 +1,328 @@
+#include "analysis/rule_lint.h"
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/rule_interaction_graph.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace detective::analysis {
+namespace {
+
+/// True when `node` is anchored on the KB literal vertex space.
+bool IsLiteralType(const KnowledgeBase& kb, const MatchNode& node) {
+  return node.type == kb.ClassName(kb.literal_class());
+}
+
+/// Can a single cell value simultaneously satisfy the two node constraints?
+/// Distinct rule nodes may bind distinct KB items, so different types do NOT
+/// preclude co-binding in general; the one sound refutation is: both sims are
+/// exact equality and the label sets of the two (resolved, bounded) instance
+/// populations are disjoint — then no value can equal a label in each.
+bool NodesCanCoBind(const KnowledgeBase& kb, const MatchNode& a, const MatchNode& b,
+                    size_t max_probes, size_t* probes) {
+  if (a.type == b.type) return true;
+  if (a.sim.kind() != SimilarityKind::kEquality ||
+      b.sim.kind() != SimilarityKind::kEquality) {
+    return true;  // fuzzy sims can bridge different label sets
+  }
+  ClassId class_a = kb.FindClass(a.type);
+  ClassId class_b = kb.FindClass(b.type);
+  if (!class_a.valid() || !class_b.valid()) return true;  // unresolved: inconclusive
+  if (kb.IsSubclassOf(class_a, class_b) || kb.IsSubclassOf(class_b, class_a)) {
+    return true;
+  }
+  std::span<const ItemId> items_a = kb.InstancesOf(class_a);
+  std::span<const ItemId> items_b = kb.InstancesOf(class_b);
+  if (items_a.size() > items_b.size()) std::swap(items_a, items_b);
+  if (*probes + items_a.size() + items_b.size() > max_probes) return true;
+  *probes += items_a.size() + items_b.size();
+  std::unordered_set<std::string_view> labels;
+  labels.reserve(items_a.size());
+  for (ItemId item : items_a) labels.insert(kb.Label(item));
+  for (ItemId item : items_b) {
+    if (labels.contains(kb.Label(item))) return true;
+  }
+  return false;  // proven label-disjoint under exact matching
+}
+
+/// The way a rule derives corrections: the target node's constraints plus its
+/// incident edges, each with direction, relation, and the constraints of the
+/// far endpoint. Two rules with equal derivation signatures compute the same
+/// candidate corrections from the same evidence binding.
+std::vector<std::string> DerivationSignature(const DetectiveRule& rule,
+                                             uint32_t target) {
+  const SchemaMatchingGraph& graph = rule.graph();
+  const MatchNode& node = graph.node(target);
+  std::vector<std::string> parts;
+  parts.push_back("target type=" + node.type + " sim=" + node.sim.ToString());
+  for (const MatchEdge& edge : graph.edges()) {
+    if (edge.from != target && edge.to != target) continue;
+    bool outgoing = edge.from == target;
+    const MatchNode& other = graph.node(outgoing ? edge.to : edge.from);
+    parts.push_back(std::string(outgoing ? "out " : "in ") + edge.relation +
+                    " col=" + other.column + " type=" + other.type +
+                    " sim=" + other.sim.ToString());
+  }
+  std::sort(parts.begin() + 1, parts.end());
+  return parts;
+}
+
+/// Per-rule checks: well-formedness, satisfiability, KB vocabulary and
+/// coverage. Returns false when the rule is malformed (cross-rule analyses
+/// must skip it).
+bool LintSingleRule(const DetectiveRule& rule, const KnowledgeBase& kb,
+                    const LintOptions& options, size_t* probes,
+                    DiagnosticReport* report) {
+  Status valid = rule.Validate();
+  if (!valid.ok()) {
+    report->Add({.severity = Severity::kError,
+                 .code = DiagnosticCode::kMalformedRule,
+                 .message = valid.ToString(),
+                 .rules = {rule.name()},
+                 .column = {}});
+    return false;
+  }
+
+  const SchemaMatchingGraph& graph = rule.graph();
+
+  // Satisfiability: a literal-typed node with an out-edge can never be
+  // instantiated — KB literals are leaf vertices (never triple subjects).
+  for (const MatchEdge& edge : graph.edges()) {
+    const MatchNode& from = graph.node(edge.from);
+    if (!IsLiteralType(kb, from)) continue;
+    std::string where = from.IsExistential() ? std::string("an existential node")
+                                             : "the node on column '" + from.column + "'";
+    report->Add({.severity = Severity::kError,
+                 .code = DiagnosticCode::kUnsatisfiablePattern,
+                 .message = where + " is literal-typed but is the subject of edge '" +
+                            edge.relation +
+                            "' — KB literals have no out-edges, so the pattern can "
+                            "never be instantiated",
+                 .rules = {rule.name()},
+                 .column = from.column});
+  }
+
+  // KB vocabulary: unknown class or relationship means zero static match
+  // possibility — the rule can never fire against this KB.
+  for (const MatchNode& node : graph.nodes()) {
+    ClassId cls = kb.FindClass(node.type);
+    if (!cls.valid()) {
+      report->Add({.severity = Severity::kError,
+                   .code = DiagnosticCode::kUnsupportedClass,
+                   .message = "class '" + node.type +
+                              "' is not declared in the KB; the node can never "
+                              "match and the rule is dead",
+                   .rules = {rule.name()},
+                   .column = node.column});
+    } else if (kb.InstancesOf(cls).empty()) {
+      report->Add({.severity = Severity::kWarning,
+                   .code = DiagnosticCode::kEmptyClass,
+                   .message = "class '" + node.type +
+                              "' has no instances in the KB; the rule cannot fire "
+                              "until the KB gains coverage",
+                   .rules = {rule.name()},
+                   .column = node.column});
+    }
+  }
+  for (const MatchEdge& edge : graph.edges()) {
+    if (!kb.FindRelation(edge.relation).valid()) {
+      report->Add({.severity = Severity::kError,
+                   .code = DiagnosticCode::kUnsupportedRelation,
+                   .message = "relationship '" + edge.relation +
+                              "' is not declared in the KB; the edge can never "
+                              "match and the rule is dead",
+                   .rules = {rule.name()},
+                   .column = {}});
+    }
+  }
+
+  // KB coverage: relation and endpoint classes all exist — does any triple
+  // actually join instances of the two types? Bounded probe; inconclusive
+  // beyond the cap.
+  if (options.check_edge_support) {
+    for (const MatchEdge& edge : graph.edges()) {
+      RelationId relation = kb.FindRelation(edge.relation);
+      const MatchNode& from = graph.node(edge.from);
+      const MatchNode& to = graph.node(edge.to);
+      ClassId from_class = kb.FindClass(from.type);
+      ClassId to_class = kb.FindClass(to.type);
+      if (!relation.valid() || !from_class.valid() || !to_class.valid()) continue;
+      if (IsLiteralType(kb, from)) continue;  // already unsatisfiable above
+      std::span<const ItemId> sources = kb.InstancesOf(from_class);
+      if (sources.empty()) continue;  // already kEmptyClass above
+      bool witness = false;
+      bool conclusive = true;
+      for (ItemId source : sources) {
+        if (++*probes > options.max_support_probes) {
+          conclusive = false;
+          break;
+        }
+        for (const KbEdge& kb_edge : kb.Objects(source, relation)) {
+          if (++*probes > options.max_support_probes) {
+            conclusive = false;
+            break;
+          }
+          if (kb.IsInstanceOf(kb_edge.target, to_class)) {
+            witness = true;
+            break;
+          }
+        }
+        if (witness || !conclusive) break;
+      }
+      if (conclusive && !witness) {
+        report->Add({.severity = Severity::kWarning,
+                     .code = DiagnosticCode::kUnsupportedEdge,
+                     .message = "no KB triple with relationship '" + edge.relation +
+                                "' joins an instance of '" + from.type +
+                                "' to an instance of '" + to.type +
+                                "': zero static match possibility for this edge",
+                     .rules = {rule.name()},
+                     .column = {}});
+      }
+    }
+  }
+  return true;
+}
+
+/// Cross-rule conflict analysis for one pair over a shared target column
+/// (pairwise pattern unification, the static form of §III-C compatibility).
+void LintRulePair(const DetectiveRule& a, const DetectiveRule& b,
+                  const KnowledgeBase& kb, const LintOptions& options,
+                  size_t* probes, DiagnosticReport* report) {
+  const std::string& column = a.TargetColumn();
+
+  if (a.graph() == b.graph() && a.positive_node() == b.positive_node() &&
+      a.negative_node() == b.negative_node()) {
+    if (options.emit_info) {
+      report->Add({.severity = Severity::kInfo,
+                   .code = DiagnosticCode::kConflictingRules,
+                   .message = "rules are identical; one of them is redundant",
+                   .rules = {a.name(), b.name()},
+                   .column = column});
+    }
+    return;
+  }
+
+  // Unify the negative patterns: both rules fire on one tuple only if every
+  // column their negative sides share can co-bind. One provably disjoint
+  // column refutes the pair ever colliding. The positive nodes stay out of
+  // it — they constrain the correction, not the firing tuple.
+  for (uint32_t i = 0; i < a.graph().nodes().size(); ++i) {
+    if (i == a.positive_node()) continue;
+    const MatchNode& node_a = a.graph().node(i);
+    if (node_a.IsExistential()) continue;
+    uint32_t j = node_a.column == column ? b.negative_node()
+                                         : b.graph().FindNodeByColumn(node_a.column);
+    if (j == b.graph().nodes().size() || j == b.positive_node()) continue;
+    const MatchNode& node_b = b.graph().node(j);
+    if (!NodesCanCoBind(kb, node_a, node_b, options.max_support_probes, probes)) {
+      return;  // statically disjoint: the rules can never fire together
+    }
+  }
+
+  // Same corrections? Equal positive sides (graphs minus the negative nodes)
+  // derive equal corrections, so the pair is compatible.
+  if (SchemaMatchingGraph::EquivalentExceptNode(a.graph(), a.negative_node(),
+                                                b.graph(), b.negative_node())) {
+    if (options.emit_info) {
+      report->Add({.severity = Severity::kInfo,
+                   .code = DiagnosticCode::kConflictingRules,
+                   .message = "rules share one positive pattern and differ only in "
+                              "the negative pattern; corrections always agree",
+                   .rules = {a.name(), b.name()},
+                   .column = column});
+    }
+    return;
+  }
+
+  // The positive sides differ. If the correction derivation around p is
+  // still identical, the rules disagree only through evidence selection —
+  // report as a warning; a diverging derivation is a hard conflict.
+  bool same_derivation = DerivationSignature(a, a.positive_node()) ==
+                         DerivationSignature(b, b.positive_node());
+  if (same_derivation) {
+    report->Add(
+        {.severity = Severity::kWarning,
+         .code = DiagnosticCode::kConflictingRules,
+         .message = "rules derive corrections identically but constrain different "
+                    "evidence; different evidence bindings may still select "
+                    "different corrections for one cell",
+         .rules = {a.name(), b.name()},
+         .column = column});
+  } else {
+    report->Add(
+        {.severity = Severity::kError,
+         .code = DiagnosticCode::kConflictingRules,
+         .message = "negative patterns can bind the same cell but the positive "
+                    "patterns derive corrections differently, so the two rules "
+                    "can force different repairs (order-dependent fixpoint)",
+         .rules = {a.name(), b.name()},
+         .column = column});
+  }
+}
+
+}  // namespace
+
+DiagnosticReport LintRules(const std::vector<DetectiveRule>& rules,
+                           const KnowledgeBase& kb, const LintOptions& options) {
+  DETECTIVE_SCOPED_TIMER("lint.rules");
+  DETECTIVE_COUNT_N("lint.rules_checked", rules.size());
+
+  DiagnosticReport report;
+  size_t probes = 0;
+  std::vector<char> well_formed(rules.size(), 0);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    well_formed[i] =
+        LintSingleRule(rules[i], kb, options, &probes, &report) ? 1 : 0;
+  }
+
+  // Conflicts: pairwise over rules that judge the same column.
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (!well_formed[i]) continue;
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      if (!well_formed[j]) continue;
+      if (rules[i].TargetColumn() != rules[j].TargetColumn()) continue;
+      DETECTIVE_COUNT("lint.conflict_pairs_checked");
+      LintRulePair(rules[i], rules[j], kb, options, &probes, &report);
+    }
+  }
+
+  // Termination: cycles of the interaction graph. Malformed rules are
+  // excluded (their columns are not trustworthy), preserving rule names.
+  std::vector<DetectiveRule> sound;
+  sound.reserve(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (well_formed[i]) sound.push_back(rules[i]);
+  }
+  RuleInteractionGraph interactions(sound);
+  for (const std::vector<uint32_t>& cycle : interactions.Cycles()) {
+    std::vector<std::string> names;
+    names.reserve(cycle.size());
+    for (uint32_t r : cycle) names.push_back(sound[r].name());
+    std::vector<std::string> columns = interactions.CycleColumns(cycle);
+    std::string path = names.front();
+    for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+      path += " -[" + columns[i] + "]-> " + names[i + 1];
+    }
+    report.Add({.severity = Severity::kError,
+                .code = DiagnosticCode::kOscillationCycle,
+                .message = "rule interaction cycle " + path +
+                           ": each rule repairs a column the next binds as "
+                           "evidence, so corrections can oscillate and the "
+                           "fixpoint depends on application order",
+                .rules = std::move(names),
+                .column = columns.empty() ? std::string() : columns.front()});
+  }
+
+  DETECTIVE_COUNT_N("lint.support_probes", probes);
+  DETECTIVE_COUNT_N("lint.errors", report.errors());
+  DETECTIVE_COUNT_N("lint.warnings", report.warnings());
+  return report;
+}
+
+}  // namespace detective::analysis

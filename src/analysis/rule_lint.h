@@ -1,0 +1,55 @@
+#ifndef DETECTIVE_ANALYSIS_RULE_LINT_H_
+#define DETECTIVE_ANALYSIS_RULE_LINT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "core/rule.h"
+#include "kb/knowledge_base.h"
+
+namespace detective::analysis {
+
+/// Knobs of the static rule analyzer.
+struct LintOptions {
+  /// Probe the KB for joint edge support (an actual triple joining instances
+  /// of the two endpoint types). Off = vocabulary checks only.
+  bool check_edge_support = true;
+
+  /// Cap on KB instances examined across all edge-support and type-overlap
+  /// probes of one lint run. Once exhausted, remaining probes are
+  /// inconclusive (no diagnostic) instead of quadratic.
+  size_t max_support_probes = 20000;
+
+  /// Emit kInfo diagnostics (duplicate rules, agreeing pairs). Errors and
+  /// warnings are always emitted.
+  bool emit_info = true;
+};
+
+/// Static analysis of a rule set against a KB schema — no data, no chase
+/// (paper §III-C turned into a load-time check). Four diagnostic classes:
+///
+///   1. Conflicts: two rules on one target column whose negative patterns can
+///      bind the same cell while their positive patterns can force different
+///      corrections — the static shadow of the paper's compatible-rules
+///      condition (dynamic counterpart: core/consistency.h).
+///   2. Termination: cycles in the rule interaction graph (rule A repairs a
+///      column rule B binds as evidence), which can oscillate between
+///      application orders.
+///   3. KB support: classes/relationships the KB does not declare (dead
+///      rule), declared classes with zero instances, and edges with no
+///      KB triple joining the endpoint types.
+///   4. Satisfiability: patterns no KB instance assignment can ever satisfy,
+///      e.g. a literal-typed node used as an edge subject (KB literals have
+///      no out-edges) or a malformed/disconnected pattern graph.
+///
+/// The verdict is conservative in the safe direction: a rule set with no
+/// error-level finding may still be data-inconsistent (that is what the
+/// dynamic sampler is for), but every error-level finding is a real defect
+/// of the rule set against this KB.
+DiagnosticReport LintRules(const std::vector<DetectiveRule>& rules,
+                           const KnowledgeBase& kb, const LintOptions& options = {});
+
+}  // namespace detective::analysis
+
+#endif  // DETECTIVE_ANALYSIS_RULE_LINT_H_

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "common/string_util.h"
+
 namespace detective::metrics {
 
 // ---- MetricsSnapshot ---------------------------------------------------------
@@ -18,29 +20,6 @@ MetricsSnapshot::Timer MetricsSnapshot::timer(std::string_view name) const {
 }
 
 namespace {
-
-void AppendJsonString(const std::string& text, std::string* out) {
-  out->push_back('"');
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          *out += buffer;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
 
 /// Cursor over a JSON document; every Take* consumes leading whitespace.
 /// Only the constructs ToJson() emits are supported — this is a schema

@@ -39,6 +39,11 @@ std::string NormalizeWhitespace(std::string_view input);
 std::string ReplaceAll(std::string_view input, std::string_view from,
                        std::string_view to);
 
+/// Appends `text` to `*out` as a double-quoted JSON string value, escaping
+/// quotes, backslashes, and control characters. Shared by every JSON emitter
+/// in the tree (metrics snapshots, lint diagnostics, bench output).
+void AppendJsonString(std::string_view text, std::string* out);
+
 /// Parses a non-negative base-10 integer; returns false on any non-digit or
 /// overflow. The strict contract suits configuration and file parsing.
 bool ParseUint64(std::string_view text, uint64_t* value);

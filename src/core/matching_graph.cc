@@ -69,7 +69,7 @@ bool SchemaMatchingGraph::ConnectedWithout(uint32_t excluded) const {
     frontier.pop_back();
     for (const MatchEdge& edge : edges_) {
       if (edge.from == excluded || edge.to == excluded) continue;
-      uint32_t next = nodes_.size();
+      uint32_t next = static_cast<uint32_t>(nodes_.size());
       if (edge.from == current) next = edge.to;
       if (edge.to == current) next = edge.from;
       if (next < nodes_.size() && !seen[next]) {

@@ -292,6 +292,16 @@ Result<KnowledgeBase> ParseNTriplesFile(const std::string& path) {
   return ParseNTriples(buffer.str());
 }
 
+Result<KnowledgeBase> LoadKbFile(const std::string& path) {
+  if (!EndsWith(path, ".tsv")) return ParseNTriplesFile(path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open ", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed for ", path);
+  return ParseTsvTriples(buffer.str());
+}
+
 Result<KnowledgeBase> ParseTsvTriples(std::string_view text) {
   std::vector<RawTriple> triples;
   size_t line_number = 1;

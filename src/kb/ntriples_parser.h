@@ -36,6 +36,11 @@ Result<KnowledgeBase> ParseNTriplesFile(const std::string& path);
 /// literal objects. Schema predicates behave as in ParseNTriples.
 Result<KnowledgeBase> ParseTsvTriples(std::string_view text);
 
+/// Loads a KB file, dispatching on the extension: `.tsv` selects the TSV
+/// triple format, anything else the N-Triples subset. The one loader every
+/// CLI tool shares.
+Result<KnowledgeBase> LoadKbFile(const std::string& path);
+
 /// Serializes a KnowledgeBase back to the N-Triples subset (round-trips
 /// through ParseNTriples; used by tests and by the example programs to show
 /// the generated KBs).

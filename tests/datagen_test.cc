@@ -287,7 +287,8 @@ TEST(WebTablesGenTest, CorpusShape) {
     }
   }
   // Average around 44 tuples per table.
-  double average = static_cast<double>(total_tuples) / corpus.tables.size();
+  double average = static_cast<double>(total_tuples) /
+                   static_cast<double>(corpus.tables.size());
   EXPECT_NEAR(average, 44.0, 8.0);
 }
 

@@ -1,0 +1,391 @@
+// Tests for the static rule-set analyzer (src/analysis): one fixture per
+// diagnostic class, the soundness refutations that must stay silent, and the
+// cross-check that a lint-clean rule set is dynamically consistent under the
+// §III-C sampler.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.h"
+#include "analysis/rule_interaction_graph.h"
+#include "analysis/rule_lint.h"
+#include "core/consistency.h"
+#include "core/rule.h"
+#include "core/rule_io.h"
+#include "kb/knowledge_base.h"
+#include "kb/ntriples_parser.h"
+#include "test_fixtures.h"
+
+namespace detective::analysis {
+namespace {
+
+using detective::testing::BuildFigure1Kb;
+using detective::testing::BuildFigure4Rules;
+using detective::testing::BuildTableI;
+
+std::vector<DetectiveRule> MustParse(std::string_view text) {
+  Result<std::vector<DetectiveRule>> rules = ParseRules(text);
+  EXPECT_TRUE(rules.ok()) << rules.status().ToString();
+  return rules.ok() ? std::move(rules).ValueOrDie() : std::vector<DetectiveRule>{};
+}
+
+size_t CountCode(const DiagnosticReport& report, DiagnosticCode code) {
+  size_t count = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.code == code) ++count;
+  }
+  return count;
+}
+
+// Both rules judge City; the negative patterns unify on Name, Institution and
+// City, but the positive sides derive the correction through different KB
+// paths (worksAt.locatedIn vs wasBornIn).
+constexpr std::string_view kConflictingPair = R"(
+RULE work_city
+NODE w1 col=Name type="Nobel laureates in Chemistry" sim="="
+NODE w2 col=Institution type=organization sim="ED,2"
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE w1 worksAt w2
+EDGE w2 locatedIn p
+EDGE w1 wasBornIn n
+END
+RULE birth_city
+NODE b1 col=Name type="Nobel laureates in Chemistry" sim="="
+NODE b2 col=Institution type=organization sim="ED,2"
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE b1 wasBornIn p
+EDGE b1 worksAt b2
+EDGE b2 locatedIn n
+END
+)";
+
+constexpr std::string_view kMutualCycle = R"(
+RULE city_from_country
+NODE a1 col=Country type=country sim="="
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE p locatedIn a1
+EDGE n locatedIn a1
+END
+RULE country_from_city
+NODE b1 col=City type=city sim="="
+POS  p col=Country type=country sim="="
+NEG  n col=Country type=country sim="="
+EDGE b1 locatedIn p
+EDGE b1 locatedIn n
+END
+)";
+
+TEST(RuleLintTest, Figure4SetIsClean) {
+  DiagnosticReport report = LintRules(BuildFigure4Rules(), BuildFigure1Kb());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+// The promise the analyzer makes: a lint-clean rule set really is
+// dynamically consistent under the §III-C chase sampler.
+TEST(RuleLintTest, LintCleanSetIsDynamicallyConsistent) {
+  KnowledgeBase kb = BuildFigure1Kb();
+  std::vector<DetectiveRule> rules = BuildFigure4Rules();
+  ASSERT_TRUE(LintRules(rules, kb).clean());
+
+  Result<ConsistencyReport> dynamic = CheckConsistency(kb, rules, BuildTableI());
+  ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+  EXPECT_TRUE(dynamic.ValueOrDie().consistent) << dynamic.ValueOrDie().ToString();
+}
+
+TEST(RuleLintTest, ConflictingCorrectionsAreAnError) {
+  DiagnosticReport report =
+      LintRules(MustParse(kConflictingPair), BuildFigure1Kb());
+  ASSERT_EQ(report.errors(), 1u) << report.ToString();
+  const Diagnostic& d = report.diagnostics().front();
+  EXPECT_EQ(d.code, DiagnosticCode::kConflictingRules);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.column, "City");
+  EXPECT_EQ(d.rules, (std::vector<std::string>{"work_city", "birth_city"}));
+}
+
+// The one sound refutation: both negative nodes use exact equality and their
+// classes have provably disjoint label sets (Chemistry vs American awards in
+// Fig. 1), so no single cell value can fire both rules — no conflict, even
+// though the positive derivations differ.
+TEST(RuleLintTest, LabelDisjointNegativesSuppressTheConflict) {
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE chem_prize
+NODE v1 col=Name type="Nobel laureates in Chemistry" sim="="
+POS  p col=Prize type="Chemistry awards" sim="="
+NEG  n col=Prize type="Chemistry awards" sim="="
+EDGE v1 wonPrize p
+EDGE v1 wonPrize n
+END
+RULE us_prize
+NODE v1 col=Name type="Nobel laureates in Chemistry" sim="="
+POS  p col=Prize type="American awards" sim="="
+NEG  n col=Prize type="American awards" sim="="
+EDGE v1 wonPrize p
+EDGE v1 wonPrize n
+END
+)"),
+                                      BuildFigure1Kb());
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(RuleLintTest, IdenticalRulesAreAnInfo) {
+  std::vector<DetectiveRule> rules = BuildFigure4Rules();
+  std::vector<DetectiveRule> doubled = {rules[0], rules[0]};
+  DiagnosticReport report = LintRules(doubled, BuildFigure1Kb());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  ASSERT_EQ(report.infos(), 1u) << report.ToString();
+  EXPECT_EQ(report.diagnostics().front().code, DiagnosticCode::kConflictingRules);
+  EXPECT_EQ(report.diagnostics().front().severity, Severity::kInfo);
+
+  LintOptions quiet;
+  quiet.emit_info = false;
+  EXPECT_TRUE(LintRules(doubled, BuildFigure1Kb(), quiet).empty());
+}
+
+// Equal positive sides derive equal corrections regardless of how the
+// negative sides differ ("award" is a superclass, so the negatives DO
+// co-bind) — observation, not a conflict.
+TEST(RuleLintTest, AgreeingPositiveSidesAreAnInfo) {
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE narrow_negative
+NODE v1 col=Name type="Nobel laureates in Chemistry" sim="="
+POS  p col=Prize type="Chemistry awards" sim="="
+NEG  n col=Prize type="American awards" sim="="
+EDGE v1 wonPrize p
+EDGE v1 wonPrize n
+END
+RULE wide_negative
+NODE v1 col=Name type="Nobel laureates in Chemistry" sim="="
+POS  p col=Prize type="Chemistry awards" sim="="
+NEG  n col=Prize type=award sim="="
+EDGE v1 wonPrize p
+EDGE v1 wonPrize n
+END
+)"),
+                                      BuildFigure1Kb());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  ASSERT_EQ(report.infos(), 1u) << report.ToString();
+  EXPECT_EQ(report.diagnostics().front().severity, Severity::kInfo);
+}
+
+// The positive graphs differ (worksAt vs graduatedFrom anchor the
+// Institution hop) but the derivation around p is identical — the rules can
+// disagree only through evidence selection, which is a warning, not an error.
+TEST(RuleLintTest, SameDerivationDifferentEvidenceIsAWarning) {
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE via_work
+NODE w1 col=Name type="Nobel laureates in Chemistry" sim="="
+NODE w2 col=Institution type=organization sim="ED,2"
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE w1 worksAt w2
+EDGE w2 locatedIn p
+EDGE w1 wasBornIn n
+END
+RULE via_school
+NODE w1 col=Name type="Nobel laureates in Chemistry" sim="="
+NODE w2 col=Institution type=organization sim="ED,2"
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE w1 graduatedFrom w2
+EDGE w2 locatedIn p
+EDGE w1 wasBornIn n
+END
+)"),
+                                      BuildFigure1Kb());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  ASSERT_EQ(report.warnings(), 1u) << report.ToString();
+  EXPECT_EQ(report.diagnostics().front().code, DiagnosticCode::kConflictingRules);
+}
+
+TEST(RuleLintTest, MutualFeedingRulesAreAnOscillationError) {
+  DiagnosticReport report = LintRules(MustParse(kMutualCycle), BuildFigure1Kb());
+  ASSERT_EQ(report.errors(), 1u) << report.ToString();
+  const Diagnostic& d = report.diagnostics().front();
+  EXPECT_EQ(d.code, DiagnosticCode::kOscillationCycle);
+  EXPECT_EQ(d.rules,
+            (std::vector<std::string>{"city_from_country", "country_from_city",
+                                      "city_from_country"}));
+}
+
+TEST(RuleLintTest, UnknownClassIsAnError) {
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE volcano_city
+NODE v1 col=Name type=volcano sim="="
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE v1 worksAt p
+EDGE v1 wasBornIn n
+END
+)"),
+                                      BuildFigure1Kb());
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(CountCode(report, DiagnosticCode::kUnsupportedClass), 1u)
+      << report.ToString();
+  EXPECT_EQ(report.diagnostics().front().column, "Name");
+}
+
+TEST(RuleLintTest, UnknownRelationIsAnError) {
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE died_city
+NODE w1 col=Name type="Nobel laureates in Chemistry" sim="="
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE w1 diedIn p
+EDGE w1 wasBornIn n
+END
+)"),
+                                      BuildFigure1Kb());
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(CountCode(report, DiagnosticCode::kUnsupportedRelation), 1u)
+      << report.ToString();
+}
+
+TEST(RuleLintTest, DeclaredButEmptyClassIsAWarning) {
+  Result<KnowledgeBase> kb = ParseNTriples(R"(
+<hamlet> rdf:type <rdfs:Class> .
+<city> rdf:type <rdfs:Class> .
+<country> rdf:type <rdfs:Class> .
+<e1> rdfs:label "Paris" .
+<e1> rdf:type <city> .
+<e2> rdfs:label "France" .
+<e2> rdf:type <country> .
+<e1> <locatedIn> <e2> .
+)");
+  ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE ghost
+NODE a1 col=Country type=country sim="="
+POS  p col=City type=hamlet sim="="
+NEG  n col=City type=city sim="="
+EDGE p locatedIn a1
+EDGE n locatedIn a1
+END
+)"),
+                                      kb.ValueOrDie());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  ASSERT_EQ(CountCode(report, DiagnosticCode::kEmptyClass), 1u)
+      << report.ToString();
+  EXPECT_EQ(report.diagnostics().front().severity, Severity::kWarning);
+}
+
+// graduatedFrom only ever reaches organizations in Fig. 1, so routing it
+// into a city-typed node has zero static match possibility.
+TEST(RuleLintTest, UnjoinableEdgeIsAWarning) {
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE grad_city
+NODE v1 col=Name type="Nobel laureates in Chemistry" sim="="
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE v1 graduatedFrom p
+EDGE v1 wasBornIn n
+END
+)"),
+                                      BuildFigure1Kb());
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  ASSERT_EQ(CountCode(report, DiagnosticCode::kUnsupportedEdge), 1u)
+      << report.ToString();
+
+  LintOptions no_probe;
+  no_probe.check_edge_support = false;
+  EXPECT_TRUE(LintRules(MustParse(R"(
+RULE grad_city
+NODE v1 col=Name type="Nobel laureates in Chemistry" sim="="
+POS  p col=City type=city sim="="
+NEG  n col=City type=city sim="="
+EDGE v1 graduatedFrom p
+EDGE v1 wasBornIn n
+END
+)"),
+                        BuildFigure1Kb(), no_probe)
+                  .empty());
+}
+
+TEST(RuleLintTest, LiteralSubjectIsUnsatisfiable) {
+  DiagnosticReport report = LintRules(MustParse(R"(
+RULE person_from_dob
+NODE d col=DOB type=literal sim="="
+POS  p col=Name type="Nobel laureates in Chemistry" sim="="
+NEG  n col=Name type=person sim="="
+EDGE d bornOnDate p
+EDGE d bornOnDate n
+END
+)"),
+                                      BuildFigure1Kb());
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(CountCode(report, DiagnosticCode::kUnsatisfiablePattern), 2u)
+      << report.ToString();
+  EXPECT_EQ(report.diagnostics().front().column, "DOB");
+}
+
+// A rule that fails §II-C validation surfaces as a diagnostic (uniform
+// programmatic surface) and is excluded from the cross-rule analyses.
+TEST(RuleLintTest, MalformedRuleIsReportedNotAnalyzed) {
+  std::vector<DetectiveRule> rules = BuildFigure4Rules();
+  DetectiveRule broken("broken", rules[0].graph(), rules[0].positive_node(),
+                       rules[0].positive_node());  // p == n: invalid
+  DiagnosticReport report = LintRules({broken}, BuildFigure1Kb());
+  ASSERT_EQ(report.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.diagnostics().front().code, DiagnosticCode::kMalformedRule);
+  EXPECT_EQ(report.diagnostics().front().severity, Severity::kError);
+}
+
+TEST(RuleInteractionGraphTest, Figure4IsAcyclicWithExpectedFeeds) {
+  std::vector<DetectiveRule> rules = BuildFigure4Rules();
+  RuleInteractionGraph graph(rules);
+  ASSERT_EQ(graph.num_rules(), 4u);
+  EXPECT_TRUE(graph.IsAcyclic());
+  // phi1 repairs Institution, which phi2 and phi3 bind as evidence.
+  std::vector<RuleInteractionGraph::Edge> expected = {{1, "Institution"},
+                                                      {2, "Institution"}};
+  EXPECT_EQ(graph.Successors(0), expected);
+  // Nothing reads Prize, so phi4 feeds nobody.
+  EXPECT_TRUE(graph.Successors(3).empty());
+}
+
+TEST(RuleInteractionGraphTest, MutualFeedYieldsOneWitnessCycle) {
+  RuleInteractionGraph graph(MustParse(kMutualCycle));
+  ASSERT_EQ(graph.Cycles().size(), 1u);
+  const std::vector<uint32_t>& cycle = graph.Cycles().front();
+  EXPECT_EQ(cycle, (std::vector<uint32_t>{0, 1, 0}));
+  EXPECT_EQ(graph.CycleColumns(cycle),
+            (std::vector<std::string>{"City", "Country"}));
+}
+
+TEST(DiagnosticReportTest, SortsAndSerializes) {
+  DiagnosticReport report;
+  report.Add({.severity = Severity::kInfo,
+              .code = DiagnosticCode::kConflictingRules,
+              .message = "identical",
+              .rules = {"a", "b"},
+              .column = "City"});
+  report.Add({.severity = Severity::kError,
+              .code = DiagnosticCode::kUnsupportedClass,
+              .message = "class \"volcano\" unknown",
+              .rules = {"c"},
+              .column = "Name"});
+  report.SortBySeverity();
+  EXPECT_EQ(report.diagnostics().front().severity, Severity::kError);
+  EXPECT_EQ(report.errors(), 1u);
+  EXPECT_EQ(report.infos(), 1u);
+  EXPECT_FALSE(report.clean());
+
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"summary\": {\"errors\": 1, \"warnings\": 0, \"infos\": 1}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"code\": \"unsupported-class\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rules\": [\"a\", \"b\"]"), std::string::npos) << json;
+  // Embedded quotes must be escaped.
+  EXPECT_NE(json.find("class \\\"volcano\\\" unknown"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace detective::analysis

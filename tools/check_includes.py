@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Include-hygiene lint for the detective tree (CI: lint job).
+
+Checks, over every C++ file under src/, tools/, tests/, bench/, examples/:
+
+  1. guard     — every header carries an include guard named after its
+                 repo-relative path: src/analysis/rule_lint.h must use
+                 DETECTIVE_ANALYSIS_RULE_LINT_H_ (the src/ prefix is
+                 dropped; other roots keep theirs, e.g.
+                 DETECTIVE_TESTS_TEST_FIXTURES_H_), with matching #define
+                 and a trailing  // NAME  comment on the #endif.
+  2. relative  — no '..' or '.' path components in includes; project
+                 headers are addressed root-relative from src/ (or from
+                 the including file's own directory, for test helpers).
+  3. resolve   — every quoted include must resolve to a file in the repo;
+                 every angle include must NOT shadow a repo header
+                 (quoted = ours, angled = system/third-party).
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOTS = ("src", "tools", "tests", "bench", "examples")
+# Quoted includes resolve against these directories (in order), then
+# against the including file's own directory.
+INCLUDE_DIRS = ("src", "tests")
+SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\S+)")
+GUARD_ENDIF_RE = re.compile(r"^\s*#\s*endif\s*//\s*(\S+)\s*$")
+
+
+def expected_guard(path: pathlib.Path) -> str:
+    rel = path.as_posix()
+    if rel.startswith("src/"):
+        rel = rel[len("src/"):]
+    return "DETECTIVE_" + re.sub(r"[^A-Za-z0-9]", "_", rel).upper() + "_"
+
+
+def check_guard(path: pathlib.Path, lines: list[str], findings: list[str]) -> None:
+    want = expected_guard(path)
+    ifndef = define = endif = None
+    for line in lines:
+        if ifndef is None:
+            m = GUARD_IFNDEF_RE.match(line)
+            if m:
+                ifndef = m.group(1)
+            continue
+        if define is None:
+            m = GUARD_DEFINE_RE.match(line)
+            define = m.group(1) if m else ""
+            break
+    for line in reversed(lines):
+        if not line.strip():
+            continue
+        m = GUARD_ENDIF_RE.match(line)
+        endif = m.group(1) if m else ""
+        break
+    if ifndef != want:
+        findings.append(f"{path}: guard #ifndef is {ifndef!r}, expected {want!r}")
+    if define != want:
+        findings.append(f"{path}: guard #define is {define!r}, expected {want!r}")
+    if endif != want:
+        findings.append(
+            f"{path}: closing #endif lacks the '// {want}' comment (found {endif!r})")
+
+
+def check_includes(repo: pathlib.Path, path: pathlib.Path,
+                   lines: list[str], findings: list[str]) -> None:
+    for number, line in enumerate(lines, 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        quoted = m.group(1) == '"'
+        target = m.group(2)
+        where = f"{path}:{number}"
+        parts = pathlib.PurePosixPath(target).parts
+        if ".." in parts or "." in parts:
+            findings.append(f"{where}: include '{target}' uses a relative "
+                            "path component; address headers from the tree root")
+            continue
+        resolved = [d for d in INCLUDE_DIRS if (repo / d / target).is_file()]
+        if (path.parent / target).is_file():
+            resolved.append(path.parent.as_posix())
+        if quoted and not resolved:
+            findings.append(f"{where}: quoted include '{target}' does not "
+                            "resolve to a repo header (use <...> for system "
+                            "headers)")
+        elif not quoted and resolved:
+            findings.append(f"{where}: angle include <{target}> shadows repo "
+                            f"header {resolved[0]}/{target}; use \"...\"")
+
+
+def main() -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    findings: list[str] = []
+    checked = 0
+    for root in ROOTS:
+        base = repo / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(repo)
+            lines = path.read_text(encoding="utf-8").splitlines()
+            checked += 1
+            if path.suffix in (".h", ".hpp"):
+                check_guard(rel, lines, findings)
+            check_includes(repo, rel, lines, findings)
+    if checked == 0:
+        print("check_includes: no C++ sources found — wrong checkout?",
+              file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding)
+    print(f"check_includes: {checked} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,18 +3,25 @@
 //   detective_clean --kb=yago.nt --rules=nobel.dr --input=dirty.csv
 //                   --output=clean.csv [--check-consistency] [--multi-version]
 //                   [--algorithm=fast|basic] [--report=report.txt]
+//                   [--lint=strict|warn|off] [--lint-json=DIAG.json]
 //
 // Loads an RDF KB (N-Triples subset; *.tsv switches to the TSV triple
 // format), a detective-rule file (the DSL of core/rule_io.h) and a CSV
-// relation (first row = header); optionally verifies rule consistency on the
-// data; repairs every tuple to its fixpoint; writes the repaired CSV and a
+// relation (first row = header); statically lints the rule set against the
+// KB (src/analysis); optionally verifies rule consistency on the data;
+// repairs every tuple to its fixpoint; writes the repaired CSV and a
 // human-readable repair report.
+//
+// Exit codes: 0 success, 1 load/runtime failure, 2 rule set inconsistent on
+// the data (--check-consistency), 3 rule set rejected by --lint=strict,
+// 64 usage.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "analysis/rule_lint.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/consistency.h"
@@ -27,6 +34,11 @@
 namespace detective {
 namespace {
 
+constexpr int kExitRuntimeFailure = 1;
+constexpr int kExitInconsistent = 2;
+constexpr int kExitLintRejected = 3;
+constexpr int kExitUsage = 64;
+
 struct Args {
   std::string kb_path;
   std::string rules_path;
@@ -34,7 +46,9 @@ struct Args {
   std::string output_path;
   std::string report_path;
   std::string metrics_json_path;
+  std::string lint_json_path;
   std::string algorithm = "fast";
+  std::string lint = "warn";
   bool check_consistency = false;
   bool multi_version = false;
 };
@@ -45,16 +59,24 @@ void PrintUsage() {
       "usage: detective_clean --kb=KB.nt --rules=RULES.dr --input=IN.csv\n"
       "                       --output=OUT.csv [--report=REPORT.txt]\n"
       "                       [--algorithm=fast|basic] [--check-consistency]\n"
-      "                       [--multi-version] [--metrics-json=METRICS.json]\n\n"
+      "                       [--multi-version] [--metrics-json=METRICS.json]\n"
+      "                       [--lint=strict|warn|off] [--lint-json=DIAG.json]\n\n"
       "  --kb                RDF knowledge base (N-Triples subset; a .tsv\n"
       "                      extension selects tab-separated triples)\n"
       "  --rules             detective rules in the rule DSL\n"
       "  --input/--output    CSV relation, first record is the header\n"
       "  --check-consistency run the dataset-specific consistency check and\n"
-      "                      refuse to repair on divergence\n"
+      "                      refuse to repair on divergence (exit %d)\n"
       "  --multi-version     emit one output row per repair fixpoint\n"
       "  --metrics-json      dump the per-stage metrics snapshot (KB lookups,\n"
-      "                      rule matches, chase rounds, timers) as JSON\n");
+      "                      rule matches, chase rounds, timers) as JSON\n"
+      "  --lint              static rule-set analysis at load time (default\n"
+      "                      warn): strict refuses to run on error-level\n"
+      "                      findings (exit %d), warn prints them, off skips\n"
+      "  --lint-json         where to write the lint diagnostics JSON\n"
+      "                      (default: OUT.csv.lint.json, written whenever\n"
+      "                      the lint finds anything)\n",
+      kExitInconsistent, kExitLintRejected);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -71,7 +93,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     if (take("kb", &args->kb_path) || take("rules", &args->rules_path) ||
         take("input", &args->input_path) || take("output", &args->output_path) ||
         take("report", &args->report_path) || take("algorithm", &args->algorithm) ||
-        take("metrics-json", &args->metrics_json_path)) {
+        take("metrics-json", &args->metrics_json_path) ||
+        take("lint", &args->lint) || take("lint-json", &args->lint_json_path)) {
       continue;
     }
     if (arg == "--check-consistency") {
@@ -91,22 +114,35 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--algorithm must be 'fast' or 'basic'\n");
     return false;
   }
+  if (args->lint != "strict" && args->lint != "warn" && args->lint != "off") {
+    std::fprintf(stderr, "--lint must be 'strict', 'warn', or 'off'\n");
+    return false;
+  }
   return true;
+}
+
+/// Writes the lint diagnostics JSON and returns the path it went to (empty on
+/// write failure). CI log lines reference this path.
+std::string WriteLintJson(const analysis::DiagnosticReport& report,
+                          const Args& args) {
+  std::string path = args.lint_json_path.empty()
+                         ? args.output_path + ".lint.json"
+                         : args.lint_json_path;
+  std::ofstream out(path, std::ios::trunc);
+  out << report.ToJson();
+  if (!out) {
+    std::fprintf(stderr, "error writing lint diagnostics to %s\n", path.c_str());
+    return std::string();
+  }
+  return path;
 }
 
 int Run(const Args& args) {
   // ---- Load inputs ----
-  auto kb = EndsWith(args.kb_path, ".tsv")
-                ? [&] {
-                    std::ifstream in(args.kb_path, std::ios::binary);
-                    std::string text((std::istreambuf_iterator<char>(in)),
-                                     std::istreambuf_iterator<char>());
-                    return ParseTsvTriples(text);
-                  }()
-                : ParseNTriplesFile(args.kb_path);
+  auto kb = LoadKbFile(args.kb_path);
   if (!kb.ok()) {
     std::fprintf(stderr, "error loading KB: %s\n", kb.status().ToString().c_str());
-    return 1;
+    return kExitRuntimeFailure;
   }
   std::printf("KB: %s\n", kb->DebugSummary().c_str());
 
@@ -114,15 +150,36 @@ int Run(const Args& args) {
   if (!rules.ok()) {
     std::fprintf(stderr, "error loading rules: %s\n",
                  rules.status().ToString().c_str());
-    return 1;
+    return kExitRuntimeFailure;
   }
   std::printf("Rules: %zu loaded from %s\n", rules->size(), args.rules_path.c_str());
+
+  // ---- Static lint gate (paper §III-C ahead-of-time; docs/static_analysis.md) ----
+  if (args.lint != "off") {
+    analysis::DiagnosticReport lint = analysis::LintRules(*rules, *kb);
+    lint.SortBySeverity();
+    std::printf("Lint: %s\n", lint.Summary().c_str());
+    if (!lint.empty()) {
+      std::fprintf(stderr, "%s\n", lint.ToString().c_str());
+      std::string json_path = WriteLintJson(lint, args);
+      if (!json_path.empty()) {
+        std::printf("lint diagnostics written to %s\n", json_path.c_str());
+      }
+      if (args.lint == "strict" && !lint.clean()) {
+        std::fprintf(stderr,
+                     "refusing to run: %zu error-level lint finding(s) under "
+                     "--lint=strict (diagnostics: %s)\n",
+                     lint.errors(), json_path.c_str());
+        return kExitLintRejected;
+      }
+    }
+  }
 
   auto relation = Relation::FromCsvFile(args.input_path);
   if (!relation.ok()) {
     std::fprintf(stderr, "error loading relation: %s\n",
                  relation.status().ToString().c_str());
-    return 1;
+    return kExitRuntimeFailure;
   }
   std::printf("Relation: %zu tuples x %zu columns\n", relation->num_tuples(),
               relation->schema().num_columns());
@@ -133,12 +190,12 @@ int Run(const Args& args) {
     if (!report.ok()) {
       std::fprintf(stderr, "consistency check failed: %s\n",
                    report.status().ToString().c_str());
-      return 1;
+      return kExitRuntimeFailure;
     }
     std::printf("Consistency: %s\n", report->ToString().c_str());
     if (!report->consistent) {
       std::fprintf(stderr, "refusing to repair with an inconsistent rule set\n");
-      return 2;
+      return kExitInconsistent;
     }
   }
 
@@ -154,7 +211,7 @@ int Run(const Args& args) {
     Status st = repairer.Init();
     if (!st.ok()) {
       std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
-      return 1;
+      return kExitRuntimeFailure;
     }
     for (size_t row = 0; row < relation->num_tuples(); ++row) {
       std::vector<Tuple> versions = repairer.RepairMultiVersion(relation->tuple(row));
@@ -171,7 +228,7 @@ int Run(const Args& args) {
     Status st = repairer.Init();
     if (!st.ok()) {
       std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
-      return 1;
+      return kExitRuntimeFailure;
     }
     repairer.RepairRelation(&repaired);
     stats = repairer.stats();
@@ -180,7 +237,7 @@ int Run(const Args& args) {
     Status st = repairer.Init();
     if (!st.ok()) {
       std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
-      return 1;
+      return kExitRuntimeFailure;
     }
     repairer.RepairRelation(&repaired);
     stats = repairer.stats();
@@ -191,7 +248,7 @@ int Run(const Args& args) {
   Status st = repaired.ToCsvFile(args.output_path);
   if (!st.ok()) {
     std::fprintf(stderr, "error writing output: %s\n", st.ToString().c_str());
-    return 1;
+    return kExitRuntimeFailure;
   }
 
   std::string summary;
@@ -225,7 +282,7 @@ int Run(const Args& args) {
     }
     if (!report) {
       std::fprintf(stderr, "error writing report to %s\n", args.report_path.c_str());
-      return 1;
+      return kExitRuntimeFailure;
     }
     std::printf("report written to %s\n", args.report_path.c_str());
   }
@@ -237,7 +294,7 @@ int Run(const Args& args) {
     if (!out) {
       std::fprintf(stderr, "error writing metrics to %s\n",
                    args.metrics_json_path.c_str());
-      return 1;
+      return kExitRuntimeFailure;
     }
     std::printf("metrics written to %s (%zu counters, %zu timers)\n",
                 args.metrics_json_path.c_str(), snapshot.counters.size(),
@@ -257,7 +314,7 @@ int main(int argc, char** argv) {
   detective::Args args;
   if (!detective::ParseArgs(argc, argv, &args)) {
     detective::PrintUsage();
-    return 64;
+    return detective::kExitUsage;
   }
   return detective::Run(args);
 }

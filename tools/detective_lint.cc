@@ -1,0 +1,136 @@
+// detective_lint: static analyzer for detective-rule sets.
+//
+//   detective_lint --kb=yago.nt --rules=nobel.dr [--json=DIAG.json]
+//                  [--fail-on=error|warning|never] [--no-edge-support]
+//
+// Analyzes the rule set against the KB schema without touching any data
+// (docs/static_analysis.md): conflicting rule pairs, oscillation cycles,
+// KB-unsupported vocabulary, and unsatisfiable patterns. Prints the report
+// most-severe-first and exits non-zero when findings reach the --fail-on
+// threshold, so CI can gate rule-set changes.
+//
+// Exit codes: 0 clean (below threshold), 1 load failure, 3 findings at or
+// above the threshold, 64 usage.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "analysis/rule_lint.h"
+#include "common/string_util.h"
+#include "core/rule_io.h"
+#include "kb/ntriples_parser.h"
+
+namespace detective {
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitLoadFailure = 1;
+constexpr int kExitFindings = 3;
+constexpr int kExitUsage = 64;
+
+struct Args {
+  std::string kb_path;
+  std::string rules_path;
+  std::string json_path;
+  std::string fail_on = "error";
+  bool edge_support = true;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: detective_lint --kb=KB.nt --rules=RULES.dr [--json=DIAG.json]\n"
+      "                      [--fail-on=error|warning|never] [--no-edge-support]\n\n"
+      "  --kb               RDF knowledge base (N-Triples subset; a .tsv\n"
+      "                     extension selects tab-separated triples)\n"
+      "  --rules            detective rules in the rule DSL\n"
+      "  --json             write the diagnostics report as JSON\n"
+      "  --fail-on          lowest severity that makes the exit code %d\n"
+      "                     (default: error)\n"
+      "  --no-edge-support  skip the KB joint-support probes (vocabulary\n"
+      "                     checks only; faster on very large KBs)\n",
+      kExitFindings);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto take = [&](std::string_view name, std::string* out) {
+      std::string prefix = std::string("--") + std::string(name) + "=";
+      if (StartsWith(arg, prefix)) {
+        *out = std::string(arg.substr(prefix.size()));
+        return true;
+      }
+      return false;
+    };
+    if (take("kb", &args->kb_path) || take("rules", &args->rules_path) ||
+        take("json", &args->json_path) || take("fail-on", &args->fail_on)) {
+      continue;
+    }
+    if (arg == "--no-edge-support") {
+      args->edge_support = false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (args->kb_path.empty() || args->rules_path.empty()) return false;
+  if (args->fail_on != "error" && args->fail_on != "warning" &&
+      args->fail_on != "never") {
+    std::fprintf(stderr, "--fail-on must be 'error', 'warning', or 'never'\n");
+    return false;
+  }
+  return true;
+}
+
+int Run(const Args& args) {
+  auto kb = LoadKbFile(args.kb_path);
+  if (!kb.ok()) {
+    std::fprintf(stderr, "error loading KB: %s\n", kb.status().ToString().c_str());
+    return kExitLoadFailure;
+  }
+
+  auto rules = ParseRulesFile(args.rules_path);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "error loading rules: %s\n",
+                 rules.status().ToString().c_str());
+    return kExitLoadFailure;
+  }
+
+  analysis::LintOptions options;
+  options.check_edge_support = args.edge_support;
+  analysis::DiagnosticReport report = analysis::LintRules(*rules, *kb, options);
+  report.SortBySeverity();
+
+  std::printf("%s: %zu rules against %s\n%s\n", args.rules_path.c_str(),
+              rules->size(), args.kb_path.c_str(), report.ToString().c_str());
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path, std::ios::trunc);
+    out << report.ToJson();
+    if (!out) {
+      std::fprintf(stderr, "error writing diagnostics to %s\n",
+                   args.json_path.c_str());
+      return kExitLoadFailure;
+    }
+    std::printf("diagnostics written to %s\n", args.json_path.c_str());
+  }
+
+  bool failed = (args.fail_on == "error" && report.errors() > 0) ||
+                (args.fail_on == "warning" &&
+                 report.errors() + report.warnings() > 0);
+  return failed ? kExitFindings : kExitClean;
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  detective::Args args;
+  if (!detective::ParseArgs(argc, argv, &args)) {
+    detective::PrintUsage();
+    return detective::kExitUsage;
+  }
+  return detective::Run(args);
+}
