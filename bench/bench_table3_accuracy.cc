@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   bench::PrintHeader(
       "Table III: data annotation and repair accuracy",
       "DRs vs KATARA on WebTables / Nobel / UIS x {Yago, DBpedia}, e=10%");
+  bench::TraceSession trace_session(argc, argv);
   bench::BenchJsonWriter json("table3_accuracy");
 
   // ---- WebTables (born dirty; per-table evaluation merged) ----

@@ -27,6 +27,10 @@
 // clock, and "counters" any integer-valued extras (work counters, quality
 // tallies scaled to counts — never floats).
 
+// Every binary also accepts --trace-json=<path> (see TraceSession below):
+// when given, the run records the span timeline of common/trace.h and writes
+// it in Chrome trace-event format for chrome://tracing / Perfetto.
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,7 +38,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace detective::bench {
 
@@ -68,6 +74,46 @@ inline std::string FlagString(int argc, char** argv, const char* name,
     }
   }
   return fallback;
+}
+
+/// Wires `--trace-json=PATH` into a bench binary: starts the span recorder
+/// on construction when the flag was given; Finish() (also run by the
+/// destructor) stops recording and writes the Chrome trace-event file.
+class TraceSession {
+ public:
+  TraceSession(int argc, char** argv)
+      : path_(FlagString(argc, argv, "trace-json")) {
+    if (!path_.empty()) trace::Registry::Global().Start();
+  }
+  ~TraceSession() { Finish(); }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  void Finish() {
+    if (path_.empty() || finished_) return;
+    finished_ = true;
+    trace::Registry& tracer = trace::Registry::Global();
+    tracer.Stop();
+    Status status = trace::WriteChromeTraceJson(tracer.Collect(), path_);
+    if (status.ok()) {
+      std::printf("trace written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+  bool finished_ = false;
+};
+
+/// Exact per-phase counter deltas: call once to open a measurement epoch
+/// (discarding what came before) and again after the phase to collect what
+/// it recorded. Registry::SnapshotAndReset drains cells atomically, so a
+/// count lands in exactly one epoch even if worker threads race the call.
+inline std::map<std::string, uint64_t> DrainCounters() {
+  return metrics::Registry::Global().SnapshotAndReset().counters;
 }
 
 inline void PrintHeader(const char* title, const char* subtitle) {

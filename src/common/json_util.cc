@@ -1,0 +1,120 @@
+#include "common/json_util.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace detective {
+
+void JsonCursor::SkipWs() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+Status JsonCursor::Expect(char c) {
+  SkipWs();
+  if (pos_ >= text_.size() || text_[pos_] != c) {
+    return Status::InvalidArgument("json: expected '", std::string(1, c),
+                                   "' at offset ", std::to_string(pos_));
+  }
+  ++pos_;
+  return Status::OK();
+}
+
+bool JsonCursor::TryConsume(char c) {
+  SkipWs();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool JsonCursor::Peek(char c) {
+  SkipWs();
+  return pos_ < text_.size() && text_[pos_] == c;
+}
+
+Result<std::string> JsonCursor::TakeString() {
+  RETURN_NOT_OK(Expect('"'));
+  std::string out;
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    char c = text_[pos_++];
+    if (c == '\\') {
+      if (pos_ >= text_.size()) break;
+      char escaped = text_[pos_++];
+      switch (escaped) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("json: truncated \\u escape");
+          }
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return Status::InvalidArgument("json: bad \\u escape");
+            }
+            value = value * 16 +
+                    static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(h))
+                                              ? h - '0'
+                                              : std::tolower(h) - 'a' + 10);
+          }
+          if (value > 0x7f) {
+            return Status::InvalidArgument("json: non-ASCII \\u escape unsupported");
+          }
+          out.push_back(static_cast<char>(value));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("json: unsupported escape '\\",
+                                         std::string(1, escaped), "'");
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (pos_ >= text_.size()) {
+    return Status::InvalidArgument("json: unterminated string");
+  }
+  ++pos_;  // closing quote
+  return out;
+}
+
+Result<uint64_t> JsonCursor::TakeUint() {
+  SkipWs();
+  size_t start = pos_;
+  while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+  if (pos_ == start) {
+    return Status::InvalidArgument("json: expected integer at offset ",
+                                   std::to_string(start));
+  }
+  uint64_t value = 0;
+  for (size_t i = start; i < pos_; ++i) {
+    uint64_t digit = static_cast<uint64_t>(text_[i] - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("json: integer overflow");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+Status JsonCursor::ExpectEnd() {
+  SkipWs();
+  if (pos_ != text_.size()) {
+    return Status::InvalidArgument("json: trailing content at offset ",
+                                   std::to_string(pos_));
+  }
+  return Status::OK();
+}
+
+}  // namespace detective

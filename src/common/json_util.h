@@ -1,0 +1,63 @@
+#ifndef DETECTIVE_COMMON_JSON_UTIL_H_
+#define DETECTIVE_COMMON_JSON_UTIL_H_
+
+// Minimal JSON reading shared by the tree's machine-readable formats
+// (metrics snapshots, provenance JSONL, trace files in tests). This is a
+// schema reader, not a general JSON library: it supports exactly the
+// constructs our writers emit (AppendJsonString escapes, unsigned integers,
+// objects/arrays navigated by the caller), and rejects everything else.
+//
+// Writers stay hand-rolled (AppendJsonString in string_util.h); readers
+// build on JsonCursor:
+//
+//   JsonCursor cursor(text);
+//   RETURN_NOT_OK(cursor.Expect('{'));
+//   ASSIGN_OR_RETURN(std::string key, cursor.TakeString());
+//   ...
+//   RETURN_NOT_OK(cursor.ExpectEnd());
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace detective {
+
+/// Cursor over a JSON document; every Take*/Expect consumes leading
+/// whitespace first. Methods fail with InvalidArgument naming the offset.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  /// Consumes `c` or fails.
+  Status Expect(char c);
+
+  /// Consumes `c` if it is next; returns whether it did.
+  bool TryConsume(char c);
+
+  /// True iff `c` is the next non-whitespace character (nothing consumed).
+  bool Peek(char c);
+
+  /// Double-quoted string with the escapes AppendJsonString emits
+  /// (\" \\ and ASCII \uXXXX).
+  Result<std::string> TakeString();
+
+  /// Non-negative base-10 integer.
+  Result<uint64_t> TakeUint();
+
+  /// Fails unless only trailing whitespace remains.
+  Status ExpectEnd();
+
+  /// Offset of the next unconsumed character.
+  size_t position() const { return pos_; }
+
+ private:
+  void SkipWs();
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_JSON_UTIL_H_

@@ -1,8 +1,9 @@
 #include "common/metrics.h"
 
-#include <cctype>
-#include <sstream>
+#include <algorithm>
+#include <cmath>
 
+#include "common/json_util.h"
 #include "common/string_util.h"
 
 namespace detective::metrics {
@@ -19,129 +20,21 @@ MetricsSnapshot::Timer MetricsSnapshot::timer(std::string_view name) const {
   return it == timers.end() ? Timer{} : it->second;
 }
 
-namespace {
-
-/// Cursor over a JSON document; every Take* consumes leading whitespace.
-/// Only the constructs ToJson() emits are supported — this is a schema
-/// reader, not a general JSON library.
-class JsonCursor {
- public:
-  explicit JsonCursor(std::string_view text) : text_(text) {}
-
-  Status Expect(char c) {
-    SkipWs();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return Status::InvalidArgument("metrics JSON: expected '", std::string(1, c),
-                                     "' at offset ", std::to_string(pos_));
-    }
-    ++pos_;
-    return Status::OK();
+uint64_t MetricsSnapshot::Timer::PercentileNs(double p) const {
+  uint64_t recorded = 0;
+  for (uint64_t b : buckets) recorded += b;
+  if (recorded == 0) return 0;  // no histogram data (legacy source or empty)
+  p = std::clamp(p, 0.0, 1.0);
+  // 1-based rank of the quantile scope among the recorded ones.
+  auto rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(recorded)));
+  rank = std::clamp<uint64_t>(rank, 1, recorded);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return HistogramBucketUpperNs(i);
   }
-
-  bool TryConsume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<std::string> TakeString() {
-    RETURN_NOT_OK(Expect('"'));
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        char escaped = text_[pos_++];
-        switch (escaped) {
-          case '"':
-            out.push_back('"');
-            break;
-          case '\\':
-            out.push_back('\\');
-            break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              return Status::InvalidArgument("metrics JSON: truncated \\u escape");
-            }
-            unsigned value = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              if (!std::isxdigit(static_cast<unsigned char>(h))) {
-                return Status::InvalidArgument("metrics JSON: bad \\u escape");
-              }
-              value = value * 16 +
-                      static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(h))
-                                                ? h - '0'
-                                                : std::tolower(h) - 'a' + 10);
-            }
-            if (value > 0x7f) {
-              return Status::InvalidArgument(
-                  "metrics JSON: non-ASCII \\u escape unsupported");
-            }
-            out.push_back(static_cast<char>(value));
-            break;
-          }
-          default:
-            return Status::InvalidArgument("metrics JSON: unsupported escape '\\",
-                                           std::string(1, escaped), "'");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("metrics JSON: unterminated string");
-    }
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  Result<uint64_t> TakeUint() {
-    SkipWs();
-    size_t start = pos_;
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      return Status::InvalidArgument("metrics JSON: expected integer at offset ",
-                                     std::to_string(start));
-    }
-    uint64_t value = 0;
-    for (size_t i = start; i < pos_; ++i) {
-      uint64_t digit = static_cast<uint64_t>(text_[i] - '0');
-      if (value > (UINT64_MAX - digit) / 10) {
-        return Status::InvalidArgument("metrics JSON: integer overflow");
-      }
-      value = value * 10 + digit;
-    }
-    return value;
-  }
-
-  Status ExpectEnd() {
-    SkipWs();
-    if (pos_ != text_.size()) {
-      return Status::InvalidArgument("metrics JSON: trailing content at offset ",
-                                     std::to_string(pos_));
-    }
-    return Status::OK();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
+  return HistogramBucketUpperNs(buckets.size() - 1);
+}
 
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{\n  \"counters\": {";
@@ -164,7 +57,21 @@ std::string MetricsSnapshot::ToJson() const {
     out += std::to_string(timer.count);
     out += ", \"total_ns\": ";
     out += std::to_string(timer.total_ns);
-    out += "}";
+    out += ", \"p50_ns\": ";
+    out += std::to_string(timer.p50_ns());
+    out += ", \"p95_ns\": ";
+    out += std::to_string(timer.p95_ns());
+    out += ", \"p99_ns\": ";
+    out += std::to_string(timer.p99_ns());
+    out += ", \"buckets\": {";
+    bool first_bucket = true;
+    for (size_t i = 0; i < timer.buckets.size(); ++i) {
+      if (timer.buckets[i] == 0) continue;
+      out += first_bucket ? "" : ", ";
+      first_bucket = false;
+      out += "\"" + std::to_string(i) + "\": " + std::to_string(timer.buckets[i]);
+    }
+    out += "}}";
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;
@@ -210,11 +117,35 @@ Result<MetricsSnapshot> MetricsSnapshot::FromJson(std::string_view json) {
             do {
               ASSIGN_OR_RETURN(std::string field, cursor.TakeString());
               RETURN_NOT_OK(cursor.Expect(':'));
+              if (field == "buckets") {
+                RETURN_NOT_OK(cursor.Expect('{'));
+                if (!cursor.TryConsume('}')) {
+                  do {
+                    ASSIGN_OR_RETURN(std::string index_text, cursor.TakeString());
+                    JsonCursor index_cursor(index_text);
+                    ASSIGN_OR_RETURN(uint64_t index, index_cursor.TakeUint());
+                    RETURN_NOT_OK(index_cursor.ExpectEnd());
+                    if (index >= kNumHistogramBuckets) {
+                      return Status::InvalidArgument(
+                          "metrics JSON: bucket index out of range: ", index_text);
+                    }
+                    RETURN_NOT_OK(cursor.Expect(':'));
+                    ASSIGN_OR_RETURN(uint64_t bucket_count, cursor.TakeUint());
+                    timer.buckets[index] = bucket_count;
+                  } while (cursor.TryConsume(','));
+                  RETURN_NOT_OK(cursor.Expect('}'));
+                }
+                continue;
+              }
               ASSIGN_OR_RETURN(uint64_t value, cursor.TakeUint());
               if (field == "count") {
                 timer.count = value;
               } else if (field == "total_ns") {
                 timer.total_ns = value;
+              } else if (field == "p50_ns" || field == "p95_ns" ||
+                         field == "p99_ns") {
+                // Derived from `buckets` at serialization time; accepted for
+                // round-trip compatibility but not stored.
               } else {
                 return Status::InvalidArgument("metrics JSON: unknown timer field \"",
                                                field, "\"");
@@ -248,6 +179,7 @@ void Shard::AddTimer(uint32_t id, uint64_t ns) {
   TimerCell& cell = timers_[id];
   cell.count.fetch_add(1, std::memory_order_relaxed);
   cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  cell.buckets[HistogramBucket(ns)].fetch_add(1, std::memory_order_relaxed);
 }
 
 void Shard::EnsureCounter(uint32_t id) {
@@ -303,6 +235,9 @@ void Registry::MergeShardLocked(const Shard& shard, MetricsSnapshot* out) const 
     MetricsSnapshot::Timer& timer = out->timers[timer_names_[id]];
     timer.count += count;
     timer.total_ns += cell.total_ns.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kNumHistogramBuckets; ++b) {
+      timer.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
   }
 }
 
@@ -321,8 +256,40 @@ void Registry::Reset() {
     for (auto& cell : shard->timers_) {
       cell.count.store(0, std::memory_order_relaxed);
       cell.total_ns.store(0, std::memory_order_relaxed);
+      for (auto& bucket : cell.buckets) bucket.store(0, std::memory_order_relaxed);
     }
   }
+}
+
+MetricsSnapshot Registry::SnapshotAndReset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out = std::move(retired_);
+  retired_ = MetricsSnapshot{};
+  for (Shard* shard : shards_) {
+    // Drain, don't read-then-zero: exchange(0) hands each recorded value to
+    // exactly one epoch even while the owning thread keeps writing.
+    for (uint32_t id = 0; id < shard->counters_.size(); ++id) {
+      uint64_t value = shard->counters_[id].exchange(0, std::memory_order_relaxed);
+      if (value != 0) out.counters[counter_names_[id]] += value;
+    }
+    for (uint32_t id = 0; id < shard->timers_.size(); ++id) {
+      Shard::TimerCell& cell = shard->timers_[id];
+      uint64_t count = cell.count.exchange(0, std::memory_order_relaxed);
+      uint64_t total_ns = cell.total_ns.exchange(0, std::memory_order_relaxed);
+      std::array<uint64_t, kNumHistogramBuckets> buckets;
+      bool any_bucket = false;
+      for (size_t b = 0; b < kNumHistogramBuckets; ++b) {
+        buckets[b] = cell.buckets[b].exchange(0, std::memory_order_relaxed);
+        any_bucket = any_bucket || buckets[b] != 0;
+      }
+      if (count == 0 && total_ns == 0 && !any_bucket) continue;
+      MetricsSnapshot::Timer& timer = out.timers[timer_names_[id]];
+      timer.count += count;
+      timer.total_ns += total_ns;
+      for (size_t b = 0; b < kNumHistogramBuckets; ++b) timer.buckets[b] += buckets[b];
+    }
+  }
+  return out;
 }
 
 size_t Registry::num_counters() {

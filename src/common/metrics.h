@@ -29,6 +29,7 @@
 //   DETECTIVE_COUNT_N("matcher.assignments_explored", explored);
 //   DETECTIVE_SCOPED_TIMER("repair.relation");
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -47,12 +48,43 @@
 
 namespace detective::metrics {
 
+/// Fixed log2 histogram buckets per timer. Bucket 0 holds zero-duration
+/// scopes; bucket i (1 <= i < kNumHistogramBuckets-1) holds durations in
+/// [2^(i-1), 2^i) ns; the last bucket absorbs everything above ~2^46 ns.
+inline constexpr size_t kNumHistogramBuckets = 48;
+
+/// Bucket index for a duration (the shared definition: shards and snapshot
+/// percentile math must agree).
+constexpr size_t HistogramBucket(uint64_t ns) {
+  size_t bucket = 0;
+  while (ns != 0 && bucket + 1 < kNumHistogramBuckets) {
+    ns >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+/// Inclusive upper bound of a bucket, the value percentiles report.
+constexpr uint64_t HistogramBucketUpperNs(size_t bucket) {
+  return bucket == 0 ? 0 : (uint64_t{1} << bucket) - 1;
+}
+
 /// A merged, point-in-time view of every counter and timer, detached from
 /// the registry (plain values, safe to copy/serialize).
 struct MetricsSnapshot {
   struct Timer {
     uint64_t count = 0;     // number of timed scopes
     uint64_t total_ns = 0;  // summed wall-clock nanoseconds
+    /// Per-bucket scope counts (log2 widths, see HistogramBucket). Sums to
+    /// `count` unless merged from a source without histograms.
+    std::array<uint64_t, kNumHistogramBuckets> buckets{};
+
+    /// Approximate percentile (upper bound of the bucket holding the
+    /// `p`-quantile scope), 0 when nothing was recorded. p in [0, 1].
+    uint64_t PercentileNs(double p) const;
+    uint64_t p50_ns() const { return PercentileNs(0.50); }
+    uint64_t p95_ns() const { return PercentileNs(0.95); }
+    uint64_t p99_ns() const { return PercentileNs(0.99); }
 
     friend bool operator==(const Timer&, const Timer&) = default;
   };
@@ -67,8 +99,12 @@ struct MetricsSnapshot {
 
   /// Stable JSON encoding:
   ///   {"counters": {"name": 123, ...},
-  ///    "timers": {"name": {"count": 2, "total_ns": 456}, ...}}
+  ///    "timers": {"name": {"count": 2, "total_ns": 456,
+  ///                        "p50_ns": 200, "p95_ns": 255, "p99_ns": 255,
+  ///                        "buckets": {"8": 1, "9": 1}}, ...}}
   /// Keys are sorted (std::map order); values are non-negative integers.
+  /// `buckets` is sparse (zero buckets omitted); the percentile fields are
+  /// derived from it at serialization time.
   std::string ToJson() const;
 
   /// Parses a document produced by ToJson(). Accepts arbitrary whitespace
@@ -93,6 +129,7 @@ class Shard {
   struct TimerCell {
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> total_ns{0};
+    std::array<std::atomic<uint64_t>, kNumHistogramBuckets> buckets{};
   };
 
   // Grown lazily under the registry mutex; std::deque keeps cell addresses
@@ -122,6 +159,13 @@ class Registry {
   /// benchmarks that measure deltas; racing writers may leak a few counts
   /// into the fresh epoch, so quiesce workers first for exact numbers.
   void Reset();
+
+  /// Atomically snapshots and zeroes in one pass under the registry mutex:
+  /// cells are drained with exchange(0), so every recorded count lands in
+  /// exactly one epoch even while writers race — the exact-delta tool
+  /// Reset()'s documented race calls for. Benchmarks bracket a measured
+  /// phase with two calls and use the second result as the phase's delta.
+  MetricsSnapshot SnapshotAndReset();
 
   size_t num_counters();
   size_t num_timers();

@@ -1,10 +1,11 @@
 #include "core/evidence_matcher.h"
 
 #include <algorithm>
-#include <set>
+#include <map>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace detective {
 
@@ -29,6 +30,8 @@ const SignatureIndex& EvidenceMatcher::IndexFor(ClassId type, const Similarity& 
   if (it == indexes_.end()) {
     DETECTIVE_COUNT("matcher.index_builds");
     DETECTIVE_SCOPED_TIMER("matcher.index_build");
+    DETECTIVE_TRACE_SPAN("matcher.index_build",
+                         {"type", static_cast<int64_t>(type.value())});
     auto index = std::make_unique<SignatureIndex>(sim);
     for (ItemId item : kb_.InstancesOf(type)) {
       index->Add(item.value(), kb_.Label(item));
@@ -291,7 +294,8 @@ std::vector<ItemId> EvidenceMatcher::TargetsFor(
 
 std::vector<std::string> EvidenceMatcher::NegativeCorrections(
     const BoundRule& rule, const Tuple& tuple,
-    std::vector<std::pair<ColumnIndex, std::string>>* evidence_normalizations) {
+    std::vector<std::pair<ColumnIndex, std::string>>* evidence_normalizations,
+    NegativeWitness* witness) {
   DETECTIVE_CHECK(rule.usable);
   DETECTIVE_COUNT("matcher.negative_searches");
   const ColumnIndex target_column = rule.nodes[rule.negative].column;
@@ -306,7 +310,8 @@ std::vector<std::string> EvidenceMatcher::NegativeCorrections(
     }
   }
 
-  std::set<std::string> corrections;
+  const bool track_best = evidence_normalizations != nullptr || witness != nullptr;
+  std::map<std::string, ItemId> corrections;  // label -> witnessing x_p
   bool have_witness = false;
   double best_score = -1;
   std::vector<std::string> best_labels;
@@ -327,10 +332,10 @@ std::vector<std::string> EvidenceMatcher::NegativeCorrections(
                  !corrections.contains(label)) {
                break;  // hard cap, even within one assignment
              }
-             corrections.insert(std::move(label));
+             corrections.try_emplace(std::move(label), x_p);
              witnessed = true;
            }
-           if (witnessed && evidence_normalizations != nullptr) {
+           if (witnessed && track_best) {
              // Track the best-scoring witnessing assignment, mirroring
              // BestPositiveMatch, so normalization is order-independent.
              double score = 0;
@@ -366,7 +371,15 @@ std::vector<std::string> EvidenceMatcher::NegativeCorrections(
     }
   }
   DETECTIVE_COUNT_N("matcher.corrections_emitted", corrections.size());
-  return {corrections.begin(), corrections.end()};
+  std::vector<std::string> labels;
+  labels.reserve(corrections.size());
+  for (const auto& [label, item] : corrections) labels.push_back(label);
+  if (witness != nullptr) {
+    witness->assignment = have_witness ? std::move(best_assignment)
+                                       : std::vector<ItemId>{};
+    witness->correction_items = std::move(corrections);
+  }
+  return labels;
 }
 
 void EvidenceMatcher::ClearMemo() { memo_.clear(); }

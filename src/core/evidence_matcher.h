@@ -1,6 +1,7 @@
 #ifndef DETECTIVE_CORE_EVIDENCE_MATCHER_H_
 #define DETECTIVE_CORE_EVIDENCE_MATCHER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -33,6 +34,20 @@ struct MatcherOptions {
   /// Cap on distinct corrections gathered from the negative semantics
   /// (multi-version repairs, §IV-C).
   size_t max_corrections = 16;
+};
+
+/// The instance-level witness behind a proof negative, surfaced so repair
+/// provenance can name the evidence (core/provenance.h). Filled by
+/// NegativeCorrections when requested.
+struct NegativeWitness {
+  /// Best-scoring witnessing assignment of the negative side, indexed by
+  /// graph-node position (Invalid outside the negative side). Empty when no
+  /// witness was found.
+  std::vector<ItemId> assignment;
+  /// For every emitted correction label, the KB instance x_p it came from
+  /// (the first witnessing instance, which is deterministic: the search
+  /// enumerates sorted candidate lists).
+  std::map<std::string, ItemId> correction_items;
 };
 
 /// Counters for the efficiency experiments.
@@ -85,10 +100,14 @@ class EvidenceMatcher {
   /// are about to be marked positive, so the repairer standardizes them to
   /// the proven label — otherwise whether a typo gets fixed would depend on
   /// which rule reaches the cell first, breaking Church–Rosser.
+  ///
+  /// When `witness` is non-null it receives the best witnessing assignment
+  /// and the KB instance behind each correction (for provenance capture).
   std::vector<std::string> NegativeCorrections(
       const BoundRule& rule, const Tuple& tuple,
       std::vector<std::pair<ColumnIndex, std::string>>* evidence_normalizations =
-          nullptr);
+          nullptr,
+      NegativeWitness* witness = nullptr);
 
   /// Generic instance-level matching over an arbitrary bound graph: searches
   /// for one assignment of KB items to the nodes in `subset` such that all

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace detective {
 
@@ -13,6 +14,8 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
                                    Relation* relation,
                                    ParallelRepairOptions options) {
   DETECTIVE_SCOPED_TIMER("parallel.repair");
+  DETECTIVE_TRACE_SPAN("parallel.repair",
+                       {"rows", static_cast<int64_t>(relation->num_tuples())});
   size_t threads = options.num_threads;
   if (threads == 0) {
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -27,6 +30,7 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
   if (threads == 1 || relation->num_tuples() == 0) {
     FastRepairer repairer(kb, relation->schema(), rules, options.repair);
     RETURN_NOT_OK(repairer.Init());
+    repairer.engine().set_provenance(options.provenance);
     repairer.RepairRelation(relation);
     return repairer.stats();
   }
@@ -34,6 +38,7 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
   const size_t rows = relation->num_tuples();
   DETECTIVE_COUNT_N("parallel.workers_launched", threads);
   std::vector<RepairStats> stats(threads);
+  std::vector<ProvenanceLog> logs(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
@@ -43,16 +48,28 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
       // Workers record into their own thread-local metric shards; the global
       // snapshot merges them, so instrumented totals match a sequential run.
       DETECTIVE_SCOPED_TIMER("parallel.worker");
+      DETECTIVE_TRACE_SPAN("parallel.worker",
+                           {"rows", static_cast<int64_t>(hi - lo)});
       FastRepairer repairer(kb, relation->schema(), rules, options.repair);
       // Binding was validated above; a failure here would be a logic error.
       repairer.Init().Abort("ParallelRepair worker");
+      if (options.provenance != nullptr) {
+        repairer.engine().set_provenance(&logs[t]);
+      }
       for (size_t row = lo; row < hi; ++row) {
+        repairer.engine().set_current_row(row);
         repairer.RepairTuple(&relation->mutable_tuple(row));
       }
       stats[t] = repairer.stats();
     });
   }
   for (std::thread& worker : workers) worker.join();
+
+  if (options.provenance != nullptr) {
+    // Worker t owns the contiguous row range [lo_t, hi_t), so appending in
+    // worker order reproduces the sequential (ascending-row) record order.
+    for (ProvenanceLog& log : logs) options.provenance->Merge(std::move(log));
+  }
 
   RepairStats merged;
   for (const RepairStats& part : stats) {

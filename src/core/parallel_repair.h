@@ -12,6 +12,10 @@ struct ParallelRepairOptions {
   RepairOptions repair;
   /// 0 = std::thread::hardware_concurrency().
   size_t num_threads = 0;
+  /// Optional provenance sink. Each worker captures into a private log;
+  /// after the join the shards are appended in worker (= ascending row)
+  /// order, so the combined log equals a sequential FastRepairer run's.
+  ProvenanceLog* provenance = nullptr;
 };
 
 /// Repairs `relation` in place with the fast algorithm across threads.

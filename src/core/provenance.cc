@@ -1,0 +1,330 @@
+#include "core/provenance.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+namespace detective {
+
+std::string_view ProvenanceKindName(ProvenanceKind kind) {
+  switch (kind) {
+    case ProvenanceKind::kRepair:
+      return "repair";
+    case ProvenanceKind::kNormalization:
+      return "normalization";
+    case ProvenanceKind::kProofPositive:
+      return "proof_positive";
+  }
+  return "unknown";
+}
+
+Result<ProvenanceKind> ProvenanceKindFromName(std::string_view name) {
+  if (name == "repair") return ProvenanceKind::kRepair;
+  if (name == "normalization") return ProvenanceKind::kNormalization;
+  if (name == "proof_positive") return ProvenanceKind::kProofPositive;
+  return Status::InvalidArgument("unknown provenance kind \"", name, "\"");
+}
+
+// ---- RepairProvenance --------------------------------------------------------
+
+std::string RepairProvenance::ToJson() const {
+  std::string out = "{\"row\": " + std::to_string(row);
+  out += ", \"column_index\": " + std::to_string(column_index);
+  out += ", \"column\": ";
+  AppendJsonString(column, &out);
+  out += ", \"kind\": ";
+  AppendJsonString(ProvenanceKindName(kind), &out);
+  out += ", \"rule\": ";
+  AppendJsonString(rule, &out);
+  out += ", \"round\": " + std::to_string(round);
+  out += ", \"old_value\": ";
+  AppendJsonString(old_value, &out);
+  out += ", \"new_value\": ";
+  AppendJsonString(new_value, &out);
+  out += ", \"bindings\": [";
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    const ProvenanceBinding& binding = bindings[i];
+    out += i == 0 ? "{" : ", {";
+    out += "\"column\": ";
+    AppendJsonString(binding.column, &out);
+    out += ", \"type\": ";
+    AppendJsonString(binding.type, &out);
+    out += ", \"cell_value\": ";
+    AppendJsonString(binding.cell_value, &out);
+    out += ", \"kb_label\": ";
+    AppendJsonString(binding.kb_label, &out);
+    out += ", \"kb_item\": " + std::to_string(binding.kb_item);
+    out += "}";
+  }
+  out += "], \"evidence_edges\": [";
+  for (size_t i = 0; i < evidence_edges.size(); ++i) {
+    const ProvenanceEdge& edge = evidence_edges[i];
+    out += i == 0 ? "{" : ", {";
+    out += "\"subject\": ";
+    AppendJsonString(edge.subject, &out);
+    out += ", \"relation\": ";
+    AppendJsonString(edge.relation, &out);
+    out += ", \"object\": ";
+    AppendJsonString(edge.object, &out);
+    out += "}";
+  }
+  out += "], \"marked_columns\": [";
+  for (size_t i = 0; i < marked_columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJsonString(marked_columns[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+Result<ProvenanceBinding> ParseBinding(JsonCursor* cursor) {
+  ProvenanceBinding binding;
+  RETURN_NOT_OK(cursor->Expect('{'));
+  if (!cursor->TryConsume('}')) {
+    do {
+      ASSIGN_OR_RETURN(std::string field, cursor->TakeString());
+      RETURN_NOT_OK(cursor->Expect(':'));
+      if (field == "kb_item") {
+        ASSIGN_OR_RETURN(binding.kb_item, cursor->TakeUint());
+        continue;
+      }
+      ASSIGN_OR_RETURN(std::string value, cursor->TakeString());
+      if (field == "column") {
+        binding.column = std::move(value);
+      } else if (field == "type") {
+        binding.type = std::move(value);
+      } else if (field == "cell_value") {
+        binding.cell_value = std::move(value);
+      } else if (field == "kb_label") {
+        binding.kb_label = std::move(value);
+      } else {
+        return Status::InvalidArgument("provenance JSON: unknown binding field \"",
+                                       field, "\"");
+      }
+    } while (cursor->TryConsume(','));
+    RETURN_NOT_OK(cursor->Expect('}'));
+  }
+  return binding;
+}
+
+Result<ProvenanceEdge> ParseEdge(JsonCursor* cursor) {
+  ProvenanceEdge edge;
+  RETURN_NOT_OK(cursor->Expect('{'));
+  if (!cursor->TryConsume('}')) {
+    do {
+      ASSIGN_OR_RETURN(std::string field, cursor->TakeString());
+      RETURN_NOT_OK(cursor->Expect(':'));
+      ASSIGN_OR_RETURN(std::string value, cursor->TakeString());
+      if (field == "subject") {
+        edge.subject = std::move(value);
+      } else if (field == "relation") {
+        edge.relation = std::move(value);
+      } else if (field == "object") {
+        edge.object = std::move(value);
+      } else {
+        return Status::InvalidArgument("provenance JSON: unknown edge field \"",
+                                       field, "\"");
+      }
+    } while (cursor->TryConsume(','));
+    RETURN_NOT_OK(cursor->Expect('}'));
+  }
+  return edge;
+}
+
+}  // namespace
+
+Result<RepairProvenance> RepairProvenance::FromJson(std::string_view json) {
+  RepairProvenance record;
+  JsonCursor cursor(json);
+  RETURN_NOT_OK(cursor.Expect('{'));
+  bool saw_row = false;
+  bool saw_column = false;
+  bool saw_kind = false;
+  if (!cursor.TryConsume('}')) {
+    do {
+      ASSIGN_OR_RETURN(std::string field, cursor.TakeString());
+      RETURN_NOT_OK(cursor.Expect(':'));
+      if (field == "row") {
+        ASSIGN_OR_RETURN(record.row, cursor.TakeUint());
+        saw_row = true;
+      } else if (field == "column_index") {
+        ASSIGN_OR_RETURN(uint64_t value, cursor.TakeUint());
+        record.column_index = static_cast<uint32_t>(value);
+      } else if (field == "round") {
+        ASSIGN_OR_RETURN(record.round, cursor.TakeUint());
+      } else if (field == "column") {
+        ASSIGN_OR_RETURN(record.column, cursor.TakeString());
+        saw_column = true;
+      } else if (field == "kind") {
+        ASSIGN_OR_RETURN(std::string name, cursor.TakeString());
+        ASSIGN_OR_RETURN(record.kind, ProvenanceKindFromName(name));
+        saw_kind = true;
+      } else if (field == "rule") {
+        ASSIGN_OR_RETURN(record.rule, cursor.TakeString());
+      } else if (field == "old_value") {
+        ASSIGN_OR_RETURN(record.old_value, cursor.TakeString());
+      } else if (field == "new_value") {
+        ASSIGN_OR_RETURN(record.new_value, cursor.TakeString());
+      } else if (field == "bindings") {
+        RETURN_NOT_OK(cursor.Expect('['));
+        if (!cursor.TryConsume(']')) {
+          do {
+            ASSIGN_OR_RETURN(ProvenanceBinding binding, ParseBinding(&cursor));
+            record.bindings.push_back(std::move(binding));
+          } while (cursor.TryConsume(','));
+          RETURN_NOT_OK(cursor.Expect(']'));
+        }
+      } else if (field == "evidence_edges") {
+        RETURN_NOT_OK(cursor.Expect('['));
+        if (!cursor.TryConsume(']')) {
+          do {
+            ASSIGN_OR_RETURN(ProvenanceEdge edge, ParseEdge(&cursor));
+            record.evidence_edges.push_back(std::move(edge));
+          } while (cursor.TryConsume(','));
+          RETURN_NOT_OK(cursor.Expect(']'));
+        }
+      } else if (field == "marked_columns") {
+        RETURN_NOT_OK(cursor.Expect('['));
+        if (!cursor.TryConsume(']')) {
+          do {
+            ASSIGN_OR_RETURN(std::string name, cursor.TakeString());
+            record.marked_columns.push_back(std::move(name));
+          } while (cursor.TryConsume(','));
+          RETURN_NOT_OK(cursor.Expect(']'));
+        }
+      } else {
+        return Status::InvalidArgument("provenance JSON: unknown field \"", field,
+                                       "\"");
+      }
+    } while (cursor.TryConsume(','));
+    RETURN_NOT_OK(cursor.Expect('}'));
+  }
+  RETURN_NOT_OK(cursor.ExpectEnd());
+  if (!saw_row || !saw_column || !saw_kind) {
+    return Status::InvalidArgument(
+        "provenance JSON: missing required field (row, column, kind)");
+  }
+  return record;
+}
+
+std::string RepairProvenance::ToText() const {
+  std::string out = "row " + std::to_string(row) + ", column \"" + column +
+                    "\" [" + std::string(ProvenanceKindName(kind)) + " by rule " +
+                    rule + ", round " + std::to_string(round) + "]\n";
+  if (kind == ProvenanceKind::kProofPositive) {
+    out += "  value \"" + old_value + "\" proven correct\n";
+  } else {
+    out += "  \"" + old_value + "\" -> \"" + new_value + "\"\n";
+  }
+  if (!bindings.empty()) {
+    out += "  evidence:\n";
+    for (const ProvenanceBinding& binding : bindings) {
+      out += "    ";
+      if (binding.column.empty()) {
+        out += "(existential)";
+      } else {
+        out += binding.column + " = \"" + binding.cell_value + "\"";
+      }
+      out += " matched " + binding.type + " \"" + binding.kb_label +
+             "\" (kb item " + std::to_string(binding.kb_item) + ")\n";
+    }
+  }
+  if (!evidence_edges.empty()) {
+    out += "  kb edges:\n";
+    for (const ProvenanceEdge& edge : evidence_edges) {
+      out += "    \"" + edge.subject + "\" --" + edge.relation + "--> \"" +
+             edge.object + "\"\n";
+    }
+  }
+  if (!marked_columns.empty()) {
+    out += "  marked positive:";
+    for (size_t i = 0; i < marked_columns.size(); ++i) {
+      out += i == 0 ? " " : ", ";
+      out += marked_columns[i];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// ---- ProvenanceLog -----------------------------------------------------------
+
+void ProvenanceLog::Merge(ProvenanceLog&& other) {
+  records_.insert(records_.end(),
+                  std::make_move_iterator(other.records_.begin()),
+                  std::make_move_iterator(other.records_.end()));
+  other.records_.clear();
+}
+
+void ProvenanceLog::Canonicalize() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const RepairProvenance& a, const RepairProvenance& b) {
+                     if (a.row != b.row) return a.row < b.row;
+                     if (a.column_index != b.column_index) {
+                       return a.column_index < b.column_index;
+                     }
+                     return a.round < b.round;
+                   });
+}
+
+std::vector<const RepairProvenance*> ProvenanceLog::ForCell(
+    uint64_t row, std::string_view column) const {
+  std::vector<const RepairProvenance*> out;
+  for (const RepairProvenance& record : records_) {
+    if (record.row != row) continue;
+    if (record.column == column ||
+        std::to_string(record.column_index) == column) {
+      out.push_back(&record);
+    }
+  }
+  return out;
+}
+
+std::string ProvenanceLog::ToJsonLines() const {
+  std::string out;
+  for (const RepairProvenance& record : records_) {
+    out += record.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+Status ProvenanceLog::WriteJsonLines(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  out << ToJsonLines();
+  if (!out) {
+    return Status::IOError("error writing provenance JSONL to ", path);
+  }
+  return Status::OK();
+}
+
+Result<ProvenanceLog> ProvenanceLog::FromJsonLines(std::string_view text) {
+  ProvenanceLog log;
+  size_t line_number = 0;
+  while (!text.empty()) {
+    size_t end = text.find('\n');
+    std::string_view line =
+        end == std::string_view::npos ? text : text.substr(0, end);
+    text = end == std::string_view::npos ? std::string_view{} : text.substr(end + 1);
+    ++line_number;
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    auto record = RepairProvenance::FromJson(line);
+    if (!record.ok()) {
+      return Status::InvalidArgument("provenance JSONL line ",
+                                     std::to_string(line_number), ": ",
+                                     record.status().message());
+    }
+    log.Add(std::move(*record));
+  }
+  return log;
+}
+
+}  // namespace detective

@@ -1,0 +1,137 @@
+#ifndef DETECTIVE_CORE_PROVENANCE_H_
+#define DETECTIVE_CORE_PROVENANCE_H_
+
+// Repair provenance: a machine-readable explanation for every cell a
+// detective rule touches. Each record answers "why did this cell change?"
+// with the rule that fired, the fixpoint round, the instance-level node
+// bindings of the witnessing assignment, and the KB edges those bindings
+// satisfy — the paper's evidence chain (§II-B matching graphs), captured at
+// the moment RuleEngine::Apply commits the change.
+//
+// Records serialize one-per-line as JSON (JSONL) through
+// `detective_clean --explain-json=FILE` and are queried by the
+// `detective_explain` tool; the schema is documented in
+// docs/observability.md. Capture is opt-in (RuleEngine::set_provenance) and
+// costs nothing when no sink is installed.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace detective {
+
+/// What a provenance record explains.
+enum class ProvenanceKind : uint8_t {
+  kRepair = 0,         // the target cell was rewritten (proof negative)
+  kNormalization = 1,  // a fuzzily-matched cell was standardized to its label
+  kProofPositive = 2,  // cells were marked correct, nothing was rewritten
+};
+
+/// Stable wire name ("repair" | "normalization" | "proof_positive").
+std::string_view ProvenanceKindName(ProvenanceKind kind);
+Result<ProvenanceKind> ProvenanceKindFromName(std::string_view name);
+
+/// One rule node of the witnessing assignment: which KB instance the node
+/// matched and, for column-bearing nodes, the cell it matched against.
+struct ProvenanceBinding {
+  std::string column;      // empty for existential (edge-only) nodes
+  std::string type;        // KB class the node ranges over
+  std::string cell_value;  // cell content at match time; empty if no column
+  std::string kb_label;    // label of the matched KB instance
+  uint64_t kb_item = 0;    // its KB item id
+
+  friend bool operator==(const ProvenanceBinding&,
+                         const ProvenanceBinding&) = default;
+};
+
+/// One KB relationship the witnessing assignment satisfies — the actual
+/// evidence edges (subject --relation--> object, by label).
+struct ProvenanceEdge {
+  std::string subject;
+  std::string relation;
+  std::string object;
+
+  friend bool operator==(const ProvenanceEdge&, const ProvenanceEdge&) = default;
+};
+
+/// The full explanation of one rule application's effect on one cell.
+struct RepairProvenance {
+  uint64_t row = 0;            // row of the affected cell
+  uint32_t column_index = 0;   // schema position of the affected cell
+  std::string column;          // schema name of the affected cell
+  ProvenanceKind kind = ProvenanceKind::kRepair;
+  std::string rule;            // name of the rule that fired
+  uint64_t round = 0;          // 1-based fixpoint round of the chase
+  std::string old_value;       // cell content before the change
+  std::string new_value;       // cell content after (== old for proofs)
+  std::vector<ProvenanceBinding> bindings;    // witnessing assignment
+  std::vector<ProvenanceEdge> evidence_edges; // KB edges it satisfies
+  std::vector<std::string> marked_columns;    // columns newly marked positive
+
+  /// One-line JSON object (no interior newlines — JSONL-safe). Schema:
+  ///   {"row": 2, "column_index": 3, "column": "Institution",
+  ///    "kind": "repair", "rule": "phi1", "round": 1,
+  ///    "old_value": "UCL", "new_value": "Pasteur Institute",
+  ///    "bindings": [{"column": "Name", "type": "person",
+  ///                  "cell_value": "Marie Curie", "kb_label": "Marie Curie",
+  ///                  "kb_item": 17}, ...],
+  ///    "evidence_edges": [{"subject": "Marie Curie", "relation": "worksAt",
+  ///                        "object": "Pasteur Institute"}, ...],
+  ///    "marked_columns": ["Institution", "Name"]}
+  std::string ToJson() const;
+
+  /// Parses a ToJson() document. Fields may appear in any order; unknown
+  /// fields are rejected.
+  static Result<RepairProvenance> FromJson(std::string_view json);
+
+  /// Multi-line human-readable rendering (what `detective_explain` prints).
+  std::string ToText() const;
+
+  friend bool operator==(const RepairProvenance&,
+                         const RepairProvenance&) = default;
+};
+
+/// An append-only sequence of provenance records for one relation. Not
+/// thread-safe: ParallelRepair gives each worker a private log and merges
+/// them in row order afterwards.
+class ProvenanceLog {
+ public:
+  void Add(RepairProvenance record) { records_.push_back(std::move(record)); }
+
+  const std::vector<RepairProvenance>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void Clear() { records_.clear(); }
+
+  /// Appends every record of `other` (left in a valid unspecified state).
+  void Merge(ProvenanceLog&& other);
+
+  /// Stable-sorts records by (row, column_index, round) so logs assembled
+  /// from per-worker shards compare equal to a sequential run's log.
+  void Canonicalize();
+
+  /// Records touching one cell, in log order. `column` matches the schema
+  /// name or its decimal index.
+  std::vector<const RepairProvenance*> ForCell(uint64_t row,
+                                               std::string_view column) const;
+
+  /// One ToJson() line per record, each terminated by '\n'.
+  std::string ToJsonLines() const;
+  Status WriteJsonLines(const std::string& path) const;
+
+  /// Parses a ToJsonLines() document (blank lines are skipped).
+  static Result<ProvenanceLog> FromJsonLines(std::string_view text);
+
+  friend bool operator==(const ProvenanceLog&, const ProvenanceLog&) = default;
+
+ private:
+  std::vector<RepairProvenance> records_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_PROVENANCE_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace detective {
 
@@ -66,17 +67,27 @@ RuleEvaluation RuleEngine::Evaluate(uint32_t index, const Tuple& tuple) {
         evaluation.normalizations.emplace_back(node.column, std::move(label));
       }
     }
+    evaluation.witness = std::move(assignment);
     return evaluation;
   }
 
   // Applicability condition (i): a positively marked cell is never changed.
   if (tuple.IsPositive(rule.nodes[rule.negative].column)) return evaluation;
 
-  evaluation.corrections =
-      matcher_->NegativeCorrections(rule, tuple, &evaluation.normalizations);
+  NegativeWitness witness;
+  evaluation.corrections = matcher_->NegativeCorrections(
+      rule, tuple, &evaluation.normalizations,
+      provenance_ != nullptr ? &witness : nullptr);
   if (!evaluation.corrections.empty()) {
     DETECTIVE_COUNT("repair.negative_matches");
     evaluation.action = RuleEvaluation::Action::kRepair;
+    evaluation.witness = std::move(witness.assignment);
+    evaluation.correction_items.reserve(evaluation.corrections.size());
+    for (const std::string& label : evaluation.corrections) {
+      auto it = witness.correction_items.find(label);
+      evaluation.correction_items.push_back(
+          it != witness.correction_items.end() ? it->second : ItemId::Invalid());
+    }
     // Fuzzy-matched evidence cells are about to be marked positive; drop
     // normalizations for cells already proven.
     std::erase_if(evaluation.normalizations, [&](const auto& n) {
@@ -88,12 +99,113 @@ RuleEvaluation RuleEngine::Evaluate(uint32_t index, const Tuple& tuple) {
   return evaluation;
 }
 
+void RuleEngine::RecordProvenance(uint32_t index, const RuleEvaluation& evaluation,
+                                  const Tuple& tuple, size_t correction_index) {
+  const BoundRule& rule = bound_[index];
+  const bool is_repair = evaluation.action == RuleEvaluation::Action::kRepair;
+  DETECTIVE_CHECK(!is_repair || correction_index < evaluation.corrections.size());
+
+  // Extend the witness with the chosen correction instance on the positive
+  // node so the positive side's edges can be reported as evidence too (for
+  // a repair, the witness assigns only the negative side).
+  std::vector<ItemId> assignment = evaluation.witness;
+  assignment.resize(rule.nodes.size(), ItemId::Invalid());
+  if (is_repair && correction_index < evaluation.correction_items.size()) {
+    assignment[rule.positive] = evaluation.correction_items[correction_index];
+  }
+
+  RepairProvenance record;
+  record.row = current_row_;
+  record.round = current_round_;
+  record.rule = rules_[index].name();
+  const ColumnIndex target = rule.nodes[rule.negative].column;
+  record.column_index = target;
+  record.column = schema_.column_name(target);
+  record.old_value = tuple.value(target);
+  if (is_repair) {
+    record.kind = ProvenanceKind::kRepair;
+    record.new_value = evaluation.corrections[correction_index];
+  } else {
+    record.kind = ProvenanceKind::kProofPositive;
+    record.new_value = record.old_value;
+  }
+
+  // The witnessing node bindings (the correction instance on the positive
+  // node is excluded: it is the record's new_value, not matched evidence).
+  for (uint32_t v = 0; v < rule.nodes.size() && v < evaluation.witness.size();
+       ++v) {
+    if (!evaluation.witness[v].valid()) continue;
+    const BoundNode& node = rule.nodes[v];
+    ProvenanceBinding binding;
+    if (!node.IsExistential()) {
+      binding.column = schema_.column_name(node.column);
+      binding.cell_value = tuple.value(node.column);
+    }
+    binding.type = std::string(kb_.ClassName(node.type));
+    binding.kb_label = std::string(kb_.Label(evaluation.witness[v]));
+    binding.kb_item = evaluation.witness[v].value();
+    record.bindings.push_back(std::move(binding));
+  }
+
+  // Every rule edge both of whose endpoints are assigned holds in the KB by
+  // construction of the match — these are the evidence edges.
+  for (const BoundEdge& edge : rule.edges) {
+    if (!assignment[edge.from].valid() || !assignment[edge.to].valid()) continue;
+    record.evidence_edges.push_back(
+        ProvenanceEdge{std::string(kb_.Label(assignment[edge.from])),
+                       std::string(kb_.RelationName(edge.relation)),
+                       std::string(kb_.Label(assignment[edge.to]))});
+  }
+
+  // Columns Apply() is about to mark positive (deduplicated, sorted).
+  for (uint32_t v = 0; v < rule.nodes.size(); ++v) {
+    if (v == rule.negative || rule.nodes[v].IsExistential()) continue;
+    if (!tuple.IsPositive(rule.nodes[v].column)) {
+      record.marked_columns.push_back(schema_.column_name(rule.nodes[v].column));
+    }
+  }
+  std::sort(record.marked_columns.begin(), record.marked_columns.end());
+  record.marked_columns.erase(
+      std::unique(record.marked_columns.begin(), record.marked_columns.end()),
+      record.marked_columns.end());
+
+  // One kNormalization record per cell Apply() will actually standardize,
+  // sharing the primary record's evidence (the same witness justifies both).
+  std::vector<RepairProvenance> normalization_records;
+  for (const auto& [column, label] : evaluation.normalizations) {
+    if (tuple.IsPositive(column) || tuple.value(column) == label) continue;
+    RepairProvenance norm;
+    norm.row = current_row_;
+    norm.round = current_round_;
+    norm.rule = record.rule;
+    norm.kind = ProvenanceKind::kNormalization;
+    norm.column_index = column;
+    norm.column = schema_.column_name(column);
+    norm.old_value = tuple.value(column);
+    norm.new_value = label;
+    norm.bindings = record.bindings;
+    norm.evidence_edges = record.evidence_edges;
+    norm.marked_columns = record.marked_columns;
+    normalization_records.push_back(std::move(norm));
+  }
+
+  provenance_->Add(std::move(record));
+  for (RepairProvenance& norm : normalization_records) {
+    provenance_->Add(std::move(norm));
+  }
+  DETECTIVE_COUNT("provenance.records");
+}
+
 void RuleEngine::Apply(uint32_t index, const RuleEvaluation& evaluation, Tuple* tuple,
                        size_t correction_index) {
   const BoundRule& rule = bound_[index];
   DETECTIVE_CHECK(evaluation.action != RuleEvaluation::Action::kNone);
   ++stats_.rule_applications;
   DETECTIVE_COUNT("repair.rule_applications");
+  if (provenance_ != nullptr) {
+    // Capture before any mutation: records hold pre-change values/marks.
+    RecordProvenance(index, evaluation, *tuple, correction_index);
+  }
 
   if (evaluation.action == RuleEvaluation::Action::kRepair) {
     DETECTIVE_CHECK_LT(correction_index, evaluation.corrections.size());
@@ -139,9 +251,10 @@ namespace {
 /// the branch left off, looping until stable (fast algorithm).
 void MultiVersionChase(RuleEngine& engine, const std::vector<uint32_t>& check_order,
                        size_t max_versions, Tuple tuple, std::vector<char> applied,
-                       std::vector<Tuple>* out) {
+                       std::vector<Tuple>* out, size_t round = 0) {
   while (true) {
     DETECTIVE_COUNT("repair.chase_rounds");
+    engine.set_current_round(++round);
     bool fired = false;
     for (uint32_t index : check_order) {
       if (applied[index]) continue;
@@ -155,9 +268,10 @@ void MultiVersionChase(RuleEngine& engine, const std::vector<uint32_t>& check_or
         for (size_t c = 0; c < evaluation.corrections.size(); ++c) {
           if (out->size() >= max_versions) break;
           Tuple branch = tuple;
+          engine.set_current_round(round);  // recursion may have moved it
           engine.Apply(index, evaluation, &branch, c);
           MultiVersionChase(engine, check_order, max_versions, std::move(branch),
-                            applied, out);
+                            applied, out, round);
         }
         return;
       }
@@ -167,6 +281,7 @@ void MultiVersionChase(RuleEngine& engine, const std::vector<uint32_t>& check_or
     }
     if (!fired) {
       DETECTIVE_COUNT("repair.versions_emitted");
+      DETECTIVE_TRACE_INSTANT("repair.version_emitted");
       out->push_back(std::move(tuple));
       return;
     }
@@ -187,8 +302,10 @@ void BasicRepairer::RepairTuple(Tuple* tuple) {
   std::vector<char> applied(engine_.num_rules(), 0);
   // Algorithm 1: pick any applicable rule, apply, and rescan; every rule is
   // used at most once, so at most |Σ| iterations of the outer loop.
+  size_t round = 0;
   while (true) {
     DETECTIVE_COUNT("repair.chase_rounds");
+    engine_.set_current_round(++round);
     bool fired = false;
     for (uint32_t index = 0; index < engine_.num_rules(); ++index) {
       if (applied[index]) continue;
@@ -205,7 +322,11 @@ void BasicRepairer::RepairTuple(Tuple* tuple) {
 
 void BasicRepairer::RepairRelation(Relation* relation) {
   DETECTIVE_SCOPED_TIMER("repair.relation");
+  DETECTIVE_TRACE_SPAN(
+      "repair.relation",
+      {"rows", static_cast<int64_t>(relation->num_tuples())});
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    engine_.set_current_row(row);
     RepairTuple(&relation->mutable_tuple(row));
   }
 }
@@ -247,6 +368,7 @@ void FastRepairer::RepairTuple(Tuple* tuple) {
   // One forward sweep in topological order. Rules sharing a dependency
   // cycle live in one SCC; those are re-swept locally until stable.
   const std::vector<uint32_t>& components = rule_graph_->ComponentOf();
+  size_t round = 0;
   size_t i = 0;
   while (i < check_order_.size()) {
     // The component block [i, j).
@@ -262,6 +384,7 @@ void FastRepairer::RepairTuple(Tuple* tuple) {
     bool stable = false;
     while (!stable) {
       DETECTIVE_COUNT("repair.chase_rounds");
+      engine_.set_current_round(++round);
       stable = true;
       for (size_t k = i; k < j; ++k) {
         uint32_t index = check_order_[k];
@@ -281,7 +404,11 @@ void FastRepairer::RepairTuple(Tuple* tuple) {
 
 void FastRepairer::RepairRelation(Relation* relation) {
   DETECTIVE_SCOPED_TIMER("repair.relation");
+  DETECTIVE_TRACE_SPAN(
+      "repair.relation",
+      {"rows", static_cast<int64_t>(relation->num_tuples())});
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    engine_.set_current_row(row);
     RepairTuple(&relation->mutable_tuple(row));
   }
 }

@@ -7,6 +7,7 @@
 
 #include "core/bound_rule.h"
 #include "core/evidence_matcher.h"
+#include "core/provenance.h"
 #include "core/rule_graph.h"
 #include "kb/knowledge_base.h"
 #include "relation/relation.h"
@@ -51,6 +52,14 @@ struct RuleEvaluation {
   /// positive-side cells) and for kRepair (evidence cells), so a cell is
   /// never marked positive while holding an unproven spelling.
   std::vector<std::pair<ColumnIndex, std::string>> normalizations;
+  /// Witnessing instance-level assignment, indexed by rule-node position
+  /// (Invalid where unassigned): the positive side's best assignment for
+  /// kProofPositive, the best negative-side witness for kRepair. What
+  /// provenance capture reports as evidence.
+  std::vector<ItemId> witness;
+  /// For kRepair: the KB instance whose label is corrections[i] (parallel
+  /// to `corrections`).
+  std::vector<ItemId> correction_items;
 };
 
 /// Shared rule-evaluation engine: binds a rule set to a (schema, KB) pair
@@ -87,7 +96,25 @@ class RuleEngine {
   RepairStats& stats() { return stats_; }
   const RepairStats& stats() const { return stats_; }
 
+  /// Installs a provenance sink: every subsequent Apply() records one
+  /// explainable entry per cell change / proof (core/provenance.h). The log
+  /// must outlive the engine or be unset; nullptr disables capture (the
+  /// default — capture then costs nothing).
+  void set_provenance(ProvenanceLog* log) { provenance_ = log; }
+  ProvenanceLog* provenance() const { return provenance_; }
+
+  /// Row / fixpoint-round context stamped onto captured records. The chase
+  /// drivers set the round; relation-level loops set the row.
+  void set_current_row(size_t row) { current_row_ = row; }
+  void set_current_round(size_t round) { current_round_ = round; }
+
  private:
+  /// Builds the provenance records for applying `evaluation` to `tuple`.
+  /// Must run before the tuple is mutated (records capture pre-change cell
+  /// values and marks).
+  void RecordProvenance(uint32_t index, const RuleEvaluation& evaluation,
+                        const Tuple& tuple, size_t correction_index);
+
   const KnowledgeBase& kb_;
   Schema schema_;
   std::vector<DetectiveRule> rules_;
@@ -95,6 +122,9 @@ class RuleEngine {
   std::unique_ptr<EvidenceMatcher> matcher_;
   std::vector<BoundRule> bound_;
   RepairStats stats_;
+  ProvenanceLog* provenance_ = nullptr;
+  size_t current_row_ = 0;
+  size_t current_round_ = 0;
 };
 
 /// Algorithm 1 (bRepair): chase to fixpoint by rescanning the rule set for

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace detective {
 
@@ -210,6 +211,8 @@ ItemId KbBuilder::FindEntity(std::string_view label) const {
 
 Status KbBuilder::FreezeInto(KnowledgeBase* out) && {
   DETECTIVE_SCOPED_TIMER("kb.freeze");
+  DETECTIVE_TRACE_SPAN("kb.freeze",
+                       {"items", static_cast<int64_t>(kb_.items_.size())});
   const size_t num_classes = kb_.classes_.size();
 
   // Ancestor closure by DFS with cycle detection (0 = white, 1 = on stack,

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "text/tokenizer.h"
 
 namespace detective {
@@ -58,6 +59,8 @@ void SignatureIndex::Add(uint32_t id, std::string_view value) {
 void SignatureIndex::Build() {
   DETECTIVE_CHECK(!built_) << "Build called twice";
   DETECTIVE_SCOPED_TIMER("sigindex.build");
+  DETECTIVE_TRACE_SPAN("sigindex.build",
+                       {"entries", static_cast<int64_t>(entries_.size())});
   DETECTIVE_COUNT_N("sigindex.entries_indexed", entries_.size());
   built_ = true;
   switch (similarity_.kind()) {

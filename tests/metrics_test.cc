@@ -169,5 +169,120 @@ TEST_F(MetricsTest, FromJsonRejectsMalformedDocuments) {
   EXPECT_FALSE(MetricsSnapshot::FromJson("{\"counters\": {}} x").ok());
 }
 
+TEST(HistogramMathTest, BucketIndexAndUpperBoundsAgree) {
+  EXPECT_EQ(HistogramBucket(0), 0u);
+  EXPECT_EQ(HistogramBucket(1), 1u);
+  EXPECT_EQ(HistogramBucket(2), 2u);
+  EXPECT_EQ(HistogramBucket(3), 2u);
+  EXPECT_EQ(HistogramBucket(4), 3u);
+  EXPECT_EQ(HistogramBucket(UINT64_MAX), kNumHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketUpperNs(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperNs(1), 1u);
+  EXPECT_EQ(HistogramBucketUpperNs(2), 3u);
+  EXPECT_EQ(HistogramBucketUpperNs(3), 7u);
+  // Every duration is <= the upper bound of its own bucket and > the upper
+  // bound of the previous one (the invariant percentile reporting rests on).
+  for (uint64_t ns : {uint64_t{1}, uint64_t{100}, uint64_t{4096},
+                      uint64_t{1} << 30}) {
+    size_t bucket = HistogramBucket(ns);
+    EXPECT_LE(ns, HistogramBucketUpperNs(bucket)) << ns;
+    EXPECT_GT(ns, HistogramBucketUpperNs(bucket - 1)) << ns;
+  }
+}
+
+TEST(HistogramMathTest, PercentilesReportBucketUpperBounds) {
+  MetricsSnapshot::Timer timer;
+  EXPECT_EQ(timer.PercentileNs(0.5), 0u);  // empty timer
+
+  // Four scopes: 0ns, 1ns, 100ns, ~1ms. Ranks are ceil(p * count).
+  for (uint64_t ns : {uint64_t{0}, uint64_t{1}, uint64_t{100}, uint64_t{1} << 20}) {
+    ++timer.buckets[HistogramBucket(ns)];
+    ++timer.count;
+    timer.total_ns += ns;
+  }
+  EXPECT_EQ(timer.PercentileNs(0.25), 0u);
+  EXPECT_EQ(timer.p50_ns(), HistogramBucketUpperNs(HistogramBucket(1)));
+  EXPECT_EQ(timer.p95_ns(), HistogramBucketUpperNs(HistogramBucket(uint64_t{1} << 20)));
+  EXPECT_EQ(timer.p99_ns(), timer.p95_ns());
+  EXPECT_EQ(timer.PercentileNs(1.0), timer.p95_ns());
+}
+
+#if DETECTIVE_METRICS_ENABLED
+
+TEST_F(MetricsTest, TimerScopesLandInHistogramBuckets) {
+  Registry& registry = Registry::Global();
+  uint32_t id = registry.TimerId("test.hist.timer");
+  ThisThreadShard().AddTimer(id, 0);
+  ThisThreadShard().AddTimer(id, 100);
+  ThisThreadShard().AddTimer(id, 100);
+  ThisThreadShard().AddTimer(id, uint64_t{1} << 20);
+
+  MetricsSnapshot::Timer timer =
+      registry.Snapshot().timer("test.hist.timer");
+  EXPECT_EQ(timer.count, 4u);
+  EXPECT_EQ(timer.buckets[0], 1u);
+  EXPECT_EQ(timer.buckets[HistogramBucket(100)], 2u);
+  EXPECT_EQ(timer.buckets[HistogramBucket(uint64_t{1} << 20)], 1u);
+  uint64_t sum = 0;
+  for (uint64_t b : timer.buckets) sum += b;
+  EXPECT_EQ(sum, timer.count);
+  EXPECT_EQ(timer.p50_ns(), HistogramBucketUpperNs(HistogramBucket(100)));
+}
+
+TEST_F(MetricsTest, HistogramSurvivesJsonRoundTrip) {
+  uint32_t id = Registry::Global().TimerId("test.hist.json");
+  ThisThreadShard().AddTimer(id, 7);
+  ThisThreadShard().AddTimer(id, 3000);
+  MetricsSnapshot live = Registry::Global().Snapshot();
+
+  std::string json = live.ToJson();
+  // The percentile fields are derived and emitted for consumers.
+  EXPECT_NE(json.find("\"p50_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+
+  Result<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->timer("test.hist.json").buckets,
+            live.timer("test.hist.json").buckets);
+  EXPECT_EQ(*parsed, live);
+}
+
+TEST_F(MetricsTest, SnapshotAndResetDrainsExactlyOnce) {
+  DETECTIVE_COUNT_N("test.sar.counter", 5);
+  uint32_t id = Registry::Global().TimerId("test.sar.timer");
+  ThisThreadShard().AddTimer(id, 100);
+
+  MetricsSnapshot first = Registry::Global().SnapshotAndReset();
+  EXPECT_EQ(first.counter("test.sar.counter"), 5u);
+  EXPECT_EQ(first.timer("test.sar.timer").count, 1u);
+  EXPECT_EQ(first.timer("test.sar.timer").buckets[HistogramBucket(100)], 1u);
+
+  // The first call drained everything: a second snapshot starts from zero.
+  MetricsSnapshot second = Registry::Global().SnapshotAndReset();
+  EXPECT_EQ(second.counter("test.sar.counter"), 0u);
+  EXPECT_EQ(second.timer("test.sar.timer").count, 0u);
+}
+
+// The exactness property Reset() cannot give: with a writer racing the
+// drain, every increment lands in exactly one epoch, so the epoch deltas
+// sum to the true total with nothing lost or double-counted.
+TEST_F(MetricsTest, SnapshotAndResetEpochsSumExactlyUnderRacingWriter) {
+  constexpr uint64_t kTotal = 200000;
+  std::thread writer([] {
+    for (uint64_t i = 0; i < kTotal; ++i) DETECTIVE_COUNT("test.sar.race");
+  });
+  uint64_t sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    sum += Registry::Global().SnapshotAndReset().counter("test.sar.race");
+  }
+  writer.join();
+  sum += Registry::Global().SnapshotAndReset().counter("test.sar.race");
+  EXPECT_EQ(sum, kTotal);
+}
+
+#endif  // DETECTIVE_METRICS_ENABLED
+
 }  // namespace
 }  // namespace detective::metrics

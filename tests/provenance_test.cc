@@ -1,0 +1,217 @@
+// Tests for core/provenance: capture during repair (every cell change gets
+// an explainable record naming the rule and KB evidence), determinism under
+// ParallelRepair, the JSONL round-trip, and cell lookup.
+
+#include "core/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/parallel_repair.h"
+#include "core/repair.h"
+#include "datagen/uis_gen.h"
+#include "test_fixtures.h"
+
+namespace detective {
+namespace {
+
+ProvenanceLog CaptureSequential(const KnowledgeBase& kb,
+                                const std::vector<DetectiveRule>& rules,
+                                Relation* relation) {
+  ProvenanceLog log;
+  FastRepairer repairer(kb, relation->schema(), rules);
+  EXPECT_TRUE(repairer.Init().ok());
+  repairer.engine().set_provenance(&log);
+  repairer.RepairRelation(relation);
+  return log;
+}
+
+TEST(ProvenanceTest, EveryRepairedCellGetsARecordWithKbEvidence) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+  Relation before = testing::BuildTableI();
+  Relation repaired = before;
+  ProvenanceLog log = CaptureSequential(kb, rules, &repaired);
+  ASSERT_FALSE(log.empty());
+
+  // Every cell whose value changed must be covered by a repair or
+  // normalization record carrying the old and new values.
+  size_t changed_cells = 0;
+  for (size_t row = 0; row < before.num_tuples(); ++row) {
+    for (uint32_t col = 0; col < before.schema().num_columns(); ++col) {
+      std::string_view old_value = before.tuple(row).value(col);
+      std::string_view new_value = repaired.tuple(row).value(col);
+      if (old_value == new_value) continue;
+      ++changed_cells;
+      auto matches = log.ForCell(row, before.schema().column_name(col));
+      bool covered = false;
+      for (const RepairProvenance* record : matches) {
+        if (record->kind == ProvenanceKind::kProofPositive) continue;
+        EXPECT_FALSE(record->rule.empty());
+        if (record->new_value == new_value) covered = true;
+      }
+      EXPECT_TRUE(covered) << "row " << row << " column "
+                           << before.schema().column_name(col) << ": "
+                           << old_value << " -> " << new_value;
+    }
+  }
+  ASSERT_GT(changed_cells, 0u);
+
+  // Repairs must be justified by at least one KB evidence edge; proofs and
+  // repairs alike must bind at least one rule node to a KB item.
+  size_t repairs = 0;
+  for (const RepairProvenance& record : log.records()) {
+    if (record.kind != ProvenanceKind::kRepair) continue;
+    ++repairs;
+    EXPECT_FALSE(record.evidence_edges.empty())
+        << record.column << " @ row " << record.row;
+    EXPECT_FALSE(record.bindings.empty());
+    EXPECT_GE(record.round, 1u);
+    EXPECT_NE(record.old_value, record.new_value);
+  }
+  EXPECT_GT(repairs, 0u);
+}
+
+TEST(ProvenanceTest, ParallelCaptureMatchesSequential) {
+  UisOptions options;
+  options.num_tuples = 300;
+  Dataset dataset = GenerateUis(options);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.12;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+
+  Relation sequential = dirty;
+  ProvenanceLog expected = CaptureSequential(kb, dataset.rules, &sequential);
+  ASSERT_FALSE(expected.empty());
+
+  for (size_t threads : {1u, 3u, 8u}) {
+    Relation parallel = dirty;
+    ProvenanceLog log;
+    ParallelRepairOptions popts;
+    popts.num_threads = threads;
+    popts.provenance = &log;
+    ASSERT_TRUE(ParallelRepair(kb, dataset.rules, &parallel, popts).ok());
+    // Workers own contiguous row ranges and merge in worker order, so the
+    // records match the sequential log exactly, not just as a multiset.
+    EXPECT_EQ(log.records(), expected.records()) << "threads=" << threads;
+  }
+}
+
+TEST(ProvenanceTest, CanonicalizeOrdersByRowColumnRound) {
+  ProvenanceLog log;
+  RepairProvenance a;
+  a.row = 2;
+  a.column_index = 1;
+  a.column = "B";
+  a.kind = ProvenanceKind::kRepair;
+  a.rule = "r1";
+  a.round = 1;
+  RepairProvenance b = a;
+  b.row = 0;
+  RepairProvenance c = a;
+  c.row = 2;
+  c.column_index = 0;
+  c.column = "A";
+  log.Add(a);
+  log.Add(b);
+  log.Add(c);
+  log.Canonicalize();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records()[0].row, 0u);
+  EXPECT_EQ(log.records()[1].column, "A");
+  EXPECT_EQ(log.records()[2].column, "B");
+}
+
+TEST(ProvenanceTest, JsonLinesRoundTripPreservesEveryField) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+  Relation repaired = testing::BuildTableI();
+  ProvenanceLog log = CaptureSequential(kb, rules, &repaired);
+  ASSERT_FALSE(log.empty());
+
+  std::string jsonl = log.ToJsonLines();
+  Result<ProvenanceLog> parsed = ProvenanceLog::FromJsonLines(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->records(), log.records());
+  // One line per record, each a self-contained JSON object.
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(jsonl.begin(), jsonl.end(), '\n')),
+            log.size());
+}
+
+TEST(ProvenanceTest, FromJsonLinesRejectsMalformedRecords) {
+  // Sound records parse.
+  ASSERT_TRUE(ProvenanceLog::FromJsonLines(
+                  "{\"row\": 1, \"column\": \"A\", \"column_index\": 0, "
+                  "\"kind\": \"repair\", \"rule\": \"r\", \"round\": 1, "
+                  "\"old_value\": \"x\", \"new_value\": \"y\"}\n")
+                  .ok());
+  // Blank lines are fine (trailing newline tolerance).
+  ASSERT_TRUE(ProvenanceLog::FromJsonLines("\n\n").ok());
+
+  for (const char* bad : {
+           "not json",
+           "[]",
+           "{\"column\": \"A\", \"kind\": \"repair\"}",      // missing row
+           "{\"row\": 1, \"kind\": \"repair\"}",             // missing column
+           "{\"row\": 1, \"column\": \"A\"}",                // missing kind
+           "{\"row\": 1, \"column\": \"A\", \"kind\": \"bogus\"}",
+           "{\"row\": 1, \"column\": \"A\", \"kind\": \"repair\", "
+           "\"surprise\": 1}",
+       }) {
+    Result<ProvenanceLog> parsed = ProvenanceLog::FromJsonLines(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+    // Errors carry the 1-based line number for JSONL debugging.
+    EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+        << parsed.status().message();
+  }
+}
+
+TEST(ProvenanceTest, ForCellMatchesByNameOrIndex) {
+  ProvenanceLog log;
+  RepairProvenance record;
+  record.row = 4;
+  record.column_index = 2;
+  record.column = "Institution";
+  record.kind = ProvenanceKind::kNormalization;
+  record.rule = "phi2";
+  record.round = 1;
+  log.Add(record);
+
+  EXPECT_EQ(log.ForCell(4, "Institution").size(), 1u);
+  EXPECT_EQ(log.ForCell(4, "2").size(), 1u);  // decimal index works too
+  EXPECT_TRUE(log.ForCell(4, "Prize").empty());
+  EXPECT_TRUE(log.ForCell(5, "Institution").empty());
+}
+
+TEST(ProvenanceTest, ToTextNamesRuleEvidenceAndChange) {
+  RepairProvenance record;
+  record.row = 1;
+  record.column_index = 3;
+  record.column = "Institution";
+  record.kind = ProvenanceKind::kRepair;
+  record.rule = "phi1";
+  record.round = 2;
+  record.old_value = "MIT";
+  record.new_value = "Technion";
+  record.bindings.push_back(
+      {"Laureate", "person", "Avram Hershko", "Avram Hershko", 7});
+  record.evidence_edges.push_back(
+      {"Avram Hershko", "worksAt", "Technion"});
+
+  std::string text = record.ToText();
+  for (const char* needle :
+       {"row 1", "Institution", "phi1", "repair", "MIT", "Technion",
+        "worksAt", "Avram Hershko", "round 2"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,215 @@
+// Tests for common/trace: the thread-sharded span recorder, the enable
+// gate, ring wrap/dropped accounting, and the Chrome trace-event exporter.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace detective::trace {
+namespace {
+
+// The registry is process-global; every test starts a fresh recording epoch
+// and stops it on the way out so a failing test cannot leak an enabled gate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().Start(); }
+  void TearDown() override { Registry::Global().Stop(); }
+};
+
+const Event* FindEvent(const std::vector<Event>& events, std::string_view name) {
+  for (const Event& event : events) {
+    if (event.name == name) return &event;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledGateRecordsNothing) {
+  Registry::Global().Stop();
+  { DETECTIVE_TRACE_SPAN("test.gated.span"); }
+  DETECTIVE_TRACE_INSTANT("test.gated.instant");
+  std::vector<Event> events = Registry::Global().Collect();
+  EXPECT_EQ(FindEvent(events, "test.gated.span"), nullptr);
+  EXPECT_EQ(FindEvent(events, "test.gated.instant"), nullptr);
+}
+
+TEST_F(TraceTest, SpansAndInstantsRecordNamesArgsAndPhases) {
+  {
+    DETECTIVE_TRACE_SPAN("test.basic.span", {"rows", int64_t{42}});
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
+  }
+  DETECTIVE_TRACE_INSTANT("test.basic.instant");
+  Registry::Global().Stop();
+
+  std::vector<Event> events = Registry::Global().Collect();
+#if DETECTIVE_METRICS_ENABLED
+  const Event* span = FindEvent(events, "test.basic.span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->phase, 'X');
+  ASSERT_EQ(span->num_args, 1u);
+  EXPECT_STREQ(span->args[0].key, "rows");
+  EXPECT_EQ(span->args[0].value, 42);
+
+  const Event* instant = FindEvent(events, "test.basic.instant");
+  ASSERT_NE(instant, nullptr);
+  EXPECT_EQ(instant->phase, 'i');
+  EXPECT_EQ(instant->dur_ns, 0u);
+  EXPECT_GE(instant->ts_ns, span->ts_ns + span->dur_ns);
+#else
+  EXPECT_EQ(FindEvent(events, "test.basic.span"), nullptr);
+#endif
+}
+
+#if DETECTIVE_METRICS_ENABLED
+
+TEST_F(TraceTest, NestedSpansEncloseAndSortParentFirst) {
+  {
+    DETECTIVE_TRACE_SPAN("test.nest.outer");
+    DETECTIVE_TRACE_SPAN("test.nest.inner");
+  }
+  Registry::Global().Stop();
+  std::vector<Event> events = Registry::Global().Collect();
+  const Event* outer = FindEvent(events, "test.nest.outer");
+  const Event* inner = FindEvent(events, "test.nest.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_LE(outer->ts_ns, inner->ts_ns);
+  EXPECT_GE(outer->ts_ns + outer->dur_ns, inner->ts_ns + inner->dur_ns);
+  // The (tid, ts, -dur) sort puts the enclosing span before its children.
+  EXPECT_LT(outer - events.data(), inner - events.data());
+}
+
+TEST_F(TraceTest, CollectIsSortedMonotonicallyPerThread) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < 100; ++i) {
+        DETECTIVE_TRACE_SPAN("test.mt.span");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  Registry::Global().Stop();
+
+  std::vector<Event> events = Registry::Global().Collect();
+  size_t recorded = 0;
+  uint32_t last_tid = 0;
+  uint64_t last_ts = 0;
+  for (const Event& event : events) {
+    if (std::string_view(event.name) != "test.mt.span") continue;
+    ++recorded;
+    if (event.tid != last_tid) {
+      last_tid = event.tid;
+      last_ts = 0;
+    }
+    EXPECT_GE(event.ts_ns, last_ts);
+    last_ts = event.ts_ns;
+  }
+  EXPECT_EQ(recorded, 400u);
+}
+
+TEST_F(TraceTest, RingWrapKeepsNewestAndCountsDropped) {
+  constexpr uint64_t kOverflow = 37;
+  for (uint64_t i = 0; i < kRingCapacity + kOverflow; ++i) {
+    EmitInstant("test.wrap.instant", {"i", static_cast<int64_t>(i)});
+  }
+  Registry::Global().Stop();
+
+  EXPECT_EQ(Registry::Global().dropped_events(), kOverflow);
+  std::vector<Event> events = Registry::Global().Collect();
+  uint64_t live = 0;
+  int64_t min_seen = -1;
+  for (const Event& event : events) {
+    if (std::string_view(event.name) != "test.wrap.instant") continue;
+    ++live;
+    if (min_seen < 0 || event.args[0].value < min_seen) {
+      min_seen = event.args[0].value;
+    }
+  }
+  EXPECT_EQ(live, kRingCapacity);
+  // The oldest kOverflow events were overwritten, not an arbitrary subset.
+  EXPECT_EQ(min_seen, static_cast<int64_t>(kOverflow));
+}
+
+TEST_F(TraceTest, StartDiscardsEarlierEpoch) {
+  { DETECTIVE_TRACE_SPAN("test.epoch.stale"); }
+  Registry::Global().Start();
+  { DETECTIVE_TRACE_SPAN("test.epoch.fresh"); }
+  Registry::Global().Stop();
+  std::vector<Event> events = Registry::Global().Collect();
+  EXPECT_EQ(FindEvent(events, "test.epoch.stale"), nullptr);
+  EXPECT_NE(FindEvent(events, "test.epoch.fresh"), nullptr);
+  EXPECT_EQ(Registry::Global().dropped_events(), 0u);
+}
+
+// The exporter contract the CI validator (tools/check_trace.py) rechecks on
+// real output: a JSON array whose X events carry ts and dur in microseconds.
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  {
+    DETECTIVE_TRACE_SPAN("test.json.span", {"rows", int64_t{7}});
+  }
+  DETECTIVE_TRACE_INSTANT("test.json.mark");
+  Registry::Global().Stop();
+
+  std::string json = ToChromeTraceJson(Registry::Global().Collect());
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.substr(json.size() - 2), "]\n");
+  // Metadata names the thread rows before any event of that thread.
+  size_t meta = json.find("\"thread_name\"");
+  size_t span = json.find("\"test.json.span\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(span, std::string::npos);
+  EXPECT_LT(meta, span);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"rows\": 7}"), std::string::npos);
+
+  // Structural sanity a viewer depends on: one object per line, balanced
+  // braces, every non-bracket line an object.
+  std::istringstream lines(json);
+  std::string line;
+  size_t objects = 0;
+  while (std::getline(lines, line)) {
+    if (line == "[" || line == "]") continue;
+    EXPECT_EQ(line.front(), '{') << line;
+    ++objects;
+  }
+  EXPECT_GE(objects, 3u);  // metadata + span + instant at least
+}
+
+TEST_F(TraceTest, WriteChromeTraceJsonRoundTripsThroughDisk) {
+  { DETECTIVE_TRACE_SPAN("test.file.span"); }
+  Registry::Global().Stop();
+  std::vector<Event> events = Registry::Global().Collect();
+
+  std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(WriteChromeTraceJson(events, path).ok());
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), ToChromeTraceJson(events));
+
+  EXPECT_FALSE(
+      WriteChromeTraceJson(events, "/nonexistent-dir/trace.json").ok());
+}
+
+TEST_F(TraceTest, EmptyCollectionExportsEmptyArray) {
+  Registry::Global().Stop();
+  Registry::Global().Start();
+  Registry::Global().Stop();
+  EXPECT_EQ(ToChromeTraceJson({}), "[]\n");
+}
+
+#endif  // DETECTIVE_METRICS_ENABLED
+
+}  // namespace
+}  // namespace detective::trace

@@ -1,7 +1,16 @@
 #!/usr/bin/env python3
-"""Compare a freshly generated BENCH_*.json against a committed baseline.
+"""Compare freshly generated BENCH_*.json files against committed baselines.
 
-Both files must follow the schema emitted by bench/bench_util.h
+Two invocation modes:
+
+  check_bench_regression.py FRESH.json BASELINE.json     # one pair
+  check_bench_regression.py --baseline-dir bench/baselines --fresh-dir .
+
+Directory mode pairs every BENCH_*.json in --baseline-dir with the
+same-named file in --fresh-dir and compares each pair; a baseline whose
+fresh counterpart is missing is a note (a failure under --strict).
+
+All files must follow the schema emitted by bench/bench_util.h
 (BenchJsonWriter): {"schema_version": 1, "bench": ..., "entries":
 [{"series", "x", "wall_ms", "counters"}, ...]}.
 
@@ -21,7 +30,9 @@ malformed input.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 
@@ -47,46 +58,15 @@ def within(fresh, baseline, tolerance):
     return 1 / (1 + tolerance) <= ratio <= 1 + tolerance
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="newly generated BENCH_*.json")
-    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.30,
-        help="allowed relative deviation, e.g. 0.30 = +/-30%% (default)",
-    )
-    parser.add_argument(
-        "--min-wall-ms",
-        type=float,
-        default=0.001,
-        help="skip wall_ms comparison below this value (clock-noise floor)",
-    )
-    parser.add_argument(
-        "--counters-only",
-        action="store_true",
-        help="compare only counters, not wall_ms (machine-independent mode)",
-    )
-    parser.add_argument(
-        "--strict",
-        action="store_true",
-        help="entries missing from either side are failures too",
-    )
-    args = parser.parse_args()
-
+def compare(fresh_path, baseline_path, args):
+    """Compares one fresh/baseline pair; returns the list of failures."""
     try:
-        fresh_name, fresh = load(args.fresh)
-        base_name, baseline = load(args.baseline)
+        fresh_name, fresh = load(fresh_path)
+        base_name, baseline = load(baseline_path)
     except (OSError, KeyError, ValueError, json.JSONDecodeError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        return [f"error: {error}"]
     if fresh_name != base_name:
-        print(
-            f"error: bench mismatch: fresh={fresh_name!r} baseline={base_name!r}",
-            file=sys.stderr,
-        )
-        return 1
+        return [f"bench mismatch: fresh={fresh_name!r} baseline={base_name!r}"]
 
     failures = []
     compared = 0
@@ -121,6 +101,75 @@ def main():
         f"compared {compared} values across {len(set(fresh) & set(baseline))} "
         f"entries of bench {fresh_name!r} (tolerance +/-{args.tolerance:.0%})"
     )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", nargs="?", help="newly generated BENCH_*.json")
+    parser.add_argument("baseline", nargs="?", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir",
+        help="directory of committed baselines; compares every BENCH_*.json in it",
+    )
+    parser.add_argument(
+        "--fresh-dir",
+        default=".",
+        help="directory holding the fresh runs for --baseline-dir (default: .)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative deviation, e.g. 0.30 = +/-30%% (default)",
+    )
+    parser.add_argument(
+        "--min-wall-ms",
+        type=float,
+        default=0.001,
+        help="skip wall_ms comparison below this value (clock-noise floor)",
+    )
+    parser.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="compare only counters, not wall_ms (machine-independent mode)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="entries missing from either side are failures too",
+    )
+    args = parser.parse_args()
+
+    if args.baseline_dir:
+        if args.fresh or args.baseline:
+            parser.error("--baseline-dir replaces the positional FRESH/BASELINE pair")
+        baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+        if not baselines:
+            print(f"error: no BENCH_*.json under {args.baseline_dir}", file=sys.stderr)
+            return 1
+        pairs = []
+        for baseline_path in baselines:
+            fresh_path = os.path.join(args.fresh_dir, os.path.basename(baseline_path))
+            if not os.path.exists(fresh_path):
+                print(f"  note: no fresh run for {os.path.basename(baseline_path)}")
+                if args.strict:
+                    pairs.append((None, baseline_path))
+                continue
+            pairs.append((fresh_path, baseline_path))
+    else:
+        if not args.fresh or not args.baseline:
+            parser.error("need FRESH and BASELINE files (or --baseline-dir)")
+        pairs = [(args.fresh, args.baseline)]
+
+    failures = []
+    for fresh_path, baseline_path in pairs:
+        if fresh_path is None:
+            failures.append(f"{os.path.basename(baseline_path)}: no fresh run")
+            continue
+        print(f"== {fresh_path} vs {baseline_path}")
+        failures.extend(compare(fresh_path, baseline_path, args))
+
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts emitted by detective_clean.
+
+  check_trace.py --trace TRACE.json        # Chrome trace-event array
+  check_trace.py --explain EXPLAIN.jsonl   # provenance JSONL
+  check_trace.py --trace T.json --explain E.jsonl   # both
+
+Trace checks: the file parses as JSON, is a non-empty array, every event
+carries name/ph/pid/tid/ts, every complete ("X") event carries a
+non-negative dur, and ts is monotonically non-decreasing per tid — the
+exact shape chrome://tracing and Perfetto ingest.
+
+Explain checks: every non-blank line parses as a JSON object with
+row/column/kind/rule, kind is one of the known values, and at least one
+"repair" record carries a non-empty evidence_edges list (a repair without
+KB evidence would be unexplained, which defeats the subsystem).
+
+Exit status: 0 when every requested check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_REQUIRED = ("name", "ph", "pid", "tid")
+EXPLAIN_REQUIRED = ("row", "column", "kind", "rule")
+EXPLAIN_KINDS = {"repair", "normalization", "proof_positive"}
+
+
+def check_trace(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            events = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: {error}"]
+    if not isinstance(events, list):
+        return [f"{path}: top-level value is not an array"]
+    if not events:
+        return [f"{path}: empty trace (was the recorder started?)"]
+    last_ts = {}
+    spans = 0
+    for i, event in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [key for key in TRACE_REQUIRED if key not in event]
+        if missing:
+            errors.append(f"{where}: missing {', '.join(missing)}")
+            continue
+        ph = event["ph"]
+        if ph == "M":  # metadata events (thread_name) carry no timestamp
+            continue
+        if "ts" not in event:
+            errors.append(f"{where}: missing ts")
+            continue
+        if ph == "X":
+            spans += 1
+            if not isinstance(event.get("dur"), (int, float)) or event["dur"] < 0:
+                errors.append(f"{where}: X event without non-negative dur")
+        tid = event["tid"]
+        if event["ts"] < last_ts.get(tid, float("-inf")):
+            errors.append(f"{where}: ts goes backwards within tid {tid}")
+        last_ts[tid] = event["ts"]
+    if spans == 0:
+        errors.append(f"{path}: no complete (ph=X) span events")
+    if not errors:
+        print(f"{path}: OK ({len(events)} events, {spans} spans, "
+              f"{len(last_ts)} threads)")
+    return errors
+
+
+def check_explain(path):
+    errors = []
+    records = 0
+    explained_repairs = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        return [f"{path}: {error}"]
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            errors.append(f"{where}: {error}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        records += 1
+        missing = [key for key in EXPLAIN_REQUIRED if key not in record]
+        if missing:
+            errors.append(f"{where}: missing {', '.join(missing)}")
+            continue
+        if record["kind"] not in EXPLAIN_KINDS:
+            errors.append(f"{where}: unknown kind {record['kind']!r}")
+        if record["kind"] == "repair" and record.get("evidence_edges"):
+            explained_repairs += 1
+    if records == 0:
+        errors.append(f"{path}: no provenance records")
+    if explained_repairs == 0:
+        errors.append(
+            f"{path}: no repair record carries KB evidence_edges")
+    if not errors:
+        print(f"{path}: OK ({records} records, "
+              f"{explained_repairs} repairs with KB evidence)")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--explain", help="provenance JSONL to validate")
+    args = parser.parse_args()
+    if not args.trace and not args.explain:
+        parser.error("nothing to check: pass --trace and/or --explain")
+
+    errors = []
+    if args.trace:
+        errors.extend(check_trace(args.trace))
+    if args.explain:
+        errors.extend(check_explain(args.explain))
+    for error in errors:
+        print(f"FAIL {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 //                   --output=clean.csv [--check-consistency] [--multi-version]
 //                   [--algorithm=fast|basic] [--report=report.txt]
 //                   [--lint=strict|warn|off] [--lint-json=DIAG.json]
+//                   [--explain-json=EXPLAIN.jsonl] [--trace-json=TRACE.json]
 //
 // Loads an RDF KB (N-Triples subset; *.tsv switches to the TSV triple
 // format), a detective-rule file (the DSL of core/rule_io.h) and a CSV
@@ -24,7 +25,9 @@
 #include "analysis/rule_lint.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/consistency.h"
+#include "core/provenance.h"
 #include "core/repair.h"
 #include "core/rule_io.h"
 #include "eval/experiment.h"
@@ -47,6 +50,8 @@ struct Args {
   std::string report_path;
   std::string metrics_json_path;
   std::string lint_json_path;
+  std::string explain_json_path;
+  std::string trace_json_path;
   std::string algorithm = "fast";
   std::string lint = "warn";
   bool check_consistency = false;
@@ -60,7 +65,9 @@ void PrintUsage() {
       "                       --output=OUT.csv [--report=REPORT.txt]\n"
       "                       [--algorithm=fast|basic] [--check-consistency]\n"
       "                       [--multi-version] [--metrics-json=METRICS.json]\n"
-      "                       [--lint=strict|warn|off] [--lint-json=DIAG.json]\n\n"
+      "                       [--lint=strict|warn|off] [--lint-json=DIAG.json]\n"
+      "                       [--explain-json=EXPLAIN.jsonl]\n"
+      "                       [--trace-json=TRACE.json]\n\n"
       "  --kb                RDF knowledge base (N-Triples subset; a .tsv\n"
       "                      extension selects tab-separated triples)\n"
       "  --rules             detective rules in the rule DSL\n"
@@ -75,7 +82,13 @@ void PrintUsage() {
       "                      findings (exit %d), warn prints them, off skips\n"
       "  --lint-json         where to write the lint diagnostics JSON\n"
       "                      (default: OUT.csv.lint.json, written whenever\n"
-      "                      the lint finds anything)\n",
+      "                      the lint finds anything)\n"
+      "  --explain-json      record repair provenance (one JSON line per\n"
+      "                      cell change, naming the rule, node bindings and\n"
+      "                      KB evidence edges; query with detective_explain)\n"
+      "  --trace-json        record a span-level timeline and write it in\n"
+      "                      Chrome trace-event format (chrome://tracing,\n"
+      "                      Perfetto)\n",
       kExitInconsistent, kExitLintRejected);
 }
 
@@ -94,7 +107,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         take("input", &args->input_path) || take("output", &args->output_path) ||
         take("report", &args->report_path) || take("algorithm", &args->algorithm) ||
         take("metrics-json", &args->metrics_json_path) ||
-        take("lint", &args->lint) || take("lint-json", &args->lint_json_path)) {
+        take("lint", &args->lint) || take("lint-json", &args->lint_json_path) ||
+        take("explain-json", &args->explain_json_path) ||
+        take("trace-json", &args->trace_json_path)) {
       continue;
     }
     if (arg == "--check-consistency") {
@@ -138,8 +153,19 @@ std::string WriteLintJson(const analysis::DiagnosticReport& report,
 }
 
 int Run(const Args& args) {
+  if (!args.trace_json_path.empty()) {
+    trace::Registry::Global().Start();
+#if !DETECTIVE_METRICS_ENABLED
+    std::fprintf(stderr,
+                 "note: built with DETECTIVE_METRICS=OFF; the trace is empty\n");
+#endif
+  }
+
   // ---- Load inputs ----
-  auto kb = LoadKbFile(args.kb_path);
+  auto kb = [&] {
+    DETECTIVE_TRACE_SPAN("clean.load_kb");
+    return LoadKbFile(args.kb_path);
+  }();
   if (!kb.ok()) {
     std::fprintf(stderr, "error loading KB: %s\n", kb.status().ToString().c_str());
     return kExitRuntimeFailure;
@@ -156,6 +182,7 @@ int Run(const Args& args) {
 
   // ---- Static lint gate (paper §III-C ahead-of-time; docs/static_analysis.md) ----
   if (args.lint != "off") {
+    DETECTIVE_TRACE_SPAN("clean.lint");
     analysis::DiagnosticReport lint = analysis::LintRules(*rules, *kb);
     lint.SortBySeverity();
     std::printf("Lint: %s\n", lint.Summary().c_str());
@@ -186,6 +213,7 @@ int Run(const Args& args) {
 
   // ---- Optional consistency gate (paper §III-C) ----
   if (args.check_consistency) {
+    DETECTIVE_TRACE_SPAN("clean.consistency");
     auto report = CheckConsistency(*kb, *rules, *relation);
     if (!report.ok()) {
       std::fprintf(stderr, "consistency check failed: %s\n",
@@ -204,48 +232,63 @@ int Run(const Args& args) {
   Relation repaired = *relation;
   RepairStats stats;
   size_t extra_versions = 0;
+  ProvenanceLog provenance;
+  ProvenanceLog* provenance_sink =
+      args.explain_json_path.empty() ? nullptr : &provenance;
 
-  if (args.multi_version) {
-    Relation expanded{relation->schema()};
-    FastRepairer repairer(*kb, relation->schema(), *rules);
-    Status st = repairer.Init();
-    if (!st.ok()) {
-      std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
-      return kExitRuntimeFailure;
+  {
+    DETECTIVE_TRACE_SPAN("clean.repair",
+                         {"rows", static_cast<int64_t>(relation->num_tuples())});
+    if (args.multi_version) {
+      Relation expanded{relation->schema()};
+      FastRepairer repairer(*kb, relation->schema(), *rules);
+      Status st = repairer.Init();
+      if (!st.ok()) {
+        std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+        return kExitRuntimeFailure;
+      }
+      repairer.engine().set_provenance(provenance_sink);
+      for (size_t row = 0; row < relation->num_tuples(); ++row) {
+        repairer.engine().set_current_row(row);
+        std::vector<Tuple> versions =
+            repairer.RepairMultiVersion(relation->tuple(row));
+        extra_versions += versions.size() - 1;
+        for (Tuple& version : versions) expanded.Append(std::move(version));
+      }
+      stats = repairer.stats();
+      repaired = std::move(expanded);
+    } else if (args.algorithm == "basic") {
+      RepairOptions options;
+      options.matcher.use_signature_index = false;
+      options.matcher.use_value_memo = false;
+      BasicRepairer repairer(*kb, relation->schema(), *rules, options);
+      Status st = repairer.Init();
+      if (!st.ok()) {
+        std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+        return kExitRuntimeFailure;
+      }
+      repairer.engine().set_provenance(provenance_sink);
+      repairer.RepairRelation(&repaired);
+      stats = repairer.stats();
+    } else {
+      FastRepairer repairer(*kb, relation->schema(), *rules);
+      Status st = repairer.Init();
+      if (!st.ok()) {
+        std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+        return kExitRuntimeFailure;
+      }
+      repairer.engine().set_provenance(provenance_sink);
+      repairer.RepairRelation(&repaired);
+      stats = repairer.stats();
     }
-    for (size_t row = 0; row < relation->num_tuples(); ++row) {
-      std::vector<Tuple> versions = repairer.RepairMultiVersion(relation->tuple(row));
-      extra_versions += versions.size() - 1;
-      for (Tuple& version : versions) expanded.Append(std::move(version));
-    }
-    stats = repairer.stats();
-    repaired = std::move(expanded);
-  } else if (args.algorithm == "basic") {
-    RepairOptions options;
-    options.matcher.use_signature_index = false;
-    options.matcher.use_value_memo = false;
-    BasicRepairer repairer(*kb, relation->schema(), *rules, options);
-    Status st = repairer.Init();
-    if (!st.ok()) {
-      std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
-      return kExitRuntimeFailure;
-    }
-    repairer.RepairRelation(&repaired);
-    stats = repairer.stats();
-  } else {
-    FastRepairer repairer(*kb, relation->schema(), *rules);
-    Status st = repairer.Init();
-    if (!st.ok()) {
-      std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
-      return kExitRuntimeFailure;
-    }
-    repairer.RepairRelation(&repaired);
-    stats = repairer.stats();
   }
   double elapsed = NowSeconds() - start;
 
   // ---- Write output + report ----
-  Status st = repaired.ToCsvFile(args.output_path);
+  Status st = [&] {
+    DETECTIVE_TRACE_SPAN("clean.write_output");
+    return repaired.ToCsvFile(args.output_path);
+  }();
   if (!st.ok()) {
     std::fprintf(stderr, "error writing output: %s\n", st.ToString().c_str());
     return kExitRuntimeFailure;
@@ -285,6 +328,30 @@ int Run(const Args& args) {
       return kExitRuntimeFailure;
     }
     std::printf("report written to %s\n", args.report_path.c_str());
+  }
+
+  if (!args.explain_json_path.empty()) {
+    Status explain_status = provenance.WriteJsonLines(args.explain_json_path);
+    if (!explain_status.ok()) {
+      std::fprintf(stderr, "%s\n", explain_status.ToString().c_str());
+      return kExitRuntimeFailure;
+    }
+    std::printf("provenance written to %s (%zu records)\n",
+                args.explain_json_path.c_str(), provenance.size());
+  }
+
+  if (!args.trace_json_path.empty()) {
+    trace::Registry& tracer = trace::Registry::Global();
+    tracer.Stop();
+    std::vector<trace::Event> events = tracer.Collect();
+    Status trace_status = trace::WriteChromeTraceJson(events, args.trace_json_path);
+    if (!trace_status.ok()) {
+      std::fprintf(stderr, "%s\n", trace_status.ToString().c_str());
+      return kExitRuntimeFailure;
+    }
+    std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                args.trace_json_path.c_str(), events.size(),
+                static_cast<unsigned long long>(tracer.dropped_events()));
   }
 
   if (!args.metrics_json_path.empty()) {

@@ -1,0 +1,183 @@
+// detective_explain: query the repair provenance emitted by
+// `detective_clean --explain-json=FILE`.
+//
+//   detective_explain --explain-json=EXPLAIN.jsonl            # summary
+//   detective_explain --explain-json=EXPLAIN.jsonl --cell=ROW:COL
+//   detective_explain --explain-json=EXPLAIN.jsonl --rule=NAME
+//
+// Without a filter, prints a per-kind / per-rule summary of the log. With
+// --cell (COL is a schema column name or its index) prints the full
+// human-readable evidence chain for every record touching that cell; with
+// --rule, for every record that rule produced.
+//
+// Exit codes: 0 success, 1 load failure or no record matched the filter,
+// 64 usage.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/provenance.h"
+
+namespace detective {
+namespace {
+
+constexpr int kExitFailure = 1;
+constexpr int kExitUsage = 64;
+
+struct Args {
+  std::string explain_json_path;
+  std::string cell;
+  std::string rule;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: detective_explain --explain-json=EXPLAIN.jsonl\n"
+      "                         [--cell=ROW:COL] [--rule=NAME]\n\n"
+      "  --explain-json  provenance JSONL written by detective_clean\n"
+      "  --cell          explain one cell; ROW is the 0-based input row,\n"
+      "                  COL a schema column name or 0-based column index\n"
+      "  --rule          show every record produced by one rule\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto take = [&](std::string_view name, std::string* out) {
+      std::string prefix = std::string("--") + std::string(name) + "=";
+      if (StartsWith(arg, prefix)) {
+        *out = std::string(arg.substr(prefix.size()));
+        return true;
+      }
+      return false;
+    };
+    if (take("explain-json", &args->explain_json_path) ||
+        take("cell", &args->cell) || take("rule", &args->rule)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+    return false;
+  }
+  return !args->explain_json_path.empty();
+}
+
+Result<ProvenanceLog> LoadLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open ", path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ProvenanceLog::FromJsonLines(buffer.str());
+}
+
+void PrintSummary(const ProvenanceLog& log) {
+  std::map<std::string, size_t> by_kind;
+  std::map<std::string, size_t> by_rule;
+  std::map<uint64_t, size_t> by_row;
+  for (const RepairProvenance& record : log.records()) {
+    ++by_kind[std::string(ProvenanceKindName(record.kind))];
+    ++by_rule[record.rule];
+    ++by_row[record.row];
+  }
+  std::printf("%zu provenance records over %zu rows\n", log.size(), by_row.size());
+  std::printf("by kind:\n");
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-16s %zu\n", kind.c_str(), count);
+  }
+  std::printf("by rule:\n");
+  for (const auto& [rule, count] : by_rule) {
+    std::printf("  %-16s %zu\n", rule.c_str(), count);
+  }
+  std::printf("records (row, column, kind, rule, change):\n");
+  for (const RepairProvenance& record : log.records()) {
+    if (record.kind == ProvenanceKind::kProofPositive) {
+      std::printf("  %llu, %s, %s, %s, \"%s\" proven\n",
+                  static_cast<unsigned long long>(record.row),
+                  record.column.c_str(),
+                  std::string(ProvenanceKindName(record.kind)).c_str(),
+                  record.rule.c_str(), record.old_value.c_str());
+    } else {
+      std::printf("  %llu, %s, %s, %s, \"%s\" -> \"%s\"\n",
+                  static_cast<unsigned long long>(record.row),
+                  record.column.c_str(),
+                  std::string(ProvenanceKindName(record.kind)).c_str(),
+                  record.rule.c_str(), record.old_value.c_str(),
+                  record.new_value.c_str());
+    }
+  }
+}
+
+int Run(const Args& args) {
+  auto log = LoadLog(args.explain_json_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "error loading provenance: %s\n",
+                 log.status().ToString().c_str());
+    return kExitFailure;
+  }
+
+  if (!args.cell.empty()) {
+    size_t colon = args.cell.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == args.cell.size()) {
+      std::fprintf(stderr, "--cell must be ROW:COL, got '%s'\n",
+                   args.cell.c_str());
+      return kExitUsage;
+    }
+    uint64_t row = 0;
+    for (char c : args.cell.substr(0, colon)) {
+      if (c < '0' || c > '9') {
+        std::fprintf(stderr, "--cell ROW must be a non-negative integer\n");
+        return kExitUsage;
+      }
+      row = row * 10 + static_cast<uint64_t>(c - '0');
+    }
+    std::string column = args.cell.substr(colon + 1);
+    std::vector<const RepairProvenance*> matches = log->ForCell(row, column);
+    if (matches.empty()) {
+      std::fprintf(stderr, "no provenance for cell %llu:%s\n",
+                   static_cast<unsigned long long>(row), column.c_str());
+      return kExitFailure;
+    }
+    for (const RepairProvenance* record : matches) {
+      std::printf("%s", record->ToText().c_str());
+    }
+    return 0;
+  }
+
+  if (!args.rule.empty()) {
+    size_t matched = 0;
+    for (const RepairProvenance& record : log->records()) {
+      if (record.rule != args.rule) continue;
+      ++matched;
+      std::printf("%s", record.ToText().c_str());
+    }
+    if (matched == 0) {
+      std::fprintf(stderr, "no provenance records from rule '%s'\n",
+                   args.rule.c_str());
+      return kExitFailure;
+    }
+    return 0;
+  }
+
+  PrintSummary(*log);
+  return 0;
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  detective::Args args;
+  if (!detective::ParseArgs(argc, argv, &args)) {
+    detective::PrintUsage();
+    return detective::kExitUsage;
+  }
+  return detective::Run(args);
+}
