@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace detective {
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
@@ -19,10 +21,25 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
     field.clear();
     field_was_quoted = false;
   };
-  auto end_row = [&] {
+  auto end_row = [&]() -> Status {
     end_field();
     rows.push_back(std::move(row));
     row.clear();
+    if (options.max_rows != 0 && rows.size() > options.max_rows) {
+      return Status::ParseError("CSV exceeds the row limit of ",
+                                options.max_rows, " rows");
+    }
+    return Status::OK();
+  };
+  auto grow_field = [&](char c) -> Status {
+    if (options.max_field_bytes != 0 &&
+        field.size() >= options.max_field_bytes) {
+      return Status::ParseError("CSV field at line ", line,
+                                " exceeds the field limit of ",
+                                options.max_field_bytes, " bytes");
+    }
+    field.push_back(c);
+    return Status::OK();
   };
 
   for (size_t i = 0; i < text.size(); ++i) {
@@ -30,14 +47,14 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
-          field.push_back('"');
+          RETURN_NOT_OK(grow_field('"'));
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
         if (c == '\n') ++line;
-        field.push_back(c);
+        RETURN_NOT_OK(grow_field(c));
       }
       continue;
     }
@@ -56,31 +73,40 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
         return Status::ParseError("stray carriage return at line ", line);
       }
     } else if (c == '\n') {
-      end_row();
+      RETURN_NOT_OK(end_row());
       ++line;
     } else {
       if (field_was_quoted) {
         return Status::ParseError("content after closing quote at line ", line);
       }
-      field.push_back(c);
+      RETURN_NOT_OK(grow_field(c));
     }
   }
   if (in_quotes) {
     return Status::ParseError("unterminated quoted field starting before line ", line);
   }
   // A trailing record without a final newline still counts.
-  if (!field.empty() || field_was_quoted || !row.empty()) end_row();
+  if (!field.empty() || field_was_quoted || !row.empty()) {
+    RETURN_NOT_OK(end_row());
+  }
   return rows;
 }
 
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(const std::string& path,
                                                           const CsvOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open ", path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for ", path);
-  return ParseCsv(buffer.str(), options);
+  // Transient I/O failures (including injected ones) are retried with capped
+  // backoff; parse errors are permanent and surface immediately.
+  auto text = fault::RetryTransient([&]() -> Result<std::string> {
+    DETECTIVE_FAULT_POINT("csv.load");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IOError("read failed for ", path);
+    return buffer.str();
+  });
+  if (!text.ok()) return text.status();
+  return ParseCsv(*text, options);
 }
 
 std::string EscapeCsvField(std::string_view field, char delimiter) {

@@ -18,6 +18,10 @@ struct CsvOptions {
   /// When true, the first record is treated by callers as a header row
   /// (the parser itself returns all rows; this is plumbing for Relation IO).
   bool has_header = true;
+  /// Resource-exhaustion guards: parsing fails with a descriptive Status
+  /// instead of allocating without bound. 0 = unlimited.
+  size_t max_field_bytes = 1 << 20;  // 1 MiB per field
+  size_t max_rows = 10'000'000;
 };
 
 /// Parses one CSV document into rows of fields.

@@ -1,0 +1,73 @@
+#include "common/deadline.h"
+
+namespace detective {
+
+Deadline Deadline::AfterMs(uint64_t ms) {
+  Deadline deadline;
+  deadline.armed_ = true;
+  deadline.at_ =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return deadline;
+}
+
+bool Deadline::Expired() const {
+  if (!armed_) return false;
+  return std::chrono::steady_clock::now() >= at_;
+}
+
+std::string_view CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kFault:
+      return "fault";
+    case CancelReason::kTupleBudget:
+      return "tuple_budget";
+    case CancelReason::kRunDeadline:
+      return "run_deadline";
+  }
+  return "unknown";
+}
+
+void CancelToken::Trip(CancelReason reason, std::string_view site,
+                       std::string_view detail) {
+  if (tripped()) return;
+  reason_ = reason;
+  site_ = std::string(site);
+  detail_ = std::string(detail);
+  tripped_.store(true, std::memory_order_relaxed);
+}
+
+void CancelToken::BlameOnce(std::string_view rule, uint64_t round) {
+  if (blamed_) return;
+  blamed_ = true;
+  blamed_rule_ = std::string(rule);
+  blamed_round_ = round;
+}
+
+bool CancelToken::PollDeadlines() {
+  if (tuple_.Expired()) {
+    Trip(CancelReason::kTupleBudget, "");
+    return true;
+  }
+  if (run_.Expired()) {
+    Trip(CancelReason::kRunDeadline, "");
+    return true;
+  }
+  return false;
+}
+
+void CancelToken::Reset() {
+  tripped_.store(false, std::memory_order_relaxed);
+  reason_ = CancelReason::kNone;
+  site_.clear();
+  detail_.clear();
+  blamed_rule_.clear();
+  blamed_round_ = 0;
+  blamed_ = false;
+  run_ = Deadline();
+  tuple_ = Deadline();
+  poll_calls_ = 0;
+}
+
+}  // namespace detective

@@ -1,0 +1,133 @@
+#ifndef DETECTIVE_COMMON_DEADLINE_H_
+#define DETECTIVE_COMMON_DEADLINE_H_
+
+// Cooperative time budgets for the cleaning pipeline.
+//
+// A `Deadline` is a point on the monotonic clock; a `CancelToken` is the
+// single-writer flag the hot loops poll to find out that the current unit of
+// work should stop — because a deadline expired, or because the fault
+// injector (common/fault.h) decided this site fails today.
+//
+// The paper's scalability argument (§V: "repairing one tuple is irrelevant
+// to any other tuple") is what makes cooperative cancellation sound: a
+// tripped token abandons exactly one tuple's chase, the driver restores the
+// tuple's pristine bytes and quarantines it (core/quarantine.h), and every
+// other tuple proceeds untouched.
+//
+// Polling discipline: `Check()` is cheap enough for the matcher's
+// per-assignment loop — a relaxed flag load, plus a clock read every
+// `kDeadlinePollStride` calls. Probes that just slept (latency faults) call
+// `CheckNow()` to observe the expiry immediately.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace detective {
+
+/// A point on the steady clock, or "never". Copyable, trivially cheap.
+class Deadline {
+ public:
+  /// The default deadline never expires.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (0 = already expired).
+  static Deadline AfterMs(uint64_t ms);
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return !armed_; }
+  bool Expired() const;
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Why a token tripped.
+enum class CancelReason : uint8_t {
+  kNone = 0,
+  kFault = 1,        // the fault injector failed a probe site
+  kTupleBudget = 2,  // the per-tuple budget (--tuple-budget-ms) expired
+  kRunDeadline = 3,  // the whole-run deadline (--deadline-ms) expired
+};
+
+/// Stable wire name ("fault" | "tuple_budget" | "run_deadline").
+std::string_view CancelReasonName(CancelReason reason);
+
+/// One unit of work's cancellation state. Single writer in practice (the
+/// repair thread trips its own token), but the flag is atomic so a future
+/// external watchdog could trip it too.
+///
+/// Lifecycle per tuple: construct (or Reset), ArmDeadlines, hand to the
+/// engine/matcher, poll Check() in loops, inspect reason()/site() after the
+/// chase returns.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Installs the run-wide and per-tuple deadlines Check() polls.
+  void ArmDeadlines(Deadline run, Deadline tuple) {
+    run_ = run;
+    tuple_ = tuple;
+  }
+
+  /// Trips the token. First trip wins; later calls are ignored so the
+  /// original cause is preserved.
+  void Trip(CancelReason reason, std::string_view site,
+            std::string_view detail = {});
+
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+
+  /// Hot-loop poll: relaxed flag test, and every `kDeadlinePollStride`
+  /// calls also reads the clock against the armed deadlines (tripping on
+  /// expiry). Returns tripped().
+  bool Check() {
+    if (tripped()) return true;
+    if ((poll_calls_++ & (kDeadlinePollStride - 1)) == 0) return PollDeadlines();
+    return false;
+  }
+
+  /// Like Check() but always reads the clock — for code that just slept.
+  bool CheckNow() {
+    if (tripped()) return true;
+    return PollDeadlines();
+  }
+
+  /// Blames the rule in flight when the trip was first observed; only the
+  /// first blame sticks (mirrors Trip). The driver copies it into the
+  /// quarantine record.
+  void BlameOnce(std::string_view rule, uint64_t round);
+
+  CancelReason reason() const { return reason_; }
+  const std::string& site() const { return site_; }
+  const std::string& detail() const { return detail_; }
+  const std::string& blamed_rule() const { return blamed_rule_; }
+  uint64_t blamed_round() const { return blamed_round_; }
+
+  /// Back to the pristine state for the next unit of work.
+  void Reset();
+
+ private:
+  static constexpr uint32_t kDeadlinePollStride = 64;
+
+  bool PollDeadlines();
+
+  std::atomic<bool> tripped_{false};
+  CancelReason reason_ = CancelReason::kNone;
+  std::string site_;
+  std::string detail_;
+  std::string blamed_rule_;
+  uint64_t blamed_round_ = 0;
+  bool blamed_ = false;
+  Deadline run_;
+  Deadline tuple_;
+  uint32_t poll_calls_ = 0;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_DEADLINE_H_

@@ -1,0 +1,383 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace detective::fault {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStatus:
+      return "status";
+    case FaultKind::kLatency:
+      return "latency";
+  }
+  return "unknown";
+}
+
+// ---- FaultPlan ---------------------------------------------------------------
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string& clause_text : SplitAndTrim(spec, ';')) {
+    if (clause_text.empty()) continue;
+    FaultClause clause;
+    bool saw_site = false;
+    bool saw_latency_ms = false;
+    bool is_seed_clause = false;
+    for (const std::string& field : SplitAndTrim(clause_text, ',')) {
+      if (field.empty()) {
+        return Status::ParseError("fault plan: empty field in clause \"",
+                                  clause_text, "\"");
+      }
+      size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return Status::ParseError("fault plan: field \"", field,
+                                  "\" is not key=value");
+      }
+      std::string_view key = TrimView(std::string_view(field).substr(0, eq));
+      std::string_view value = TrimView(std::string_view(field).substr(eq + 1));
+      if (key == "seed") {
+        if (!ParseUint64(value, &plan.seed)) {
+          return Status::ParseError("fault plan: bad seed \"", value, "\"");
+        }
+        is_seed_clause = true;
+      } else if (key == "site") {
+        if (value.empty()) {
+          return Status::ParseError("fault plan: empty site glob");
+        }
+        clause.site_glob = std::string(value);
+        saw_site = true;
+      } else if (key == "kind") {
+        if (value == "status") {
+          clause.kind = FaultKind::kStatus;
+        } else if (value == "latency") {
+          clause.kind = FaultKind::kLatency;
+        } else {
+          return Status::ParseError("fault plan: unknown kind \"", value,
+                                    "\" (expected status|latency)");
+        }
+      } else if (key == "p") {
+        if (!ParseDouble(value, &clause.probability) ||
+            clause.probability < 0.0 || clause.probability > 1.0) {
+          return Status::ParseError("fault plan: p must be in [0,1], got \"",
+                                    value, "\"");
+        }
+      } else if (key == "hit") {
+        if (!ParseUint64(value, &clause.nth_hit)) {
+          return Status::ParseError("fault plan: bad hit \"", value, "\"");
+        }
+      } else if (key == "latency_ms") {
+        if (!ParseUint64(value, &clause.latency_ms)) {
+          return Status::ParseError("fault plan: bad latency_ms \"", value,
+                                    "\"");
+        }
+        saw_latency_ms = true;
+      } else {
+        return Status::ParseError("fault plan: unknown field \"", key, "\"");
+      }
+    }
+    if (is_seed_clause) {
+      if (saw_site) {
+        return Status::ParseError(
+            "fault plan: seed must be its own clause, not mixed with site");
+      }
+      continue;
+    }
+    if (!saw_site) {
+      return Status::ParseError("fault plan: clause \"", clause_text,
+                                "\" has no site");
+    }
+    if (saw_latency_ms && clause.kind != FaultKind::kLatency) {
+      return Status::ParseError(
+          "fault plan: latency_ms requires kind=latency in clause \"",
+          clause_text, "\"");
+    }
+    plan.clauses.push_back(std::move(clause));
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultClause& clause : clauses) {
+    out += "; site=" + clause.site_glob;
+    out += ", kind=" + std::string(FaultKindName(clause.kind));
+    if (clause.probability != 1.0) {
+      // Shortest representation that parses back to the same double, so
+      // ToString() is lossless (the round-trip the tests assert).
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", clause.probability);
+      double reparsed = 0.0;
+      if (ParseDouble(buffer, &reparsed)) {
+        for (int precision = 1; precision < 17; ++precision) {
+          char shorter[32];
+          std::snprintf(shorter, sizeof(shorter), "%.*g", precision,
+                        clause.probability);
+          if (ParseDouble(shorter, &reparsed) &&
+              reparsed == clause.probability) {
+            std::memcpy(buffer, shorter, sizeof(shorter));
+            break;
+          }
+        }
+      }
+      out += ", p=";
+      out += buffer;
+    }
+    if (clause.nth_hit != 0) out += ", hit=" + std::to_string(clause.nth_hit);
+    if (clause.kind == FaultKind::kLatency) {
+      out += ", latency_ms=" + std::to_string(clause.latency_ms);
+    }
+  }
+  return out;
+}
+
+bool GlobMatch(std::string_view glob, std::string_view text) {
+  // Iterative '*' matcher with backtracking to the last star.
+  size_t g = 0;
+  size_t t = 0;
+  size_t star = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (g < glob.size() && (glob[g] == text[t])) {
+      ++g;
+      ++t;
+    } else if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      g = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+// ---- Injector ----------------------------------------------------------------
+
+namespace {
+
+/// The row key used outside any TupleScope (load-time probes).
+constexpr uint64_t kGlobalRow = ~uint64_t{0};
+
+struct ThreadContext {
+  uint64_t row = kGlobalRow;
+  std::vector<uint64_t> hits;  // per site id, within the current scope
+};
+
+ThreadContext& Context() {
+  thread_local ThreadContext context;
+  return context;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic draw in [0,1) from the decision key. No global RNG state:
+/// the outcome depends only on the arguments.
+double DecisionDraw(uint64_t seed, uint64_t site_hash, uint64_t row,
+                    uint64_t hit, size_t clause_index) {
+  uint64_t mixed = SplitMix64(seed ^ site_hash);
+  mixed = SplitMix64(mixed ^ (row * 0x9e3779b97f4a7c15ULL));
+  mixed = SplitMix64(mixed ^ (hit * 0xc2b2ae3d27d4eb4fULL));
+  mixed = SplitMix64(mixed ^ static_cast<uint64_t>(clause_index));
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+struct Injector::Impl {
+  std::mutex mutex;
+  FaultPlan plan;
+  std::vector<std::string> site_names;
+  std::vector<uint64_t> site_hashes;
+  std::map<std::string, uint32_t, std::less<>> site_ids;
+  // Per site, the indexes of plan clauses whose glob matches it. Rebuilt at
+  // Arm() for known sites and on first registration for new ones.
+  std::vector<std::vector<uint32_t>> site_clauses;
+
+  std::vector<uint32_t> ClausesFor(std::string_view site) const {
+    std::vector<uint32_t> matching;
+    for (uint32_t i = 0; i < plan.clauses.size(); ++i) {
+      if (GlobMatch(plan.clauses[i].site_glob, site)) matching.push_back(i);
+    }
+    return matching;
+  }
+};
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();
+  return *injector;
+}
+
+Injector::Impl& Injector::impl() {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void Injector::Arm(FaultPlan plan) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.plan = std::move(plan);
+  state.site_clauses.clear();
+  state.site_clauses.reserve(state.site_names.size());
+  for (const std::string& site : state.site_names) {
+    state.site_clauses.push_back(state.ClausesFor(site));
+  }
+  armed_.store(!state.plan.empty(), std::memory_order_relaxed);
+}
+
+void Injector::Disarm() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  armed_.store(false, std::memory_order_relaxed);
+  state.plan = FaultPlan();
+  for (std::vector<uint32_t>& clauses : state.site_clauses) clauses.clear();
+}
+
+uint32_t Injector::SiteId(std::string_view site) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.site_ids.find(site);
+  if (it != state.site_ids.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(state.site_names.size());
+  state.site_names.emplace_back(site);
+  state.site_hashes.push_back(Fnv1a(site));
+  state.site_ids.emplace(std::string(site), id);
+  state.site_clauses.push_back(state.ClausesFor(site));
+  return id;
+}
+
+FaultPlan Injector::plan() const {
+  Impl& state = const_cast<Injector*>(this)->impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.plan;
+}
+
+uint64_t Injector::fires() const {
+  return fires_.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// The outcome of one probe hit, decided under the injector lock but
+/// executed (sleep / status construction) outside it.
+struct HitDecision {
+  bool fire_status = false;
+  uint64_t sleep_ms = 0;  // summed over firing latency clauses
+  std::string site;
+  uint64_t hit = 0;
+};
+
+}  // namespace
+
+Status Injector::Hit(uint32_t site_id) {
+  HitDecision decision;
+  {
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!armed() || site_id >= state.site_clauses.size()) return Status::OK();
+    ThreadContext& context = Context();
+    if (context.hits.size() <= site_id) context.hits.resize(site_id + 1, 0);
+    decision.hit = ++context.hits[site_id];
+    decision.site = state.site_names[site_id];
+    const uint64_t site_hash = state.site_hashes[site_id];
+    for (uint32_t clause_index : state.site_clauses[site_id]) {
+      const FaultClause& clause = state.plan.clauses[clause_index];
+      if (clause.nth_hit != 0 && decision.hit != clause.nth_hit) continue;
+      if (clause.probability < 1.0 &&
+          DecisionDraw(state.plan.seed, site_hash, context.row, decision.hit,
+                       clause_index) >= clause.probability) {
+        continue;
+      }
+      fires_.fetch_add(1, std::memory_order_relaxed);
+      if (clause.kind == FaultKind::kLatency) {
+        decision.sleep_ms += clause.latency_ms;
+      } else {
+        decision.fire_status = true;
+        break;  // first status clause wins; later clauses are moot
+      }
+    }
+  }
+  if (decision.sleep_ms > 0) {
+    DETECTIVE_COUNT("fault.injected_latency");
+    std::this_thread::sleep_for(std::chrono::milliseconds(decision.sleep_ms));
+  }
+  if (decision.fire_status) {
+    DETECTIVE_COUNT("fault.injected_status");
+    return Status::IOError("injected fault at ", decision.site, " (hit ",
+                           decision.hit, ")");
+  }
+  return Status::OK();
+}
+
+void Injector::HitCancel(uint32_t site_id, CancelToken* token) {
+  Status status = Hit(site_id);
+  if (!status.ok()) {
+    if (token != nullptr) {
+      // The site is embedded in the message; extract it from the registry
+      // instead of re-parsing. Registry reads are cheap here (fault path).
+      Impl& state = impl();
+      std::string site;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (site_id < state.site_names.size()) {
+          site = state.site_names[site_id];
+        }
+      }
+      token->Trip(CancelReason::kFault, site, status.message());
+    }
+    return;
+  }
+  // A latency fault may have pushed the tuple over its budget; observe the
+  // expiry immediately rather than at the next stride-aligned poll.
+  if (token != nullptr) token->CheckNow();
+}
+
+// ---- TupleScope --------------------------------------------------------------
+
+#if DETECTIVE_FAULT_ENABLED
+
+TupleScope::TupleScope(uint64_t row)
+    : saved_row_(kGlobalRow), active_(Injector::Global().armed()) {
+  if (!active_) return;
+  ThreadContext& context = Context();
+  saved_row_ = context.row;
+  context.row = row;
+  context.hits.assign(context.hits.size(), 0);
+}
+
+TupleScope::~TupleScope() {
+  if (!active_) return;
+  ThreadContext& context = Context();
+  context.row = saved_row_;
+  context.hits.assign(context.hits.size(), 0);
+}
+
+#endif  // DETECTIVE_FAULT_ENABLED
+
+// ---- Transient retry ---------------------------------------------------------
+
+void NoteTransientRetryAndBackOff(uint64_t backoff_ms) {
+  DETECTIVE_COUNT("fault.transient_retries");
+  std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+}
+
+}  // namespace detective::fault

@@ -1,0 +1,254 @@
+#ifndef DETECTIVE_COMMON_FAULT_H_
+#define DETECTIVE_COMMON_FAULT_H_
+
+// Deterministic, seeded fault injection for chaos-testing the cleaning
+// pipeline.
+//
+// Instrumentation sites are tagged with DETECTIVE_FAULT_POINT("kb.load") (in
+// Status/Result-returning code) or DETECTIVE_FAULT_POINT_CANCEL("kb.lookup",
+// token) (in hot loops, where an injected failure trips a CancelToken
+// instead of unwinding through return values — common/deadline.h). A fault
+// plan — parsed from `detective_clean --fault-plan=...` or the
+// DETECTIVE_FAULT_PLAN environment variable — arms the global Injector with
+// clauses of the form site-glob × probability × nth-hit × kind:
+//
+//   seed=7; site=kb.load, hit=1; site=kb.lookup, kind=latency, latency_ms=50, p=0.01
+//
+// Clause fields (';' separates clauses, ',' separates fields):
+//   site=GLOB        probe sites to match; '*' matches any run of characters
+//   kind=status      fail the probe with an IOError Status (default)
+//   kind=latency     sleep latency_ms at the probe instead of failing
+//   p=F              fire probability per eligible hit, in [0,1] (default 1)
+//   hit=N            fire only on the N-th hit of the site (1-based;
+//                    default 0 = every hit)
+//   latency_ms=N     sleep duration for kind=latency (default 1)
+// A standalone `seed=N` clause seeds the probability draws (default 0).
+//
+// Determinism is the design center: whether a probe fires depends only on
+// (seed, site, row, hit index, clause) — never on wall clock, thread
+// interleaving, or global call order. Hit indexes are counted per thread and
+// reset per tuple (fault::TupleScope), so a tuple faults identically whether
+// it is repaired sequentially or by any worker of ParallelRepair — the
+// property the chaos tests assert.
+//
+// Everything compiles out under DETECTIVE_FAULT=OFF (mirroring the metrics
+// gate): the macros become empty statements and Armed() a constant false,
+// so release builds pay nothing. The classes stay available either way so
+// tests and tools always link.
+//
+// Injected Status faults use StatusCode::kIOError, the code the file
+// loaders classify as *transient* and retry with capped exponential backoff
+// (RetryTransient below) — parse errors and the like stay permanent.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+#ifndef DETECTIVE_FAULT_ENABLED
+#define DETECTIVE_FAULT_ENABLED 1
+#endif
+
+namespace detective {
+class CancelToken;
+}  // namespace detective
+
+namespace detective::fault {
+
+/// What an armed clause does at a matching probe.
+enum class FaultKind : uint8_t {
+  kStatus = 0,   // the probe fails with an injected IOError
+  kLatency = 1,  // the probe sleeps latency_ms, then succeeds
+};
+
+/// Stable wire name ("status" | "latency").
+std::string_view FaultKindName(FaultKind kind);
+
+/// One clause of a fault plan.
+struct FaultClause {
+  std::string site_glob;
+  FaultKind kind = FaultKind::kStatus;
+  double probability = 1.0;
+  uint64_t nth_hit = 0;     // 1-based; 0 = every hit
+  uint64_t latency_ms = 1;  // kLatency only
+
+  friend bool operator==(const FaultClause&, const FaultClause&) = default;
+};
+
+/// A parsed `--fault-plan` specification.
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<FaultClause> clauses;
+
+  bool empty() const { return clauses.empty(); }
+
+  /// Parses the clause grammar documented at the top of this header.
+  /// Rejects unknown fields, malformed numbers, p outside [0,1], and
+  /// clauses without a site.
+  static Result<FaultPlan> Parse(std::string_view spec);
+
+  /// Round-trips through Parse().
+  std::string ToString() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// `*`-wildcard match (no character classes); used for site globs.
+bool GlobMatch(std::string_view glob, std::string_view text);
+
+/// The process-wide injector behind the probe macros. Disarmed by default:
+/// a probe then costs one relaxed atomic load.
+class Injector {
+ public:
+  static Injector& Global();
+
+  /// Installs `plan` and starts firing. Call before the work under test;
+  /// arming while probes run is safe but the switch-over is not atomic.
+  void Arm(FaultPlan plan);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Resolves (registering on first use) the id of a probe site. Ids are
+  /// dense and stable for the process lifetime; `site` must have static
+  /// storage duration (the macros pass string literals).
+  uint32_t SiteId(std::string_view site);
+
+  /// Records a hit at `site_id` and executes whatever the armed plan says:
+  /// returns the injected Status for a status fault, sleeps for a latency
+  /// fault, returns OK otherwise. Only called behind armed().
+  Status Hit(uint32_t site_id);
+
+  /// Hot-path variant: a status fault trips `token` (ignored when null)
+  /// instead of returning; a latency fault sleeps and then polls the
+  /// token's deadlines so the expiry is observed immediately.
+  void HitCancel(uint32_t site_id, CancelToken* token);
+
+  /// Total faults injected since process start (status + latency).
+  uint64_t fires() const;
+
+  /// The currently armed plan (empty when disarmed); for logging.
+  FaultPlan plan() const;
+
+ private:
+  Injector() = default;
+  struct Impl;
+  Impl& impl();
+
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> fires_{0};
+};
+
+/// True when a fault plan is armed; constant false when the framework is
+/// compiled out, so guarded-mode checks fold away.
+inline bool Armed() {
+#if DETECTIVE_FAULT_ENABLED
+  return Injector::Global().armed();
+#else
+  return false;
+#endif
+}
+
+#if DETECTIVE_FAULT_ENABLED
+
+/// Scopes the calling thread's fault decisions to one tuple: sets the row
+/// that keys probability draws and resets the per-site hit counters, so the
+/// decisions inside are a pure function of (seed, site, row) — independent
+/// of which worker repairs the tuple or what ran before it.
+class TupleScope {
+ public:
+  explicit TupleScope(uint64_t row);
+  ~TupleScope();
+  TupleScope(const TupleScope&) = delete;
+  TupleScope& operator=(const TupleScope&) = delete;
+
+ private:
+  uint64_t saved_row_;
+  bool active_;
+};
+
+#else  // !DETECTIVE_FAULT_ENABLED
+
+class TupleScope {
+ public:
+  explicit TupleScope(uint64_t /*row*/) {}
+};
+
+#endif  // DETECTIVE_FAULT_ENABLED
+
+// ---- Transient-error retry ---------------------------------------------------
+
+/// Whether `status` is worth retrying: I/O errors are transient (the
+/// injected-fault code, and the class real storage hiccups land in); parse
+/// and argument errors are permanent.
+inline bool IsTransient(const Status& status) { return status.IsIOError(); }
+
+/// Attempts after the initial try, and the backoff ladder base. The ladder
+/// is 1, 2, 4 ms — capped small: callers are CLI loaders, not servers.
+inline constexpr int kTransientRetries = 3;
+inline constexpr uint64_t kTransientBackoffBaseMs = 1;
+
+/// Sleeps and counts one retry (metrics: "fault.transient_retries").
+void NoteTransientRetryAndBackOff(uint64_t backoff_ms);
+
+/// Runs `fn` (returning Result<T> or Status-like with ok()/status()),
+/// retrying transient failures with capped exponential backoff. The final
+/// attempt's outcome is returned unchanged.
+template <typename Fn>
+auto RetryTransient(Fn&& fn) -> decltype(fn()) {
+  auto result = fn();
+  uint64_t backoff_ms = kTransientBackoffBaseMs;
+  for (int retry = 0; retry < kTransientRetries; ++retry) {
+    if (result.ok() || !IsTransient(result.status())) break;
+    NoteTransientRetryAndBackOff(backoff_ms);
+    backoff_ms *= 2;
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace detective::fault
+
+#if DETECTIVE_FAULT_ENABLED
+
+/// Probe for Status/Result-returning contexts: when armed and the plan
+/// fires, returns the injected error from the enclosing function.
+#define DETECTIVE_FAULT_POINT(site)                                          \
+  do {                                                                       \
+    if (::detective::fault::Injector::Global().armed()) {                    \
+      static const uint32_t detective_fault_sid =                            \
+          ::detective::fault::Injector::Global().SiteId(site);               \
+      ::detective::Status detective_fault_st =                               \
+          ::detective::fault::Injector::Global().Hit(detective_fault_sid);   \
+      if (!detective_fault_st.ok()) return detective_fault_st;               \
+    }                                                                        \
+  } while (0)
+
+/// Probe for hot/void contexts: a firing status fault trips `token` (a
+/// CancelToken*, may be null) instead of unwinding; latency faults sleep.
+#define DETECTIVE_FAULT_POINT_CANCEL(site, token)                            \
+  do {                                                                       \
+    if (::detective::fault::Injector::Global().armed()) {                    \
+      static const uint32_t detective_fault_sid =                            \
+          ::detective::fault::Injector::Global().SiteId(site);               \
+      ::detective::fault::Injector::Global().HitCancel(detective_fault_sid,  \
+                                                       (token));             \
+    }                                                                        \
+  } while (0)
+
+#else  // !DETECTIVE_FAULT_ENABLED
+
+#define DETECTIVE_FAULT_POINT(site) \
+  do {                              \
+  } while (0)
+#define DETECTIVE_FAULT_POINT_CANCEL(site, token) \
+  do {                                            \
+    (void)sizeof(token);                          \
+  } while (0)
+
+#endif  // DETECTIVE_FAULT_ENABLED
+
+#endif  // DETECTIVE_COMMON_FAULT_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -47,6 +49,10 @@ std::vector<ItemId> EvidenceMatcher::NodeCandidates(ClassId type,
                                                     std::string_view value) {
   ++stats_.node_checks;
   DETECTIVE_COUNT("matcher.node_queries");
+  // Before the memo lookup, so a tuple sees the same probe-hit sequence
+  // whether the memo is warm or cold — the parallel-vs-sequential identity
+  // the chaos tests assert depends on it.
+  DETECTIVE_FAULT_POINT_CANCEL("kb.lookup", cancel_);
   std::string memo_key;
   if (options_.use_value_memo) {
     memo_key = MemoKey(type, sim, value);
@@ -168,6 +174,12 @@ bool EvidenceMatcher::Search(const std::vector<BoundNode>& nodes,
         current.existential ? derived : current.candidates;
     for (ItemId x : candidates) {
       if (budget == 0) {
+        within_budget = false;
+        return false;
+      }
+      // Cooperative cancellation (faults, deadlines): abandon the search;
+      // the caller inspects the token and discards the partial result.
+      if (cancel_ != nullptr && cancel_->Check()) {
         within_budget = false;
         return false;
       }

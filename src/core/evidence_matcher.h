@@ -14,6 +14,8 @@
 
 namespace detective {
 
+class CancelToken;
+
 /// Tuning and ablation knobs for instance-level matching.
 struct MatcherOptions {
   /// Use the signature-based inverted indexes of §IV-B(2) for similarity
@@ -130,6 +132,13 @@ class EvidenceMatcher {
   const MatcherStats& stats() const { return stats_; }
   void ResetStats() { stats_ = MatcherStats(); }
 
+  /// Installs a cooperative cancellation token (common/deadline.h): the
+  /// assignment search polls it and aborts when it trips, and the fault
+  /// probe at "kb.lookup" trips it. nullptr (the default) disables both —
+  /// the unguarded fast path. The token must outlive the installation.
+  void set_cancel(CancelToken* token) { cancel_ = token; }
+  CancelToken* cancel() const { return cancel_; }
+
   /// Drops the value memo (for the ablation benchmarks).
   void ClearMemo();
 
@@ -155,6 +164,7 @@ class EvidenceMatcher {
   const KnowledgeBase& kb_;
   MatcherOptions options_;
   MatcherStats stats_;
+  CancelToken* cancel_ = nullptr;
 
   std::unordered_map<std::string, std::vector<ItemId>> memo_;
   // Key: type id | sim signature.

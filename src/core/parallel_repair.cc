@@ -27,18 +27,30 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
     RuleEngine probe(kb, relation->schema(), rules, options.repair);
     RETURN_NOT_OK(probe.Init());
   }
+  const bool guarded = options.quarantine != nullptr ||
+                       GuardedRepairRequested(options.repair);
   if (threads == 1 || relation->num_tuples() == 0) {
     FastRepairer repairer(kb, relation->schema(), rules, options.repair);
     RETURN_NOT_OK(repairer.Init());
     repairer.engine().set_provenance(options.provenance);
-    repairer.RepairRelation(relation);
+    if (guarded) {
+      repairer.RepairRelationGuarded(relation, options.quarantine);
+    } else {
+      repairer.RepairRelation(relation);
+    }
     return repairer.stats();
   }
 
   const size_t rows = relation->num_tuples();
+  // The run deadline is armed once, before the fan-out, so every worker —
+  // and the breaker's sequential re-chase below — measures the same run.
+  const uint64_t deadline_ms = options.repair.deadline_ms;
+  const Deadline run_deadline =
+      deadline_ms > 0 ? Deadline::AfterMs(deadline_ms) : Deadline::Infinite();
   DETECTIVE_COUNT_N("parallel.workers_launched", threads);
   std::vector<RepairStats> stats(threads);
   std::vector<ProvenanceLog> logs(threads);
+  std::vector<QuarantineLog> quarantines(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
@@ -57,8 +69,14 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
         repairer.engine().set_provenance(&logs[t]);
       }
       for (size_t row = lo; row < hi; ++row) {
-        repairer.engine().set_current_row(row);
-        repairer.RepairTuple(&relation->mutable_tuple(row));
+        if (guarded) {
+          repairer.RepairTupleGuarded(row, run_deadline,
+                                      &relation->mutable_tuple(row),
+                                      &quarantines[t]);
+        } else {
+          repairer.engine().set_current_row(row);
+          repairer.RepairTuple(&relation->mutable_tuple(row));
+        }
       }
       stats[t] = repairer.stats();
     });
@@ -79,6 +97,33 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
     merged.proofs_positive += part.proofs_positive;
     merged.repairs += part.repairs;
     merged.cells_marked += part.cells_marked;
+    merged.tuples_quarantined += part.tuples_quarantined;
+  }
+
+  if (guarded) {
+    QuarantineLog ledger;
+    for (QuarantineLog& log : quarantines) ledger.Merge(std::move(log));
+    if (options.repair.max_rule_failures > 0 && !ledger.empty()) {
+      // The breaker fixpoint runs sequentially on a fresh repairer: retries
+      // are few, and per-tuple fault decisions are row-keyed (TupleScope),
+      // so the outcome matches the sequential driver's bit for bit.
+      FastRepairer retrier(kb, relation->schema(), rules, options.repair);
+      RETURN_NOT_OK(retrier.Init());
+      retrier.engine().set_provenance(options.provenance);
+      BreakerFixpoint(retrier, relation, run_deadline, &ledger);
+      const RepairStats& extra = retrier.stats();
+      merged.tuples_processed += extra.tuples_processed;
+      merged.rule_checks += extra.rule_checks;
+      merged.rule_applications += extra.rule_applications;
+      merged.proofs_positive += extra.proofs_positive;
+      merged.repairs += extra.repairs;
+      merged.cells_marked += extra.cells_marked;
+      merged.tuples_quarantined += extra.tuples_quarantined;
+    }
+    ledger.Canonicalize();
+    if (options.quarantine != nullptr) {
+      options.quarantine->Merge(std::move(ledger));
+    }
   }
   return merged;
 }

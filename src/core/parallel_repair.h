@@ -16,6 +16,10 @@ struct ParallelRepairOptions {
   /// after the join the shards are appended in worker (= ascending row)
   /// order, so the combined log equals a sequential FastRepairer run's.
   ProvenanceLog* provenance = nullptr;
+  /// Optional quarantine sink (guarded repair). Merged the same way, then
+  /// canonicalized; identical to a sequential RepairRelationGuarded run's
+  /// ledger under the same fault plan, seed, and budgets.
+  QuarantineLog* quarantine = nullptr;
 };
 
 /// Repairs `relation` in place with the fast algorithm across threads.

@@ -1,0 +1,146 @@
+#include "core/quarantine.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/json_util.h"
+#include "common/string_util.h"
+
+namespace detective {
+
+Result<CancelReason> CancelReasonFromName(std::string_view name) {
+  if (name == "none") return CancelReason::kNone;
+  if (name == "fault") return CancelReason::kFault;
+  if (name == "tuple_budget") return CancelReason::kTupleBudget;
+  if (name == "run_deadline") return CancelReason::kRunDeadline;
+  return Status::InvalidArgument("unknown cancel reason \"", name, "\"");
+}
+
+// ---- QuarantineRecord --------------------------------------------------------
+
+std::string QuarantineRecord::ToJson() const {
+  std::string out = "{\"row\": " + std::to_string(row);
+  out += ", \"rule\": ";
+  AppendJsonString(rule, &out);
+  out += ", \"site\": ";
+  AppendJsonString(site, &out);
+  out += ", \"reason\": ";
+  AppendJsonString(CancelReasonName(reason), &out);
+  out += ", \"round\": " + std::to_string(round);
+  out += ", \"detail\": ";
+  AppendJsonString(detail, &out);
+  out += "}";
+  return out;
+}
+
+Result<QuarantineRecord> QuarantineRecord::FromJson(std::string_view json) {
+  QuarantineRecord record;
+  JsonCursor cursor(json);
+  RETURN_NOT_OK(cursor.Expect('{'));
+  bool saw_row = false;
+  bool saw_reason = false;
+  if (!cursor.TryConsume('}')) {
+    do {
+      ASSIGN_OR_RETURN(std::string field, cursor.TakeString());
+      RETURN_NOT_OK(cursor.Expect(':'));
+      if (field == "row") {
+        ASSIGN_OR_RETURN(record.row, cursor.TakeUint());
+        saw_row = true;
+      } else if (field == "round") {
+        ASSIGN_OR_RETURN(record.round, cursor.TakeUint());
+      } else if (field == "rule") {
+        ASSIGN_OR_RETURN(record.rule, cursor.TakeString());
+      } else if (field == "site") {
+        ASSIGN_OR_RETURN(record.site, cursor.TakeString());
+      } else if (field == "reason") {
+        ASSIGN_OR_RETURN(std::string name, cursor.TakeString());
+        ASSIGN_OR_RETURN(record.reason, CancelReasonFromName(name));
+        saw_reason = true;
+      } else if (field == "detail") {
+        ASSIGN_OR_RETURN(record.detail, cursor.TakeString());
+      } else {
+        return Status::InvalidArgument("quarantine JSON: unknown field \"",
+                                       field, "\"");
+      }
+    } while (cursor.TryConsume(','));
+    RETURN_NOT_OK(cursor.Expect('}'));
+  }
+  RETURN_NOT_OK(cursor.ExpectEnd());
+  if (!saw_row || !saw_reason) {
+    return Status::InvalidArgument(
+        "quarantine JSON: missing required field (row, reason)");
+  }
+  return record;
+}
+
+// ---- QuarantineLog -----------------------------------------------------------
+
+void QuarantineLog::Merge(QuarantineLog&& other) {
+  records_.insert(records_.end(),
+                  std::make_move_iterator(other.records_.begin()),
+                  std::make_move_iterator(other.records_.end()));
+  other.records_.clear();
+}
+
+void QuarantineLog::Canonicalize() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const QuarantineRecord& a, const QuarantineRecord& b) {
+                     if (a.row != b.row) return a.row < b.row;
+                     return a.round < b.round;
+                   });
+}
+
+std::vector<uint64_t> QuarantineLog::Rows() const {
+  std::vector<uint64_t> rows;
+  rows.reserve(records_.size());
+  for (const QuarantineRecord& record : records_) rows.push_back(record.row);
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+std::string QuarantineLog::ToJsonLines() const {
+  std::string out;
+  for (const QuarantineRecord& record : records_) {
+    out += record.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+Status QuarantineLog::WriteJsonLines(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  out << ToJsonLines();
+  if (!out) {
+    return Status::IOError("error writing quarantine JSONL to ", path);
+  }
+  return Status::OK();
+}
+
+Result<QuarantineLog> QuarantineLog::FromJsonLines(std::string_view text) {
+  QuarantineLog log;
+  size_t line_number = 0;
+  while (!text.empty()) {
+    size_t end = text.find('\n');
+    std::string_view line =
+        end == std::string_view::npos ? text : text.substr(0, end);
+    text = end == std::string_view::npos ? std::string_view{}
+                                         : text.substr(end + 1);
+    ++line_number;
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    auto record = QuarantineRecord::FromJson(line);
+    if (!record.ok()) {
+      return Status::InvalidArgument("quarantine JSONL line ",
+                                     std::to_string(line_number), ": ",
+                                     record.status().message());
+    }
+    log.Add(std::move(*record));
+  }
+  return log;
+}
+
+}  // namespace detective

@@ -1,0 +1,98 @@
+#ifndef DETECTIVE_CORE_QUARANTINE_H_
+#define DETECTIVE_CORE_QUARANTINE_H_
+
+// Per-tuple quarantine: the graceful-degradation ledger of the fault-tolerant
+// pipeline. When a tuple's chase is abandoned — an injected fault
+// (common/fault.h), an expired per-tuple budget, or the whole-run deadline
+// (common/deadline.h) — the driver restores the tuple's pristine bytes and
+// records one QuarantineRecord here instead of failing the run. The paper's
+// independence argument (§V: "repairing one tuple is irrelevant to any other
+// tuple") is what makes this sound: setting one tuple aside cannot change any
+// other tuple's fixpoint.
+//
+// Records serialize one-per-line as JSON (JSONL) through
+// `detective_clean --quarantine-json=FILE`, mirroring the provenance log
+// (core/provenance.h); the schema is documented in docs/robustness.md.
+// ParallelRepair gives each worker a private log and merges them in worker
+// (= ascending row) order, so the combined log equals a sequential run's.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace detective {
+
+/// Parses a CancelReasonName() wire name back to the enum.
+Result<CancelReason> CancelReasonFromName(std::string_view name);
+
+/// Why one tuple was set aside instead of repaired.
+struct QuarantineRecord {
+  uint64_t row = 0;
+  /// Rule in flight when the trip was observed; empty when the trip happened
+  /// outside any rule (per-tuple probe, pre-expired run deadline).
+  std::string rule;
+  /// Fault-probe site for reason "fault"; empty for deadline trips.
+  std::string site;
+  CancelReason reason = CancelReason::kNone;
+  /// 1-based fixpoint round the chase had reached; 0 before the first round.
+  uint64_t round = 0;
+  /// Human-readable cause (e.g. the injected fault's message).
+  std::string detail;
+
+  /// One-line JSON object (JSONL-safe). Schema:
+  ///   {"row": 3, "rule": "phi1", "site": "kb.lookup", "reason": "fault",
+  ///    "round": 2, "detail": "injected fault at kb.lookup (hit 4)"}
+  std::string ToJson() const;
+
+  /// Parses a ToJson() document. Fields may appear in any order; unknown
+  /// fields are rejected; `row` and `reason` are required.
+  static Result<QuarantineRecord> FromJson(std::string_view json);
+
+  friend bool operator==(const QuarantineRecord&,
+                         const QuarantineRecord&) = default;
+};
+
+/// An append-only sequence of quarantine records for one run. Not
+/// thread-safe: ParallelRepair gives each worker a private log and merges
+/// them afterwards.
+class QuarantineLog {
+ public:
+  void Add(QuarantineRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<QuarantineRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void Clear() { records_.clear(); }
+
+  /// Appends every record of `other` (left in a valid unspecified state).
+  void Merge(QuarantineLog&& other);
+
+  /// Stable-sorts records by (row, round) so logs assembled from per-worker
+  /// shards — or re-chases appended out of order by the circuit breaker —
+  /// compare equal to a sequential run's log.
+  void Canonicalize();
+
+  /// Rows with at least one record, ascending and deduplicated.
+  std::vector<uint64_t> Rows() const;
+
+  /// One ToJson() line per record, each terminated by '\n'.
+  std::string ToJsonLines() const;
+  Status WriteJsonLines(const std::string& path) const;
+
+  /// Parses a ToJsonLines() document (blank lines are skipped).
+  static Result<QuarantineLog> FromJsonLines(std::string_view text);
+
+  friend bool operator==(const QuarantineLog&, const QuarantineLog&) = default;
+
+ private:
+  std::vector<QuarantineRecord> records_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_QUARANTINE_H_

@@ -1,6 +1,8 @@
 #include "core/repair.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -26,6 +28,7 @@ Status RuleEngine::Init() {
     if (!bound.ok()) return bound.status();
     bound_.push_back(std::move(*bound));
   }
+  disabled_.assign(rules_.size(), 0);
   return Status::OK();
 }
 
@@ -35,7 +38,19 @@ size_t RuleEngine::num_usable_rules() const {
   return count;
 }
 
+void RuleEngine::set_rule_disabled(uint32_t index, bool disabled) {
+  DETECTIVE_CHECK_LT(index, disabled_.size()) << "Init() not called";
+  disabled_[index] = disabled ? 1 : 0;
+}
+
+size_t RuleEngine::num_disabled_rules() const {
+  size_t count = 0;
+  for (char flag : disabled_) count += flag != 0 ? 1 : 0;
+  return count;
+}
+
 RuleEvaluation RuleEngine::Evaluate(uint32_t index, const Tuple& tuple) {
+  if (rule_disabled(index)) return RuleEvaluation{};
   ++stats_.rule_checks;
   DETECTIVE_COUNT("repair.rule_checks");
   RuleEvaluation evaluation;
@@ -257,7 +272,7 @@ void MultiVersionChase(RuleEngine& engine, const std::vector<uint32_t>& check_or
     engine.set_current_round(++round);
     bool fired = false;
     for (uint32_t index : check_order) {
-      if (applied[index]) continue;
+      if (applied[index] || engine.rule_disabled(index)) continue;
       RuleEvaluation evaluation = engine.Evaluate(index, tuple);
       if (evaluation.action == RuleEvaluation::Action::kNone) continue;
       applied[index] = 1;
@@ -308,7 +323,7 @@ void BasicRepairer::RepairTuple(Tuple* tuple) {
     engine_.set_current_round(++round);
     bool fired = false;
     for (uint32_t index = 0; index < engine_.num_rules(); ++index) {
-      if (applied[index]) continue;
+      if (applied[index] || engine_.rule_disabled(index)) continue;
       RuleEvaluation evaluation = engine_.Evaluate(index, *tuple);
       if (evaluation.action == RuleEvaluation::Action::kNone) continue;
       engine_.Apply(index, evaluation, tuple, 0);
@@ -359,7 +374,9 @@ Status FastRepairer::Init() {
   return Status::OK();
 }
 
-void FastRepairer::RepairTuple(Tuple* tuple) {
+void FastRepairer::RepairTuple(Tuple* tuple) { RepairTupleImpl(tuple, nullptr); }
+
+void FastRepairer::RepairTupleImpl(Tuple* tuple, CancelToken* cancel) {
   ++engine_.stats().tuples_processed;
   DETECTIVE_COUNT("repair.tuples_processed");
   DETECTIVE_CHECK(rule_graph_ != nullptr) << "Init() not called";
@@ -388,8 +405,16 @@ void FastRepairer::RepairTuple(Tuple* tuple) {
       stable = true;
       for (size_t k = i; k < j; ++k) {
         uint32_t index = check_order_[k];
-        if (applied[index]) continue;
+        if (applied[index] || engine_.rule_disabled(index)) continue;
         RuleEvaluation evaluation = engine_.Evaluate(index, *tuple);
+        // The trip may have surfaced inside the evaluation (fault probe,
+        // expired budget observed by the matcher's poll): discard the
+        // possibly-partial evaluation and abandon the chase, blaming the
+        // rule in flight. The guarded driver restores the tuple.
+        if (cancel != nullptr && cancel->Check()) {
+          cancel->BlameOnce(engine_.rules()[index].name(), round);
+          return;
+        }
         if (evaluation.action == RuleEvaluation::Action::kNone) continue;
         engine_.Apply(index, evaluation, tuple, 0);
         applied[index] = 1;
@@ -420,6 +445,118 @@ std::vector<Tuple> FastRepairer::RepairMultiVersion(const Tuple& tuple) {
   MultiVersionChase(engine_, check_order_, engine_.options().max_versions, tuple,
                     std::vector<char>(engine_.num_rules(), 0), &out);
   return out;
+}
+
+// ---- Guarded repair ----------------------------------------------------------
+
+bool FastRepairer::RepairTupleGuarded(size_t row, Deadline run_deadline,
+                                      Tuple* tuple, QuarantineLog* quarantine) {
+  // Fault decisions inside are keyed to this row with fresh hit counters, so
+  // they are identical no matter which worker (or breaker retry) runs them.
+  fault::TupleScope fault_scope(row);
+  CancelToken token;
+  const uint64_t budget_ms = engine_.options().tuple_budget_ms;
+  token.ArmDeadlines(run_deadline, budget_ms > 0 ? Deadline::AfterMs(budget_ms)
+                                                 : Deadline::Infinite());
+  engine_.set_current_row(row);
+  Tuple pristine = *tuple;
+  // Provenance goes through a scratch log: an abandoned chase rolls the
+  // tuple back, so its records must never reach the caller's sink.
+  ProvenanceLog* sink = engine_.provenance();
+  ProvenanceLog scratch;
+  if (sink != nullptr) engine_.set_provenance(&scratch);
+  engine_.set_cancel(&token);
+  // An expired run deadline (or a per-tuple probe fault) quarantines the
+  // tuple before the chase starts: round 0, no blamed rule.
+  token.CheckNow();
+  DETECTIVE_FAULT_POINT_CANCEL("repair.tuple", &token);
+  if (!token.tripped()) RepairTupleImpl(tuple, &token);
+  engine_.set_cancel(nullptr);
+  if (sink != nullptr) {
+    engine_.set_provenance(sink);
+    if (!token.tripped()) sink->Merge(std::move(scratch));
+  }
+  if (!token.tripped()) return true;
+
+  *tuple = std::move(pristine);
+  QuarantineRecord record;
+  record.row = row;
+  record.rule = token.blamed_rule();
+  record.site = token.site();
+  record.reason = token.reason();
+  record.round = token.blamed_round();
+  record.detail = token.detail();
+  ++engine_.stats().tuples_quarantined;
+  DETECTIVE_COUNT("quarantine.tuples");
+  DETECTIVE_TRACE_INSTANT("quarantine.tuple");
+  if (quarantine != nullptr) quarantine->Add(std::move(record));
+  return false;
+}
+
+void FastRepairer::RepairRelationGuarded(Relation* relation,
+                                         QuarantineLog* quarantine) {
+  DETECTIVE_SCOPED_TIMER("repair.relation");
+  DETECTIVE_TRACE_SPAN(
+      "repair.relation",
+      {"rows", static_cast<int64_t>(relation->num_tuples())});
+  const uint64_t deadline_ms = engine_.options().deadline_ms;
+  Deadline run_deadline = deadline_ms > 0 ? Deadline::AfterMs(deadline_ms)
+                                          : Deadline::Infinite();
+  QuarantineLog ledger;
+  for (size_t row = 0; row < relation->num_tuples(); ++row) {
+    RepairTupleGuarded(row, run_deadline, &relation->mutable_tuple(row),
+                       &ledger);
+  }
+  BreakerFixpoint(*this, relation, run_deadline, &ledger);
+  ledger.Canonicalize();
+  if (quarantine != nullptr) quarantine->Merge(std::move(ledger));
+}
+
+void BreakerFixpoint(FastRepairer& repairer, Relation* relation,
+                     Deadline run_deadline, QuarantineLog* quarantine) {
+  RuleEngine& engine = repairer.engine();
+  const size_t threshold = engine.options().max_rule_failures;
+  if (threshold == 0 || quarantine == nullptr) return;
+
+  // Each iteration disables at least one rule, so num_rules bounds the loop.
+  for (size_t iteration = 0; iteration < engine.num_rules(); ++iteration) {
+    std::map<std::string, size_t> tally;
+    for (const QuarantineRecord& record : quarantine->records()) {
+      if (!record.rule.empty()) ++tally[record.rule];
+    }
+    std::set<std::string> newly_disabled;
+    for (uint32_t index = 0; index < engine.num_rules(); ++index) {
+      if (engine.rule_disabled(index)) continue;
+      auto it = tally.find(engine.rules()[index].name());
+      if (it == tally.end() || it->second < threshold) continue;
+      engine.set_rule_disabled(index, true);
+      newly_disabled.insert(it->first);
+      DETECTIVE_COUNT("quarantine.breaker_trips");
+      DETECTIVE_TRACE_INSTANT("quarantine.breaker_trip");
+    }
+    if (newly_disabled.empty()) return;
+
+    // The tripped rules' victims get another chance with those rules out of
+    // the rule set; their old records are replaced by the retry's outcome.
+    std::vector<QuarantineRecord> kept;
+    std::vector<uint64_t> retry_rows;
+    for (const QuarantineRecord& record : quarantine->records()) {
+      if (newly_disabled.count(record.rule) > 0) {
+        retry_rows.push_back(record.row);
+      } else {
+        kept.push_back(record);
+      }
+    }
+    quarantine->Clear();
+    for (QuarantineRecord& record : kept) quarantine->Add(std::move(record));
+    std::sort(retry_rows.begin(), retry_rows.end());
+    retry_rows.erase(std::unique(retry_rows.begin(), retry_rows.end()),
+                     retry_rows.end());
+    for (uint64_t row : retry_rows) {
+      repairer.RepairTupleGuarded(static_cast<size_t>(row), run_deadline,
+                                  &relation->mutable_tuple(row), quarantine);
+    }
+  }
 }
 
 }  // namespace detective

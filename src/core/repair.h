@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "core/bound_rule.h"
 #include "core/evidence_matcher.h"
 #include "core/provenance.h"
+#include "core/quarantine.h"
 #include "core/rule_graph.h"
 #include "kb/knowledge_base.h"
 #include "relation/relation.h"
@@ -22,7 +25,25 @@ struct RepairOptions {
   bool use_rule_order = true;
   /// Cap on tuple versions produced by multi-version repair (§IV-C).
   size_t max_versions = 8;
+
+  // Robustness knobs (guarded repair; docs/robustness.md). All default off.
+  /// Whole-run deadline in milliseconds (0 = none): once it expires, every
+  /// remaining tuple is quarantined with reason "run_deadline".
+  uint64_t deadline_ms = 0;
+  /// Per-tuple chase budget in milliseconds (0 = none).
+  uint64_t tuple_budget_ms = 0;
+  /// Circuit breaker: a rule blamed for this many quarantined tuples is
+  /// disabled for the rest of the run and its victims re-chased (0 = off).
+  size_t max_rule_failures = 0;
 };
+
+/// True when any robustness feature is active, i.e. the relation drivers
+/// should take the guarded path (per-tuple tokens + quarantine) rather than
+/// the zero-overhead fast path.
+inline bool GuardedRepairRequested(const RepairOptions& options) {
+  return options.deadline_ms > 0 || options.tuple_budget_ms > 0 ||
+         options.max_rule_failures > 0 || fault::Armed();
+}
 
 /// Counters reported by the efficiency benchmarks (Fig. 8).
 struct RepairStats {
@@ -32,6 +53,10 @@ struct RepairStats {
   size_t proofs_positive = 0;
   size_t repairs = 0;            // cells rewritten
   size_t cells_marked = 0;       // cells newly marked positive
+  /// Quarantine events (guarded repair only). Counts every abandoned chase
+  /// attempt — a tuple re-chased by the circuit breaker and abandoned again
+  /// counts twice; the final quarantine ledger is QuarantineLog.
+  size_t tuples_quarantined = 0;
 };
 
 /// Outcome of evaluating one rule against one tuple.
@@ -108,6 +133,22 @@ class RuleEngine {
   void set_current_row(size_t row) { current_row_ = row; }
   void set_current_round(size_t round) { current_round_ = round; }
 
+  /// Installs a cancellation token on the engine and its matcher for the
+  /// duration of one guarded tuple chase; nullptr restores the fast path.
+  void set_cancel(CancelToken* token) {
+    cancel_ = token;
+    matcher_->set_cancel(token);
+  }
+  CancelToken* cancel() const { return cancel_; }
+
+  /// Circuit-breaker support: a disabled rule never fires again (Evaluate
+  /// returns kNone without counting a rule check). Valid after Init().
+  void set_rule_disabled(uint32_t index, bool disabled);
+  bool rule_disabled(uint32_t index) const {
+    return index < disabled_.size() && disabled_[index] != 0;
+  }
+  size_t num_disabled_rules() const;
+
  private:
   /// Builds the provenance records for applying `evaluation` to `tuple`.
   /// Must run before the tuple is mutated (records capture pre-change cell
@@ -125,6 +166,8 @@ class RuleEngine {
   ProvenanceLog* provenance_ = nullptr;
   size_t current_row_ = 0;
   size_t current_round_ = 0;
+  CancelToken* cancel_ = nullptr;
+  std::vector<char> disabled_;  // per rule index; sized by Init()
 };
 
 /// Algorithm 1 (bRepair): chase to fixpoint by rescanning the rule set for
@@ -170,15 +213,41 @@ class FastRepairer {
   void RepairRelation(Relation* relation);
   std::vector<Tuple> RepairMultiVersion(const Tuple& tuple);
 
+  /// Guarded single-tuple repair (graceful degradation): chases `tuple`
+  /// under a fresh CancelToken armed with `run_deadline` and the per-tuple
+  /// budget from RepairOptions, with fault probes scoped to `row`. If the
+  /// token trips, the tuple is restored to its pristine bytes, one record is
+  /// appended to `quarantine` (may be null), and false is returned.
+  bool RepairTupleGuarded(size_t row, Deadline run_deadline, Tuple* tuple,
+                          QuarantineLog* quarantine);
+
+  /// Guarded relation repair: RepairTupleGuarded over every row, then the
+  /// circuit-breaker fixpoint (BreakerFixpoint). The final ledger is merged
+  /// into `quarantine` (may be null) in canonical order.
+  void RepairRelationGuarded(Relation* relation, QuarantineLog* quarantine);
+
   RuleEngine& engine() { return engine_; }
   const RepairStats& stats() const { return engine_.stats(); }
   const RuleGraph& rule_graph() const { return *rule_graph_; }
 
  private:
+  /// Shared chase loop; `cancel` null = the unguarded fast path.
+  void RepairTupleImpl(Tuple* tuple, CancelToken* cancel);
+
   RuleEngine engine_;
   std::unique_ptr<RuleGraph> rule_graph_;
   std::vector<uint32_t> check_order_;
 };
+
+/// Circuit-breaker fixpoint shared by the sequential and parallel drivers:
+/// tallies the rules blamed in `quarantine`, disables every not-yet-disabled
+/// rule blamed `max_rule_failures`-or-more times (RepairOptions), re-chases
+/// the rows its victims were quarantined for (their records are replaced by
+/// the retry's outcome), and repeats until no new rule trips — at most
+/// num_rules iterations. No-op when the breaker is off. Deterministic: the
+/// tally is order-independent and retries run in ascending row order.
+void BreakerFixpoint(FastRepairer& repairer, Relation* relation,
+                     Deadline run_deadline, QuarantineLog* quarantine);
 
 }  // namespace detective
 

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace detective {
@@ -240,12 +241,19 @@ Result<std::vector<DetectiveRule>> ParseRules(std::string_view text) {
 }
 
 Result<std::vector<DetectiveRule>> ParseRulesFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open ", path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for ", path);
-  return ParseRules(buffer.str());
+  // Transient I/O failures (including injected ones) are retried with capped
+  // backoff; syntax errors are permanent and surface immediately.
+  auto text = fault::RetryTransient([&]() -> Result<std::string> {
+    DETECTIVE_FAULT_POINT("rule.parse");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IOError("read failed for ", path);
+    return buffer.str();
+  });
+  if (!text.ok()) return text.status();
+  return ParseRules(*text);
 }
 
 namespace {

@@ -8,11 +8,26 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace detective {
 
 namespace {
+
+/// Shared per-line guard for both triple formats (kMaxKbLineBytes /
+/// kMaxKbLines, ntriples_parser.h).
+Status CheckLineLimits(std::string_view line, size_t line_number) {
+  if (line.size() > kMaxKbLineBytes) {
+    return Status::ParseError("line ", line_number, " exceeds the line limit of ",
+                              kMaxKbLineBytes, " bytes");
+  }
+  if (line_number > kMaxKbLines) {
+    return Status::ParseError("input exceeds the line limit of ", kMaxKbLines,
+                              " lines");
+  }
+  return Status::OK();
+}
 
 constexpr std::string_view kTypePredicates[] = {"rdf:type", "a", "type"};
 constexpr std::string_view kSubclassPredicates[] = {"rdfs:subClassOf", "subClassOf"};
@@ -266,7 +281,8 @@ Result<std::vector<RawTriple>> TokenizeNTriples(std::string_view text) {
     std::string_view line = end == std::string_view::npos
                                 ? text.substr(start)
                                 : text.substr(start, end - start);
-    Status st = ParseNTriplesLine(line, line_number, &triples);
+    Status st = CheckLineLimits(line, line_number);
+    if (st.ok()) st = ParseNTriplesLine(line, line_number, &triples);
     if (!st.ok()) return st;
     if (end == std::string_view::npos) break;
     start = end + 1;
@@ -283,23 +299,36 @@ Result<KnowledgeBase> ParseNTriples(std::string_view text) {
   return BuildFromTriples(*triples);
 }
 
+namespace {
+
+/// Reads the whole file, retrying transient I/O failures (including
+/// injected ones at the "kb.load" probe) with capped backoff; parse errors
+/// downstream are permanent and never retried.
+Result<std::string> ReadKbFile(const std::string& path) {
+  return fault::RetryTransient([&]() -> Result<std::string> {
+    DETECTIVE_FAULT_POINT("kb.load");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IOError("read failed for ", path);
+    return buffer.str();
+  });
+}
+
+}  // namespace
+
 Result<KnowledgeBase> ParseNTriplesFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open ", path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for ", path);
-  return ParseNTriples(buffer.str());
+  auto text = ReadKbFile(path);
+  if (!text.ok()) return text.status();
+  return ParseNTriples(*text);
 }
 
 Result<KnowledgeBase> LoadKbFile(const std::string& path) {
   if (!EndsWith(path, ".tsv")) return ParseNTriplesFile(path);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open ", path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IOError("read failed for ", path);
-  return ParseTsvTriples(buffer.str());
+  auto text = ReadKbFile(path);
+  if (!text.ok()) return text.status();
+  return ParseTsvTriples(*text);
 }
 
 Result<KnowledgeBase> ParseTsvTriples(std::string_view text) {
@@ -311,7 +340,8 @@ Result<KnowledgeBase> ParseTsvTriples(std::string_view text) {
     std::string_view line = end == std::string_view::npos
                                 ? text.substr(start)
                                 : text.substr(start, end - start);
-    Status st = ParseTsvLine(line, line_number, &triples);
+    Status st = CheckLineLimits(line, line_number);
+    if (st.ok()) st = ParseTsvLine(line, line_number, &triples);
     if (!st.ok()) return st;
     if (end == std::string_view::npos) break;
     start = end + 1;

@@ -9,6 +9,13 @@
 
 namespace detective {
 
+/// Resource-exhaustion guards for the triple loaders: a single line longer
+/// than kMaxKbLineBytes, or a file with more than kMaxKbLines lines, is
+/// rejected with a descriptive Status instead of being buffered without
+/// bound.
+inline constexpr size_t kMaxKbLineBytes = size_t{1} << 20;  // 1 MiB
+inline constexpr size_t kMaxKbLines = 50'000'000;
+
 /// Hand-rolled parser for the N-Triples subset that Yago/DBpedia dumps use
 /// in practice (no prefixes, no blank nodes, no datatype/lang tags needed by
 /// the cleaning algorithms — tags are accepted and stripped).

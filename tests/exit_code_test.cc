@@ -1,0 +1,193 @@
+// Asserts the documented exit-code contract of the CLI tools end to end
+// (docs/robustness.md): detective_clean exits 0 success, 1 load/runtime
+// failure, 2 inconsistent under --check-consistency, 3 lint-rejected under
+// --lint=strict, 4 completed degraded, 64 usage; detective_lint 0/1/3/64;
+// detective_explain 0/1/64. The binaries are driven as subprocesses — the
+// same way CI and downstream scripts consume them.
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace detective {
+namespace {
+
+constexpr const char* kCleanBin = DETECTIVE_CLEAN_BIN;
+constexpr const char* kLintBin = DETECTIVE_LINT_BIN;
+constexpr const char* kExplainBin = DETECTIVE_EXPLAIN_BIN;
+constexpr const char* kDataDir = DETECTIVE_SOURCE_DIR "/data";
+
+/// Runs `command` (with stdout/stderr silenced) and returns its exit code,
+/// or -1 if the child did not exit normally.
+int ExitCode(const std::string& command) {
+  int raw = std::system((command + " >/dev/null 2>&1").c_str());
+  if (raw == -1 || !WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// The paper's shipped example: clean run, all codes 0.
+std::string CleanCommand(const std::string& extra) {
+  return std::string(kCleanBin) + " --kb=" + kDataDir + "/figure1.nt" +
+         " --rules=" + kDataDir + "/figure4.dr" + " --input=" + kDataDir +
+         "/table1.csv --output=" + TempPath("exit_out.csv") + " " + extra;
+}
+
+TEST(CleanExitCodes, SuccessIsZero) {
+  EXPECT_EQ(ExitCode(CleanCommand("")), 0);
+}
+
+TEST(CleanExitCodes, LoadFailureIsOne) {
+  std::string cmd = std::string(kCleanBin) +
+                    " --kb=/nonexistent.nt --rules=" + kDataDir +
+                    "/figure4.dr --input=" + kDataDir +
+                    "/table1.csv --output=" + TempPath("exit_out.csv");
+  EXPECT_EQ(ExitCode(cmd), 1);
+}
+
+TEST(CleanExitCodes, InconsistentRuleSetIsTwo) {
+  // Two rules that repair City from conflicting evidence (cf.
+  // consistency_test.cc): different chase orders reach different fixpoints,
+  // so --check-consistency must refuse. Lint is off — the static analyzer
+  // flags the same conflict ahead of time, which is exit 3's job.
+  std::string kb_path = TempPath("exit_conflict.nt");
+  WriteFile(kb_path,
+            "<Alice> <rdf:type> <person> .\n"
+            "<Rome> <rdf:type> <city> .\n"
+            "<Oslo> <rdf:type> <city> .\n"
+            "<Cairo> <rdf:type> <city> .\n"
+            "<Alice> <livesIn> <Rome> .\n"
+            "<Alice> <worksIn> <Oslo> .\n"
+            "<Alice> <bornIn> <Cairo> .\n");
+  std::string rules_path = TempPath("exit_conflict.dr");
+  WriteFile(rules_path,
+            "RULE via_lives\n"
+            "NODE e col=\"Name\" type=\"person\"\n"
+            "POS p col=\"City\" type=\"city\"\n"
+            "NEG n col=\"City\" type=\"city\"\n"
+            "EDGE e \"livesIn\" p\n"
+            "EDGE e \"bornIn\" n\n"
+            "END\n"
+            "RULE via_works\n"
+            "NODE e col=\"Name\" type=\"person\"\n"
+            "POS p col=\"City\" type=\"city\"\n"
+            "NEG n col=\"City\" type=\"city\"\n"
+            "EDGE e \"worksIn\" p\n"
+            "EDGE e \"bornIn\" n\n"
+            "END\n");
+  std::string csv_path = TempPath("exit_conflict.csv");
+  WriteFile(csv_path, "Name,City\nAlice,Cairo\n");
+  std::string cmd = std::string(kCleanBin) + " --kb=" + kb_path +
+                    " --rules=" + rules_path + " --input=" + csv_path +
+                    " --output=" + TempPath("exit_out.csv") +
+                    " --lint=off --check-consistency";
+  EXPECT_EQ(ExitCode(cmd), 2);
+}
+
+TEST(CleanExitCodes, LintRejectionIsThree) {
+  // A rule over a type the KB does not declare is an error-level lint
+  // finding; --lint=strict refuses to run, --lint=warn proceeds (the rule
+  // just never fires).
+  std::string rules_path = TempPath("exit_unknown_type.dr");
+  WriteFile(rules_path,
+            "RULE ghost\n"
+            "NODE e col=\"Name\" type=\"martian\"\n"
+            "POS p col=\"Prize\" type=\"prize\"\n"
+            "NEG n col=\"Prize\" type=\"prize\"\n"
+            "EDGE e \"hasWonPrize\" p\n"
+            "EDGE e \"hasWonPrize\" n\n"
+            "END\n");
+  std::string base = std::string(kCleanBin) + " --kb=" + kDataDir +
+                     "/figure1.nt --rules=" + rules_path +
+                     " --input=" + kDataDir +
+                     "/table1.csv --output=" + TempPath("exit_out.csv");
+  EXPECT_EQ(ExitCode(base + " --lint=strict"), 3);
+  EXPECT_EQ(ExitCode(base + " --lint=warn"), 0);
+}
+
+#if DETECTIVE_FAULT_ENABLED
+TEST(CleanExitCodes, DegradedCompletionIsFour) {
+  std::string quarantine_path = TempPath("exit_quarantine.jsonl");
+  std::string cmd = CleanCommand(
+      "--fault-plan='seed=7; site=repair.tuple, p=0.5' --quarantine-json=" +
+      quarantine_path);
+  EXPECT_EQ(ExitCode(cmd), 4);
+  // The ledger was still written before the degraded exit.
+  std::ifstream in(quarantine_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"reason\": \"fault\""), std::string::npos) << line;
+}
+
+TEST(CleanExitCodes, FaultPlanFromEnvironmentAlsoDegrades) {
+  std::string cmd = "DETECTIVE_FAULT_PLAN='seed=7; site=repair.tuple, p=0.5' " +
+                    CleanCommand("");
+  EXPECT_EQ(ExitCode(cmd), 4);
+}
+#endif  // DETECTIVE_FAULT_ENABLED
+
+TEST(CleanExitCodes, UsageErrorsAreSixtyFour) {
+  EXPECT_EQ(ExitCode(kCleanBin), 64);  // required flags missing
+  EXPECT_EQ(ExitCode(CleanCommand("--no-such-flag")), 64);
+  EXPECT_EQ(ExitCode(CleanCommand("--algorithm=quantum")), 64);
+  EXPECT_EQ(ExitCode(CleanCommand("--deadline-ms=soon")), 64);
+  EXPECT_EQ(ExitCode(CleanCommand("--fault-plan=bogus")), 64);
+  EXPECT_EQ(ExitCode(CleanCommand("--multi-version --tuple-budget-ms=5")), 64);
+  EXPECT_EQ(ExitCode(CleanCommand("--algorithm=basic --max-rule-failures=1")),
+            64);
+}
+
+TEST(LintExitCodes, Contract) {
+  std::string clean = std::string(kLintBin) + " --kb=" + kDataDir +
+                      "/figure1.nt --rules=" + kDataDir + "/figure4.dr";
+  EXPECT_EQ(ExitCode(clean), 0);
+  EXPECT_EQ(ExitCode(std::string(kLintBin) + " --kb=/nonexistent.nt --rules=" +
+                     kDataDir + "/figure4.dr"),
+            1);
+  EXPECT_EQ(ExitCode(kLintBin), 64);
+
+  std::string rules_path = TempPath("exit_lint_unknown.dr");
+  WriteFile(rules_path,
+            "RULE ghost\n"
+            "NODE e col=\"Name\" type=\"martian\"\n"
+            "POS p col=\"Prize\" type=\"prize\"\n"
+            "NEG n col=\"Prize\" type=\"prize\"\n"
+            "EDGE e \"hasWonPrize\" p\n"
+            "EDGE e \"hasWonPrize\" n\n"
+            "END\n");
+  std::string bad = std::string(kLintBin) + " --kb=" + kDataDir +
+                    "/figure1.nt --rules=" + rules_path;
+  EXPECT_EQ(ExitCode(bad), 3);
+  EXPECT_EQ(ExitCode(bad + " --fail-on=never"), 0);
+}
+
+TEST(ExplainExitCodes, Contract) {
+  std::string explain_path = TempPath("exit_explain.jsonl");
+  std::string cmd =
+      CleanCommand("--explain-json=" + explain_path);
+  ASSERT_EQ(ExitCode(cmd), 0);
+  EXPECT_EQ(
+      ExitCode(std::string(kExplainBin) + " --explain-json=" + explain_path),
+      0);
+  EXPECT_EQ(ExitCode(std::string(kExplainBin) +
+                     " --explain-json=/nonexistent.jsonl"),
+            1);
+  EXPECT_EQ(ExitCode(kExplainBin), 64);
+  EXPECT_EQ(ExitCode(std::string(kExplainBin) + " --explain-json=" +
+                     explain_path + " --cell=notacell"),
+            64);
+}
+
+}  // namespace
+}  // namespace detective

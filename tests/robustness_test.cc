@@ -6,7 +6,12 @@
 #include <gtest/gtest.h>
 
 #include "common/csv.h"
+#include "common/fault.h"
+#include "common/json_util.h"
 #include "common/random.h"
+#include "core/provenance.h"
+#include "core/quarantine.h"
+#include "core/repair.h"
 #include "core/rule_io.h"
 #include "kb/kb_stats.h"
 #include "kb/ntriples_parser.h"
@@ -120,7 +125,121 @@ TEST_P(ParserRobustness, SimilarityParseNeverCrashes) {
   }
 }
 
+TEST_P(ParserRobustness, JsonCursorNeverCrashes) {
+  Rng rng(GetParam() + 700);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Drive the cursor the way the schema readers do; every method must
+    // return a Status/Result on arbitrary bytes.
+    JsonCursor cursor(RandomBytes(&rng, 100, trial % 2 == 0));
+    if (cursor.TryConsume('{')) {
+      while (true) {
+        if (!cursor.TakeString().ok()) break;
+        if (!cursor.Expect(':').ok()) break;
+        if (!cursor.TakeUint().ok() && !cursor.TakeString().ok()) break;
+        if (!cursor.TryConsume(',')) break;
+      }
+      (void)cursor.Expect('}');
+    } else {
+      (void)cursor.TakeString();
+      (void)cursor.TakeUint();
+    }
+    (void)cursor.ExpectEnd();
+  }
+}
+
+TEST_P(ParserRobustness, ProvenanceJsonLinesNeverCrash) {
+  // A real provenance log from the paper's worked example, then mutated.
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  Relation table = testing::BuildTableI();
+  ProvenanceLog log;
+  FastRepairer repairer(kb, table.schema(), testing::BuildFigure4Rules());
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.engine().set_provenance(&log);
+  repairer.RepairRelation(&table);
+  std::string valid = log.ToJsonLines();
+  ASSERT_FALSE(valid.empty());
+  auto round = ProvenanceLog::FromJsonLines(valid);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+
+  Rng rng(GetParam() + 800);
+  for (int trial = 0; trial < 200; ++trial) {
+    (void)ProvenanceLog::FromJsonLines(Mutate(valid, &rng, 1 + rng.NextIndex(8)));
+    (void)ProvenanceLog::FromJsonLines(RandomBytes(&rng, 200, trial % 2 == 0));
+  }
+}
+
+TEST_P(ParserRobustness, FaultPlanParseNeverCrashes) {
+  Rng rng(GetParam() + 900);
+  std::string valid =
+      "seed=7; site=kb.load, hit=1; site=kb.*, kind=latency, latency_ms=5, p=0.5";
+  for (int trial = 0; trial < 500; ++trial) {
+    (void)fault::FaultPlan::Parse(RandomBytes(&rng, 120, trial % 2 == 0));
+    auto mutated = fault::FaultPlan::Parse(Mutate(valid, &rng, 1 + rng.NextIndex(6)));
+    if (mutated.ok()) {
+      // Anything accepted must round-trip through ToString.
+      auto again = fault::FaultPlan::Parse(mutated->ToString());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *mutated);
+    }
+  }
+}
+
+TEST_P(ParserRobustness, QuarantineJsonLinesNeverCrash) {
+  QuarantineLog log;
+  log.Add({1, "phi1", "kb.lookup", CancelReason::kFault, 2, "injected"});
+  log.Add({3, "", "", CancelReason::kRunDeadline, 0, ""});
+  std::string valid = log.ToJsonLines();
+  auto round = QuarantineLog::FromJsonLines(valid);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(*round, log);
+
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 300; ++trial) {
+    (void)QuarantineLog::FromJsonLines(Mutate(valid, &rng, 1 + rng.NextIndex(8)));
+    (void)QuarantineLog::FromJsonLines(RandomBytes(&rng, 200, trial % 2 == 0));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Values(1, 7, 42));
+
+// ---- Resource-exhaustion limits ---------------------------------------------
+
+TEST(ResourceLimitsTest, CsvFieldLimitRejectsOversizedFields) {
+  CsvOptions options;
+  options.max_field_bytes = 8;
+  auto result = ParseCsv("a,bbbbbbbbbbbbbbbb\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("field limit"), std::string::npos);
+  EXPECT_TRUE(ParseCsv("a,bbbb\n", options).ok());
+  options.max_field_bytes = 0;  // 0 = unlimited
+  EXPECT_TRUE(ParseCsv("a,bbbbbbbbbbbbbbbb\n", options).ok());
+}
+
+TEST(ResourceLimitsTest, CsvRowLimitRejectsOversizedFiles) {
+  CsvOptions options;
+  options.max_rows = 2;
+  auto result = ParseCsv("a\nb\nc\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("row limit"), std::string::npos);
+  EXPECT_TRUE(ParseCsv("a\nb\n", options).ok());
+}
+
+TEST(ResourceLimitsTest, KbLineLimitRejectsOversizedLines) {
+  // One triple whose literal pushes the line past kMaxKbLineBytes must be
+  // rejected with a descriptive error, in both triple formats.
+  std::string huge(kMaxKbLineBytes + 16, 'x');
+  auto nt = ParseNTriples("<s> <label> \"" + huge + "\" .\n");
+  ASSERT_FALSE(nt.ok());
+  EXPECT_NE(nt.status().ToString().find("line limit"), std::string::npos);
+
+  auto tsv = ParseTsvTriples("s\tlabel\t\"" + huge + "\"\n");
+  ASSERT_FALSE(tsv.ok());
+  EXPECT_NE(tsv.status().ToString().find("line limit"), std::string::npos);
+
+  // At the boundary everything still parses.
+  EXPECT_TRUE(ParseNTriples("<s> <label> \"small\" .\n").ok());
+  EXPECT_TRUE(ParseTsvTriples("s\tlabel\t\"small\"\n").ok());
+}
 
 TEST(ParserDeterminism, SameInputSameOutcome) {
   Rng rng(99);

@@ -8,7 +8,10 @@ Two invocation modes:
 
 Directory mode pairs every BENCH_*.json in --baseline-dir with the
 same-named file in --fresh-dir and compares each pair; a baseline whose
-fresh counterpart is missing is a note (a failure under --strict).
+fresh counterpart is missing is a note (a failure under --strict). A fresh
+BENCH_*.json with no committed baseline is always an error — a new
+benchmark must land together with its baseline, otherwise it would never
+be compared and regressions in it would go unnoticed.
 
 All files must follow the schema emitted by bench/bench_util.h
 (BenchJsonWriter): {"schema_version": 1, "bench": ..., "entries":
@@ -157,6 +160,20 @@ def main():
                     pairs.append((None, baseline_path))
                 continue
             pairs.append((fresh_path, baseline_path))
+        baseline_names = {os.path.basename(path) for path in baselines}
+        unmatched = sorted(
+            os.path.basename(path)
+            for path in glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json"))
+            if os.path.basename(path) not in baseline_names
+        )
+        if unmatched:
+            for name in unmatched:
+                print(
+                    f"error: {name} has no baseline under {args.baseline_dir}; "
+                    f"commit one (docs/observability.md) so it is compared",
+                    file=sys.stderr,
+                )
+            return 1
     else:
         if not args.fresh or not args.baseline:
             parser.error("need FRESH and BASELINE files (or --baseline-dir)")

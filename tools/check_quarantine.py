@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a quarantine ledger written by detective_clean --quarantine-json.
+
+  check_quarantine.py QUARANTINE.jsonl [--input IN.csv --output OUT.csv]
+                      [--expect-empty | --expect-nonempty]
+
+Checks every JSONL record against the schema documented in
+docs/robustness.md: required `row` (non-negative integer) and `reason`
+(fault | tuple_budget | run_deadline), optional `rule`/`site`/`detail`
+strings and `round` integer, nothing else. With --input/--output the
+quarantined rows of the repaired CSV must be field-identical to the input
+CSV — a quarantined tuple is left untouched, the invariant the chaos
+harness asserts end to end.
+
+Exit status: 0 valid, 1 on any violation.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+REQUIRED = {"row", "reason"}
+OPTIONAL = {"rule", "site", "detail", "round"}
+REASONS = {"fault", "tuple_budget", "run_deadline"}
+
+
+def fail(message):
+    print(f"FAIL {message}", file=sys.stderr)
+    return 1
+
+
+def load_records(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"line {number}: not JSON: {error}") from error
+            if not isinstance(doc, dict):
+                raise ValueError(f"line {number}: not a JSON object")
+            missing = REQUIRED - doc.keys()
+            if missing:
+                raise ValueError(f"line {number}: missing {sorted(missing)}")
+            unknown = doc.keys() - REQUIRED - OPTIONAL
+            if unknown:
+                raise ValueError(f"line {number}: unknown fields {sorted(unknown)}")
+            if not isinstance(doc["row"], int) or doc["row"] < 0:
+                raise ValueError(f"line {number}: row must be a non-negative integer")
+            if doc["reason"] not in REASONS:
+                raise ValueError(
+                    f"line {number}: reason {doc['reason']!r} not in {sorted(REASONS)}"
+                )
+            if not isinstance(doc.get("round", 0), int):
+                raise ValueError(f"line {number}: round must be an integer")
+            for key in ("rule", "site", "detail"):
+                if key in doc and not isinstance(doc[key], str):
+                    raise ValueError(f"line {number}: {key} must be a string")
+            records.append(doc)
+    return records
+
+
+def load_csv_rows(path):
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise ValueError(f"{path}: empty CSV (no header)")
+    return rows[0], rows[1:]  # header, data rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("quarantine", help="quarantine JSONL from detective_clean")
+    parser.add_argument("--input", help="dirty input CSV the run consumed")
+    parser.add_argument("--output", help="repaired output CSV the run wrote")
+    parser.add_argument(
+        "--expect-empty",
+        action="store_true",
+        help="fail if anything was quarantined (exit-0 runs)",
+    )
+    parser.add_argument(
+        "--expect-nonempty",
+        action="store_true",
+        help="fail if nothing was quarantined (exit-4 runs)",
+    )
+    args = parser.parse_args()
+    if bool(args.input) != bool(args.output):
+        parser.error("--input and --output go together")
+
+    try:
+        records = load_records(args.quarantine)
+    except (OSError, ValueError) as error:
+        return fail(f"{args.quarantine}: {error}")
+
+    rows = sorted({record["row"] for record in records})
+    if args.expect_empty and records:
+        return fail(f"expected an empty ledger, found {len(records)} record(s)")
+    if args.expect_nonempty and not records:
+        return fail("expected a non-empty ledger, found none")
+
+    if args.input:
+        try:
+            in_header, in_rows = load_csv_rows(args.input)
+            out_header, out_rows = load_csv_rows(args.output)
+        except (OSError, ValueError) as error:
+            return fail(str(error))
+        if in_header != out_header:
+            return fail("input and output headers differ")
+        if len(in_rows) != len(out_rows):
+            return fail(
+                f"row count changed: {len(in_rows)} in, {len(out_rows)} out"
+            )
+        for row in rows:
+            if row >= len(in_rows):
+                return fail(f"quarantined row {row} outside the relation")
+            if in_rows[row] != out_rows[row]:
+                return fail(
+                    f"quarantined row {row} was modified: "
+                    f"{in_rows[row]!r} -> {out_rows[row]!r}"
+                )
+
+    print(
+        f"quarantine OK: {len(records)} record(s) over {len(rows)} row(s)"
+        + (f", untouched among {args.output}" if args.output else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

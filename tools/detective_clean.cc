@@ -13,21 +13,32 @@
 // repairs every tuple to its fixpoint; writes the repaired CSV and a
 // human-readable repair report.
 //
-// Exit codes: 0 success, 1 load/runtime failure, 2 rule set inconsistent on
-// the data (--check-consistency), 3 rule set rejected by --lint=strict,
-// 64 usage.
+// Robustness (docs/robustness.md): --fault-plan (or the DETECTIVE_FAULT_PLAN
+// environment variable) arms deterministic fault injection; --deadline-ms /
+// --tuple-budget-ms bound the run and each tuple's chase;
+// --max-rule-failures trips a per-rule circuit breaker. Tuples that fault or
+// run over budget are left unmodified and recorded in the quarantine ledger
+// (--quarantine-json); the run then exits 4, "completed degraded".
+//
+// Exit codes (the contract every tool test asserts; docs/robustness.md):
+// 0 success, 1 load/runtime failure, 2 rule set inconsistent on the data
+// (--check-consistency), 3 rule set rejected by --lint=strict, 4 completed
+// degraded (at least one tuple quarantined), 64 usage.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "analysis/rule_lint.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "core/consistency.h"
 #include "core/provenance.h"
+#include "core/quarantine.h"
 #include "core/repair.h"
 #include "core/rule_io.h"
 #include "eval/experiment.h"
@@ -40,6 +51,7 @@ namespace {
 constexpr int kExitRuntimeFailure = 1;
 constexpr int kExitInconsistent = 2;
 constexpr int kExitLintRejected = 3;
+constexpr int kExitDegraded = 4;
 constexpr int kExitUsage = 64;
 
 struct Args {
@@ -56,6 +68,12 @@ struct Args {
   std::string lint = "warn";
   bool check_consistency = false;
   bool multi_version = false;
+  // Robustness (docs/robustness.md).
+  std::string fault_plan;
+  std::string quarantine_json_path;
+  uint64_t deadline_ms = 0;
+  uint64_t tuple_budget_ms = 0;
+  uint64_t max_rule_failures = 0;
 };
 
 void PrintUsage() {
@@ -88,11 +106,22 @@ void PrintUsage() {
       "                      KB evidence edges; query with detective_explain)\n"
       "  --trace-json        record a span-level timeline and write it in\n"
       "                      Chrome trace-event format (chrome://tracing,\n"
-      "                      Perfetto)\n",
-      kExitInconsistent, kExitLintRejected);
+      "                      Perfetto)\n"
+      "  --fault-plan        arm deterministic fault injection (also read\n"
+      "                      from $DETECTIVE_FAULT_PLAN); grammar in\n"
+      "                      docs/robustness.md\n"
+      "  --deadline-ms       whole-run deadline; remaining tuples quarantine\n"
+      "  --tuple-budget-ms   per-tuple chase budget\n"
+      "  --max-rule-failures circuit breaker: disable a rule after this many\n"
+      "                      quarantined tuples blame it, re-chase its victims\n"
+      "  --quarantine-json   write the quarantine ledger (one JSON line per\n"
+      "                      set-aside tuple); any quarantine exits %d\n"
+      "                      (completed degraded)\n",
+      kExitInconsistent, kExitLintRejected, kExitDegraded);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
+  bool numeric_ok = true;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     auto take = [&](std::string_view name, std::string* out) {
@@ -103,13 +132,28 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       return false;
     };
+    auto take_u64 = [&](std::string_view name, uint64_t* out) {
+      std::string raw;
+      if (!take(name, &raw)) return false;
+      if (!ParseUint64(raw, out)) {
+        std::fprintf(stderr, "--%.*s expects a non-negative integer, got '%s'\n",
+                     static_cast<int>(name.size()), name.data(), raw.c_str());
+        numeric_ok = false;
+      }
+      return true;
+    };
     if (take("kb", &args->kb_path) || take("rules", &args->rules_path) ||
         take("input", &args->input_path) || take("output", &args->output_path) ||
         take("report", &args->report_path) || take("algorithm", &args->algorithm) ||
         take("metrics-json", &args->metrics_json_path) ||
         take("lint", &args->lint) || take("lint-json", &args->lint_json_path) ||
         take("explain-json", &args->explain_json_path) ||
-        take("trace-json", &args->trace_json_path)) {
+        take("trace-json", &args->trace_json_path) ||
+        take("fault-plan", &args->fault_plan) ||
+        take("quarantine-json", &args->quarantine_json_path) ||
+        take_u64("deadline-ms", &args->deadline_ms) ||
+        take_u64("tuple-budget-ms", &args->tuple_budget_ms) ||
+        take_u64("max-rule-failures", &args->max_rule_failures)) {
       continue;
     }
     if (arg == "--check-consistency") {
@@ -133,6 +177,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--lint must be 'strict', 'warn', or 'off'\n");
     return false;
   }
+  if (!numeric_ok) return false;
+  // The guarded repair path (deadlines, budgets, breaker, quarantine) is only
+  // implemented for the default fast single-version pipeline.
+  const bool robustness_requested =
+      args->deadline_ms > 0 || args->tuple_budget_ms > 0 ||
+      args->max_rule_failures > 0 || !args->quarantine_json_path.empty();
+  if (robustness_requested &&
+      (args->multi_version || args->algorithm == "basic")) {
+    std::fprintf(stderr,
+                 "--deadline-ms/--tuple-budget-ms/--max-rule-failures/"
+                 "--quarantine-json require --algorithm=fast without "
+                 "--multi-version\n");
+    return false;
+  }
   return true;
 }
 
@@ -153,6 +211,26 @@ std::string WriteLintJson(const analysis::DiagnosticReport& report,
 }
 
 int Run(const Args& args) {
+  // ---- Arm fault injection (docs/robustness.md) ----
+  std::string fault_spec = args.fault_plan;
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("DETECTIVE_FAULT_PLAN")) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    auto plan = fault::FaultPlan::Parse(fault_spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad fault plan: %s\n",
+                   plan.status().ToString().c_str());
+      return kExitUsage;
+    }
+    fault::Injector::Global().Arm(*plan);
+    std::printf("Fault plan armed: %s\n", plan->ToString().c_str());
+#if !DETECTIVE_FAULT_ENABLED
+    std::fprintf(stderr,
+                 "note: built with DETECTIVE_FAULT=OFF; the plan never fires\n");
+#endif
+  }
+
   if (!args.trace_json_path.empty()) {
     trace::Registry::Global().Start();
 #if !DETECTIVE_METRICS_ENABLED
@@ -235,6 +313,13 @@ int Run(const Args& args) {
   ProvenanceLog provenance;
   ProvenanceLog* provenance_sink =
       args.explain_json_path.empty() ? nullptr : &provenance;
+  QuarantineLog quarantine;
+  RepairOptions repair_options;
+  repair_options.deadline_ms = args.deadline_ms;
+  repair_options.tuple_budget_ms = args.tuple_budget_ms;
+  repair_options.max_rule_failures = args.max_rule_failures;
+  const bool guarded = GuardedRepairRequested(repair_options) ||
+                       !args.quarantine_json_path.empty();
 
   {
     DETECTIVE_TRACE_SPAN("clean.repair",
@@ -271,14 +356,18 @@ int Run(const Args& args) {
       repairer.RepairRelation(&repaired);
       stats = repairer.stats();
     } else {
-      FastRepairer repairer(*kb, relation->schema(), *rules);
+      FastRepairer repairer(*kb, relation->schema(), *rules, repair_options);
       Status st = repairer.Init();
       if (!st.ok()) {
         std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
         return kExitRuntimeFailure;
       }
       repairer.engine().set_provenance(provenance_sink);
-      repairer.RepairRelation(&repaired);
+      if (guarded) {
+        repairer.RepairRelationGuarded(&repaired, &quarantine);
+      } else {
+        repairer.RepairRelation(&repaired);
+      }
       stats = repairer.stats();
     }
   }
@@ -306,6 +395,17 @@ int Run(const Args& args) {
     if (args.multi_version) {
       std::snprintf(buffer, sizeof(buffer), ", %zu extra versions emitted",
                     extra_versions);
+      summary += buffer;
+    }
+    if (guarded) {
+      // quarantine.Rows() is the final ledger; stats.tuples_quarantined counts
+      // quarantine *events* and can exceed it when the breaker re-chases rows.
+      std::snprintf(buffer, sizeof(buffer),
+                    ", %zu tuples quarantined (%zu of %zu rows clean or "
+                    "repaired)",
+                    quarantine.Rows().size(),
+                    repaired.num_tuples() - quarantine.Rows().size(),
+                    repaired.num_tuples());
       summary += buffer;
     }
   }
@@ -370,6 +470,24 @@ int Run(const Args& args) {
     std::fprintf(stderr,
                  "note: built with DETECTIVE_METRICS=OFF; the snapshot is empty\n");
 #endif
+  }
+
+  if (!args.quarantine_json_path.empty()) {
+    Status quarantine_status =
+        quarantine.WriteJsonLines(args.quarantine_json_path);
+    if (!quarantine_status.ok()) {
+      std::fprintf(stderr, "%s\n", quarantine_status.ToString().c_str());
+      return kExitRuntimeFailure;
+    }
+    std::printf("quarantine written to %s (%zu records, %zu rows)\n",
+                args.quarantine_json_path.c_str(), quarantine.size(),
+                quarantine.Rows().size());
+  }
+  if (!quarantine.empty()) {
+    std::fprintf(stderr,
+                 "completed degraded: %zu tuples quarantined (left unmodified)\n",
+                 quarantine.Rows().size());
+    return kExitDegraded;
   }
   return 0;
 }
