@@ -1,0 +1,95 @@
+// Thread-scaling bench for ParallelRepair (paper §V: "repairing one tuple
+// is irrelevant to any other tuple"): wall clock at 1/2/4/8 worker threads,
+// once with the shared frozen match-plan + cross-tuple candidate cache and
+// once with fully private per-worker state. The gap between the two series
+// is the redundant work sharing eliminates — every worker rebuilding the
+// same signature indexes and re-deriving the same candidate sets.
+//
+// KB projection happens outside the timed region; the timer covers exactly
+// what ParallelRepair does (plan build, worker fan-out, repair, merge), so
+// the "shared" series pays for its MatchPlan build inside the measurement.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/parallel_repair.h"
+#include "core/repair.h"
+#include "datagen/uis_gen.h"
+#include "eval/experiment.h"
+
+namespace detective {
+namespace {
+
+double TimeParallelRepair(const KnowledgeBase& kb, const Dataset& dataset,
+                          const Relation& dirty, size_t threads, bool shared) {
+  Relation copy = dirty;
+  ParallelRepairOptions options;
+  options.num_threads = threads;
+  options.share_match_plan = shared;
+  options.share_value_cache = shared;
+  double start = NowSeconds();
+  ParallelRepair(kb, dataset.rules, &copy, options).status().Abort("parallel");
+  return NowSeconds() - start;
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  using namespace detective;
+  bench::PrintHeader("Parallel repair: thread scaling, shared vs private state",
+                     "UIS + Yago profile; KB projection excluded from timing");
+  bench::TraceSession trace_session(argc, argv);
+
+  const uint64_t tuples = bench::FlagUint(argc, argv, "tuples", 2000);
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  UisOptions uis_options;
+  uis_options.num_tuples = tuples;
+  Dataset dataset = GenerateUis(uis_options);
+  Relation dirty = dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.10;
+  InjectErrors(&dirty, spec, dataset.alternatives);
+  KnowledgeBase kb = dataset.world.ToKb(YagoProfile(), dataset.key_entities);
+  std::printf("tuples=%llu\n\n", static_cast<unsigned long long>(tuples));
+
+  bench::BenchJsonWriter json("parallel");
+  std::printf("%-9s %12s %12s %10s\n", "threads", "shared", "private",
+              "shared/priv");
+
+  double shared_at[9] = {};
+  double private_at[9] = {};
+  bench::DrainCounters();  // open the first epoch: drop datagen counts
+  for (size_t threads : thread_counts) {
+    const double with_sharing = TimeParallelRepair(kb, dataset, dirty, threads,
+                                                   /*shared=*/true);
+    json.Add("shared", static_cast<double>(threads), with_sharing * 1000,
+             bench::DrainCounters());
+    const double without_sharing = TimeParallelRepair(kb, dataset, dirty,
+                                                      threads,
+                                                      /*shared=*/false);
+    json.Add("private", static_cast<double>(threads), without_sharing * 1000,
+             bench::DrainCounters());
+    shared_at[threads] = with_sharing;
+    private_at[threads] = without_sharing;
+    std::printf("%-9zu %11.3fs %11.3fs %9.2fx\n", threads, with_sharing,
+                without_sharing,
+                with_sharing > 0 ? without_sharing / with_sharing : 0.0);
+  }
+
+  if (shared_at[8] > 0 && private_at[8] > 0) {
+    std::printf(
+        "\nShared state at 8 threads: %.1f%% of the private-state wall clock\n"
+        "(the saving is N-1 redundant signature-index builds plus every\n"
+        "cross-tuple candidate recomputation the shared cache absorbs).\n",
+        100.0 * shared_at[8] / private_at[8]);
+  }
+  if (!json.WriteTo(bench::FlagString(argc, argv, "json"))) return 1;
+  return 0;
+}

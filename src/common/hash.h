@@ -1,11 +1,13 @@
 #ifndef DETECTIVE_COMMON_HASH_H_
 #define DETECTIVE_COMMON_HASH_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace detective {
 
@@ -30,6 +32,103 @@ struct PairHash {
   size_t operator()(const std::pair<A, B>& p) const {
     return HashCombine(std::hash<A>{}(p.first), std::hash<B>{}(p.second));
   }
+};
+
+/// Transparent string hasher (Fnv1a) for heterogeneous unordered_map lookup:
+/// find(std::string_view) without materializing a std::string key.
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(Fnv1a(s));
+  }
+};
+
+/// Open-addressed hash table from pre-hashed 64-bit keys to uint32 payloads
+/// (linear probing, power-of-two capacity, grown at ~0.7 load).
+///
+/// The caller owns hashing; two distinct originals that collide into the same
+/// 64-bit key share one slot. That is by design for the signature indexes
+/// (text/signature_index.h), where a collision merges two inverted lists and
+/// only widens the candidate superset — callers that need exactness must
+/// verify payloads themselves.
+class FlatKeyMap {
+ public:
+  /// Payload sentinel: returned by Find() on absent keys, and the initial
+  /// payload of a slot freshly minted by ValueFor().
+  static constexpr uint32_t kNotFound = 0xffffffffU;
+
+  FlatKeyMap() = default;
+
+  /// Pre-sizes the table for `expected` keys (optional; the table grows on
+  /// demand either way).
+  void Reserve(size_t expected) {
+    size_t target = 16;
+    while (target * 7 < expected * 10) target *= 2;
+    if (target > slots_.size()) Rehash(target);
+  }
+
+  /// Payload stored under `key`, or kNotFound.
+  uint32_t Find(uint64_t key) const {
+    if (slots_.empty()) return kNotFound;
+    key = Canonical(key);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = static_cast<size_t>(key) & mask;; i = (i + 1) & mask) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) return slot.value;
+      if (slot.key == kEmptyKey) return kNotFound;
+    }
+  }
+
+  /// Reference to the payload slot for `key`, inserting an empty slot
+  /// (payload kNotFound) if absent. The reference is invalidated by the next
+  /// ValueFor() or Reserve() call.
+  uint32_t& ValueFor(uint64_t key) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) Rehash(std::max<size_t>(16, slots_.size() * 2));
+    key = Canonical(key);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = static_cast<size_t>(key) & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot.value;
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        ++size_;
+        return slot.value;
+      }
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t value = kNotFound;
+  };
+  // Key 0 marks an empty slot; a real zero hash is remapped to a fixed
+  // non-zero constant (one more benign collision at worst).
+  static constexpr uint64_t kEmptyKey = 0;
+  static uint64_t Canonical(uint64_t key) {
+    return key == 0 ? 0x9e3779b97f4a7c15ULL : key;
+  }
+
+  void Rehash(size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    const size_t mask = capacity - 1;
+    for (const Slot& slot : old) {
+      if (slot.key == kEmptyKey) continue;
+      for (size_t i = static_cast<size_t>(slot.key) & mask;; i = (i + 1) & mask) {
+        if (slots_[i].key == kEmptyKey) {
+          slots_[i] = slot;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
 };
 
 }  // namespace detective

@@ -1,0 +1,21 @@
+#include "common/sharded_cache.h"
+
+#include <cstdio>
+
+namespace detective {
+
+std::string ShardedCacheStats::ToString() const {
+  const uint64_t lookups = hits + misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "hits=%llu misses=%llu inserts=%llu rejected=%llu hit_rate=%.3f",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(inserts),
+                static_cast<unsigned long long>(rejected), hit_rate);
+  return buffer;
+}
+
+}  // namespace detective

@@ -1,0 +1,138 @@
+#ifndef DETECTIVE_COMMON_SHARDED_CACHE_H_
+#define DETECTIVE_COMMON_SHARDED_CACHE_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace detective {
+
+/// Aggregated counters of one ShardedCache, monotonic since construction.
+struct ShardedCacheStats {
+  uint64_t hits = 0;       // Find() calls that returned an entry
+  uint64_t misses = 0;     // Find() calls that returned nullptr
+  uint64_t inserts = 0;    // entries actually stored
+  uint64_t rejected = 0;   // Insert() calls refused because the shard was full
+
+  std::string ToString() const;
+};
+
+/// Fixed-capacity concurrent memo, sharded 64 ways by key hash so writers on
+/// different shards never contend. Built for the cross-worker candidate cache
+/// (§IV-B(3) value memo shared across repair threads), but generic.
+///
+/// Concurrency contract:
+///   - Insert-once: the first Insert() for a key wins; later inserts return
+///     the stored entry and discard theirs. Entries are never updated, so
+///     every reader of a key observes the same value regardless of thread
+///     interleaving — which keeps cached repairs deterministic as long as
+///     values are a pure function of their key.
+///   - Pointer stability: returned `const V*` stay valid for the cache's
+///     lifetime. To guarantee that, a full shard REJECTS new inserts instead
+///     of evicting live entries (rejections show up in stats().rejected;
+///     callers fall back to computing — or privately memoising — the value).
+template <typename V>
+class ShardedCache {
+ public:
+  static constexpr size_t kNumShards = 64;
+
+  /// `capacity` bounds the total entry count across all shards.
+  explicit ShardedCache(size_t capacity = size_t{1} << 20)
+      : shard_capacity_(std::max<size_t>(1, capacity / kNumShards)) {}
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// The entry stored under `key`, or nullptr.
+  const V* Find(std::string_view key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    ++shard.hits;
+    return it->second.get();
+  }
+
+  /// Stores `value` under `key` unless the key exists (first insert wins) or
+  /// the shard is at capacity. Returns the stored entry — the caller's on a
+  /// fresh insert, the incumbent when the key already exists — or nullptr on
+  /// capacity rejection, in which case `value` is left untouched so the
+  /// caller can still use it.
+  const V* Insert(std::string_view key, V&& value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return it->second.get();
+    if (shard.map.size() >= shard_capacity_) {
+      ++shard.rejected;
+      return nullptr;
+    }
+    auto stored = std::make_unique<V>(std::move(value));
+    const V* result = stored.get();
+    shard.map.emplace(std::string(key), std::move(stored));
+    ++shard.inserts;
+    return result;
+  }
+
+  /// Live entry count (locks every shard; for tests and reporting).
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  ShardedCacheStats stats() const {
+    ShardedCacheStats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.inserts += shard.inserts;
+      total.rejected += shard.rejected;
+    }
+    return total;
+  }
+
+  size_t shard_capacity() const { return shard_capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // unique_ptr values give entry-pointer stability across rehashes.
+    std::unordered_map<std::string, std::unique_ptr<const V>, StringViewHash,
+                       std::equal_to<>>
+        map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t rejected = 0;
+  };
+
+  Shard& ShardFor(std::string_view key) {
+    // Top bits pick the shard; the map's own hash uses the low bits, so one
+    // shard's entries still spread across its buckets.
+    return shards_[static_cast<size_t>(Fnv1a(key) >> 58U)];
+  }
+
+  const size_t shard_capacity_;
+  std::array<Shard, kNumShards> shards_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_SHARDED_CACHE_H_

@@ -1,9 +1,11 @@
 #include "common/string_util.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 
 namespace detective {
@@ -187,6 +189,22 @@ bool ParseDouble(std::string_view text, double* value) {
   if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
   *value = parsed;
   return true;
+}
+
+std::string_view StringArena::Intern(std::string_view s) {
+  if (s.size() > block_remaining_) {
+    // Oversized strings get a dedicated block so regular blocks stay dense.
+    const size_t block = std::max(kBlockBytes, s.size());
+    blocks_.push_back(std::make_unique<char[]>(block));
+    cursor_ = blocks_.back().get();
+    block_remaining_ = block;
+  }
+  char* dest = cursor_;
+  std::memcpy(dest, s.data(), s.size());
+  cursor_ += s.size();
+  block_remaining_ -= s.size();
+  bytes_used_ += s.size();
+  return {dest, s.size()};
 }
 
 }  // namespace detective

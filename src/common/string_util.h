@@ -1,6 +1,8 @@
 #ifndef DETECTIVE_COMMON_STRING_UTIL_H_
 #define DETECTIVE_COMMON_STRING_UTIL_H_
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +51,33 @@ void AppendJsonString(std::string_view text, std::string* out);
 bool ParseUint64(std::string_view text, uint64_t* value);
 bool ParseInt64(std::string_view text, int64_t* value);
 bool ParseDouble(std::string_view text, double* value);
+
+/// Append-only byte arena for interning strings. Returned views stay valid
+/// for the arena's lifetime: storage blocks are never reallocated or freed
+/// until destruction, so holders of views survive further Intern() calls and
+/// moves of the arena itself. Used by the signature indexes to store one
+/// compact copy of every indexed label instead of a std::string per entry.
+class StringArena {
+ public:
+  StringArena() = default;
+  StringArena(StringArena&&) = default;
+  StringArena& operator=(StringArena&&) = default;
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+
+  /// Copies `s` into the arena and returns a view of the stored bytes.
+  std::string_view Intern(std::string_view s);
+
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  static constexpr size_t kBlockBytes = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cursor_ = nullptr;
+  size_t block_remaining_ = 0;
+  size_t bytes_used_ = 0;
+};
 
 }  // namespace detective
 

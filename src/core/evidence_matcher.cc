@@ -1,6 +1,7 @@
 #include "core/evidence_matcher.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "common/deadline.h"
@@ -8,23 +9,44 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/match_plan.h"
 
 namespace detective {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+}  // namespace
 
 EvidenceMatcher::EvidenceMatcher(const KnowledgeBase& kb, MatcherOptions options)
     : kb_(kb), options_(options) {}
 
-std::string EvidenceMatcher::MemoKey(ClassId type, const Similarity& sim,
-                                     std::string_view value) const {
-  std::string key = std::to_string(type.value());
-  key.push_back('\x1f');
-  key += sim.ToString();
-  key.push_back('\x1f');
-  key.append(value);
-  return key;
+std::string_view EvidenceMatcher::MemoKey(ClassId type, const Similarity& sim,
+                                          std::string_view value) {
+  // Fixed-width binary header + value bytes, assembled into a reusable
+  // buffer: no std::to_string / Similarity::ToString allocation per node
+  // check, and the same encoding for the private memo and the shared cache.
+  key_scratch_.clear();
+  AppendPod(&key_scratch_, type.value());
+  AppendPod(&key_scratch_, static_cast<uint8_t>(sim.kind()));
+  AppendPod(&key_scratch_, static_cast<uint32_t>(sim.max_edits()));
+  AppendPod(&key_scratch_, sim.threshold());
+  key_scratch_.append(value);
+  return key_scratch_;
 }
 
 const SignatureIndex& EvidenceMatcher::IndexFor(ClassId type, const Similarity& sim) {
+  if (plan_ != nullptr) {
+    if (const SignatureIndex* shared = plan_->IndexFor(type, sim)) {
+      return *shared;
+    }
+  }
   std::string key = std::to_string(type.value());
   key.push_back('\x1f');
   key += sim.ToString();
@@ -44,55 +66,100 @@ const SignatureIndex& EvidenceMatcher::IndexFor(ClassId type, const Similarity& 
   return *it->second;
 }
 
-std::vector<ItemId> EvidenceMatcher::NodeCandidates(ClassId type,
-                                                    const Similarity& sim,
-                                                    std::string_view value) {
-  ++stats_.node_checks;
-  DETECTIVE_COUNT("matcher.node_queries");
-  // Before the memo lookup, so a tuple sees the same probe-hit sequence
-  // whether the memo is warm or cold — the parallel-vs-sequential identity
-  // the chaos tests assert depends on it.
-  DETECTIVE_FAULT_POINT_CANCEL("kb.lookup", cancel_);
-  std::string memo_key;
-  if (options_.use_value_memo) {
-    memo_key = MemoKey(type, sim, value);
-    auto it = memo_.find(memo_key);
-    if (it != memo_.end()) {
-      ++stats_.memo_hits;
-      DETECTIVE_COUNT("matcher.memo_hits");
-      return it->second;
-    }
-  }
-
-  std::vector<ItemId> result;
+void EvidenceMatcher::ComputeCandidates(ClassId type, const Similarity& sim,
+                                        std::string_view value,
+                                        std::vector<ItemId>* out) {
+  out->clear();
   if (sim.kind() == SimilarityKind::kEquality) {
     // Equality always goes through the label hash index — the paper uses a
     // hash table for "=" even in the basic algorithm (§IV-B(2)).
     ++stats_.index_lookups;
     DETECTIVE_COUNT("matcher.label_index_lookups");
     for (ItemId item : kb_.ItemsWithLabel(value)) {
-      if (kb_.IsInstanceOf(item, type)) result.push_back(item);
+      if (kb_.IsInstanceOf(item, type)) out->push_back(item);
     }
   } else if (options_.use_signature_index) {
     ++stats_.index_lookups;
     DETECTIVE_COUNT("matcher.signature_lookups");
-    for (uint32_t raw : IndexFor(type, sim).Matches(value)) {
-      result.push_back(ItemId(raw));
-    }
+    IndexFor(type, sim).Matches(value, &u32_scratch_);
+    out->reserve(u32_scratch_.size());
+    for (uint32_t raw : u32_scratch_) out->push_back(ItemId(raw));
   } else {
     ++stats_.scans;
     DETECTIVE_COUNT("matcher.scans");
     for (ItemId item : kb_.InstancesOf(type)) {
-      if (sim.Matches(value, kb_.Label(item))) result.push_back(item);
+      if (sim.Matches(value, kb_.Label(item))) out->push_back(item);
     }
   }
-  std::sort(result.begin(), result.end());
-  result.erase(std::unique(result.begin(), result.end()), result.end());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+std::span<const ItemId> EvidenceMatcher::NodeCandidatesRef(
+    ClassId type, const Similarity& sim, std::string_view value,
+    std::vector<ItemId>* storage) {
+  ++stats_.node_checks;
+  DETECTIVE_COUNT("matcher.node_queries");
+  // Before any memo or cache lookup, so a tuple sees the same probe-hit
+  // sequence whether the caches are warm or cold — the parallel-vs-sequential
+  // identity the chaos tests assert depends on it.
+  DETECTIVE_FAULT_POINT_CANCEL("kb.lookup", cancel_);
+  const bool memoised = options_.use_value_memo || shared_cache_ != nullptr;
+  std::string_view key;
+  if (memoised) key = MemoKey(type, sim, value);
+
+  if (shared_cache_ != nullptr) {
+    // Shared cache first: a value checked by any worker is free for all.
+    // Exactly one Find() per node check, so cache.hits + cache.misses equals
+    // matcher.node_queries for shared runs (asserted in metrics_test).
+    if (const std::vector<ItemId>* cached = shared_cache_->Find(key)) {
+      ++stats_.shared_hits;
+      DETECTIVE_COUNT("cache.hits");
+      return *cached;
+    }
+    ++stats_.shared_misses;
+    DETECTIVE_COUNT("cache.misses");
+    // The private memo doubles as the overflow store for inserts the cache
+    // rejected at capacity; consult it before recomputing.
+    if (auto it = memo_.find(key); it != memo_.end()) {
+      ++stats_.memo_hits;
+      DETECTIVE_COUNT("matcher.memo_hits");
+      return it->second;
+    }
+    std::vector<ItemId> computed;
+    ComputeCandidates(type, sim, value, &computed);
+    if (const std::vector<ItemId>* stored =
+            shared_cache_->Insert(key, std::move(computed))) {
+      return *stored;
+    }
+    DETECTIVE_COUNT("cache.evictions");
+    auto [it, inserted] = memo_.try_emplace(std::string(key), std::move(computed));
+    return it->second;
+  }
 
   if (options_.use_value_memo) {
-    memo_.emplace(std::move(memo_key), result);
+    if (auto it = memo_.find(key); it != memo_.end()) {
+      ++stats_.memo_hits;
+      DETECTIVE_COUNT("matcher.memo_hits");
+      return it->second;
+    }
+    std::vector<ItemId> computed;
+    ComputeCandidates(type, sim, value, &computed);
+    auto [it, inserted] = memo_.try_emplace(std::string(key), std::move(computed));
+    return it->second;
   }
-  return result;
+
+  ComputeCandidates(type, sim, value, storage);
+  return *storage;
+}
+
+std::vector<ItemId> EvidenceMatcher::NodeCandidates(ClassId type,
+                                                    const Similarity& sim,
+                                                    std::string_view value) {
+  std::vector<ItemId> storage;
+  std::span<const ItemId> result = NodeCandidatesRef(type, sim, value, &storage);
+  if (!storage.empty() && result.data() == storage.data()) return storage;
+  return {result.begin(), result.end()};
 }
 
 template <typename OnMatch>
@@ -102,7 +169,11 @@ bool EvidenceMatcher::Search(const std::vector<BoundNode>& nodes,
                              const Tuple& tuple, OnMatch&& on_match) {
   struct SearchNode {
     uint32_t node;
-    std::vector<ItemId> candidates;  // empty for existential nodes
+    // View over the memoised candidate set, or over `storage` when nothing
+    // memoises it. Moving the node (stable_sort below) keeps the view valid:
+    // vector moves transfer the heap buffer. Empty for existential nodes.
+    std::span<const ItemId> candidates;
+    std::vector<ItemId> storage;
     bool existential;
   };
   std::vector<SearchNode> order;
@@ -113,13 +184,14 @@ bool EvidenceMatcher::Search(const std::vector<BoundNode>& nodes,
     if (bn.IsExistential()) {
       // No cell constraint: candidates are derived from edges at search
       // time, once neighbouring nodes are assigned.
-      existentials.push_back({v, {}, true});
+      existentials.push_back({v, {}, {}, true});
       continue;
     }
-    std::vector<ItemId> candidates =
-        NodeCandidates(bn.type, bn.sim, tuple.value(bn.column));
-    if (candidates.empty()) return true;  // no match can exist; fully explored
-    order.push_back({v, std::move(candidates), false});
+    SearchNode node{v, {}, {}, false};
+    node.candidates =
+        NodeCandidatesRef(bn.type, bn.sim, tuple.value(bn.column), &node.storage);
+    if (node.candidates.empty()) return true;  // no match can exist
+    order.push_back(std::move(node));
   }
   // Most selective nodes first keeps the search tree narrow; existential
   // nodes go last so their edge-derived candidate sets have anchors.
@@ -170,8 +242,8 @@ bool EvidenceMatcher::Search(const std::vector<BoundNode>& nodes,
         derived.assign(all.begin(), all.end());
       }
     }
-    const std::vector<ItemId>& candidates =
-        current.existential ? derived : current.candidates;
+    const std::span<const ItemId> candidates =
+        current.existential ? std::span<const ItemId>(derived) : current.candidates;
     for (ItemId x : candidates) {
       if (budget == 0) {
         within_budget = false;

@@ -3,10 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
+#include "common/sharded_cache.h"
 #include "core/bound_rule.h"
 #include "kb/knowledge_base.h"
 #include "relation/relation.h"
@@ -15,6 +18,13 @@
 namespace detective {
 
 class CancelToken;
+class MatchPlan;
+
+/// Cross-worker candidate memo: packed (type, sim, value) key → the sorted
+/// candidate ItemIds (§IV-B(3) value memo, shared across repair threads).
+/// Entry pointers stay valid for the cache's lifetime, so matchers hand out
+/// spans into it without copying.
+using SharedCandidateCache = ShardedCache<std::vector<ItemId>>;
 
 /// Tuning and ablation knobs for instance-level matching.
 struct MatcherOptions {
@@ -55,7 +65,9 @@ struct NegativeWitness {
 /// Counters for the efficiency experiments.
 struct MatcherStats {
   size_t node_checks = 0;        // candidate-set computations requested
-  size_t memo_hits = 0;          // served from the value memo
+  size_t memo_hits = 0;          // served from the private value memo
+  size_t shared_hits = 0;        // served from the shared candidate cache
+  size_t shared_misses = 0;      // shared-cache lookups that had to compute
   size_t index_lookups = 0;      // served by a signature index
   size_t scans = 0;              // served by a linear scan
   size_t assignments_explored = 0;
@@ -74,6 +86,25 @@ class EvidenceMatcher {
   /// KB items x with IsInstanceOf(x, type) and sim(value, label(x)).
   std::vector<ItemId> NodeCandidates(ClassId type, const Similarity& sim,
                                      std::string_view value);
+
+  /// Zero-copy variant of NodeCandidates for the search hot path: returns a
+  /// span over the memoised candidate set (private memo or shared cache), or
+  /// over `*storage` after computing into it when nothing memoises the
+  /// result. The span stays valid until ClearMemo() — memo entries are never
+  /// evicted, shared-cache entries never move — or, for the storage case,
+  /// until `*storage` is next modified.
+  std::span<const ItemId> NodeCandidatesRef(ClassId type, const Similarity& sim,
+                                            std::string_view value,
+                                            std::vector<ItemId>* storage);
+
+  /// Installs the shared read-only match plan and/or cross-worker candidate
+  /// cache (core/match_plan.h, common/sharded_cache.h). Either may be null;
+  /// both must outlive the matcher's use of them. Sharing never changes
+  /// results — only where the indexes and memo entries live.
+  void SetShared(const MatchPlan* plan, SharedCandidateCache* cache) {
+    plan_ = plan;
+    shared_cache_ = cache;
+  }
 
   /// Proof positive: does an instance-level match of the positive side
   /// (evidence ∪ {p}) exist for `tuple`?
@@ -156,8 +187,15 @@ class EvidenceMatcher {
               const std::vector<uint32_t>& node_indexes, const Tuple& tuple,
               OnMatch&& on_match);
 
-  std::string MemoKey(ClassId type, const Similarity& sim,
-                      std::string_view value) const;
+  /// Packs (type, sim, value) into `key_scratch_` as a fixed binary header
+  /// plus the value bytes; the returned view is invalidated by the next call.
+  std::string_view MemoKey(ClassId type, const Similarity& sim,
+                           std::string_view value);
+
+  /// Computes the candidate set into `*out` (sorted, deduplicated) — the
+  /// uncached fallback behind both memo layers.
+  void ComputeCandidates(ClassId type, const Similarity& sim,
+                         std::string_view value, std::vector<ItemId>* out);
 
   const SignatureIndex& IndexFor(ClassId type, const Similarity& sim);
 
@@ -166,9 +204,19 @@ class EvidenceMatcher {
   MatcherStats stats_;
   CancelToken* cancel_ = nullptr;
 
-  std::unordered_map<std::string, std::vector<ItemId>> memo_;
+  // Shared, frozen state owned by the parallel driver (never owned here).
+  const MatchPlan* plan_ = nullptr;
+  SharedCandidateCache* shared_cache_ = nullptr;
+
+  // Private value memo (and, when the shared cache rejects an insert at
+  // capacity, its per-worker overflow store).
+  std::unordered_map<std::string, std::vector<ItemId>, StringViewHash,
+                     std::equal_to<>>
+      memo_;
   // Key: type id | sim signature.
   std::unordered_map<std::string, std::unique_ptr<SignatureIndex>> indexes_;
+  std::string key_scratch_;         // MemoKey assembly buffer
+  std::vector<uint32_t> u32_scratch_;  // signature-index lookup buffer
 };
 
 }  // namespace detective

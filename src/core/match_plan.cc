@@ -1,0 +1,71 @@
+#include "core/match_plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace detective {
+
+MatchPlan MatchPlan::Build(const KnowledgeBase& kb, std::span<const BoundRule> rules,
+                           size_t num_threads) {
+  const auto start = std::chrono::steady_clock::now();
+  MatchPlan plan;
+  for (const BoundRule& rule : rules) {
+    if (!rule.usable) continue;
+    for (const BoundNode& node : rule.nodes) {
+      if (node.IsExistential()) continue;  // no cell value to index against
+      if (node.sim.kind() == SimilarityKind::kEquality) continue;
+      if (std::none_of(plan.keys_.begin(), plan.keys_.end(), [&](const Key& key) {
+            return key.type == node.type && key.sim == node.sim;
+          })) {
+        plan.keys_.push_back({node.type, node.sim});
+      }
+    }
+  }
+  plan.indexes_.resize(plan.keys_.size());
+
+  DETECTIVE_SCOPED_TIMER("matchplan.build");
+  DETECTIVE_TRACE_SPAN("matchplan.build",
+                       {"indexes", static_cast<int64_t>(plan.keys_.size())});
+  if (!plan.keys_.empty()) {
+    size_t threads = num_threads;
+    if (threads == 0) {
+      threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    threads = std::min(threads, plan.keys_.size());
+
+    // One build task per index, claimed off an atomic counter: stragglers
+    // (large types) don't idle the other builders.
+    std::atomic<size_t> next{0};
+    auto build_task = [&] {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= plan.keys_.size()) break;
+        auto index = std::make_unique<SignatureIndex>(plan.keys_[i].sim);
+        for (ItemId item : kb.InstancesOf(plan.keys_[i].type)) {
+          index->Add(item.value(), kb.Label(item));
+        }
+        index->Build();
+        DETECTIVE_COUNT("matchplan.indexes_built");
+        plan.indexes_[i] = std::move(index);
+      }
+    };
+    std::vector<std::thread> builders;
+    builders.reserve(threads - 1);
+    for (size_t t = 1; t < threads; ++t) builders.emplace_back(build_task);
+    build_task();
+    for (std::thread& builder : builders) builder.join();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  DETECTIVE_COUNT_N(
+      "matchplan.build_ms",
+      static_cast<size_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count()));
+  return plan;
+}
+
+}  // namespace detective

@@ -1,0 +1,71 @@
+#ifndef DETECTIVE_CORE_MATCH_PLAN_H_
+#define DETECTIVE_CORE_MATCH_PLAN_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/bound_rule.h"
+#include "kb/knowledge_base.h"
+#include "text/signature_index.h"
+#include "text/similarity.h"
+
+namespace detective {
+
+/// The frozen matching plan of a repair run: one signature index per distinct
+/// (type, similarity) pair the bound rules can ask for, built exactly once
+/// and then shared read-only by every repair worker.
+///
+/// Before the plan existed, each parallel worker owned a private
+/// EvidenceMatcher that lazily rebuilt the same indexes — N-threads copies of
+/// the §IV-B(2) inverted lists the paper builds once per type. MatchPlan
+/// hoists that construction out of the workers: Build() scans the bound
+/// rules, collects the distinct non-equality (type, sim) pairs of
+/// column-bearing nodes, and constructs the indexes in parallel (one build
+/// task per index, claimed off an atomic counter).
+///
+/// After Build() the plan is immutable; IndexFor() is const and safe from
+/// any number of threads. Equality matching needs no plan entry — it goes
+/// through the KB's label hash index.
+class MatchPlan {
+ public:
+  MatchPlan() = default;
+  MatchPlan(MatchPlan&&) = default;
+  MatchPlan& operator=(MatchPlan&&) = default;
+  MatchPlan(const MatchPlan&) = delete;
+  MatchPlan& operator=(const MatchPlan&) = delete;
+
+  /// Builds the plan for `rules` over `kb`. `num_threads` bounds the build
+  /// parallelism (0 = hardware concurrency); results are identical at any
+  /// thread count. Unusable rules are skipped — they never match.
+  static MatchPlan Build(const KnowledgeBase& kb, std::span<const BoundRule> rules,
+                         size_t num_threads = 0);
+
+  /// The frozen index for (type, sim), or nullptr when the plan has none
+  /// (the matcher then falls back to its private lazy build). The pair count
+  /// is small (one per distinct rule-node shape), so lookup is a verified
+  /// linear scan — cheaper than any hashing at this cardinality, and immune
+  /// to key collisions.
+  const SignatureIndex* IndexFor(ClassId type, const Similarity& sim) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i].type == type && keys_[i].sim == sim) return indexes_[i].get();
+    }
+    return nullptr;
+  }
+
+  size_t num_indexes() const { return indexes_.size(); }
+
+ private:
+  struct Key {
+    ClassId type;
+    Similarity sim;
+  };
+
+  std::vector<Key> keys_;  // parallel to indexes_
+  std::vector<std::unique_ptr<SignatureIndex>> indexes_;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_MATCH_PLAN_H_

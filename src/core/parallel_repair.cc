@@ -1,13 +1,31 @@
 #include "core/parallel_repair.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/match_plan.h"
 
 namespace detective {
+
+namespace {
+
+void AccumulateStats(const RepairStats& part, RepairStats* total) {
+  total->tuples_processed += part.tuples_processed;
+  total->rule_checks += part.rule_checks;
+  total->rule_applications += part.rule_applications;
+  total->proofs_positive += part.proofs_positive;
+  total->repairs += part.repairs;
+  total->cells_marked += part.cells_marked;
+  total->tuples_quarantined += part.tuples_quarantined;
+  total->chunks_stolen += part.chunks_stolen;
+}
+
+}  // namespace
 
 Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
                                    const std::vector<DetectiveRule>& rules,
@@ -22,17 +40,33 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
   }
   threads = std::min(threads, std::max<size_t>(1, relation->num_tuples()));
 
-  // Validate the binding once up front so workers cannot fail.
+  // Validate the binding once up front so workers cannot fail, and build the
+  // shared frozen plan from the bound rules: the §IV-B(2) indexes are
+  // constructed exactly once here (in parallel, one index per build task)
+  // instead of once per worker.
+  MatchPlan plan;
+  const MatchPlan* plan_ptr = nullptr;
   {
     RuleEngine probe(kb, relation->schema(), rules, options.repair);
     RETURN_NOT_OK(probe.Init());
+    if (options.share_match_plan && options.repair.matcher.use_signature_index) {
+      plan = MatchPlan::Build(kb, probe.bound_rules(), threads);
+      plan_ptr = &plan;
+    }
   }
+  SharedCandidateCache cache(options.cache_capacity);
+  SharedCandidateCache* cache_ptr =
+      options.share_value_cache && options.repair.matcher.use_value_memo
+          ? &cache
+          : nullptr;
+
   const bool guarded = options.quarantine != nullptr ||
                        GuardedRepairRequested(options.repair);
   if (threads == 1 || relation->num_tuples() == 0) {
     FastRepairer repairer(kb, relation->schema(), rules, options.repair);
     RETURN_NOT_OK(repairer.Init());
     repairer.engine().set_provenance(options.provenance);
+    repairer.engine().SetShared(plan_ptr, cache_ptr);
     if (guarded) {
       repairer.RepairRelationGuarded(relation, options.quarantine);
     } else {
@@ -42,40 +76,61 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
   }
 
   const size_t rows = relation->num_tuples();
+  const size_t chunk_rows = std::max<size_t>(1, options.chunk_rows);
+  const size_t num_chunks = (rows + chunk_rows - 1) / chunk_rows;
   // The run deadline is armed once, before the fan-out, so every worker —
   // and the breaker's sequential re-chase below — measures the same run.
   const uint64_t deadline_ms = options.repair.deadline_ms;
   const Deadline run_deadline =
       deadline_ms > 0 ? Deadline::AfterMs(deadline_ms) : Deadline::Infinite();
   DETECTIVE_COUNT_N("parallel.workers_launched", threads);
+  DETECTIVE_COUNT_N("parallel.chunks", num_chunks);
+
+  // Chunk-indexed provenance/quarantine shards: whichever worker repairs a
+  // chunk records into that chunk's slot, so merging in chunk index order
+  // reproduces the sequential ascending-row record order no matter how the
+  // chunks were claimed.
   std::vector<RepairStats> stats(threads);
-  std::vector<ProvenanceLog> logs(threads);
-  std::vector<QuarantineLog> quarantines(threads);
+  std::vector<ProvenanceLog> chunk_logs(
+      options.provenance != nullptr ? num_chunks : 0);
+  std::vector<QuarantineLog> chunk_quarantines(guarded ? num_chunks : 0);
+  std::atomic<size_t> next_chunk{0};
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
-    size_t lo = rows * t / threads;
-    size_t hi = rows * (t + 1) / threads;
-    workers.emplace_back([&, t, lo, hi] {
+    workers.emplace_back([&, t] {
       // Workers record into their own thread-local metric shards; the global
       // snapshot merges them, so instrumented totals match a sequential run.
       DETECTIVE_SCOPED_TIMER("parallel.worker");
       DETECTIVE_TRACE_SPAN("parallel.worker",
-                           {"rows", static_cast<int64_t>(hi - lo)});
+                           {"thread", static_cast<int64_t>(t)});
       FastRepairer repairer(kb, relation->schema(), rules, options.repair);
       // Binding was validated above; a failure here would be a logic error.
       repairer.Init().Abort("ParallelRepair worker");
-      if (options.provenance != nullptr) {
-        repairer.engine().set_provenance(&logs[t]);
-      }
-      for (size_t row = lo; row < hi; ++row) {
-        if (guarded) {
-          repairer.RepairTupleGuarded(row, run_deadline,
-                                      &relation->mutable_tuple(row),
-                                      &quarantines[t]);
-        } else {
-          repairer.engine().set_current_row(row);
-          repairer.RepairTuple(&relation->mutable_tuple(row));
+      repairer.engine().SetShared(plan_ptr, cache_ptr);
+      while (true) {
+        const size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= num_chunks) break;
+        // "Stolen" = claimed by a different worker than the one a static
+        // contiguous sharding would assign this chunk to.
+        if (chunk * threads / num_chunks != t) {
+          ++repairer.engine().stats().chunks_stolen;
+          DETECTIVE_COUNT("steal.count");
+        }
+        if (options.provenance != nullptr) {
+          repairer.engine().set_provenance(&chunk_logs[chunk]);
+        }
+        const size_t lo = chunk * chunk_rows;
+        const size_t hi = std::min(rows, lo + chunk_rows);
+        for (size_t row = lo; row < hi; ++row) {
+          if (guarded) {
+            repairer.RepairTupleGuarded(row, run_deadline,
+                                        &relation->mutable_tuple(row),
+                                        &chunk_quarantines[chunk]);
+          } else {
+            repairer.engine().set_current_row(row);
+            repairer.RepairTuple(&relation->mutable_tuple(row));
+          }
         }
       }
       stats[t] = repairer.stats();
@@ -84,25 +139,15 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
   for (std::thread& worker : workers) worker.join();
 
   if (options.provenance != nullptr) {
-    // Worker t owns the contiguous row range [lo_t, hi_t), so appending in
-    // worker order reproduces the sequential (ascending-row) record order.
-    for (ProvenanceLog& log : logs) options.provenance->Merge(std::move(log));
+    for (ProvenanceLog& log : chunk_logs) options.provenance->Merge(std::move(log));
   }
 
   RepairStats merged;
-  for (const RepairStats& part : stats) {
-    merged.tuples_processed += part.tuples_processed;
-    merged.rule_checks += part.rule_checks;
-    merged.rule_applications += part.rule_applications;
-    merged.proofs_positive += part.proofs_positive;
-    merged.repairs += part.repairs;
-    merged.cells_marked += part.cells_marked;
-    merged.tuples_quarantined += part.tuples_quarantined;
-  }
+  for (const RepairStats& part : stats) AccumulateStats(part, &merged);
 
   if (guarded) {
     QuarantineLog ledger;
-    for (QuarantineLog& log : quarantines) ledger.Merge(std::move(log));
+    for (QuarantineLog& log : chunk_quarantines) ledger.Merge(std::move(log));
     if (options.repair.max_rule_failures > 0 && !ledger.empty()) {
       // The breaker fixpoint runs sequentially on a fresh repairer: retries
       // are few, and per-tuple fault decisions are row-keyed (TupleScope),
@@ -110,15 +155,9 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
       FastRepairer retrier(kb, relation->schema(), rules, options.repair);
       RETURN_NOT_OK(retrier.Init());
       retrier.engine().set_provenance(options.provenance);
+      retrier.engine().SetShared(plan_ptr, cache_ptr);
       BreakerFixpoint(retrier, relation, run_deadline, &ledger);
-      const RepairStats& extra = retrier.stats();
-      merged.tuples_processed += extra.tuples_processed;
-      merged.rule_checks += extra.rule_checks;
-      merged.rule_applications += extra.rule_applications;
-      merged.proofs_positive += extra.proofs_positive;
-      merged.repairs += extra.repairs;
-      merged.cells_marked += extra.cells_marked;
-      merged.tuples_quarantined += extra.tuples_quarantined;
+      AccumulateStats(retrier.stats(), &merged);
     }
     ledger.Canonicalize();
     if (options.quarantine != nullptr) {

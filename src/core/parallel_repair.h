@@ -1,6 +1,8 @@
 #ifndef DETECTIVE_CORE_PARALLEL_REPAIR_H_
 #define DETECTIVE_CORE_PARALLEL_REPAIR_H_
 
+#include <cstddef>
+
 #include "common/result.h"
 #include "core/repair.h"
 #include "kb/knowledge_base.h"
@@ -12,24 +14,51 @@ struct ParallelRepairOptions {
   RepairOptions repair;
   /// 0 = std::thread::hardware_concurrency().
   size_t num_threads = 0;
-  /// Optional provenance sink. Each worker captures into a private log;
-  /// after the join the shards are appended in worker (= ascending row)
-  /// order, so the combined log equals a sequential FastRepairer run's.
+  /// Optional provenance sink. Each chunk captures into a private log; after
+  /// the join the shards are appended in chunk (= ascending row) order, so
+  /// the combined log equals a sequential FastRepairer run's.
   ProvenanceLog* provenance = nullptr;
   /// Optional quarantine sink (guarded repair). Merged the same way, then
   /// canonicalized; identical to a sequential RepairRelationGuarded run's
   /// ledger under the same fault plan, seed, and budgets.
   QuarantineLog* quarantine = nullptr;
+  /// Build the frozen MatchPlan once, up front, and share it read-only
+  /// across all workers — the §IV-B(2) signature indexes are then built
+  /// exactly once per (type, sim) instead of once per worker. Off restores
+  /// the per-worker private lazy build (kept for the ablation benchmarks).
+  /// Only takes effect when the matcher uses signature indexes.
+  bool share_match_plan = true;
+  /// Share the §IV-B(3) value memo across workers through a concurrent
+  /// sharded cache: a (type, sim, value) node check computed by worker 0 is
+  /// free for worker 7. Off = per-worker private memos (the pre-plan
+  /// behavior). Only takes effect when the matcher memoises values.
+  bool share_value_cache = true;
+  /// Total entry bound of the shared candidate cache (64-way sharded; a full
+  /// shard rejects inserts rather than evicting, and workers fall back to
+  /// their private memos).
+  size_t cache_capacity = size_t{1} << 20;
+  /// Rows per work-stealing chunk. Small enough that a skewed tuple (deep
+  /// backtracking, many corrections) cannot serialize the tail of the run
+  /// behind one worker; large enough that the atomic claim is amortized.
+  size_t chunk_rows = 64;
 };
 
 /// Repairs `relation` in place with the fast algorithm across threads.
 ///
 /// The paper's scalability argument (§V summary: "repairing one tuple is
-/// irrelevant to any other tuple") makes the chase embarrassingly parallel:
-/// rows are sharded contiguously, each worker owns a private FastRepairer
-/// (signature indexes and value memos are per-worker; the KnowledgeBase is
-/// immutable and shared). The result is bit-identical to the sequential
-/// fast repairer — a property the tests assert.
+/// irrelevant to any other tuple") makes the chase embarrassingly parallel.
+/// Workers claim fixed-size row chunks off an atomic counter (work stealing
+/// by self-scheduling: a slow chunk delays only its owner, the rest of the
+/// fleet drains the remaining chunks). All workers share one frozen
+/// MatchPlan and one concurrent candidate cache; the KnowledgeBase is
+/// immutable and shared.
+///
+/// The result — cell values, provenance log, quarantine ledger — is
+/// bit-identical to the sequential fast repairer at every thread count, with
+/// or without a fault plan: per-chunk provenance/quarantine shards are merged
+/// in chunk order (= ascending row order), cache entries are pure functions
+/// of their key, and PR 4 fault decisions are row-keyed. The tests assert
+/// all three identities.
 ///
 /// Returns the merged RepairStats. Fails if the rules do not bind.
 Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,

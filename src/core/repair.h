@@ -2,6 +2,7 @@
 #define DETECTIVE_CORE_REPAIR_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,9 @@ struct RepairStats {
   /// attempt — a tuple re-chased by the circuit breaker and abandoned again
   /// counts twice; the final quarantine ledger is QuarantineLog.
   size_t tuples_quarantined = 0;
+  /// Work-stealing chunks claimed by a worker other than the one a static
+  /// contiguous sharding would have given them (ParallelRepair only).
+  size_t chunks_stolen = 0;
 };
 
 /// Outcome of evaluating one rule against one tuple.
@@ -107,6 +111,8 @@ class RuleEngine {
   size_t num_usable_rules() const;
   const std::vector<DetectiveRule>& rules() const { return rules_; }
   const BoundRule& bound_rule(uint32_t index) const { return bound_[index]; }
+  /// All bound rules (valid after Init()); what MatchPlan::Build consumes.
+  std::span<const BoundRule> bound_rules() const { return bound_; }
 
   /// Evaluates rule `index` against `tuple` (read-only).
   RuleEvaluation Evaluate(uint32_t index, const Tuple& tuple);
@@ -120,6 +126,13 @@ class RuleEngine {
   const RepairOptions& options() const { return options_; }
   RepairStats& stats() { return stats_; }
   const RepairStats& stats() const { return stats_; }
+
+  /// Forwards the shared frozen match plan / cross-worker candidate cache to
+  /// the matcher (core/match_plan.h). Results are identical with or without
+  /// sharing; only where indexes and memo entries live changes.
+  void SetShared(const MatchPlan* plan, SharedCandidateCache* cache) {
+    matcher_->SetShared(plan, cache);
+  }
 
   /// Installs a provenance sink: every subsequent Apply() records one
   /// explainable entry per cell change / proof (core/provenance.h). The log

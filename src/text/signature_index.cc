@@ -12,34 +12,26 @@ namespace detective {
 
 namespace {
 
-/// Segment layout of the PASS-JOIN even partition for a string of length
-/// `total` split into `parts` segments: the first `parts - total % parts`
-/// segments take floor(total/parts) characters, the rest one more.
+/// One segment of the PASS-JOIN even partition of a string of length `total`
+/// into `parts` segments: the first `parts - total % parts` segments take
+/// floor(total/parts) characters, the rest one more. Computed arithmetically
+/// — no per-call layout vector.
 struct SegmentLayout {
   size_t start;
   size_t length;
 };
 
-std::vector<SegmentLayout> PartitionLayout(size_t total, size_t parts) {
-  std::vector<SegmentLayout> layout(parts);
-  size_t base = total / parts;
-  size_t longer = total % parts;
-  size_t pos = 0;
-  for (size_t i = 0; i < parts; ++i) {
-    size_t len = base + (i >= parts - longer ? 1 : 0);
-    layout[i] = {pos, len};
-    pos += len;
-  }
-  return layout;
+SegmentLayout PartitionSegment(size_t total, size_t parts, size_t slot) {
+  const size_t base = total / parts;
+  const size_t shorter = parts - total % parts;
+  const size_t start = slot * base + (slot > shorter ? slot - shorter : 0);
+  const size_t length = base + (slot >= shorter ? 1 : 0);
+  return {start, length};
 }
 
-std::string SegmentKey(size_t length, size_t slot, std::string_view segment) {
-  std::string key = std::to_string(length);
-  key.push_back('|');
-  key += std::to_string(slot);
-  key.push_back('|');
-  key.append(segment);
-  return key;
+/// Packed 64-bit ED signature: segment bytes x (indexed length, slot).
+uint64_t SegmentHash(size_t length, size_t slot, std::string_view segment) {
+  return HashCombine(HashCombine(Fnv1a(segment), length), slot);
 }
 
 void SortUnique(std::vector<uint32_t>* ids) {
@@ -53,7 +45,23 @@ SignatureIndex::SignatureIndex(Similarity similarity) : similarity_(similarity) 
 
 void SignatureIndex::Add(uint32_t id, std::string_view value) {
   DETECTIVE_CHECK(!built_) << "Add after Build";
-  entries_.push_back({id, std::string(value)});
+  entries_.push_back({id, arena_.Intern(value)});
+}
+
+std::vector<uint32_t>& SignatureIndex::ListSlot(uint64_t key) {
+  uint32_t& slot = table_.ValueFor(key);
+  if (slot == FlatKeyMap::kNotFound) {
+    slot = static_cast<uint32_t>(lists_.size());
+    lists_.emplace_back();
+  }
+  return lists_[slot];
+}
+
+void SignatureIndex::AppendList(uint64_t key, std::vector<uint32_t>* out) const {
+  const uint32_t slot = table_.Find(key);
+  if (slot == FlatKeyMap::kNotFound) return;
+  const std::vector<uint32_t>& list = lists_[slot];
+  out->insert(out->end(), list.begin(), list.end());
 }
 
 void SignatureIndex::Build() {
@@ -65,8 +73,9 @@ void SignatureIndex::Build() {
   built_ = true;
   switch (similarity_.kind()) {
     case SimilarityKind::kEquality:
+      table_.Reserve(entries_.size());
       for (uint32_t e = 0; e < entries_.size(); ++e) {
-        exact_[entries_[e].value].push_back(e);
+        ListSlot(Fnv1a(entries_[e].value)).push_back(e);
       }
       break;
     case SimilarityKind::kEditDistance:
@@ -81,57 +90,50 @@ void SignatureIndex::Build() {
 
 void SignatureIndex::BuildEditDistance() {
   const size_t parts = similarity_.max_edits() + 1;
+  table_.Reserve(entries_.size() * parts);
   for (uint32_t e = 0; e < entries_.size(); ++e) {
-    const std::string& value = entries_[e].value;
+    const std::string_view value = entries_[e].value;
     if (value.size() < parts) {
       // Too short to host non-empty segments: filed under a catch-all list
       // that every query probes (such strings are rare and cheap to verify).
-      lists_["~short"].push_back(e);
+      short_list_.push_back(e);
       continue;
     }
     for (size_t slot = 0; slot < parts; ++slot) {
-      std::vector<SegmentLayout> layout = PartitionLayout(value.size(), parts);
-      std::string_view segment(value.data() + layout[slot].start, layout[slot].length);
-      lists_[SegmentKey(value.size(), slot, segment)].push_back(e);
+      const SegmentLayout seg = PartitionSegment(value.size(), parts, slot);
+      ListSlot(SegmentHash(value.size(), slot,
+                           value.substr(seg.start, seg.length)))
+          .push_back(e);
     }
   }
 }
 
-std::vector<uint32_t> SignatureIndex::CandidatesEditDistance(
-    std::string_view query) const {
+void SignatureIndex::CandidatesEditDistance(std::string_view query,
+                                            std::vector<uint32_t>* out) const {
   const size_t k = similarity_.max_edits();
   const size_t parts = k + 1;
-  std::vector<uint32_t> out;
-  size_t probes = 1;  // the ~short probe below
+  size_t probes = 1;  // the short-string probe below
 
-  if (auto it = lists_.find("~short"); it != lists_.end()) {
-    out.insert(out.end(), it->second.begin(), it->second.end());
-  }
+  out->insert(out->end(), short_list_.begin(), short_list_.end());
 
   // Any match has length within k of the query; for each such length we probe
   // the segments that could appear in the query, shifted by at most k.
   size_t min_len = query.size() > k ? query.size() - k : parts;
   size_t max_len = query.size() + k;
   for (size_t len = std::max(min_len, parts); len <= max_len; ++len) {
-    std::vector<SegmentLayout> layout = PartitionLayout(len, parts);
     for (size_t slot = 0; slot < parts; ++slot) {
-      const SegmentLayout& seg = layout[slot];
+      const SegmentLayout seg = PartitionSegment(len, parts, slot);
       if (seg.length == 0 || seg.length > query.size()) continue;
       size_t lo = seg.start > k ? seg.start - k : 0;
       size_t hi = std::min(query.size() - seg.length, seg.start + k);
       for (size_t start = lo; start <= hi; ++start) {
-        std::string key =
-            SegmentKey(len, slot, query.substr(start, seg.length));
         ++probes;
-        if (auto it = lists_.find(key); it != lists_.end()) {
-          out.insert(out.end(), it->second.begin(), it->second.end());
-        }
+        AppendList(SegmentHash(len, slot, query.substr(start, seg.length)), out);
       }
     }
   }
   DETECTIVE_COUNT_N("sigindex.probes", probes);
-  SortUnique(&out);
-  return out;
+  SortUnique(out);
 }
 
 size_t SignatureIndex::PrefixLength(size_t set_size) const {
@@ -163,32 +165,30 @@ void SignatureIndex::BuildPrefixFilter() {
     token_rank_.emplace(order[rank].second, rank);
   }
 
+  rank_lists_.resize(order.size());
   entry_tokens_.resize(entries_.size());
   for (uint32_t e = 0; e < entries_.size(); ++e) {
     std::vector<uint32_t>& ranks = entry_tokens_[e];
     ranks.reserve(token_sets[e].size());
     for (const std::string& token : token_sets[e]) {
-      ranks.push_back(token_rank_.at(token));
+      ranks.push_back(token_rank_.find(token)->second);
     }
     std::sort(ranks.begin(), ranks.end());
     size_t prefix = PrefixLength(ranks.size());
     for (size_t i = 0; i < prefix; ++i) {
-      lists_[order[ranks[i]].second].push_back(e);
+      rank_lists_[ranks[i]].push_back(e);
     }
-    if (ranks.empty()) lists_["~empty"].push_back(e);
+    if (ranks.empty()) empty_list_.push_back(e);
   }
 }
 
-std::vector<uint32_t> SignatureIndex::CandidatesPrefixFilter(
-    std::string_view query) const {
+void SignatureIndex::CandidatesPrefixFilter(std::string_view query,
+                                            std::vector<uint32_t>* out) const {
   std::vector<std::string> tokens = WordTokenSet(query);
-  std::vector<uint32_t> out;
   if (tokens.empty()) {
-    if (auto it = lists_.find("~empty"); it != lists_.end()) {
-      out = it->second;
-    }
-    SortUnique(&out);
-    return out;
+    out->insert(out->end(), empty_list_.begin(), empty_list_.end());
+    SortUnique(out);
+    return;
   }
   // Order query tokens by the global rank; tokens outside the indexed
   // vocabulary sort first (they are the rarest possible) and probe nothing.
@@ -196,8 +196,8 @@ std::vector<uint32_t> SignatureIndex::CandidatesPrefixFilter(
   ordered.reserve(tokens.size());
   for (const std::string& token : tokens) {
     auto it = token_rank_.find(token);
-    // Unseen tokens get rank below every known token; disambiguate by hash
-    // only for ordering stability (any consistent order is correct).
+    // Unseen tokens get rank 0, below every known token (known ranks are
+    // shifted up by one); any consistent order is correct.
     uint64_t rank = it == token_rank_.end()
                         ? 0
                         : static_cast<uint64_t>(it->second) + 1;
@@ -208,68 +208,79 @@ std::vector<uint32_t> SignatureIndex::CandidatesPrefixFilter(
   size_t prefix = PrefixLength(ordered.size());
   DETECTIVE_COUNT_N("sigindex.probes", prefix);
   for (size_t i = 0; i < prefix; ++i) {
-    auto it = lists_.find(*ordered[i].second);
-    if (it != lists_.end()) {
-      out.insert(out.end(), it->second.begin(), it->second.end());
-    }
+    if (ordered[i].first == 0) continue;  // unseen token: no list to probe
+    const std::vector<uint32_t>& list =
+        rank_lists_[static_cast<size_t>(ordered[i].first - 1)];
+    out->insert(out->end(), list.begin(), list.end());
   }
-  SortUnique(&out);
-  return out;
+  SortUnique(out);
 }
 
-std::vector<uint32_t> SignatureIndex::Candidates(std::string_view query) const {
-  DETECTIVE_CHECK(built_) << "Candidates before Build";
-  std::vector<uint32_t> entry_indexes;
+void SignatureIndex::CandidateEntries(std::string_view query,
+                                      std::vector<uint32_t>* out) const {
+  out->clear();
   switch (similarity_.kind()) {
-    case SimilarityKind::kEquality: {
-      auto it = exact_.find(std::string(query));
-      if (it != exact_.end()) entry_indexes = it->second;
+    case SimilarityKind::kEquality:
+      // Hash collisions may merge lists; entries are filtered byte-exactly
+      // by the callers below.
+      AppendList(Fnv1a(query), out);
+      SortUnique(out);
       break;
-    }
     case SimilarityKind::kEditDistance:
-      entry_indexes = CandidatesEditDistance(query);
+      CandidatesEditDistance(query, out);
       break;
     case SimilarityKind::kJaccard:
     case SimilarityKind::kCosine:
-      entry_indexes = CandidatesPrefixFilter(query);
+      CandidatesPrefixFilter(query, out);
       break;
   }
+}
+
+void SignatureIndex::Candidates(std::string_view query,
+                                std::vector<uint32_t>* out) const {
+  DETECTIVE_CHECK(built_) << "Candidates before Build";
+  CandidateEntries(query, out);
+  // Rewrite entry indexes to ids in place (write index trails read index).
+  size_t w = 0;
+  for (uint32_t e : *out) {
+    if (similarity_.kind() == SimilarityKind::kEquality &&
+        entries_[e].value != query) {
+      continue;  // hash-collision neighbour, not the queried value
+    }
+    (*out)[w++] = entries_[e].id;
+  }
+  out->resize(w);
+  SortUnique(out);
+}
+
+void SignatureIndex::Matches(std::string_view query,
+                             std::vector<uint32_t>* out) const {
+  DETECTIVE_CHECK(built_) << "Matches before Build";
+  DETECTIVE_COUNT("sigindex.queries");
+  CandidateEntries(query, out);
+  if (similarity_.kind() != SimilarityKind::kEquality) {
+    DETECTIVE_COUNT_N("sigindex.candidates_verified", out->size());
+  }
+  size_t w = 0;
+  for (uint32_t e : *out) {
+    const bool match = similarity_.kind() == SimilarityKind::kEquality
+                           ? entries_[e].value == query
+                           : similarity_.Matches(query, entries_[e].value);
+    if (match) (*out)[w++] = entries_[e].id;
+  }
+  out->resize(w);
+  SortUnique(out);
+}
+
+std::vector<uint32_t> SignatureIndex::Candidates(std::string_view query) const {
   std::vector<uint32_t> ids;
-  ids.reserve(entry_indexes.size());
-  for (uint32_t e : entry_indexes) ids.push_back(entries_[e].id);
-  SortUnique(&ids);
+  Candidates(query, &ids);
   return ids;
 }
 
 std::vector<uint32_t> SignatureIndex::Matches(std::string_view query) const {
-  DETECTIVE_CHECK(built_) << "Matches before Build";
-  DETECTIVE_COUNT("sigindex.queries");
-  std::vector<uint32_t> entry_indexes;
-  switch (similarity_.kind()) {
-    case SimilarityKind::kEquality: {
-      // Exact lookups need no verification.
-      auto it = exact_.find(std::string(query));
-      if (it == exact_.end()) return {};
-      std::vector<uint32_t> ids;
-      ids.reserve(it->second.size());
-      for (uint32_t e : it->second) ids.push_back(entries_[e].id);
-      SortUnique(&ids);
-      return ids;
-    }
-    case SimilarityKind::kEditDistance:
-      entry_indexes = CandidatesEditDistance(query);
-      break;
-    case SimilarityKind::kJaccard:
-    case SimilarityKind::kCosine:
-      entry_indexes = CandidatesPrefixFilter(query);
-      break;
-  }
-  DETECTIVE_COUNT_N("sigindex.candidates_verified", entry_indexes.size());
   std::vector<uint32_t> ids;
-  for (uint32_t e : entry_indexes) {
-    if (similarity_.Matches(query, entries_[e].value)) ids.push_back(entries_[e].id);
-  }
-  SortUnique(&ids);
+  Matches(query, &ids);
   return ids;
 }
 

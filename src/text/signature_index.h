@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
+#include "common/string_util.h"
 #include "text/similarity.h"
 
 namespace detective {
@@ -30,6 +32,16 @@ namespace detective {
 /// `Candidates()` returns a superset of the true matches (the completeness
 /// property our tests check); `Matches()` verifies candidates with the exact
 /// similarity predicate.
+///
+/// Storage: indexed strings are interned into an arena (one compact copy,
+/// `string_view` entries), and ED/equality signatures are packed 64-bit
+/// hashes in a flat open-addressed table (common/hash.h) instead of
+/// "slot|len|segment" string keys. A hash collision merges two inverted
+/// lists, which only widens the candidate superset — soundness is preserved
+/// because Matches() verifies, and the equality path re-checks stored bytes.
+///
+/// Frozen after Build(): all lookups are const and safe to share across
+/// threads (core/match_plan.h).
 class SignatureIndex {
  public:
   explicit SignatureIndex(Similarity similarity);
@@ -48,43 +60,60 @@ class SignatureIndex {
   /// Ids whose values match `query` under the similarity. Sorted.
   std::vector<uint32_t> Matches(std::string_view query) const;
 
+  /// Scratch-buffer overloads for the hot path: `*out` is cleared and
+  /// refilled, reusing its capacity across calls instead of allocating a
+  /// fresh vector per lookup.
+  void Candidates(std::string_view query, std::vector<uint32_t>* out) const;
+  void Matches(std::string_view query, std::vector<uint32_t>* out) const;
+
   size_t size() const { return entries_.size(); }
   const Similarity& similarity() const { return similarity_; }
-
-  /// Number of inverted-list probes the last Candidates() call performed —
-  /// exposed for the micro-benchmarks and tests of pruning power.
-  struct Stats {
-    size_t probes = 0;
-    size_t candidates = 0;
-  };
 
  private:
   struct Entry {
     uint32_t id;
-    std::string value;
+    std::string_view value;  // bytes live in arena_
   };
 
-  // --- edit-distance scheme ---
-  // Key: (segment slot, segment length bucket...) encoded into the string key
-  // "slot|len|segment"; value: entry indexes.
+  /// Fills `*out` with entry indexes (sorted, deduplicated) that may match.
+  void CandidateEntries(std::string_view query, std::vector<uint32_t>* out) const;
+
+  // --- edit-distance scheme (PASS-JOIN segment signatures) ---
   void BuildEditDistance();
-  std::vector<uint32_t> CandidatesEditDistance(std::string_view query) const;
+  void CandidatesEditDistance(std::string_view query,
+                              std::vector<uint32_t>* out) const;
 
   // --- prefix-filter scheme ---
   void BuildPrefixFilter();
-  std::vector<uint32_t> CandidatesPrefixFilter(std::string_view query) const;
+  void CandidatesPrefixFilter(std::string_view query,
+                              std::vector<uint32_t>* out) const;
   size_t PrefixLength(size_t set_size) const;
+
+  /// Appends the inverted list stored under the packed `key`, if any.
+  void AppendList(uint64_t key, std::vector<uint32_t>* out) const;
+  /// The pool list for `key` during Build(), minted on first use.
+  std::vector<uint32_t>& ListSlot(uint64_t key);
 
   Similarity similarity_;
   bool built_ = false;
   std::vector<Entry> entries_;
+  StringArena arena_;
 
-  // equality: value -> entry indexes
-  std::unordered_map<std::string, std::vector<uint32_t>> exact_;
-  // ED / prefix: signature -> entry indexes
-  std::unordered_map<std::string, std::vector<uint32_t>> lists_;
-  // prefix filter: token -> global frequency rank
-  std::unordered_map<std::string, uint32_t> token_rank_;
+  // equality / ED: packed 64-bit signature hash -> index into lists_.
+  FlatKeyMap table_;
+  std::vector<std::vector<uint32_t>> lists_;
+  // ED: entries too short to host non-empty segments; probed by every query.
+  std::vector<uint32_t> short_list_;
+
+  // prefix filter: token -> global frequency rank. Kept exact (no hashed
+  // keys): a collision here would reorder the global token preorder and
+  // break the prefix-filter completeness guarantee, not just widen it.
+  std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
+      token_rank_;
+  // rank -> entry indexes whose prefix contains the token of that rank.
+  std::vector<std::vector<uint32_t>> rank_lists_;
+  // entries that tokenize to nothing; probed by token-free queries.
+  std::vector<uint32_t> empty_list_;
   // token sets of indexed entries, ordered by rank (parallel to entries_)
   std::vector<std::vector<uint32_t>> entry_tokens_;
 };

@@ -9,6 +9,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/parallel_repair.h"
+#include "core/repair.h"
+#include "test_fixtures.h"
+
 namespace detective::metrics {
 namespace {
 
@@ -280,6 +284,44 @@ TEST_F(MetricsTest, SnapshotAndResetEpochsSumExactlyUnderRacingWriter) {
   writer.join();
   sum += Registry::Global().SnapshotAndReset().counter("test.sar.race");
   EXPECT_EQ(sum, kTotal);
+}
+
+// Parallel repair over the shared match plan / candidate cache must still
+// sum its thread-local metric shards to exactly the sequential run's repair
+// totals — and the new sharing counters must account for every node check.
+TEST_F(MetricsTest, ParallelRepairWithSharedStateSumsToSequential) {
+  KnowledgeBase kb = testing::BuildFigure1Kb();
+  std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();
+
+  Relation sequential = testing::BuildTableI();
+  FastRepairer repairer(kb, sequential.schema(), rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&sequential);
+  MetricsSnapshot seq = Registry::Global().SnapshotAndReset();
+
+  Relation parallel = testing::BuildTableI();
+  ParallelRepairOptions options;
+  options.num_threads = 4;
+  options.chunk_rows = 1;
+  auto stats = ParallelRepair(kb, rules, &parallel, options);
+  ASSERT_TRUE(stats.ok());
+  MetricsSnapshot par = Registry::Global().SnapshotAndReset();
+
+  ASSERT_GT(seq.counter("repair.tuples_processed"), 0u);
+  for (const char* name :
+       {"repair.tuples_processed", "repair.rule_checks",
+        "repair.rule_applications", "repair.cell_repairs", "repair.cells_marked",
+        "repair.chase_rounds", "matcher.node_queries"}) {
+    EXPECT_EQ(par.counter(name), seq.counter(name)) << name;
+  }
+  // Sharing bookkeeping: every node check is exactly one shared-cache
+  // lookup, the plan built its indexes exactly once, workers built none, and
+  // the steal counter mirrors the merged stats.
+  EXPECT_EQ(par.counter("cache.hits") + par.counter("cache.misses"),
+            par.counter("matcher.node_queries"));
+  EXPECT_GT(par.counter("matchplan.indexes_built"), 0u);
+  EXPECT_EQ(par.counter("matcher.index_builds"), 0u);
+  EXPECT_EQ(par.counter("steal.count"), stats->chunks_stolen);
 }
 
 #endif  // DETECTIVE_METRICS_ENABLED

@@ -1,15 +1,41 @@
-// Tests for core/parallel_repair: sharded repair must be bit-identical to
-// the sequential fast repairer, for any thread count.
+// Tests for core/parallel_repair: work-stealing chunked repair must be
+// bit-identical to the sequential fast repairer — cell values, provenance
+// log, and quarantine ledger — for any thread count, with or without the
+// shared match plan / candidate cache, with or without a fault plan.
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
+#include "common/fault.h"
 #include "common/metrics.h"
+#include "core/match_plan.h"
 #include "core/parallel_repair.h"
 #include "datagen/uis_gen.h"
 #include "test_fixtures.h"
 
 namespace detective {
 namespace {
+
+/// A dirty UIS relation plus everything needed to repair it.
+struct UisCase {
+  Dataset dataset;
+  KnowledgeBase kb;
+  Relation dirty;
+};
+
+UisCase BuildUisCase(size_t tuples) {
+  UisCase c;
+  UisOptions options;
+  options.num_tuples = tuples;
+  c.dataset = GenerateUis(options);
+  c.kb = c.dataset.world.ToKb(YagoProfile(), c.dataset.key_entities);
+  c.dirty = c.dataset.clean;
+  ErrorSpec spec;
+  spec.error_rate = 0.12;
+  InjectErrors(&c.dirty, spec, c.dataset.alternatives);
+  return c;
+}
 
 TEST(ParallelRepairTest, MatchesSequentialOnTableI) {
   KnowledgeBase kb = testing::BuildFigure1Kb();
@@ -110,6 +136,172 @@ TEST(ParallelRepairTest, WorkerMetricsSumToSequentialRun) {
   }
   EXPECT_EQ(par.counter("parallel.workers_launched"), 4u);
   EXPECT_EQ(par.timer("parallel.worker").count, 4u);
+}
+#endif  // DETECTIVE_METRICS_ENABLED
+
+// chunk_rows=1 maximizes scheduling freedom: every row is claimed off the
+// atomic counter independently, so chunks land on "wrong" workers constantly
+// — and the output, provenance log included, must not care.
+TEST(ParallelRepairTest, WorkStealingIsInvisibleInOutputAndProvenance) {
+  UisCase c = BuildUisCase(200);
+
+  Relation sequential = c.dirty;
+  ProvenanceLog sequential_log;
+  FastRepairer repairer(c.kb, c.dirty.schema(), c.dataset.rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.engine().set_provenance(&sequential_log);
+  repairer.RepairRelation(&sequential);
+
+  size_t total_steals = 0;
+  for (size_t threads : {2u, 3u, 8u}) {
+    Relation parallel = c.dirty;
+    ProvenanceLog parallel_log;
+    ParallelRepairOptions options;
+    options.num_threads = threads;
+    options.chunk_rows = 1;
+    options.provenance = &parallel_log;
+    auto stats = ParallelRepair(c.kb, c.dataset.rules, &parallel, options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    total_steals += stats->chunks_stolen;
+    EXPECT_EQ(parallel_log, sequential_log) << "threads=" << threads;
+    for (size_t row = 0; row < parallel.num_tuples(); ++row) {
+      EXPECT_EQ(parallel.tuple(row).values(), sequential.tuple(row).values())
+          << "threads=" << threads << " row=" << row;
+    }
+  }
+  // 600 one-row chunks across three runs: some always land off their static
+  // owner (a zero here would mean the claims exactly reproduced contiguous
+  // sharding three times over).
+  EXPECT_GT(total_steals, 0u);
+}
+
+// Turning the shared plan and cache off restores per-worker private state —
+// and must not change a single byte of output either.
+TEST(ParallelRepairTest, SharedAndPrivateStateProduceIdenticalRepairs) {
+  UisCase c = BuildUisCase(200);
+  Relation shared = c.dirty;
+  Relation private_state = c.dirty;
+  ProvenanceLog shared_log;
+  ProvenanceLog private_log;
+
+  ParallelRepairOptions options;
+  options.num_threads = 4;
+  options.provenance = &shared_log;
+  ASSERT_TRUE(ParallelRepair(c.kb, c.dataset.rules, &shared, options).ok());
+
+  options.share_match_plan = false;
+  options.share_value_cache = false;
+  options.provenance = &private_log;
+  ASSERT_TRUE(
+      ParallelRepair(c.kb, c.dataset.rules, &private_state, options).ok());
+
+  EXPECT_EQ(shared_log, private_log);
+  for (size_t row = 0; row < shared.num_tuples(); ++row) {
+    EXPECT_EQ(shared.tuple(row).values(), private_state.tuple(row).values());
+  }
+}
+
+// A tiny cache forces capacity rejections, so workers exercise the private
+// overflow-memo fallback — results still cannot change.
+TEST(ParallelRepairTest, CacheCapacityRejectionsAreHarmless) {
+  UisCase c = BuildUisCase(200);
+  Relation reference = c.dirty;
+  FastRepairer repairer(c.kb, c.dirty.schema(), c.dataset.rules);
+  ASSERT_TRUE(repairer.Init().ok());
+  repairer.RepairRelation(&reference);
+
+  Relation parallel = c.dirty;
+  ParallelRepairOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 64;  // one entry per shard
+  auto stats = ParallelRepair(c.kb, c.dataset.rules, &parallel, options);
+  ASSERT_TRUE(stats.ok());
+  for (size_t row = 0; row < parallel.num_tuples(); ++row) {
+    EXPECT_EQ(parallel.tuple(row).values(), reference.tuple(row).values());
+  }
+}
+
+#if DETECTIVE_FAULT_ENABLED
+class ArmedPlan {
+ public:
+  explicit ArmedPlan(std::string_view spec) {
+    auto plan = fault::FaultPlan::Parse(spec);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    if (plan.ok()) fault::Injector::Global().Arm(*plan);
+  }
+  ~ArmedPlan() { fault::Injector::Global().Disarm(); }
+};
+
+// The PR 4 determinism contract under work stealing: fault decisions are
+// keyed by (seed, site, row, hit), never by which worker or chunk reached
+// the row, so the repaired cells, the provenance log, and the quarantine
+// ledger match the sequential guarded run bit for bit at every thread count.
+TEST(ParallelRepairTest, WorkStealingPreservesFaultDeterminism) {
+  constexpr std::string_view kPlan = "seed=13; site=kb.lookup, p=0.01";
+  UisCase c = BuildUisCase(200);
+
+  Relation sequential = c.dirty;
+  ProvenanceLog sequential_log;
+  QuarantineLog sequential_quarantine;
+  {
+    ArmedPlan armed(kPlan);
+    FastRepairer repairer(c.kb, c.dirty.schema(), c.dataset.rules);
+    ASSERT_TRUE(repairer.Init().ok());
+    repairer.engine().set_provenance(&sequential_log);
+    repairer.RepairRelationGuarded(&sequential, &sequential_quarantine);
+  }
+  EXPECT_FALSE(sequential_quarantine.empty());  // seed 13 trips at least once
+
+  for (size_t threads : {2u, 3u, 8u}) {
+    ArmedPlan armed(kPlan);
+    Relation parallel = c.dirty;
+    ProvenanceLog parallel_log;
+    QuarantineLog parallel_quarantine;
+    ParallelRepairOptions options;
+    options.num_threads = threads;
+    options.chunk_rows = 1;  // maximal stealing
+    options.provenance = &parallel_log;
+    options.quarantine = &parallel_quarantine;
+    auto stats = ParallelRepair(c.kb, c.dataset.rules, &parallel, options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(parallel_quarantine, sequential_quarantine)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel_log, sequential_log) << "threads=" << threads;
+    for (size_t row = 0; row < parallel.num_tuples(); ++row) {
+      EXPECT_EQ(parallel.tuple(row).values(), sequential.tuple(row).values())
+          << "threads=" << threads << " row=" << row;
+    }
+  }
+}
+#endif  // DETECTIVE_FAULT_ENABLED
+
+#if DETECTIVE_METRICS_ENABLED
+// The whole point of the plan: across an 8-worker run, each (type, sim)
+// signature index is built exactly once — by the plan — and never lazily by
+// a worker's matcher.
+TEST(ParallelRepairTest, SignatureIndexesBuiltExactlyOncePerPair) {
+  UisCase c = BuildUisCase(128);
+
+  // The expected pair count, from an out-of-band plan over the same rules.
+  RuleEngine probe(c.kb, c.dirty.schema(), c.dataset.rules, RepairOptions{});
+  ASSERT_TRUE(probe.Init().ok());
+  MatchPlan expected = MatchPlan::Build(c.kb, probe.bound_rules(), 1);
+  ASSERT_GT(expected.num_indexes(), 0u);  // UIS rules use ED,2 nodes
+
+  metrics::Registry& registry = metrics::Registry::Global();
+  registry.Reset();
+  Relation parallel = c.dirty;
+  ParallelRepairOptions options;
+  options.num_threads = 8;
+  options.chunk_rows = 4;
+  ASSERT_TRUE(ParallelRepair(c.kb, c.dataset.rules, &parallel, options).ok());
+  metrics::MetricsSnapshot par = registry.Snapshot();
+
+  EXPECT_EQ(par.counter("matchplan.indexes_built"), expected.num_indexes());
+  EXPECT_EQ(par.counter("matcher.index_builds"), 0u);
+  // Every node check goes through the shared cache exactly once.
+  EXPECT_EQ(par.counter("cache.hits") + par.counter("cache.misses"),
+            par.counter("matcher.node_queries"));
 }
 #endif  // DETECTIVE_METRICS_ENABLED
 

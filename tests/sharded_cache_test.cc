@@ -1,0 +1,157 @@
+// Tests for common/sharded_cache: insert-once determinism, the capacity
+// bound (reject, never evict — pointer stability), and a concurrent hammer
+// that the CI TSan job runs race-checked.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sharded_cache.h"
+
+namespace detective {
+namespace {
+
+using IntVecCache = ShardedCache<std::vector<int>>;
+
+TEST(ShardedCacheTest, FindMissesThenHitsAfterInsert) {
+  IntVecCache cache;
+  EXPECT_EQ(cache.Find("alpha"), nullptr);
+
+  const std::vector<int>* stored = cache.Insert("alpha", {1, 2, 3});
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(*stored, (std::vector<int>{1, 2, 3}));
+
+  const std::vector<int>* found = cache.Find("alpha");
+  EXPECT_EQ(found, stored);
+
+  ShardedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ShardedCacheTest, FirstInsertWins) {
+  IntVecCache cache;
+  const std::vector<int>* first = cache.Insert("key", {1});
+  const std::vector<int>* second = cache.Insert("key", {2});
+  // The second insert returns the incumbent entry, untouched.
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(*first, std::vector<int>{1});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(ShardedCacheTest, RejectedInsertLeavesValueUsable) {
+  IntVecCache cache(1);  // one entry per shard
+  std::vector<const std::vector<int>*> stored;
+  size_t rejected = 0;
+  for (int i = 0; i < 512; ++i) {
+    std::vector<int> value{i};
+    const std::vector<int>* entry =
+        cache.Insert("key-" + std::to_string(i), std::move(value));
+    if (entry == nullptr) {
+      // Rejected: the value must still be intact for local use.
+      ++rejected;
+      EXPECT_EQ(value, std::vector<int>{i});
+    } else {
+      stored.push_back(entry);
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_LE(cache.size(), IntVecCache::kNumShards);
+  EXPECT_EQ(cache.stats().rejected, rejected);
+}
+
+// No eviction means no dangling entry pointers: everything handed out stays
+// readable after the cache filled up and rejected hundreds of inserts.
+TEST(ShardedCacheTest, CapacityBoundNeverInvalidatesStoredEntries) {
+  IntVecCache cache(64);
+  struct Handle {
+    std::string key;
+    const std::vector<int>* entry;
+    int payload;
+  };
+  std::vector<Handle> handles;
+  for (int i = 0; i < 4096; ++i) {
+    std::string key = "entry-" + std::to_string(i);
+    if (const std::vector<int>* entry = cache.Insert(key, {i, i + 1})) {
+      handles.push_back({std::move(key), entry, i});
+    }
+  }
+  ASSERT_FALSE(handles.empty());
+  EXPECT_LT(handles.size(), 4096u);  // the bound actually bit
+  for (const Handle& handle : handles) {
+    EXPECT_EQ(*handle.entry, (std::vector<int>{handle.payload, handle.payload + 1}));
+    EXPECT_EQ(cache.Find(handle.key), handle.entry);
+  }
+}
+
+// Concurrent hammer (race-checked under TSan in CI): 8 threads race Find and
+// Insert over a shared key space. Insert-once means every thread must observe
+// the same winning entry per key — pointer-equal and content-stable — no
+// matter the interleaving.
+TEST(ShardedCacheTest, ConcurrentHammerObservesOneWinnerPerKey) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kKeys = 64;
+  constexpr size_t kRounds = 400;
+  IntVecCache cache(1 << 16);
+
+  // observed[t][k]: the entry thread t saw for key k (first observation).
+  std::vector<std::vector<const std::vector<int>*>> observed(
+      kThreads, std::vector<const std::vector<int>*>(kKeys, nullptr));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &observed] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t k = (round * 7 + t * 13) % kKeys;
+        const std::string key = "key-" + std::to_string(k);
+        const std::vector<int>* entry = cache.Find(key);
+        if (entry == nullptr) {
+          // Tag the candidate value with the inserting thread: if two
+          // inserts ever both "won", some thread would observe a foreign
+          // tag change under it.
+          entry = cache.Insert(
+              key, {static_cast<int>(k), static_cast<int>(t)});
+        }
+        ASSERT_NE(entry, nullptr);
+        ASSERT_EQ(entry->front(), static_cast<int>(k));
+        if (observed[t][k] == nullptr) observed[t][k] = entry;
+        // Same entry on every later encounter.
+        ASSERT_EQ(observed[t][k], entry);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Cross-thread agreement: one winner per key.
+  for (size_t k = 0; k < kKeys; ++k) {
+    const std::vector<int>* winner = nullptr;
+    for (size_t t = 0; t < kThreads; ++t) {
+      if (observed[t][k] == nullptr) continue;
+      if (winner == nullptr) winner = observed[t][k];
+      EXPECT_EQ(observed[t][k], winner) << "key " << k << " thread " << t;
+    }
+    ASSERT_NE(winner, nullptr);
+    EXPECT_EQ(winner->front(), static_cast<int>(k));
+  }
+  EXPECT_EQ(cache.size(), kKeys);
+  EXPECT_EQ(cache.stats().inserts, kKeys);
+}
+
+TEST(ShardedCacheStatsTest, ToStringReportsHitRate) {
+  IntVecCache cache;
+  cache.Insert("a", {1});
+  cache.Find("a");
+  cache.Find("b");
+  std::string text = cache.stats().ToString();
+  EXPECT_NE(text.find("hits=1"), std::string::npos);
+  EXPECT_NE(text.find("misses=1"), std::string::npos);
+  EXPECT_NE(text.find("hit_rate=0.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace detective

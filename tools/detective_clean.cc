@@ -37,6 +37,7 @@
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "core/consistency.h"
+#include "core/parallel_repair.h"
 #include "core/provenance.h"
 #include "core/quarantine.h"
 #include "core/repair.h"
@@ -74,6 +75,10 @@ struct Args {
   uint64_t deadline_ms = 0;
   uint64_t tuple_budget_ms = 0;
   uint64_t max_rule_failures = 0;
+  /// Repair worker threads (docs/performance.md). 1 = sequential in-process;
+  /// >1 = work-stealing ParallelRepair over a shared match plan and candidate
+  /// cache; 0 = hardware concurrency.
+  uint64_t threads = 1;
 };
 
 void PrintUsage() {
@@ -116,7 +121,11 @@ void PrintUsage() {
       "                      quarantined tuples blame it, re-chase its victims\n"
       "  --quarantine-json   write the quarantine ledger (one JSON line per\n"
       "                      set-aside tuple); any quarantine exits %d\n"
-      "                      (completed degraded)\n",
+      "                      (completed degraded)\n"
+      "  --threads           repair worker threads (default 1 = sequential;\n"
+      "                      0 = hardware concurrency). Workers share one\n"
+      "                      frozen match plan and candidate cache; output is\n"
+      "                      identical at every thread count\n",
       kExitInconsistent, kExitLintRejected, kExitDegraded);
 }
 
@@ -153,7 +162,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         take("quarantine-json", &args->quarantine_json_path) ||
         take_u64("deadline-ms", &args->deadline_ms) ||
         take_u64("tuple-budget-ms", &args->tuple_budget_ms) ||
-        take_u64("max-rule-failures", &args->max_rule_failures)) {
+        take_u64("max-rule-failures", &args->max_rule_failures) ||
+        take_u64("threads", &args->threads)) {
       continue;
     }
     if (arg == "--check-consistency") {
@@ -189,6 +199,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                  "--deadline-ms/--tuple-budget-ms/--max-rule-failures/"
                  "--quarantine-json require --algorithm=fast without "
                  "--multi-version\n");
+    return false;
+  }
+  // Parallel repair drives FastRepairer workers; the basic algorithm and the
+  // multi-version expansion stay sequential.
+  if (args->threads != 1 && (args->multi_version || args->algorithm == "basic")) {
+    std::fprintf(stderr,
+                 "--threads requires --algorithm=fast without --multi-version\n");
     return false;
   }
   return true;
@@ -355,6 +372,19 @@ int Run(const Args& args) {
       repairer.engine().set_provenance(provenance_sink);
       repairer.RepairRelation(&repaired);
       stats = repairer.stats();
+    } else if (args.threads != 1) {
+      ParallelRepairOptions parallel_options;
+      parallel_options.repair = repair_options;
+      parallel_options.num_threads = args.threads;
+      parallel_options.provenance = provenance_sink;
+      parallel_options.quarantine = guarded ? &quarantine : nullptr;
+      auto result = ParallelRepair(*kb, *rules, &repaired, parallel_options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "init failed: %s\n",
+                     result.status().ToString().c_str());
+        return kExitRuntimeFailure;
+      }
+      stats = *result;
     } else {
       FastRepairer repairer(*kb, relation->schema(), *rules, repair_options);
       Status st = repairer.Init();
@@ -392,6 +422,12 @@ int Run(const Args& args) {
                   stats.tuples_processed, elapsed, stats.repairs,
                   stats.cells_marked, stats.rule_applications);
     summary = buffer;
+    if (args.threads != 1) {
+      std::snprintf(buffer, sizeof(buffer), " (%llu threads, %zu chunks stolen)",
+                    static_cast<unsigned long long>(args.threads),
+                    stats.chunks_stolen);
+      summary += buffer;
+    }
     if (args.multi_version) {
       std::snprintf(buffer, sizeof(buffer), ", %zu extra versions emitted",
                     extra_versions);
