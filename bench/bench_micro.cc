@@ -46,7 +46,36 @@ void BM_EditDistanceFull(benchmark::State& state) {
 }
 BENCHMARK(BM_EditDistanceFull)->Arg(8)->Arg(32)->Arg(128);
 
+// Per-kernel series over identical inputs (same RandomStrings seed as
+// BM_EditDistanceFull), so the committed baselines compare naive vs banded
+// vs bit-parallel directly.
 void BM_EditDistanceBanded(benchmark::State& state) {
+  std::vector<std::string> strings = RandomStrings(64, state.range(0), 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BandedEditDistance(strings[i % 64], strings[(i + 1) % 64], 2));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceBanded)->Arg(8)->Arg(32)->Arg(128);
+
+// Myers bit-parallel kernel: requires the shorter string <= 64 chars, so the
+// series stops at 64 where BM_EditDistanceBanded continues to 128.
+void BM_EditDistanceBitParallel(benchmark::State& state) {
+  std::vector<std::string> strings = RandomStrings(64, state.range(0), 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BitParallelEditDistance(strings[i % 64], strings[(i + 1) % 64], 2));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceBitParallel)->Arg(8)->Arg(32)->Arg(64);
+
+// The dispatcher the matcher actually calls (bit-parallel <= 64, banded
+// above): its cost should track the winning kernel at every length.
+void BM_EditDistanceDispatch(benchmark::State& state) {
   std::vector<std::string> strings = RandomStrings(64, state.range(0), 1);
   size_t i = 0;
   for (auto _ : state) {
@@ -55,7 +84,24 @@ void BM_EditDistanceBanded(benchmark::State& state) {
     ++i;
   }
 }
-BENCHMARK(BM_EditDistanceBanded)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_EditDistanceDispatch)->Arg(8)->Arg(32)->Arg(128);
+
+// Batched per-signature-bucket verification: one query against 64 bucket
+// candidates through the PEQ-hoisting verifier, vs rebuilding state per pair.
+void BM_EditDistanceVerifierBatch(benchmark::State& state) {
+  std::vector<std::string> strings = RandomStrings(64, state.range(0), 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    EditDistanceVerifier verifier(strings[i % 64], 2);
+    size_t matches = 0;
+    for (const std::string& candidate : strings) {
+      matches += verifier.Matches(candidate) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matches);
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistanceVerifierBatch)->Arg(16)->Arg(32);
 
 void BM_SignatureIndexLookup(benchmark::State& state) {
   std::vector<std::string> values =

@@ -120,7 +120,9 @@ void CfdRepairer::RepairTuple(Tuple* tuple) {
 
 void CfdRepairer::RepairRelation(Relation* relation) {
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
-    RepairTuple(&relation->mutable_tuple(row));
+    Tuple tuple = relation->tuple(row);
+    RepairTuple(&tuple);
+    relation->CommitRow(row, tuple);
   }
 }
 

@@ -40,7 +40,7 @@ Result<std::vector<FdViolation>> FindViolations(
     for (size_t row = 0; row < relation.num_tuples(); ++row) {
       std::string key;
       for (ColumnIndex c : fd.lhs) {
-        key += relation.tuple(row).value(c);
+        key += relation.value(row, c);
         key.push_back('\x1f');
       }
       groups[key].push_back(row);
@@ -48,8 +48,8 @@ Result<std::vector<FdViolation>> FindViolations(
     for (const auto& [key, rows] : groups) {
       for (size_t i = 0; i < rows.size(); ++i) {
         for (size_t j = i + 1; j < rows.size(); ++j) {
-          if (relation.tuple(rows[i]).value(fd.rhs) !=
-              relation.tuple(rows[j]).value(fd.rhs)) {
+          if (relation.value(rows[i], fd.rhs) !=
+              relation.value(rows[j], fd.rhs)) {
             violations.push_back({f, rows[i], rows[j]});
           }
         }

@@ -111,7 +111,9 @@ void Katara::CleanTuple(Tuple* tuple) {
 
 void Katara::CleanRelation(Relation* relation) {
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
-    CleanTuple(&relation->mutable_tuple(row));
+    Tuple tuple = relation->tuple(row);
+    CleanTuple(&tuple);
+    relation->CommitRow(row, tuple);
   }
 }
 

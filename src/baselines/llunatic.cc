@@ -16,7 +16,7 @@ size_t LlunaticRepairer::ChaseRound(Relation* relation, const BoundFd& fd) {
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
     std::string key;
     for (ColumnIndex c : fd.lhs) {
-      key += relation->tuple(row).value(c);
+      key += relation->value(row, c);
       key.push_back('\x1f');
     }
     groups[key].push_back(row);
@@ -26,10 +26,10 @@ size_t LlunaticRepairer::ChaseRound(Relation* relation, const BoundFd& fd) {
   for (const auto& [key, rows] : groups) {
     if (rows.size() < 2) continue;
     // Frequency of each RHS value within the class; lluns never vote.
-    std::map<std::string, size_t> frequency;
+    std::map<std::string, size_t, std::less<>> frequency;
     for (size_t row : rows) {
-      const std::string& value = relation->tuple(row).value(fd.rhs);
-      if (value != kLlunValue) ++frequency[value];
+      std::string_view value = relation->value(row, fd.rhs);
+      if (value != kLlunValue) ++frequency[std::string(value)];
     }
     if (frequency.size() <= 1) continue;  // already consistent
     ++stats_.classes_resolved;
@@ -49,16 +49,15 @@ size_t LlunaticRepairer::ChaseRound(Relation* relation, const BoundFd& fd) {
     }
     const bool tie = winners != 1;
     for (size_t row : rows) {
-      Tuple& tuple = relation->mutable_tuple(row);
-      const std::string& value = tuple.value(fd.rhs);
+      std::string_view value = relation->value(row, fd.rhs);
       if (tie) {
         if (value != kLlunValue) {
-          tuple.Repair(fd.rhs, kLlunValue);
+          relation->RepairCell(row, fd.rhs, kLlunValue);
           ++stats_.lluns;
           ++changed;
         }
       } else if (value != winner) {
-        tuple.Repair(fd.rhs, winner);
+        relation->RepairCell(row, fd.rhs, winner);
         ++stats_.repairs;
         ++changed;
       }

@@ -94,6 +94,13 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
   std::vector<ProvenanceLog> chunk_logs(
       options.provenance != nullptr ? num_chunks : 0);
   std::vector<QuarantineLog> chunk_quarantines(guarded ? num_chunks : 0);
+  // Chunk-indexed result buffers: workers chase detached row copies
+  // (Relation::tuple checkouts) and park them here, leaving the shared
+  // columnar relation read-only for the whole fan-out. The main thread
+  // commits the buffers in ascending chunk — hence row — order after the
+  // join, so column-arena writes are sequential and the committed bytes are
+  // identical at every thread count.
+  std::vector<std::vector<Tuple>> chunk_results(num_chunks);
   std::atomic<size_t> next_chunk{0};
   std::vector<std::thread> workers;
   workers.reserve(threads);
@@ -122,21 +129,36 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
         }
         const size_t lo = chunk * chunk_rows;
         const size_t hi = std::min(rows, lo + chunk_rows);
+        std::vector<Tuple>& results = chunk_results[chunk];
+        results.reserve(hi - lo);
         for (size_t row = lo; row < hi; ++row) {
+          Tuple tuple = relation->tuple(row);
           if (guarded) {
-            repairer.RepairTupleGuarded(row, run_deadline,
-                                        &relation->mutable_tuple(row),
+            // A tripped chase rolls the tuple back to its checkout state, so
+            // committing it below is a no-op for that row.
+            repairer.RepairTupleGuarded(row, run_deadline, &tuple,
                                         &chunk_quarantines[chunk]);
           } else {
             repairer.engine().set_current_row(row);
-            repairer.RepairTuple(&relation->mutable_tuple(row));
+            repairer.RepairTuple(&tuple);
           }
+          results.push_back(std::move(tuple));
         }
       }
       stats[t] = repairer.stats();
     });
   }
   for (std::thread& worker : workers) worker.join();
+
+  // Ordered commit of the chased rows (see chunk_results above).
+  for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const size_t lo = chunk * chunk_rows;
+    std::vector<Tuple>& results = chunk_results[chunk];
+    for (size_t i = 0; i < results.size(); ++i) {
+      relation->CommitRow(lo + i, results[i]);
+    }
+    results = {};  // release the buffer eagerly
+  }
 
   if (options.provenance != nullptr) {
     for (ProvenanceLog& log : chunk_logs) options.provenance->Merge(std::move(log));

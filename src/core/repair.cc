@@ -342,7 +342,9 @@ void BasicRepairer::RepairRelation(Relation* relation) {
       {"rows", static_cast<int64_t>(relation->num_tuples())});
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
     engine_.set_current_row(row);
-    RepairTuple(&relation->mutable_tuple(row));
+    Tuple tuple = relation->tuple(row);
+    RepairTuple(&tuple);
+    relation->CommitRow(row, tuple);
   }
 }
 
@@ -434,7 +436,9 @@ void FastRepairer::RepairRelation(Relation* relation) {
       {"rows", static_cast<int64_t>(relation->num_tuples())});
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
     engine_.set_current_row(row);
-    RepairTuple(&relation->mutable_tuple(row));
+    Tuple tuple = relation->tuple(row);
+    RepairTuple(&tuple);
+    relation->CommitRow(row, tuple);
   }
 }
 
@@ -504,8 +508,10 @@ void FastRepairer::RepairRelationGuarded(Relation* relation,
                                           : Deadline::Infinite();
   QuarantineLog ledger;
   for (size_t row = 0; row < relation->num_tuples(); ++row) {
-    RepairTupleGuarded(row, run_deadline, &relation->mutable_tuple(row),
-                       &ledger);
+    Tuple tuple = relation->tuple(row);
+    if (RepairTupleGuarded(row, run_deadline, &tuple, &ledger)) {
+      relation->CommitRow(row, tuple);
+    }
   }
   BreakerFixpoint(*this, relation, run_deadline, &ledger);
   ledger.Canonicalize();
@@ -553,8 +559,11 @@ void BreakerFixpoint(FastRepairer& repairer, Relation* relation,
     retry_rows.erase(std::unique(retry_rows.begin(), retry_rows.end()),
                      retry_rows.end());
     for (uint64_t row : retry_rows) {
-      repairer.RepairTupleGuarded(static_cast<size_t>(row), run_deadline,
-                                  &relation->mutable_tuple(row), quarantine);
+      Tuple tuple = relation->tuple(static_cast<size_t>(row));
+      if (repairer.RepairTupleGuarded(static_cast<size_t>(row), run_deadline,
+                                      &tuple, quarantine)) {
+        relation->CommitRow(static_cast<size_t>(row), tuple);
+      }
     }
   }
 }

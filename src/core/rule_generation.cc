@@ -27,7 +27,7 @@ ColumnMatch MatchColumn(const KnowledgeBase& kb, const Relation& examples,
   ColumnMatch match;
   match.row_items.resize(examples.num_tuples());
   for (size_t row = 0; row < examples.num_tuples(); ++row) {
-    for (ItemId item : kb.ItemsWithLabel(examples.tuple(row).value(column))) {
+    for (ItemId item : kb.ItemsWithLabel(examples.value(row, column))) {
       match.row_items[row].push_back(item);
     }
     if (!match.row_items[row].empty()) ++match.covered_rows;
@@ -50,7 +50,7 @@ ColumnMatch MatchColumn(const KnowledgeBase& kb, const Relation& examples,
   fuzzy.sim = Similarity::EditDistance(options.ed_fallback);
   fuzzy.row_items.resize(examples.num_tuples());
   for (size_t row = 0; row < examples.num_tuples(); ++row) {
-    for (uint32_t raw : index.Matches(examples.tuple(row).value(column))) {
+    for (uint32_t raw : index.Matches(examples.value(row, column))) {
       fuzzy.row_items[row].push_back(ItemId(raw));
     }
     if (!fuzzy.row_items[row].empty()) ++fuzzy.covered_rows;

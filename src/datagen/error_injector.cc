@@ -58,8 +58,7 @@ std::vector<ErrorRecord> InjectErrors(Relation* relation, const ErrorSpec& spec,
   for (size_t cell : cells) {
     size_t row = cell / num_columns;
     ColumnIndex column = static_cast<ColumnIndex>(cell % num_columns);
-    Tuple& tuple = relation->mutable_tuple(row);
-    std::string clean = tuple.value(column);
+    std::string clean(relation->value(row, column));
 
     bool typo = rng.NextBernoulli(spec.typo_fraction);
     std::string dirty;
@@ -80,7 +79,7 @@ std::vector<ErrorRecord> InjectErrors(Relation* relation, const ErrorSpec& spec,
       dirty = MakeTypo(clean, &rng);
       type = ErrorType::kTypo;
     }
-    tuple.SetValue(column, dirty);
+    relation->SetValue(row, column, dirty);
     errors.push_back({row, column, std::move(clean), std::move(dirty), type});
   }
   return errors;

@@ -21,7 +21,7 @@ std::vector<char> EligibleRows(const Relation& clean, const KnowledgeBase& kb,
                                ColumnIndex key_column) {
   std::vector<char> eligible(clean.num_tuples(), 0);
   for (size_t row = 0; row < clean.num_tuples(); ++row) {
-    for (ItemId item : kb.ItemsWithLabel(clean.tuple(row).value(key_column))) {
+    for (ItemId item : kb.ItemsWithLabel(clean.value(row, key_column))) {
       if (!kb.IsLiteral(item)) {
         eligible[row] = 1;
         break;
@@ -43,13 +43,10 @@ RepairQuality EvaluateRepair(const Relation& clean, const Relation& dirty,
   for (size_t row = 0; row < clean.num_tuples(); ++row) {
     if (!eligible.empty() && !eligible[row]) continue;
     ++quality.eligible_rows;
-    const Tuple& clean_tuple = clean.tuple(row);
-    const Tuple& dirty_tuple = dirty.tuple(row);
-    const Tuple& repaired_tuple = repaired.tuple(row);
     for (ColumnIndex c = 0; c < num_columns; ++c) {
-      const std::string& truth = clean_tuple.value(c);
-      const std::string& before = dirty_tuple.value(c);
-      const std::string& after = repaired_tuple.value(c);
+      std::string_view truth = clean.value(row, c);
+      std::string_view before = dirty.value(row, c);
+      std::string_view after = repaired.value(row, c);
       const bool was_error = before != truth;
       if (was_error) ++quality.errors;
       if (after != before) {
@@ -63,7 +60,7 @@ RepairQuality EvaluateRepair(const Relation& clean, const Relation& dirty,
           quality.weighted_correct += 0.5;
         }
       }
-      if (repaired_tuple.IsPositive(c)) {
+      if (repaired.IsPositive(row, c)) {
         ++quality.pos_marks;
         if (after == truth) ++quality.pos_marks_correct;
       }

@@ -14,10 +14,10 @@ std::vector<CellDiff> DiffRelations(const Relation& before, const Relation& afte
   const size_t columns = before.schema().num_columns();
   for (size_t row = 0; row < before.num_tuples(); ++row) {
     for (ColumnIndex c = 0; c < columns; ++c) {
-      const std::string& old_value = before.tuple(row).value(c);
-      const std::string& new_value = after.tuple(row).value(c);
+      std::string_view old_value = before.value(row, c);
+      std::string_view new_value = after.value(row, c);
       if (old_value != new_value) {
-        diffs.push_back({row, c, old_value, new_value});
+        diffs.push_back({row, c, std::string(old_value), std::string(new_value)});
       }
     }
   }

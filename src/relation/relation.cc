@@ -61,23 +61,136 @@ std::string Tuple::ToString() const {
   return out.str();
 }
 
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      columns_(other.columns_.size()),
+      row_ids_(other.row_ids_),
+      next_row_id_(other.next_row_id_) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& src = other.columns_[c];
+    Column& dst = columns_[c];
+    dst.marks_ = src.marks_;
+    dst.repaired_ = src.repaired_;
+    dst.cells_.reserve(src.cells_.size());
+    dst.originals_.resize(src.originals_.size());
+    for (size_t row = 0; row < src.cells_.size(); ++row) {
+      dst.cells_.push_back(dst.arena_.Intern(src.cells_[row]));
+      if (src.repaired_[row]) {
+        dst.originals_[row] = dst.arena_.Intern(src.originals_[row]);
+      }
+    }
+  }
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) *this = Relation(other);  // copy-construct, move-assign
+  return *this;
+}
+
+void Relation::SetValue(size_t row, ColumnIndex c, std::string_view v) {
+  Column& column = columns_[c];
+  if (column.cells_[row] == v) return;
+  column.cells_[row] = column.arena_.Intern(v);
+}
+
+void Relation::RepairCell(size_t row, ColumnIndex c, std::string_view v) {
+  Column& column = columns_[c];
+  if (!column.repaired_[row]) {
+    // First repair: the current span *is* the original — keep it, no copy.
+    column.originals_[row] = column.cells_[row];
+    column.repaired_[row] = 1;
+  }
+  SetValue(row, c, v);
+}
+
+Tuple Relation::tuple(size_t row) const {
+  Tuple t;
+  const size_t width = schema_.num_columns();
+  t.values_.reserve(width);
+  t.marks_.reserve(width);
+  t.repaired_.reserve(width);
+  t.originals_.resize(width);
+  for (size_t c = 0; c < width; ++c) {
+    const Column& column = columns_[c];
+    t.values_.emplace_back(column.cells_[row]);
+    t.marks_.push_back(column.marks_[row]);
+    t.repaired_.push_back(column.repaired_[row]);
+    if (column.repaired_[row]) t.originals_[c] = std::string(column.originals_[row]);
+  }
+  return t;
+}
+
+void Relation::CommitRow(size_t row, const Tuple& tuple) {
+  DETECTIVE_CHECK_EQ(tuple.size(), schema_.num_columns());
+  for (ColumnIndex c = 0; c < schema_.num_columns(); ++c) {
+    Column& column = columns_[c];
+    if (tuple.repaired_[c] && !column.repaired_[row]) {
+      // The row was checked out unrepaired and the chase repaired it: its
+      // checkout-time value is the original. If that still matches the
+      // current cell span, reuse it; otherwise intern the recorded original.
+      column.originals_[row] = column.cells_[row] == tuple.originals_[c]
+                                   ? column.cells_[row]
+                                   : column.arena_.Intern(tuple.originals_[c]);
+      column.repaired_[row] = 1;
+    }
+    if (tuple.marks_[c] == CellMark::kPositive) {
+      column.marks_[row] = CellMark::kPositive;  // monotone merge
+    }
+    if (column.cells_[row] != tuple.values_[c]) {
+      column.cells_[row] = column.arena_.Intern(tuple.values_[c]);
+    }
+  }
+}
+
+void Relation::AppendRow(const std::vector<std::string>& values) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column& column = columns_[c];
+    column.cells_.push_back(column.arena_.Intern(values[c]));
+    column.marks_.push_back(CellMark::kUnknown);
+    column.repaired_.push_back(0);
+    column.originals_.emplace_back();
+  }
+  row_ids_.push_back(next_row_id_++);
+}
+
 Status Relation::Append(std::vector<std::string> values) {
   if (values.size() != schema_.num_columns()) {
     return Status::InvalidArgument("row has ", values.size(), " values, schema has ",
                                    schema_.num_columns(), " columns");
   }
-  tuples_.emplace_back(std::move(values));
+  AppendRow(values);
   return Status::OK();
 }
 
-void Relation::Append(Tuple tuple) {
+void Relation::Append(const Tuple& tuple) {
   DETECTIVE_CHECK_EQ(tuple.size(), schema_.num_columns());
-  tuples_.push_back(std::move(tuple));
+  AppendRow(tuple.values_);
+  const size_t row = row_ids_.size() - 1;
+  for (ColumnIndex c = 0; c < schema_.num_columns(); ++c) {
+    Column& column = columns_[c];
+    column.marks_[row] = tuple.marks_[c];
+    if (tuple.repaired_[c]) {
+      column.repaired_[row] = 1;
+      column.originals_[row] = column.arena_.Intern(tuple.originals_[c]);
+    }
+  }
 }
 
 size_t Relation::CountPositiveCells() const {
   size_t count = 0;
-  for (const Tuple& tuple : tuples_) count += tuple.CountPositive();
+  for (const Column& column : columns_) {
+    for (CellMark mark : column.marks_) {
+      count += mark == CellMark::kPositive ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+size_t Relation::CountRepairedCells() const {
+  size_t count = 0;
+  for (const Column& column : columns_) {
+    for (uint8_t flag : column.repaired_) count += flag;
+  }
   return count;
 }
 
@@ -105,20 +218,25 @@ Result<Relation> Relation::FromCsvFile(const std::string& path) {
   return relation;
 }
 
-std::string Relation::ToCsv() const {
+std::vector<std::vector<std::string>> Relation::CsvRows() const {
   std::vector<std::vector<std::string>> rows;
-  rows.reserve(tuples_.size() + 1);
+  rows.reserve(num_tuples() + 1);
   rows.push_back(schema_.columns());
-  for (const Tuple& tuple : tuples_) rows.push_back(tuple.values());
-  return FormatCsv(rows);
+  for (size_t row = 0; row < num_tuples(); ++row) {
+    std::vector<std::string> values;
+    values.reserve(schema_.num_columns());
+    for (ColumnIndex c = 0; c < schema_.num_columns(); ++c) {
+      values.emplace_back(columns_[c].cells_[row]);
+    }
+    rows.push_back(std::move(values));
+  }
+  return rows;
 }
 
+std::string Relation::ToCsv() const { return FormatCsv(CsvRows()); }
+
 Status Relation::ToCsvFile(const std::string& path) const {
-  std::vector<std::vector<std::string>> rows;
-  rows.reserve(tuples_.size() + 1);
-  rows.push_back(schema_.columns());
-  for (const Tuple& tuple : tuples_) rows.push_back(tuple.values());
-  return WriteCsvFile(path, rows);
+  return WriteCsvFile(path, CsvRows());
 }
 
 }  // namespace detective

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/string_util.h"
 
 namespace detective {
 
@@ -42,7 +43,13 @@ enum class CellMark : uint8_t {
   kPositive = 1,
 };
 
-/// One row: string cells plus per-cell marks and repair provenance.
+/// One detached row: string cells plus per-cell marks and repair provenance.
+///
+/// Since the Relation below went columnar, Tuple is the *working copy* the
+/// chase mutates: repair drivers check a row out (Relation::tuple), chase
+/// the Tuple to its fixpoint, and commit it back (Relation::CommitRow).
+/// Everything the chase needs is row-local, so a checked-out Tuple is
+/// independent of the relation it came from.
 class Tuple {
  public:
   Tuple() = default;
@@ -90,34 +97,127 @@ class Tuple {
   }
 
  private:
+  friend class Relation;  // materialization from columnar storage
+
   std::vector<std::string> values_;
   std::vector<CellMark> marks_;
   std::vector<uint8_t> repaired_;      // bool per cell
   std::vector<std::string> originals_; // pre-repair values
 };
 
-/// A table instance D of schema R.
+/// One column of a Relation: the cell bytes live contiguously (in row order)
+/// in a per-column arena, and `cells_` is the offsets array — one
+/// (pointer, length) view per row into those stable bytes. Scanning a column
+/// therefore streams cache-line-sequential data instead of chasing one
+/// std::string heap allocation per cell. Marks, repair flags, and pre-repair
+/// originals are parallel per-row arrays of the same column.
+///
+/// Read-only from outside; all mutation goes through Relation so row counts
+/// stay in lock-step across columns.
+class Column {
+ public:
+  size_t size() const { return cells_.size(); }
+  std::string_view value(size_t row) const { return cells_[row]; }
+  CellMark mark(size_t row) const { return marks_[row]; }
+  bool IsPositive(size_t row) const { return marks_[row] == CellMark::kPositive; }
+  bool WasRepaired(size_t row) const { return repaired_[row] != 0; }
+  /// Meaningful only when WasRepaired(row).
+  std::string_view original(size_t row) const { return originals_[row]; }
+  /// Total interned cell bytes (repairs append; old spans are kept for
+  /// originals, so this is an upper bound on live bytes).
+  size_t bytes_used() const { return arena_.bytes_used(); }
+
+ private:
+  friend class Relation;
+
+  std::vector<std::string_view> cells_;     // offsets array into arena_
+  std::vector<CellMark> marks_;
+  std::vector<uint8_t> repaired_;           // bool per row
+  std::vector<std::string_view> originals_; // valid where repaired_
+  StringArena arena_;                       // contiguous value bytes
+};
+
+/// A table instance D of schema R, stored columnar: one arena-backed Column
+/// per schema column. Rows are identified by position and by a stable
+/// `row_id` assigned at append time. Cell reads return `std::string_view`s
+/// that stay valid for the relation's lifetime (arena blocks never move);
+/// cell writes re-intern into the column arena.
+///
+/// The chase works on detached row copies: `tuple(row)` materializes a Tuple
+/// (values + marks + repair provenance), `CommitRow` writes one back. Commits
+/// are the only mutating path repair drivers use, so parallel workers can
+/// read shared columns freely and serialize their commits after the join.
 class Relation {
  public:
   Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  explicit Relation(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.num_columns()) {}
+
+  /// Deep copy: cell bytes are re-interned compactly (dropped repair slack
+  /// is not copied); marks, provenance, and row ids carry over.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   const Schema& schema() const { return schema_; }
-  size_t num_tuples() const { return tuples_.size(); }
+  size_t num_tuples() const { return row_ids_.size(); }
 
-  const Tuple& tuple(size_t row) const { return tuples_[row]; }
-  Tuple& mutable_tuple(size_t row) { return tuples_[row]; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  /// Stable identifier of `row`, assigned at append in arrival order and
+  /// never reused; independent of any later reordering or filtering.
+  uint64_t row_id(size_t row) const { return row_ids_[row]; }
+
+  /// Column-major access for streaming scans.
+  const Column& column(ColumnIndex index) const { return columns_[index]; }
+
+  // --- cell accessors (the hot path) ---
+  std::string_view value(size_t row, ColumnIndex c) const {
+    return columns_[c].cells_[row];
+  }
+  CellMark mark(size_t row, ColumnIndex c) const { return columns_[c].marks_[row]; }
+  bool IsPositive(size_t row, ColumnIndex c) const {
+    return columns_[c].marks_[row] == CellMark::kPositive;
+  }
+  bool WasRepaired(size_t row, ColumnIndex c) const {
+    return columns_[c].repaired_[row] != 0;
+  }
+  /// Meaningful only when WasRepaired(row, c).
+  std::string_view OriginalValue(size_t row, ColumnIndex c) const {
+    return columns_[c].originals_[row];
+  }
+
+  // --- cell mutators ---
+  /// Plain write without provenance (loading, generators, error injection).
+  void SetValue(size_t row, ColumnIndex c, std::string_view v);
+  /// Marks a cell positive (monotone).
+  void MarkPositive(size_t row, ColumnIndex c) {
+    columns_[c].marks_[row] = CellMark::kPositive;
+  }
+  /// Overwrites a cell as a repair, recording the pre-repair original on the
+  /// first repair — the columnar mirror of Tuple::Repair.
+  void RepairCell(size_t row, ColumnIndex c, std::string_view v);
+
+  // --- row materialization bridge ---
+  /// Materializes a detached working copy of `row` (values, marks, repair
+  /// provenance). Note this returns by value: the columnar store has no
+  /// per-row object to reference.
+  Tuple tuple(size_t row) const;
+  /// Writes a chased working copy back: changed values are re-interned,
+  /// positive marks merge monotonically, and repair provenance recorded on
+  /// the Tuple (first-repair originals) transfers to the column arrays.
+  void CommitRow(size_t row, const Tuple& tuple);
 
   /// Appends a row; must have schema().num_columns() values.
   Status Append(std::vector<std::string> values);
-  void Append(Tuple tuple);
+  void Append(const Tuple& tuple);
 
   /// Total number of cells (rows × columns).
-  size_t num_cells() const { return tuples_.size() * schema_.num_columns(); }
+  size_t num_cells() const { return num_tuples() * schema_.num_columns(); }
 
   /// Cells marked positive across all tuples — the paper's #-POS metric.
   size_t CountPositiveCells() const;
+  /// Cells carrying a repair record across all tuples.
+  size_t CountRepairedCells() const;
 
   /// CSV round-trip: first record is the header.
   static Result<Relation> FromCsvFile(const std::string& path);
@@ -126,8 +226,15 @@ class Relation {
   std::string ToCsv() const;
 
  private:
+  /// Appends one materialized row across all columns.
+  void AppendRow(const std::vector<std::string>& values);
+  /// Header row + one materialized row per tuple, for CSV serialization.
+  std::vector<std::vector<std::string>> CsvRows() const;
+
   Schema schema_;
-  std::vector<Tuple> tuples_;
+  std::vector<Column> columns_;   // parallel to schema_
+  std::vector<uint64_t> row_ids_; // stable append-order ids
+  uint64_t next_row_id_ = 0;
 };
 
 }  // namespace detective

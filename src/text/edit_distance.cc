@@ -1,9 +1,58 @@
 #include "text/edit_distance.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 namespace detective {
+
+namespace {
+
+/// Myers bit-parallel core: exact distance between `pattern` (<= 64 bytes,
+/// encoded in `peq`) and `text`, with the Ukkonen cutoff — once even a
+/// -1-per-character trajectory over the remaining text cannot reach
+/// `max_edits`, the scan aborts. `peq[c]` holds a set bit for every position
+/// of byte c in the pattern.
+size_t MyersCore(size_t pattern_size, const uint64_t* peq, std::string_view text,
+                 size_t max_edits) {
+  const size_t m = pattern_size;
+  const size_t n = text.size();
+  // Trivial columns: an empty pattern needs n insertions.
+  if (m == 0) return n;
+
+  uint64_t vp = m == 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1;
+  uint64_t vn = 0;
+  const uint64_t mask = uint64_t{1} << (m - 1);
+  size_t score = m;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t eq = peq[static_cast<unsigned char>(text[j])];
+    const uint64_t d0 = (((eq & vp) + vp) ^ vp) | eq | vn;
+    uint64_t hp = vn | ~(d0 | vp);
+    uint64_t hn = vp & d0;
+    if (hp & mask) {
+      ++score;
+    } else if (hn & mask) {
+      --score;
+    }
+    hp = (hp << 1) | 1;
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = hp & d0;
+    // Each remaining character can lower the score by at most 1.
+    if (score > max_edits + (n - j - 1)) return max_edits + 1;
+  }
+  return score;
+}
+
+/// Builds the 256-entry PEQ table for `pattern` (<= 64 bytes).
+void BuildPeq(std::string_view pattern, uint64_t* peq) {
+  std::memset(peq, 0, 256 * sizeof(uint64_t));
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    peq[static_cast<unsigned char>(pattern[i])] |= uint64_t{1} << i;
+  }
+}
+
+}  // namespace
 
 size_t EditDistance(std::string_view a, std::string_view b) {
   if (a.size() < b.size()) std::swap(a, b);  // b is the shorter: less memory
@@ -25,7 +74,8 @@ size_t EditDistance(std::string_view a, std::string_view b) {
   return row[b.size()];
 }
 
-size_t BoundedEditDistance(std::string_view a, std::string_view b, size_t max_edits) {
+size_t BandedEditDistance(std::string_view a, std::string_view b,
+                          size_t max_edits) {
   if (a.size() < b.size()) std::swap(a, b);
   const size_t big = max_edits + 1;
   // Length difference alone already exceeds the band.
@@ -64,8 +114,44 @@ size_t BoundedEditDistance(std::string_view a, std::string_view b, size_t max_ed
   return row[b.size()];
 }
 
+size_t BitParallelEditDistance(std::string_view a, std::string_view b,
+                               size_t max_edits) {
+  // Pattern = the shorter string (must fit one machine word).
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > max_edits) return max_edits + 1;
+  uint64_t peq[256];
+  BuildPeq(b, peq);
+  return MyersCore(b.size(), peq, a, max_edits);
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_edits) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > max_edits) return max_edits + 1;
+  if (b.size() <= 64) return BitParallelEditDistance(a, b, max_edits);
+  return BandedEditDistance(a, b, max_edits);
+}
+
 bool WithinEditDistance(std::string_view a, std::string_view b, size_t max_edits) {
   return BoundedEditDistance(a, b, max_edits) <= max_edits;
+}
+
+EditDistanceVerifier::EditDistanceVerifier(std::string_view query,
+                                           size_t max_edits)
+    : query_(query),
+      max_edits_(max_edits),
+      bit_parallel_(query.size() <= 64) {
+  if (bit_parallel_) BuildPeq(query_, peq_);
+}
+
+bool EditDistanceVerifier::Matches(std::string_view candidate) const {
+  const size_t longer = std::max(query_.size(), candidate.size());
+  const size_t shorter = std::min(query_.size(), candidate.size());
+  if (longer - shorter > max_edits_) return false;
+  if (bit_parallel_) {
+    return MyersCore(query_.size(), peq_, candidate, max_edits_) <= max_edits_;
+  }
+  return BandedEditDistance(query_, candidate, max_edits_) <= max_edits_;
 }
 
 }  // namespace detective

@@ -2,21 +2,67 @@
 #define DETECTIVE_TEXT_EDIT_DISTANCE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 namespace detective {
 
 /// Levenshtein distance (insert / delete / substitute, unit costs).
-/// O(|a|·|b|) time, O(min(|a|,|b|)) space.
+/// O(|a|·|b|) time, O(min(|a|,|b|)) space. The reference kernel: the banded
+/// and bit-parallel kernels below are tested against it property-style.
 size_t EditDistance(std::string_view a, std::string_view b);
 
-/// Banded Levenshtein: returns the exact distance when it is <= `max_edits`,
-/// otherwise any value > `max_edits`. O((|a|+|b|)·max_edits) time — this is
-/// the verification step behind the paper's "ED, k" matching operation.
-size_t BoundedEditDistance(std::string_view a, std::string_view b, size_t max_edits);
+/// Banded (Ukkonen) Levenshtein: returns the exact distance when it is
+/// <= `max_edits`, otherwise any value > `max_edits`. Only cells within
+/// `max_edits` of the diagonal can hold an in-band value, so the DP runs a
+/// band of width 2k+1 per row and exits as soon as the whole band exceeds
+/// the threshold. O((|a|+|b|)·max_edits) time, O(min) space.
+size_t BandedEditDistance(std::string_view a, std::string_view b,
+                          size_t max_edits);
+
+/// Bit-parallel (Myers 1999) Levenshtein with the Ukkonen early exit:
+/// requires min(|a|,|b|) <= 64 (the shorter string is encoded in one 64-bit
+/// word per alphabet byte). Returns the exact distance when it is
+/// <= `max_edits`, otherwise any value > `max_edits`. One word of ~15
+/// bit-ops per text character — the whole DP column in a register.
+size_t BitParallelEditDistance(std::string_view a, std::string_view b,
+                               size_t max_edits);
+
+/// Kernel dispatcher — the verification step behind the paper's "ED, k"
+/// matching operation. Length-difference prefilter, then the bit-parallel
+/// kernel when the shorter string fits 64 characters, the banded kernel
+/// otherwise. Same contract as the kernels: exact when <= `max_edits`,
+/// any value > `max_edits` otherwise.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_edits);
 
 /// True iff EditDistance(a, b) <= max_edits.
 bool WithinEditDistance(std::string_view a, std::string_view b, size_t max_edits);
+
+/// Batched verifier for one query against many candidates (the
+/// per-signature-bucket verification loop of text/signature_index.cc, where
+/// each query is checked against ~tens of bucket candidates). Hoists the
+/// per-query work out of the loop: the Myers alphabet masks (PEQ) are built
+/// once here, so each Matches() call is just the O(|candidate|) scan.
+///
+/// Holds a view of `query`; the caller keeps the bytes alive while the
+/// verifier is in use. No allocation; safe to place on the stack per query.
+class EditDistanceVerifier {
+ public:
+  EditDistanceVerifier(std::string_view query, size_t max_edits);
+
+  /// True iff EditDistance(query, candidate) <= max_edits. Identical
+  /// decisions to WithinEditDistance(query, candidate, max_edits).
+  bool Matches(std::string_view candidate) const;
+
+  size_t max_edits() const { return max_edits_; }
+
+ private:
+  std::string_view query_;
+  size_t max_edits_;
+  bool bit_parallel_;   // query fits the 64-bit kernel
+  uint64_t peq_[256];   // PEQ[c]: positions of byte c in query (bit-parallel)
+};
 
 }  // namespace detective
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "text/edit_distance.h"
 #include "text/tokenizer.h"
 
 namespace detective {
@@ -37,6 +38,26 @@ uint64_t SegmentHash(size_t length, size_t slot, std::string_view segment) {
 void SortUnique(std::vector<uint32_t>* ids) {
   std::sort(ids->begin(), ids->end());
   ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+/// Size of the intersection of two sorted, duplicate-free rank vectors.
+size_t SortedIntersectionSize(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
 }
 
 }  // namespace
@@ -253,6 +274,29 @@ void SignatureIndex::Candidates(std::string_view query,
   SortUnique(out);
 }
 
+bool SignatureIndex::VerifyTokenSet(const std::vector<uint32_t>& query_ranks,
+                                    size_t query_size,
+                                    const std::vector<uint32_t>& entry_ranks) const {
+  const size_t entry_size = entry_ranks.size();
+  const size_t inter = SortedIntersectionSize(query_ranks, entry_ranks);
+  double score = 0;
+  if (similarity_.kind() == SimilarityKind::kJaccard) {
+    const size_t uni = query_size + entry_size - inter;
+    score = uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+  } else {
+    if (query_size == 0 && entry_size == 0) {
+      score = 1.0;
+    } else if (query_size == 0 || entry_size == 0) {
+      score = 0.0;
+    } else {
+      score = static_cast<double>(inter) /
+              std::sqrt(static_cast<double>(query_size) *
+                        static_cast<double>(entry_size));
+    }
+  }
+  return score >= similarity_.threshold();
+}
+
 void SignatureIndex::Matches(std::string_view query,
                              std::vector<uint32_t>* out) const {
   DETECTIVE_CHECK(built_) << "Matches before Build";
@@ -261,12 +305,48 @@ void SignatureIndex::Matches(std::string_view query,
   if (similarity_.kind() != SimilarityKind::kEquality) {
     DETECTIVE_COUNT_N("sigindex.candidates_verified", out->size());
   }
+  // Verification is batched per query: candidate entry indexes arrive sorted
+  // (arena order = Add order), so the value bytes stream through the column
+  // arena nearly sequentially, and the per-query setup below is amortized
+  // over every candidate the probed buckets produced.
   size_t w = 0;
-  for (uint32_t e : *out) {
-    const bool match = similarity_.kind() == SimilarityKind::kEquality
-                           ? entries_[e].value == query
-                           : similarity_.Matches(query, entries_[e].value);
-    if (match) (*out)[w++] = entries_[e].id;
+  switch (similarity_.kind()) {
+    case SimilarityKind::kEquality:
+      for (uint32_t e : *out) {
+        if (entries_[e].value == query) (*out)[w++] = entries_[e].id;
+      }
+      break;
+    case SimilarityKind::kEditDistance: {
+      // The Myers alphabet masks for `query` are built once, not per
+      // candidate; decisions are identical to WithinEditDistance.
+      EditDistanceVerifier verifier(query, similarity_.max_edits());
+      for (uint32_t e : *out) {
+        if (verifier.Matches(entries_[e].value)) (*out)[w++] = entries_[e].id;
+      }
+      break;
+    }
+    case SimilarityKind::kJaccard:
+    case SimilarityKind::kCosine: {
+      // The query is tokenized once and compared against the entries'
+      // precomputed rank sets — no re-tokenization of candidate labels in
+      // the loop. Ranks are bijective with in-vocabulary tokens; query
+      // tokens outside the vocabulary intersect nothing and only count
+      // toward the set sizes, so the scores equal Similarity::Matches'.
+      const std::vector<std::string> tokens = WordTokenSet(query);
+      std::vector<uint32_t> query_ranks;
+      query_ranks.reserve(tokens.size());
+      for (const std::string& token : tokens) {
+        auto it = token_rank_.find(token);
+        if (it != token_rank_.end()) query_ranks.push_back(it->second);
+      }
+      std::sort(query_ranks.begin(), query_ranks.end());
+      for (uint32_t e : *out) {
+        if (VerifyTokenSet(query_ranks, tokens.size(), entry_tokens_[e])) {
+          (*out)[w++] = entries_[e].id;
+        }
+      }
+      break;
+    }
   }
   out->resize(w);
   SortUnique(out);

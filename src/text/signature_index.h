@@ -89,6 +89,13 @@ class SignatureIndex {
                               std::vector<uint32_t>* out) const;
   size_t PrefixLength(size_t set_size) const;
 
+  /// Batched Jaccard/Cosine verification: does the query token set
+  /// (represented by its sorted in-vocabulary ranks + total distinct-token
+  /// count) meet the threshold against entry rank set `entry_ranks`? Same
+  /// decisions as Similarity::Matches over the raw strings.
+  bool VerifyTokenSet(const std::vector<uint32_t>& query_ranks, size_t query_size,
+                      const std::vector<uint32_t>& entry_ranks) const;
+
   /// Appends the inverted list stored under the packed `key`, if any.
   void AppendList(uint64_t key, std::vector<uint32_t>* out) const;
   /// The pool list for `key` during Build(), minted on first use.

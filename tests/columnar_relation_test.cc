@@ -1,0 +1,170 @@
+// Tests for the columnar Relation storage: the checkout/commit row bridge,
+// repair provenance transfer, arena view stability, deep-copy semantics,
+// stable row ids, and the columnar-vs-row equivalence round trip (a relation
+// rebuilt row-by-row through materialized Tuples is byte-identical).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "relation/relation.h"
+
+namespace detective {
+namespace {
+
+Relation BuildSmall() {
+  Relation r{Schema({"Name", "Inst", "City"})};
+  EXPECT_TRUE(r.Append({"Avram Hershko", "Technion", "Karcag"}).ok());
+  EXPECT_TRUE(r.Append({"Dan Shechtman", "Technion", "Haifa"}).ok());
+  EXPECT_TRUE(r.Append({"Ada Yonath", "Weizmann", "Rehovot"}).ok());
+  return r;
+}
+
+TEST(ColumnarRelationTest, CheckoutCommitRoundTrip) {
+  Relation r = BuildSmall();
+  Tuple t = r.tuple(0);
+  EXPECT_EQ(t.value(2), "Karcag");
+  t.Repair(2, "Haifa");
+  t.MarkPositive(1);
+  r.CommitRow(0, t);
+
+  EXPECT_EQ(r.value(0, 2), "Haifa");
+  EXPECT_TRUE(r.WasRepaired(0, 2));
+  EXPECT_EQ(r.OriginalValue(0, 2), "Karcag");
+  EXPECT_TRUE(r.IsPositive(0, 1));
+  EXPECT_FALSE(r.IsPositive(0, 0));
+  EXPECT_EQ(r.CountRepairedCells(), 1u);
+  EXPECT_EQ(r.CountPositiveCells(), 1u);
+
+  // A second checkout carries the provenance back out.
+  Tuple again = r.tuple(0);
+  EXPECT_TRUE(again.WasRepaired(2));
+  EXPECT_EQ(again.OriginalValue(2), "Karcag");
+  EXPECT_TRUE(again.IsPositive(1));
+
+  // A second repair (new checkout) keeps the first original.
+  again.Repair(2, "Tel Aviv");
+  r.CommitRow(0, again);
+  EXPECT_EQ(r.value(0, 2), "Tel Aviv");
+  EXPECT_EQ(r.OriginalValue(0, 2), "Karcag");
+}
+
+TEST(ColumnarRelationTest, CommitMergesMarksMonotonically) {
+  Relation r = BuildSmall();
+  // A checkout taken before the mark carries kUnknown for the cell;
+  // committing it back must not clear the mark meanwhile placed on the
+  // relation (positive marks are monotone).
+  Tuple stale = r.tuple(1);
+  r.MarkPositive(1, 0);
+  r.CommitRow(1, stale);
+  EXPECT_TRUE(r.IsPositive(1, 0));
+}
+
+TEST(ColumnarRelationTest, RepairCellMirrorsTupleRepair) {
+  Relation r = BuildSmall();
+  r.RepairCell(2, 2, "Jerusalem");
+  EXPECT_EQ(r.value(2, 2), "Jerusalem");
+  EXPECT_TRUE(r.WasRepaired(2, 2));
+  EXPECT_EQ(r.OriginalValue(2, 2), "Rehovot");
+  r.RepairCell(2, 2, "Haifa");
+  EXPECT_EQ(r.OriginalValue(2, 2), "Rehovot");  // original survives re-repair
+  EXPECT_EQ(r.CountRepairedCells(), 1u);
+}
+
+TEST(ColumnarRelationTest, ArenaViewsSurviveLaterWrites) {
+  Relation r = BuildSmall();
+  std::string_view before = r.value(0, 0);
+  // Force many re-interns; arena blocks must never move or reuse live bytes.
+  for (int i = 0; i < 2000; ++i) {
+    r.SetValue(1, 0, "value-" + std::to_string(i));
+  }
+  EXPECT_EQ(before, "Avram Hershko");
+  EXPECT_EQ(r.value(1, 0), "value-1999");
+}
+
+TEST(ColumnarRelationTest, DeepCopyIsIndependent) {
+  Relation r = BuildSmall();
+  r.RepairCell(0, 2, "Haifa");
+  r.MarkPositive(0, 2);
+
+  Relation copy = r;
+  EXPECT_EQ(copy.ToCsv(), r.ToCsv());
+  EXPECT_TRUE(copy.WasRepaired(0, 2));
+  EXPECT_EQ(copy.OriginalValue(0, 2), "Karcag");
+  EXPECT_TRUE(copy.IsPositive(0, 2));
+  EXPECT_EQ(copy.row_id(2), r.row_id(2));
+
+  copy.SetValue(1, 1, "MIT");
+  EXPECT_EQ(copy.value(1, 1), "MIT");
+  EXPECT_EQ(r.value(1, 1), "Technion");  // the source is untouched
+
+  r = copy;  // copy-assign back
+  EXPECT_EQ(r.value(1, 1), "MIT");
+}
+
+TEST(ColumnarRelationTest, RowIdsAreStableAndAppendOrdered) {
+  Relation r = BuildSmall();
+  EXPECT_EQ(r.row_id(0), 0u);
+  EXPECT_EQ(r.row_id(2), 2u);
+  ASSERT_TRUE(r.Append({"x", "y", "z"}).ok());
+  EXPECT_EQ(r.row_id(3), 3u);
+  // Mutation never renumbers rows.
+  r.SetValue(0, 0, "overwritten");
+  EXPECT_EQ(r.row_id(0), 0u);
+}
+
+TEST(ColumnarRelationTest, ColumnStreamingAccessors) {
+  Relation r = BuildSmall();
+  const Column& inst = r.column(1);
+  ASSERT_EQ(inst.size(), 3u);
+  EXPECT_EQ(inst.value(0), "Technion");
+  EXPECT_EQ(inst.value(2), "Weizmann");
+  EXPECT_GT(inst.bytes_used(), 0u);
+  r.RepairCell(0, 1, "MIT");
+  EXPECT_TRUE(inst.WasRepaired(0));
+  EXPECT_EQ(inst.original(0), "Technion");
+}
+
+// The columnar-vs-row equivalence round trip: rebuilding a relation row by
+// row through materialized Tuples (the row representation) reproduces the
+// columnar original byte for byte — values, marks, and repair provenance.
+TEST(ColumnarRelationTest, RowMaterializationRoundTripIsLossless) {
+  Relation r = BuildSmall();
+  r.RepairCell(0, 2, "Haifa");
+  r.MarkPositive(0, 2);
+  r.MarkPositive(1, 0);
+  r.RepairCell(2, 0, "A. Yonath");
+
+  Relation rebuilt{r.schema()};
+  for (size_t row = 0; row < r.num_tuples(); ++row) {
+    rebuilt.Append(r.tuple(row));
+  }
+
+  ASSERT_EQ(rebuilt.num_tuples(), r.num_tuples());
+  EXPECT_EQ(rebuilt.ToCsv(), r.ToCsv());
+  for (size_t row = 0; row < r.num_tuples(); ++row) {
+    for (ColumnIndex c = 0; c < r.schema().num_columns(); ++c) {
+      SCOPED_TRACE("row=" + std::to_string(row) + " c=" + std::to_string(c));
+      EXPECT_EQ(rebuilt.value(row, c), r.value(row, c));
+      EXPECT_EQ(rebuilt.mark(row, c), r.mark(row, c));
+      EXPECT_EQ(rebuilt.WasRepaired(row, c), r.WasRepaired(row, c));
+      if (r.WasRepaired(row, c)) {
+        EXPECT_EQ(rebuilt.OriginalValue(row, c), r.OriginalValue(row, c));
+      }
+    }
+  }
+}
+
+TEST(ColumnarRelationTest, CommitOfUnchangedCheckoutIsANoOp) {
+  Relation r = BuildSmall();
+  std::string csv = r.ToCsv();
+  size_t bytes = r.column(0).bytes_used();
+  r.CommitRow(1, r.tuple(1));
+  EXPECT_EQ(r.ToCsv(), csv);
+  EXPECT_EQ(r.CountRepairedCells(), 0u);
+  EXPECT_EQ(r.column(0).bytes_used(), bytes);  // nothing re-interned
+}
+
+}  // namespace
+}  // namespace detective

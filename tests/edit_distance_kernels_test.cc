@@ -1,0 +1,141 @@
+// Property tests for the text/edit_distance kernels: the banded (Ukkonen)
+// and bit-parallel (Myers) kernels must agree with the naive full-DP
+// reference on random strings — including the threshold early-exit contract
+// (any value > max_edits when the true distance exceeds it) and the >64-char
+// fallback from the bit-parallel kernel to the banded one.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "text/edit_distance.h"
+
+namespace detective {
+namespace {
+
+std::string RandomString(Rng* rng, size_t max_len, int alphabet) {
+  size_t len = rng->NextIndex(max_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->NextIndex(alphabet)));
+  }
+  return s;
+}
+
+/// Checks the shared kernel contract against the naive reference: exact when
+/// the true distance is <= k, anything > k otherwise.
+void CheckKernelContract(std::string_view a, std::string_view b, size_t k,
+                         size_t kernel_result, const char* kernel) {
+  const size_t exact = EditDistance(a, b);
+  SCOPED_TRACE(std::string(kernel) + " a=" + std::string(a) + " b=" +
+               std::string(b) + " k=" + std::to_string(k));
+  if (exact <= k) {
+    EXPECT_EQ(kernel_result, exact);
+  } else {
+    EXPECT_GT(kernel_result, k);
+  }
+}
+
+class KernelAgreementProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Short strings: both kernels are eligible; all three must agree with the
+// reference at every threshold.
+TEST_P(KernelAgreementProperty, ShortStringsAllKernelsAgree) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a = RandomString(&rng, 16, 4);  // small alphabet: real edits
+    std::string b = RandomString(&rng, 16, 4);
+    for (size_t k = 0; k <= 6; ++k) {
+      CheckKernelContract(a, b, k, BitParallelEditDistance(a, b, k), "myers");
+      CheckKernelContract(a, b, k, BandedEditDistance(a, b, k), "banded");
+      CheckKernelContract(a, b, k, BoundedEditDistance(a, b, k), "dispatch");
+      EXPECT_EQ(WithinEditDistance(a, b, k), EditDistance(a, b) <= k);
+    }
+  }
+}
+
+// Long strings (> 64 chars): the bit-parallel kernel is ineligible, so the
+// dispatcher must fall back to the banded kernel — and stay exact.
+TEST_P(KernelAgreementProperty, LongStringsFallBackToBanded) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string a = RandomString(&rng, 60, 3);
+    a += RandomString(&rng, 60, 3);  // up to 120 chars, frequently > 64
+    std::string b = a;
+    // Perturb a copy so distances concentrate near the thresholds.
+    for (int e = 0; e < 4 && !b.empty(); ++e) {
+      size_t at = rng.NextIndex(b.size());
+      switch (rng.NextIndex(3)) {
+        case 0: b[at] = static_cast<char>('a' + rng.NextIndex(3)); break;
+        case 1: b.erase(at, 1); break;
+        default: b.insert(at, 1, static_cast<char>('a' + rng.NextIndex(3)));
+      }
+    }
+    for (size_t k = 0; k <= 5; ++k) {
+      CheckKernelContract(a, b, k, BoundedEditDistance(a, b, k), "dispatch");
+      CheckKernelContract(a, b, k, BandedEditDistance(a, b, k), "banded");
+    }
+  }
+}
+
+// The batched verifier must make decisions identical to WithinEditDistance —
+// for queries on both sides of the 64-char bit-parallel eligibility line.
+TEST_P(KernelAgreementProperty, VerifierMatchesWithinEditDistance) {
+  Rng rng(GetParam());
+  for (size_t query_max : {16u, 100u}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::string query = RandomString(&rng, query_max, 4);
+      for (size_t k = 0; k <= 3; ++k) {
+        EditDistanceVerifier verifier(query, k);
+        for (int c = 0; c < 8; ++c) {
+          std::string candidate = RandomString(&rng, query_max, 4);
+          SCOPED_TRACE("q=" + query + " c=" + candidate + " k=" +
+                       std::to_string(k));
+          EXPECT_EQ(verifier.Matches(candidate),
+                    WithinEditDistance(query, candidate, k));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelAgreementProperty,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+// The m == 64 boundary exercises the full-word mask path (1 << 64 would be
+// undefined behaviour if the kernel computed the start vector naively).
+TEST(KernelEdgeCases, ExactlySixtyFourCharPattern) {
+  std::string a(64, 'a');
+  std::string b = a;
+  b[10] = 'b';
+  b[50] = 'c';
+  EXPECT_EQ(BitParallelEditDistance(a, b, 5), 2u);
+  EXPECT_EQ(BoundedEditDistance(a, b, 5), 2u);
+  EXPECT_EQ(BitParallelEditDistance(a, a, 0), 0u);
+  std::string c(65, 'a');
+  EXPECT_EQ(BoundedEditDistance(a, c, 2), 1u);  // shorter side is exactly 64
+}
+
+TEST(KernelEdgeCases, EmptyStrings) {
+  EXPECT_EQ(BitParallelEditDistance("", "", 0), 0u);
+  EXPECT_EQ(BitParallelEditDistance("", "ab", 2), 2u);
+  EXPECT_GT(BitParallelEditDistance("", "abc", 2), 2u);
+  EditDistanceVerifier verifier("", 2);
+  EXPECT_TRUE(verifier.Matches("xy"));
+  EXPECT_FALSE(verifier.Matches("xyz"));
+}
+
+// Early exit: a huge length gap must be rejected before any scan, and a
+// mid-string divergence must not produce a value <= k.
+TEST(KernelEdgeCases, ThresholdEarlyExit) {
+  std::string a(40, 'a');
+  std::string b(40, 'b');
+  EXPECT_GT(BitParallelEditDistance(a, b, 3), 3u);
+  EXPECT_GT(BandedEditDistance(a, b, 3), 3u);
+  EXPECT_GT(BoundedEditDistance(std::string(200, 'a'), "a", 5), 5u);
+}
+
+}  // namespace
+}  // namespace detective

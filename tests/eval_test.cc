@@ -90,8 +90,8 @@ TEST(MetricsTest, PosMarksCounted) {
   Relation clean = OneColumn({"a", "b"});
   Relation dirty = OneColumn({"a", "X"});
   Relation repaired = dirty;
-  repaired.mutable_tuple(0).MarkPositive(0);  // justified
-  repaired.mutable_tuple(1).MarkPositive(0);  // unjustified (value is X)
+  repaired.MarkPositive(0, 0);  // justified
+  repaired.MarkPositive(1, 0);  // unjustified (value is X)
   RepairQuality q = EvaluateRepair(clean, dirty, repaired);
   EXPECT_EQ(q.pos_marks, 2u);
   EXPECT_EQ(q.pos_marks_correct, 1u);

@@ -305,6 +305,56 @@ TEST(ParallelRepairTest, SignatureIndexesBuiltExactlyOncePerPair) {
 }
 #endif  // DETECTIVE_METRICS_ENABLED
 
+// With the columnar relation, workers chase detached row copies and the main
+// thread commits them in row order — so the *serialized* repaired relation,
+// not just the per-row values, must be byte-identical at every thread count.
+TEST(ParallelRepairTest, RepairedCsvBytesIdenticalAcrossThreadCounts) {
+  UisCase c = BuildUisCase(200);
+  std::string reference;
+  for (size_t threads : {1u, 2u, 8u}) {
+    Relation parallel = c.dirty;
+    ParallelRepairOptions options;
+    options.num_threads = threads;
+    options.chunk_rows = 3;
+    auto stats = ParallelRepair(c.kb, c.dataset.rules, &parallel, options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    std::string csv = parallel.ToCsv();
+    if (threads == 1u) {
+      reference = std::move(csv);
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(csv, reference) << "threads=" << threads;
+    }
+  }
+}
+
+#if DETECTIVE_FAULT_ENABLED
+// Same bar under an armed fault plan: quarantined rollbacks included, the
+// committed bytes cannot depend on the thread count.
+TEST(ParallelRepairTest, GuardedCsvBytesIdenticalAcrossThreadCounts) {
+  constexpr std::string_view kPlan = "seed=13; site=kb.lookup, p=0.01";
+  UisCase c = BuildUisCase(200);
+  std::string reference;
+  for (size_t threads : {1u, 2u, 8u}) {
+    ArmedPlan armed(kPlan);
+    Relation parallel = c.dirty;
+    QuarantineLog quarantine;
+    ParallelRepairOptions options;
+    options.num_threads = threads;
+    options.chunk_rows = 1;
+    options.quarantine = &quarantine;
+    auto stats = ParallelRepair(c.kb, c.dataset.rules, &parallel, options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    std::string csv = parallel.ToCsv();
+    if (threads == 1u) {
+      reference = std::move(csv);
+    } else {
+      EXPECT_EQ(csv, reference) << "threads=" << threads;
+    }
+  }
+}
+#endif  // DETECTIVE_FAULT_ENABLED
+
 TEST(ParallelRepairTest, EmptyRelationIsFine) {
   KnowledgeBase kb = testing::BuildFigure1Kb();
   std::vector<DetectiveRule> rules = testing::BuildFigure4Rules();

@@ -42,8 +42,8 @@ TEST(ProvenanceTest, EveryRepairedCellGetsARecordWithKbEvidence) {
   size_t changed_cells = 0;
   for (size_t row = 0; row < before.num_tuples(); ++row) {
     for (uint32_t col = 0; col < before.schema().num_columns(); ++col) {
-      std::string_view old_value = before.tuple(row).value(col);
-      std::string_view new_value = repaired.tuple(row).value(col);
+      std::string_view old_value = before.value(row, col);
+      std::string_view new_value = repaired.value(row, col);
       if (old_value == new_value) continue;
       ++changed_cells;
       auto matches = log.ForCell(row, before.schema().column_name(col));

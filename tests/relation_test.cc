@@ -69,9 +69,9 @@ TEST(RelationTest, CountPositiveCells) {
   Relation r{Schema({"a", "b"})};
   ASSERT_TRUE(r.Append({"1", "2"}).ok());
   ASSERT_TRUE(r.Append({"3", "4"}).ok());
-  r.mutable_tuple(0).MarkPositive(0);
-  r.mutable_tuple(1).MarkPositive(0);
-  r.mutable_tuple(1).MarkPositive(1);
+  r.MarkPositive(0, 0);
+  r.MarkPositive(1, 0);
+  r.MarkPositive(1, 1);
   EXPECT_EQ(r.CountPositiveCells(), 3u);
 }
 

@@ -14,8 +14,8 @@ TEST(DiffRelationsTest, FindsExactlyTheChangedCells) {
   ASSERT_TRUE(before.Append({"1", "2"}).ok());
   ASSERT_TRUE(before.Append({"3", "4"}).ok());
   Relation after = before;
-  after.mutable_tuple(0).SetValue(1, "x");
-  after.mutable_tuple(1).SetValue(0, "y");
+  after.SetValue(0, 1, "x");
+  after.SetValue(1, 0, "y");
 
   std::vector<CellDiff> diffs = DiffRelations(before, after);
   ASSERT_EQ(diffs.size(), 2u);

@@ -17,25 +17,40 @@ All files must follow the schema emitted by bench/bench_util.h
 (BenchJsonWriter): {"schema_version": 1, "bench": ..., "entries":
 [{"series", "x", "wall_ms", "counters"}, ...]}.
 
-Entries are matched by (series, x). For every matched pair the wall_ms
-ratio fresh/baseline must stay within the tolerance band; counters present
-in both entries are compared the same way. Entries only present on one
-side are reported but are not failures (benchmarks come and go), unless
---strict is given.
+Entries are matched by (series, x). Counters present in both entries must
+match the baseline EXACTLY by default (they count work, not time — any
+drift is a behaviour change); wall_ms must stay within --wall-tolerance.
+Entries only present on one side are reported but are not failures
+(benchmarks come and go), unless --strict is given.
 
-Wall-clock numbers move with the host, so CI calls this with a generous
-tolerance; the default +/-30% is meant for same-machine comparisons such
-as the committed-baseline refresh workflow described in
-docs/observability.md.
+Per-metric tolerance bands override the defaults for metrics that are
+legitimately noisy. --band PATTERN=TOL is repeatable; PATTERN is an
+fnmatch pattern tested against the metric id, which is
+
+  "<series>/wall_ms"   for wall-clock values, and
+  "<counter name>"     for counters (e.g. "cache.hits");
+
+TOL is a relative band (0.25 = +/-25%), "inf" (any value passes), or
+"skip" (the metric is not compared at all). The first matching band wins.
+Example — the shared candidate cache fills in claim order, so its hit/miss
+split is nondeterministic under threads while the sum is not:
+
+  --band 'cache.*=inf' --band 'sigindex.queries=0.05'
+
+--update refreshes the baselines instead of comparing: each fresh file is
+copied over its baseline counterpart (pair mode: FRESH over BASELINE).
+Run the benches on a quiet machine, eyeball the diff, and commit.
 
 Exit status: 0 when everything is within tolerance, 1 on regressions or
 malformed input.
 """
 
 import argparse
+import fnmatch
 import glob
 import json
 import os
+import shutil
 import sys
 
 
@@ -55,10 +70,41 @@ def load(path):
 
 def within(fresh, baseline, tolerance):
     """True when fresh is inside [baseline/(1+t), baseline*(1+t)]."""
+    if tolerance == float("inf"):
+        return True
     if baseline == 0:
-        return fresh == 0
+        return fresh == 0 if tolerance == 0 else fresh <= tolerance
     ratio = fresh / baseline
     return 1 / (1 + tolerance) <= ratio <= 1 + tolerance
+
+
+def parse_band(spec):
+    """Parses one PATTERN=TOL band; TOL is a float, 'inf', or 'skip'."""
+    pattern, sep, value = spec.rpartition("=")
+    if not sep or not pattern:
+        raise argparse.ArgumentTypeError(f"band {spec!r} is not PATTERN=TOL")
+    if value == "skip":
+        return pattern, None
+    try:
+        tolerance = float(value)  # accepts 'inf'
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"band {spec!r}: TOL must be a float, 'inf', or 'skip'"
+        ) from error
+    if tolerance < 0:
+        raise argparse.ArgumentTypeError(f"band {spec!r}: TOL must be >= 0")
+    return pattern, tolerance
+
+
+def tolerance_for(metric_id, default, bands):
+    """The first matching --band tolerance, else the default.
+
+    Returns None when the metric should be skipped entirely.
+    """
+    for pattern, tolerance in bands:
+        if fnmatch.fnmatchcase(metric_id, pattern):
+            return tolerance
+    return default
 
 
 def compare(fresh_path, baseline_path, args):
@@ -84,10 +130,13 @@ def compare(fresh_path, baseline_path, args):
             continue
         f, b = fresh[key], baseline[key]
         if not args.counters_only:
+            wall_tolerance = tolerance_for(
+                f"{series}/wall_ms", args.wall_tolerance, args.band
+            )
             fw, bw = f["wall_ms"], b["wall_ms"]
-            if max(fw, bw) >= args.min_wall_ms:
+            if wall_tolerance is not None and max(fw, bw) >= args.min_wall_ms:
                 compared += 1
-                if not within(fw, bw, args.tolerance):
+                if not within(fw, bw, wall_tolerance):
                     failures.append(
                         f"{label}: wall_ms {bw:.4f} -> {fw:.4f} "
                         f"({fw / bw:+.1%} of baseline)" if bw else
@@ -95,14 +144,20 @@ def compare(fresh_path, baseline_path, args):
                     )
         shared = set(f.get("counters", {})) & set(b.get("counters", {}))
         for counter in sorted(shared):
+            counter_tolerance = tolerance_for(
+                counter, args.counter_tolerance, args.band
+            )
+            if counter_tolerance is None:
+                continue
             fc, bc = f["counters"][counter], b["counters"][counter]
             compared += 1
-            if not within(fc, bc, args.tolerance):
+            if not within(fc, bc, counter_tolerance):
                 failures.append(f"{label}: counter {counter} {bc} -> {fc}")
 
     print(
         f"compared {compared} values across {len(set(fresh) & set(baseline))} "
-        f"entries of bench {fresh_name!r} (tolerance +/-{args.tolerance:.0%})"
+        f"entries of bench {fresh_name!r} (wall +/-{args.wall_tolerance:.0%}, "
+        f"counters +/-{args.counter_tolerance:.0%}, {len(args.band)} band(s))"
     )
     return failures
 
@@ -123,8 +178,31 @@ def main():
     parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.30,
-        help="allowed relative deviation, e.g. 0.30 = +/-30%% (default)",
+        default=None,
+        help="legacy alias: sets --wall-tolerance (and --counter-tolerance if "
+        "that is not given)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        help="allowed relative wall_ms deviation, e.g. 0.25 = +/-25%% (default)",
+    )
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=None,
+        help="allowed relative counter deviation (default 0.0: exact match)",
+    )
+    parser.add_argument(
+        "--band",
+        type=parse_band,
+        action="append",
+        default=[],
+        metavar="PATTERN=TOL",
+        help="per-metric tolerance override (repeatable; first match wins). "
+        "PATTERN fnmatches '<series>/wall_ms' or a counter name; TOL is a "
+        "float, 'inf', or 'skip'",
     )
     parser.add_argument(
         "--min-wall-ms",
@@ -142,7 +220,19 @@ def main():
         action="store_true",
         help="entries missing from either side are failures too",
     )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy each fresh file over its baseline instead of comparing",
+    )
     args = parser.parse_args()
+
+    # Resolve the tolerance defaults: the legacy --tolerance feeds both knobs
+    # unless the specific one is given; otherwise wall +/-25%, counters exact.
+    if args.wall_tolerance is None:
+        args.wall_tolerance = args.tolerance if args.tolerance is not None else 0.25
+    if args.counter_tolerance is None:
+        args.counter_tolerance = args.tolerance if args.tolerance is not None else 0.0
 
     if args.baseline_dir:
         if args.fresh or args.baseline:
@@ -156,21 +246,27 @@ def main():
             fresh_path = os.path.join(args.fresh_dir, os.path.basename(baseline_path))
             if not os.path.exists(fresh_path):
                 print(f"  note: no fresh run for {os.path.basename(baseline_path)}")
-                if args.strict:
+                if args.strict and not args.update:
                     pairs.append((None, baseline_path))
                 continue
             pairs.append((fresh_path, baseline_path))
         baseline_names = {os.path.basename(path) for path in baselines}
         unmatched = sorted(
-            os.path.basename(path)
+            path
             for path in glob.glob(os.path.join(args.fresh_dir, "BENCH_*.json"))
             if os.path.basename(path) not in baseline_names
         )
-        if unmatched:
-            for name in unmatched:
+        if unmatched and args.update:
+            # New benchmark: --update seeds its first baseline.
+            for path in unmatched:
+                pairs.append((path, os.path.join(args.baseline_dir,
+                                                 os.path.basename(path))))
+        elif unmatched:
+            for path in unmatched:
                 print(
-                    f"error: {name} has no baseline under {args.baseline_dir}; "
-                    f"commit one (docs/observability.md) so it is compared",
+                    f"error: {os.path.basename(path)} has no baseline under "
+                    f"{args.baseline_dir}; commit one (run with --update, see "
+                    f"docs/performance.md) so it is compared",
                     file=sys.stderr,
                 )
             return 1
@@ -178,6 +274,14 @@ def main():
         if not args.fresh or not args.baseline:
             parser.error("need FRESH and BASELINE files (or --baseline-dir)")
         pairs = [(args.fresh, args.baseline)]
+
+    if args.update:
+        for fresh_path, baseline_path in pairs:
+            load(fresh_path)  # refuse to install malformed baselines
+            shutil.copyfile(fresh_path, baseline_path)
+            print(f"updated {baseline_path} from {fresh_path}")
+        print(f"{len(pairs)} baseline(s) refreshed")
+        return 0
 
     failures = []
     for fresh_path, baseline_path in pairs:
