@@ -142,19 +142,19 @@ class BenchJsonWriter {
   bool WriteTo(const std::string& path) const {
     if (path.empty()) return true;
     std::ofstream out(path, std::ios::trunc);
-    out << "{\n  \"schema_version\": 1,\n  \"bench\": \"" << Escaped(bench_name_)
-        << "\",\n  \"entries\": [";
+    out << "{\n  \"schema_version\": 1,\n  \"bench\": " << Quoted(bench_name_)
+        << ",\n  \"entries\": [";
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       out << (i == 0 ? "\n" : ",\n");
       char number[64];
       std::snprintf(number, sizeof(number), "%.6g", e.x);
-      out << "    {\"series\": \"" << Escaped(e.series) << "\", \"x\": " << number;
+      out << "    {\"series\": " << Quoted(e.series) << ", \"x\": " << number;
       std::snprintf(number, sizeof(number), "%.6f", e.wall_ms);
       out << ", \"wall_ms\": " << number << ", \"counters\": {";
       bool first = true;
       for (const auto& [name, value] : e.counters) {
-        out << (first ? "" : ", ") << "\"" << Escaped(name) << "\": " << value;
+        out << (first ? "" : ", ") << Quoted(name) << ": " << value;
         first = false;
       }
       out << "}}";
@@ -177,17 +177,11 @@ class BenchJsonWriter {
     std::map<std::string, uint64_t> counters;
   };
 
-  static std::string Escaped(const std::string& text) {
+  /// The double-quoted JSON form of `text`, via the shared escaper
+  /// (common/string_util.h) every JSON emitter in the tree uses.
+  static std::string Quoted(const std::string& text) {
     std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) < 0x20) {
-        out += ' ';  // series names never need control characters
-        continue;
-      }
-      out.push_back(c);
-    }
+    AppendJsonString(text, &out);
     return out;
   }
 

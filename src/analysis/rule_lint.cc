@@ -1,14 +1,14 @@
 #include "analysis/rule_lint.h"
 
 #include <algorithm>
-#include <span>
 #include <string>
-#include <unordered_set>
 #include <utility>
 
 #include "analysis/rule_interaction_graph.h"
+#include "analysis/stratification.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/tarjan.h"
 
 namespace detective::analysis {
 namespace {
@@ -20,34 +20,12 @@ bool IsLiteralType(const KnowledgeBase& kb, const MatchNode& node) {
 
 /// Can a single cell value simultaneously satisfy the two node constraints?
 /// Distinct rule nodes may bind distinct KB items, so different types do NOT
-/// preclude co-binding in general; the one sound refutation is: both sims are
-/// exact equality and the label sets of the two (resolved, bounded) instance
-/// populations are disjoint — then no value can equal a label in each.
+/// preclude co-binding in general; the one sound refutation is
+/// ProvablyLabelDisjoint (analysis/stratification.h): both sims exact
+/// equality over provably label-disjoint classes.
 bool NodesCanCoBind(const KnowledgeBase& kb, const MatchNode& a, const MatchNode& b,
                     size_t max_probes, size_t* probes) {
-  if (a.type == b.type) return true;
-  if (a.sim.kind() != SimilarityKind::kEquality ||
-      b.sim.kind() != SimilarityKind::kEquality) {
-    return true;  // fuzzy sims can bridge different label sets
-  }
-  ClassId class_a = kb.FindClass(a.type);
-  ClassId class_b = kb.FindClass(b.type);
-  if (!class_a.valid() || !class_b.valid()) return true;  // unresolved: inconclusive
-  if (kb.IsSubclassOf(class_a, class_b) || kb.IsSubclassOf(class_b, class_a)) {
-    return true;
-  }
-  std::span<const ItemId> items_a = kb.InstancesOf(class_a);
-  std::span<const ItemId> items_b = kb.InstancesOf(class_b);
-  if (items_a.size() > items_b.size()) std::swap(items_a, items_b);
-  if (*probes + items_a.size() + items_b.size() > max_probes) return true;
-  *probes += items_a.size() + items_b.size();
-  std::unordered_set<std::string_view> labels;
-  labels.reserve(items_a.size());
-  for (ItemId item : items_a) labels.insert(kb.Label(item));
-  for (ItemId item : items_b) {
-    if (labels.contains(kb.Label(item))) return true;
-  }
-  return false;  // proven label-disjoint under exact matching
+  return !ProvablyLabelDisjoint(kb, a, b, max_probes, probes);
 }
 
 /// The way a rule derives corrections: the target node's constraints plus its
@@ -300,23 +278,74 @@ DiagnosticReport LintRules(const std::vector<DetectiveRule>& rules,
     if (well_formed[i]) sound.push_back(rules[i]);
   }
   RuleInteractionGraph interactions(sound);
-  for (const std::vector<uint32_t>& cycle : interactions.Cycles()) {
-    std::vector<std::string> names;
-    names.reserve(cycle.size());
-    for (uint32_t r : cycle) names.push_back(sound[r].name());
-    std::vector<std::string> columns = interactions.CycleColumns(cycle);
-    std::string path = names.front();
-    for (size_t i = 0; i + 1 < cycle.size(); ++i) {
-      path += " -[" + columns[i] + "]-> " + names[i + 1];
+  if (!interactions.Cycles().empty()) {
+    // Refine the nominal interaction graph with pairwise pattern unification
+    // before judging cycles: an edge between two statically mutually
+    // exclusive rules (analysis/stratification.h) can never be traversed at
+    // chase time, so a cycle whose SCC dissolves without those edges cannot
+    // oscillate and is downgraded to an observation.
+    const size_t n = sound.size();
+    std::vector<char> exclusive(n * n, 0);
+    for (const ExclusivePair& pair : FindExclusivePairs(
+             sound, kb, options.max_support_probes, &probes)) {
+      exclusive[pair.a * n + pair.b] = 1;
+      exclusive[pair.b * n + pair.a] = 1;
     }
-    report.Add({.severity = Severity::kError,
-                .code = DiagnosticCode::kOscillationCycle,
-                .message = "rule interaction cycle " + path +
-                           ": each rule repairs a column the next binds as "
-                           "evidence, so corrections can oscillate and the "
-                           "fixpoint depends on application order",
-                .rules = std::move(names),
-                .column = columns.empty() ? std::string() : columns.front()});
+    std::vector<std::vector<uint32_t>> nominal(n);
+    std::vector<std::vector<uint32_t>> refined(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      for (const RuleInteractionGraph::Edge& edge : interactions.Successors(r)) {
+        nominal[r].push_back(edge.to);
+        if (exclusive[r * n + edge.to] == 0) refined[r].push_back(edge.to);
+      }
+    }
+    TarjanScc nominal_scc(nominal);
+    nominal_scc.Run();
+    TarjanScc refined_scc(refined);
+    refined_scc.Run();
+    std::vector<uint32_t> refined_size(refined_scc.count(), 0);
+    for (uint32_t r = 0; r < n; ++r) ++refined_size[refined_scc.component()[r]];
+
+    for (const std::vector<uint32_t>& cycle : interactions.Cycles()) {
+      std::vector<std::string> names;
+      names.reserve(cycle.size());
+      for (uint32_t r : cycle) names.push_back(sound[r].name());
+      std::vector<std::string> columns = interactions.CycleColumns(cycle);
+      std::string path = names.front();
+      for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+        path += " -[" + columns[i] + "]-> " + names[i + 1];
+      }
+      // The cycle's nominal SCC survives refinement iff any of the SCC's
+      // rules still lives in a multi-rule refined component (a refuted edge
+      // elsewhere in the SCC may leave a smaller cycle behind, so the whole
+      // SCC is checked, not just the witness path).
+      const uint32_t scc = nominal_scc.component()[cycle.front()];
+      bool survives = false;
+      for (uint32_t r = 0; r < n && !survives; ++r) {
+        survives = nominal_scc.component()[r] == scc &&
+                   refined_size[refined_scc.component()[r]] > 1;
+      }
+      if (survives) {
+        report.Add({.severity = Severity::kError,
+                    .code = DiagnosticCode::kOscillationCycle,
+                    .message = "rule interaction cycle " + path +
+                               ": each rule repairs a column the next binds as "
+                               "evidence, so corrections can oscillate and the "
+                               "fixpoint depends on application order",
+                    .rules = std::move(names),
+                    .column = columns.empty() ? std::string() : columns.front()});
+      } else if (options.emit_info) {
+        report.Add({.severity = Severity::kInfo,
+                    .code = DiagnosticCode::kOscillationCycle,
+                    .message = "rule interaction cycle " + path +
+                               " is statically refuted: pattern unification "
+                               "proves the rules mutually exclusive per tuple "
+                               "(label-disjoint evidence on a stable column), "
+                               "so the cycle can never be traversed",
+                    .rules = std::move(names),
+                    .column = columns.empty() ? std::string() : columns.front()});
+      }
+    }
   }
 
   DETECTIVE_COUNT_N("lint.support_probes", probes);

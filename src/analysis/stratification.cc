@@ -1,0 +1,315 @@
+#include "analysis/stratification.h"
+
+#include <algorithm>
+#include <span>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/tarjan.h"
+
+namespace detective::analysis {
+namespace {
+
+void SortUnique(std::vector<std::string>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
+bool Contains(const std::vector<std::string>& sorted, const std::string& value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+RuleFootprint ComputeFootprint(const DetectiveRule& rule) {
+  RuleFootprint footprint;
+  footprint.name = rule.name();
+  footprint.target = rule.TargetColumn();
+  footprint.writes.push_back(footprint.target);
+  for (const MatchNode& node : rule.graph().nodes()) {
+    footprint.classes.push_back(node.type);
+    if (node.IsExistential()) continue;
+    footprint.reads.push_back(node.column);
+    if (node.sim.kind() != SimilarityKind::kEquality) {
+      // Fuzzy match: proving the cell standardizes it to the KB label — a
+      // value write. (For p/n nodes this duplicates the target, removed by
+      // SortUnique below.)
+      footprint.writes.push_back(node.column);
+    }
+  }
+  for (const MatchEdge& edge : rule.graph().edges()) {
+    footprint.relations.push_back(edge.relation);
+  }
+  SortUnique(&footprint.reads);
+  SortUnique(&footprint.writes);
+  SortUnique(&footprint.classes);
+  SortUnique(&footprint.relations);
+  return footprint;
+}
+
+/// True when `index` is a pure-evidence node of `rule`: not the positive or
+/// negative node, not existential. Only those constrain the firing tuple on a
+/// column the rule does not itself judge.
+bool IsPureEvidence(const DetectiveRule& rule, uint32_t index) {
+  return index != rule.positive_node() && index != rule.negative_node() &&
+         !rule.graph().node(index).IsExistential();
+}
+
+}  // namespace
+
+bool ProvablyLabelDisjoint(const KnowledgeBase& kb, const MatchNode& a,
+                           const MatchNode& b, size_t max_probes,
+                           size_t* probes) {
+  if (a.type == b.type) return false;
+  if (a.sim.kind() != SimilarityKind::kEquality ||
+      b.sim.kind() != SimilarityKind::kEquality) {
+    return false;  // fuzzy sims can bridge different label sets
+  }
+  ClassId class_a = kb.FindClass(a.type);
+  ClassId class_b = kb.FindClass(b.type);
+  if (!class_a.valid() || !class_b.valid()) return false;  // unresolved
+  if (kb.IsSubclassOf(class_a, class_b) || kb.IsSubclassOf(class_b, class_a)) {
+    return false;
+  }
+  std::span<const ItemId> items_a = kb.InstancesOf(class_a);
+  std::span<const ItemId> items_b = kb.InstancesOf(class_b);
+  if (items_a.size() > items_b.size()) std::swap(items_a, items_b);
+  if (*probes + items_a.size() + items_b.size() > max_probes) return false;
+  *probes += items_a.size() + items_b.size();
+  std::unordered_set<std::string_view> labels;
+  labels.reserve(items_a.size());
+  for (ItemId item : items_a) labels.insert(kb.Label(item));
+  for (ItemId item : items_b) {
+    if (labels.contains(kb.Label(item))) return false;
+  }
+  return true;  // proven label-disjoint under exact matching
+}
+
+std::vector<ExclusivePair> FindExclusivePairs(
+    const std::vector<DetectiveRule>& rules, const KnowledgeBase& kb,
+    size_t max_probes, size_t* probes) {
+  const size_t n = rules.size();
+  std::vector<char> usable(n, 1);
+  // Columns any rule of the set can write (repairs + fuzzy standardization):
+  // a witness column must be stable across the whole chase, otherwise a fired
+  // rule could rewrite it into the other rule's label set.
+  std::vector<std::string> written;
+  for (size_t r = 0; r < n; ++r) {
+    if (!rules[r].Validate().ok()) {
+      usable[r] = 0;
+      continue;
+    }
+    RuleFootprint footprint = ComputeFootprint(rules[r]);
+    written.insert(written.end(), footprint.writes.begin(),
+                   footprint.writes.end());
+  }
+  SortUnique(&written);
+
+  std::vector<ExclusivePair> pairs;
+  for (uint32_t a = 0; a < n; ++a) {
+    if (!usable[a]) continue;
+    for (uint32_t b = a + 1; b < n; ++b) {
+      if (!usable[b]) continue;
+      bool refuted = false;
+      for (uint32_t ia = 0; ia < rules[a].graph().nodes().size() && !refuted;
+           ++ia) {
+        if (!IsPureEvidence(rules[a], ia)) continue;
+        const MatchNode& node_a = rules[a].graph().node(ia);
+        if (Contains(written, node_a.column)) continue;  // not stable
+        for (uint32_t ib = 0; ib < rules[b].graph().nodes().size(); ++ib) {
+          if (!IsPureEvidence(rules[b], ib)) continue;
+          const MatchNode& node_b = rules[b].graph().node(ib);
+          if (node_b.column != node_a.column) continue;
+          if (ProvablyLabelDisjoint(kb, node_a, node_b, max_probes, probes)) {
+            pairs.push_back({a, b, node_a.column, node_a.type, node_b.type});
+            refuted = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+size_t StratificationCertificate::num_cyclic_strata() const {
+  size_t count = 0;
+  for (char flag : cyclic) count += flag != 0 ? 1 : 0;
+  return count;
+}
+
+std::string StratificationCertificate::ToJson() const {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"rules\": [";
+  auto append_list = [&out](const std::vector<std::string>& values) {
+    out += '[';
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonString(values[i], &out);
+    }
+    out += ']';
+  };
+  for (size_t r = 0; r < footprints.size(); ++r) {
+    const RuleFootprint& footprint = footprints[r];
+    out += r == 0 ? "\n    " : ",\n    ";
+    out += "{\"name\": ";
+    AppendJsonString(footprint.name, &out);
+    out += ", \"target\": ";
+    AppendJsonString(footprint.target, &out);
+    out += ", \"reads\": ";
+    append_list(footprint.reads);
+    out += ", \"writes\": ";
+    append_list(footprint.writes);
+    out += ", \"classes\": ";
+    append_list(footprint.classes);
+    out += ", \"relations\": ";
+    append_list(footprint.relations);
+    out += '}';
+  }
+  out += footprints.empty() ? "],\n  \"strata\": [" : "\n  ],\n  \"strata\": [";
+  for (size_t s = 0; s < strata.size(); ++s) {
+    out += s == 0 ? "\n    " : ",\n    ";
+    out += "{\"rules\": [";
+    for (size_t i = 0; i < strata[s].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(strata[s][i]);
+    }
+    out += "], \"cyclic\": ";
+    out += cyclic[s] != 0 ? "true" : "false";
+    out += '}';
+  }
+  out += strata.empty() ? "],\n  \"edges\": [" : "\n  ],\n  \"edges\": [";
+  // Rule-index -> stratum map for the per-edge evidence kind.
+  std::vector<size_t> stratum_of(footprints.size(), 0);
+  for (size_t s = 0; s < strata.size(); ++s) {
+    for (uint32_t rule : strata[s]) stratum_of[rule] = s;
+  }
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const StratumEdge& edge = edges[e];
+    out += e == 0 ? "\n    " : ",\n    ";
+    out += "{\"from\": " + std::to_string(edge.from);
+    out += ", \"to\": " + std::to_string(edge.to);
+    out += ", \"column\": ";
+    AppendJsonString(edge.column, &out);
+    out += ", \"evidence\": ";
+    out += stratum_of[edge.from] == stratum_of[edge.to] ? "\"scc-membership\""
+                                                        : "\"ordered\"";
+    out += '}';
+  }
+  out += edges.empty() ? "],\n  \"separations\": ["
+                       : "\n  ],\n  \"separations\": [";
+  for (size_t s = 0; s < separations.size(); ++s) {
+    const Separation& separation = separations[s];
+    out += s == 0 ? "\n    " : ",\n    ";
+    out += "{\"from\": " + std::to_string(separation.from);
+    out += ", \"to\": " + std::to_string(separation.to);
+    out += ", \"evidence\": ";
+    if (separation.kind == Separation::Kind::kDisjointFootprints) {
+      out += "\"disjoint-footprints\"}";
+    } else {
+      out += "\"refuted-unification\", \"column\": ";
+      AppendJsonString(separation.column, &out);
+      out += ", \"class_from\": ";
+      AppendJsonString(separation.class_from, &out);
+      out += ", \"class_to\": ";
+      AppendJsonString(separation.class_to, &out);
+      out += '}';
+    }
+  }
+  out += separations.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+Result<Stratification> ComputeStratification(
+    const std::vector<DetectiveRule>& rules, const KnowledgeBase& kb,
+    const StratifyOptions& options) {
+  DETECTIVE_SCOPED_TIMER("strata.compute");
+  for (const DetectiveRule& rule : rules) {
+    Status valid = rule.Validate();
+    if (!valid.ok()) {
+      return Status::InvalidArgument("cannot stratify: rule '", rule.name(),
+                                     "' is malformed: ", valid.ToString());
+    }
+  }
+
+  const size_t n = rules.size();
+  Stratification out;
+  out.certificate.footprints.reserve(n);
+  for (const DetectiveRule& rule : rules) {
+    out.certificate.footprints.push_back(ComputeFootprint(rule));
+  }
+
+  size_t probes = 0;
+  std::vector<ExclusivePair> exclusive_pairs =
+      FindExclusivePairs(rules, kb, options.max_probes, &probes);
+  out.pairs_refuted = exclusive_pairs.size();
+  std::vector<char> exclusive(n * n, 0);
+  for (const ExclusivePair& pair : exclusive_pairs) {
+    exclusive[pair.a * n + pair.b] = 1;
+    exclusive[pair.b * n + pair.a] = 1;
+  }
+
+  // Can-enable edges: a writes a column b reads, and the pair is not refuted.
+  out.schedule.num_rules = n;
+  out.schedule.can_enable.assign(n * n, 0);
+  std::vector<std::vector<uint32_t>> adjacency(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    const RuleFootprint& from = out.certificate.footprints[a];
+    for (uint32_t b = 0; b < n; ++b) {
+      if (a == b || exclusive[a * n + b] != 0) continue;
+      for (const std::string& column : from.writes) {
+        if (!Contains(out.certificate.footprints[b].reads, column)) continue;
+        out.schedule.can_enable[a * n + b] = 1;
+        adjacency[a].push_back(b);
+        out.certificate.edges.push_back({a, b, column});
+        break;
+      }
+    }
+  }
+
+  // Strata: topological SCC condensation of the can-enable graph.
+  TarjanScc tarjan(adjacency);
+  tarjan.Run();
+  out.certificate.strata.assign(tarjan.count(), {});
+  for (uint32_t r = 0; r < n; ++r) {
+    out.certificate.strata[tarjan.component()[r]].push_back(r);
+  }
+  out.certificate.cyclic.resize(tarjan.count());
+  for (size_t s = 0; s < tarjan.count(); ++s) {
+    out.certificate.cyclic[s] = out.certificate.strata[s].size() > 1 ? 1 : 0;
+  }
+  out.schedule.strata = out.certificate.strata;
+
+  // Separations: every ordered non-edge pair carries its evidence. By
+  // construction a non-edge pair is either refuted or footprint-disjoint.
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = 0; b < n; ++b) {
+      if (a == b || out.schedule.can_enable[a * n + b] != 0) continue;
+      Separation separation;
+      separation.from = a;
+      separation.to = b;
+      if (exclusive[a * n + b] != 0) {
+        const auto witness = std::find_if(
+            exclusive_pairs.begin(), exclusive_pairs.end(),
+            [&](const ExclusivePair& pair) {
+              return pair.a == std::min(a, b) && pair.b == std::max(a, b);
+            });
+        separation.kind = Separation::Kind::kRefutedUnification;
+        separation.column = witness->column;
+        separation.class_from = a == witness->a ? witness->class_a : witness->class_b;
+        separation.class_to = a == witness->a ? witness->class_b : witness->class_a;
+      } else {
+        separation.kind = Separation::Kind::kDisjointFootprints;
+      }
+      out.certificate.separations.push_back(std::move(separation));
+    }
+  }
+
+  DETECTIVE_COUNT_N("strata.count", out.certificate.strata.size());
+  DETECTIVE_COUNT_N("strata.cyclic", out.certificate.num_cyclic_strata());
+  DETECTIVE_COUNT_N("strata.pairs_refuted", out.pairs_refuted);
+  DETECTIVE_COUNT_N("strata.probes", probes);
+  return out;
+}
+
+}  // namespace detective::analysis

@@ -1,0 +1,135 @@
+#ifndef DETECTIVE_ANALYSIS_STRATIFICATION_H_
+#define DETECTIVE_ANALYSIS_STRATIFICATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/rule.h"
+#include "core/stratified_schedule.h"
+#include "kb/knowledge_base.h"
+
+namespace detective::analysis {
+
+/// Knobs of the stratification analyzer.
+struct StratifyOptions {
+  /// Cap on KB instances examined across all label-disjointness probes of one
+  /// run. Once exhausted, remaining refutations are inconclusive (the pair is
+  /// conservatively assumed to interact) instead of quadratic.
+  size_t max_probes = 20000;
+};
+
+/// The honest read/write column footprint of one rule, plus the KB vocabulary
+/// it touches. Reads are every non-existential node column (both pattern
+/// sides). Writes are the target column *plus* every fuzzily-matched evidence
+/// column: a fuzzy sim standardizes the cell to the KB label on proof
+/// (docs/rule_dsl.md), which is a value write other rules can observe; an
+/// exact-equality match implies cell == label, so proving it writes nothing.
+struct RuleFootprint {
+  std::string name;
+  std::string target;
+  std::vector<std::string> reads;      // sorted, unique
+  std::vector<std::string> writes;     // sorted, unique
+  std::vector<std::string> classes;    // sorted, unique KB class names
+  std::vector<std::string> relations;  // sorted, unique KB relationship names
+};
+
+/// One unordered rule pair proven mutually exclusive per tuple: both rules
+/// constrain the shared evidence column `column` with exact-equality nodes
+/// whose classes have provably disjoint label sets, and no rule in the set
+/// ever writes `column` — so the cell's value is fixed for the whole chase
+/// and can satisfy at most one of the two constraints. At most one of the
+/// pair ever fires on any tuple, in either order.
+struct ExclusivePair {
+  uint32_t a = 0;  // a < b, rule indexes
+  uint32_t b = 0;
+  std::string column;   // the shared stable evidence column
+  std::string class_a;  // rule a's class on that column
+  std::string class_b;  // rule b's class on that column
+};
+
+/// A surviving can-enable edge: rule `from` writes `column` and rule `to`
+/// reads it, and the pair is not refuted.
+struct StratumEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  std::string column;  // first shared column in sorted order
+};
+
+/// Non-interference evidence for one ordered rule pair WITHOUT a can-enable
+/// edge. Every ordered pair (a, b), a != b, appears in exactly one of the
+/// certificate's `edges` or `separations` lists.
+struct Separation {
+  enum class Kind : uint8_t {
+    kDisjointFootprints = 0,  // writes(from) and reads(to) share no column
+    kRefutedUnification = 1,  // the pair is an ExclusivePair (see above)
+  };
+  uint32_t from = 0;
+  uint32_t to = 0;
+  Kind kind = Kind::kDisjointFootprints;
+  // Witness for kRefutedUnification (empty otherwise).
+  std::string column;
+  std::string class_from;
+  std::string class_to;
+};
+
+/// The machine-checkable stratification certificate: everything
+/// tools/check_certificate.py re-derives independently from the .dr and .nt
+/// sources (docs/static_analysis.md documents the JSON schema and the checker
+/// contract). Rule order matches the input rule vector; edges/separations
+/// reference rules by index into `footprints`.
+struct StratificationCertificate {
+  std::vector<RuleFootprint> footprints;
+  /// SCC condensation of the can-enable graph, strata in topological order,
+  /// rule indexes ascending within a stratum.
+  std::vector<std::vector<uint32_t>> strata;
+  /// cyclic[s] != 0 iff stratum s has more than one rule (intra-stratum edges
+  /// carry no non-interference claim: "scc-membership").
+  std::vector<char> cyclic;
+  std::vector<StratumEdge> edges;
+  std::vector<Separation> separations;
+
+  size_t num_cyclic_strata() const;
+  /// Stable JSON (schema_version 1); strings go through AppendJsonString.
+  std::string ToJson() const;
+};
+
+/// Analyzer output: the certificate plus the engine-facing schedule derived
+/// from it (they agree by construction; the checker guards against drift).
+struct Stratification {
+  StratificationCertificate certificate;
+  StratifiedSchedule schedule;
+  size_t pairs_refuted = 0;
+};
+
+/// Sound static label-disjointness: true only when a cell value can PROVABLY
+/// not satisfy both node constraints — both sims are exact equality, both
+/// classes resolve in the KB, neither is a subclass of the other, and a
+/// bounded probe shows their instance label sets are disjoint. Anything
+/// inconclusive (fuzzy sims, unresolved classes, probe budget exhausted)
+/// returns false. Shared by LintRules' conflict refutation and the
+/// stratification analyzer.
+bool ProvablyLabelDisjoint(const KnowledgeBase& kb, const MatchNode& a,
+                           const MatchNode& b, size_t max_probes,
+                           size_t* probes);
+
+/// All statically refutable rule pairs of the set (see ExclusivePair).
+/// Deterministic: pairs in (a, b) lexicographic order, first qualifying
+/// witness column in rule-a node order. Rules failing Validate() never pair.
+std::vector<ExclusivePair> FindExclusivePairs(
+    const std::vector<DetectiveRule>& rules, const KnowledgeBase& kb,
+    size_t max_probes, size_t* probes);
+
+/// The static pass: footprints -> pairwise refutation -> can-enable graph ->
+/// SCC condensation -> certificate + schedule. Fails only when a rule fails
+/// Validate() (the engine could not run it either); the result is otherwise
+/// always a sound (possibly trivial, fully-cyclic) stratification.
+Result<Stratification> ComputeStratification(
+    const std::vector<DetectiveRule>& rules, const KnowledgeBase& kb,
+    const StratifyOptions& options = {});
+
+}  // namespace detective::analysis
+
+#endif  // DETECTIVE_ANALYSIS_STRATIFICATION_H_

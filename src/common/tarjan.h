@@ -1,0 +1,95 @@
+#ifndef DETECTIVE_COMMON_TARJAN_H_
+#define DETECTIVE_COMMON_TARJAN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace detective {
+
+/// Iterative Tarjan SCC over an adjacency-list graph. Components come out in
+/// reverse topological order, which Run() renumbers so that component 0 has
+/// no predecessors — i.e. the component ids form a topological order of the
+/// condensation. Shared by the repairer's RuleGraph (check-order blocks) and
+/// the stratification analyzer (strata).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const std::vector<std::vector<uint32_t>>& adjacency)
+      : adjacency_(adjacency),
+        index_(adjacency.size(), kUnvisited),
+        lowlink_(adjacency.size(), 0),
+        on_stack_(adjacency.size(), 0),
+        component_(adjacency.size(), 0) {}
+
+  void Run() {
+    for (uint32_t v = 0; v < adjacency_.size(); ++v) {
+      if (index_[v] == kUnvisited) Visit(v);
+    }
+    // Tarjan numbers components in reverse topological order; flip so the
+    // earliest component comes first.
+    for (uint32_t& c : component_) c = static_cast<uint32_t>(count_ - 1 - c);
+  }
+
+  const std::vector<uint32_t>& component() const { return component_; }
+  size_t count() const { return count_; }
+
+ private:
+  static constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+
+  void Visit(uint32_t root) {
+    struct Frame {
+      uint32_t vertex;
+      size_t next_edge;
+    };
+    std::vector<Frame> call_stack{{root, 0}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      uint32_t v = frame.vertex;
+      if (frame.next_edge == 0) {
+        index_[v] = lowlink_[v] = next_index_++;
+        stack_.push_back(v);
+        on_stack_[v] = 1;
+      }
+      bool descended = false;
+      while (frame.next_edge < adjacency_[v].size()) {
+        uint32_t w = adjacency_[v][frame.next_edge++];
+        if (index_[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) lowlink_[v] = std::min(lowlink_[v], index_[w]);
+      }
+      if (descended) continue;
+      if (lowlink_[v] == index_[v]) {
+        while (true) {
+          uint32_t w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = 0;
+          component_[w] = static_cast<uint32_t>(count_);
+          if (w == v) break;
+        }
+        ++count_;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        uint32_t parent = call_stack.back().vertex;
+        lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<uint32_t>>& adjacency_;
+  std::vector<uint32_t> index_;
+  std::vector<uint32_t> lowlink_;
+  std::vector<char> on_stack_;
+  std::vector<uint32_t> component_;
+  std::vector<uint32_t> stack_;
+  uint32_t next_index_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_COMMON_TARJAN_H_

@@ -23,6 +23,7 @@ void AccumulateStats(const RepairStats& part, RepairStats* total) {
   total->cells_marked += part.cells_marked;
   total->tuples_quarantined += part.tuples_quarantined;
   total->chunks_stolen += part.chunks_stolen;
+  total->rounds_skipped += part.rounds_skipped;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -384,6 +385,19 @@ void FastRepairer::RepairTupleImpl(Tuple* tuple, CancelToken* cancel) {
   DETECTIVE_CHECK(rule_graph_ != nullptr) << "Init() not called";
   std::vector<char> applied(engine_.num_rules(), 0);
 
+  // A certified stratification schedule licenses eliding confirming sweeps
+  // inside multi-rule blocks whose evaluations are provably all-kNone
+  // (docs/static_analysis.md). Evaluation order and block structure stay
+  // exactly classic, so the chase is byte-identical by construction. Elision
+  // disarms itself while a fault plan is armed: fault probes fire inside
+  // Evaluate, so skipping an evaluation would shift per-site hit counts and
+  // make the skipped sweep observable.
+  const StratifiedSchedule* schedule = engine_.options().schedule;
+  const bool elide = schedule != nullptr &&
+                     schedule->num_rules == engine_.num_rules() &&
+                     engine_.options().use_rule_order && !fault::Armed();
+  std::vector<std::pair<uint32_t, size_t>> fired;  // (rule, position), per sweep
+
   // One forward sweep in topological order. Rules sharing a dependency
   // cycle live in one SCC; those are re-swept locally until stable.
   const std::vector<uint32_t>& components = rule_graph_->ComponentOf();
@@ -405,6 +419,7 @@ void FastRepairer::RepairTupleImpl(Tuple* tuple, CancelToken* cancel) {
       DETECTIVE_COUNT("repair.chase_rounds");
       engine_.set_current_round(++round);
       stable = true;
+      if (elide) fired.clear();
       for (size_t k = i; k < j; ++k) {
         uint32_t index = check_order_[k];
         if (applied[index] || engine_.rule_disabled(index)) continue;
@@ -421,9 +436,36 @@ void FastRepairer::RepairTupleImpl(Tuple* tuple, CancelToken* cancel) {
         engine_.Apply(index, evaluation, tuple, 0);
         applied[index] = 1;
         stable = false;
+        if (elide) fired.emplace_back(index, k);
       }
       // Single-rule components cannot re-enable themselves.
       if (j - i == 1) break;
+      if (!stable && elide) {
+        // A re-sweep can change anything only if some still-pending rule was
+        // evaluated BEFORE a fire that can enable it (a fire at an earlier
+        // position was already visible to every later evaluation this
+        // sweep). If no such pair exists, the classic loop's next sweep is
+        // provably all-kNone: consume the round number it would have used
+        // (so provenance round stamps in later blocks are unchanged) and
+        // skip its evaluations.
+        bool resweep = false;
+        for (size_t k = i; k < j && !resweep; ++k) {
+          uint32_t pending = check_order_[k];
+          if (applied[pending] || engine_.rule_disabled(pending)) continue;
+          for (const auto& [fired_rule, position] : fired) {
+            if (position > k && schedule->CanEnable(fired_rule, pending)) {
+              resweep = true;
+              break;
+            }
+          }
+        }
+        if (!resweep) {
+          ++round;
+          ++engine_.stats().rounds_skipped;
+          DETECTIVE_COUNT("strata.rounds_skipped");
+          break;
+        }
+      }
     }
     i = j;
   }

@@ -13,6 +13,7 @@
 #include "core/provenance.h"
 #include "core/quarantine.h"
 #include "core/rule_graph.h"
+#include "core/stratified_schedule.h"
 #include "kb/knowledge_base.h"
 #include "relation/relation.h"
 
@@ -26,6 +27,13 @@ struct RepairOptions {
   bool use_rule_order = true;
   /// Cap on tuple versions produced by multi-version repair (§IV-C).
   size_t max_versions = 8;
+  /// Certified stratification schedule (analysis/stratification.h). Non-null
+  /// lets FastRepairer elide confirming fixpoint sweeps whose evaluations are
+  /// provably all "not applicable"; evaluation order is untouched, so output
+  /// stays byte-identical to the classic chase. Null (the default), a rule
+  /// count mismatch, use_rule_order=false, or an armed fault plan all fall
+  /// back to the classic loop. The caller owns the schedule's lifetime.
+  const StratifiedSchedule* schedule = nullptr;
 
   // Robustness knobs (guarded repair; docs/robustness.md). All default off.
   /// Whole-run deadline in milliseconds (0 = none): once it expires, every
@@ -61,6 +69,11 @@ struct RepairStats {
   /// Work-stealing chunks claimed by a worker other than the one a static
   /// contiguous sharding would have given them (ParallelRepair only).
   size_t chunks_stolen = 0;
+  /// Confirming fixpoint sweeps elided under a certified stratification
+  /// schedule (RepairOptions::schedule). Each would have been one all-kNone
+  /// chase round in the classic loop; round numbering still advances past it
+  /// so provenance records are identical.
+  size_t rounds_skipped = 0;
 };
 
 /// Outcome of evaluating one rule against one tuple.

@@ -1,0 +1,40 @@
+#ifndef DETECTIVE_CORE_STRATIFIED_SCHEDULE_H_
+#define DETECTIVE_CORE_STRATIFIED_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace detective {
+
+/// The engine-facing half of a stratification certificate
+/// (analysis/stratification.h): which rule firings can possibly enable which
+/// other rules. The chase drivers consult only the pairwise matrix — never
+/// the strata — so a schedule can only *license skipping* provably-futile
+/// confirming sweeps; it never reorders evaluation. That is what keeps the
+/// stratified chase byte-identical to the classic one (docs/static_analysis.md).
+///
+/// Soundness contract for `can_enable[a][b] == 0`: applying rule `a` to a
+/// tuple can never change rule `b`'s evaluation from "not applicable" to a
+/// fire. Two certified reasons exist: `a` writes (repair or fuzzy-match
+/// standardization) no column `b` reads, or the pair is statically mutually
+/// exclusive (a shared stable evidence column with label-disjoint classes
+/// under exact matching). Positive marks never count: marks only ever
+/// *disable* rules, by conditions (i)/(ii) of §III-B.
+struct StratifiedSchedule {
+  size_t num_rules = 0;
+  /// SCC condensation of the can-enable graph in topological order; each
+  /// stratum lists its rule indexes ascending. Informational for reports —
+  /// the chase does not consume it (see above).
+  std::vector<std::vector<uint32_t>> strata;
+  /// Row-major num_rules x num_rules matrix; see the contract above.
+  std::vector<char> can_enable;
+
+  bool CanEnable(uint32_t a, uint32_t b) const {
+    return can_enable[a * num_rules + b] != 0;
+  }
+};
+
+}  // namespace detective
+
+#endif  // DETECTIVE_CORE_STRATIFIED_SCHEDULE_H_

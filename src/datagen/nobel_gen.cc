@@ -232,6 +232,48 @@ Dataset GenerateNobel(const NobelOptions& options) {
       .edges = {{0, 1, "bornOnDate"}, {0, 2, "diedOnDate"}},
   }));
 
+  // ---- Exclusive strata demo pair (NobelOptions::exclusive_strata_rules) ----
+  // City and Country judge each other's column as evidence, so the pair is a
+  // nominal interaction cycle; but their Prize gates name the sibling classes
+  // "chemistry award" / "other award", whose instance labels never overlap.
+  // With nobel_prize excluded (nothing writes Prize), the stratification
+  // analyzer proves at most one of the pair fires per tuple.
+  if (options.exclusive_strata_rules) {
+    dataset.rules.push_back(BuildRule({
+        .name = "nobel_city_chem",
+        .nodes = {{"Name", "laureate", eq},
+                  {"Prize", "chemistry award", eq},
+                  {"Institution", "organization", eq},
+                  {"Country", "country", eq},
+                  {"City", "city", eq},   // p
+                  {"City", "city", eq}},  // n
+        .positive = 4,
+        .negative = 5,
+        .edges = {{0, 1, "wonPrize"},
+                  {0, 2, "worksAt"},
+                  {2, 4, "locatedIn"},
+                  {0, 3, "isCitizenOf"},
+                  {0, 5, "wasBornIn"}},
+    }));
+    dataset.rules.push_back(BuildRule({
+        .name = "nobel_country_other",
+        .nodes = {{"Name", "laureate", eq},
+                  {"Prize", "other award", eq},
+                  {"Institution", "organization", eq},
+                  {"City", "city", eq},
+                  {"Country", "country", eq},   // p
+                  {"Country", "country", eq}},  // n
+        .positive = 4,
+        .negative = 5,
+        .edges = {{0, 1, "wonPrize"},
+                  {0, 2, "worksAt"},
+                  {2, 3, "locatedIn"},
+                  {3, 4, "locatedIn"},
+                  {0, 4, "isCitizenOf"},
+                  {0, 5, "bornInCountry"}},
+    }));
+  }
+
   // ---- KATARA table pattern: the holistic positive-semantics graph ----
   {
     SchemaMatchingGraph pattern;

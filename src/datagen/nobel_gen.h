@@ -15,6 +15,13 @@ struct NobelOptions {
   size_t num_cities = 200;
   size_t num_institutions = 120;
   size_t num_other_awards = 30;
+  /// Appends the mutually-exclusive rule pair nobel_city_chem /
+  /// nobel_country_other (targets City and Country, gated on the disjoint
+  /// award classes). The pair forms a nominal interaction cycle that the
+  /// stratification analyzer refutes by unification whenever the rule set
+  /// leaves the Prize column stable, which makes it the benchmark workload
+  /// for stratum-aware sweep elision (docs/static_analysis.md).
+  bool exclusive_strata_rules = false;
   uint64_t seed = 7;
 };
 

@@ -146,6 +146,24 @@ TEST(CleanExitCodes, UsageErrorsAreSixtyFour) {
   EXPECT_EQ(ExitCode(CleanCommand("--multi-version --tuple-budget-ms=5")), 64);
   EXPECT_EQ(ExitCode(CleanCommand("--algorithm=basic --max-rule-failures=1")),
             64);
+  EXPECT_EQ(ExitCode(CleanCommand("--stratify=always")), 64);
+}
+
+TEST(CleanExitCodes, StratifyContract) {
+  // auto and off always run; the figure4 rules keep an interaction cycle no
+  // refutation breaks (phi1-phi3 feed each other's evidence), so strict
+  // refuses with the lint-rejected code. The shipped showcase pair
+  // (examples/rules/nobel_strata.dr) certifies fully acyclic — its nominal
+  // cycle is statically refuted — so strict accepts it.
+  EXPECT_EQ(ExitCode(CleanCommand("--stratify=auto")), 0);
+  EXPECT_EQ(ExitCode(CleanCommand("--stratify=off")), 0);
+  EXPECT_EQ(ExitCode(CleanCommand("--stratify=strict")), 3);
+  std::string showcase = std::string(kCleanBin) + " --kb=" + kDataDir +
+                         "/figure1.nt --rules=" DETECTIVE_SOURCE_DIR
+                         "/examples/rules/nobel_strata.dr --input=" + kDataDir +
+                         "/table1.csv --output=" + TempPath("exit_out.csv") +
+                         " --stratify=strict";
+  EXPECT_EQ(ExitCode(showcase), 0);
 }
 
 TEST(LintExitCodes, Contract) {

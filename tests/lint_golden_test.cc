@@ -1,0 +1,109 @@
+// Golden-file lock on the machine-readable surfaces of detective_lint: the
+// --json diagnostics document (including the strata summary section) and
+// the --strata-json stratification certificate. Downstream consumers —
+// tools/check_certificate.py, the CI lint job, editor integrations — parse
+// these bytes; any schema change must be deliberate, i.e. show up here as a
+// fixture update, not as silent drift.
+//
+// To refresh after an intentional schema change:
+//   build/tools/detective_lint --kb=data/figure1.nt --rules=data/figure4.dr
+//     --json=tests/fixtures/golden/lint_figure4.json
+//     --strata-json=tests/fixtures/strata/figure4.json
+// (one line; the same for examples/rules/nobel_strata.dr), then re-run
+// tools/check_certificate.py against the refreshed certificates.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace detective {
+namespace {
+
+constexpr const char* kLintBin = DETECTIVE_LINT_BIN;
+constexpr const char* kSourceDir = DETECTIVE_SOURCE_DIR;
+
+int ExitCode(const std::string& command) {
+  int raw = std::system((command + " >/dev/null 2>&1").c_str());
+  if (raw == -1 || !WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Regenerates `flag`=<temp> for the given rule set and byte-compares the
+/// result against the checked-in golden file.
+void ExpectMatchesGolden(const std::string& rules_rel, const char* flag,
+                         const std::string& golden_rel,
+                         const std::string& temp_name) {
+  const std::string out = ::testing::TempDir() + "/" + temp_name;
+  const std::string command = std::string(kLintBin) + " --kb=" + kSourceDir +
+                              "/data/figure1.nt --rules=" + kSourceDir + "/" +
+                              rules_rel + " --" + flag + "=" + out;
+  ASSERT_EQ(ExitCode(command), 0) << command;
+  EXPECT_EQ(ReadFileOrDie(out),
+            ReadFileOrDie(std::string(kSourceDir) + "/" + golden_rel))
+      << "regenerate with: " << command << " (see file header)";
+}
+
+TEST(LintGoldenTest, JsonDocumentMatchesGolden) {
+  ExpectMatchesGolden("data/figure4.dr", "json",
+                      "tests/fixtures/golden/lint_figure4.json",
+                      "lint_figure4.json");
+  ExpectMatchesGolden("examples/rules/nobel_strata.dr", "json",
+                      "tests/fixtures/golden/lint_nobel_strata.json",
+                      "lint_nobel_strata.json");
+}
+
+TEST(LintGoldenTest, StrataCertificateMatchesGolden) {
+  ExpectMatchesGolden("data/figure4.dr", "strata-json",
+                      "tests/fixtures/strata/figure4.json",
+                      "cert_figure4.json");
+  ExpectMatchesGolden("examples/rules/nobel_strata.dr", "strata-json",
+                      "tests/fixtures/strata/nobel_strata.json",
+                      "cert_nobel_strata.json");
+}
+
+/// The independent checker must accept every shipped certificate and reject
+/// the forged fixtures (a disjointness claim contradicted by the footprints;
+/// a unification refutation naming the wrong class). CI runs the same
+/// commands as a blocking step; this keeps them honest locally too.
+TEST(LintGoldenTest, CheckerVerifiesShippedAndRejectsForgedCertificates) {
+  if (ExitCode("python3 --version") != 0) {
+    GTEST_SKIP() << "python3 unavailable";
+  }
+  const std::string checker =
+      std::string("python3 ") + kSourceDir + "/tools/check_certificate.py ";
+  const std::string src(kSourceDir);
+  EXPECT_EQ(ExitCode(checker + src + "/tests/fixtures/strata/figure4.json" +
+                     " --rules=" + src + "/data/figure4.dr --kb=" + src +
+                     "/data/figure1.nt"),
+            0);
+  EXPECT_EQ(ExitCode(checker + src +
+                     "/tests/fixtures/strata/nobel_strata.json --rules=" +
+                     src + "/examples/rules/nobel_strata.dr --kb=" + src +
+                     "/data/figure1.nt"),
+            0);
+  EXPECT_EQ(ExitCode(checker + src +
+                     "/tests/fixtures/strata/figure4_forged_disjoint.json" +
+                     " --rules=" + src + "/data/figure4.dr --kb=" + src +
+                     "/data/figure1.nt"),
+            1);
+  EXPECT_EQ(
+      ExitCode(checker + src +
+               "/tests/fixtures/strata/nobel_strata_forged_unification.json" +
+               " --rules=" + src + "/examples/rules/nobel_strata.dr --kb=" +
+               src + "/data/figure1.nt"),
+      1);
+}
+
+}  // namespace
+}  // namespace detective

@@ -1,0 +1,316 @@
+// Tests for analysis/stratification: honest read/write footprints (fuzzy
+// matches are writes), static refutation of rule pairs through KB label
+// disjointness, the SCC strata, the machine-checkable certificate JSON, and
+// the engine-facing can-enable schedule. tools/check_certificate.py
+// re-verifies the same certificates independently; these tests pin the
+// producer side of that contract.
+
+#include "analysis/stratification.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/error_injector.h"
+#include "datagen/nobel_gen.h"
+#include "datagen/world.h"
+#include "test_fixtures.h"
+
+namespace detective::analysis {
+namespace {
+
+/// The Nobel rule set with the mutually-exclusive City/Country demo pair,
+/// with or without nobel_prize (whose target is the pair's Prize witness
+/// column — keeping it destroys the stability the refutation needs).
+struct NobelCase {
+  Dataset dataset;
+  KnowledgeBase kb;
+  std::vector<DetectiveRule> rules;
+};
+
+NobelCase BuildNobelCase(bool keep_prize_rule) {
+  NobelCase c;
+  NobelOptions options;
+  options.num_laureates = 40;
+  options.exclusive_strata_rules = true;
+  c.dataset = GenerateNobel(options);
+  c.kb = c.dataset.world.ToKb(YagoProfile(), c.dataset.key_entities);
+  for (const DetectiveRule& rule : c.dataset.rules) {
+    if (keep_prize_rule || rule.name() != "nobel_prize") {
+      c.rules.push_back(rule);
+    }
+  }
+  return c;
+}
+
+uint32_t IndexOf(const std::vector<DetectiveRule>& rules,
+                 const std::string& name) {
+  for (uint32_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].name() == name) return i;
+  }
+  ADD_FAILURE() << "no rule named " << name;
+  return 0;
+}
+
+const RuleFootprint& FootprintOf(const StratificationCertificate& certificate,
+                                 const std::string& name) {
+  for (const RuleFootprint& footprint : certificate.footprints) {
+    if (footprint.name == name) return footprint;
+  }
+  ADD_FAILURE() << "no footprint named " << name;
+  return certificate.footprints.front();
+}
+
+TEST(StratificationTest, NobelFootprintsCaptureFuzzyWrites) {
+  NobelCase c = BuildNobelCase(/*keep_prize_rule=*/true);
+  auto strata = ComputeStratification(c.rules, c.kb);
+  ASSERT_TRUE(strata.ok()) << strata.status().ToString();
+  const StratificationCertificate& cert = strata->certificate;
+  ASSERT_EQ(cert.footprints.size(), c.rules.size());
+
+  // nobel_prize matches every column exactly except its fuzzy target:
+  // the only write is the target itself.
+  const RuleFootprint& prize = FootprintOf(cert, "nobel_prize");
+  EXPECT_EQ(prize.target, "Prize");
+  EXPECT_EQ(prize.reads, (std::vector<std::string>{"Name", "Prize"}));
+  EXPECT_EQ(prize.writes, (std::vector<std::string>{"Prize"}));
+  EXPECT_EQ(prize.classes, (std::vector<std::string>{
+                               "chemistry award", "laureate", "other award"}));
+  EXPECT_EQ(prize.relations, (std::vector<std::string>{"wonPrize"}));
+
+  // nobel_country matches Institution and City fuzzily (ED,2): proving the
+  // rule standardizes those cells to KB labels, which is a write other
+  // rules can observe — the footprint must say so.
+  const RuleFootprint& country = FootprintOf(cert, "nobel_country");
+  EXPECT_EQ(country.target, "Country");
+  EXPECT_EQ(country.reads, (std::vector<std::string>{"City", "Country",
+                                                     "Institution", "Name"}));
+  EXPECT_EQ(country.writes,
+            (std::vector<std::string>{"City", "Country", "Institution"}));
+
+  // The demo pair matches everything exactly: target-only writes.
+  const RuleFootprint& chem = FootprintOf(cert, "nobel_city_chem");
+  EXPECT_EQ(chem.writes, (std::vector<std::string>{"City"}));
+  EXPECT_EQ(chem.reads, (std::vector<std::string>{"City", "Country",
+                                                  "Institution", "Name",
+                                                  "Prize"}));
+}
+
+TEST(StratificationTest, EveryOrderedPairIsEdgeOrSeparationExactlyOnce) {
+  for (bool keep_prize_rule : {false, true}) {
+    NobelCase c = BuildNobelCase(keep_prize_rule);
+    auto strata = ComputeStratification(c.rules, c.kb);
+    ASSERT_TRUE(strata.ok());
+    const StratificationCertificate& cert = strata->certificate;
+    const size_t n = c.rules.size();
+    std::set<std::pair<uint32_t, uint32_t>> covered;
+    for (const StratumEdge& edge : cert.edges) {
+      EXPECT_NE(edge.from, edge.to);
+      EXPECT_TRUE(covered.emplace(edge.from, edge.to).second);
+    }
+    for (const Separation& separation : cert.separations) {
+      EXPECT_NE(separation.from, separation.to);
+      EXPECT_TRUE(covered.emplace(separation.from, separation.to).second);
+    }
+    EXPECT_EQ(covered.size(), n * (n - 1));
+
+    // Strata partition the rule indexes; cyclic iff more than one rule.
+    ASSERT_EQ(cert.cyclic.size(), cert.strata.size());
+    std::set<uint32_t> assigned;
+    size_t cyclic_count = 0;
+    for (size_t s = 0; s < cert.strata.size(); ++s) {
+      EXPECT_EQ(cert.cyclic[s] != 0, cert.strata[s].size() > 1);
+      cyclic_count += (cert.cyclic[s] != 0) ? 1 : 0;
+      for (uint32_t rule : cert.strata[s]) {
+        EXPECT_TRUE(assigned.insert(rule).second);
+      }
+    }
+    EXPECT_EQ(assigned.size(), n);
+    EXPECT_EQ(cert.num_cyclic_strata(), cyclic_count);
+  }
+}
+
+TEST(StratificationTest, ProvablyLabelDisjointIsConservative) {
+  NobelCase c = BuildNobelCase(/*keep_prize_rule=*/true);
+  const Similarity eq = Similarity::Equality();
+  const Similarity ed2 = Similarity::EditDistance(2);
+  const MatchNode chem{"Prize", "chemistry award", eq};
+  const MatchNode other{"Prize", "other award", eq};
+  size_t probes = 0;
+
+  // Sibling award classes with non-overlapping instance labels: provable.
+  EXPECT_TRUE(ProvablyLabelDisjoint(c.kb, chem, other, 20000, &probes));
+  EXPECT_GT(probes, 0u);
+
+  // Any fuzziness makes a shared value conceivable: inconclusive.
+  probes = 0;
+  const MatchNode chem_fuzzy{"Prize", "chemistry award", ed2};
+  EXPECT_FALSE(ProvablyLabelDisjoint(c.kb, chem_fuzzy, other, 20000, &probes));
+
+  // A class and its superclass share every instance: never disjoint.
+  probes = 0;
+  const MatchNode award{"Prize", "award", eq};
+  EXPECT_FALSE(ProvablyLabelDisjoint(c.kb, chem, award, 20000, &probes));
+
+  // Unresolvable class: inconclusive.
+  probes = 0;
+  const MatchNode unknown{"Prize", "no such class", eq};
+  EXPECT_FALSE(ProvablyLabelDisjoint(c.kb, chem, unknown, 20000, &probes));
+
+  // Exhausted probe budget: inconclusive, never a false proof.
+  probes = 0;
+  EXPECT_FALSE(ProvablyLabelDisjoint(c.kb, chem, other, 1, &probes));
+}
+
+TEST(StratificationTest, ExclusivePairNeedsAStableWitnessColumn) {
+  // Without nobel_prize nothing writes Prize, so the demo pair's disjoint
+  // award gates refute the City <-> Country cycle.
+  NobelCase without = BuildNobelCase(/*keep_prize_rule=*/false);
+  size_t probes = 0;
+  auto pairs = FindExclusivePairs(without.rules, without.kb, 20000, &probes);
+  ASSERT_EQ(pairs.size(), 1u);
+  const uint32_t chem = IndexOf(without.rules, "nobel_city_chem");
+  const uint32_t other = IndexOf(without.rules, "nobel_country_other");
+  EXPECT_EQ(pairs[0].a, std::min(chem, other));
+  EXPECT_EQ(pairs[0].b, std::max(chem, other));
+  EXPECT_EQ(pairs[0].column, "Prize");
+  EXPECT_EQ(pairs[0].class_a, "chemistry award");
+  EXPECT_EQ(pairs[0].class_b, "other award");
+
+  // Adding nobel_prize back makes Prize writable: the witness column is no
+  // longer stable across the chase, so the refutation must be withdrawn.
+  NobelCase with = BuildNobelCase(/*keep_prize_rule=*/true);
+  probes = 0;
+  EXPECT_TRUE(FindExclusivePairs(with.rules, with.kb, 20000, &probes).empty());
+}
+
+TEST(StratificationTest, RefutedCycleYieldsAcyclicStrataAndMutedSchedule) {
+  NobelCase c = BuildNobelCase(/*keep_prize_rule=*/false);
+  auto strata = ComputeStratification(c.rules, c.kb);
+  ASSERT_TRUE(strata.ok());
+  EXPECT_EQ(strata->pairs_refuted, 1u);
+
+  const uint32_t chem = IndexOf(c.rules, "nobel_city_chem");
+  const uint32_t other = IndexOf(c.rules, "nobel_country_other");
+  EXPECT_FALSE(strata->schedule.CanEnable(chem, other));
+  EXPECT_FALSE(strata->schedule.CanEnable(other, chem));
+
+  size_t refuted_separations = 0;
+  for (const Separation& separation : strata->certificate.separations) {
+    if (separation.kind != Separation::Kind::kRefutedUnification) continue;
+    ++refuted_separations;
+    EXPECT_EQ(separation.column, "Prize");
+    EXPECT_TRUE((separation.from == chem && separation.to == other) ||
+                (separation.from == other && separation.to == chem));
+  }
+  EXPECT_EQ(refuted_separations, 2u);  // both directions of the one pair
+
+  // The pair on its own (the examples/rules/nobel_strata.dr shape): the
+  // severed cycle leaves two singleton strata and a fully acyclic
+  // certificate — nothing but the two refuted-unification separations.
+  std::vector<DetectiveRule> pair_only = {c.rules[chem], c.rules[other]};
+  auto pair_strata = ComputeStratification(pair_only, c.kb);
+  ASSERT_TRUE(pair_strata.ok());
+  EXPECT_EQ(pair_strata->certificate.strata.size(), 2u);
+  EXPECT_EQ(pair_strata->certificate.num_cyclic_strata(), 0u);
+  EXPECT_TRUE(pair_strata->certificate.edges.empty());
+  EXPECT_EQ(pair_strata->certificate.separations.size(), 2u);
+}
+
+TEST(StratificationTest, UnrefutedCycleBecomesOneCyclicStratum) {
+  NobelCase c = BuildNobelCase(/*keep_prize_rule=*/true);
+  auto strata = ComputeStratification(c.rules, c.kb);
+  ASSERT_TRUE(strata.ok());
+  EXPECT_EQ(strata->pairs_refuted, 0u);
+  EXPECT_GE(strata->certificate.num_cyclic_strata(), 1u);
+
+  // City and Country feed each other's evidence, so without the refutation
+  // the demo pair must share a cyclic stratum.
+  const uint32_t chem = IndexOf(c.rules, "nobel_city_chem");
+  const uint32_t other = IndexOf(c.rules, "nobel_country_other");
+  EXPECT_TRUE(strata->schedule.CanEnable(chem, other));
+  EXPECT_TRUE(strata->schedule.CanEnable(other, chem));
+  bool found_shared = false;
+  for (size_t s = 0; s < strata->certificate.strata.size(); ++s) {
+    const std::vector<uint32_t>& stratum = strata->certificate.strata[s];
+    if (std::find(stratum.begin(), stratum.end(), chem) == stratum.end()) {
+      continue;
+    }
+    found_shared =
+        std::find(stratum.begin(), stratum.end(), other) != stratum.end();
+    EXPECT_NE(strata->certificate.cyclic[s], 0);
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(StratificationTest, ScheduleAgreesWithCertificate) {
+  NobelCase c = BuildNobelCase(/*keep_prize_rule=*/false);
+  auto strata = ComputeStratification(c.rules, c.kb);
+  ASSERT_TRUE(strata.ok());
+  EXPECT_EQ(strata->schedule.num_rules, c.rules.size());
+  EXPECT_EQ(strata->schedule.strata, strata->certificate.strata);
+  for (const StratumEdge& edge : strata->certificate.edges) {
+    EXPECT_TRUE(strata->schedule.CanEnable(edge.from, edge.to));
+  }
+  for (const Separation& separation : strata->certificate.separations) {
+    EXPECT_FALSE(strata->schedule.CanEnable(separation.from, separation.to));
+  }
+}
+
+TEST(StratificationTest, FigureFourRulesCertify) {
+  KnowledgeBase kb = detective::testing::BuildFigure1Kb();
+  std::vector<DetectiveRule> rules = detective::testing::BuildFigure4Rules();
+  auto strata = ComputeStratification(rules, kb);
+  ASSERT_TRUE(strata.ok()) << strata.status().ToString();
+  const size_t n = rules.size();
+  EXPECT_EQ(strata->certificate.edges.size() +
+                strata->certificate.separations.size(),
+            n * (n - 1));
+  // Every write set contains the target and only read columns (a rule can
+  // only standardize cells it matched).
+  for (const RuleFootprint& footprint : strata->certificate.footprints) {
+    EXPECT_TRUE(std::binary_search(footprint.writes.begin(),
+                                   footprint.writes.end(), footprint.target));
+    EXPECT_TRUE(std::includes(footprint.reads.begin(), footprint.reads.end(),
+                              footprint.writes.begin(),
+                              footprint.writes.end()));
+  }
+}
+
+TEST(StratificationTest, CertificateJsonEscapesHostileRuleNames) {
+  // JSON-escape regression: rule names with control characters and non-ASCII
+  // UTF-8 must round through AppendJsonString (\u00XX escapes, raw UTF-8
+  // bytes preserved) — never raw control bytes in the document.
+  const Similarity eq = Similarity::Equality();
+  auto make_rule = [&](std::string name) {
+    SchemaMatchingGraph graph({{"Name", "laureate", eq},
+                               {"Prize", "chemistry award", eq},
+                               {"Prize", "other award", eq}},
+                              {{0, 1, "wonPrize"}, {0, 2, "wonPrize"}});
+    return DetectiveRule(std::move(name), std::move(graph), 1, 2);
+  };
+  std::vector<DetectiveRule> rules;
+  rules.push_back(make_rule("bad\x01\tname \"quoted\\\""));
+  rules.push_back(make_rule("caf\xc3\xa9 r\xc3\xa8gle"));
+
+  NobelCase c = BuildNobelCase(/*keep_prize_rule=*/true);
+  auto strata = ComputeStratification(rules, c.kb);
+  ASSERT_TRUE(strata.ok());
+  const std::string json = strata->certificate.ToJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("bad\\u0001\\u0009name \\\"quoted\\\\\\\""),
+            std::string::npos);
+  EXPECT_NE(json.find("caf\xc3\xa9 r\xc3\xa8gle"), std::string::npos);
+  for (char byte : json) {
+    if (byte == '\n') continue;  // the document itself is pretty-printed
+    EXPECT_GE(static_cast<unsigned char>(byte), 0x20)
+        << "raw control byte leaked into certificate JSON";
+  }
+}
+
+}  // namespace
+}  // namespace detective::analysis

@@ -1,0 +1,574 @@
+#!/usr/bin/env python3
+"""Independent verifier for stratification certificates.
+
+Re-verifies a StratificationCertificate (written by `detective_lint
+--strata-json=CERT.json`) from first principles: it re-parses the rule DSL
+and the knowledge base with its own minimal readers — sharing no code with
+the C++ analyzer — recomputes every footprint, and re-derives the evidence
+behind every edge and separation claim. A certificate passes only if:
+
+  * footprints match a from-scratch recomputation exactly;
+  * the strata are a partition of the rules, cyclic flags are consistent,
+    and every edge respects the topological stratum order;
+  * every edge's witness column really is written by its source rule and
+    read by its destination rule;
+  * every "disjoint-footprints" separation really has an empty
+    writes(from) ∩ reads(to) intersection;
+  * every "refuted-unification" separation names a witness column that is
+    pure evidence in both rules under exact-match similarity, is written by
+    no rule in the set, and whose two classes are provably label-disjoint
+    in the KB (not subclass-related, no shared instance label);
+  * every ordered rule pair appears in exactly one of edges/separations.
+
+Usage:
+  check_certificate.py CERT.json --rules=RULES.dr --kb=KB.nt
+
+Exit codes: 0 certificate verified, 1 certificate rejected, 2 usage or
+input load failure.
+
+See docs/static_analysis.md for the certificate format contract.
+"""
+
+import json
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule DSL reader (docs/rule_dsl.md) — independent of src/core/rule_io.cc.
+# ---------------------------------------------------------------------------
+
+
+class Node:
+    def __init__(self, column, type_, sim):
+        self.column = column
+        self.type = type_
+        self.sim = sim  # raw sim text, "=" means exact equality
+
+    @property
+    def existential(self):
+        return self.column == ""
+
+
+class Rule:
+    def __init__(self, name):
+        self.name = name
+        self.nodes = []  # [Node]
+        self.edges = []  # [(from_idx, relation, to_idx)]
+        self.positive = None
+        self.negative = None
+
+    @property
+    def target(self):
+        return self.nodes[self.positive].column
+
+    def pure_evidence_indexes(self):
+        """Node indexes that are neither the positive/negative node nor
+        existential: the only nodes that constrain the tuple on a column the
+        rule does not itself judge."""
+        out = []
+        for i, node in enumerate(self.nodes):
+            if i in (self.positive, self.negative) or node.existential:
+                continue
+            out.append(i)
+        return out
+
+
+def tokenize_dsl_line(line, line_number):
+    """Whitespace-separated tokens; double quotes group, '""' escapes a
+    quote, '#' starts a comment outside quotes."""
+    tokens = []
+    current = []
+    in_quotes = False
+    token_active = False
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if in_quotes:
+            if c == '"':
+                if i + 1 < len(line) and line[i + 1] == '"':
+                    current.append('"')
+                    i += 1
+                else:
+                    in_quotes = False
+            else:
+                current.append(c)
+        elif c == '"':
+            in_quotes = True
+            token_active = True
+        elif c.isspace():
+            if token_active:
+                tokens.append("".join(current))
+                current = []
+                token_active = False
+        elif c == "#":
+            break
+        else:
+            current.append(c)
+            token_active = True
+        i += 1
+    if in_quotes:
+        raise ValueError(f"unterminated quote on line {line_number}")
+    if token_active:
+        tokens.append("".join(current))
+    return tokens
+
+
+def parse_attributes(tokens, line_number):
+    column, type_, sim = "", "", "="
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError(f"expected key=value on line {line_number}: {token!r}")
+        key, value = token.split("=", 1)
+        key = key.lower()
+        if key in ("col", "column"):
+            column = value
+        elif key == "type":
+            type_ = value
+        elif key == "sim":
+            sim = value
+        else:
+            raise ValueError(f"unknown attribute {key!r} on line {line_number}")
+    return column, type_, sim
+
+
+def parse_rules(text):
+    rules = []
+    rule = None
+    aliases = {}
+    pending_edges = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        tokens = tokenize_dsl_line(line, line_number)
+        if not tokens:
+            continue
+        keyword = tokens[0].upper()
+        if keyword == "RULE":
+            if rule is not None:
+                raise ValueError(f"RULE before END on line {line_number}")
+            rule = Rule(tokens[1])
+            aliases = {}
+            pending_edges = []
+        elif keyword == "EXIST":
+            _, type_, _ = parse_attributes(tokens[2:], line_number)
+            aliases[tokens[1]] = len(rule.nodes)
+            rule.nodes.append(Node("", type_, "="))
+        elif keyword in ("NODE", "POS", "NEG"):
+            column, type_, sim = parse_attributes(tokens[2:], line_number)
+            index = len(rule.nodes)
+            aliases[tokens[1]] = index
+            rule.nodes.append(Node(column, type_, sim))
+            if keyword == "POS":
+                rule.positive = index
+            elif keyword == "NEG":
+                rule.negative = index
+        elif keyword == "EDGE":
+            pending_edges.append((tokens[1], tokens[2], tokens[3], line_number))
+        elif keyword == "END":
+            for from_alias, relation, to_alias, edge_line in pending_edges:
+                rule.edges.append((aliases[from_alias], relation, aliases[to_alias]))
+            if rule.positive is None or rule.negative is None:
+                raise ValueError(f"rule {rule.name!r} needs POS and NEG")
+            rules.append(rule)
+            rule = None
+        else:
+            raise ValueError(f"unknown keyword {tokens[0]!r} on line {line_number}")
+    if rule is not None:
+        raise ValueError(f"rule {rule.name!r} missing END")
+    return rules
+
+
+# ---------------------------------------------------------------------------
+# Knowledge base reader (N-Triples subset / TSV triples) — independent of
+# src/kb/ntriples_parser.cc but mirroring its semantics.
+# ---------------------------------------------------------------------------
+
+TYPE_PREDICATES = {"rdf:type", "a", "type"}
+SUBCLASS_PREDICATES = {"rdfs:subClassOf", "subClassOf"}
+LABEL_PREDICATES = {"rdfs:label", "label"}
+CLASS_MARKERS = {"rdfs:Class", "owl:Class"}
+
+
+def prettify(iri):
+    """Strip the namespace prefix and map underscores to spaces, the way KB
+    IRIs are matched against relational cell values."""
+    cut = max(iri.rfind("/"), iri.rfind("#"))
+    local = iri if cut < 0 else iri[cut + 1:]
+    return local.replace("_", " ")
+
+
+def parse_nt_literal(text, pos, line_number):
+    """Parses a double-quoted literal at text[pos]; returns (value, end)."""
+    out = []
+    i = pos + 1
+    while i < len(text):
+        c = text[i]
+        if c == "\\" and i + 1 < len(text):
+            escapes = {"n": "\n", "t": "\t"}
+            out.append(escapes.get(text[i + 1], text[i + 1]))
+            i += 2
+            continue
+        if c == '"':
+            i += 1
+            if i < len(text) and text[i] == "@":
+                while i < len(text) and not text[i].isspace():
+                    i += 1
+            elif i + 1 < len(text) and text[i] == "^" and text[i + 1] == "^":
+                while i < len(text) and not text[i].isspace():
+                    i += 1
+            return "".join(out), i
+        out.append(c)
+        i += 1
+    raise ValueError(f"unterminated literal on line {line_number}")
+
+
+def parse_nt_line(line, line_number):
+    """Returns (subject, predicate, object, object_is_literal) or None."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+
+    def read_iri(i):
+        if i >= len(line) or line[i] != "<":
+            raise ValueError(f"expected '<' on line {line_number}")
+        end = line.index(">", i)
+        return line[i + 1:end], end + 1
+
+    def skip_ws(i):
+        while i < len(line) and line[i].isspace():
+            i += 1
+        return i
+
+    subject, i = read_iri(0)
+    i = skip_ws(i)
+    if line[i] == "<":
+        predicate, i = read_iri(i)
+    else:
+        start = i
+        while i < len(line) and not line[i].isspace():
+            i += 1
+        predicate = line[start:i]
+    i = skip_ws(i)
+    if line[i] == '"':
+        obj, i = parse_nt_literal(line, i, line_number)
+        literal = True
+    else:
+        obj, i = read_iri(i)
+        literal = False
+    return subject, predicate, obj, literal
+
+
+def parse_tsv_line(line, line_number):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    fields = line.split("\t")
+    if len(fields) != 3:
+        raise ValueError(f"expected 3 tab-separated fields on line {line_number}")
+    subject, predicate, obj = (f.strip() for f in fields)
+    literal = len(obj) >= 2 and obj[0] == '"' and obj[-1] == '"'
+    if literal:
+        obj = obj[1:-1]
+    return subject, predicate, obj, literal
+
+
+class Kb:
+    """The slice of the KB the certificate evidence depends on: the class
+    taxonomy (reflexive-transitive ancestor closure) and per-class instance
+    label sets over that closure."""
+
+    def __init__(self, triples):
+        class_iris = set()
+        for subject, predicate, obj, literal in triples:
+            if predicate in SUBCLASS_PREDICATES:
+                class_iris.add(subject)
+                class_iris.add(obj)
+            elif predicate in TYPE_PREDICATES and not literal:
+                if obj in CLASS_MARKERS:
+                    class_iris.add(subject)
+                else:
+                    class_iris.add(obj)
+
+        explicit_labels = {}
+        for subject, predicate, obj, literal in triples:
+            if predicate in LABEL_PREDICATES and literal:
+                explicit_labels[subject] = obj
+
+        self.classes = {prettify(iri) for iri in class_iris}
+        parents = {name: set() for name in self.classes}
+        for subject, predicate, obj, literal in triples:
+            if predicate in SUBCLASS_PREDICATES:
+                parents[prettify(subject)].add(prettify(obj))
+
+        # Reflexive-transitive ancestor closure (the taxonomy is acyclic by
+        # the loader's contract; a cycle here would hang the builder too, so
+        # guard with a visited set).
+        self.ancestors = {}
+
+        def closure(name, stack):
+            if name in self.ancestors:
+                return self.ancestors[name]
+            if name in stack:
+                raise ValueError(f"subClassOf cycle involving {name!r}")
+            stack.add(name)
+            out = {name}
+            for parent in parents[name]:
+                out |= closure(parent, stack)
+            stack.discard(name)
+            self.ancestors[name] = out
+            return out
+
+        for name in self.classes:
+            closure(name, set())
+
+        # Instance labels per class, over the ancestor closure of each
+        # entity's direct classes (mirrors KnowledgeBase::InstancesOf).
+        self.instance_labels = {name: set() for name in self.classes}
+        for subject, predicate, obj, literal in triples:
+            if predicate not in TYPE_PREDICATES or literal:
+                continue
+            if obj in CLASS_MARKERS or subject in class_iris:
+                continue
+            label = explicit_labels.get(subject, prettify(subject))
+            for ancestor in self.ancestors[prettify(obj)]:
+                self.instance_labels[ancestor].add(label)
+
+    def subclass_related(self, a, b):
+        return b in self.ancestors[a] or a in self.ancestors[b]
+
+
+def load_kb(path):
+    parse_line = parse_tsv_line if path.endswith(".tsv") else parse_nt_line
+    triples = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            triple = parse_line(line, line_number)
+            if triple is not None:
+                triples.append(triple)
+    return Kb(triples)
+
+
+# ---------------------------------------------------------------------------
+# Footprints and certificate verification.
+# ---------------------------------------------------------------------------
+
+
+def compute_footprint(rule):
+    reads, writes, classes, relations = set(), {rule.target}, set(), set()
+    for node in rule.nodes:
+        classes.add(node.type)
+        if node.existential:
+            continue
+        reads.add(node.column)
+        if node.sim != "=":
+            # Fuzzy match: proving the cell standardizes it to the KB label.
+            writes.add(node.column)
+    for _, relation, _ in rule.edges:
+        relations.add(relation)
+    return {
+        "name": rule.name,
+        "target": rule.target,
+        "reads": sorted(reads),
+        "writes": sorted(writes),
+        "classes": sorted(classes),
+        "relations": sorted(relations),
+    }
+
+
+class Rejection(Exception):
+    pass
+
+
+def verify_refuted_unification(separation, rules, kb, all_writes):
+    """Re-derives the mutual-exclusion proof behind a refuted-unification
+    separation: the witness column must be stable pure evidence in both
+    rules under exact matching, and the two classes provably label-disjoint."""
+    a, b = separation["from"], separation["to"]
+    column = separation["column"]
+    class_from, class_to = separation["class_from"], separation["class_to"]
+
+    if column in all_writes:
+        raise Rejection(
+            f"separation {a}->{b}: witness column {column!r} is written by a "
+            "rule in the set, so it is not stable across the chase")
+
+    def find_witness_node(rule, wanted_class, role):
+        for i in rule.pure_evidence_indexes():
+            node = rule.nodes[i]
+            if node.column == column and node.type == wanted_class:
+                if node.sim != "=":
+                    raise Rejection(
+                        f"separation {a}->{b}: {role} witness node uses fuzzy "
+                        f"similarity {node.sim!r}; only exact matching "
+                        "supports a label-disjointness proof")
+                return node
+        raise Rejection(
+            f"separation {a}->{b}: rule {rule.name!r} has no pure-evidence "
+            f"node on column {column!r} with class {wanted_class!r}")
+
+    find_witness_node(rules[a], class_from, "from")
+    find_witness_node(rules[b], class_to, "to")
+
+    if class_from == class_to:
+        raise Rejection(
+            f"separation {a}->{b}: witness classes are identical "
+            f"({class_from!r})")
+    for name in (class_from, class_to):
+        if name not in kb.classes:
+            raise Rejection(
+                f"separation {a}->{b}: class {name!r} does not resolve in the KB")
+    if kb.subclass_related(class_from, class_to):
+        raise Rejection(
+            f"separation {a}->{b}: classes {class_from!r} and {class_to!r} "
+            "are subclass-related")
+    shared = kb.instance_labels[class_from] & kb.instance_labels[class_to]
+    if shared:
+        example = sorted(shared)[0]
+        raise Rejection(
+            f"separation {a}->{b}: classes {class_from!r} and {class_to!r} "
+            f"share instance label {example!r}; not label-disjoint")
+
+
+def verify(cert, rules, kb):
+    if cert.get("schema_version") != 1:
+        raise Rejection(f"unsupported schema_version {cert.get('schema_version')!r}")
+
+    n = len(rules)
+    cert_rules = cert.get("rules", [])
+    if len(cert_rules) != n:
+        raise Rejection(
+            f"certificate covers {len(cert_rules)} rules, rule file has {n}")
+    footprints = []
+    for index, (claimed, rule) in enumerate(zip(cert_rules, rules)):
+        recomputed = compute_footprint(rule)
+        if claimed != recomputed:
+            raise Rejection(
+                f"rule {index} ({rule.name!r}): footprint mismatch\n"
+                f"  claimed:    {json.dumps(claimed, sort_keys=True)}\n"
+                f"  recomputed: {json.dumps(recomputed, sort_keys=True)}")
+        footprints.append(recomputed)
+    all_writes = set()
+    for footprint in footprints:
+        all_writes |= set(footprint["writes"])
+
+    # Strata: a partition of rule indexes, cyclic iff more than one member
+    # (self-enabling is impossible: a rule fires at most once per tuple).
+    strata = cert.get("strata", [])
+    stratum_of = {}
+    for s, stratum in enumerate(strata):
+        for rule_index in stratum["rules"]:
+            if rule_index in stratum_of:
+                raise Rejection(f"rule {rule_index} appears in two strata")
+            if not 0 <= rule_index < n:
+                raise Rejection(f"stratum {s} names unknown rule {rule_index}")
+            stratum_of[rule_index] = s
+        if stratum["cyclic"] != (len(stratum["rules"]) > 1):
+            raise Rejection(
+                f"stratum {s}: cyclic flag {stratum['cyclic']} inconsistent "
+                f"with {len(stratum['rules'])} member(s)")
+    if len(stratum_of) != n:
+        raise Rejection("strata do not cover every rule")
+
+    seen_pairs = set()
+    for edge in cert.get("edges", []):
+        a, b = edge["from"], edge["to"]
+        pair = (a, b)
+        if pair in seen_pairs:
+            raise Rejection(f"pair {a}->{b} appears twice")
+        seen_pairs.add(pair)
+        column = edge["column"]
+        if column not in footprints[a]["writes"]:
+            raise Rejection(
+                f"edge {a}->{b}: column {column!r} is not written by rule {a}")
+        if column not in footprints[b]["reads"]:
+            raise Rejection(
+                f"edge {a}->{b}: column {column!r} is not read by rule {b}")
+        if edge["evidence"] == "ordered":
+            if stratum_of[a] >= stratum_of[b]:
+                raise Rejection(
+                    f"edge {a}->{b}: claimed ordered but strata are not "
+                    f"topologically ordered ({stratum_of[a]} >= {stratum_of[b]})")
+        elif edge["evidence"] == "scc-membership":
+            if stratum_of[a] != stratum_of[b]:
+                raise Rejection(
+                    f"edge {a}->{b}: claimed scc-membership but the rules are "
+                    "in different strata")
+        else:
+            raise Rejection(f"edge {a}->{b}: unknown evidence {edge['evidence']!r}")
+
+    for separation in cert.get("separations", []):
+        a, b = separation["from"], separation["to"]
+        pair = (a, b)
+        if pair in seen_pairs:
+            raise Rejection(f"pair {a}->{b} appears twice")
+        seen_pairs.add(pair)
+        evidence = separation["evidence"]
+        if evidence == "disjoint-footprints":
+            overlap = set(footprints[a]["writes"]) & set(footprints[b]["reads"])
+            if overlap:
+                raise Rejection(
+                    f"separation {a}->{b}: claimed disjoint footprints but "
+                    f"writes({a}) ∩ reads({b}) = {sorted(overlap)}")
+        elif evidence == "refuted-unification":
+            verify_refuted_unification(separation, rules, kb, all_writes)
+        else:
+            raise Rejection(
+                f"separation {a}->{b}: unknown evidence {evidence!r}")
+
+    expected_pairs = {(a, b) for a in range(n) for b in range(n) if a != b}
+    missing = expected_pairs - seen_pairs
+    if missing:
+        a, b = sorted(missing)[0]
+        raise Rejection(
+            f"pair {a}->{b} is covered by neither an edge nor a separation "
+            f"({len(missing)} uncovered pair(s))")
+    extra = seen_pairs - expected_pairs
+    if extra:
+        a, b = sorted(extra)[0]
+        raise Rejection(f"certificate names out-of-range pair {a}->{b}")
+
+
+def main(argv):
+    cert_path = None
+    rules_path = None
+    kb_path = None
+    for arg in argv[1:]:
+        if arg.startswith("--rules="):
+            rules_path = arg[len("--rules="):]
+        elif arg.startswith("--kb="):
+            kb_path = arg[len("--kb="):]
+        elif arg.startswith("--"):
+            print(f"unknown argument: {arg}", file=sys.stderr)
+            return 2
+        elif cert_path is None:
+            cert_path = arg
+        else:
+            print(f"unexpected positional argument: {arg}", file=sys.stderr)
+            return 2
+    if not cert_path or not rules_path or not kb_path:
+        print(__doc__.strip().splitlines()[-8], file=sys.stderr)
+        print("usage: check_certificate.py CERT.json --rules=RULES.dr --kb=KB.nt",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(cert_path, encoding="utf-8") as handle:
+            cert = json.load(handle)
+        with open(rules_path, encoding="utf-8") as handle:
+            rules = parse_rules(handle.read())
+        kb = load_kb(kb_path)
+    except (OSError, ValueError) as error:
+        print(f"error loading inputs: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        verify(cert, rules, kb)
+    except Rejection as rejection:
+        print(f"CERTIFICATE REJECTED: {rejection}", file=sys.stderr)
+        return 1
+    print(f"certificate verified: {len(rules)} rules, "
+          f"{len(cert.get('strata', []))} strata, "
+          f"{len(cert.get('edges', []))} edge(s), "
+          f"{len(cert.get('separations', []))} separation(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

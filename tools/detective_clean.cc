@@ -29,9 +29,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "analysis/rule_lint.h"
+#include "analysis/stratification.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -67,6 +69,12 @@ struct Args {
   std::string trace_json_path;
   std::string algorithm = "fast";
   std::string lint = "warn";
+  /// Stratified chase scheduling (docs/static_analysis.md): auto computes a
+  /// stratification certificate and lets the fast repairer elide provably
+  /// futile fixpoint sweeps (falling back to the classic loop when the set
+  /// cannot be certified); strict refuses to run on certification failure
+  /// (exit 3); off never stratifies.
+  std::string stratify = "auto";
   bool check_consistency = false;
   bool multi_version = false;
   // Robustness (docs/robustness.md).
@@ -89,6 +97,7 @@ void PrintUsage() {
       "                       [--algorithm=fast|basic] [--check-consistency]\n"
       "                       [--multi-version] [--metrics-json=METRICS.json]\n"
       "                       [--lint=strict|warn|off] [--lint-json=DIAG.json]\n"
+      "                       [--stratify=off|auto|strict]\n"
       "                       [--explain-json=EXPLAIN.jsonl]\n"
       "                       [--trace-json=TRACE.json]\n\n"
       "  --kb                RDF knowledge base (N-Triples subset; a .tsv\n"
@@ -103,6 +112,11 @@ void PrintUsage() {
       "  --lint              static rule-set analysis at load time (default\n"
       "                      warn): strict refuses to run on error-level\n"
       "                      findings (exit %d), warn prints them, off skips\n"
+      "  --stratify          stratum-aware chase scheduling (default auto):\n"
+      "                      auto certifies the rule set and skips provably\n"
+      "                      futile fixpoint sweeps (output byte-identical),\n"
+      "                      strict exits %d unless the set certifies fully\n"
+      "                      acyclic, off runs the classic loop\n"
       "  --lint-json         where to write the lint diagnostics JSON\n"
       "                      (default: OUT.csv.lint.json, written whenever\n"
       "                      the lint finds anything)\n"
@@ -126,7 +140,7 @@ void PrintUsage() {
       "                      0 = hardware concurrency). Workers share one\n"
       "                      frozen match plan and candidate cache; output is\n"
       "                      identical at every thread count\n",
-      kExitInconsistent, kExitLintRejected, kExitDegraded);
+      kExitInconsistent, kExitLintRejected, kExitLintRejected, kExitDegraded);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -156,6 +170,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         take("report", &args->report_path) || take("algorithm", &args->algorithm) ||
         take("metrics-json", &args->metrics_json_path) ||
         take("lint", &args->lint) || take("lint-json", &args->lint_json_path) ||
+        take("stratify", &args->stratify) ||
         take("explain-json", &args->explain_json_path) ||
         take("trace-json", &args->trace_json_path) ||
         take("fault-plan", &args->fault_plan) ||
@@ -185,6 +200,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->lint != "strict" && args->lint != "warn" && args->lint != "off") {
     std::fprintf(stderr, "--lint must be 'strict', 'warn', or 'off'\n");
+    return false;
+  }
+  if (args->stratify != "auto" && args->stratify != "strict" &&
+      args->stratify != "off") {
+    std::fprintf(stderr, "--stratify must be 'off', 'auto', or 'strict'\n");
     return false;
   }
   if (!numeric_ok) return false;
@@ -322,6 +342,47 @@ int Run(const Args& args) {
     }
   }
 
+  // ---- Stratification (docs/static_analysis.md) ----
+  // The certificate's schedule licenses the fast repairer to elide provably
+  // futile confirming sweeps; the repaired bytes are identical either way.
+  // `strata` must outlive the repair: RepairOptions borrows the schedule.
+  std::optional<analysis::Stratification> strata;
+  if (args.stratify != "off") {
+    DETECTIVE_TRACE_SPAN("clean.stratify");
+    auto computed = analysis::ComputeStratification(*rules, *kb);
+    if (computed.ok()) {
+      strata = std::move(*computed);
+      std::printf(
+          "Strata: %zu stratum/strata (%zu cyclic), %zu pair(s) refuted\n",
+          strata->certificate.strata.size(),
+          strata->certificate.num_cyclic_strata(), strata->pairs_refuted);
+      // strict demands a *full* stratification: a cyclic stratum means some
+      // interaction cycle survived every refutation attempt, i.e. the set
+      // cannot be certified confluent-by-strata. auto still runs it (the
+      // schedule is sound either way — intra-stratum sweeps just persist).
+      if (args.stratify == "strict" &&
+          strata->certificate.num_cyclic_strata() > 0) {
+        std::fprintf(stderr,
+                     "refusing to run: %zu stratum/strata remain cyclic "
+                     "under --stratify=strict (rule interaction cycles "
+                     "could not be statically refuted)\n",
+                     strata->certificate.num_cyclic_strata());
+        return kExitLintRejected;
+      }
+    } else if (args.stratify == "strict") {
+      std::fprintf(stderr,
+                   "refusing to run: rule set cannot be certified under "
+                   "--stratify=strict: %s\n",
+                   computed.status().ToString().c_str());
+      return kExitLintRejected;
+    } else {
+      std::fprintf(stderr,
+                   "stratification unavailable (%s); running the classic "
+                   "chase loop\n",
+                   computed.status().ToString().c_str());
+    }
+  }
+
   // ---- Repair ----
   double start = NowSeconds();
   Relation repaired = *relation;
@@ -335,6 +396,7 @@ int Run(const Args& args) {
   repair_options.deadline_ms = args.deadline_ms;
   repair_options.tuple_budget_ms = args.tuple_budget_ms;
   repair_options.max_rule_failures = args.max_rule_failures;
+  if (strata.has_value()) repair_options.schedule = &strata->schedule;
   const bool guarded = GuardedRepairRequested(repair_options) ||
                        !args.quarantine_json_path.empty();
 
@@ -431,6 +493,11 @@ int Run(const Args& args) {
     if (args.multi_version) {
       std::snprintf(buffer, sizeof(buffer), ", %zu extra versions emitted",
                     extra_versions);
+      summary += buffer;
+    }
+    if (strata.has_value()) {
+      std::snprintf(buffer, sizeof(buffer), ", %zu fixpoint sweeps elided",
+                    stats.rounds_skipped);
       summary += buffer;
     }
     if (guarded) {

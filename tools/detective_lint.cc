@@ -2,6 +2,7 @@
 //
 //   detective_lint --kb=yago.nt --rules=nobel.dr [--json=DIAG.json]
 //                  [--fail-on=error|warning|never] [--no-edge-support]
+//                  [--strata] [--strata-json=CERT.json]
 //
 // Analyzes the rule set against the KB schema without touching any data
 // (docs/static_analysis.md): conflicting rule pairs, oscillation cycles,
@@ -9,14 +10,22 @@
 // most-severe-first and exits non-zero when findings reach the --fail-on
 // threshold, so CI can gate rule-set changes.
 //
+// --strata prints the stratification report (strata in topological order,
+// cyclic strata naming their SCC rules); --strata-json writes the full
+// machine-checkable StratificationCertificate, re-verifiable with
+// tools/check_certificate.py. The --json document always carries a "strata"
+// summary section (null when the rule set cannot be stratified).
+//
 // Exit codes: 0 clean (below threshold), 1 load failure, 3 findings at or
 // above the threshold, 64 usage.
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "analysis/rule_lint.h"
+#include "analysis/stratification.h"
 #include "common/string_util.h"
 #include "core/rule_io.h"
 #include "kb/ntriples_parser.h"
@@ -33,19 +42,27 @@ struct Args {
   std::string kb_path;
   std::string rules_path;
   std::string json_path;
+  std::string strata_json_path;
   std::string fail_on = "error";
   bool edge_support = true;
+  bool strata = false;
 };
 
 void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: detective_lint --kb=KB.nt --rules=RULES.dr [--json=DIAG.json]\n"
-      "                      [--fail-on=error|warning|never] [--no-edge-support]\n\n"
+      "                      [--fail-on=error|warning|never] [--no-edge-support]\n"
+      "                      [--strata] [--strata-json=CERT.json]\n\n"
       "  --kb               RDF knowledge base (N-Triples subset; a .tsv\n"
       "                     extension selects tab-separated triples)\n"
       "  --rules            detective rules in the rule DSL\n"
-      "  --json             write the diagnostics report as JSON\n"
+      "  --json             write the diagnostics report as JSON (includes a\n"
+      "                     \"strata\" summary section)\n"
+      "  --strata           print the stratification report (cyclic strata\n"
+      "                     name their SCC rules)\n"
+      "  --strata-json      write the machine-checkable stratification\n"
+      "                     certificate (verify with check_certificate.py)\n"
       "  --fail-on          lowest severity that makes the exit code %d\n"
       "                     (default: error)\n"
       "  --no-edge-support  skip the KB joint-support probes (vocabulary\n"
@@ -65,11 +82,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     };
     if (take("kb", &args->kb_path) || take("rules", &args->rules_path) ||
-        take("json", &args->json_path) || take("fail-on", &args->fail_on)) {
+        take("json", &args->json_path) ||
+        take("strata-json", &args->strata_json_path) ||
+        take("fail-on", &args->fail_on)) {
       continue;
     }
     if (arg == "--no-edge-support") {
       args->edge_support = false;
+    } else if (arg == "--strata") {
+      args->strata = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return false;
@@ -82,6 +103,56 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     return false;
   }
   return true;
+}
+
+/// The "strata" summary object of the --json document: counts plus the
+/// strata with rule names. Null (the literal) when stratification failed.
+std::string StrataSummaryJson(
+    const std::optional<analysis::Stratification>& strata,
+    const std::vector<DetectiveRule>& rules) {
+  if (!strata.has_value()) return "null";
+  std::string out = "{\"count\": ";
+  out += std::to_string(strata->certificate.strata.size());
+  out += ", \"cyclic\": ";
+  out += std::to_string(strata->certificate.num_cyclic_strata());
+  out += ", \"edges\": ";
+  out += std::to_string(strata->certificate.edges.size());
+  out += ", \"pairs_refuted\": ";
+  out += std::to_string(strata->pairs_refuted);
+  out += ", \"list\": [";
+  for (size_t s = 0; s < strata->certificate.strata.size(); ++s) {
+    out += s == 0 ? "\n    " : ",\n    ";
+    out += "{\"rules\": [";
+    const std::vector<uint32_t>& members = strata->certificate.strata[s];
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonString(rules[members[i]].name(), &out);
+    }
+    out += "], \"cyclic\": ";
+    out += strata->certificate.cyclic[s] != 0 ? "true" : "false";
+    out += '}';
+  }
+  out += strata->certificate.strata.empty() ? "]}" : "\n  ]}";
+  return out;
+}
+
+void PrintStrataReport(const analysis::Stratification& strata,
+                       const std::vector<DetectiveRule>& rules) {
+  const analysis::StratificationCertificate& cert = strata.certificate;
+  std::printf(
+      "Strata: %zu stratum/strata (%zu cyclic), %zu interaction edge(s), "
+      "%zu pair(s) refuted by unification\n",
+      cert.strata.size(), cert.num_cyclic_strata(), cert.edges.size(),
+      strata.pairs_refuted);
+  for (size_t s = 0; s < cert.strata.size(); ++s) {
+    std::string members;
+    for (uint32_t rule : cert.strata[s]) {
+      if (!members.empty()) members += ", ";
+      members += rules[rule].name();
+    }
+    std::printf("  stratum %zu%s: %s\n", s,
+                cert.cyclic[s] != 0 ? " (cyclic SCC)" : "", members.c_str());
+  }
 }
 
 int Run(const Args& args) {
@@ -106,9 +177,50 @@ int Run(const Args& args) {
   std::printf("%s: %zu rules against %s\n%s\n", args.rules_path.c_str(),
               rules->size(), args.kb_path.c_str(), report.ToString().c_str());
 
+  // Stratification (analysis/stratification.h): computed whenever any output
+  // consumes it. Failure (a malformed rule) is not a lint exit condition —
+  // the malformed-rule diagnostic above already covers it — except when the
+  // caller explicitly asked for the certificate.
+  std::optional<analysis::Stratification> strata;
+  if (args.strata || !args.strata_json_path.empty() || !args.json_path.empty()) {
+    analysis::StratifyOptions strata_options;
+    strata_options.max_probes = options.max_support_probes;
+    auto computed = analysis::ComputeStratification(*rules, *kb, strata_options);
+    if (computed.ok()) {
+      strata = std::move(*computed);
+    } else {
+      std::fprintf(stderr, "stratification failed: %s\n",
+                   computed.status().ToString().c_str());
+      if (!args.strata_json_path.empty()) return kExitLoadFailure;
+    }
+  }
+  if (args.strata && strata.has_value()) PrintStrataReport(*strata, *rules);
+  if (!args.strata_json_path.empty()) {
+    std::ofstream out(args.strata_json_path, std::ios::trunc);
+    out << strata->certificate.ToJson();
+    if (!out) {
+      std::fprintf(stderr, "error writing certificate to %s\n",
+                   args.strata_json_path.c_str());
+      return kExitLoadFailure;
+    }
+    std::printf("stratification certificate written to %s\n",
+                args.strata_json_path.c_str());
+  }
+
   if (!args.json_path.empty()) {
+    // The report document plus the "strata" summary section (the schema the
+    // lint golden test locks; docs/static_analysis.md).
+    std::string document = report.ToJson();
+    const std::string tail = "\n}\n";
+    if (document.size() >= tail.size() &&
+        document.compare(document.size() - tail.size(), tail.size(), tail) == 0) {
+      document.resize(document.size() - tail.size());
+    }
+    document += ",\n  \"strata\": ";
+    document += StrataSummaryJson(strata, *rules);
+    document += "\n}\n";
     std::ofstream out(args.json_path, std::ios::trunc);
-    out << report.ToJson();
+    out << document;
     if (!out) {
       std::fprintf(stderr, "error writing diagnostics to %s\n",
                    args.json_path.c_str());
