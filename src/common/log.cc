@@ -1,0 +1,283 @@
+#include "common/log.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <mutex>
+
+namespace detective::logs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kInfo)};
+std::atomic<uint64_t> g_events{0};
+
+// The sink mutex serializes format + write so concurrent events never
+// interleave mid-line, in either mode.
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// Guarded by SinkMutex(); nullptr → text mode on stderr.
+std::FILE* g_json_file = nullptr;
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Reserved top-level JSONL keys; colliding field names get an "f_" prefix.
+constexpr std::array<std::string_view, 5> kReservedKeys = {
+    "ts_ms", "level", "component", "event", "msg"};
+
+bool IsReservedKey(std::string_view key) {
+  for (std::string_view reserved : kReservedKeys) {
+    if (key == reserved) return true;
+  }
+  return false;
+}
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+void AppendFieldValueJson(std::string* out, const Field& field) {
+  switch (field.kind) {
+    case Field::Kind::kString:
+      AppendJsonString(out, field.str);
+      break;
+    case Field::Kind::kInt:
+      out->append(std::to_string(field.i));
+      break;
+    case Field::Kind::kUint:
+      out->append(std::to_string(field.u));
+      break;
+    case Field::Kind::kDouble:
+      AppendDouble(out, field.d);
+      break;
+    case Field::Kind::kBool:
+      out->append(field.b ? "true" : "false");
+      break;
+  }
+}
+
+void AppendFieldValueText(std::string* out, const Field& field) {
+  switch (field.kind) {
+    case Field::Kind::kString:
+      // Quote strings so values with spaces stay one token.
+      out->push_back('"');
+      out->append(field.str);
+      out->push_back('"');
+      break;
+    case Field::Kind::kInt:
+      out->append(std::to_string(field.i));
+      break;
+    case Field::Kind::kUint:
+      out->append(std::to_string(field.u));
+      break;
+    case Field::Kind::kDouble:
+      AppendDouble(out, field.d);
+      break;
+    case Field::Kind::kBool:
+      out->append(field.b ? "true" : "false");
+      break;
+  }
+}
+
+std::string FormatJsonLine(Level level, std::string_view component,
+                           std::string_view event, std::string_view message,
+                           std::initializer_list<Field> fields) {
+  std::string line;
+  line.reserve(128);
+  line.append("{\"ts_ms\":");
+  line.append(std::to_string(NowMillis()));
+  line.append(",\"level\":");
+  AppendJsonString(&line, LevelName(level));
+  line.append(",\"component\":");
+  AppendJsonString(&line, component);
+  line.append(",\"event\":");
+  AppendJsonString(&line, event);
+  line.append(",\"msg\":");
+  AppendJsonString(&line, message);
+  for (const Field& field : fields) {
+    line.push_back(',');
+    if (IsReservedKey(field.key)) {
+      std::string renamed = "f_";
+      renamed.append(field.key);
+      AppendJsonString(&line, renamed);
+    } else {
+      AppendJsonString(&line, field.key);
+    }
+    line.push_back(':');
+    AppendFieldValueJson(&line, field);
+  }
+  line.append("}\n");
+  return line;
+}
+
+std::string FormatTextLine(Level level, std::string_view component,
+                           std::string_view event, std::string_view message,
+                           std::initializer_list<Field> fields) {
+  std::string line;
+  line.reserve(96);
+  line.push_back('[');
+  std::string_view name = LevelName(level);
+  for (char c : name) {
+    line.push_back(
+        static_cast<char>(c >= 'a' && c <= 'z' ? c - ('a' - 'A') : c));
+  }
+  line.push_back(' ');
+  line.append(component);
+  line.append("] ");
+  line.append(event);
+  line.append(": ");
+  line.append(message);
+  for (const Field& field : fields) {
+    line.push_back(' ');
+    line.append(field.key);
+    line.push_back('=');
+    AppendFieldValueText(&line, field);
+  }
+  line.push_back('\n');
+  return line;
+}
+
+}  // namespace
+
+std::string_view LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void SetLevel(Level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level GetLevel() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+Status OpenJsonFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open log file ", path, ": ",
+                           std::strerror(errno));
+  }
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_json_file != nullptr) std::fclose(g_json_file);
+  g_json_file = file;
+  return Status::OK();
+}
+
+void CloseJsonFile() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_json_file != nullptr) {
+    std::fclose(g_json_file);
+    g_json_file = nullptr;
+  }
+}
+
+bool JsonFileOpen() noexcept {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  return g_json_file != nullptr;
+}
+
+void Emit(Level level, std::string_view component, std::string_view event,
+          std::string_view message, std::initializer_list<Field> fields) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  g_events.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_json_file != nullptr) {
+    std::string line = FormatJsonLine(level, component, event, message, fields);
+    std::fwrite(line.data(), 1, line.size(), g_json_file);
+    std::fflush(g_json_file);
+    // A dying process must leave its last words where an operator looks
+    // first, even when the JSONL sink has claimed the event stream.
+    if (level == Level::kError) {
+      std::string text = FormatTextLine(level, component, event, message, fields);
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
+  } else {
+    std::string line = FormatTextLine(level, component, event, message, fields);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+void EmitLegacy(Level level, std::string_view text, bool always_stderr) {
+  // No threshold check here: the legacy macros apply their own level policy
+  // (common/logging.h SetLogLevel) before constructing the message.
+  g_events.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_json_file != nullptr) {
+    std::string line;
+    line.reserve(text.size() + 64);
+    line.append("{\"ts_ms\":");
+    line.append(std::to_string(NowMillis()));
+    line.append(",\"level\":");
+    AppendJsonString(&line, LevelName(level));
+    line.append(",\"component\":\"legacy\",\"event\":\"legacy\",\"msg\":");
+    AppendJsonString(&line, text);
+    line.append("}\n");
+    std::fwrite(line.data(), 1, line.size(), g_json_file);
+    std::fflush(g_json_file);
+    if (!always_stderr) return;
+  }
+  // The legacy format already carries its own [LEVEL file:line] prefix;
+  // emit it verbatim so existing greps (and CHECK death tests) keep working.
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+uint64_t EventsEmitted() { return g_events.load(std::memory_order_relaxed); }
+
+}  // namespace detective::logs

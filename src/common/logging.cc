@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.h"
+
 namespace detective {
 
 namespace {
@@ -43,9 +45,32 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   }
 }
 
+namespace {
+
+logs::Level ToStructuredLevel(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return logs::Level::kDebug;
+    case LogLevel::kInfo:
+      return logs::Level::kInfo;
+    case LogLevel::kWarning:
+      return logs::Level::kWarn;
+    case LogLevel::kError:
+    case LogLevel::kFatal:
+      return logs::Level::kError;
+  }
+  return logs::Level::kError;
+}
+
+}  // namespace
+
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // Route through the structured sink so stream-style lines land in the
+    // same stream (stderr text or --log-json JSONL) as logs::Emit events.
+    // Fatal lines always hit stderr: CHECK diagnostics precede the abort.
+    logs::EmitLegacy(ToStructuredLevel(level_), stream_.str(),
+                     /*always_stderr=*/level_ == LogLevel::kFatal);
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -302,6 +302,20 @@ size_t Registry::num_timers() {
   return timer_names_.size();
 }
 
+std::vector<std::string> Registry::CounterNames() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names = counter_names_;
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> Registry::TimerNames() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names = timer_names_;
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 void Registry::RegisterShard(Shard* shard) {
   std::lock_guard<std::mutex> lock(mutex_);
   shards_.push_back(shard);

@@ -170,6 +170,12 @@ class Registry {
   size_t num_counters();
   size_t num_timers();
 
+  /// Sorted names of every counter/timer registered so far (instrumentation
+  /// sites register lazily: only names whose code path has executed appear).
+  /// Powers `detective_clean --list-metrics` and the docs drift check.
+  std::vector<std::string> CounterNames();
+  std::vector<std::string> TimerNames();
+
   /// Shard lifecycle hooks — called by the thread-local shard holder, not
   /// meant for direct use. Unregistering folds the shard into retired_.
   void RegisterShard(Shard* shard);

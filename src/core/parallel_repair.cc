@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/match_plan.h"
+#include "obs/progress.h"
 
 namespace detective {
 
@@ -124,6 +125,7 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
         if (chunk * threads / num_chunks != t) {
           ++repairer.engine().stats().chunks_stolen;
           DETECTIVE_COUNT("steal.count");
+          DETECTIVE_PROGRESS(AddSteals(1));
         }
         if (options.provenance != nullptr) {
           repairer.engine().set_provenance(&chunk_logs[chunk]);
@@ -144,6 +146,9 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
             repairer.RepairTuple(&tuple);
           }
           results.push_back(std::move(tuple));
+          // Chased-but-not-yet-committed rows drive the heartbeat: workers
+          // finish rows long before the ordered commit below runs.
+          DETECTIVE_PROGRESS(AddRowsCommitted(1));
         }
       }
       stats[t] = repairer.stats();

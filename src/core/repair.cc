@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "obs/progress.h"
 
 namespace detective {
 
@@ -332,7 +333,10 @@ void BasicRepairer::RepairTuple(Tuple* tuple) {
       fired = true;
       break;
     }
-    if (!fired) return;
+    if (!fired) {
+      DETECTIVE_PROGRESS(NoteRounds(round));
+      return;
+    }
   }
 }
 
@@ -346,6 +350,7 @@ void BasicRepairer::RepairRelation(Relation* relation) {
     Tuple tuple = relation->tuple(row);
     RepairTuple(&tuple);
     relation->CommitRow(row, tuple);
+    DETECTIVE_PROGRESS(AddRowsCommitted(1));
   }
 }
 
@@ -403,7 +408,9 @@ void FastRepairer::RepairTupleImpl(Tuple* tuple, CancelToken* cancel) {
   const std::vector<uint32_t>& components = rule_graph_->ComponentOf();
   size_t round = 0;
   size_t i = 0;
+  size_t block = 0;  // component-block ordinal, reported as the stratum
   while (i < check_order_.size()) {
+    DETECTIVE_PROGRESS(SetStratum(block++));
     // The component block [i, j).
     size_t j = i + 1;
     if (engine_.options().use_rule_order) {
@@ -469,6 +476,7 @@ void FastRepairer::RepairTupleImpl(Tuple* tuple, CancelToken* cancel) {
     }
     i = j;
   }
+  DETECTIVE_PROGRESS(NoteRounds(round));
 }
 
 void FastRepairer::RepairRelation(Relation* relation) {
@@ -481,6 +489,7 @@ void FastRepairer::RepairRelation(Relation* relation) {
     Tuple tuple = relation->tuple(row);
     RepairTuple(&tuple);
     relation->CommitRow(row, tuple);
+    DETECTIVE_PROGRESS(AddRowsCommitted(1));
   }
 }
 
@@ -534,6 +543,7 @@ bool FastRepairer::RepairTupleGuarded(size_t row, Deadline run_deadline,
   record.detail = token.detail();
   ++engine_.stats().tuples_quarantined;
   DETECTIVE_COUNT("quarantine.tuples");
+  DETECTIVE_PROGRESS(AddQuarantined(1));
   DETECTIVE_TRACE_INSTANT("quarantine.tuple");
   if (quarantine != nullptr) quarantine->Add(std::move(record));
   return false;
@@ -554,6 +564,9 @@ void FastRepairer::RepairRelationGuarded(Relation* relation,
     if (RepairTupleGuarded(row, run_deadline, &tuple, &ledger)) {
       relation->CommitRow(row, tuple);
     }
+    // Quarantined rows count too: the heartbeat reports rows *finalized*
+    // (committed or rolled back), so it reaches rows_total even on chaos runs.
+    DETECTIVE_PROGRESS(AddRowsCommitted(1));
   }
   BreakerFixpoint(*this, relation, run_deadline, &ledger);
   ledger.Canonicalize();

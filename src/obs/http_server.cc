@@ -1,0 +1,346 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+#include "common/metrics.h"
+
+namespace detective::obs {
+
+namespace {
+
+/// Closes `fd` if valid and resets it to -1.
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+/// Blocking send() of the whole buffer; false when the peer is gone.
+/// MSG_NOSIGNAL: a reset connection must surface as EPIPE, not SIGPIPE.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Parses the request line "METHOD SP TARGET SP HTTP/x.y"; false on any
+/// deviation (the caller answers 400).
+bool ParseRequestLine(std::string_view line, HttpRequest* request) {
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return false;
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return false;
+  request->method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t question = target.find('?');
+  if (question == std::string_view::npos) {
+    request->path = std::string(target);
+    request->query.clear();
+  } else {
+    request->path = std::string(target.substr(0, question));
+    request->query = std::string(target.substr(question + 1));
+  }
+  return true;
+}
+
+/// Case-insensitive ASCII comparison for header names/tokens.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+/// Scans the header block for "Connection: close" and for a message body
+/// announcement (Content-Length/Transfer-Encoding). Bodies on GETs are not
+/// supported: rather than desync the keep-alive framing, the connection is
+/// closed after the response.
+void ScanHeaders(std::string_view headers, bool* connection_close,
+                 bool* has_body) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    std::string_view line = headers.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    if (EqualsIgnoreCase(name, "connection") && EqualsIgnoreCase(value, "close")) {
+      *connection_close = true;
+    } else if (EqualsIgnoreCase(name, "content-length")) {
+      if (value != "0") *has_body = true;
+    } else if (EqualsIgnoreCase(name, "transfer-encoding")) {
+      *has_body = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(HttpServerOptions options) : options_(options) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("introspection server already running on port ",
+                                 port_.load());
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket(): ", std::strerror(errno));
+  }
+  // Loopback only: introspection is a local operator surface, never exposed
+  // off-host. SO_REUSEADDR lets a restarted run rebind the same port while
+  // the previous socket lingers in TIME_WAIT.
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IOError("bind(127.0.0.1:", options_.port,
+                                    "): ", std::strerror(errno));
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status status = Status::IOError("listen(): ", std::strerror(errno));
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  // Resolve the ephemeral port before the caller can ask for it.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    Status status = Status::IOError("getsockname(): ", std::strerror(errno));
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    Status status = Status::IOError("pipe(): ", std::strerror(errno));
+    CloseFd(&listen_fd_);
+    return status;
+  }
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+  requests_served_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  // Wake the poll(); the byte's value is irrelevant.
+  char byte = 'q';
+  [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  CloseFd(&listen_fd_);
+  CloseFd(&wake_pipe_[0]);
+  CloseFd(&wake_pipe_[1]);
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      DETECTIVE_LOG_EVERY_N(64, logs::Level::kWarn, "obs", "accept_poll_failed",
+                            "introspection poll() failed",
+                            {"error", std::strerror(errno)});
+      break;
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      DETECTIVE_LOG_EVERY_N(64, logs::Level::kWarn, "obs", "accept_failed",
+                            "introspection accept() failed",
+                            {"error", std::strerror(errno)});
+      continue;
+    }
+    DETECTIVE_COUNT("obs.http.connections");
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Cap how long one read may stall; a trickling or half-sent request is
+  // dropped rather than pinning the accept thread.
+  timeval timeout{};
+  timeout.tv_sec = static_cast<time_t>(options_.read_timeout_ms / 1000);
+  timeout.tv_usec =
+      static_cast<suseconds_t>((options_.read_timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buffer;
+  size_t served = 0;
+  while (served < options_.max_requests_per_connection &&
+         !stop_requested_.load(std::memory_order_acquire)) {
+    // Read until one full request head is buffered. Pipelined requests can
+    // already be waiting in `buffer` from the previous read.
+    size_t head_end;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (buffer.size() > options_.max_request_bytes) {
+        DETECTIVE_COUNT("obs.http.oversized");
+        SendResponse(fd, HttpRequest{},
+                     HttpResponse{431, "text/plain; charset=utf-8",
+                                  "request too large\n", {}},
+                     /*close_connection=*/true);
+        return;
+      }
+      char chunk[2048];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n == 0) return;  // clean client close between requests
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // Timeout (EAGAIN/EWOULDBLOCK) on a half-sent request, or a reset:
+        // drop the connection. A 408 would race the client's own teardown.
+        DETECTIVE_COUNT("obs.http.read_timeouts");
+        return;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    // The cap applies to complete heads too, not just ones still streaming
+    // in — a single recv() can deliver the whole oversized head at once.
+    if (head_end > options_.max_request_bytes) {
+      DETECTIVE_COUNT("obs.http.oversized");
+      SendResponse(fd, HttpRequest{},
+                   HttpResponse{431, "text/plain; charset=utf-8",
+                                "request too large\n", {}},
+                   /*close_connection=*/true);
+      return;
+    }
+
+    std::string head = buffer.substr(0, head_end);
+    buffer.erase(0, head_end + 4);
+    ++served;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    DETECTIVE_COUNT("obs.http.requests");
+
+    size_t line_end = head.find("\r\n");
+    std::string_view request_line =
+        std::string_view(head).substr(0, line_end);  // npos → whole head
+    std::string_view headers =
+        line_end == std::string::npos
+            ? std::string_view()
+            : std::string_view(head).substr(line_end + 2);
+    bool connection_close = false;
+    bool has_body = false;
+    ScanHeaders(headers, &connection_close, &has_body);
+
+    HttpRequest request;
+    HttpResponse response;
+    if (!ParseRequestLine(request_line, &request)) {
+      DETECTIVE_COUNT("obs.http.bad_requests");
+      SendResponse(fd, request,
+                   HttpResponse{400, "text/plain; charset=utf-8",
+                                "malformed request line\n", {}},
+                   /*close_connection=*/true);
+      return;
+    }
+    // A body would desync the pipelined framing below; answer, then close.
+    if (has_body) connection_close = true;
+
+    if (request.method != "GET") {
+      DETECTIVE_COUNT("obs.http.bad_methods");
+      response = HttpResponse{405, "text/plain; charset=utf-8",
+                              "only GET is supported\n", "Allow: GET\r\n"};
+    } else {
+      auto it = handlers_.find(request.path);
+      if (it == handlers_.end()) {
+        DETECTIVE_COUNT("obs.http.not_found");
+        response = HttpResponse{404, "text/plain; charset=utf-8",
+                                "unknown path: " + request.path + "\n", {}};
+      } else {
+        response = it->second(request);
+      }
+    }
+    const bool last = connection_close ||
+                      served >= options_.max_requests_per_connection;
+    if (!SendResponse(fd, request, response, last) || last) return;
+  }
+}
+
+bool HttpServer::SendResponse(int fd, const HttpRequest& request,
+                              const HttpResponse& response,
+                              bool close_connection) {
+  (void)request;
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(HttpStatusReason(response.status)) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                     "\r\nConnection: " +
+                     (close_connection ? "close" : "keep-alive") + "\r\n" +
+                     response.extra_headers + "\r\n";
+  if (!SendAll(fd, head)) return false;
+  return SendAll(fd, response.body);
+}
+
+}  // namespace detective::obs

@@ -1,0 +1,128 @@
+#ifndef DETECTIVE_OBS_HTTP_SERVER_H_
+#define DETECTIVE_OBS_HTTP_SERVER_H_
+
+// Minimal embedded HTTP/1.1 server for live introspection — a blocking
+// accept loop on one background thread over raw POSIX sockets, no
+// dependencies (the lyphs srv.c shape, C++-ified). It exists to serve the
+// read-only introspection endpoints of obs/introspect.h while a cleaning
+// run executes; it is NOT a general web server.
+//
+// Design constraints, in order:
+//   1. The observed process must be unperturbed. Handlers run on the
+//      server's own thread and only ever *read* shared state (metric
+//      snapshots, progress atomics, trace rings); nothing on the repair hot
+//      path blocks on, allocates for, or synchronizes with the server.
+//   2. Hostile/broken clients must not wedge the run. Requests are capped at
+//      `max_request_bytes` (431 beyond it), reads time out after
+//      `read_timeout_ms` (the connection is dropped), and one connection is
+//      served at a time — introspection traffic is one curl or one poller,
+//      not a fleet.
+//   3. Shutdown is deterministic. Stop() wakes the accept loop through a
+//      self-pipe, closes the listening socket, joins the thread, and is
+//      idempotent; the destructor calls it.
+//
+// Protocol surface: GET only (anything else → 405 with Allow: GET), paths
+// are dispatched exactly (no prefixes; unknown → 404), keep-alive and
+// pipelined requests are honored, query strings are parsed off the path and
+// passed to the handler. Responses always carry Content-Length and
+// Connection headers.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace detective::obs {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;   // request target without the query string
+  std::string query;  // bytes after '?', empty when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra header lines, each "Name: value\r\n" (e.g. "Allow: GET\r\n").
+  std::string extra_headers;
+};
+
+/// Standard reason phrase for the status codes this server emits.
+std::string_view HttpStatusReason(int status);
+
+struct HttpServerOptions {
+  /// Port to bind on 127.0.0.1 (introspection is loopback-only by design);
+  /// 0 picks an ephemeral port, reported by port() after Start().
+  uint16_t port = 0;
+  /// Hard cap on the bytes of one request head; longer → 431 + close.
+  size_t max_request_bytes = 8192;
+  /// A connection idle (or trickling) longer than this mid-request is
+  /// dropped — a partial request must not pin the server forever.
+  uint64_t read_timeout_ms = 2000;
+  /// Keep-alive budget: after this many requests the connection closes.
+  size_t max_requests_per_connection = 1024;
+};
+
+/// The server. Register handlers, Start(), Stop() (or destroy).
+/// Handlers must be registered before Start() and are immutable afterwards —
+/// the accept thread reads the table unlocked.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (e.g. "/healthz").
+  void Handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:port, starts listening, and spawns the accept thread.
+  /// A port already in use (or any other bind/listen failure) returns an
+  /// IOError and leaves the server stopped.
+  Status Start();
+
+  /// Stops accepting, closes the listening socket, and joins the accept
+  /// thread. Idempotent; safe to call on a never-started server.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves port 0 requests); 0 before Start().
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Requests served since Start() (any status), for tests and metrics.
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Formats and sends one response; returns false when the client is gone.
+  bool SendResponse(int fd, const HttpRequest& request,
+                    const HttpResponse& response, bool close_connection);
+
+  HttpServerOptions options_;
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint16_t> port_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll()
+  std::thread thread_;
+  std::mutex lifecycle_mutex_;  // serializes Start/Stop
+};
+
+}  // namespace detective::obs
+
+#endif  // DETECTIVE_OBS_HTTP_SERVER_H_

@@ -1,0 +1,57 @@
+#include "obs/introspect.h"
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "obs/openmetrics.h"
+#include "obs/progress.h"
+
+namespace detective::obs {
+
+bool ShouldDisableUnderFaultPlan() {
+#if DETECTIVE_FAULT_ENABLED
+  if (!fault::Injector::Global().armed()) return false;
+  fault::FaultPlan plan = fault::Injector::Global().plan();
+  for (const fault::FaultClause& clause : plan.clauses) {
+    if (fault::GlobMatch(clause.site_glob, kObsFaultSite)) return true;
+  }
+#endif
+  return false;
+}
+
+IntrospectServer::IntrospectServer(IntrospectOptions options)
+    : server_(HttpServerOptions{.port = options.port}) {
+  server_.Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
+  });
+  server_.Handle("/metrics", [](const HttpRequest&) {
+    // Non-destructive snapshot: a scrape must never steal the deltas the
+    // end-of-run --metrics-json report (or a second scraper) will read.
+    return HttpResponse{
+        200, kOpenMetricsContentType,
+        RenderOpenMetrics(metrics::Registry::Global().Snapshot()), {}};
+  });
+  server_.Handle("/metrics.json", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json",
+                        metrics::Registry::Global().Snapshot().ToJson(), {}};
+  });
+  server_.Handle("/progress", [](const HttpRequest&) {
+    return HttpResponse{200, "application/json",
+                        ProgressTracker::Global().ToJson(), {}};
+  });
+  server_.Handle("/trace", [](const HttpRequest&) {
+    // Collect() merges the rings without stopping the recorder; a mid-run
+    // poll sees the timeline so far.
+    return HttpResponse{
+        200, "application/json",
+        trace::ToChromeTraceJson(trace::Registry::Global().Collect()), {}};
+  });
+}
+
+IntrospectServer::~IntrospectServer() { Stop(); }
+
+Status IntrospectServer::Start() { return server_.Start(); }
+
+void IntrospectServer::Stop() { server_.Stop(); }
+
+}  // namespace detective::obs

@@ -1,0 +1,72 @@
+#ifndef DETECTIVE_OBS_INTROSPECT_H_
+#define DETECTIVE_OBS_INTROSPECT_H_
+
+// The live introspection surface: binds the read-only observability
+// endpoints onto an embedded HttpServer. This is what
+// `detective_clean --introspect=PORT` starts, and the first slice of the
+// ROADMAP's `detective_serve`.
+//
+// Endpoints (all GET, all loopback-only):
+//   /healthz       "ok\n" — liveness probe
+//   /metrics       OpenMetrics text exposition (obs/openmetrics.h) of a
+//                  non-destructive Registry::Snapshot()
+//   /metrics.json  the same snapshot as the --metrics-json JSON schema
+//   /progress      ProgressTracker::Global().ToJson() heartbeat
+//   /trace         the trace ring so far as Chrome trace-event JSON
+//
+// Every handler only *reads* shared state (registry snapshot under the
+// registry mutex on the server thread, progress atomics, trace rings), so
+// repaired output is byte-identical with the server on or off.
+//
+// Fault-plan interaction: chaos runs must be able to keep their blast
+// radius away from the observer. When the armed fault plan has a clause
+// whose site glob matches "obs.serve" (so `obs.*`, `obs.serve`, or a bare
+// `*`), ShouldDisableUnderFaultPlan() reports true and the CLI skips
+// starting the server instead of serving fault-distorted answers. Plans
+// that target only pipeline sites (kb.*, repair.*, ...) leave introspection
+// fully live — observing a chaos run is the point.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "obs/http_server.h"
+
+namespace detective::obs {
+
+/// The fault-probe site name the self-disable check matches plans against.
+inline constexpr char kObsFaultSite[] = "obs.serve";
+
+/// True when an armed fault plan targets the introspection subsystem
+/// (any clause glob matching kObsFaultSite). False when disarmed or when
+/// the fault framework is compiled out.
+bool ShouldDisableUnderFaultPlan();
+
+struct IntrospectOptions {
+  /// Port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+};
+
+/// Owns an HttpServer with the introspection handlers registered.
+class IntrospectServer {
+ public:
+  explicit IntrospectServer(IntrospectOptions options = {});
+  ~IntrospectServer();
+
+  /// Starts serving. IOError on bind failure (e.g. port in use).
+  Status Start();
+
+  /// Stops and joins the server thread; idempotent.
+  void Stop();
+
+  bool running() const { return server_.running(); }
+  uint16_t port() const { return server_.port(); }
+  uint64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  HttpServer server_;
+};
+
+}  // namespace detective::obs
+
+#endif  // DETECTIVE_OBS_INTROSPECT_H_

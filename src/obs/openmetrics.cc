@@ -1,0 +1,85 @@
+#include "obs/openmetrics.h"
+
+#include <cstdio>
+
+namespace detective::obs {
+
+namespace {
+
+/// Shortest-round-trip decimal for a seconds value; OpenMetrics floats must
+/// not use locale-dependent formatting, and %g never emits a comma.
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", seconds);
+  return std::string(buf);
+}
+
+void AppendCounter(std::string* out, const std::string& name, uint64_t value) {
+  std::string family = OpenMetricsName(name);
+  out->append("# HELP ").append(family).append(
+      " Monotonic event counter (registry name: ");
+  out->append(name).append(")\n");
+  out->append("# TYPE ").append(family).append(" counter\n");
+  out->append(family).append("_total ").append(std::to_string(value));
+  out->push_back('\n');
+}
+
+void AppendTimer(std::string* out, const std::string& name,
+                 const metrics::MetricsSnapshot::Timer& timer) {
+  std::string family = OpenMetricsName(name) + "_seconds";
+  out->append("# HELP ").append(family).append(
+      " Wall-clock scope duration histogram (registry name: ");
+  out->append(name).append(")\n");
+  out->append("# TYPE ").append(family).append(" histogram\n");
+  out->append("# UNIT ").append(family).append(" seconds\n");
+
+  // Buckets are cumulative per OpenMetrics; the registry's are per-bucket
+  // log2 counts in nanoseconds, so re-base while converting the upper
+  // bounds to seconds. The final registry bucket is the overflow bucket —
+  // it has no meaningful finite bound and folds into le="+Inf".
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b + 1 < metrics::kNumHistogramBuckets; ++b) {
+    cumulative += timer.buckets[b];
+    double le = static_cast<double>(metrics::HistogramBucketUpperNs(b)) / 1e9;
+    out->append(family).append("_bucket{le=\"").append(FormatSeconds(le));
+    out->append("\"} ").append(std::to_string(cumulative));
+    out->push_back('\n');
+  }
+  out->append(family).append("_bucket{le=\"+Inf\"} ");
+  out->append(std::to_string(timer.count));
+  out->push_back('\n');
+  out->append(family).append("_sum ");
+  out->append(FormatSeconds(static_cast<double>(timer.total_ns) / 1e9));
+  out->push_back('\n');
+  out->append(family).append("_count ").append(std::to_string(timer.count));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string OpenMetricsName(std::string_view name) {
+  std::string out = "detective_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderOpenMetrics(const metrics::MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024 + snapshot.counters.size() * 96 +
+              snapshot.timers.size() * 64 * metrics::kNumHistogramBuckets);
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendCounter(&out, name, value);
+  }
+  for (const auto& [name, timer] : snapshot.timers) {
+    AppendTimer(&out, name, timer);
+  }
+  out.append("# EOF\n");
+  return out;
+}
+
+}  // namespace detective::obs

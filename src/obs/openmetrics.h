@@ -1,0 +1,39 @@
+#ifndef DETECTIVE_OBS_OPENMETRICS_H_
+#define DETECTIVE_OBS_OPENMETRICS_H_
+
+// OpenMetrics text exposition of a MetricsSnapshot — what `GET /metrics`
+// serves and what Prometheus-compatible scrapers ingest.
+//
+// Mapping (validated by tools/check_openmetrics.py):
+//   * every registry counter `a.b.c` becomes the counter family
+//     `detective_a_b_c` (dots → underscores), exposed as the single sample
+//     `detective_a_b_c_total`;
+//   * every registry timer becomes the histogram family
+//     `detective_<name>_seconds`: the 48 log2 nanosecond buckets are
+//     re-based to cumulative per-second `_bucket{le="..."}` samples (the
+//     overflow bucket folds into le="+Inf"), `_sum` is total_ns in seconds,
+//     `_count` the number of timed scopes;
+//   * families are emitted in sorted-name order, each preceded by its
+//     `# HELP`/`# TYPE` (and `# UNIT` for histograms) lines, and the
+//     document ends with the mandatory `# EOF` terminator.
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace detective::obs {
+
+/// Content-Type for the exposition format.
+inline constexpr char kOpenMetricsContentType[] =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Renders `snapshot` as an OpenMetrics text document.
+std::string RenderOpenMetrics(const metrics::MetricsSnapshot& snapshot);
+
+/// "detective_" + name with every '.' (and any other non [a-zA-Z0-9_:]
+/// byte) replaced by '_' — the exposition-safe family name.
+std::string OpenMetricsName(std::string_view name);
+
+}  // namespace detective::obs
+
+#endif  // DETECTIVE_OBS_OPENMETRICS_H_

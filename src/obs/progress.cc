@@ -1,0 +1,134 @@
+#include "obs/progress.h"
+
+#include <chrono>
+
+namespace detective::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kIdle:
+      return "idle";
+    case Phase::kLoad:
+      return "load";
+    case Phase::kIndex:
+      return "index";
+    case Phase::kRepair:
+      return "repair";
+    case Phase::kWrite:
+      return "write";
+    case Phase::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+ProgressTracker& ProgressTracker::Global() {
+  static ProgressTracker* tracker = new ProgressTracker();
+  return *tracker;
+}
+
+void ProgressTracker::BeginRun(uint64_t rows_total, uint64_t deadline_ms) {
+  phase_.store(static_cast<int>(Phase::kLoad), std::memory_order_relaxed);
+  rows_total_.store(rows_total, std::memory_order_relaxed);
+  rows_committed_.store(0, std::memory_order_relaxed);
+  rounds_.store(0, std::memory_order_relaxed);
+  stratum_.store(0, std::memory_order_relaxed);
+  strata_total_.store(0, std::memory_order_relaxed);
+  steals_.store(0, std::memory_order_relaxed);
+  quarantined_.store(0, std::memory_order_relaxed);
+  deadline_ms_.store(deadline_ms, std::memory_order_relaxed);
+  frozen_elapsed_ms_.store(0, std::memory_order_relaxed);
+  start_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+}
+
+void ProgressTracker::EndRun() {
+  int64_t start = start_ns_.load(std::memory_order_relaxed);
+  uint64_t elapsed_ms =
+      start == 0 ? 0
+                 : static_cast<uint64_t>(SteadyNowNs() - start) / 1000000u;
+  frozen_elapsed_ms_.store(elapsed_ms, std::memory_order_relaxed);
+  phase_.store(static_cast<int>(Phase::kDone), std::memory_order_relaxed);
+  runs_completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressTracker::SetPhase(Phase phase) {
+  phase_.store(static_cast<int>(phase), std::memory_order_relaxed);
+}
+
+void ProgressTracker::SetRowsTotal(uint64_t rows_total) {
+  rows_total_.store(rows_total, std::memory_order_relaxed);
+}
+
+void ProgressTracker::SetStrataTotal(uint64_t strata_total) {
+  strata_total_.store(strata_total, std::memory_order_relaxed);
+}
+
+void ProgressTracker::SetStratum(uint64_t stratum) {
+  stratum_.store(stratum, std::memory_order_relaxed);
+}
+
+void ProgressTracker::NoteRounds(uint64_t rounds) {
+  // fetch_max is C++26; emulate with a CAS loop (contention is negligible —
+  // the value changes a handful of times per run).
+  uint64_t current = rounds_.load(std::memory_order_relaxed);
+  while (rounds > current &&
+         !rounds_.compare_exchange_weak(current, rounds,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+ProgressSample ProgressTracker::Sample() const {
+  ProgressSample sample;
+  sample.phase =
+      static_cast<Phase>(phase_.load(std::memory_order_relaxed));
+  sample.rows_total = rows_total_.load(std::memory_order_relaxed);
+  sample.rows_committed = rows_committed_.load(std::memory_order_relaxed);
+  sample.rounds = rounds_.load(std::memory_order_relaxed);
+  sample.stratum = stratum_.load(std::memory_order_relaxed);
+  sample.strata_total = strata_total_.load(std::memory_order_relaxed);
+  sample.steals = steals_.load(std::memory_order_relaxed);
+  sample.quarantined = quarantined_.load(std::memory_order_relaxed);
+  sample.deadline_ms = deadline_ms_.load(std::memory_order_relaxed);
+  sample.runs_completed = runs_completed_.load(std::memory_order_relaxed);
+  if (sample.phase == Phase::kDone) {
+    sample.elapsed_ms = frozen_elapsed_ms_.load(std::memory_order_relaxed);
+  } else {
+    int64_t start = start_ns_.load(std::memory_order_relaxed);
+    sample.elapsed_ms =
+        start == 0 ? 0
+                   : static_cast<uint64_t>(SteadyNowNs() - start) / 1000000u;
+  }
+  return sample;
+}
+
+std::string ProgressTracker::ToJson() const {
+  ProgressSample s = Sample();
+  std::string out;
+  out.reserve(256);
+  out.append("{\"phase\":\"").append(PhaseName(s.phase)).append("\"");
+  out.append(",\"rows_total\":").append(std::to_string(s.rows_total));
+  out.append(",\"rows_committed\":").append(std::to_string(s.rows_committed));
+  out.append(",\"rounds\":").append(std::to_string(s.rounds));
+  out.append(",\"stratum\":").append(std::to_string(s.stratum));
+  out.append(",\"strata_total\":").append(std::to_string(s.strata_total));
+  out.append(",\"steals\":").append(std::to_string(s.steals));
+  out.append(",\"quarantined\":").append(std::to_string(s.quarantined));
+  out.append(",\"elapsed_ms\":").append(std::to_string(s.elapsed_ms));
+  out.append(",\"deadline_ms\":").append(std::to_string(s.deadline_ms));
+  out.append(",\"runs_completed\":").append(std::to_string(s.runs_completed));
+  out.append(",\"done\":").append(s.phase == Phase::kDone ? "true" : "false");
+  out.append("}");
+  return out;
+}
+
+}  // namespace detective::obs

@@ -1,0 +1,134 @@
+#ifndef DETECTIVE_OBS_PROGRESS_H_
+#define DETECTIVE_OBS_PROGRESS_H_
+
+// Live run progress — the answer to "is it stuck?" for a long cleaning run,
+// served by GET /progress while repair executes.
+//
+// The tracker is a bundle of relaxed atomics. Workers (FastRepairer rows,
+// ParallelRepair's committer, the quarantine path) update individual fields
+// with single relaxed stores/adds — no locks, no allocation, nothing a
+// repair hot loop can contend on. The introspection thread samples the
+// fields lock-free at serve time; a sample is therefore only *per-field*
+// consistent (rows_committed may be one ahead of rounds), which is exactly
+// the fidelity a heartbeat needs.
+//
+// Progress updates are observability, not semantics: they never feed back
+// into repair decisions, so repaired output is byte-identical whether a
+// tracker is being sampled or not.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace detective::obs {
+
+/// Coarse pipeline position, in execution order.
+enum class Phase : int {
+  kIdle = 0,
+  kLoad = 1,
+  kIndex = 2,
+  kRepair = 3,
+  kWrite = 4,
+  kDone = 5,
+};
+
+/// Stable wire name ("idle" | "load" | "index" | "repair" | "write" | "done").
+std::string_view PhaseName(Phase phase);
+
+/// One lock-free sample of the tracker (plain values, safe to copy).
+struct ProgressSample {
+  Phase phase = Phase::kIdle;
+  uint64_t rows_total = 0;
+  uint64_t rows_committed = 0;
+  uint64_t rounds = 0;           // highest chase round observed on any tuple
+  uint64_t stratum = 0;          // current stratum (0-based) when stratified
+  uint64_t strata_total = 0;     // 0 when the run is not stratified
+  uint64_t steals = 0;           // ParallelRepair work-stealing events
+  uint64_t quarantined = 0;      // tuples diverted to the quarantine log
+  uint64_t elapsed_ms = 0;       // since BeginRun()
+  uint64_t deadline_ms = 0;      // configured budget; 0 = none
+  uint64_t runs_completed = 0;   // EndRun() count (a process can clean twice)
+};
+
+/// The process-wide tracker. All methods are thread-safe; the mutating ones
+/// are single relaxed atomic operations.
+class ProgressTracker {
+ public:
+  static ProgressTracker& Global();
+
+  /// Resets every field and anchors the elapsed clock. `deadline_ms` is the
+  /// run's wall-clock budget (0 = unbounded), echoed into samples so a
+  /// dashboard can show elapsed-vs-deadline.
+  void BeginRun(uint64_t rows_total, uint64_t deadline_ms);
+
+  /// Marks the run finished (phase → done) and freezes elapsed_ms.
+  void EndRun();
+
+  void SetPhase(Phase phase);
+  void SetRowsTotal(uint64_t rows_total);
+  void SetStrataTotal(uint64_t strata_total);
+  void SetStratum(uint64_t stratum);
+
+  void AddRowsCommitted(uint64_t n) {
+    rows_committed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Rounds are reported as a high-water mark across tuples/workers.
+  void NoteRounds(uint64_t rounds);
+  void AddSteals(uint64_t n) {
+    steals_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddQuarantined(uint64_t n) {
+    quarantined_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Lock-free point-in-time sample (per-field consistency only).
+  ProgressSample Sample() const;
+
+  /// The /progress JSON document:
+  ///   {"phase":"repair","rows_total":2000,"rows_committed":640,
+  ///    "rounds":3,"stratum":1,"strata_total":2,"steals":4,
+  ///    "quarantined":0,"elapsed_ms":152,"deadline_ms":0,
+  ///    "runs_completed":0,"done":false}
+  std::string ToJson() const;
+
+ private:
+  ProgressTracker() = default;
+
+  std::atomic<int> phase_{static_cast<int>(Phase::kIdle)};
+  std::atomic<uint64_t> rows_total_{0};
+  std::atomic<uint64_t> rows_committed_{0};
+  std::atomic<uint64_t> rounds_{0};
+  std::atomic<uint64_t> stratum_{0};
+  std::atomic<uint64_t> strata_total_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> quarantined_{0};
+  std::atomic<uint64_t> deadline_ms_{0};
+  std::atomic<int64_t> start_ns_{0};      // steady-clock anchor of BeginRun()
+  std::atomic<uint64_t> frozen_elapsed_ms_{0};  // valid once done
+  std::atomic<uint64_t> runs_completed_{0};
+};
+
+}  // namespace detective::obs
+
+#ifndef DETECTIVE_METRICS_ENABLED
+#define DETECTIVE_METRICS_ENABLED 1
+#endif
+
+/// Progress update at an instrumentation site, e.g.
+/// DETECTIVE_PROGRESS(AddRowsCommitted(1)). Compiles out with the rest of
+/// the observability macros under DETECTIVE_METRICS=OFF; the tracker class
+/// itself stays available either way so tools and tests always link.
+#if DETECTIVE_METRICS_ENABLED
+#define DETECTIVE_PROGRESS(call) \
+  (::detective::obs::ProgressTracker::Global().call)
+#else
+// Dead-branch form so variables referenced only at instrumentation sites
+// (e.g. a loop's stratum ordinal) don't become unused under -Werror.
+#define DETECTIVE_PROGRESS(call)                                     \
+  do {                                                               \
+    if (false) (::detective::obs::ProgressTracker::Global().call);   \
+  } while (0)
+#endif
+
+#endif  // DETECTIVE_OBS_PROGRESS_H_

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/http_server.h"
+
 namespace detective {
 namespace {
 
@@ -147,6 +149,22 @@ TEST(CleanExitCodes, UsageErrorsAreSixtyFour) {
   EXPECT_EQ(ExitCode(CleanCommand("--algorithm=basic --max-rule-failures=1")),
             64);
   EXPECT_EQ(ExitCode(CleanCommand("--stratify=always")), 64);
+}
+
+TEST(CleanExitCodes, IntrospectPortInUseIsUsageError) {
+  // Occupy a loopback port, then ask the CLI to introspect on it: binding
+  // fails before any cleaning starts, which is a usage error by contract.
+  obs::HttpServer squatter;
+  ASSERT_TRUE(squatter.Start().ok());
+  std::string cmd = CleanCommand("--introspect=" +
+                                 std::to_string(squatter.port()));
+  EXPECT_EQ(ExitCode(cmd), 64);
+  squatter.Stop();
+  // Bad port values are usage errors too.
+  EXPECT_EQ(ExitCode(CleanCommand("--introspect=99999")), 64);
+  EXPECT_EQ(ExitCode(CleanCommand("--introspect=soon")), 64);
+  // An ephemeral-port run succeeds and still cleans.
+  EXPECT_EQ(ExitCode(CleanCommand("--introspect=0")), 0);
 }
 
 TEST(CleanExitCodes, StratifyContract) {

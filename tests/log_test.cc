@@ -1,0 +1,201 @@
+// Tests for common/log: the structured JSONL sink, reserved-key collision
+// handling, level thresholds, rate-limited macros, and the legacy bridge
+// from common/logging.h.
+
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace detective::logs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Every test restores the global sink + threshold it touched.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "log_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
+    SetLevel(Level::kInfo);
+  }
+  void TearDown() override {
+    CloseJsonFile();
+    SetLevel(Level::kInfo);
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(LogTest, JsonlLineCarriesSchemaAndTypedFields) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  ASSERT_TRUE(JsonFileOpen());
+  Info("clean", "kb_loaded", "knowledge base ready",
+       {{"path", "fig1.nt"},
+        {"labels", uint64_t{12}},
+        {"depth", -3},
+        {"ratio", 0.5},
+        {"frozen", true}});
+  CloseJsonFile();
+  EXPECT_FALSE(JsonFileOpen());
+
+  std::vector<std::string> lines = Lines(ReadFile(path_));
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"component\":\"clean\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"kb_loaded\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"knowledge base ready\""), std::string::npos);
+  EXPECT_NE(line.find("\"path\":\"fig1.nt\""), std::string::npos);
+  EXPECT_NE(line.find("\"labels\":12"), std::string::npos);
+  EXPECT_NE(line.find("\"depth\":-3"), std::string::npos);
+  EXPECT_NE(line.find("\"ratio\":0.5"), std::string::npos);
+  EXPECT_NE(line.find("\"frozen\":true"), std::string::npos);
+}
+
+TEST_F(LogTest, ReservedFieldKeysGetPrefixed) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  Warn("obs", "collision", "reserved keys renamed",
+       {{"level", "sneaky"}, {"msg", "also sneaky"}, {"row", 7}});
+  CloseJsonFile();
+  std::string line = ReadFile(path_);
+  EXPECT_NE(line.find("\"f_level\":\"sneaky\""), std::string::npos);
+  EXPECT_NE(line.find("\"f_msg\":\"also sneaky\""), std::string::npos);
+  EXPECT_NE(line.find("\"row\":7"), std::string::npos);
+  // The real schema keys are still present exactly once each.
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+}
+
+TEST_F(LogTest, StringsAreJsonEscaped) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  Info("clean", "escapes", "quote \" slash \\ newline \n tab \t",
+       {{"value", std::string_view("ctrl \x01 done")}});
+  CloseJsonFile();
+  std::string text = ReadFile(path_);
+  EXPECT_NE(text.find("quote \\\" slash \\\\ newline \\n tab \\t"),
+            std::string::npos);
+  EXPECT_NE(text.find("ctrl \\u0001 done"), std::string::npos);
+  // Still a single physical line despite the embedded newline.
+  EXPECT_EQ(Lines(text).size(), 1u);
+}
+
+TEST_F(LogTest, ThresholdSuppressesBelowLevel) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  SetLevel(Level::kWarn);
+  uint64_t before = EventsEmitted();
+  Debug("clean", "hidden", "below threshold");
+  Info("clean", "hidden", "below threshold");
+  Warn("clean", "visible", "at threshold");
+  EXPECT_EQ(EventsEmitted(), before + 1);
+  SetLevel(Level::kDebug);
+  Debug("clean", "visible_now", "threshold lowered");
+  EXPECT_EQ(EventsEmitted(), before + 2);
+  CloseJsonFile();
+  std::vector<std::string> lines = Lines(ReadFile(path_));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\":\"visible\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"visible_now\""), std::string::npos);
+}
+
+TEST_F(LogTest, LogOnceFiresExactlyOncePerSite) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  uint64_t before = EventsEmitted();
+  for (int i = 0; i < 100; ++i) {
+    DETECTIVE_WARN_ONCE("obs", "once", "should appear a single time");
+  }
+  EXPECT_EQ(EventsEmitted(), before + 1);
+  CloseJsonFile();
+  EXPECT_EQ(Lines(ReadFile(path_)).size(), 1u);
+}
+
+TEST_F(LogTest, LogEveryNFiresOnTheModulus) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  uint64_t before = EventsEmitted();
+  for (int i = 0; i < 100; ++i) {
+    DETECTIVE_LOG_EVERY_N(10, Level::kWarn, "obs", "sampled",
+                          "1st, 11th, 21st...", {"i", i});
+  }
+  EXPECT_EQ(EventsEmitted(), before + 10);
+  CloseJsonFile();
+  std::vector<std::string> lines = Lines(ReadFile(path_));
+  ASSERT_EQ(lines.size(), 10u);
+  EXPECT_NE(lines[0].find("\"i\":0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"i\":10"), std::string::npos);
+}
+
+TEST_F(LogTest, LegacyStreamMacrosLandInTheJsonlSink) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  LOG_WARNING() << "legacy warning via stream macro";
+  CloseJsonFile();
+  std::string text = ReadFile(path_);
+  EXPECT_NE(text.find("\"component\":\"legacy\""), std::string::npos);
+  EXPECT_NE(text.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(text.find("legacy warning via stream macro"), std::string::npos);
+}
+
+TEST_F(LogTest, LegacyDebugRespectsLegacyThresholdNotLogsThreshold) {
+  // logging.h's own SetLogLevel gates LOG_DEBUG; the logs:: threshold must
+  // not double-filter (it stays at kInfo here).
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  SetLogLevel(LogLevel::kDebug);
+  LOG_DEBUG() << "legacy debug line";
+  SetLogLevel(LogLevel::kInfo);
+  LOG_DEBUG() << "suppressed by legacy threshold";
+  CloseJsonFile();
+  std::string text = ReadFile(path_);
+  EXPECT_NE(text.find("legacy debug line"), std::string::npos);
+  EXPECT_EQ(text.find("suppressed by legacy threshold"), std::string::npos);
+}
+
+TEST_F(LogTest, ReopeningTruncates) {
+  ASSERT_TRUE(OpenJsonFile(path_).ok());
+  Info("clean", "first_epoch", "before reopen");
+  ASSERT_TRUE(OpenJsonFile(path_).ok());  // same path: truncate + swap
+  Info("clean", "second_epoch", "after reopen");
+  CloseJsonFile();
+  std::string text = ReadFile(path_);
+  EXPECT_EQ(text.find("first_epoch"), std::string::npos);
+  EXPECT_NE(text.find("second_epoch"), std::string::npos);
+}
+
+TEST_F(LogTest, OpenJsonFileFailureLeavesTextSinkActive) {
+  Status status = OpenJsonFile("/nonexistent-dir-xyz/log.jsonl");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(JsonFileOpen());
+}
+
+TEST(LogLevelNameTest, WireNamesAreStable) {
+  EXPECT_EQ(LevelName(Level::kDebug), "debug");
+  EXPECT_EQ(LevelName(Level::kInfo), "info");
+  EXPECT_EQ(LevelName(Level::kWarn), "warn");
+  EXPECT_EQ(LevelName(Level::kError), "error");
+}
+
+}  // namespace
+}  // namespace detective::logs

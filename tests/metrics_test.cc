@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -284,6 +287,72 @@ TEST_F(MetricsTest, SnapshotAndResetEpochsSumExactlyUnderRacingWriter) {
   writer.join();
   sum += Registry::Global().SnapshotAndReset().counter("test.sar.race");
   EXPECT_EQ(sum, kTotal);
+}
+
+// The non-destructive read contract /metrics and /metrics.json rest on:
+// concurrent Snapshot() readers never steal deltas from each other or from
+// a later SnapshotAndReset(), so the final drain still sees every
+// increment the writers made.
+TEST_F(MetricsTest, ConcurrentSnapshotReadersAreNonDestructive) {
+  constexpr int kWriters = 8;
+  constexpr int kReaders = 2;
+  constexpr uint64_t kPerWriter = 30000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        DETECTIVE_COUNT("test.ndr.counter");
+        if (i % 1024 == 0) { DETECTIVE_SCOPED_TIMER("test.ndr.timer"); }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&stop] {
+      uint64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        MetricsSnapshot live = Registry::Global().Snapshot();
+        uint64_t now = live.counter("test.ndr.counter");
+        EXPECT_GE(now, last);  // monotone: nothing drained between reads
+        EXPECT_LE(now, kWriters * kPerWriter);
+        last = now;
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  // The readers above stole nothing: a final destructive drain still
+  // accounts for every increment.
+  MetricsSnapshot drained = Registry::Global().SnapshotAndReset();
+  EXPECT_EQ(drained.counter("test.ndr.counter"), kWriters * kPerWriter);
+  EXPECT_EQ(drained.timer("test.ndr.timer").count,
+            static_cast<uint64_t>(kWriters) * ((kPerWriter + 1023) / 1024));
+}
+
+// --list-metrics and the OpenMetrics renderer iterate these; they must be
+// sorted and cover every registered name without draining anything.
+TEST_F(MetricsTest, RegisteredNamesAreSortedAndComplete) {
+  DETECTIVE_COUNT("test.names.zeta");
+  DETECTIVE_COUNT("test.names.alpha");
+  { DETECTIVE_SCOPED_TIMER("test.names.timer"); }
+
+  std::vector<std::string> counters = Registry::Global().CounterNames();
+  std::vector<std::string> timers = Registry::Global().TimerNames();
+  EXPECT_TRUE(std::is_sorted(counters.begin(), counters.end()));
+  EXPECT_TRUE(std::is_sorted(timers.begin(), timers.end()));
+  EXPECT_NE(std::find(counters.begin(), counters.end(), "test.names.alpha"),
+            counters.end());
+  EXPECT_NE(std::find(counters.begin(), counters.end(), "test.names.zeta"),
+            counters.end());
+  EXPECT_NE(std::find(timers.begin(), timers.end(), "test.names.timer"),
+            timers.end());
+  // Listing names is a pure read.
+  EXPECT_EQ(Registry::Global().Snapshot().counter("test.names.alpha"), 1u);
 }
 
 // Parallel repair over the shared match plan / candidate cache must still

@@ -1,0 +1,265 @@
+// Tests for the embedded introspection HTTP server (obs/http_server.h) and
+// the endpoint surface bound by obs/introspect.h. The client side is raw
+// POSIX sockets on purpose: the server's whole job is to survive exactly
+// the byte patterns curl would never send.
+
+#include "obs/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/introspect.h"
+#include "obs/progress.h"
+
+namespace detective::obs {
+namespace {
+
+// Connects to 127.0.0.1:port; returns -1 on failure.
+int Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads until the peer closes (bounded by a sanity cap).
+std::string ReadUntilClose(int fd) {
+  std::string out;
+  char buf[4096];
+  while (out.size() < (1u << 20)) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+// One full round trip on a fresh connection; closes the socket.
+std::string Fetch(uint16_t port, const std::string& request) {
+  int fd = Connect(port);
+  if (fd < 0) return "";
+  std::string response;
+  if (SendAll(fd, request)) response = ReadUntilClose(fd);
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return Fetch(port, "GET " + path +
+                         " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+}
+
+// A server with a couple of toy handlers on an ephemeral port.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.Handle("/ping", [](const HttpRequest&) {
+      return HttpResponse{200, "text/plain; charset=utf-8", "pong\n", {}};
+    });
+    server_.Handle("/echo", [](const HttpRequest& request) {
+      return HttpResponse{200, "text/plain; charset=utf-8",
+                          request.path + "?" + request.query, {}};
+    });
+    ASSERT_TRUE(server_.Start().ok());
+    ASSERT_TRUE(server_.running());
+    ASSERT_NE(server_.port(), 0);
+  }
+
+  HttpServer server_;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredPath) {
+  std::string response = Get(server_.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\npong\n"), std::string::npos);
+  EXPECT_GE(server_.requests_served(), 1u);
+}
+
+TEST_F(HttpServerTest, QueryStringIsSplitOffThePath) {
+  std::string response = Get(server_.port(), "/echo?a=1&b=2");
+  EXPECT_NE(response.find("/echo?a=1&b=2"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  std::string response = Get(server_.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, NonGetIs405WithAllowHeader) {
+  std::string response =
+      Fetch(server_.port(),
+            "POST /ping HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n"
+            "Connection: close\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Allow: GET\r\n"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineIs400) {
+  std::string response = Fetch(server_.port(), "definitely not http\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request\r\n"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PipelinedRequestsAllAnswered) {
+  // Two requests in one write on a keep-alive connection, then a closing
+  // third: three responses come back on the same socket.
+  int fd = Connect(server_.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd,
+                      "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n"
+                      "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+                      "GET /ping HTTP/1.1\r\nHost: x\r\n"
+                      "Connection: close\r\n\r\n"));
+  std::string response = ReadUntilClose(fd);
+  ::close(fd);
+  size_t first = response.find("HTTP/1.1 200 OK");
+  size_t second = response.find("HTTP/1.1 404 Not Found");
+  size_t third = response.rfind("HTTP/1.1 200 OK");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+}
+
+TEST(HttpServerLimitsTest, OversizedRequestHeadIs431) {
+  HttpServerOptions options;
+  options.max_request_bytes = 256;
+  HttpServer server(options);
+  server.Handle("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n", {}};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string request = "GET /ping HTTP/1.1\r\nX-Pad: ";
+  request.append(1024, 'a');
+  request += "\r\n\r\n";
+  std::string response = Fetch(server.port(), request);
+  EXPECT_NE(response.find("HTTP/1.1 431 "), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerLimitsTest, PartialRequestTimesOutAndCloses) {
+  HttpServerOptions options;
+  options.read_timeout_ms = 100;
+  HttpServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  int fd = Connect(server.port());
+  ASSERT_GE(fd, 0);
+  // Half a request line and then silence: the server must drop us instead
+  // of pinning its accept thread forever.
+  ASSERT_TRUE(SendAll(fd, "GET /slow HTT"));
+  std::string response = ReadUntilClose(fd);  // returns once the server closes
+  ::close(fd);
+  EXPECT_TRUE(response.empty() ||
+              response.find("HTTP/1.1 400 ") != std::string::npos);
+  // The server is still alive for the next client.
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(Get(server.port(), "/nope").find("HTTP/1.1 404 "),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerLifecycleTest, PortInUseFailsToStart) {
+  HttpServer first;
+  ASSERT_TRUE(first.Start().ok());
+  HttpServerOptions options;
+  options.port = first.port();
+  HttpServer second(options);
+  Status status = second.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(second.running());
+  first.Stop();
+}
+
+TEST(HttpServerLifecycleTest, StopIsIdempotentAndJoins) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // second call is a no-op
+  // The socket really is closed: a new connection is refused.
+  EXPECT_LT(Connect(port), 0);
+  // Never-started servers tolerate Stop() too.
+  HttpServer idle;
+  idle.Stop();
+}
+
+TEST(IntrospectServerTest, ServesAllFiveEndpoints) {
+  metrics::Registry::Global().Reset();
+  DETECTIVE_COUNT("test.introspect.counter");
+  { DETECTIVE_SCOPED_TIMER("test.introspect.timer"); }
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  EXPECT_NE(Get(port, "/healthz").find("\r\n\r\nok\n"), std::string::npos);
+
+  std::string metrics_response = Get(port, "/metrics");
+  EXPECT_NE(metrics_response.find("application/openmetrics-text"),
+            std::string::npos);
+  EXPECT_NE(metrics_response.find("# EOF\n"), std::string::npos);
+#if DETECTIVE_METRICS_ENABLED
+  EXPECT_NE(metrics_response.find("detective_test_introspect_counter_total"),
+            std::string::npos);
+  EXPECT_NE(metrics_response.find(
+                "detective_test_introspect_timer_seconds_bucket"),
+            std::string::npos);
+#endif
+
+  std::string json_response = Get(port, "/metrics.json");
+  EXPECT_NE(json_response.find("\"counters\""), std::string::npos);
+
+  std::string progress_response = Get(port, "/progress");
+  EXPECT_NE(progress_response.find("\"phase\""), std::string::npos);
+  EXPECT_NE(progress_response.find("\"rows_committed\""), std::string::npos);
+
+  // Chrome trace format is a bare JSON array (possibly empty when no
+  // recorder is active).
+  std::string trace_response = Get(port, "/trace");
+  EXPECT_NE(trace_response.find("\r\n\r\n["), std::string::npos);
+
+  // The metrics endpoint is a non-destructive read: fetching twice reports
+  // the same counter value.
+#if DETECTIVE_METRICS_ENABLED
+  std::string again = Get(port, "/metrics");
+  EXPECT_NE(again.find("detective_test_introspect_counter_total 1"),
+            std::string::npos);
+#endif
+  server.Stop();
+}
+
+TEST(IntrospectServerTest, FaultSelfDisablePredicate) {
+  // With no armed plan the server must never self-disable.
+  EXPECT_FALSE(ShouldDisableUnderFaultPlan());
+}
+
+}  // namespace
+}  // namespace detective::obs

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition (what GET /metrics serves).
+
+  check_openmetrics.py METRICS.txt
+  curl -s http://127.0.0.1:PORT/metrics | check_openmetrics.py -
+
+Checks, in the order a scraper would hit them:
+  * the document ends with the mandatory `# EOF` terminator;
+  * every sample line parses as `name{labels} value` with a valid metric
+    name and a parseable float value, and every label value uses the
+    OpenMetrics escaping rules (only \\\\, \\" and \\n escapes);
+  * every sample belongs to a family announced by a `# TYPE` line (and the
+    HELP/TYPE/UNIT lines precede the family's samples);
+  * counter families expose only `_total` samples with non-negative values;
+  * histogram families expose `_bucket`/`_sum`/`_count`: bucket `le` values
+    strictly increase, bucket counts are monotone non-decreasing, the last
+    bucket is `le="+Inf"` and equals `_count`.
+
+Exit status: 0 when the document validates, 1 otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$")
+LABEL_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+ESCAPE_RE = re.compile(r"\\(.)")
+SUFFIXES = ("_total", "_bucket", "_sum", "_count", "_created")
+
+
+def parse_labels(raw, where, errors):
+    """Splits a label body on top-level commas, honoring escaped quotes."""
+    labels = {}
+    if raw is None or raw == "":
+        return labels
+    parts, depth_in_string, start = [], False, 0
+    i = 0
+    while i < len(raw):
+        c = raw[i]
+        if c == "\\" and depth_in_string:
+            i += 2
+            continue
+        if c == '"':
+            depth_in_string = not depth_in_string
+        elif c == "," and not depth_in_string:
+            parts.append(raw[start:i])
+            start = i + 1
+        i += 1
+    parts.append(raw[start:])
+    for part in parts:
+        match = LABEL_RE.match(part)
+        if not match:
+            errors.append(f"{where}: malformed label {part!r}")
+            continue
+        for escape in ESCAPE_RE.finditer(match.group("value")):
+            if escape.group(1) not in ("\\", '"', "n"):
+                errors.append(
+                    f"{where}: invalid escape \\{escape.group(1)} in label "
+                    f"{match.group('key')}")
+        labels[match.group("key")] = ESCAPE_RE.sub(
+            lambda m: {"\\": "\\", '"': '"', "n": "\n"}.get(
+                m.group(1), m.group(1)),
+            match.group("value"))
+    return labels
+
+
+def family_of(sample_name, families):
+    """The announced family a sample belongs to, or None."""
+    if sample_name in families:
+        return sample_name
+    for suffix in SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return None
+
+
+def parse_float(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def check(lines, path):
+    errors = []
+    families = {}  # name -> type
+    # family -> list of (le, count) in document order
+    buckets = {}
+    sums = {}
+    counts = {}
+    samples = 0
+    saw_eof = False
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        if saw_eof and line:
+            errors.append(f"{where}: content after # EOF")
+            break
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if parts[0] == "#" and len(parts) >= 2 and parts[1] == "EOF":
+                saw_eof = True
+                continue
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE", "UNIT"):
+                errors.append(f"{where}: malformed comment line {line!r}")
+                continue
+            kind, name = parts[1], parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"{where}: invalid metric name {name!r}")
+                continue
+            if kind == "TYPE":
+                if name in families:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                body = parts[3] if len(parts) > 3 else ""
+                families[name] = body.strip()
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"{where}: malformed sample line {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        labels = parse_labels(match.group("labels"), where, errors)
+        try:
+            value = parse_float(match.group("value"))
+        except ValueError:
+            errors.append(f"{where}: unparseable value {match.group('value')!r}")
+            continue
+        family = family_of(name, families)
+        if family is None:
+            errors.append(f"{where}: sample {name} has no TYPE line")
+            continue
+        ftype = families[family]
+        if ftype == "counter":
+            if not name.endswith("_total") and not name.endswith("_created"):
+                errors.append(
+                    f"{where}: counter sample {name} must end in _total")
+            if value < 0:
+                errors.append(f"{where}: counter {name} is negative")
+        elif ftype == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{where}: histogram bucket without le")
+                    continue
+                try:
+                    le = parse_float(labels["le"])
+                except ValueError:
+                    errors.append(f"{where}: unparseable le {labels['le']!r}")
+                    continue
+                buckets.setdefault(family, []).append((where, le, value))
+            elif name.endswith("_sum"):
+                sums[family] = (where, value)
+            elif name.endswith("_count"):
+                counts[family] = (where, value)
+            else:
+                errors.append(
+                    f"{where}: unexpected histogram sample {name}")
+    if not saw_eof:
+        errors.append(f"{path}: missing # EOF terminator")
+    for family, rows in buckets.items():
+        prev_le, prev_count = -math.inf, -math.inf
+        for where, le, count in rows:
+            if le <= prev_le:
+                errors.append(
+                    f"{where}: {family} bucket le {le} not increasing")
+            if count < prev_count:
+                errors.append(
+                    f"{where}: {family} bucket count {count} decreases")
+            prev_le, prev_count = le, count
+        if rows[-1][1] != math.inf:
+            errors.append(f"{path}: {family} last bucket is not le=\"+Inf\"")
+        if family not in counts:
+            errors.append(f"{path}: {family} has buckets but no _count")
+        elif rows[-1][2] != counts[family][1]:
+            errors.append(
+                f"{path}: {family} +Inf bucket {rows[-1][2]} != _count "
+                f"{counts[family][1]}")
+        if family not in sums:
+            errors.append(f"{path}: {family} has buckets but no _sum")
+        elif sums[family][1] < 0:
+            errors.append(f"{path}: {family} _sum is negative")
+    if samples == 0:
+        errors.append(f"{path}: no samples")
+    if not errors:
+        histograms = sum(1 for t in families.values() if t == "histogram")
+        print(f"{path}: OK ({samples} samples, {len(families)} families, "
+              f"{histograms} histograms)")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="exposition file, or - for stdin")
+    args = parser.parse_args()
+    if args.path == "-":
+        lines = sys.stdin.read().splitlines()
+        label = "<stdin>"
+    else:
+        try:
+            with open(args.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            print(f"FAIL {error}", file=sys.stderr)
+            return 1
+        label = args.path
+    errors = check(lines, label)
+    for error in errors:
+        print(f"FAIL {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

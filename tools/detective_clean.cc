@@ -25,19 +25,24 @@
 // (--check-consistency), 3 rule set rejected by --lint=strict, 4 completed
 // degraded (at least one tuple quarantined), 64 usage.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "analysis/rule_lint.h"
 #include "analysis/stratification.h"
 #include "common/fault.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "obs/introspect.h"
+#include "obs/progress.h"
 #include "core/consistency.h"
 #include "core/parallel_repair.h"
 #include "core/provenance.h"
@@ -87,6 +92,16 @@ struct Args {
   /// >1 = work-stealing ParallelRepair over a shared match plan and candidate
   /// cache; 0 = hardware concurrency.
   uint64_t threads = 1;
+  // Live introspection (docs/observability.md "Live endpoints").
+  bool introspect = false;
+  uint64_t introspect_port = 0;  // 0 = ephemeral, printed at startup
+  /// Keeps the introspection server up this long after the run completes,
+  /// so a poller can read the final /progress and /metrics documents.
+  uint64_t introspect_linger_ms = 0;
+  /// Structured log sink: JSONL to this file instead of text to stderr.
+  std::string log_json_path;
+  /// Print every registered metric name at end of run (docs drift check).
+  bool list_metrics = false;
 };
 
 void PrintUsage() {
@@ -139,8 +154,20 @@ void PrintUsage() {
       "  --threads           repair worker threads (default 1 = sequential;\n"
       "                      0 = hardware concurrency). Workers share one\n"
       "                      frozen match plan and candidate cache; output is\n"
-      "                      identical at every thread count\n",
-      kExitInconsistent, kExitLintRejected, kExitLintRejected, kExitDegraded);
+      "                      identical at every thread count\n"
+      "  --introspect        serve live introspection on 127.0.0.1:PORT\n"
+      "                      (0 = ephemeral, printed at startup): /healthz,\n"
+      "                      /metrics (OpenMetrics), /metrics.json, /progress,\n"
+      "                      /trace. Port already in use exits %d\n"
+      "  --introspect-linger-ms\n"
+      "                      keep the server up this long after the run so a\n"
+      "                      poller can read the final documents\n"
+      "  --log-json          write structured logs as JSONL to FILE instead\n"
+      "                      of text to stderr (errors still mirror there)\n"
+      "  --list-metrics      after the run, print one 'counter NAME' /\n"
+      "                      'timer NAME' line per registered metric\n",
+      kExitInconsistent, kExitLintRejected, kExitLintRejected, kExitDegraded,
+      kExitUsage);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -178,13 +205,25 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         take_u64("deadline-ms", &args->deadline_ms) ||
         take_u64("tuple-budget-ms", &args->tuple_budget_ms) ||
         take_u64("max-rule-failures", &args->max_rule_failures) ||
-        take_u64("threads", &args->threads)) {
+        take_u64("threads", &args->threads) ||
+        take_u64("introspect-linger-ms", &args->introspect_linger_ms) ||
+        take("log-json", &args->log_json_path)) {
+      continue;
+    }
+    if (take_u64("introspect", &args->introspect_port)) {
+      args->introspect = true;
+      if (args->introspect_port > 65535) {
+        std::fprintf(stderr, "--introspect expects a port in [0, 65535]\n");
+        numeric_ok = false;
+      }
       continue;
     }
     if (arg == "--check-consistency") {
       args->check_consistency = true;
     } else if (arg == "--multi-version") {
       args->multi_version = true;
+    } else if (arg == "--list-metrics") {
+      args->list_metrics = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return false;
@@ -241,13 +280,23 @@ std::string WriteLintJson(const analysis::DiagnosticReport& report,
   std::ofstream out(path, std::ios::trunc);
   out << report.ToJson();
   if (!out) {
-    std::fprintf(stderr, "error writing lint diagnostics to %s\n", path.c_str());
+    logs::Error("clean", "lint_write_failed",
+                "error writing lint diagnostics to " + path, {{"path", path}});
     return std::string();
   }
   return path;
 }
 
 int Run(const Args& args) {
+  // ---- Structured log sink (src/common/log.h) ----
+  if (!args.log_json_path.empty()) {
+    Status log_status = logs::OpenJsonFile(args.log_json_path);
+    if (!log_status.ok()) {
+      logs::Error("clean", "log_sink_failed", log_status.ToString());
+      return kExitRuntimeFailure;
+    }
+  }
+
   // ---- Arm fault injection (docs/robustness.md) ----
   std::string fault_spec = args.fault_plan;
   if (fault_spec.empty()) {
@@ -256,25 +305,59 @@ int Run(const Args& args) {
   if (!fault_spec.empty()) {
     auto plan = fault::FaultPlan::Parse(fault_spec);
     if (!plan.ok()) {
-      std::fprintf(stderr, "bad fault plan: %s\n",
-                   plan.status().ToString().c_str());
+      logs::Error("clean", "bad_fault_plan",
+                  "bad fault plan: " + plan.status().ToString());
       return kExitUsage;
     }
     fault::Injector::Global().Arm(*plan);
     std::printf("Fault plan armed: %s\n", plan->ToString().c_str());
 #if !DETECTIVE_FAULT_ENABLED
-    std::fprintf(stderr,
-                 "note: built with DETECTIVE_FAULT=OFF; the plan never fires\n");
+    // The "DETECTIVE_FAULT=OFF" stderr note is load-bearing: CI greps it.
+    logs::Warn("clean", "fault_compiled_out",
+               "note: built with DETECTIVE_FAULT=OFF; the plan never fires");
 #endif
   }
 
   if (!args.trace_json_path.empty()) {
     trace::Registry::Global().Start();
 #if !DETECTIVE_METRICS_ENABLED
-    std::fprintf(stderr,
-                 "note: built with DETECTIVE_METRICS=OFF; the trace is empty\n");
+    logs::Warn("clean", "metrics_compiled_out",
+               "note: built with DETECTIVE_METRICS=OFF; the trace is empty");
 #endif
   }
+
+  // ---- Live introspection (docs/observability.md "Live endpoints") ----
+  obs::IntrospectServer introspect_server(
+      obs::IntrospectOptions{static_cast<uint16_t>(args.introspect_port)});
+  if (args.introspect) {
+    if (obs::ShouldDisableUnderFaultPlan()) {
+      // A chaos run aiming at obs.* must not get fault-distorted answers;
+      // the pipeline itself runs unchanged.
+      logs::Warn("obs", "introspect_disabled",
+                 "introspection disabled: the armed fault plan targets "
+                 "obs.* sites",
+                 {{"site", obs::kObsFaultSite}});
+    } else {
+      Status serve_status = introspect_server.Start();
+      if (!serve_status.ok()) {
+        // Port in use (or any bind failure) is a usage error: the operator
+        // asked for an address this process cannot have.
+        logs::Error("obs", "introspect_start_failed",
+                    "cannot start introspection server: " +
+                        serve_status.ToString());
+        return kExitUsage;
+      }
+      // Parsed by pollers (and the CI smoke job) to find an ephemeral port.
+      std::printf("introspection: http://127.0.0.1:%u (healthz metrics "
+                  "metrics.json progress trace)\n",
+                  static_cast<unsigned>(introspect_server.port()));
+      // /trace should show the live timeline even without --trace-json.
+      if (args.trace_json_path.empty()) trace::Registry::Global().Start();
+    }
+  }
+
+  obs::ProgressTracker& progress = obs::ProgressTracker::Global();
+  progress.BeginRun(/*rows_total=*/0, args.deadline_ms);
 
   // ---- Load inputs ----
   auto kb = [&] {
@@ -282,15 +365,18 @@ int Run(const Args& args) {
     return LoadKbFile(args.kb_path);
   }();
   if (!kb.ok()) {
-    std::fprintf(stderr, "error loading KB: %s\n", kb.status().ToString().c_str());
+    logs::Error("clean", "kb_load_failed",
+                "error loading KB: " + kb.status().ToString(),
+                {{"path", args.kb_path}});
     return kExitRuntimeFailure;
   }
   std::printf("KB: %s\n", kb->DebugSummary().c_str());
 
   auto rules = ParseRulesFile(args.rules_path);
   if (!rules.ok()) {
-    std::fprintf(stderr, "error loading rules: %s\n",
-                 rules.status().ToString().c_str());
+    logs::Error("clean", "rules_load_failed",
+                "error loading rules: " + rules.status().ToString(),
+                {{"path", args.rules_path}});
     return kExitRuntimeFailure;
   }
   std::printf("Rules: %zu loaded from %s\n", rules->size(), args.rules_path.c_str());
@@ -302,16 +388,18 @@ int Run(const Args& args) {
     lint.SortBySeverity();
     std::printf("Lint: %s\n", lint.Summary().c_str());
     if (!lint.empty()) {
-      std::fprintf(stderr, "%s\n", lint.ToString().c_str());
+      logs::Warn("lint", "findings", lint.ToString(),
+                 {{"errors", lint.errors()}});
       std::string json_path = WriteLintJson(lint, args);
       if (!json_path.empty()) {
         std::printf("lint diagnostics written to %s\n", json_path.c_str());
       }
       if (args.lint == "strict" && !lint.clean()) {
-        std::fprintf(stderr,
-                     "refusing to run: %zu error-level lint finding(s) under "
-                     "--lint=strict (diagnostics: %s)\n",
-                     lint.errors(), json_path.c_str());
+        logs::Error("lint", "strict_rejected",
+                    "refusing to run: " + std::to_string(lint.errors()) +
+                        " error-level lint finding(s) under --lint=strict "
+                        "(diagnostics: " +
+                        json_path + ")");
         return kExitLintRejected;
       }
     }
@@ -319,25 +407,29 @@ int Run(const Args& args) {
 
   auto relation = Relation::FromCsvFile(args.input_path);
   if (!relation.ok()) {
-    std::fprintf(stderr, "error loading relation: %s\n",
-                 relation.status().ToString().c_str());
+    logs::Error("clean", "relation_load_failed",
+                "error loading relation: " + relation.status().ToString(),
+                {{"path", args.input_path}});
     return kExitRuntimeFailure;
   }
   std::printf("Relation: %zu tuples x %zu columns\n", relation->num_tuples(),
               relation->schema().num_columns());
+  progress.SetRowsTotal(relation->num_tuples());
+  progress.SetPhase(obs::Phase::kIndex);
 
   // ---- Optional consistency gate (paper §III-C) ----
   if (args.check_consistency) {
     DETECTIVE_TRACE_SPAN("clean.consistency");
     auto report = CheckConsistency(*kb, *rules, *relation);
     if (!report.ok()) {
-      std::fprintf(stderr, "consistency check failed: %s\n",
-                   report.status().ToString().c_str());
+      logs::Error("clean", "consistency_check_failed",
+                  "consistency check failed: " + report.status().ToString());
       return kExitRuntimeFailure;
     }
     std::printf("Consistency: %s\n", report->ToString().c_str());
     if (!report->consistent) {
-      std::fprintf(stderr, "refusing to repair with an inconsistent rule set\n");
+      logs::Error("clean", "inconsistent_rules",
+                  "refusing to repair with an inconsistent rule set");
       return kExitInconsistent;
     }
   }
@@ -362,24 +454,26 @@ int Run(const Args& args) {
       // schedule is sound either way — intra-stratum sweeps just persist).
       if (args.stratify == "strict" &&
           strata->certificate.num_cyclic_strata() > 0) {
-        std::fprintf(stderr,
-                     "refusing to run: %zu stratum/strata remain cyclic "
-                     "under --stratify=strict (rule interaction cycles "
-                     "could not be statically refuted)\n",
-                     strata->certificate.num_cyclic_strata());
+        logs::Error(
+            "clean", "stratify_strict_rejected",
+            "refusing to run: " +
+                std::to_string(strata->certificate.num_cyclic_strata()) +
+                " stratum/strata remain cyclic under --stratify=strict "
+                "(rule interaction cycles could not be statically refuted)");
         return kExitLintRejected;
       }
+      progress.SetStrataTotal(strata->certificate.strata.size());
     } else if (args.stratify == "strict") {
-      std::fprintf(stderr,
-                   "refusing to run: rule set cannot be certified under "
-                   "--stratify=strict: %s\n",
-                   computed.status().ToString().c_str());
+      logs::Error("clean", "stratify_strict_rejected",
+                  "refusing to run: rule set cannot be certified under "
+                  "--stratify=strict: " +
+                      computed.status().ToString());
       return kExitLintRejected;
     } else {
-      std::fprintf(stderr,
-                   "stratification unavailable (%s); running the classic "
-                   "chase loop\n",
-                   computed.status().ToString().c_str());
+      logs::Warn("clean", "stratify_unavailable",
+                 "stratification unavailable (" +
+                     computed.status().ToString() +
+                     "); running the classic chase loop");
     }
   }
 
@@ -400,6 +494,7 @@ int Run(const Args& args) {
   const bool guarded = GuardedRepairRequested(repair_options) ||
                        !args.quarantine_json_path.empty();
 
+  progress.SetPhase(obs::Phase::kRepair);
   {
     DETECTIVE_TRACE_SPAN("clean.repair",
                          {"rows", static_cast<int64_t>(relation->num_tuples())});
@@ -408,7 +503,7 @@ int Run(const Args& args) {
       FastRepairer repairer(*kb, relation->schema(), *rules);
       Status st = repairer.Init();
       if (!st.ok()) {
-        std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+        logs::Error("clean", "init_failed", "init failed: " + st.ToString());
         return kExitRuntimeFailure;
       }
       repairer.engine().set_provenance(provenance_sink);
@@ -428,7 +523,7 @@ int Run(const Args& args) {
       BasicRepairer repairer(*kb, relation->schema(), *rules, options);
       Status st = repairer.Init();
       if (!st.ok()) {
-        std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+        logs::Error("clean", "init_failed", "init failed: " + st.ToString());
         return kExitRuntimeFailure;
       }
       repairer.engine().set_provenance(provenance_sink);
@@ -442,8 +537,8 @@ int Run(const Args& args) {
       parallel_options.quarantine = guarded ? &quarantine : nullptr;
       auto result = ParallelRepair(*kb, *rules, &repaired, parallel_options);
       if (!result.ok()) {
-        std::fprintf(stderr, "init failed: %s\n",
-                     result.status().ToString().c_str());
+        logs::Error("clean", "init_failed",
+                    "init failed: " + result.status().ToString());
         return kExitRuntimeFailure;
       }
       stats = *result;
@@ -451,7 +546,7 @@ int Run(const Args& args) {
       FastRepairer repairer(*kb, relation->schema(), *rules, repair_options);
       Status st = repairer.Init();
       if (!st.ok()) {
-        std::fprintf(stderr, "init failed: %s\n", st.ToString().c_str());
+        logs::Error("clean", "init_failed", "init failed: " + st.ToString());
         return kExitRuntimeFailure;
       }
       repairer.engine().set_provenance(provenance_sink);
@@ -466,12 +561,15 @@ int Run(const Args& args) {
   double elapsed = NowSeconds() - start;
 
   // ---- Write output + report ----
+  progress.SetPhase(obs::Phase::kWrite);
   Status st = [&] {
     DETECTIVE_TRACE_SPAN("clean.write_output");
     return repaired.ToCsvFile(args.output_path);
   }();
   if (!st.ok()) {
-    std::fprintf(stderr, "error writing output: %s\n", st.ToString().c_str());
+    logs::Error("clean", "output_write_failed",
+                "error writing output: " + st.ToString(),
+                {{"path", args.output_path}});
     return kExitRuntimeFailure;
   }
 
@@ -527,7 +625,9 @@ int Run(const Args& args) {
       }
     }
     if (!report) {
-      std::fprintf(stderr, "error writing report to %s\n", args.report_path.c_str());
+      logs::Error("clean", "report_write_failed",
+                  "error writing report to " + args.report_path,
+                  {{"path", args.report_path}});
       return kExitRuntimeFailure;
     }
     std::printf("report written to %s\n", args.report_path.c_str());
@@ -536,7 +636,8 @@ int Run(const Args& args) {
   if (!args.explain_json_path.empty()) {
     Status explain_status = provenance.WriteJsonLines(args.explain_json_path);
     if (!explain_status.ok()) {
-      std::fprintf(stderr, "%s\n", explain_status.ToString().c_str());
+      logs::Error("clean", "explain_write_failed", explain_status.ToString(),
+                  {{"path", args.explain_json_path}});
       return kExitRuntimeFailure;
     }
     std::printf("provenance written to %s (%zu records)\n",
@@ -549,7 +650,8 @@ int Run(const Args& args) {
     std::vector<trace::Event> events = tracer.Collect();
     Status trace_status = trace::WriteChromeTraceJson(events, args.trace_json_path);
     if (!trace_status.ok()) {
-      std::fprintf(stderr, "%s\n", trace_status.ToString().c_str());
+      logs::Error("clean", "trace_write_failed", trace_status.ToString(),
+                  {{"path", args.trace_json_path}});
       return kExitRuntimeFailure;
     }
     std::printf("trace written to %s (%zu events, %llu dropped)\n",
@@ -562,16 +664,17 @@ int Run(const Args& args) {
     std::ofstream out(args.metrics_json_path, std::ios::trunc);
     out << snapshot.ToJson();
     if (!out) {
-      std::fprintf(stderr, "error writing metrics to %s\n",
-                   args.metrics_json_path.c_str());
+      logs::Error("clean", "metrics_write_failed",
+                  "error writing metrics to " + args.metrics_json_path,
+                  {{"path", args.metrics_json_path}});
       return kExitRuntimeFailure;
     }
     std::printf("metrics written to %s (%zu counters, %zu timers)\n",
                 args.metrics_json_path.c_str(), snapshot.counters.size(),
                 snapshot.timers.size());
 #if !DETECTIVE_METRICS_ENABLED
-    std::fprintf(stderr,
-                 "note: built with DETECTIVE_METRICS=OFF; the snapshot is empty\n");
+    logs::Warn("clean", "metrics_compiled_out",
+               "note: built with DETECTIVE_METRICS=OFF; the snapshot is empty");
 #endif
   }
 
@@ -579,20 +682,48 @@ int Run(const Args& args) {
     Status quarantine_status =
         quarantine.WriteJsonLines(args.quarantine_json_path);
     if (!quarantine_status.ok()) {
-      std::fprintf(stderr, "%s\n", quarantine_status.ToString().c_str());
+      logs::Error("clean", "quarantine_write_failed",
+                  quarantine_status.ToString(),
+                  {{"path", args.quarantine_json_path}});
       return kExitRuntimeFailure;
     }
     std::printf("quarantine written to %s (%zu records, %zu rows)\n",
                 args.quarantine_json_path.c_str(), quarantine.size(),
                 quarantine.Rows().size());
   }
+
+  int exit_code = 0;
   if (!quarantine.empty()) {
-    std::fprintf(stderr,
-                 "completed degraded: %zu tuples quarantined (left unmodified)\n",
-                 quarantine.Rows().size());
-    return kExitDegraded;
+    logs::Error("clean", "degraded",
+                "completed degraded: " +
+                    std::to_string(quarantine.Rows().size()) +
+                    " tuples quarantined (left unmodified)",
+                {{"rows", quarantine.Rows().size()}});
+    exit_code = kExitDegraded;
   }
-  return 0;
+
+  // done=true + frozen elapsed must be observable before any linger window.
+  progress.EndRun();
+
+  if (args.list_metrics) {
+    // Only sites whose code path executed are registered, so the listing
+    // reflects this run — the docs drift check runs a representative clean.
+    for (const std::string& name : metrics::Registry::Global().CounterNames()) {
+      std::printf("counter %s\n", name.c_str());
+    }
+    for (const std::string& name : metrics::Registry::Global().TimerNames()) {
+      std::printf("timer %s\n", name.c_str());
+    }
+  }
+
+  if (introspect_server.running() && args.introspect_linger_ms > 0) {
+    std::fflush(stdout);  // pollers wait on the "introspection:" line
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(args.introspect_linger_ms));
+  }
+  introspect_server.Stop();
+  logs::CloseJsonFile();
+  return exit_code;
 }
 
 }  // namespace

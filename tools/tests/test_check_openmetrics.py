@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Unit tests for the OpenMetrics validator (tools/check_openmetrics.py).
+
+Runnable both ways:
+
+  python3 -m unittest discover -s tools/tests -t .
+  python3 -m pytest tools/tests/
+
+CI runs these in the lint job; ctest runs the same discovery
+(tests/CMakeLists.txt).
+"""
+
+import importlib.util
+import os
+import unittest
+
+_TOOLS_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_openmetrics",
+    os.path.join(_TOOLS_DIR, "check_openmetrics.py"),
+)
+com = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(com)
+
+
+GOOD_COUNTER = [
+    "# HELP detective_kb_lookups Monotonic event counter",
+    "# TYPE detective_kb_lookups counter",
+    "detective_kb_lookups_total 42",
+]
+
+GOOD_HISTOGRAM = [
+    "# HELP detective_repair_seconds Wall-clock scope duration histogram",
+    "# TYPE detective_repair_seconds histogram",
+    "# UNIT detective_repair_seconds seconds",
+    'detective_repair_seconds_bucket{le="0"} 0',
+    'detective_repair_seconds_bucket{le="1e-09"} 1',
+    'detective_repair_seconds_bucket{le="0.001"} 3',
+    'detective_repair_seconds_bucket{le="+Inf"} 4',
+    "detective_repair_seconds_sum 0.25",
+    "detective_repair_seconds_count 4",
+]
+
+EOF = ["# EOF"]
+
+
+def run(lines):
+    return com.check(lines, "<test>")
+
+
+class CheckOpenMetricsTest(unittest.TestCase):
+    def test_valid_counter_and_histogram_pass(self):
+        self.assertEqual(run(GOOD_COUNTER + GOOD_HISTOGRAM + EOF), [])
+
+    def test_missing_eof_fails(self):
+        errors = run(GOOD_COUNTER)
+        self.assertTrue(any("EOF" in e for e in errors))
+
+    def test_content_after_eof_fails(self):
+        errors = run(GOOD_COUNTER + EOF + ["trailing 1"])
+        self.assertTrue(any("after # EOF" in e for e in errors))
+
+    def test_sample_without_type_line_fails(self):
+        errors = run(["mystery_total 1"] + EOF)
+        self.assertTrue(any("no TYPE line" in e for e in errors))
+
+    def test_counter_sample_must_end_in_total(self):
+        lines = [
+            "# TYPE detective_kb_lookups counter",
+            "detective_kb_lookups 42",
+        ] + EOF
+        errors = run(lines)
+        self.assertTrue(any("_total" in e for e in errors))
+
+    def test_negative_counter_fails(self):
+        lines = [
+            "# TYPE detective_kb_lookups counter",
+            "detective_kb_lookups_total -1",
+        ] + EOF
+        errors = run(lines)
+        self.assertTrue(any("negative" in e for e in errors))
+
+    def test_histogram_bucket_le_must_increase(self):
+        lines = [
+            "# TYPE detective_t_seconds histogram",
+            'detective_t_seconds_bucket{le="0.5"} 1',
+            'detective_t_seconds_bucket{le="0.5"} 2',
+            'detective_t_seconds_bucket{le="+Inf"} 2',
+            "detective_t_seconds_sum 0.7",
+            "detective_t_seconds_count 2",
+        ] + EOF
+        errors = run(lines)
+        self.assertTrue(any("not increasing" in e for e in errors))
+
+    def test_histogram_bucket_count_must_be_monotone(self):
+        lines = [
+            "# TYPE detective_t_seconds histogram",
+            'detective_t_seconds_bucket{le="0.5"} 3',
+            'detective_t_seconds_bucket{le="1"} 2',
+            'detective_t_seconds_bucket{le="+Inf"} 3',
+            "detective_t_seconds_sum 0.7",
+            "detective_t_seconds_count 3",
+        ] + EOF
+        errors = run(lines)
+        self.assertTrue(any("decreases" in e for e in errors))
+
+    def test_histogram_inf_bucket_must_equal_count(self):
+        lines = [
+            "# TYPE detective_t_seconds histogram",
+            'detective_t_seconds_bucket{le="+Inf"} 3',
+            "detective_t_seconds_sum 0.7",
+            "detective_t_seconds_count 4",
+        ] + EOF
+        errors = run(lines)
+        self.assertTrue(any("_count" in e for e in errors))
+
+    def test_histogram_missing_inf_bucket_fails(self):
+        lines = [
+            "# TYPE detective_t_seconds histogram",
+            'detective_t_seconds_bucket{le="0.5"} 3',
+            "detective_t_seconds_sum 0.7",
+            "detective_t_seconds_count 3",
+        ] + EOF
+        errors = run(lines)
+        self.assertTrue(any("+Inf" in e for e in errors))
+
+    def test_label_escaping_validated(self):
+        lines = [
+            "# TYPE detective_x counter",
+            'detective_x_total{reason="a\\qb"} 1',
+        ] + EOF
+        errors = run(lines)
+        self.assertTrue(any("invalid escape" in e for e in errors))
+
+    def test_escaped_quote_and_comma_in_label_ok(self):
+        lines = [
+            "# TYPE detective_x counter",
+            'detective_x_total{reason="a\\"b,c\\n"} 1',
+        ] + EOF
+        self.assertEqual(run(lines), [])
+
+    def test_malformed_sample_line_fails(self):
+        errors = run(["!!! not a sample"] + EOF)
+        self.assertTrue(any("malformed" in e for e in errors))
+
+    def test_live_exposition_shape_from_renderer(self):
+        # Mirrors src/obs/openmetrics.cc output: 47 finite log2 buckets then
+        # the folded +Inf bucket.
+        lines = list(GOOD_COUNTER)
+        lines += [
+            "# HELP detective_repair_relation_seconds Wall-clock scope",
+            "# TYPE detective_repair_relation_seconds histogram",
+            "# UNIT detective_repair_relation_seconds seconds",
+        ]
+        cumulative = 0
+        for bucket in range(47):
+            upper = 0 if bucket == 0 else (2 ** bucket - 1) / 1e9
+            if bucket == 9:
+                cumulative += 2
+            lines.append(
+                f'detective_repair_relation_seconds_bucket{{le="{upper:.9g}"}}'
+                f" {cumulative}")
+        lines += [
+            'detective_repair_relation_seconds_bucket{le="+Inf"} 2',
+            "detective_repair_relation_seconds_sum 1.024e-06",
+            "detective_repair_relation_seconds_count 2",
+        ]
+        self.assertEqual(run(lines + EOF), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
