@@ -37,6 +37,14 @@ class Deadline {
   static Deadline AfterMs(uint64_t ms);
   static Deadline Infinite() { return Deadline(); }
 
+  /// The earlier of two deadlines; an infinite deadline loses to any armed
+  /// one. Used to tighten a request deadline under a drain deadline.
+  static Deadline Earlier(Deadline a, Deadline b) {
+    if (a.infinite()) return b;
+    if (b.infinite()) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
   bool infinite() const { return !armed_; }
   bool Expired() const;
 

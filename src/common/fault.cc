@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
@@ -176,6 +177,9 @@ constexpr uint64_t kGlobalRow = ~uint64_t{0};
 struct ThreadContext {
   uint64_t row = kGlobalRow;
   std::vector<uint64_t> hits;  // per site id, within the current scope
+  // Thread-scoped plan installed by ScopedThreadPlan; overrides the global
+  // plan for this thread while non-null.
+  const FaultPlan* plan = nullptr;
 };
 
 ThreadContext& Context() {
@@ -293,17 +297,37 @@ Status Injector::Hit(uint32_t site_id) {
   {
     Impl& state = impl();
     std::lock_guard<std::mutex> lock(state.mutex);
-    if (!armed() || site_id >= state.site_clauses.size()) return Status::OK();
+    if (site_id >= state.site_clauses.size()) return Status::OK();
     ThreadContext& context = Context();
+    // A thread-scoped plan (ScopedThreadPlan) overrides the global one for
+    // this thread; its clause matches are computed on the fly — plans are a
+    // handful of clauses and the armed path is chaos-testing only.
+    const FaultPlan* plan = nullptr;
+    std::vector<uint32_t> thread_matching;
+    const std::vector<uint32_t>* matching = nullptr;
+    if (context.plan != nullptr) {
+      plan = context.plan;
+      for (uint32_t i = 0; i < plan->clauses.size(); ++i) {
+        if (GlobMatch(plan->clauses[i].site_glob, state.site_names[site_id])) {
+          thread_matching.push_back(i);
+        }
+      }
+      matching = &thread_matching;
+    } else if (armed()) {
+      plan = &state.plan;
+      matching = &state.site_clauses[site_id];
+    } else {
+      return Status::OK();
+    }
     if (context.hits.size() <= site_id) context.hits.resize(site_id + 1, 0);
     decision.hit = ++context.hits[site_id];
     decision.site = state.site_names[site_id];
     const uint64_t site_hash = state.site_hashes[site_id];
-    for (uint32_t clause_index : state.site_clauses[site_id]) {
-      const FaultClause& clause = state.plan.clauses[clause_index];
+    for (uint32_t clause_index : *matching) {
+      const FaultClause& clause = plan->clauses[clause_index];
       if (clause.nth_hit != 0 && decision.hit != clause.nth_hit) continue;
       if (clause.probability < 1.0 &&
-          DecisionDraw(state.plan.seed, site_hash, context.row, decision.hit,
+          DecisionDraw(plan->seed, site_hash, context.row, decision.hit,
                        clause_index) >= clause.probability) {
         continue;
       }
@@ -351,12 +375,15 @@ void Injector::HitCancel(uint32_t site_id, CancelToken* token) {
   if (token != nullptr) token->CheckNow();
 }
 
+namespace internal {
+thread_local bool thread_plan_armed = false;
+}  // namespace internal
+
 // ---- TupleScope --------------------------------------------------------------
 
 #if DETECTIVE_FAULT_ENABLED
 
-TupleScope::TupleScope(uint64_t row)
-    : saved_row_(kGlobalRow), active_(Injector::Global().armed()) {
+TupleScope::TupleScope(uint64_t row) : saved_row_(kGlobalRow), active_(Armed()) {
   if (!active_) return;
   ThreadContext& context = Context();
   saved_row_ = context.row;
@@ -369,6 +396,27 @@ TupleScope::~TupleScope() {
   ThreadContext& context = Context();
   context.row = saved_row_;
   context.hits.assign(context.hits.size(), 0);
+}
+
+// ---- ScopedThreadPlan --------------------------------------------------------
+
+ScopedThreadPlan::ScopedThreadPlan(FaultPlan plan) : plan_(std::move(plan)) {
+  if (plan_.empty()) return;
+  ThreadContext& context = Context();
+  saved_plan_ = context.plan;
+  saved_armed_ = internal::thread_plan_armed;
+  context.plan = &plan_;
+  context.hits.assign(context.hits.size(), 0);
+  internal::thread_plan_armed = true;
+  active_ = true;
+}
+
+ScopedThreadPlan::~ScopedThreadPlan() {
+  if (!active_) return;
+  ThreadContext& context = Context();
+  context.plan = saved_plan_;
+  context.hits.assign(context.hits.size(), 0);
+  internal::thread_plan_armed = saved_armed_;
 }
 
 #endif  // DETECTIVE_FAULT_ENABLED

@@ -24,6 +24,11 @@
 //   latency_ms=N     sleep duration for kind=latency (default 1)
 // A standalone `seed=N` clause seeds the probability draws (default 0).
 //
+// A plan can also be installed for a single thread (ScopedThreadPlan below),
+// overriding the global plan there — detective_serve arms a request's
+// X-Detective-Fault-Plan header this way so concurrent requests on other
+// worker threads stay untouched.
+//
 // Determinism is the design center: whether a probe fires depends only on
 // (seed, site, row, hit index, clause) — never on wall clock, thread
 // interleaving, or global call order. Hit indexes are counted per thread and
@@ -142,11 +147,19 @@ class Injector {
   std::atomic<uint64_t> fires_{0};
 };
 
-/// True when a fault plan is armed; constant false when the framework is
-/// compiled out, so guarded-mode checks fold away.
+namespace internal {
+/// Set while the calling thread has a ScopedThreadPlan installed. Read on
+/// every probe when the global injector is disarmed, so it is a bare
+/// thread-local flag rather than a function call.
+extern thread_local bool thread_plan_armed;
+}  // namespace internal
+
+/// True when a fault plan is armed for the calling thread — either the
+/// process-global plan or a ScopedThreadPlan; constant false when the
+/// framework is compiled out, so guarded-mode checks fold away.
 inline bool Armed() {
 #if DETECTIVE_FAULT_ENABLED
-  return Injector::Global().armed();
+  return Injector::Global().armed() || internal::thread_plan_armed;
 #else
   return false;
 #endif
@@ -170,11 +183,37 @@ class TupleScope {
   bool active_;
 };
 
+/// Installs a fault plan visible only to the calling thread for the scope's
+/// lifetime, overriding the process-global plan there. This is the
+/// per-request chaos mechanism in detective_serve: a worker thread arms the
+/// plan from an X-Detective-Fault-Plan header around one request, and
+/// concurrent requests on other workers are untouched. Decisions stay
+/// deterministic — they key off the scoped plan's own seed, with hit
+/// counters reset on entry and exit. An empty plan is a no-op scope.
+class ScopedThreadPlan {
+ public:
+  explicit ScopedThreadPlan(FaultPlan plan);
+  ~ScopedThreadPlan();
+  ScopedThreadPlan(const ScopedThreadPlan&) = delete;
+  ScopedThreadPlan& operator=(const ScopedThreadPlan&) = delete;
+
+ private:
+  FaultPlan plan_;
+  const FaultPlan* saved_plan_ = nullptr;
+  bool saved_armed_ = false;
+  bool active_ = false;
+};
+
 #else  // !DETECTIVE_FAULT_ENABLED
 
 class TupleScope {
  public:
   explicit TupleScope(uint64_t /*row*/) {}
+};
+
+class ScopedThreadPlan {
+ public:
+  explicit ScopedThreadPlan(FaultPlan /*plan*/) {}
 };
 
 #endif  // DETECTIVE_FAULT_ENABLED
@@ -218,7 +257,7 @@ auto RetryTransient(Fn&& fn) -> decltype(fn()) {
 /// fires, returns the injected error from the enclosing function.
 #define DETECTIVE_FAULT_POINT(site)                                          \
   do {                                                                       \
-    if (::detective::fault::Injector::Global().armed()) {                    \
+    if (::detective::fault::Armed()) {                                       \
       static const uint32_t detective_fault_sid =                            \
           ::detective::fault::Injector::Global().SiteId(site);               \
       ::detective::Status detective_fault_st =                               \
@@ -231,7 +270,7 @@ auto RetryTransient(Fn&& fn) -> decltype(fn()) {
 /// CancelToken*, may be null) instead of unwinding; latency faults sleep.
 #define DETECTIVE_FAULT_POINT_CANCEL(site, token)                            \
   do {                                                                       \
-    if (::detective::fault::Injector::Global().armed()) {                    \
+    if (::detective::fault::Armed()) {                                       \
       static const uint32_t detective_fault_sid =                            \
           ::detective::fault::Injector::Global().SiteId(site);               \
       ::detective::fault::Injector::Global().HitCancel(detective_fault_sid,  \

@@ -8,11 +8,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <exception>
 #include <utility>
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 
 namespace detective::obs {
 
@@ -27,7 +30,8 @@ void CloseFd(int* fd) {
 }
 
 /// Blocking send() of the whole buffer; false when the peer is gone.
-/// MSG_NOSIGNAL: a reset connection must surface as EPIPE, not SIGPIPE.
+/// MSG_NOSIGNAL: a reset connection must surface as EPIPE, not SIGPIPE —
+/// a client disconnect mid-response must never kill the daemon.
 bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
   while (sent < data.size()) {
@@ -63,24 +67,19 @@ bool ParseRequestLine(std::string_view line, HttpRequest* request) {
   return true;
 }
 
-/// Case-insensitive ASCII comparison for header names/tokens.
-bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    char ca = a[i], cb = b[i];
-    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
-    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
-    if (ca != cb) return false;
-  }
-  return true;
-}
+/// What the header block announced about message framing.
+struct HeaderScan {
+  bool connection_close = false;
+  bool has_transfer_encoding = false;
+  bool has_content_length = false;
+  bool bad_content_length = false;  // present but not a number
+  uint64_t content_length = 0;
+};
 
-/// Scans the header block for "Connection: close" and for a message body
-/// announcement (Content-Length/Transfer-Encoding). Bodies on GETs are not
-/// supported: rather than desync the keep-alive framing, the connection is
-/// closed after the response.
-void ScanHeaders(std::string_view headers, bool* connection_close,
-                 bool* has_body) {
+/// Parses the header block into `request->headers` and extracts the framing
+/// fields the connection loop needs.
+HeaderScan ParseHeaders(std::string_view headers, HttpRequest* request) {
+  HeaderScan scan;
   size_t pos = 0;
   while (pos < headers.size()) {
     size_t eol = headers.find("\r\n", pos);
@@ -94,17 +93,34 @@ void ScanHeaders(std::string_view headers, bool* connection_close,
     while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
       value.remove_prefix(1);
     }
-    if (EqualsIgnoreCase(name, "connection") && EqualsIgnoreCase(value, "close")) {
-      *connection_close = true;
+    request->headers.emplace_back(std::string(name), std::string(value));
+    if (EqualsIgnoreCase(name, "connection") &&
+        EqualsIgnoreCase(value, "close")) {
+      scan.connection_close = true;
     } else if (EqualsIgnoreCase(name, "content-length")) {
-      if (value != "0") *has_body = true;
+      scan.has_content_length = true;
+      if (!ParseUint64(value, &scan.content_length)) {
+        scan.bad_content_length = true;
+      }
     } else if (EqualsIgnoreCase(name, "transfer-encoding")) {
-      *has_body = true;
+      scan.has_transfer_encoding = true;
     }
   }
+  return scan;
+}
+
+HttpResponse PlainResponse(int status, std::string body) {
+  return HttpResponse{status, "text/plain; charset=utf-8", std::move(body), {}};
 }
 
 }  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [header_name, value] : headers) {
+    if (EqualsIgnoreCase(header_name, name)) return value;
+  }
+  return {};
+}
 
 std::string_view HttpStatusReason(int status) {
   switch (status) {
@@ -112,16 +128,26 @@ std::string_view HttpStatusReason(int status) {
       return "OK";
     case 400:
       return "Bad Request";
+    case 403:
+      return "Forbidden";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
     case 408:
       return "Request Timeout";
+    case 413:
+      return "Content Too Large";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }
@@ -131,23 +157,27 @@ HttpServer::HttpServer(HttpServerOptions options) : options_(options) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
+void HttpServer::Handle(std::string method, std::string path, Handler handler) {
+  handlers_[std::move(path)][std::move(method)] = std::move(handler);
+}
+
 void HttpServer::Handle(std::string path, Handler handler) {
-  handlers_[std::move(path)] = std::move(handler);
+  Handle("GET", std::move(path), std::move(handler));
 }
 
 Status HttpServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   if (running_.load(std::memory_order_acquire)) {
-    return Status::AlreadyExists("introspection server already running on port ",
+    return Status::AlreadyExists("http server already running on port ",
                                  port_.load());
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IOError("socket(): ", std::strerror(errno));
   }
-  // Loopback only: introspection is a local operator surface, never exposed
-  // off-host. SO_REUSEADDR lets a restarted run rebind the same port while
-  // the previous socket lingers in TIME_WAIT.
+  // Loopback only: both introspection and serving are local operator
+  // surfaces, never exposed off-host. SO_REUSEADDR lets a restarted run
+  // rebind the same port while the previous socket lingers in TIME_WAIT.
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
@@ -160,7 +190,7 @@ Status HttpServer::Start() {
     CloseFd(&listen_fd_);
     return status;
   }
-  if (::listen(listen_fd_, 16) != 0) {
+  if (::listen(listen_fd_, 64) != 0) {
     Status status = Status::IOError("listen(): ", std::strerror(errno));
     CloseFd(&listen_fd_);
     return status;
@@ -181,10 +211,33 @@ Status HttpServer::Start() {
   }
   port_.store(ntohs(bound.sin_port), std::memory_order_release);
   stop_requested_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
   requests_served_.store(0, std::memory_order_relaxed);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { AcceptLoop(); });
+  dispatchers_.reserve(options_.dispatch_threads);
+  for (size_t i = 0; i < options_.dispatch_threads; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
   return Status::OK();
+}
+
+void HttpServer::BeginDrain() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  // Wake the accept loop; it closes the listening socket and exits, so new
+  // connection attempts are refused by the kernel from here on.
+  char byte = 'd';
+  [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  queue_cv_.notify_all();
+}
+
+bool HttpServer::WaitIdle(uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  return idle_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [this] {
+    return pending_fds_.empty() && active_connections_ == 0;
+  });
 }
 
 void HttpServer::Stop() {
@@ -194,43 +247,151 @@ void HttpServer::Stop() {
   // Wake the poll(); the byte's value is irrelevant.
   char byte = 'q';
   [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  queue_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  for (std::thread& dispatcher : dispatchers_) {
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+  dispatchers_.clear();
+  {
+    // Connections accepted but never served: close them unanswered.
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    for (int fd : pending_fds_) ::close(fd);
+    pending_fds_.clear();
+  }
   CloseFd(&listen_fd_);
   CloseFd(&wake_pipe_[0]);
   CloseFd(&wake_pipe_[1]);
   running_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+}
+
+bool HttpServer::EnqueueConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (pending_fds_.size() >= options_.connection_backlog) return false;
+    pending_fds_.push_back(fd);
+  }
+  queue_cv_.notify_one();
+  return true;
 }
 
 void HttpServer::AcceptLoop() {
-  while (!stop_requested_.load(std::memory_order_acquire)) {
+  while (!stop_requested_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
     int ready = ::poll(fds, 2, -1);
     if (ready < 0) {
       if (errno == EINTR) continue;
       DETECTIVE_LOG_EVERY_N(64, logs::Level::kWarn, "obs", "accept_poll_failed",
-                            "introspection poll() failed",
+                            "http poll() failed",
                             {"error", std::strerror(errno)});
       break;
     }
-    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (stop_requested_.load(std::memory_order_acquire) ||
+        draining_.load(std::memory_order_acquire)) {
+      break;
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
     int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       DETECTIVE_LOG_EVERY_N(64, logs::Level::kWarn, "obs", "accept_failed",
-                            "introspection accept() failed",
+                            "http accept() failed",
                             {"error", std::strerror(errno)});
       continue;
     }
     DETECTIVE_COUNT("obs.http.connections");
-    ServeConnection(conn);
-    ::close(conn);
+    if (options_.dispatch_threads == 0) {
+      ServeConnection(conn);
+      ::close(conn);
+    } else if (!EnqueueConnection(conn)) {
+      // The connection queue is the last line of defense behind request
+      // admission control; shedding here keeps memory bounded.
+      DETECTIVE_COUNT("obs.http.backlog_shed");
+      SendResponse(conn, HttpRequest{},
+                   PlainResponse(503, "connection backlog full\n"),
+                   /*close_connection=*/true);
+      ::close(conn);
+    }
+  }
+  // Refuse new connection attempts at the kernel as soon as the loop ends —
+  // Stop() joins this thread before touching listen_fd_, so the handoff is
+  // race-free.
+  CloseFd(&listen_fd_);
+}
+
+void HttpServer::DispatchLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_fds_.empty() ||
+               stop_requested_.load(std::memory_order_acquire) ||
+               draining_.load(std::memory_order_acquire);
+      });
+      if (pending_fds_.empty()) {
+        // Stop or drain with nothing queued: this worker is done.
+        return;
+      }
+      if (stop_requested_.load(std::memory_order_acquire)) return;
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+      ++active_connections_;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --active_connections_;
+      if (pending_fds_.empty() && active_connections_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void HttpServer::DispatchRequest(const HttpRequest& request,
+                                 HttpResponse* response) {
+  auto path_it = handlers_.find(request.path);
+  if (path_it == handlers_.end()) {
+    DETECTIVE_COUNT("obs.http.not_found");
+    *response = PlainResponse(404, "unknown path: " + request.path + "\n");
+    return;
+  }
+  auto method_it = path_it->second.find(request.method);
+  if (method_it == path_it->second.end()) {
+    DETECTIVE_COUNT("obs.http.bad_methods");
+    std::string allow;
+    for (const auto& [method, handler] : path_it->second) {
+      if (!allow.empty()) allow += ", ";
+      allow += method;
+    }
+    *response = HttpResponse{405, "text/plain; charset=utf-8",
+                             "method not allowed for " + request.path + "\n",
+                             "Allow: " + allow + "\r\n"};
+    return;
+  }
+  // Panic isolation: one throwing handler answers 500; the daemon survives.
+  try {
+    *response = method_it->second(request);
+  } catch (const std::exception& error) {
+    DETECTIVE_COUNT("obs.http.handler_panics");
+    logs::Error("obs", "handler_panic", "handler threw; answering 500",
+                {{"path", request.path}, {"error", error.what()}});
+    *response = PlainResponse(500, "internal error\n");
+  } catch (...) {
+    DETECTIVE_COUNT("obs.http.handler_panics");
+    logs::Error("obs", "handler_panic", "handler threw; answering 500",
+                {{"path", request.path}});
+    *response = PlainResponse(500, "internal error\n");
   }
 }
 
 void HttpServer::ServeConnection(int fd) {
   // Cap how long one read may stall; a trickling or half-sent request is
-  // dropped rather than pinning the accept thread.
+  // dropped rather than pinning the serving thread.
   timeval timeout{};
   timeout.tv_sec = static_cast<time_t>(options_.read_timeout_ms / 1000);
   timeout.tv_usec =
@@ -250,8 +411,7 @@ void HttpServer::ServeConnection(int fd) {
       if (buffer.size() > options_.max_request_bytes) {
         DETECTIVE_COUNT("obs.http.oversized");
         SendResponse(fd, HttpRequest{},
-                     HttpResponse{431, "text/plain; charset=utf-8",
-                                  "request too large\n", {}},
+                     PlainResponse(431, "request too large\n"),
                      /*close_connection=*/true);
         return;
       }
@@ -271,9 +431,7 @@ void HttpServer::ServeConnection(int fd) {
     // in — a single recv() can deliver the whole oversized head at once.
     if (head_end > options_.max_request_bytes) {
       DETECTIVE_COUNT("obs.http.oversized");
-      SendResponse(fd, HttpRequest{},
-                   HttpResponse{431, "text/plain; charset=utf-8",
-                                "request too large\n", {}},
+      SendResponse(fd, HttpRequest{}, PlainResponse(431, "request too large\n"),
                    /*close_connection=*/true);
       return;
     }
@@ -291,39 +449,60 @@ void HttpServer::ServeConnection(int fd) {
         line_end == std::string::npos
             ? std::string_view()
             : std::string_view(head).substr(line_end + 2);
-    bool connection_close = false;
-    bool has_body = false;
-    ScanHeaders(headers, &connection_close, &has_body);
 
     HttpRequest request;
     HttpResponse response;
     if (!ParseRequestLine(request_line, &request)) {
       DETECTIVE_COUNT("obs.http.bad_requests");
-      SendResponse(fd, request,
-                   HttpResponse{400, "text/plain; charset=utf-8",
-                                "malformed request line\n", {}},
+      SendResponse(fd, request, PlainResponse(400, "malformed request line\n"),
                    /*close_connection=*/true);
       return;
     }
-    // A body would desync the pipelined framing below; answer, then close.
-    if (has_body) connection_close = true;
-
-    if (request.method != "GET") {
-      DETECTIVE_COUNT("obs.http.bad_methods");
-      response = HttpResponse{405, "text/plain; charset=utf-8",
-                              "only GET is supported\n", "Allow: GET\r\n"};
-    } else {
-      auto it = handlers_.find(request.path);
-      if (it == handlers_.end()) {
-        DETECTIVE_COUNT("obs.http.not_found");
-        response = HttpResponse{404, "text/plain; charset=utf-8",
-                                "unknown path: " + request.path + "\n", {}};
-      } else {
-        response = it->second(request);
-      }
+    HeaderScan scan = ParseHeaders(headers, &request);
+    if (scan.has_transfer_encoding) {
+      // Chunked (or any other) transfer coding is not supported, and the
+      // framing cannot be resynchronized without decoding it: close.
+      SendResponse(fd, request,
+                   PlainResponse(501, "transfer-encoding not supported\n"),
+                   /*close_connection=*/true);
+      return;
     }
-    const bool last = connection_close ||
-                      served >= options_.max_requests_per_connection;
+    if (scan.bad_content_length) {
+      DETECTIVE_COUNT("obs.http.bad_requests");
+      SendResponse(fd, request, PlainResponse(400, "bad content-length\n"),
+                   /*close_connection=*/true);
+      return;
+    }
+    if (scan.has_content_length) {
+      if (scan.content_length > options_.max_body_bytes) {
+        // The body is not read — it could be arbitrarily large — so the
+        // framing is lost and the connection must close.
+        DETECTIVE_COUNT("obs.http.body_too_large");
+        SendResponse(fd, request, PlainResponse(413, "request body too large\n"),
+                     /*close_connection=*/true);
+        return;
+      }
+      // Read the body across as many recv() calls as it takes; part of it
+      // may already sit in `buffer` from the head read.
+      while (buffer.size() < scan.content_length) {
+        char chunk[4096];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0) return;  // client gave up mid-body
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          DETECTIVE_COUNT("obs.http.read_timeouts");
+          return;
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+      }
+      request.body = buffer.substr(0, scan.content_length);
+      buffer.erase(0, scan.content_length);
+    }
+
+    DispatchRequest(request, &response);
+    const bool last = scan.connection_close ||
+                      served >= options_.max_requests_per_connection ||
+                      draining_.load(std::memory_order_acquire);
     if (!SendResponse(fd, request, response, last) || last) return;
   }
 }

@@ -1,39 +1,56 @@
 #ifndef DETECTIVE_OBS_HTTP_SERVER_H_
 #define DETECTIVE_OBS_HTTP_SERVER_H_
 
-// Minimal embedded HTTP/1.1 server for live introspection — a blocking
-// accept loop on one background thread over raw POSIX sockets, no
-// dependencies (the lyphs srv.c shape, C++-ified). It exists to serve the
-// read-only introspection endpoints of obs/introspect.h while a cleaning
-// run executes; it is NOT a general web server.
+// Minimal embedded HTTP/1.1 server over raw POSIX sockets, no dependencies
+// (the lyphs srv.c shape, C++-ified). It started as the read-only
+// introspection listener of obs/introspect.h and now also fronts
+// detective_serve, so it supports two operating modes:
 //
-// Design constraints, in order:
-//   1. The observed process must be unperturbed. Handlers run on the
-//      server's own thread and only ever *read* shared state (metric
-//      snapshots, progress atomics, trace rings); nothing on the repair hot
-//      path blocks on, allocates for, or synchronizes with the server.
-//   2. Hostile/broken clients must not wedge the run. Requests are capped at
-//      `max_request_bytes` (431 beyond it), reads time out after
-//      `read_timeout_ms` (the connection is dropped), and one connection is
-//      served at a time — introspection traffic is one curl or one poller,
-//      not a fleet.
+//   - Inline (dispatch_threads == 0, the default): a blocking accept loop on
+//     one background thread serves one connection at a time. This is the
+//     introspection configuration — traffic is one curl or one poller, and
+//     the observed process must be unperturbed.
+//   - Dispatched (dispatch_threads > 0): the accept loop hands connections
+//     to a small pool of connection threads through a bounded queue, so
+//     several clients can be in flight at once (detective_serve). When the
+//     queue is full the connection is answered 503 and closed — the HTTP
+//     layer sheds before unbounded memory growth, request-level admission
+//     control (429) lives above it.
+//
+// Robustness constraints, in order:
+//   1. Hostile/broken clients must not wedge the process. Request heads are
+//      capped at `max_request_bytes` (431 beyond it), bodies at
+//      `max_body_bytes` (413), reads time out after `read_timeout_ms` (the
+//      connection is dropped), and writes use MSG_NOSIGNAL so a client that
+//      disconnects mid-response surfaces as EPIPE, never SIGPIPE.
+//   2. A handler that throws answers 500 and the connection thread survives:
+//      one bad request must not take down a long-lived daemon.
 //   3. Shutdown is deterministic. Stop() wakes the accept loop through a
-//      self-pipe, closes the listening socket, joins the thread, and is
-//      idempotent; the destructor calls it.
+//      self-pipe, closes the listening socket, joins every thread, and is
+//      idempotent; the destructor calls it. BeginDrain() is the graceful
+//      variant: stop accepting, finish in-flight requests, then close each
+//      connection after its current response (WaitIdle() observes the
+//      drain).
 //
-// Protocol surface: GET only (anything else → 405 with Allow: GET), paths
-// are dispatched exactly (no prefixes; unknown → 404), keep-alive and
-// pipelined requests are honored, query strings are parsed off the path and
-// passed to the handler. Responses always carry Content-Length and
-// Connection headers.
+// Protocol surface: methods are dispatched per registered (method, path)
+// pair (unregistered method on a known path → 405 with Allow; unknown path →
+// 404), paths match exactly (no prefixes), keep-alive and pipelined requests
+// are honored, query strings are parsed off the path. Content-Length bodies
+// are read across as many recv() calls as needed and handed to the handler;
+// Transfer-Encoding is not supported (501). Responses always carry
+// Content-Length and Connection headers.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -43,6 +60,15 @@ struct HttpRequest {
   std::string method;
   std::string path;   // request target without the query string
   std::string query;  // bytes after '?', empty when absent
+  /// Header (name, value) pairs in arrival order; values are trimmed of
+  /// leading whitespace. Names keep their wire spelling — use header().
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// Decoded Content-Length body; empty when the request had none.
+  std::string body;
+
+  /// Value of the first header named `name` (ASCII case-insensitive), or an
+  /// empty view when absent.
+  std::string_view header(std::string_view name) const;
 };
 
 struct HttpResponse {
@@ -57,21 +83,32 @@ struct HttpResponse {
 std::string_view HttpStatusReason(int status);
 
 struct HttpServerOptions {
-  /// Port to bind on 127.0.0.1 (introspection is loopback-only by design);
-  /// 0 picks an ephemeral port, reported by port() after Start().
+  /// Port to bind on 127.0.0.1 (both introspection and serving are
+  /// loopback-only by design); 0 picks an ephemeral port, reported by
+  /// port() after Start().
   uint16_t port = 0;
   /// Hard cap on the bytes of one request head; longer → 431 + close.
   size_t max_request_bytes = 8192;
+  /// Hard cap on a request body (Content-Length); larger → 413 + close.
+  size_t max_body_bytes = 1 << 20;
   /// A connection idle (or trickling) longer than this mid-request is
   /// dropped — a partial request must not pin the server forever.
   uint64_t read_timeout_ms = 2000;
   /// Keep-alive budget: after this many requests the connection closes.
   size_t max_requests_per_connection = 1024;
+  /// Connection threads. 0 = serve inline on the accept thread (the
+  /// introspection mode); N > 0 = a pool of N threads fed by the accept
+  /// loop through a bounded queue.
+  size_t dispatch_threads = 0;
+  /// Capacity of the accepted-connection queue in dispatched mode; a
+  /// connection arriving with the queue full is answered 503 and closed.
+  size_t connection_backlog = 64;
 };
 
 /// The server. Register handlers, Start(), Stop() (or destroy).
 /// Handlers must be registered before Start() and are immutable afterwards —
-/// the accept thread reads the table unlocked.
+/// the serving threads read the table unlocked. In dispatched mode handlers
+/// run concurrently and must be thread-safe.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -82,19 +119,37 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers `handler` for exact-match `path` (e.g. "/healthz").
+  /// Registers `handler` for exact-match `path` (e.g. "/healthz") under
+  /// `method` (e.g. "POST"). Registering the same (method, path) twice
+  /// replaces the handler.
+  void Handle(std::string method, std::string path, Handler handler);
+
+  /// GET-only convenience, the introspection surface.
   void Handle(std::string path, Handler handler);
 
-  /// Binds 127.0.0.1:port, starts listening, and spawns the accept thread.
-  /// A port already in use (or any other bind/listen failure) returns an
-  /// IOError and leaves the server stopped.
+  /// Binds 127.0.0.1:port, starts listening, and spawns the accept thread
+  /// (plus dispatch_threads connection threads). A port already in use (or
+  /// any other bind/listen failure) returns an IOError and leaves the
+  /// server stopped.
   Status Start();
 
-  /// Stops accepting, closes the listening socket, and joins the accept
-  /// thread. Idempotent; safe to call on a never-started server.
+  /// Graceful shutdown, phase 1: close the listening socket (new connection
+  /// attempts are refused) and mark every live connection to close after
+  /// the response currently being computed. Idempotent; no-op when not
+  /// running. Follow with WaitIdle() + Stop().
+  void BeginDrain();
+
+  /// Blocks until no connection is queued or being served, or `timeout_ms`
+  /// elapsed; true on idle. Meaningful after BeginDrain().
+  bool WaitIdle(uint64_t timeout_ms);
+
+  /// Stops accepting, closes the listening socket, and joins all threads.
+  /// In-flight requests finish first (handlers are never interrupted).
+  /// Idempotent; safe to call on a never-started server.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   /// The bound port (resolves port 0 requests); 0 before Start().
   uint16_t port() const { return port_.load(std::memory_order_acquire); }
@@ -106,21 +161,34 @@ class HttpServer {
 
  private:
   void AcceptLoop();
+  void DispatchLoop();
   void ServeConnection(int fd);
+  void DispatchRequest(const HttpRequest& request, HttpResponse* response);
+  /// Hands `fd` to the connection pool; false when the queue is full.
+  bool EnqueueConnection(int fd);
   /// Formats and sends one response; returns false when the client is gone.
   bool SendResponse(int fd, const HttpRequest& request,
                     const HttpResponse& response, bool close_connection);
 
   HttpServerOptions options_;
-  std::map<std::string, Handler> handlers_;
+  std::map<std::string, std::map<std::string, Handler>> handlers_;  // path → method
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<uint16_t> port_{0};
   std::atomic<uint64_t> requests_served_{0};
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll()
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop()/BeginDrain() wake the poll()
   std::thread thread_;
-  std::mutex lifecycle_mutex_;  // serializes Start/Stop
+  std::vector<std::thread> dispatchers_;
+  std::mutex lifecycle_mutex_;  // serializes Start/Stop/BeginDrain
+
+  // Accepted-connection queue (dispatched mode).
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;   // signals work or shutdown
+  std::condition_variable idle_cv_;    // signals the queue went idle
+  std::deque<int> pending_fds_;
+  size_t active_connections_ = 0;
 };
 
 }  // namespace detective::obs

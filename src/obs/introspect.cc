@@ -19,33 +19,37 @@ bool ShouldDisableUnderFaultPlan() {
   return false;
 }
 
-IntrospectServer::IntrospectServer(IntrospectOptions options)
-    : server_(HttpServerOptions{.port = options.port}) {
-  server_.Handle("/healthz", [](const HttpRequest&) {
+void RegisterIntrospectionHandlers(HttpServer* server) {
+  server->Handle("/healthz", [](const HttpRequest&) {
     return HttpResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
   });
-  server_.Handle("/metrics", [](const HttpRequest&) {
+  server->Handle("/metrics", [](const HttpRequest&) {
     // Non-destructive snapshot: a scrape must never steal the deltas the
     // end-of-run --metrics-json report (or a second scraper) will read.
     return HttpResponse{
         200, kOpenMetricsContentType,
         RenderOpenMetrics(metrics::Registry::Global().Snapshot()), {}};
   });
-  server_.Handle("/metrics.json", [](const HttpRequest&) {
+  server->Handle("/metrics.json", [](const HttpRequest&) {
     return HttpResponse{200, "application/json",
                         metrics::Registry::Global().Snapshot().ToJson(), {}};
   });
-  server_.Handle("/progress", [](const HttpRequest&) {
+  server->Handle("/progress", [](const HttpRequest&) {
     return HttpResponse{200, "application/json",
                         ProgressTracker::Global().ToJson(), {}};
   });
-  server_.Handle("/trace", [](const HttpRequest&) {
+  server->Handle("/trace", [](const HttpRequest&) {
     // Collect() merges the rings without stopping the recorder; a mid-run
     // poll sees the timeline so far.
     return HttpResponse{
         200, "application/json",
         trace::ToChromeTraceJson(trace::Registry::Global().Collect()), {}};
   });
+}
+
+IntrospectServer::IntrospectServer(IntrospectOptions options)
+    : server_(HttpServerOptions{.port = options.port}) {
+  RegisterIntrospectionHandlers(&server_);
 }
 
 IntrospectServer::~IntrospectServer() { Stop(); }

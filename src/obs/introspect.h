@@ -47,6 +47,12 @@ struct IntrospectOptions {
   uint16_t port = 0;
 };
 
+/// Registers the read-only introspection handlers (/healthz, /metrics,
+/// /metrics.json, /progress, /trace) on `server`. IntrospectServer calls
+/// this on its own listener; detective_serve calls it to expose the same
+/// surface on the serving listener. Must run before server->Start().
+void RegisterIntrospectionHandlers(HttpServer* server);
+
 /// Owns an HttpServer with the introspection handlers registered.
 class IntrospectServer {
  public:

@@ -1,0 +1,48 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace detective::serve {
+
+namespace {
+/// EWMA weight of the newest sample: responsive enough to follow a load
+/// shift within a few requests, smooth enough that one slow outlier does
+/// not triple the advertised Retry-After.
+constexpr double kAlpha = 0.2;
+constexpr uint64_t kMinRetrySeconds = 1;
+constexpr uint64_t kMaxRetrySeconds = 30;
+}  // namespace
+
+AdmissionController::AdmissionController(size_t workers)
+    : workers_(std::max<size_t>(1, workers)) {}
+
+void AdmissionController::RecordServiceMs(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ewma_ms_ = ewma_ms_ == 0.0 ? ms : kAlpha * ms + (1.0 - kAlpha) * ewma_ms_;
+}
+
+void AdmissionController::RecordShed() {
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdmissionController::RecordAdmit() {
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t AdmissionController::RetryAfterSeconds(size_t queued) const {
+  double ewma_ms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ewma_ms = ewma_ms_;
+  }
+  if (ewma_ms <= 0.0) return kMinRetrySeconds;
+  const double drain_ms =
+      ewma_ms * (static_cast<double>(queued) + 1.0) /
+      static_cast<double>(workers_);
+  const double seconds = std::ceil(drain_ms / 1000.0);
+  const auto rounded = static_cast<uint64_t>(std::max(seconds, 1.0));
+  return std::clamp(rounded, kMinRetrySeconds, kMaxRetrySeconds);
+}
+
+}  // namespace detective::serve

@@ -1,0 +1,49 @@
+#ifndef DETECTIVE_SERVE_ADMISSION_H_
+#define DETECTIVE_SERVE_ADMISSION_H_
+
+// Admission control for detective_serve: the bounded worker-pool queue is
+// the hard limit, this controller is the advisory layer on top — it tracks
+// an EWMA of request service time so a shed response can carry an honest
+// Retry-After estimate (how long until the queue likely has room) instead of
+// a constant, and it counts sheds for metrics/bench.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace detective::serve {
+
+class AdmissionController {
+ public:
+  /// `workers` is the pool size the drain-rate estimate divides by (min 1).
+  explicit AdmissionController(size_t workers);
+
+  /// Records one completed request's wall service time (queue wait +
+  /// repair), updating the EWMA.
+  void RecordServiceMs(double ms);
+
+  /// Records one shed request (queue full → 429).
+  void RecordShed();
+  uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+
+  /// Requests admitted (for the shed-rate metric).
+  void RecordAdmit();
+  uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+
+  /// Suggested Retry-After in whole seconds when shedding while `queued`
+  /// jobs wait: the estimated time for the pool to drain the current queue,
+  /// clamped to [1, 30]. Before any sample it answers 1.
+  uint64_t RetryAfterSeconds(size_t queued) const;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t workers_;
+  double ewma_ms_ = 0.0;  // 0 = no sample yet
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> admitted_{0};
+};
+
+}  // namespace detective::serve
+
+#endif  // DETECTIVE_SERVE_ADMISSION_H_

@@ -1,0 +1,364 @@
+#include "serve/router.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json_util.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "core/rule.h"
+
+namespace detective::serve {
+
+namespace {
+
+using obs::HttpRequest;
+using obs::HttpResponse;
+
+constexpr std::string_view kJsonType = "application/json; charset=utf-8";
+constexpr std::string_view kCsvType = "text/csv; charset=utf-8";
+constexpr std::string_view kFaultPlanHeader = "X-Detective-Fault-Plan";
+
+HttpResponse Error(int status, std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::string(message);
+  response.body.push_back('\n');
+  return response;
+}
+
+HttpResponse ErrorWithRetry(int status, std::string_view message,
+                            uint64_t retry_after_s) {
+  HttpResponse response = Error(status, message);
+  response.extra_headers =
+      "Retry-After: " + std::to_string(retry_after_s) + "\r\n";
+  return response;
+}
+
+/// First value of `key` in an application/x-www-form-urlencoded query
+/// string. No percent-decoding: every value this API accepts in a query
+/// (request ids, row numbers, column names) is emitted verbatim by us.
+std::optional<std::string_view> QueryParam(std::string_view query,
+                                           std::string_view key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    pos = end + 1;
+  }
+  return std::nullopt;
+}
+
+/// The request body of POST /v1/clean-tuple.
+struct TupleRequest {
+  uint64_t deadline_ms = 0;
+  std::vector<std::string> values;  // schema order
+};
+
+/// Parses {"deadline_ms": N, "tuple": {"Col": "value", ...}} — keys in any
+/// order, deadline_ms optional, every schema column required exactly once.
+Status ParseTupleRequest(std::string_view body, const Schema& schema,
+                         TupleRequest* out) {
+  out->values.assign(schema.num_columns(), std::string());
+  std::vector<char> seen(schema.num_columns(), 0);
+  bool have_tuple = false;
+  JsonCursor cursor(body);
+  RETURN_NOT_OK(cursor.Expect('{'));
+  if (!cursor.TryConsume('}')) {
+    do {
+      ASSIGN_OR_RETURN(std::string key, cursor.TakeString());
+      RETURN_NOT_OK(cursor.Expect(':'));
+      if (key == "deadline_ms") {
+        ASSIGN_OR_RETURN(out->deadline_ms, cursor.TakeUint());
+      } else if (key == "tuple") {
+        have_tuple = true;
+        RETURN_NOT_OK(cursor.Expect('{'));
+        if (!cursor.TryConsume('}')) {
+          do {
+            ASSIGN_OR_RETURN(std::string column, cursor.TakeString());
+            RETURN_NOT_OK(cursor.Expect(':'));
+            ASSIGN_OR_RETURN(std::string value, cursor.TakeString());
+            const ColumnIndex index = schema.FindColumn(column);
+            if (index == kInvalidColumn) {
+              return Status::InvalidArgument("unknown column \"" + column +
+                                             "\"");
+            }
+            if (seen[index] != 0) {
+              return Status::InvalidArgument("duplicate column \"" + column +
+                                             "\"");
+            }
+            seen[index] = 1;
+            out->values[index] = std::move(value);
+          } while (cursor.TryConsume(','));
+          RETURN_NOT_OK(cursor.Expect('}'));
+        }
+      } else {
+        return Status::InvalidArgument("unknown field \"" + key + "\"");
+      }
+    } while (cursor.TryConsume(','));
+    RETURN_NOT_OK(cursor.Expect('}'));
+  }
+  RETURN_NOT_OK(cursor.ExpectEnd());
+  if (!have_tuple) return Status::InvalidArgument("missing \"tuple\" object");
+  for (ColumnIndex i = 0; i < schema.num_columns(); ++i) {
+    if (seen[i] == 0) {
+      return Status::InvalidArgument("missing column \"" +
+                                     schema.column_name(i) + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+void AppendQuarantineArray(const QuarantineLog& quarantine, std::string* out) {
+  out->push_back('[');
+  bool first = true;
+  for (const QuarantineRecord& record : quarantine.records()) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(record.ToJson());
+  }
+  out->push_back(']');
+}
+
+std::string RenderTupleOutcome(const Schema& schema,
+                               const TupleOutcome& outcome) {
+  std::string json = "{\"request_id\":";
+  AppendJsonString(outcome.request_id, &json);
+  json.append(",\"degraded\":");
+  json.append(outcome.degraded ? "true" : "false");
+  json.append(",\"tuple\":{");
+  for (ColumnIndex i = 0; i < schema.num_columns(); ++i) {
+    if (i != 0) json.push_back(',');
+    AppendJsonString(schema.column_name(i), &json);
+    json.push_back(':');
+    AppendJsonString(outcome.tuple.value(i), &json);
+  }
+  json.append("},\"repaired\":[");
+  bool first = true;
+  for (ColumnIndex i = 0; i < schema.num_columns(); ++i) {
+    if (!outcome.tuple.WasRepaired(i)) continue;
+    if (!first) json.push_back(',');
+    first = false;
+    json.append("{\"column\":");
+    AppendJsonString(schema.column_name(i), &json);
+    json.append(",\"from\":");
+    AppendJsonString(outcome.tuple.OriginalValue(i), &json);
+    json.append(",\"to\":");
+    AppendJsonString(outcome.tuple.value(i), &json);
+    json.push_back('}');
+  }
+  json.append("],\"positive\":[");
+  first = true;
+  for (ColumnIndex i = 0; i < schema.num_columns(); ++i) {
+    if (!outcome.tuple.IsPositive(i)) continue;
+    if (!first) json.push_back(',');
+    first = false;
+    AppendJsonString(schema.column_name(i), &json);
+  }
+  json.append("],\"quarantine\":");
+  AppendQuarantineArray(outcome.quarantine, &json);
+  json.push_back('}');
+  json.push_back('\n');
+  return json;
+}
+
+/// The 503 every request-taking endpoint answers before MarkReady() and
+/// after drain starts; null when the service is taking requests.
+std::optional<HttpResponse> RefuseIfUnavailable(const CleaningService& service) {
+  if (service.ready()) return std::nullopt;
+  return ErrorWithRetry(503, service.draining() ? "draining" : "loading",
+                        /*retry_after_s=*/1);
+}
+
+/// Resolves the per-request fault plan: absent header → empty plan; header
+/// without --allow-fault-header → 403; malformed plan → 400.
+Result<fault::FaultPlan> ResolveFaultPlan(const HttpRequest& request,
+                                          const CleaningService& service,
+                                          HttpResponse* refusal) {
+  const std::string_view spec = request.header(kFaultPlanHeader);
+  if (spec.empty()) return fault::FaultPlan{};
+  if (!service.options().allow_fault_header) {
+    *refusal = Error(403, "fault plans are not allowed on this server "
+                          "(start with --allow-fault-header)");
+    return Status::InvalidArgument("fault header refused");
+  }
+  auto plan = fault::FaultPlan::Parse(spec);
+  if (!plan.ok()) {
+    *refusal = Error(400, "bad " + std::string(kFaultPlanHeader) + ": " +
+                              plan.status().ToString());
+    return plan.status();
+  }
+  return *plan;
+}
+
+HttpResponse HandleCleanTuple(CleaningService* service,
+                              const HttpRequest& request) {
+  DETECTIVE_COUNT("serve.http.clean_tuple");
+  if (auto refusal = RefuseIfUnavailable(*service)) return *refusal;
+  HttpResponse refusal;
+  auto plan = ResolveFaultPlan(request, *service, &refusal);
+  if (!plan.ok()) return refusal;
+  TupleRequest parsed;
+  Status status = ParseTupleRequest(request.body, service->schema(), &parsed);
+  if (!status.ok()) return Error(400, status.ToString());
+
+  TupleOutcome outcome;
+  uint64_t retry_after_s = 1;
+  const CleaningService::Admit admit =
+      service->CleanTuple(std::move(parsed.values), parsed.deadline_ms,
+                          std::move(*plan), &outcome, &retry_after_s);
+  if (admit == CleaningService::Admit::kShed) {
+    return ErrorWithRetry(429, "queue full", retry_after_s);
+  }
+  HttpResponse response;
+  response.content_type = std::string(kJsonType);
+  response.body = RenderTupleOutcome(service->schema(), outcome);
+  return response;
+}
+
+HttpResponse HandleCleanTable(CleaningService* service,
+                              const HttpRequest& request) {
+  DETECTIVE_COUNT("serve.http.clean_table");
+  if (auto refusal = RefuseIfUnavailable(*service)) return *refusal;
+  HttpResponse refusal;
+  auto plan = ResolveFaultPlan(request, *service, &refusal);
+  if (!plan.ok()) return refusal;
+  uint64_t deadline_ms = 0;
+  if (auto raw = QueryParam(request.query, "deadline_ms")) {
+    if (!ParseUint64(*raw, &deadline_ms)) {
+      return Error(400, "bad deadline_ms");
+    }
+  }
+  auto relation = Relation::FromCsv(request.body);
+  if (!relation.ok()) {
+    return Error(400, "bad CSV: " + relation.status().ToString());
+  }
+  if (relation->schema() != service->schema()) {
+    return Error(400, "CSV header does not match the serving schema");
+  }
+
+  TableOutcome outcome;
+  uint64_t retry_after_s = 1;
+  const CleaningService::Admit admit =
+      service->CleanTable(std::move(*relation), deadline_ms, std::move(*plan),
+                          &outcome, &retry_after_s);
+  if (admit == CleaningService::Admit::kShed) {
+    return ErrorWithRetry(429, "queue full", retry_after_s);
+  }
+  HttpResponse response;
+  response.content_type = std::string(kCsvType);
+  response.body = std::move(outcome.csv);
+  response.extra_headers =
+      "X-Detective-Request-Id: " + outcome.request_id +
+      "\r\nX-Detective-Degraded: " +
+      (outcome.degraded ? "true" : "false") +
+      "\r\nX-Detective-Quarantined: " +
+      std::to_string(outcome.rows_quarantined) + "\r\n";
+  return response;
+}
+
+HttpResponse HandleExplain(CleaningService* service,
+                           const HttpRequest& request) {
+  DETECTIVE_COUNT("serve.http.explain");
+  const auto id = QueryParam(request.query, "id");
+  const auto row_raw = QueryParam(request.query, "row");
+  const auto column = QueryParam(request.query, "column");
+  if (!id || !row_raw || !column) {
+    return Error(400, "required query parameters: id, row, column");
+  }
+  uint64_t row = 0;
+  if (!ParseUint64(*row_raw, &row)) return Error(400, "bad row");
+  const auto log = service->Explain(std::string(*id));
+  if (log == nullptr) {
+    return Error(404, "unknown or evicted request id");
+  }
+  std::string json = "{\"request_id\":";
+  AppendJsonString(*id, &json);
+  json.append(",\"records\":[");
+  bool first = true;
+  for (const RepairProvenance* record : log->ForCell(row, *column)) {
+    if (!first) json.push_back(',');
+    first = false;
+    json.append(record->ToJson());
+  }
+  json.append("]}\n");
+  HttpResponse response;
+  response.content_type = std::string(kJsonType);
+  response.body = std::move(json);
+  return response;
+}
+
+HttpResponse HandleRules(CleaningService* service, const HttpRequest&) {
+  const std::vector<DetectiveRule>& rules = service->rules();
+  std::string json =
+      "{\"total\":" + std::to_string(rules.size()) +
+      ",\"usable\":" + std::to_string(service->num_usable_rules()) +
+      ",\"rules\":[";
+  bool first = true;
+  for (const DetectiveRule& rule : rules) {
+    if (!first) json.push_back(',');
+    first = false;
+    json.append("{\"name\":");
+    AppendJsonString(rule.name(), &json);
+    json.append(",\"target\":");
+    AppendJsonString(rule.TargetColumn(), &json);
+    json.append(",\"evidence\":[");
+    bool first_col = true;
+    for (const std::string& column : rule.EvidenceColumns()) {
+      if (!first_col) json.push_back(',');
+      first_col = false;
+      AppendJsonString(column, &json);
+    }
+    json.append("]}");
+  }
+  json.append("]}\n");
+  HttpResponse response;
+  response.content_type = std::string(kJsonType);
+  response.body = std::move(json);
+  return response;
+}
+
+HttpResponse HandleReadyz(CleaningService* service, const HttpRequest&) {
+  if (service->ready()) {
+    HttpResponse response;
+    response.body = "ready\n";
+    return response;
+  }
+  return ErrorWithRetry(503, service->draining() ? "draining" : "loading",
+                        /*retry_after_s=*/1);
+}
+
+}  // namespace
+
+void RegisterServiceHandlers(obs::HttpServer* server,
+                             CleaningService* service) {
+  server->Handle("POST", "/v1/clean-tuple",
+                 [service](const HttpRequest& request) {
+                   return HandleCleanTuple(service, request);
+                 });
+  server->Handle("POST", "/v1/clean-table",
+                 [service](const HttpRequest& request) {
+                   return HandleCleanTable(service, request);
+                 });
+  server->Handle("/v1/explain", [service](const HttpRequest& request) {
+    return HandleExplain(service, request);
+  });
+  server->Handle("/v1/rules", [service](const HttpRequest& request) {
+    return HandleRules(service, request);
+  });
+  server->Handle("/readyz", [service](const HttpRequest& request) {
+    return HandleReadyz(service, request);
+  });
+}
+
+}  // namespace detective::serve

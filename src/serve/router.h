@@ -1,0 +1,36 @@
+#ifndef DETECTIVE_SERVE_ROUTER_H_
+#define DETECTIVE_SERVE_ROUTER_H_
+
+// HTTP surface of detective_serve (docs/serving.md): binds the v1 endpoints
+// to a CleaningService on an obs::HttpServer. Registration must happen
+// before HttpServer::Start().
+//
+//   POST /v1/clean-tuple   JSON {"deadline_ms": N, "tuple": {col: value}}
+//                          -> JSON outcome (200 even when degraded)
+//   POST /v1/clean-table   CSV body (header row = schema), ?deadline_ms=N
+//                          -> repaired CSV; X-Detective-* response headers
+//   GET  /v1/explain       ?id=r-N&row=R&column=C -> provenance records
+//   GET  /v1/rules         the frozen rule set, names + column footprints
+//   GET  /readyz           200 once serving, 503 while loading or draining
+//
+// Error mapping (the request-level contract tests/serve_test.cc asserts):
+// malformed JSON/CSV or a schema mismatch → 400; X-Detective-Fault-Plan
+// without --allow-fault-header → 403; unknown explain id → 404; queue full →
+// 429 + Retry-After; not ready / draining → 503 + Retry-After; a request
+// that trips its deadline or an injected repair fault → 200 with
+// degraded:true and the quarantine ledger (degradation is an outcome, not an
+// error); a panic past the guarded path → 500 from the HTTP layer.
+
+#include "obs/http_server.h"
+#include "serve/service.h"
+
+namespace detective::serve {
+
+/// Registers every endpoint above on `server`. Both pointers must outlive
+/// the server's serving threads.
+void RegisterServiceHandlers(obs::HttpServer* server,
+                             CleaningService* service);
+
+}  // namespace detective::serve
+
+#endif  // DETECTIVE_SERVE_ROUTER_H_

@@ -1,0 +1,100 @@
+#include "serve/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/log.h"
+#include "common/metrics.h"
+
+namespace detective::serve {
+
+BoundedWorkerPool::BoundedWorkerPool(size_t workers, size_t queue_capacity)
+    : capacity_(std::max<size_t>(1, queue_capacity)) {
+  const size_t count = std::max<size_t>(1, workers);
+  threads_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+BoundedWorkerPool::~BoundedWorkerPool() { Shutdown(); }
+
+bool BoundedWorkerPool::Submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || draining_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void BoundedWorkerPool::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool BoundedWorkerPool::WaitIdle(uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return idle_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [this] { return queue_.empty() && running_ == 0; });
+}
+
+void BoundedWorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+size_t BoundedWorkerPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t BoundedWorkerPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void BoundedWorkerPool::WorkerLoop(size_t index) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    // Last-resort isolation: the service wraps jobs so exceptions are
+    // marshalled back to the requesting thread, but a worker must survive
+    // anything that still escapes.
+    try {
+      job(index);
+    } catch (...) {
+      DETECTIVE_COUNT("serve.worker_panics");
+      DETECTIVE_LOG_EVERY_N(16, logs::Level::kError, "serve", "worker_panic",
+                            "job escaped its exception barrier",
+                            {"worker", static_cast<uint64_t>(index)});
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace detective::serve

@@ -1,0 +1,78 @@
+#ifndef DETECTIVE_SERVE_WORKER_POOL_H_
+#define DETECTIVE_SERVE_WORKER_POOL_H_
+
+// Fixed-size worker pool fed by a bounded job queue — the execution engine
+// of detective_serve. The capacity bound is the service's admission control:
+// Submit() refuses (rather than queues unboundedly) when the queue is full,
+// and the router answers 429 from that signal. Workers are indexed so the
+// service can pin per-worker state (one FastRepairer each) without locking.
+//
+// Shutdown is graceful by construction: BeginDrain() stops admission while
+// queued and in-flight jobs keep running (their per-request deadlines bound
+// how long that takes), WaitIdle() observes completion, Shutdown() joins.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace detective::serve {
+
+class BoundedWorkerPool {
+ public:
+  /// A unit of work; receives the index of the worker running it
+  /// (0 .. workers-1), stable for the pool's lifetime.
+  using Job = std::function<void(size_t worker_index)>;
+
+  /// Spawns `workers` threads (min 1) over a queue of `queue_capacity`
+  /// (min 1) waiting jobs.
+  BoundedWorkerPool(size_t workers, size_t queue_capacity);
+  ~BoundedWorkerPool();
+
+  BoundedWorkerPool(const BoundedWorkerPool&) = delete;
+  BoundedWorkerPool& operator=(const BoundedWorkerPool&) = delete;
+
+  /// Enqueues `job`; false when the queue is at capacity or the pool is
+  /// draining/stopped — the caller sheds the request (429).
+  bool Submit(Job job);
+
+  /// Stops admitting new jobs; queued and in-flight jobs still complete.
+  /// Idempotent.
+  void BeginDrain();
+
+  /// Blocks until no job is queued or running, or `timeout_ms` elapsed;
+  /// true on idle.
+  bool WaitIdle(uint64_t timeout_ms);
+
+  /// BeginDrain + run down the queue + join all workers. Idempotent; the
+  /// destructor calls it.
+  void Shutdown();
+
+  size_t workers() const { return threads_.size(); }
+  size_t queue_capacity() const { return capacity_; }
+  /// Snapshot of jobs waiting in the queue (excludes running jobs).
+  size_t queued() const;
+  /// Snapshot of jobs currently executing.
+  size_t in_flight() const;
+
+ private:
+  void WorkerLoop(size_t index);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals work or shutdown
+  std::condition_variable idle_cv_;  // signals the pool went idle
+  std::deque<Job> queue_;
+  size_t capacity_;
+  size_t running_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace detective::serve
+
+#endif  // DETECTIVE_SERVE_WORKER_POOL_H_

@@ -5,9 +5,15 @@
 // detective_explain 0/1/64. The binaries are driven as subprocesses — the
 // same way CI and downstream scripts consume them.
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -206,6 +212,127 @@ TEST(LintExitCodes, Contract) {
                     "/figure1.nt --rules=" + rules_path;
   EXPECT_EQ(ExitCode(bad), 3);
   EXPECT_EQ(ExitCode(bad + " --fail-on=never"), 0);
+}
+
+// ---- detective_serve ---------------------------------------------------------
+// The daemon's lifecycle contract (docs/serving.md): 64 for unusable
+// configuration — bad flags, a port that cannot be bound — so supervisors
+// distinguish "fix the config" from "crashed" (1), 3 when strict analysis
+// rejects the rule set, and 0 for a SIGTERM-initiated graceful drain.
+
+constexpr const char* kServeBin = DETECTIVE_SERVE_BIN;
+
+std::string ServeCommand(const std::string& extra) {
+  return std::string(kServeBin) + " --kb=" + kDataDir + "/figure1.nt" +
+         " --rules=" + kDataDir + "/figure4.dr" +
+         " --schema-csv=" + kDataDir + "/table1.csv " + extra;
+}
+
+/// Spawns `command` (split on spaces — no argument here contains one),
+/// parses the "detective_serve: http://127.0.0.1:PORT" handshake off its
+/// stdout, and exposes the port + the eventual exit code. fork/exec directly
+/// — no shell in between — because the test must SIGTERM the daemon itself
+/// and harvest its exit status.
+class ServeProcess {
+ public:
+  explicit ServeProcess(const std::string& command) {
+    int out_pipe[2] = {-1, -1};
+    if (pipe(out_pipe) != 0) return;
+    std::vector<std::string> words;
+    for (size_t pos = 0; pos < command.size();) {
+      const size_t space = command.find(' ', pos);
+      const size_t end = space == std::string::npos ? command.size() : space;
+      if (end > pos) words.push_back(command.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    pid_ = fork();
+    if (pid_ == 0) {
+      dup2(out_pipe[1], STDOUT_FILENO);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      int devnull = open("/dev/null", O_WRONLY);
+      if (devnull >= 0) dup2(devnull, STDERR_FILENO);
+      std::vector<char*> argv;
+      argv.reserve(words.size() + 1);
+      for (std::string& word : words) argv.push_back(word.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);
+    }
+    close(out_pipe[1]);
+    // Read stdout a byte at a time until the handshake line completes (the
+    // daemon keeps the descriptor open, so "read to EOF" would hang).
+    std::string line;
+    char byte = 0;
+    while (line.find('\n') == std::string::npos && line.size() < 4096 &&
+           read(out_pipe[0], &byte, 1) == 1) {
+      line.push_back(byte);
+    }
+    close(out_pipe[0]);
+    const size_t at = line.rfind(':');
+    if (line.find("detective_serve: http://127.0.0.1:") == 0 &&
+        at != std::string::npos) {
+      port_ = static_cast<uint16_t>(std::stoi(line.substr(at + 1)));
+    }
+  }
+
+  ~ServeProcess() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+  }
+
+  uint16_t port() const { return port_; }
+  bool started() const { return pid_ > 0 && port_ != 0; }
+
+  /// SIGTERMs the daemon and returns its exit code (-1 on abnormal exit).
+  int Terminate() {
+    if (pid_ <= 0) return -1;
+    kill(pid_, SIGTERM);
+    int raw = 0;
+    if (waitpid(pid_, &raw, 0) != pid_) return -1;
+    pid_ = -1;
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(ServeExitCodes, UsageErrorsAre64) {
+  EXPECT_EQ(ExitCode(kServeBin), 64);
+  EXPECT_EQ(ExitCode(ServeCommand("--port=99999")), 64);
+  EXPECT_EQ(ExitCode(ServeCommand("--queue-depth=0")), 64);
+  EXPECT_EQ(ExitCode(ServeCommand("--lint=sometimes")), 64);
+  // --schema and --schema-csv are mutually exclusive, one is required.
+  EXPECT_EQ(ExitCode(std::string(kServeBin) + " --kb=" + kDataDir +
+                     "/figure1.nt --rules=" + kDataDir + "/figure4.dr"),
+            64);
+}
+
+TEST(ServeExitCodes, LoadFailureIsOne) {
+  EXPECT_EQ(ExitCode(std::string(kServeBin) +
+                     " --kb=/nonexistent.nt --rules=" + kDataDir +
+                     "/figure4.dr --schema-csv=" + kDataDir + "/table1.csv"),
+            1);
+}
+
+TEST(ServeExitCodes, StrictAnalysisRejectionIsThree) {
+  // The figure4 rules keep an interaction cycle no refutation breaks, so
+  // --stratify=strict refuses to serve with the same code the batch tool
+  // uses (see CleanExitCodes.StratifyContract).
+  EXPECT_EQ(ExitCode(ServeCommand("--stratify=strict")), 3);
+}
+
+TEST(ServeExitCodes, SigtermDrainsToZeroAndPortInUseIs64) {
+  ServeProcess daemon(ServeCommand(""));
+  ASSERT_TRUE(daemon.started());
+  // A second daemon asking for the same (now taken) port is a usage error.
+  EXPECT_EQ(ExitCode(ServeCommand("--port=" + std::to_string(daemon.port()))),
+            64);
+  EXPECT_EQ(daemon.Terminate(), 0);
 }
 
 TEST(ExplainExitCodes, Contract) {

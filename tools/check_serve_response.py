@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Schema checker for detective_serve response bodies (docs/serving.md).
+
+Validates that a response document carries exactly the advertised shape, so
+the CI serve-smoke job fails on contract drift rather than on a downstream
+consumer. Reads the body from FILE (or '-'/stdin):
+
+  curl -fsS .../v1/clean-tuple -d @req.json |
+      check_serve_response.py --kind=tuple --expect-degraded=false
+  curl -fsS .../v1/rules | check_serve_response.py --kind=rules
+  curl -fsS '.../v1/explain?id=r-1&row=0&column=City' |
+      check_serve_response.py --kind=explain
+
+Kinds:
+  tuple    POST /v1/clean-tuple body: request_id/degraded/tuple/repaired/
+           positive/quarantine, with the cross-field invariants (degraded
+           <=> non-empty quarantine ledger, repaired entries consistent
+           with the returned tuple).
+  rules    GET /v1/rules body: total/usable/rules[{name,target,evidence}].
+  explain  GET /v1/explain body: request_id + provenance records.
+
+Expectations (all optional):
+  --expect-degraded=true|false   assert the degraded flag
+  --expect-repair Col=Value      assert some repair set Col to Value
+                                 (repeatable)
+  --expect-quarantine-reason=R   assert some ledger record has reason R
+
+Exit status: 0 when the document validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_FAILURES = []
+
+
+def fail(message):
+    _FAILURES.append(message)
+
+
+def expect_keys(obj, keys, label):
+    if not isinstance(obj, dict):
+        fail(f"{label}: not an object")
+        return False
+    missing = set(keys) - set(obj)
+    extra = set(obj) - set(keys)
+    if missing:
+        fail(f"{label}: missing keys {sorted(missing)}")
+    if extra:
+        fail(f"{label}: unexpected keys {sorted(extra)}")
+    return not missing and not extra
+
+
+def check_quarantine(records, label):
+    if not isinstance(records, list):
+        fail(f"{label}: not an array")
+        return
+    for i, record in enumerate(records):
+        if not expect_keys(
+            record,
+            ("row", "rule", "site", "reason", "round", "detail"),
+            f"{label}[{i}]",
+        ):
+            continue
+        if not isinstance(record["row"], int) or record["row"] < 0:
+            fail(f"{label}[{i}]: row is not a non-negative integer")
+        if not isinstance(record["reason"], str) or not record["reason"]:
+            fail(f"{label}[{i}]: reason is not a non-empty string")
+
+
+def check_tuple(doc, args):
+    if not expect_keys(
+        doc,
+        ("request_id", "degraded", "tuple", "repaired", "positive",
+         "quarantine"),
+        "response",
+    ):
+        return
+    if not re.fullmatch(r"r-\d+", doc["request_id"]):
+        fail(f"request_id {doc['request_id']!r} is not r-<n>")
+    if not isinstance(doc["degraded"], bool):
+        fail("degraded is not a boolean")
+    cells = doc["tuple"]
+    if not isinstance(cells, dict) or not all(
+        isinstance(v, str) for v in cells.values()
+    ):
+        fail("tuple is not an object of strings")
+        cells = {}
+    for i, repair in enumerate(doc["repaired"]):
+        if not expect_keys(repair, ("column", "from", "to"), f"repaired[{i}]"):
+            continue
+        if repair["column"] not in cells:
+            fail(f"repaired[{i}]: column {repair['column']!r} not in tuple")
+        elif cells[repair["column"]] != repair["to"]:
+            fail(f"repaired[{i}]: tuple cell disagrees with \"to\"")
+        if repair["from"] == repair["to"]:
+            fail(f"repaired[{i}]: from == to is not a repair")
+    for i, column in enumerate(doc["positive"]):
+        if column not in cells:
+            fail(f"positive[{i}]: column {column!r} not in tuple")
+    check_quarantine(doc["quarantine"], "quarantine")
+    # The degradation contract: the flag IS the ledger, never out of sync.
+    if isinstance(doc["degraded"], bool) and doc["degraded"] != bool(
+        doc["quarantine"]
+    ):
+        fail("degraded flag disagrees with the quarantine ledger")
+
+    if args.expect_degraded is not None:
+        want = args.expect_degraded == "true"
+        if doc["degraded"] is not want:
+            fail(f"expected degraded={want}, got {doc['degraded']}")
+    for spec in args.expect_repair:
+        column, _, value = spec.partition("=")
+        if not any(
+            r.get("column") == column and r.get("to") == value
+            for r in doc["repaired"]
+        ):
+            fail(f"expected a repair {column!r} -> {value!r}; repairs: "
+                 f"{doc['repaired']}")
+    if args.expect_quarantine_reason is not None:
+        if not any(
+            r.get("reason") == args.expect_quarantine_reason
+            for r in doc["quarantine"]
+        ):
+            fail(f"expected a quarantine record with reason "
+                 f"{args.expect_quarantine_reason!r}; got {doc['quarantine']}")
+
+
+def check_rules(doc, _args):
+    if not expect_keys(doc, ("total", "usable", "rules"), "response"):
+        return
+    if not isinstance(doc["total"], int) or not isinstance(doc["usable"], int):
+        fail("total/usable are not integers")
+        return
+    if not 0 <= doc["usable"] <= doc["total"]:
+        fail(f"usable {doc['usable']} outside [0, total={doc['total']}]")
+    if len(doc["rules"]) != doc["total"]:
+        fail(f"rules array has {len(doc['rules'])} entries, total says "
+             f"{doc['total']}")
+    for i, rule in enumerate(doc["rules"]):
+        if not expect_keys(rule, ("name", "target", "evidence"), f"rules[{i}]"):
+            continue
+        if not isinstance(rule["evidence"], list):
+            fail(f"rules[{i}]: evidence is not an array")
+
+
+def check_explain(doc, _args):
+    if not expect_keys(doc, ("request_id", "records"), "response"):
+        return
+    for i, record in enumerate(doc["records"]):
+        label = f"records[{i}]"
+        if not isinstance(record, dict):
+            fail(f"{label}: not an object")
+            continue
+        for key in ("row", "column_index", "column", "kind", "rule", "round",
+                    "old_value", "new_value", "bindings"):
+            if key not in record:
+                fail(f"{label}: missing key {key!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kind", required=True,
+                        choices=("tuple", "rules", "explain"))
+    parser.add_argument("--expect-degraded", choices=("true", "false"))
+    parser.add_argument("--expect-repair", action="append", default=[],
+                        metavar="COLUMN=VALUE")
+    parser.add_argument("--expect-quarantine-reason", metavar="REASON")
+    parser.add_argument("file", nargs="?", default="-",
+                        help="response body file, or '-' for stdin")
+    args = parser.parse_args()
+
+    raw = sys.stdin.read() if args.file == "-" else open(
+        args.file, "r", encoding="utf-8").read()
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as error:
+        print(f"FAIL: body is not JSON: {error}", file=sys.stderr)
+        return 1
+
+    {"tuple": check_tuple, "rules": check_rules,
+     "explain": check_explain}[args.kind](doc, args)
+
+    if _FAILURES:
+        for failure in _FAILURES:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"{args.kind} response ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

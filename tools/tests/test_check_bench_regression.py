@@ -77,6 +77,28 @@ class ToleranceForTest(unittest.TestCase):
         self.assertEqual(cbr.tolerance_for("shared/wall_ms", 0.25, bands), 0.25)
 
 
+class DefaultBandsTest(unittest.TestCase):
+    """The built-in bands for time-derived counters (latency percentiles,
+    throughput, shed rate) apply when no user band matches, and an explicit
+    user band — given first — always overrides them."""
+
+    def test_latency_percentiles_have_default_bands(self):
+        self.assertEqual(cbr.tolerance_for("latency.p50_us", 0.0, []), 2.0)
+        self.assertEqual(cbr.tolerance_for("latency.p95_us", 0.0, []), 3.0)
+        self.assertEqual(cbr.tolerance_for("latency.p99_us", 0.0, []), 4.0)
+        self.assertEqual(cbr.tolerance_for("throughput_rps", 0.0, []), 1.0)
+        self.assertEqual(cbr.tolerance_for("requests.shed_pct", 0.0, []), 1.0)
+
+    def test_plain_counters_keep_the_exact_default(self):
+        self.assertEqual(cbr.tolerance_for("requests.ok", 0.0, []), 0.0)
+        self.assertEqual(cbr.tolerance_for("repair.rule_checks", 0.0, []), 0.0)
+
+    def test_user_band_overrides_the_default(self):
+        bands = [("latency.*", 0.05), ("*_rps", None)]
+        self.assertEqual(cbr.tolerance_for("latency.p99_us", 0.0, bands), 0.05)
+        self.assertIsNone(cbr.tolerance_for("throughput_rps", 0.0, bands))
+
+
 class WithinTest(unittest.TestCase):
     def test_relative_band_is_symmetric(self):
         # The band is [b/(1+t), b*(1+t)]: a 2x speedup and a 2x slowdown are
@@ -162,6 +184,24 @@ class CompareTest(unittest.TestCase):
         failures = cbr.compare(fresh, base, CompareArgs(strict=True))
         self.assertEqual(len(failures), 1)
         self.assertIn("gone", failures[0])
+
+    def test_latency_drift_passes_within_default_band_and_fails_beyond(self):
+        base = self.write(
+            "base.json",
+            bench_doc(entries=[entry("s", 1, 10.0, {"latency.p99_us": 100})]),
+        )
+        drifted = self.write(
+            "fresh.json",
+            bench_doc(entries=[entry("s", 1, 10.0, {"latency.p99_us": 390})]),
+        )
+        self.assertEqual(cbr.compare(drifted, base, CompareArgs()), [])
+        regressed = self.write(
+            "fresh2.json",
+            bench_doc(entries=[entry("s", 1, 10.0, {"latency.p99_us": 600})]),
+        )
+        failures = cbr.compare(regressed, base, CompareArgs())
+        self.assertEqual(len(failures), 1)
+        self.assertIn("latency.p99_us", failures[0])
 
     def test_bench_name_mismatch_is_a_failure(self):
         fresh = self.write("fresh.json", bench_doc(bench="a"))
