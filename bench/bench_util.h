@@ -38,11 +38,34 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
 
 namespace detective::bench {
+
+/// Peak resident set of this process so far, in bytes (getrusage; Linux
+/// reports ru_maxrss in KiB). Monotone over the process lifetime, so a
+/// bench entry records the high-water mark up to its measurement — the
+/// memory gate the scale benches assert on.
+inline uint64_t PeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Normalized throughput: rows cleaned per second per worker core. Stored as
+/// a counter named with the _rps suffix so check_bench_regression.py's
+/// default throughput band applies instead of the exact-match rule.
+inline void RecordThroughput(std::map<std::string, uint64_t>* counters,
+                             uint64_t rows, size_t cores, double wall_ms) {
+  if (wall_ms <= 0 || cores == 0) return;
+  const double per_core = static_cast<double>(rows) / (wall_ms / 1000.0) /
+                          static_cast<double>(cores);
+  (*counters)["rows_per_core_rps"] = static_cast<uint64_t>(per_core);
+}
 
 /// Minimal --key=value flag reader: Flag(argc, argv, "tuples", 2000).
 inline uint64_t FlagUint(int argc, char** argv, const char* name,
@@ -133,6 +156,10 @@ class BenchJsonWriter {
 
   void Add(std::string series, double x, double wall_ms,
            std::map<std::string, uint64_t> counters = {}) {
+    // Every entry carries the process peak-RSS high-water mark, so memory
+    // regressions gate in CI alongside wall clock (emplace: a caller that
+    // measured its own figure wins).
+    counters.emplace("peak_rss_bytes", PeakRssBytes());
     entries_.push_back(
         {std::move(series), x, wall_ms, std::move(counters)});
   }

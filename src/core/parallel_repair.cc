@@ -34,13 +34,34 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
                                    Relation* relation,
                                    ParallelRepairOptions options) {
   DETECTIVE_SCOPED_TIMER("parallel.repair");
-  DETECTIVE_TRACE_SPAN("parallel.repair",
-                       {"rows", static_cast<int64_t>(relation->num_tuples())});
+  const std::vector<size_t>* subset = options.row_subset;
+  if (subset != nullptr) {
+    if (options.repair.max_rule_failures > 0) {
+      return Status::InvalidArgument(
+          "row_subset cannot combine with max_rule_failures: the breaker "
+          "tallies failures across the whole relation, not a subset");
+    }
+    for (size_t row : *subset) {
+      if (row >= relation->num_tuples()) {
+        return Status::InvalidArgument("row_subset names row ", row,
+                                       " but the relation has only ",
+                                       relation->num_tuples(), " row(s)");
+      }
+    }
+  }
+  // `rows` counts units of work; with a subset, position i maps to original
+  // row row_at(i) — the index that keys fault scopes and log records.
+  const size_t rows =
+      subset != nullptr ? subset->size() : relation->num_tuples();
+  auto row_at = [subset](size_t i) {
+    return subset != nullptr ? (*subset)[i] : i;
+  };
+  DETECTIVE_TRACE_SPAN("parallel.repair", {"rows", static_cast<int64_t>(rows)});
   size_t threads = options.num_threads;
   if (threads == 0) {
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
-  threads = std::min(threads, std::max<size_t>(1, relation->num_tuples()));
+  threads = std::min(threads, std::max<size_t>(1, rows));
 
   // Validate the binding once up front so workers cannot fail, and build the
   // shared frozen plan from the bound rules: the §IV-B(2) indexes are
@@ -64,20 +85,53 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
 
   const bool guarded = options.quarantine != nullptr ||
                        GuardedRepairRequested(options.repair);
-  if (threads == 1 || relation->num_tuples() == 0) {
+  if (threads == 1 || rows == 0) {
     FastRepairer repairer(kb, relation->schema(), rules, options.repair);
     RETURN_NOT_OK(repairer.Init());
     repairer.engine().set_provenance(options.provenance);
     repairer.engine().SetShared(plan_ptr, cache_ptr);
+    if (subset == nullptr) {
+      if (guarded) {
+        repairer.RepairRelationGuarded(relation, options.quarantine);
+      } else {
+        repairer.RepairRelation(relation);
+      }
+      return repairer.stats();
+    }
+    // Sequential subset drive, mirroring RepairRelation(Guarded) with
+    // original row indexes. No BreakerFixpoint: subset + breaker was
+    // rejected above.
     if (guarded) {
-      repairer.RepairRelationGuarded(relation, options.quarantine);
+      const uint64_t seq_deadline_ms = options.repair.deadline_ms;
+      const Deadline seq_deadline = seq_deadline_ms > 0
+                                        ? Deadline::AfterMs(seq_deadline_ms)
+                                        : Deadline::Infinite();
+      QuarantineLog ledger;
+      for (size_t i = 0; i < rows; ++i) {
+        const size_t row = row_at(i);
+        Tuple tuple = relation->tuple(row);
+        if (repairer.RepairTupleGuarded(row, seq_deadline, &tuple, &ledger)) {
+          relation->CommitRow(row, tuple);
+        }
+        DETECTIVE_PROGRESS(AddRowsCommitted(1));
+      }
+      ledger.Canonicalize();
+      if (options.quarantine != nullptr) {
+        options.quarantine->Merge(std::move(ledger));
+      }
     } else {
-      repairer.RepairRelation(relation);
+      for (size_t i = 0; i < rows; ++i) {
+        const size_t row = row_at(i);
+        repairer.engine().set_current_row(row);
+        Tuple tuple = relation->tuple(row);
+        repairer.RepairTuple(&tuple);
+        relation->CommitRow(row, tuple);
+        DETECTIVE_PROGRESS(AddRowsCommitted(1));
+      }
     }
     return repairer.stats();
   }
 
-  const size_t rows = relation->num_tuples();
   const size_t chunk_rows = std::max<size_t>(1, options.chunk_rows);
   const size_t num_chunks = (rows + chunk_rows - 1) / chunk_rows;
   // The run deadline is armed once, before the fan-out, so every worker —
@@ -134,7 +188,8 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
         const size_t hi = std::min(rows, lo + chunk_rows);
         std::vector<Tuple>& results = chunk_results[chunk];
         results.reserve(hi - lo);
-        for (size_t row = lo; row < hi; ++row) {
+        for (size_t i = lo; i < hi; ++i) {
+          const size_t row = row_at(i);
           Tuple tuple = relation->tuple(row);
           if (guarded) {
             // A tripped chase rolls the tuple back to its checkout state, so
@@ -161,7 +216,7 @@ Result<RepairStats> ParallelRepair(const KnowledgeBase& kb,
     const size_t lo = chunk * chunk_rows;
     std::vector<Tuple>& results = chunk_results[chunk];
     for (size_t i = 0; i < results.size(); ++i) {
-      relation->CommitRow(lo + i, results[i]);
+      relation->CommitRow(row_at(lo + i), results[i]);
     }
     results = {};  // release the buffer eagerly
   }

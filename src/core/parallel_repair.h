@@ -41,6 +41,15 @@ struct ParallelRepairOptions {
   /// backtracking, many corrections) cannot serialize the tail of the run
   /// behind one worker; large enough that the atomic claim is amortized.
   size_t chunk_rows = 64;
+  /// When set, only these rows (ascending original indexes into `relation`)
+  /// are chased; every other row is left untouched. Original indexes key the
+  /// fault scopes and provenance/quarantine records, so chasing a subset
+  /// produces exactly the records a full run would produce for those rows —
+  /// the contract incremental (delta) cleaning is built on. Must not name a
+  /// row outside the relation. Incompatible with `max_rule_failures` (the
+  /// breaker tallies failures across the whole relation). The pointee must
+  /// outlive the call.
+  const std::vector<size_t>* row_subset = nullptr;
 };
 
 /// Repairs `relation` in place with the fast algorithm across threads.

@@ -103,6 +103,11 @@ class ProvenanceLog {
   void Add(RepairProvenance record) { records_.push_back(std::move(record)); }
 
   const std::vector<RepairProvenance>& records() const { return records_; }
+
+  /// Mutable access for log-rewriting passes (e.g. the incremental merge,
+  /// which moves records out of a consumed previous-run log instead of deep
+  /// copying them). Reordering entries breaks ForCell's log-order contract.
+  std::vector<RepairProvenance>& mutable_records() { return records_; }
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
   void Clear() { records_.clear(); }

@@ -65,6 +65,11 @@ class QuarantineLog {
   void Add(QuarantineRecord record) { records_.push_back(std::move(record)); }
 
   const std::vector<QuarantineRecord>& records() const { return records_; }
+
+  /// Mutable access for log-rewriting passes (e.g. the incremental merge,
+  /// which moves records out of its freshly re-chased shard). Reordering
+  /// entries breaks the row/round-order contract Canonicalize establishes.
+  std::vector<QuarantineRecord>& mutable_records() { return records_; }
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
   void Clear() { records_.clear(); }

@@ -35,14 +35,18 @@ std::string_view KnowledgeBase::RelationName(RelationId id) const {
 }
 
 std::span<const ClassId> KnowledgeBase::DirectClasses(ItemId id) const {
-  return item_classes_[id.value()];
+  const size_t i = id.value();
+  return std::span<const ClassId>(item_class_pool_)
+      .subspan(static_cast<size_t>(item_class_offsets_[i]),
+               static_cast<size_t>(item_class_offsets_[i + 1] -
+                                   item_class_offsets_[i]));
 }
 
 bool KnowledgeBase::IsInstanceOf(ItemId item, ClassId cls) const {
   DETECTIVE_COUNT("kb.instance_checks");
   if (IsLiteral(item)) return cls == literal_class_;
   if (cls == literal_class_) return false;
-  for (ClassId direct : item_classes_[item.value()]) {
+  for (ClassId direct : DirectClasses(item)) {
     const std::vector<ClassId>& ancestors = classes_[direct.value()].ancestors;
     if (std::binary_search(ancestors.begin(), ancestors.end(), cls)) return true;
   }
@@ -55,21 +59,45 @@ std::span<const ItemId> KnowledgeBase::InstancesOf(ClassId cls) const {
 
 std::span<const ItemId> KnowledgeBase::ItemsWithLabel(std::string_view label) const {
   DETECTIVE_COUNT("kb.label_lookups");
-  auto it = items_by_label_.find(std::string(label));
-  if (it == items_by_label_.end()) return {};
+  // Groups are ordered by strictly increasing label: binary search for it.
+  size_t lo = 0;
+  size_t hi = label_group_offsets_.empty() ? 0 : label_group_offsets_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (GroupLabel(mid) < label) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == label_group_offsets_.size() - 1 || label_group_offsets_.empty() ||
+      GroupLabel(lo) != label) {
+    return {};
+  }
   DETECTIVE_COUNT("kb.label_hits");
-  return it->second;
+  return std::span<const ItemId>(label_group_pool_)
+      .subspan(static_cast<size_t>(label_group_offsets_[lo]),
+               static_cast<size_t>(label_group_offsets_[lo + 1] -
+                                   label_group_offsets_[lo]));
 }
 
 std::span<const KbEdge> KnowledgeBase::OutEdges(ItemId source) const {
-  return out_edges_[source.value()];
+  const size_t i = source.value();
+  return std::span<const KbEdge>(out_edge_pool_)
+      .subspan(static_cast<size_t>(out_edge_offsets_[i]),
+               static_cast<size_t>(out_edge_offsets_[i + 1] -
+                                   out_edge_offsets_[i]));
 }
 
 std::span<const KbEdge> KnowledgeBase::InEdges(ItemId target) const {
-  return in_edges_[target.value()];
+  const size_t i = target.value();
+  return std::span<const KbEdge>(in_edge_pool_)
+      .subspan(static_cast<size_t>(in_edge_offsets_[i]),
+               static_cast<size_t>(in_edge_offsets_[i + 1] -
+                                   in_edge_offsets_[i]));
 }
 
-std::span<const KbEdge> KnowledgeBase::EdgeRange(const std::vector<KbEdge>& edges,
+std::span<const KbEdge> KnowledgeBase::EdgeRange(std::span<const KbEdge> edges,
                                                  RelationId relation) {
   auto lower = std::lower_bound(
       edges.begin(), edges.end(), relation,
@@ -77,14 +105,14 @@ std::span<const KbEdge> KnowledgeBase::EdgeRange(const std::vector<KbEdge>& edge
   auto upper = std::upper_bound(
       edges.begin(), edges.end(), relation,
       [](RelationId r, const KbEdge& e) { return r < e.relation; });
-  return {&*edges.begin() + (lower - edges.begin()),
-          static_cast<size_t>(upper - lower)};
+  return edges.subspan(static_cast<size_t>(lower - edges.begin()),
+                       static_cast<size_t>(upper - lower));
 }
 
 std::span<const KbEdge> KnowledgeBase::Objects(ItemId source,
                                                RelationId relation) const {
   DETECTIVE_COUNT("kb.edge_queries");
-  const std::vector<KbEdge>& edges = out_edges_[source.value()];
+  std::span<const KbEdge> edges = OutEdges(source);
   if (edges.empty()) return {};
   return EdgeRange(edges, relation);
 }
@@ -92,14 +120,14 @@ std::span<const KbEdge> KnowledgeBase::Objects(ItemId source,
 std::span<const KbEdge> KnowledgeBase::Subjects(RelationId relation,
                                                 ItemId target) const {
   DETECTIVE_COUNT("kb.edge_queries");
-  const std::vector<KbEdge>& edges = in_edges_[target.value()];
+  std::span<const KbEdge> edges = InEdges(target);
   if (edges.empty()) return {};
   return EdgeRange(edges, relation);
 }
 
 bool KnowledgeBase::HasEdge(ItemId source, RelationId relation, ItemId target) const {
   DETECTIVE_COUNT("kb.edge_checks");
-  const std::vector<KbEdge>& edges = out_edges_[source.value()];
+  std::span<const KbEdge> edges = OutEdges(source);
   return std::binary_search(edges.begin(), edges.end(), KbEdge{relation, target});
 }
 
@@ -123,6 +151,7 @@ std::string KnowledgeBase::DebugSummary() const {
 // ---- KbBuilder ---------------------------------------------------------------
 
 KbBuilder::KbBuilder() {
+  kb_.label_offsets_.push_back(0);
   kb_.literal_class_ = AddClass(kLiteralClassName);
 }
 
@@ -162,49 +191,53 @@ RelationId KbBuilder::AddRelation(std::string_view name) {
 
 ItemId KbBuilder::AddEntity(std::string_view label,
                             const std::vector<ClassId>& classes) {
-  ItemId id(static_cast<uint32_t>(kb_.items_.size()));
+  ItemId id(static_cast<uint32_t>(num_items()));
   std::string normalized = NormalizeWhitespace(label);
-  kb_.items_by_label_[normalized].push_back(id);
-  kb_.items_.push_back({.label = std::move(normalized), .is_literal = false});
-  kb_.item_classes_.push_back(classes);
-  kb_.out_edges_.emplace_back();
-  kb_.in_edges_.emplace_back();
+  items_by_label_[normalized].push_back(id);
+  kb_.label_blob_ += normalized;
+  kb_.label_offsets_.push_back(kb_.label_blob_.size());
+  kb_.literal_flags_.push_back(0);
+  item_classes_.push_back(classes);
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
   ++kb_.num_entities_;
   return id;
 }
 
 void KbBuilder::AddClassToEntity(ItemId entity, ClassId cls) {
-  DETECTIVE_CHECK(!kb_.items_[entity.value()].is_literal);
-  kb_.item_classes_[entity.value()].push_back(cls);
+  DETECTIVE_CHECK(kb_.literal_flags_[entity.value()] == 0);
+  item_classes_[entity.value()].push_back(cls);
 }
 
 ItemId KbBuilder::AddLiteral(std::string_view value) {
   std::string normalized = NormalizeWhitespace(value);
   auto [it, inserted] = literal_by_value_.try_emplace(normalized, ItemId::Invalid());
   if (!inserted) return it->second;
-  ItemId id(static_cast<uint32_t>(kb_.items_.size()));
+  ItemId id(static_cast<uint32_t>(num_items()));
   it->second = id;
-  kb_.items_by_label_[normalized].push_back(id);
-  kb_.items_.push_back({.label = std::move(normalized), .is_literal = true});
-  kb_.item_classes_.emplace_back();
-  kb_.out_edges_.emplace_back();
-  kb_.in_edges_.emplace_back();
+  items_by_label_[normalized].push_back(id);
+  kb_.label_blob_ += normalized;
+  kb_.label_offsets_.push_back(kb_.label_blob_.size());
+  kb_.literal_flags_.push_back(1);
+  item_classes_.emplace_back();
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
   return id;
 }
 
 void KbBuilder::AddEdge(ItemId subject, RelationId relation, ItemId object) {
   DETECTIVE_CHECK(subject.valid() && relation.valid() && object.valid());
-  DETECTIVE_CHECK(!kb_.items_[subject.value()].is_literal)
+  DETECTIVE_CHECK(kb_.literal_flags_[subject.value()] == 0)
       << "literals cannot be triple subjects";
-  kb_.out_edges_[subject.value()].push_back({relation, object});
-  kb_.in_edges_[object.value()].push_back({relation, subject});
+  out_edges_[subject.value()].push_back({relation, object});
+  in_edges_[object.value()].push_back({relation, subject});
 }
 
 ItemId KbBuilder::FindEntity(std::string_view label) const {
-  auto it = kb_.items_by_label_.find(NormalizeWhitespace(label));
-  if (it == kb_.items_by_label_.end()) return ItemId::Invalid();
+  auto it = items_by_label_.find(NormalizeWhitespace(label));
+  if (it == items_by_label_.end()) return ItemId::Invalid();
   for (ItemId id : it->second) {
-    if (!kb_.items_[id.value()].is_literal) return id;
+    if (kb_.literal_flags_[id.value()] == 0) return id;
   }
   return ItemId::Invalid();
 }
@@ -212,7 +245,7 @@ ItemId KbBuilder::FindEntity(std::string_view label) const {
 Status KbBuilder::FreezeInto(KnowledgeBase* out) && {
   DETECTIVE_SCOPED_TIMER("kb.freeze");
   DETECTIVE_TRACE_SPAN("kb.freeze",
-                       {"items", static_cast<int64_t>(kb_.items_.size())});
+                       {"items", static_cast<int64_t>(num_items())});
   const size_t num_classes = kb_.classes_.size();
 
   // Ancestor closure by DFS with cycle detection (0 = white, 1 = on stack,
@@ -262,15 +295,15 @@ Status KbBuilder::FreezeInto(KnowledgeBase* out) && {
   // Per-class instance lists over the closure: every entity contributes to
   // each ancestor of each of its direct classes. Literals go to the literal
   // class only.
-  for (uint32_t i = 0; i < kb_.items_.size(); ++i) {
+  for (uint32_t i = 0; i < num_items(); ++i) {
     ItemId item(i);
-    if (kb_.items_[i].is_literal) {
+    if (kb_.literal_flags_[i] != 0) {
       kb_.classes_[kb_.literal_class_.value()].instances.push_back(item);
       continue;
     }
     // Dedup ancestors across multiple direct classes.
     std::vector<ClassId> all;
-    for (ClassId direct : kb_.item_classes_[i]) {
+    for (ClassId direct : item_classes_[i]) {
       const std::vector<ClassId>& anc = kb_.classes_[direct.value()].ancestors;
       all.insert(all.end(), anc.begin(), anc.end());
     }
@@ -280,16 +313,62 @@ Status KbBuilder::FreezeInto(KnowledgeBase* out) && {
   }
   // Sort + dedup adjacency for binary-searchable edge queries.
   size_t edge_count = 0;
-  for (std::vector<KbEdge>& edges : kb_.out_edges_) {
+  for (std::vector<KbEdge>& edges : out_edges_) {
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
     edge_count += edges.size();
   }
-  for (std::vector<KbEdge>& edges : kb_.in_edges_) {
+  for (std::vector<KbEdge>& edges : in_edges_) {
     std::sort(edges.begin(), edges.end());
     edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   }
   kb_.num_edges_ = edge_count;
+
+  // Flatten the per-item building vectors into the frozen pools.
+  const size_t items = num_items();
+  kb_.item_class_offsets_.reserve(items + 1);
+  kb_.item_class_offsets_.push_back(0);
+  size_t class_total = 0;
+  for (const auto& classes : item_classes_) class_total += classes.size();
+  kb_.item_class_pool_.reserve(class_total);
+  for (const auto& classes : item_classes_) {
+    kb_.item_class_pool_.insert(kb_.item_class_pool_.end(), classes.begin(),
+                                classes.end());
+    kb_.item_class_offsets_.push_back(kb_.item_class_pool_.size());
+  }
+  auto flatten_edges = [items](const std::vector<std::vector<KbEdge>>& rows,
+                               std::vector<uint64_t>* offsets,
+                               std::vector<KbEdge>* pool) {
+    offsets->reserve(items + 1);
+    offsets->push_back(0);
+    size_t total = 0;
+    for (const auto& row : rows) total += row.size();
+    pool->reserve(total);
+    for (const auto& row : rows) {
+      pool->insert(pool->end(), row.begin(), row.end());
+      offsets->push_back(pool->size());
+    }
+  };
+  flatten_edges(out_edges_, &kb_.out_edge_offsets_, &kb_.out_edge_pool_);
+  flatten_edges(in_edges_, &kb_.in_edge_offsets_, &kb_.in_edge_pool_);
+
+  // Label index: groups ordered by label so the frozen lookup is a binary
+  // search (and the snapshot bytes are deterministic).
+  std::vector<const std::pair<const std::string, std::vector<ItemId>>*> groups;
+  groups.reserve(items_by_label_.size());
+  for (const auto& entry : items_by_label_) groups.push_back(&entry);
+  std::sort(groups.begin(), groups.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  kb_.label_group_offsets_.reserve(groups.size() + 1);
+  kb_.label_group_offsets_.push_back(0);
+  size_t group_total = 0;
+  for (const auto* group : groups) group_total += group->second.size();
+  kb_.label_group_pool_.reserve(group_total);
+  for (const auto* group : groups) {
+    kb_.label_group_pool_.insert(kb_.label_group_pool_.end(),
+                                 group->second.begin(), group->second.end());
+    kb_.label_group_offsets_.push_back(kb_.label_group_pool_.size());
+  }
 
   *out = std::move(kb_);
   return Status::OK();

@@ -1,6 +1,7 @@
 #ifndef DETECTIVE_KB_KNOWLEDGE_BASE_H_
 #define DETECTIVE_KB_KNOWLEDGE_BASE_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -32,15 +33,16 @@ struct KbEdge {
 ///
 /// A KnowledgeBase is immutable: construct one through `KbBuilder` (which
 /// finalizes indexes) or a parser in ntriples_parser.h. All queries are
-/// const, O(log degree) or hash lookups, and thread-compatible.
+/// const, O(log degree) or better, and thread-compatible.
+///
+/// The frozen representation is arena-style: item labels live in one
+/// concatenated blob addressed by an offsets array, and the per-item class
+/// lists, adjacency lists, and the label index are flat pools sliced by
+/// offset arrays — no per-item heap objects. That keeps cache locality high
+/// and lets kb/snapshot.h reconstruct a KB from its binary snapshot with a
+/// handful of bulk array reads instead of millions of small allocations.
 class KnowledgeBase {
  public:
-  /// Vertex payload.
-  struct Item {
-    std::string label;          // normalized display label, used for matching
-    bool is_literal = false;    // literals have no classes and no out-edges
-  };
-
   KnowledgeBase() = default;
 
   KnowledgeBase(const KnowledgeBase&) = delete;
@@ -62,15 +64,19 @@ class KnowledgeBase {
 
   size_t num_classes() const { return classes_.size(); }
   size_t num_relations() const { return relation_names_.size(); }
-  size_t num_items() const { return items_.size(); }
+  size_t num_items() const { return literal_flags_.size(); }
   size_t num_entities() const { return num_entities_; }
   size_t num_edges() const { return num_edges_; }
 
   // ---- Item queries --------------------------------------------------------
 
-  const Item& item(ItemId id) const { return items_[id.value()]; }
-  std::string_view Label(ItemId id) const { return items_[id.value()].label; }
-  bool IsLiteral(ItemId id) const { return items_[id.value()].is_literal; }
+  std::string_view Label(ItemId id) const {
+    const size_t i = id.value();
+    return std::string_view(label_blob_)
+        .substr(static_cast<size_t>(label_offsets_[i]),
+                static_cast<size_t>(label_offsets_[i + 1] - label_offsets_[i]));
+  }
+  bool IsLiteral(ItemId id) const { return literal_flags_[id.value()] != 0; }
 
   /// Direct classes of an entity (empty for literals).
   std::span<const ClassId> DirectClasses(ItemId id) const;
@@ -84,7 +90,8 @@ class KnowledgeBase {
   std::span<const ItemId> InstancesOf(ClassId cls) const;
 
   /// Items whose label equals `label` exactly (labels are normalized at
-  /// build time with NormalizeWhitespace).
+  /// build time with NormalizeWhitespace). Binary search over the frozen
+  /// label-sorted group index: O(log #labels) string compares.
   std::span<const ItemId> ItemsWithLabel(std::string_view label) const;
 
   // ---- Edge queries --------------------------------------------------------
@@ -113,6 +120,7 @@ class KnowledgeBase {
 
  private:
   friend class KbBuilder;
+  friend class KbSnapshotCodec;  // kb/snapshot.h: flat binary (de)serialization
 
   struct ClassInfo {
     std::string name;
@@ -121,8 +129,13 @@ class KnowledgeBase {
     std::vector<ItemId> instances;     // closure instances, sorted (frozen)
   };
 
-  static std::span<const KbEdge> EdgeRange(const std::vector<KbEdge>& edges,
+  static std::span<const KbEdge> EdgeRange(std::span<const KbEdge> edges,
                                            RelationId relation);
+
+  /// Label of the g-th label-index group (all members share it).
+  std::string_view GroupLabel(size_t group) const {
+    return Label(label_group_pool_[label_group_offsets_[group]]);
+  }
 
   ClassId literal_class_;
   std::vector<ClassInfo> classes_;
@@ -131,11 +144,21 @@ class KnowledgeBase {
   std::vector<std::string> relation_names_;
   std::unordered_map<std::string, RelationId> relation_by_name_;
 
-  std::vector<Item> items_;
-  std::vector<std::vector<ClassId>> item_classes_;  // direct, parallel to items_
-  std::vector<std::vector<KbEdge>> out_edges_;      // sorted at freeze
-  std::vector<std::vector<KbEdge>> in_edges_;       // sorted at freeze
-  std::unordered_map<std::string, std::vector<ItemId>> items_by_label_;
+  // Frozen per-item storage: one offsets array + one pool per aspect, all
+  // parallel to item id. offsets arrays hold num_items + 1 entries.
+  std::string label_blob_;                    // labels concatenated in id order
+  std::vector<uint64_t> label_offsets_;
+  std::vector<uint8_t> literal_flags_;
+  std::vector<uint64_t> item_class_offsets_;  // direct classes
+  std::vector<ClassId> item_class_pool_;
+  std::vector<uint64_t> out_edge_offsets_;    // sorted by (relation, target)
+  std::vector<KbEdge> out_edge_pool_;
+  std::vector<uint64_t> in_edge_offsets_;     // sorted by (relation, source)
+  std::vector<KbEdge> in_edge_pool_;
+  // Label index: groups of item ids sharing a label, groups ordered by label
+  // (strictly increasing), members ascending. num_groups + 1 offsets.
+  std::vector<uint64_t> label_group_offsets_;
+  std::vector<ItemId> label_group_pool_;
   size_t num_entities_ = 0;
   size_t num_edges_ = 0;
 };
@@ -182,10 +205,11 @@ class KbBuilder {
   /// First entity with this normalized label, or Invalid().
   ItemId FindEntity(std::string_view label) const;
 
-  size_t num_items() const { return kb_.items_.size(); }
+  size_t num_items() const { return kb_.literal_flags_.size(); }
 
   /// Validates the taxonomy (rejects subClassOf cycles), sorts adjacency,
-  /// computes ancestor closures and per-class instance lists. The builder is
+  /// computes ancestor closures and per-class instance lists, and flattens
+  /// the per-item building vectors into the frozen pools. The builder is
   /// consumed.
   Status FreezeInto(KnowledgeBase* out) &&;
 
@@ -195,6 +219,13 @@ class KbBuilder {
 
  private:
   KnowledgeBase kb_;
+  // Mutable per-item state during construction; flattened into the frozen
+  // pools by FreezeInto. Labels go straight into kb_.label_blob_ (they never
+  // change once added), the label→items map becomes the sorted group index.
+  std::vector<std::vector<ClassId>> item_classes_;
+  std::vector<std::vector<KbEdge>> out_edges_;
+  std::vector<std::vector<KbEdge>> in_edges_;
+  std::unordered_map<std::string, std::vector<ItemId>> items_by_label_;
   std::unordered_map<std::string, ItemId> literal_by_value_;
 };
 

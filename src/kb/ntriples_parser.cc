@@ -29,6 +29,22 @@ Status CheckLineLimits(std::string_view line, size_t line_number) {
   return Status::OK();
 }
 
+/// Annotates a per-line parse error with the line's byte offset into the
+/// input and a truncated copy of the offending line, so a bad record in a
+/// multi-gigabyte KB dump can be found with `dd`/`tail -c` instead of
+/// re-counting lines.
+Status AnnotateLineError(const Status& st, std::string_view line,
+                         size_t byte_offset) {
+  constexpr size_t kMaxQuoted = 120;
+  std::string quoted(line.substr(0, kMaxQuoted));
+  for (char& c : quoted) {
+    if (c == '\t') c = ' ';  // keep the quote one terminal line
+  }
+  return Status::ParseError(st.message(), " (byte offset ", byte_offset,
+                            "): \"", quoted,
+                            line.size() > kMaxQuoted ? "\"..." : "\"");
+}
+
 constexpr std::string_view kTypePredicates[] = {"rdf:type", "a", "type"};
 constexpr std::string_view kSubclassPredicates[] = {"rdfs:subClassOf", "subClassOf"};
 constexpr std::string_view kLabelPredicates[] = {"rdfs:label", "label"};
@@ -283,7 +299,7 @@ Result<std::vector<RawTriple>> TokenizeNTriples(std::string_view text) {
                                 : text.substr(start, end - start);
     Status st = CheckLineLimits(line, line_number);
     if (st.ok()) st = ParseNTriplesLine(line, line_number, &triples);
-    if (!st.ok()) return st;
+    if (!st.ok()) return AnnotateLineError(st, line, start);
     if (end == std::string_view::npos) break;
     start = end + 1;
     ++line_number;
@@ -342,7 +358,7 @@ Result<KnowledgeBase> ParseTsvTriples(std::string_view text) {
                                 : text.substr(start, end - start);
     Status st = CheckLineLimits(line, line_number);
     if (st.ok()) st = ParseTsvLine(line, line_number, &triples);
-    if (!st.ok()) return st;
+    if (!st.ok()) return AnnotateLineError(st, line, start);
     if (end == std::string_view::npos) break;
     start = end + 1;
     ++line_number;

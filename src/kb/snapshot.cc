@@ -1,0 +1,710 @@
+#include "kb/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace detective {
+namespace {
+
+// Header: magic[8] | version u32 | header_bytes u32 | payload_bytes u64 |
+// checksum u64 | reserved u64[2].
+constexpr size_t kHeaderBytes = 48;
+
+uint64_t LoadLe64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint32_t LoadLe32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// FNV-1a folded over 8-byte words (plus a length-mixed tail) instead of
+/// single bytes: one multiply per 8 bytes keeps checksum cost well under the
+/// mmap + reconstruction cost even for a ~100 MB 1M-tuple snapshot.
+uint64_t SnapshotChecksum(std::string_view bytes) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  size_t n = bytes.size();
+  while (n >= 8) {
+    hash = (hash ^ LoadLe64(p)) * kPrime;
+    p += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  for (size_t i = 0; i < n; ++i) tail |= static_cast<uint64_t>(p[i]) << (8 * i);
+  hash = (hash ^ tail) * kPrime;
+  hash = (hash ^ bytes.size()) * kPrime;
+  return hash;
+}
+
+/// Append-only little-endian encoder for the payload sections.
+class PayloadWriter {
+ public:
+  void U32(uint32_t v) {
+    for (size_t i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void U64(uint64_t v) {
+    for (size_t i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+  void Bytes(std::string_view bytes) { out_.append(bytes); }
+  void Align8() { out_.append((8 - out_.size() % 8) % 8, '\0'); }
+
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder; every read either succeeds in full
+/// or reports which section came up short.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes)
+      : p_(reinterpret_cast<const unsigned char*>(bytes.data())),
+        end_(p_ + bytes.size()) {}
+
+  Status U64(uint64_t* v, std::string_view what) {
+    if (static_cast<size_t>(end_ - p_) < 8) return Short(what);
+    *v = LoadLe64(p_);
+    p_ += 8;
+    return Status::OK();
+  }
+
+  Status U64Array(size_t count, std::vector<uint64_t>* out, std::string_view what) {
+    if (count > static_cast<size_t>(end_ - p_) / 8) return Short(what);
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (*out)[i] = LoadLe64(p_ + i * 8);
+    p_ += count * 8;
+    return Status::OK();
+  }
+
+  /// Reads `count` u32 ids into a vector of the wrapper type, rejecting any
+  /// value outside [0, limit).
+  template <typename IdT>
+  Status IdArray(size_t count, uint32_t limit, std::vector<IdT>* out,
+                 std::string_view what) {
+    if (count > static_cast<size_t>(end_ - p_) / 4) return Short(what);
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t v = LoadLe32(p_ + i * 4);
+      if (v >= limit) {
+        return Status::ParseError("KB snapshot ", what, " entry ", i,
+                                  " references id ", v,
+                                  " outside the valid range [0, ", limit, ")");
+      }
+      (*out)[i] = IdT(v);
+    }
+    p_ += count * 4;
+    return Status::OK();
+  }
+
+  /// Reads `count` (relation, target) u32 pairs, each half range-checked.
+  Status EdgeArray(size_t count, uint32_t relation_limit, uint32_t item_limit,
+                   std::vector<KbEdge>* out, std::string_view what) {
+    if (count > static_cast<size_t>(end_ - p_) / 8) return Short(what);
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t relation = LoadLe32(p_ + i * 8);
+      const uint32_t target = LoadLe32(p_ + i * 8 + 4);
+      if (relation >= relation_limit) {
+        return Status::ParseError("KB snapshot ", what, " edge ", i,
+                                  " references relation id ", relation,
+                                  " outside the valid range [0, ",
+                                  relation_limit, ")");
+      }
+      if (target >= item_limit) {
+        return Status::ParseError("KB snapshot ", what, " edge ", i,
+                                  " references item id ", target,
+                                  " outside the valid range [0, ", item_limit,
+                                  ")");
+      }
+      (*out)[i] = KbEdge{RelationId(relation), ItemId(target)};
+    }
+    p_ += count * 8;
+    return Status::OK();
+  }
+
+  Status Bytes(size_t count, std::string_view* out, std::string_view what) {
+    if (static_cast<size_t>(end_ - p_) < count) return Short(what);
+    *out = std::string_view(reinterpret_cast<const char*>(p_), count);
+    p_ += count;
+    return Status::OK();
+  }
+
+  Status Align8(std::string_view what) {
+    size_t used = static_cast<size_t>(p_ - begin_of_payload_);
+    size_t pad = (8 - used % 8) % 8;
+    if (static_cast<size_t>(end_ - p_) < pad) return Short(what);
+    p_ += pad;
+    return Status::OK();
+  }
+
+  void MarkPayloadStart() { begin_of_payload_ = p_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  static Status Short(std::string_view what) {
+    return Status::ParseError("KB snapshot truncated inside the ", what,
+                              " section");
+  }
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+  const unsigned char* begin_of_payload_ = nullptr;
+};
+
+/// Validates one offsets array: starts at 0 and nondecreasing. The caller
+/// checks the final total against whatever pool it addresses.
+Status ValidateOffsets(const std::vector<uint64_t>& offsets,
+                       std::string_view what) {
+  if (offsets.empty() || offsets[0] != 0) {
+    return Status::ParseError("KB snapshot ", what, " offsets do not start at 0");
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::ParseError("KB snapshot ", what,
+                                " offsets are not nondecreasing at entry ", i);
+    }
+  }
+  return Status::OK();
+}
+
+/// Writes one ragged array (vector-of-vectors flattened): an offsets array of
+/// `outer+1` u64s followed by the u32 pool.
+template <typename Outer, typename GetId>
+void WriteRagged(PayloadWriter& w, const Outer& rows, GetId get_id) {
+  uint64_t offset = 0;
+  w.U64(offset);
+  for (const auto& row : rows) {
+    offset += row.size();
+    w.U64(offset);
+  }
+  for (const auto& row : rows) {
+    for (const auto& element : row) w.U32(get_id(element));
+  }
+  w.Align8();
+}
+
+/// Reads one ragged section written by WriteRagged into id-typed storage.
+template <typename IdT>
+Status ReadRagged(PayloadReader& r, size_t outer, uint32_t id_limit,
+                  std::string_view what, std::vector<uint64_t>* offsets,
+                  std::vector<IdT>* pool) {
+  RETURN_NOT_OK(r.U64Array(outer + 1, offsets, what));
+  RETURN_NOT_OK(ValidateOffsets(*offsets, what));
+  uint64_t total = offsets->back();
+  if (total > r.remaining() / 4) {
+    return Status::ParseError("KB snapshot ", what, " pool of ", total,
+                              " entries exceeds the remaining payload");
+  }
+  RETURN_NOT_OK(r.IdArray(static_cast<size_t>(total), id_limit, pool, what));
+  return r.Align8(what);
+}
+
+}  // namespace
+
+/// Friend of KnowledgeBase: reads and writes its frozen internals directly.
+/// The frozen representation is already flat (offset arrays + pools — see
+/// knowledge_base.h), so serialization writes the pools verbatim and the
+/// loader reconstructs a KB with one bulk array read per section instead of
+/// per-item work.
+class KbSnapshotCodec {
+ public:
+  static std::string Serialize(const KnowledgeBase& kb) {
+    PayloadWriter w;
+    const size_t num_classes = kb.classes_.size();
+    const size_t num_relations = kb.relation_names_.size();
+    const size_t num_items = kb.literal_flags_.size();
+    const size_t num_groups =
+        kb.label_group_offsets_.empty() ? 0 : kb.label_group_offsets_.size() - 1;
+
+    uint64_t vocab_bytes = 0;
+    for (const auto& info : kb.classes_) vocab_bytes += info.name.size();
+    for (const auto& name : kb.relation_names_) vocab_bytes += name.size();
+
+    // Preamble.
+    w.U64(num_items);
+    w.U64(kb.num_entities_);
+    w.U64(kb.num_edges_);
+    w.U64(num_classes);
+    w.U64(num_relations);
+    w.U64(kb.literal_class_.value());
+    w.U64(num_groups);
+    w.U64(vocab_bytes);
+    w.U64(kb.label_blob_.size());
+
+    // Vocabulary strings: class names then relation names, one offsets array
+    // plus the concatenated blob.
+    uint64_t offset = 0;
+    w.U64(offset);
+    for (const auto& info : kb.classes_) w.U64(offset += info.name.size());
+    for (const auto& name : kb.relation_names_) w.U64(offset += name.size());
+    for (const auto& info : kb.classes_) w.Bytes(info.name);
+    for (const auto& name : kb.relation_names_) w.Bytes(name);
+    w.Align8();
+
+    // Item labels: the frozen offsets array + blob, verbatim. A default
+    // (item-less) KB has no offsets array yet — write the canonical [0].
+    WriteOffsets(w, kb.label_offsets_);
+    w.Bytes(kb.label_blob_);
+    w.Align8();
+
+    // Taxonomy: parents, ancestor closures, instance lists (small outer
+    // count; these stay vector-of-vectors in memory).
+    auto class_id = [](ClassId id) { return id.value(); };
+    auto item_id = [](ItemId id) { return id.value(); };
+    {
+      std::vector<std::vector<ClassId>> parents, ancestors;
+      std::vector<std::vector<ItemId>> instances;
+      for (const auto& info : kb.classes_) {
+        parents.push_back(info.parents);
+        ancestors.push_back(info.ancestors);
+        instances.push_back(info.instances);
+      }
+      WriteRagged(w, parents, class_id);
+      WriteRagged(w, ancestors, class_id);
+      WriteRagged(w, instances, item_id);
+    }
+
+    // Literal flags.
+    w.Bytes(std::string_view(
+        reinterpret_cast<const char*>(kb.literal_flags_.data()), num_items));
+    w.Align8();
+
+    // Per-item pools, verbatim.
+    WriteOffsets(w, kb.item_class_offsets_);
+    for (ClassId id : kb.item_class_pool_) w.U32(id.value());
+    w.Align8();
+    WriteEdgePool(w, kb.out_edge_offsets_, kb.out_edge_pool_);
+    WriteEdgePool(w, kb.in_edge_offsets_, kb.in_edge_pool_);
+
+    // Label index groups, ordered by label (the frozen order).
+    WriteOffsets(w, kb.label_group_offsets_);
+    for (ItemId id : kb.label_group_pool_) w.U32(id.value());
+    w.Align8();
+
+    std::string payload = std::move(w).Take();
+
+    PayloadWriter header;
+    header.Bytes(kKbSnapshotMagic);
+    header.U32(kKbSnapshotVersion);
+    header.U32(static_cast<uint32_t>(kHeaderBytes));
+    header.U64(payload.size());
+    header.U64(SnapshotChecksum(payload));
+    header.U64(0);
+    header.U64(0);
+    std::string bytes = std::move(header).Take();
+    bytes += payload;
+    return bytes;
+  }
+
+  static Status Parse(std::string_view payload, KnowledgeBase* kb) {
+    PayloadReader r(payload);
+    r.MarkPayloadStart();
+
+    uint64_t num_items = 0, num_entities = 0, num_edges = 0, num_classes = 0;
+    uint64_t num_relations = 0, literal_class = 0, num_groups = 0;
+    uint64_t vocab_bytes = 0, label_bytes = 0;
+    RETURN_NOT_OK(r.U64(&num_items, "preamble"));
+    RETURN_NOT_OK(r.U64(&num_entities, "preamble"));
+    RETURN_NOT_OK(r.U64(&num_edges, "preamble"));
+    RETURN_NOT_OK(r.U64(&num_classes, "preamble"));
+    RETURN_NOT_OK(r.U64(&num_relations, "preamble"));
+    RETURN_NOT_OK(r.U64(&literal_class, "preamble"));
+    RETURN_NOT_OK(r.U64(&num_groups, "preamble"));
+    RETURN_NOT_OK(r.U64(&vocab_bytes, "preamble"));
+    RETURN_NOT_OK(r.U64(&label_bytes, "preamble"));
+
+    // Ids are 32-bit (Invalid reserved); counts beyond the payload are lies.
+    constexpr uint64_t kMaxIds = 0xfffffffeULL;
+    if (num_items > kMaxIds || num_classes > kMaxIds || num_relations > kMaxIds) {
+      return Status::ParseError(
+          "KB snapshot preamble counts exceed the 32-bit id space (items=",
+          num_items, ", classes=", num_classes, ", relations=", num_relations, ")");
+    }
+    const size_t num_strings =
+        static_cast<size_t>(num_classes + num_relations);
+    if (num_strings > r.remaining() / 8 || num_items > r.remaining() / 8 ||
+        num_groups > r.remaining() / 8 || vocab_bytes > r.remaining() ||
+        label_bytes > r.remaining()) {
+      return Status::ParseError(
+          "KB snapshot preamble counts exceed the payload size (vocab strings=",
+          num_strings, ", items=", num_items, ", label groups=", num_groups,
+          ", blob bytes=", vocab_bytes + label_bytes, ", payload remaining=",
+          r.remaining(), ")");
+    }
+    if (num_entities > num_items) {
+      return Status::ParseError("KB snapshot claims ", num_entities,
+                                " entities among only ", num_items, " items");
+    }
+    if (num_classes == 0 || literal_class >= num_classes) {
+      return Status::ParseError("KB snapshot literal class id ", literal_class,
+                                " is outside [0, ", num_classes, ")");
+    }
+
+    // Vocabulary strings.
+    std::vector<uint64_t> vocab_offsets;
+    std::string_view vocab_blob;
+    RETURN_NOT_OK(r.U64Array(num_strings + 1, &vocab_offsets,
+                             "vocabulary string table"));
+    RETURN_NOT_OK(ValidateOffsets(vocab_offsets, "vocabulary string table"));
+    if (vocab_offsets.back() != vocab_bytes) {
+      return Status::ParseError(
+          "KB snapshot vocabulary string table ends at offset ",
+          vocab_offsets.back(), " but the blob holds ", vocab_bytes, " bytes");
+    }
+    RETURN_NOT_OK(r.Bytes(static_cast<size_t>(vocab_bytes), &vocab_blob,
+                          "vocabulary blob"));
+    RETURN_NOT_OK(r.Align8("vocabulary blob"));
+    auto vocab_at = [&](size_t index) {
+      return vocab_blob.substr(
+          static_cast<size_t>(vocab_offsets[index]),
+          static_cast<size_t>(vocab_offsets[index + 1] - vocab_offsets[index]));
+    };
+
+    // Item labels: offsets + blob straight into the frozen fields.
+    std::string_view label_blob;
+    RETURN_NOT_OK(r.U64Array(static_cast<size_t>(num_items) + 1,
+                             &kb->label_offsets_, "item label table"));
+    RETURN_NOT_OK(ValidateOffsets(kb->label_offsets_, "item label table"));
+    if (kb->label_offsets_.back() != label_bytes) {
+      return Status::ParseError("KB snapshot item label table ends at offset ",
+                                kb->label_offsets_.back(),
+                                " but the blob holds ", label_bytes, " bytes");
+    }
+    RETURN_NOT_OK(r.Bytes(static_cast<size_t>(label_bytes), &label_blob,
+                          "item label blob"));
+    RETURN_NOT_OK(r.Align8("item label blob"));
+    kb->label_blob_.assign(label_blob.data(), label_blob.size());
+
+    // Taxonomy.
+    std::vector<uint64_t> parent_offsets, ancestor_offsets, instance_offsets;
+    std::vector<ClassId> parent_pool, ancestor_pool;
+    std::vector<ItemId> instance_pool;
+    RETURN_NOT_OK(ReadRagged(r, static_cast<size_t>(num_classes),
+                             static_cast<uint32_t>(num_classes), "class parents",
+                             &parent_offsets, &parent_pool));
+    RETURN_NOT_OK(ReadRagged(r, static_cast<size_t>(num_classes),
+                             static_cast<uint32_t>(num_classes),
+                             "class ancestors", &ancestor_offsets, &ancestor_pool));
+    RETURN_NOT_OK(ReadRagged(r, static_cast<size_t>(num_classes),
+                             static_cast<uint32_t>(num_items),
+                             "class instances", &instance_offsets, &instance_pool));
+
+    // Literal flags.
+    std::string_view flags;
+    RETURN_NOT_OK(r.Bytes(static_cast<size_t>(num_items), &flags, "item flags"));
+    RETURN_NOT_OK(r.Align8("item flags"));
+    kb->literal_flags_.assign(flags.begin(), flags.end());
+
+    // Per-item pools: one offsets array + one bulk pool read each.
+    RETURN_NOT_OK(ReadRagged(r, static_cast<size_t>(num_items),
+                             static_cast<uint32_t>(num_classes), "item classes",
+                             &kb->item_class_offsets_, &kb->item_class_pool_));
+    RETURN_NOT_OK(ReadEdges(r, static_cast<size_t>(num_items),
+                            static_cast<uint32_t>(num_relations),
+                            static_cast<uint32_t>(num_items), "out-edges",
+                            &kb->out_edge_offsets_, &kb->out_edge_pool_));
+    RETURN_NOT_OK(ReadEdges(r, static_cast<size_t>(num_items),
+                            static_cast<uint32_t>(num_relations),
+                            static_cast<uint32_t>(num_items), "in-edges",
+                            &kb->in_edge_offsets_, &kb->in_edge_pool_));
+    if (kb->out_edge_offsets_.back() != num_edges) {
+      return Status::ParseError("KB snapshot claims ", num_edges,
+                                " edges but the out-edge pool holds ",
+                                kb->out_edge_offsets_.back());
+    }
+
+    // Label index: groups must be non-empty and strictly ordered by label
+    // (the loader's lookup is a binary search over this order).
+    RETURN_NOT_OK(ReadRagged(r, static_cast<size_t>(num_groups),
+                             static_cast<uint32_t>(num_items), "label index",
+                             &kb->label_group_offsets_, &kb->label_group_pool_));
+    auto group_label = [&](size_t g) {
+      const ItemId first = kb->label_group_pool_[static_cast<size_t>(
+          kb->label_group_offsets_[g])];
+      return std::string_view(kb->label_blob_)
+          .substr(static_cast<size_t>(kb->label_offsets_[first.value()]),
+                  static_cast<size_t>(kb->label_offsets_[first.value() + 1] -
+                                      kb->label_offsets_[first.value()]));
+    };
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (kb->label_group_offsets_[g] == kb->label_group_offsets_[g + 1]) {
+        return Status::ParseError("KB snapshot label index group ", g,
+                                  " is empty");
+      }
+      if (g > 0 && group_label(g - 1) >= group_label(g)) {
+        return Status::ParseError(
+            "KB snapshot label index groups are not strictly ordered by label "
+            "at group ", g);
+      }
+    }
+
+    // Vocabulary reconstruction (small) + scalars.
+    kb->literal_class_ = ClassId(static_cast<uint32_t>(literal_class));
+    kb->num_entities_ = static_cast<size_t>(num_entities);
+    kb->num_edges_ = static_cast<size_t>(num_edges);
+
+    kb->classes_.resize(static_cast<size_t>(num_classes));
+    kb->class_by_name_.reserve(static_cast<size_t>(num_classes));
+    for (size_t c = 0; c < num_classes; ++c) {
+      KnowledgeBase::ClassInfo& info = kb->classes_[c];
+      info.name = std::string(vocab_at(c));
+      info.parents.assign(
+          parent_pool.begin() + static_cast<size_t>(parent_offsets[c]),
+          parent_pool.begin() + static_cast<size_t>(parent_offsets[c + 1]));
+      info.ancestors.assign(
+          ancestor_pool.begin() + static_cast<size_t>(ancestor_offsets[c]),
+          ancestor_pool.begin() + static_cast<size_t>(ancestor_offsets[c + 1]));
+      info.instances.assign(
+          instance_pool.begin() + static_cast<size_t>(instance_offsets[c]),
+          instance_pool.begin() + static_cast<size_t>(instance_offsets[c + 1]));
+      kb->class_by_name_.emplace(info.name, ClassId(static_cast<uint32_t>(c)));
+    }
+
+    kb->relation_names_.resize(static_cast<size_t>(num_relations));
+    kb->relation_by_name_.reserve(static_cast<size_t>(num_relations));
+    for (size_t rel = 0; rel < num_relations; ++rel) {
+      kb->relation_names_[rel] = std::string(vocab_at(num_classes + rel));
+      kb->relation_by_name_.emplace(kb->relation_names_[rel],
+                                    RelationId(static_cast<uint32_t>(rel)));
+    }
+    return Status::OK();
+  }
+
+  static bool Equals(const KnowledgeBase& a, const KnowledgeBase& b,
+                     std::string* diff) {
+    auto fail = [&](std::string message) {
+      if (diff != nullptr) *diff = std::move(message);
+      return false;
+    };
+    if (a.literal_class_ != b.literal_class_) return fail("literal class id differs");
+    if (a.num_entities_ != b.num_entities_) return fail("entity count differs");
+    if (a.num_edges_ != b.num_edges_) return fail("edge count differs");
+    if (a.classes_.size() != b.classes_.size()) return fail("class count differs");
+    for (size_t c = 0; c < a.classes_.size(); ++c) {
+      const auto& ca = a.classes_[c];
+      const auto& cb = b.classes_[c];
+      if (ca.name != cb.name) return fail("class " + std::to_string(c) + " name differs");
+      if (ca.parents != cb.parents) return fail("class '" + ca.name + "' parents differ");
+      if (ca.ancestors != cb.ancestors) return fail("class '" + ca.name + "' ancestors differ");
+      if (ca.instances != cb.instances) return fail("class '" + ca.name + "' instances differ");
+    }
+    if (a.relation_names_ != b.relation_names_) return fail("relation names differ");
+    if (a.label_blob_ != b.label_blob_ || a.label_offsets_ != b.label_offsets_) {
+      return fail("item labels differ");
+    }
+    if (a.literal_flags_ != b.literal_flags_) return fail("literal flags differ");
+    if (a.item_class_offsets_ != b.item_class_offsets_ ||
+        a.item_class_pool_ != b.item_class_pool_) {
+      return fail("item direct classes differ");
+    }
+    if (a.out_edge_offsets_ != b.out_edge_offsets_ ||
+        a.out_edge_pool_ != b.out_edge_pool_) {
+      return fail("out-edge adjacency differs");
+    }
+    if (a.in_edge_offsets_ != b.in_edge_offsets_ ||
+        a.in_edge_pool_ != b.in_edge_pool_) {
+      return fail("in-edge adjacency differs");
+    }
+    if (a.label_group_offsets_ != b.label_group_offsets_ ||
+        a.label_group_pool_ != b.label_group_pool_) {
+      return fail("label index differs");
+    }
+    if (a.class_by_name_ != b.class_by_name_) return fail("class name index differs");
+    if (a.relation_by_name_ != b.relation_by_name_) return fail("relation name index differs");
+    return true;
+  }
+
+ private:
+  /// A frozen offsets array, or the canonical [0] when the KB never froze
+  /// one (default-constructed, zero items).
+  static void WriteOffsets(PayloadWriter& w, const std::vector<uint64_t>& offsets) {
+    if (offsets.empty()) {
+      w.U64(0);
+      return;
+    }
+    for (uint64_t o : offsets) w.U64(o);
+  }
+
+  static void WriteEdgePool(PayloadWriter& w,
+                            const std::vector<uint64_t>& offsets,
+                            const std::vector<KbEdge>& pool) {
+    WriteOffsets(w, offsets);
+    for (const KbEdge& edge : pool) {
+      w.U32(edge.relation.value());
+      w.U32(edge.target.value());
+    }
+    w.Align8();
+  }
+
+  /// Reads one adjacency section: offsets + (relation, target) u32 pairs.
+  static Status ReadEdges(PayloadReader& r, size_t outer, uint32_t relation_limit,
+                          uint32_t item_limit, std::string_view what,
+                          std::vector<uint64_t>* offsets,
+                          std::vector<KbEdge>* pool) {
+    RETURN_NOT_OK(r.U64Array(outer + 1, offsets, what));
+    RETURN_NOT_OK(ValidateOffsets(*offsets, what));
+    uint64_t total = offsets->back();
+    if (total > r.remaining() / 8) {
+      return Status::ParseError("KB snapshot ", what, " pool of ", total,
+                                " edges exceeds the remaining payload");
+    }
+    RETURN_NOT_OK(r.EdgeArray(static_cast<size_t>(total), relation_limit,
+                              item_limit, pool, what));
+    return r.Align8(what);
+  }
+};
+
+std::string SerializeKbSnapshot(const KnowledgeBase& kb) {
+  DETECTIVE_SCOPED_TIMER("kb.snapshot.serialize");
+  return KbSnapshotCodec::Serialize(kb);
+}
+
+Status WriteKbSnapshot(const KnowledgeBase& kb, const std::string& path) {
+  DETECTIVE_FAULT_POINT("kb.snapshot.write");
+  std::string bytes = SerializeKbSnapshot(kb);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open KB snapshot '", path, "' for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing ", bytes.size(),
+                           " snapshot bytes to '", path, "'");
+  }
+  return Status::OK();
+}
+
+bool HasKbSnapshotMagic(std::string_view bytes) {
+  return bytes.size() >= kKbSnapshotMagic.size() &&
+         bytes.substr(0, kKbSnapshotMagic.size()) == kKbSnapshotMagic;
+}
+
+Result<bool> FileHasKbSnapshotMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '", path, "' to sniff its format");
+  char head[8] = {};
+  in.read(head, sizeof head);
+  return HasKbSnapshotMagic(
+      std::string_view(head, static_cast<size_t>(in.gcount())));
+}
+
+Result<KnowledgeBase> ParseKbSnapshot(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::ParseError("KB snapshot of ", bytes.size(),
+                              " bytes is too short to hold the ", kHeaderBytes,
+                              "-byte header");
+  }
+  if (!HasKbSnapshotMagic(bytes)) {
+    return Status::ParseError(
+        "bad KB snapshot magic: expected \"DTCTVKB1\", found ",
+        "a different leading byte sequence (not a snapshot file?)");
+  }
+  const auto* header = reinterpret_cast<const unsigned char*>(bytes.data());
+  const uint32_t version = LoadLe32(header + 8);
+  if (version != kKbSnapshotVersion) {
+    return Status::ParseError("unsupported KB snapshot version ", version,
+                              " (this reader understands version ",
+                              kKbSnapshotVersion,
+                              "; rebuild the snapshot with detective_kb_build)");
+  }
+  const uint32_t header_bytes = LoadLe32(header + 12);
+  if (header_bytes != kHeaderBytes) {
+    return Status::ParseError("KB snapshot declares a ", header_bytes,
+                              "-byte header; this version uses ", kHeaderBytes,
+                              " bytes");
+  }
+  const uint64_t payload_bytes = LoadLe64(header + 16);
+  if (payload_bytes != bytes.size() - kHeaderBytes) {
+    return Status::ParseError("KB snapshot declares ", payload_bytes,
+                              " payload bytes but the file holds ",
+                              bytes.size() - kHeaderBytes,
+                              " after the header (truncated or oversized?)");
+  }
+  const uint64_t expected_checksum = LoadLe64(header + 24);
+  // Reserved header words must be zero in v1: a writer that sets them speaks
+  // a newer dialect this reader cannot judge, and a flipped bit there is
+  // corruption the payload checksum cannot see.
+  if (LoadLe64(header + 32) != 0 || LoadLe64(header + 40) != 0) {
+    return Status::ParseError(
+        "KB snapshot header has nonzero reserved bytes (corrupted file, or "
+        "written by a newer format revision)");
+  }
+  std::string_view payload = bytes.substr(kHeaderBytes);
+  const uint64_t actual_checksum = SnapshotChecksum(payload);
+  if (expected_checksum != actual_checksum) {
+    return Status::ParseError("KB snapshot checksum mismatch: header says ",
+                              expected_checksum, ", payload hashes to ",
+                              actual_checksum, " (corrupted file)");
+  }
+  KnowledgeBase kb;
+  RETURN_NOT_OK(KbSnapshotCodec::Parse(payload, &kb));
+  return kb;
+}
+
+Result<KnowledgeBase> LoadKbSnapshot(const std::string& path) {
+  DETECTIVE_SCOPED_TIMER("kb.snapshot.load");
+  DETECTIVE_TRACE_SPAN("kb.snapshot.load");
+  return fault::RetryTransient([&]() -> Result<KnowledgeBase> {
+    DETECTIVE_FAULT_POINT("kb.load");
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError("cannot open KB snapshot '", path,
+                             "': ", std::strerror(errno));
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot stat KB snapshot '", path,
+                             "': ", std::strerror(err));
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return Status::ParseError("KB snapshot '", path, "' is empty");
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      // Fall back to a plain read (e.g. filesystems without mmap support).
+      std::string buffer(size, '\0');
+      ssize_t got = ::pread(fd, buffer.data(), size, 0);
+      ::close(fd);
+      if (got < 0 || static_cast<size_t>(got) != size) {
+        return Status::IOError("cannot read KB snapshot '", path, "'");
+      }
+      return ParseKbSnapshot(buffer);
+    }
+    ::close(fd);
+    Result<KnowledgeBase> parsed =
+        ParseKbSnapshot(std::string_view(static_cast<const char*>(map), size));
+    ::munmap(map, size);
+    return parsed;
+  });
+}
+
+bool KbEquals(const KnowledgeBase& a, const KnowledgeBase& b, std::string* diff) {
+  return KbSnapshotCodec::Equals(a, b, diff);
+}
+
+}  // namespace detective

@@ -1,0 +1,80 @@
+#ifndef DETECTIVE_KB_SNAPSHOT_H_
+#define DETECTIVE_KB_SNAPSHOT_H_
+
+// Binary KB snapshots: a frozen KnowledgeBase serialized into one versioned,
+// checksummed, offset-based file so a cleaning run (or the serving daemon)
+// can load the fig8 Yago KB in milliseconds instead of re-parsing N-triples
+// text and re-freezing indexes on every cold start.
+//
+// Layout (all integers little-endian, sections 8-byte aligned):
+//
+//   header   : magic "DTCTVKB1" | version u32 | header_bytes u32
+//              payload_bytes u64 | payload checksum u64 | reserved u64[3]
+//   preamble : item/entity/edge/class/relation counts, literal class id,
+//              label-group count, string-blob byte count
+//   strings  : one offset array (class names, relation names, item labels
+//              concatenated in id order) + the interned blob
+//   classes  : parents / ancestors / instances as offset array + id pool
+//   items    : is_literal flags | direct classes | out-edges | in-edges,
+//              each as offset array + flat pool (KbEdge pairs for edges)
+//   labels   : label index as groups of item ids sharing one label
+//
+// Everything after the header is covered by the checksum, and every id and
+// offset is bounds-checked before use, so a truncated, bit-flipped, or
+// hand-crafted file fails closed with a ParseError naming the mismatch
+// (magic / version / checksum / structure) — it never crashes the loader.
+// Loading is a single mmap + one bounds-checking pass + direct reconstruction
+// of the frozen structures: no per-triple parsing, no label normalization, no
+// taxonomy DFS, no adjacency sort.
+//
+// Versioning policy: `kKbSnapshotVersion` bumps on any layout change; readers
+// reject other versions outright (snapshots are cheap to rebuild with
+// detective_kb_build, so there is no cross-version migration path).
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+
+namespace detective {
+
+/// First bytes of every snapshot file; what magic-sniffing dispatches on.
+inline constexpr std::string_view kKbSnapshotMagic = "DTCTVKB1";
+/// Current layout version; bumped on any incompatible change.
+inline constexpr uint32_t kKbSnapshotVersion = 1;
+
+/// Serializes `kb` into snapshot bytes.
+std::string SerializeKbSnapshot(const KnowledgeBase& kb);
+
+/// Writes `kb` as a snapshot file at `path` (via SerializeKbSnapshot).
+Status WriteKbSnapshot(const KnowledgeBase& kb, const std::string& path);
+
+/// Reconstructs a KnowledgeBase from snapshot bytes. Fails closed with a
+/// ParseError naming the offending field (magic, version, checksum, or the
+/// structurally invalid section) — never crashes on arbitrary input.
+Result<KnowledgeBase> ParseKbSnapshot(std::string_view bytes);
+
+/// Maps `path` and parses it (ParseKbSnapshot). IO failures (missing file,
+/// short read) are IOError; format failures are ParseError.
+Result<KnowledgeBase> LoadKbSnapshot(const std::string& path);
+
+/// True when `bytes` starts with the snapshot magic.
+bool HasKbSnapshotMagic(std::string_view bytes);
+
+/// Sniffs the first bytes of `path` for the snapshot magic; IOError when the
+/// file cannot be read.
+Result<bool> FileHasKbSnapshotMagic(const std::string& path);
+
+/// Deep structural equality — vocabulary, labels, classes (parents,
+/// ancestors, instances), edges, label index, literal flags. What the
+/// round-trip tests and `detective_kb_build --verify` assert. On mismatch,
+/// returns false and (when `diff` is non-null) describes the first
+/// difference found.
+bool KbEquals(const KnowledgeBase& a, const KnowledgeBase& b,
+              std::string* diff = nullptr);
+
+}  // namespace detective
+
+#endif  // DETECTIVE_KB_SNAPSHOT_H_

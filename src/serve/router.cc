@@ -1,6 +1,7 @@
 #include "serve/router.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -330,8 +331,19 @@ HttpResponse HandleRules(CleaningService* service, const HttpRequest&) {
 
 HttpResponse HandleReadyz(CleaningService* service, const HttpRequest&) {
   if (service->ready()) {
+    // Exact keys are schema-checked by tools/check_serve_response.py
+    // --kind=readyz; kb_source tells an operator whether the cold start
+    // mmap-loaded a snapshot or fell back to parsing N-triples text.
+    char load_ms[32];
+    std::snprintf(load_ms, sizeof(load_ms), "%.3f", service->kb_load_ms());
+    std::string json = "{\"status\":\"ready\",\"kb_source\":";
+    AppendJsonString(service->kb_source(), &json);
+    json.append(",\"kb_load_ms\":");
+    json.append(load_ms);
+    json.append("}\n");
     HttpResponse response;
-    response.body = "ready\n";
+    response.content_type = std::string(kJsonType);
+    response.body = std::move(json);
     return response;
   }
   return ErrorWithRetry(503, service->draining() ? "draining" : "loading",

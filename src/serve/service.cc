@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "core/rule_io.h"
 #include "kb/ntriples_parser.h"
+#include "kb/snapshot.h"
 
 namespace detective::serve {
 
@@ -53,13 +54,31 @@ Status CleaningService::Init(ServiceOptions options) {
   }
   schema_ = Schema(options_.schema_columns);
 
-  auto kb = LoadKbFile(options_.kb_path);
+  // --kb-snapshot insists on the binary format; a kb_path file is
+  // magic-sniffed, so a snapshot passed there mmap-loads too.
+  const bool snapshot_requested = !options_.kb_snapshot_path.empty();
+  const std::string& kb_input =
+      snapshot_requested ? options_.kb_snapshot_path : options_.kb_path;
+  bool kb_is_snapshot = snapshot_requested;
+  if (!snapshot_requested) {
+    if (auto sniff = FileHasKbSnapshotMagic(kb_input); sniff.ok()) {
+      kb_is_snapshot = *sniff;
+    }
+  }
+  const auto kb_load_start = std::chrono::steady_clock::now();
+  auto kb = kb_is_snapshot ? LoadKbSnapshot(kb_input) : LoadKbFile(kb_input);
   if (!kb.ok()) {
-    return Status::InvalidArgument("serve: cannot load KB " +
-                                   options_.kb_path + ": " +
+    rejected_snapshot_ = kb_is_snapshot && kb.status().IsParseError();
+    return Status::InvalidArgument("serve: cannot load KB " + kb_input + ": " +
                                    kb.status().ToString());
   }
   kb_.emplace(std::move(*kb));
+  kb_source_ = kb_is_snapshot ? "snapshot" : "text";
+  kb_load_ms_ = ElapsedMs(kb_load_start);
+  logs::Info("serve", "kb_loaded",
+             "KB loaded from " + kb_source_ + " in " +
+                 std::to_string(kb_load_ms_) + " ms",
+             {{"path", kb_input}, {"source", kb_source_}});
 
   auto rules = ParseRulesFile(options_.rules_path);
   if (!rules.ok()) {

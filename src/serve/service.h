@@ -55,6 +55,11 @@ namespace detective::serve {
 
 struct ServiceOptions {
   std::string kb_path;
+  /// Binary KB snapshot (kb/snapshot.h) instead of kb_path text. A snapshot
+  /// passed as kb_path is magic-sniffed and loads the fast path too; this
+  /// field exists so operators can insist on it (a rejected snapshot sets
+  /// rejected_snapshot() and the CLI exits 64 instead of re-parsing text).
+  std::string kb_snapshot_path;
   std::string rules_path;
   /// Frozen relation schema; requests must match it exactly.
   std::vector<std::string> schema_columns;
@@ -110,6 +115,16 @@ class CleaningService {
   /// rejected the rule set (the CLI maps this to exit 3, like the batch
   /// tool, instead of the generic runtime failure).
   bool rejected_by_analysis() const { return rejected_by_analysis_; }
+
+  /// True when Init failed because the KB snapshot was rejected (bad
+  /// magic/version/checksum/structure); the CLI maps this to exit 64.
+  bool rejected_snapshot() const { return rejected_snapshot_; }
+
+  /// Where the KB came from ("snapshot" | "text") and how long the load
+  /// took; surfaced by /readyz so operators can see a cold start that fell
+  /// back to text parsing.
+  const std::string& kb_source() const { return kb_source_; }
+  double kb_load_ms() const { return kb_load_ms_; }
 
   const ServiceOptions& options() const { return options_; }
   const Schema& schema() const { return schema_; }
@@ -179,6 +194,9 @@ class CleaningService {
   std::vector<DetectiveRule> rules_;
   size_t usable_rules_ = 0;
   bool rejected_by_analysis_ = false;
+  bool rejected_snapshot_ = false;
+  std::string kb_source_ = "text";
+  double kb_load_ms_ = 0;
   std::optional<analysis::Stratification> strata_;
   RepairOptions repair_options_;
   MatchPlan plan_;

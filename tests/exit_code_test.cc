@@ -335,6 +335,76 @@ TEST(ServeExitCodes, SigtermDrainsToZeroAndPortInUseIs64) {
   EXPECT_EQ(daemon.Terminate(), 0);
 }
 
+// ---- KB snapshots + incremental cleaning -------------------------------------
+// docs/performance.md: a rejected snapshot (bad magic / version / checksum)
+// is configuration, not a crash — exit 64, same as detective_kb_build.
+
+constexpr const char* kKbBuildBin = DETECTIVE_KB_BUILD_BIN;
+
+std::string SnapshotCleanCommand(const std::string& snapshot_path,
+                                 const std::string& extra) {
+  return std::string(kCleanBin) + " --kb-snapshot=" + snapshot_path +
+         " --rules=" + kDataDir + "/figure4.dr --input=" + kDataDir +
+         "/table1.csv --output=" + TempPath("exit_out.csv") + " " + extra;
+}
+
+TEST(SnapshotExitCodes, BuildCleanAndRejectContract) {
+  const std::string snapshot_path = TempPath("exit_kb.dkb");
+  // Build a snapshot from the shipped KB, then clean from it: both succeed.
+  EXPECT_EQ(ExitCode(std::string(kKbBuildBin) + " --kb=" + kDataDir +
+                     "/figure1.nt --out=" + snapshot_path + " --verify"),
+            0);
+  EXPECT_EQ(ExitCode(SnapshotCleanCommand(snapshot_path, "")), 0);
+  EXPECT_EQ(ExitCode(kKbBuildBin), 64);
+
+  // A text KB handed to --kb-snapshot fails the magic sniff: exit 64.
+  EXPECT_EQ(ExitCode(SnapshotCleanCommand(
+                std::string(kDataDir) + "/figure1.nt", "")),
+            64);
+
+  // A bit-flipped payload fails the checksum: exit 64, not a crash.
+  std::ifstream in(snapshot_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  const std::string corrupt_path = TempPath("exit_kb_corrupt.dkb");
+  WriteFile(corrupt_path, bytes);
+  EXPECT_EQ(ExitCode(SnapshotCleanCommand(corrupt_path, "")), 64);
+
+  // A truncated snapshot is rejected the same way.
+  const std::string truncated_path = TempPath("exit_kb_truncated.dkb");
+  WriteFile(truncated_path, bytes.substr(0, bytes.size() / 3));
+  EXPECT_EQ(ExitCode(SnapshotCleanCommand(truncated_path, "")), 64);
+
+  // --kb and --kb-snapshot are mutually exclusive, one is required.
+  EXPECT_EQ(ExitCode(CleanCommand("--kb-snapshot=" + snapshot_path)), 64);
+}
+
+TEST(IncrementalExitCodes, FlagContract) {
+  // --delta without --prev-provenance (or with an incompatible algorithm or
+  // robustness knob) is a usage error before any work starts.
+  const std::string delta_path = TempPath("exit_delta.csv");
+  WriteFile(delta_path, "row,Name,DOB,Country,Prize,Institution,City\n");
+  EXPECT_EQ(ExitCode(CleanCommand("--delta=" + delta_path)), 64);
+  const std::string provenance_path = TempPath("exit_prev_provenance.jsonl");
+  ASSERT_EQ(ExitCode(CleanCommand("--explain-json=" + provenance_path)), 0);
+  const std::string incremental_flags =
+      "--delta=" + delta_path + " --prev-provenance=" + provenance_path;
+  EXPECT_EQ(ExitCode(CleanCommand(incremental_flags + " --algorithm=basic")),
+            64);
+  EXPECT_EQ(ExitCode(CleanCommand(incremental_flags + " --max-rule-failures=1")),
+            64);
+  EXPECT_EQ(ExitCode(CleanCommand(incremental_flags + " --deadline-ms=1000")),
+            64);
+  // A well-formed incremental run over an empty delta succeeds.
+  EXPECT_EQ(ExitCode(CleanCommand(incremental_flags)), 0);
+  // A missing previous provenance file is a load failure, not usage.
+  EXPECT_EQ(ExitCode(CleanCommand("--delta=" + delta_path +
+                                  " --prev-provenance=/nonexistent.jsonl")),
+            1);
+}
+
 TEST(ExplainExitCodes, Contract) {
   std::string explain_path = TempPath("exit_explain.jsonl");
   std::string cmd =

@@ -234,6 +234,38 @@ TEST(NTriplesTest, RejectsMalformedLines) {
   EXPECT_TRUE(ParseNTriples("<a> <b> <c> . junk").status().IsParseError());
 }
 
+TEST(NTriplesTest, ParseErrorsCarryByteOffsetAndOffendingLine) {
+  // The bad record sits after two good 21-byte lines; the error must name
+  // its byte offset into the input and quote the line itself.
+  const std::string input =
+      "<a> <locatedIn> <b> .\n"
+      "<b> <locatedIn> <c> .\n"
+      "<c> <locatedIn> broken .\n";
+  auto result = ParseNTriples(input);
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("byte offset 44"), std::string::npos) << message;
+  EXPECT_NE(message.find("<c> <locatedIn> broken ."), std::string::npos)
+      << message;
+
+  // Very long offending lines are truncated in the quote.
+  const std::string long_line = "<d> <locatedIn> " + std::string(300, 'x');
+  auto truncated = ParseNTriples(long_line);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().ToString().find("\"..."), std::string::npos);
+  EXPECT_LT(truncated.status().ToString().size(), 300u);
+}
+
+TEST(TsvTest, ParseErrorsCarryByteOffsetAndOffendingLine) {
+  const std::string input = "a\trdf:type\tb\nbad line without tabs\n";
+  auto result = ParseTsvTriples(input);
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("byte offset 13"), std::string::npos) << message;
+  EXPECT_NE(message.find("bad line without tabs"), std::string::npos)
+      << message;
+}
+
 TEST(NTriplesTest, UnderscoresBecomeSpaces) {
   auto kb = ParseNTriples("<New_York> <locatedIn> <United_States> .\n");
   ASSERT_TRUE(kb.ok());

@@ -15,6 +15,7 @@
 #include "core/rule_io.h"
 #include "kb/kb_stats.h"
 #include "kb/ntriples_parser.h"
+#include "kb/snapshot.h"
 #include "test_fixtures.h"
 #include "text/similarity.h"
 
@@ -115,6 +116,25 @@ TEST_P(ParserRobustness, MutatedValidNTriplesNeverCrash) {
   std::string valid = ToNTriples(testing::BuildFigure1Kb());
   for (int trial = 0; trial < 100; ++trial) {
     (void)ParseNTriples(Mutate(valid, &rng, 1 + rng.NextIndex(12)));
+  }
+}
+
+TEST_P(ParserRobustness, KbSnapshotNeverCrashes) {
+  Rng rng(GetParam() + 800);
+  for (int trial = 0; trial < 300; ++trial) {
+    (void)ParseKbSnapshot(RandomBytes(&rng, 512, false));
+  }
+}
+
+TEST_P(ParserRobustness, MutatedValidKbSnapshotNeverCrashes) {
+  Rng rng(GetParam() + 900);
+  std::string valid = SerializeKbSnapshot(testing::BuildFigure1Kb());
+  for (int trial = 0; trial < 200; ++trial) {
+    auto result = ParseKbSnapshot(Mutate(valid, &rng, 1 + rng.NextIndex(16)));
+    if (result.ok()) {
+      // Anything that slipped past every validator must still be usable.
+      (void)result->DebugSummary();
+    }
   }
 }
 

@@ -316,7 +316,13 @@ TEST(ServeFaultHeader, RefusedWithoutOptIn) {
 TEST(ServeReadyz, TracksLifecycle) {
   Harness harness(/*workers=*/1);
   ASSERT_TRUE(harness.started.ok());
-  EXPECT_EQ(StatusOf(Get(harness.port(), "/readyz")), 200);
+  std::string ready = Get(harness.port(), "/readyz");
+  EXPECT_EQ(StatusOf(ready), 200);
+  // Exact-key JSON contract, schema-checked in CI by check_serve_response.py
+  // --kind=readyz; the KB here is loaded from text.
+  EXPECT_NE(BodyOf(ready).find("\"status\":\"ready\""), std::string::npos);
+  EXPECT_NE(BodyOf(ready).find("\"kb_source\":\"text\""), std::string::npos);
+  EXPECT_NE(BodyOf(ready).find("\"kb_load_ms\":"), std::string::npos);
   harness.service.BeginDrain(/*grace_ms=*/1000);
   std::string draining = Get(harness.port(), "/readyz");
   EXPECT_EQ(StatusOf(draining), 503);

@@ -18,6 +18,8 @@ Kinds:
            with the returned tuple).
   rules    GET /v1/rules body: total/usable/rules[{name,target,evidence}].
   explain  GET /v1/explain body: request_id + provenance records.
+  readyz   GET /readyz body (200 only): status/kb_source/kb_load_ms, with
+           status == "ready" and kb_source in {snapshot, text}.
 
 Expectations (all optional):
   --expect-degraded=true|false   assert the degraded flag
@@ -146,6 +148,20 @@ def check_rules(doc, _args):
             fail(f"rules[{i}]: evidence is not an array")
 
 
+def check_readyz(doc, args):
+    if not expect_keys(doc, ("status", "kb_source", "kb_load_ms"), "response"):
+        return
+    if doc["status"] != "ready":
+        fail(f"status is {doc['status']!r}, expected 'ready'")
+    if doc["kb_source"] not in ("snapshot", "text"):
+        fail(f"kb_source is {doc['kb_source']!r}, expected snapshot|text")
+    if not isinstance(doc["kb_load_ms"], (int, float)) or doc["kb_load_ms"] < 0:
+        fail("kb_load_ms is not a non-negative number")
+    if args.expect_kb_source and doc["kb_source"] != args.expect_kb_source:
+        fail(f"expected kb_source={args.expect_kb_source!r}, got "
+             f"{doc['kb_source']!r}")
+
+
 def check_explain(doc, _args):
     if not expect_keys(doc, ("request_id", "records"), "response"):
         return
@@ -163,8 +179,9 @@ def check_explain(doc, _args):
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kind", required=True,
-                        choices=("tuple", "rules", "explain"))
+                        choices=("tuple", "rules", "explain", "readyz"))
     parser.add_argument("--expect-degraded", choices=("true", "false"))
+    parser.add_argument("--expect-kb-source", choices=("snapshot", "text"))
     parser.add_argument("--expect-repair", action="append", default=[],
                         metavar="COLUMN=VALUE")
     parser.add_argument("--expect-quarantine-reason", metavar="REASON")
@@ -180,8 +197,8 @@ def main():
         print(f"FAIL: body is not JSON: {error}", file=sys.stderr)
         return 1
 
-    {"tuple": check_tuple, "rules": check_rules,
-     "explain": check_explain}[args.kind](doc, args)
+    {"tuple": check_tuple, "rules": check_rules, "explain": check_explain,
+     "readyz": check_readyz}[args.kind](doc, args)
 
     if _FAILURES:
         for failure in _FAILURES:

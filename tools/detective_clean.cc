@@ -44,6 +44,7 @@
 #include "obs/introspect.h"
 #include "obs/progress.h"
 #include "core/consistency.h"
+#include "core/incremental.h"
 #include "core/parallel_repair.h"
 #include "core/provenance.h"
 #include "core/quarantine.h"
@@ -51,6 +52,7 @@
 #include "core/rule_io.h"
 #include "eval/experiment.h"
 #include "kb/ntriples_parser.h"
+#include "kb/snapshot.h"
 #include "relation/relation.h"
 
 namespace detective {
@@ -64,7 +66,17 @@ constexpr int kExitUsage = 64;
 
 struct Args {
   std::string kb_path;
+  /// Binary KB snapshot (kb/snapshot.h) instead of --kb text. A snapshot
+  /// passed as --kb is magic-sniffed and loads the same way; this flag exists
+  /// so scripts can insist on the snapshot path (a rejected snapshot is a
+  /// usage error, exit 64, never a silent text re-parse).
+  std::string kb_snapshot_path;
   std::string rules_path;
+  // Incremental (delta) cleaning (docs/performance.md): --input stays the
+  // ORIGINAL dirty relation of the previous run; --delta applies on top.
+  std::string delta_path;
+  std::string prev_provenance_path;
+  std::string prev_quarantine_path;
   std::string input_path;
   std::string output_path;
   std::string report_path;
@@ -116,9 +128,21 @@ void PrintUsage() {
       "                       [--explain-json=EXPLAIN.jsonl]\n"
       "                       [--trace-json=TRACE.json]\n\n"
       "  --kb                RDF knowledge base (N-Triples subset; a .tsv\n"
-      "                      extension selects tab-separated triples)\n"
+      "                      extension selects tab-separated triples; a binary\n"
+      "                      snapshot is magic-sniffed and mmap-loaded)\n"
+      "  --kb-snapshot       binary KB snapshot built by detective_kb_build;\n"
+      "                      a rejected snapshot (bad magic/version/checksum)\n"
+      "                      exits %d. Exactly one of --kb/--kb-snapshot\n"
       "  --rules             detective rules in the rule DSL\n"
       "  --input/--output    CSV relation, first record is the header\n"
+      "  --delta             incremental cleaning: CSV of updates/inserts on\n"
+      "                      top of --input (header: 'row' + schema columns;\n"
+      "                      empty row = append). Re-chases only affected\n"
+      "                      rows; output is byte-identical to a full clean\n"
+      "  --prev-provenance   the previous run's --explain-json log (required\n"
+      "                      with --delta; replayed onto unaffected rows)\n"
+      "  --prev-quarantine   the previous run's --quarantine-json ledger\n"
+      "                      (those rows re-chase)\n"
       "  --check-consistency run the dataset-specific consistency check and\n"
       "                      refuse to repair on divergence (exit %d)\n"
       "  --multi-version     emit one output row per repair fixpoint\n"
@@ -166,8 +190,8 @@ void PrintUsage() {
       "                      of text to stderr (errors still mirror there)\n"
       "  --list-metrics      after the run, print one 'counter NAME' /\n"
       "                      'timer NAME' line per registered metric\n",
-      kExitInconsistent, kExitLintRejected, kExitLintRejected, kExitDegraded,
-      kExitUsage);
+      kExitUsage, kExitInconsistent, kExitLintRejected, kExitLintRejected,
+      kExitDegraded, kExitUsage);
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -192,7 +216,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       return true;
     };
-    if (take("kb", &args->kb_path) || take("rules", &args->rules_path) ||
+    if (take("kb", &args->kb_path) ||
+        take("kb-snapshot", &args->kb_snapshot_path) ||
+        take("rules", &args->rules_path) ||
+        take("delta", &args->delta_path) ||
+        take("prev-provenance", &args->prev_provenance_path) ||
+        take("prev-quarantine", &args->prev_quarantine_path) ||
         take("input", &args->input_path) || take("output", &args->output_path) ||
         take("report", &args->report_path) || take("algorithm", &args->algorithm) ||
         take("metrics-json", &args->metrics_json_path) ||
@@ -229,8 +258,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->kb_path.empty() || args->rules_path.empty() ||
-      args->input_path.empty() || args->output_path.empty()) {
+  if (args->rules_path.empty() || args->input_path.empty() ||
+      args->output_path.empty()) {
+    return false;
+  }
+  if (args->kb_path.empty() == args->kb_snapshot_path.empty()) {
+    std::fprintf(stderr, "exactly one of --kb and --kb-snapshot is required\n");
     return false;
   }
   if (args->algorithm != "fast" && args->algorithm != "basic") {
@@ -247,6 +280,36 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     return false;
   }
   if (!numeric_ok) return false;
+  // Incremental (delta) cleaning replays the previous run's provenance, so it
+  // needs that log; it rejects the run-global couplings (breaker, run
+  // deadline) whose outcomes depend on rows it will not re-chase.
+  if (args->delta_path.empty() &&
+      (!args->prev_provenance_path.empty() ||
+       !args->prev_quarantine_path.empty())) {
+    std::fprintf(stderr,
+                 "--prev-provenance/--prev-quarantine only make sense with "
+                 "--delta\n");
+    return false;
+  }
+  if (!args->delta_path.empty()) {
+    if (args->prev_provenance_path.empty()) {
+      std::fprintf(stderr, "--delta requires --prev-provenance\n");
+      return false;
+    }
+    if (args->multi_version || args->algorithm == "basic") {
+      std::fprintf(stderr,
+                   "--delta requires --algorithm=fast without "
+                   "--multi-version\n");
+      return false;
+    }
+    if (args->max_rule_failures > 0 || args->deadline_ms > 0) {
+      std::fprintf(stderr,
+                   "--delta cannot combine with --max-rule-failures or "
+                   "--deadline-ms (both couple rows across the whole run; "
+                   "see docs/performance.md)\n");
+      return false;
+    }
+  }
   // The guarded repair path (deadlines, budgets, breaker, quarantine) is only
   // implemented for the default fast single-version pipeline.
   const bool robustness_requested =
@@ -360,17 +423,33 @@ int Run(const Args& args) {
   progress.BeginRun(/*rows_total=*/0, args.deadline_ms);
 
   // ---- Load inputs ----
+  // --kb-snapshot insists on the binary format; a --kb file is magic-sniffed
+  // so a snapshot passed there loads the fast path too (sniff IO errors fall
+  // through to the text loader, which reports them properly).
+  const bool snapshot_requested = !args.kb_snapshot_path.empty();
+  const std::string& kb_input =
+      snapshot_requested ? args.kb_snapshot_path : args.kb_path;
+  bool kb_is_snapshot = snapshot_requested;
+  if (!snapshot_requested) {
+    if (auto sniff = FileHasKbSnapshotMagic(kb_input); sniff.ok()) {
+      kb_is_snapshot = *sniff;
+    }
+  }
   auto kb = [&] {
     DETECTIVE_TRACE_SPAN("clean.load_kb");
-    return LoadKbFile(args.kb_path);
+    return kb_is_snapshot ? LoadKbSnapshot(kb_input) : LoadKbFile(kb_input);
   }();
   if (!kb.ok()) {
     logs::Error("clean", "kb_load_failed",
                 "error loading KB: " + kb.status().ToString(),
-                {{"path", args.kb_path}});
-    return kExitRuntimeFailure;
+                {{"path", kb_input}});
+    // A rejected snapshot (bad magic/version/checksum/structure) is a usage
+    // error — the operator pointed us at a file this build cannot accept.
+    return kb_is_snapshot && kb.status().IsParseError() ? kExitUsage
+                                                        : kExitRuntimeFailure;
   }
-  std::printf("KB: %s\n", kb->DebugSummary().c_str());
+  std::printf("KB: %s (%s)\n", kb->DebugSummary().c_str(),
+              kb_is_snapshot ? "snapshot" : "text");
 
   auto rules = ParseRulesFile(args.rules_path);
   if (!rules.ok()) {
@@ -414,6 +493,84 @@ int Run(const Args& args) {
   }
   std::printf("Relation: %zu tuples x %zu columns\n", relation->num_tuples(),
               relation->schema().num_columns());
+
+  // ---- Incremental (delta) cleaning: apply the delta and plan the closure
+  // before anything downstream (consistency, repair, report) sees the
+  // relation, so every stage operates on the delta-applied rows.
+  const bool incremental = !args.delta_path.empty();
+  ProvenanceLog prev_provenance;
+  QuarantineLog prev_quarantine;
+  const QuarantineLog* prev_quarantine_ptr = nullptr;
+  std::optional<IncrementalPlan> inc_plan;
+  if (incremental) {
+    DETECTIVE_TRACE_SPAN("clean.plan_incremental");
+    auto delta = LoadDeltaFile(args.delta_path, relation->schema());
+    if (!delta.ok()) {
+      logs::Error("clean", "delta_load_failed",
+                  "error loading delta: " + delta.status().ToString(),
+                  {{"path", args.delta_path}});
+      return kExitRuntimeFailure;
+    }
+    auto read_jsonl = [](const std::string& path,
+                         std::string* out) -> Status {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) return Status::IOError("cannot open '", path, "'");
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      *out = buffer.str();
+      return Status::OK();
+    };
+    std::string prev_text;
+    if (Status read_st = read_jsonl(args.prev_provenance_path, &prev_text);
+        !read_st.ok()) {
+      logs::Error("clean", "prev_provenance_load_failed", read_st.ToString(),
+                  {{"path", args.prev_provenance_path}});
+      return kExitRuntimeFailure;
+    }
+    auto prev_log = ProvenanceLog::FromJsonLines(prev_text);
+    if (!prev_log.ok()) {
+      logs::Error("clean", "prev_provenance_load_failed",
+                  "error parsing previous provenance: " +
+                      prev_log.status().ToString(),
+                  {{"path", args.prev_provenance_path}});
+      return kExitRuntimeFailure;
+    }
+    prev_provenance = std::move(*prev_log);
+    if (!args.prev_quarantine_path.empty()) {
+      std::string quarantine_text;
+      if (Status read_st =
+              read_jsonl(args.prev_quarantine_path, &quarantine_text);
+          !read_st.ok()) {
+        logs::Error("clean", "prev_quarantine_load_failed", read_st.ToString(),
+                    {{"path", args.prev_quarantine_path}});
+        return kExitRuntimeFailure;
+      }
+      auto prev_ledger = QuarantineLog::FromJsonLines(quarantine_text);
+      if (!prev_ledger.ok()) {
+        logs::Error("clean", "prev_quarantine_load_failed",
+                    "error parsing previous quarantine: " +
+                        prev_ledger.status().ToString(),
+                    {{"path", args.prev_quarantine_path}});
+        return kExitRuntimeFailure;
+      }
+      prev_quarantine = std::move(*prev_ledger);
+      prev_quarantine_ptr = &prev_quarantine;
+    }
+    auto plan = PlanIncremental(*delta, &*relation, prev_provenance,
+                                prev_quarantine_ptr);
+    if (!plan.ok()) {
+      logs::Error("clean", "incremental_plan_failed",
+                  "cannot plan incremental run: " + plan.status().ToString());
+      return kExitRuntimeFailure;
+    }
+    inc_plan = std::move(*plan);
+    std::printf(
+        "Delta: %zu update(s), %zu insert(s) -> %zu of %zu rows affected "
+        "(%zu delta, %zu closure, %zu prev-quarantined)\n",
+        delta->num_updates, delta->num_inserts, inc_plan->affected_rows.size(),
+        relation->num_tuples(), inc_plan->delta_rows, inc_plan->closure_rows,
+        inc_plan->quarantined_rows);
+  }
   progress.SetRowsTotal(relation->num_tuples());
   progress.SetPhase(obs::Phase::kIndex);
 
@@ -481,6 +638,7 @@ int Run(const Args& args) {
   double start = NowSeconds();
   Relation repaired = *relation;
   RepairStats stats;
+  IncrementalStats inc_stats;
   size_t extra_versions = 0;
   ProvenanceLog provenance;
   ProvenanceLog* provenance_sink =
@@ -529,6 +687,22 @@ int Run(const Args& args) {
       repairer.engine().set_provenance(provenance_sink);
       repairer.RepairRelation(&repaired);
       stats = repairer.stats();
+    } else if (incremental) {
+      IncrementalOptions inc_options;
+      inc_options.repair = repair_options;
+      inc_options.num_threads = args.threads;
+      inc_options.provenance = provenance_sink;
+      inc_options.quarantine = guarded ? &quarantine : nullptr;
+      auto result = IncrementalRepair(*kb, *rules, &repaired, *inc_plan,
+                                      std::move(prev_provenance),
+                                      prev_quarantine_ptr, inc_options);
+      if (!result.ok()) {
+        logs::Error("clean", "incremental_failed",
+                    "incremental repair failed: " + result.status().ToString());
+        return kExitRuntimeFailure;
+      }
+      inc_stats = *result;
+      stats = inc_stats.repair;
     } else if (args.threads != 1) {
       ParallelRepairOptions parallel_options;
       parallel_options.repair = repair_options;
@@ -591,6 +765,13 @@ int Run(const Args& args) {
     if (args.multi_version) {
       std::snprintf(buffer, sizeof(buffer), ", %zu extra versions emitted",
                     extra_versions);
+      summary += buffer;
+    }
+    if (incremental) {
+      std::snprintf(buffer, sizeof(buffer),
+                    ", %zu row(s) re-chased + %zu replayed (%zu records)",
+                    inc_stats.rows_rechased, inc_stats.rows_replayed,
+                    inc_stats.replayed_records);
       summary += buffer;
     }
     if (strata.has_value()) {

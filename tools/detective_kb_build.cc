@@ -1,0 +1,133 @@
+// detective_kb_build: compiles a text knowledge base (N-triples or TSV) into
+// the binary snapshot format of kb/snapshot.h, so detective_clean and
+// detective_serve can mmap the frozen KB in milliseconds instead of
+// re-parsing and re-freezing it on every run.
+//
+//   detective_kb_build --kb=IN.nt --out=OUT.dkb [--verify]
+//
+// The input may itself be a snapshot (magic-sniffed), which re-encodes it —
+// useful for upgrading a snapshot to a newer format version. --verify
+// reloads the written file and asserts deep structural equality against the
+// in-memory KB before reporting success.
+//
+// Exit codes follow the shared contract: 0 ok, 1 load/write failure,
+// 64 usage error or rejected snapshot (bad magic/version/checksum).
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/string_util.h"
+#include "kb/knowledge_base.h"
+#include "kb/ntriples_parser.h"
+#include "kb/snapshot.h"
+
+namespace detective {
+namespace {
+
+struct Args {
+  std::string kb_path;
+  std::string out_path;
+  bool verify = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value_of = [&](std::string_view name) -> std::string_view {
+      std::string prefix = std::string("--") + std::string(name) + "=";
+      if (StartsWith(arg, prefix)) return arg.substr(prefix.size());
+      return {};
+    };
+    if (auto v = value_of("kb"); !v.empty()) {
+      args->kb_path = std::string(v);
+    } else if (auto v2 = value_of("out"); !v2.empty()) {
+      args->out_path = std::string(v2);
+    } else if (arg == "--verify") {
+      args->verify = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return !args->kb_path.empty() && !args->out_path.empty();
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Run(const Args& args) {
+  Result<bool> is_snapshot = FileHasKbSnapshotMagic(args.kb_path);
+  if (!is_snapshot.ok()) {
+    std::fprintf(stderr, "detective_kb_build: %s\n",
+                 is_snapshot.status().ToString().c_str());
+    return 1;
+  }
+
+  auto load_start = std::chrono::steady_clock::now();
+  Result<KnowledgeBase> kb = *is_snapshot ? LoadKbSnapshot(args.kb_path)
+                                          : LoadKbFile(args.kb_path);
+  if (!kb.ok()) {
+    std::fprintf(stderr, "detective_kb_build: %s\n",
+                 kb.status().ToString().c_str());
+    return kb.status().IsParseError() && *is_snapshot ? 64 : 1;
+  }
+  const double load_ms = MillisSince(load_start);
+
+  auto write_start = std::chrono::steady_clock::now();
+  if (Status st = WriteKbSnapshot(*kb, args.out_path); !st.ok()) {
+    std::fprintf(stderr, "detective_kb_build: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double write_ms = MillisSince(write_start);
+
+  double reload_ms = 0;
+  if (args.verify) {
+    auto reload_start = std::chrono::steady_clock::now();
+    Result<KnowledgeBase> reloaded = LoadKbSnapshot(args.out_path);
+    reload_ms = MillisSince(reload_start);
+    if (!reloaded.ok()) {
+      std::fprintf(stderr, "detective_kb_build: verify reload failed: %s\n",
+                   reloaded.status().ToString().c_str());
+      return 1;
+    }
+    std::string diff;
+    if (!KbEquals(*kb, *reloaded, &diff)) {
+      std::fprintf(stderr,
+                   "detective_kb_build: verify failed: reloaded snapshot "
+                   "differs from the source KB (%s)\n",
+                   diff.c_str());
+      return 1;
+    }
+  }
+
+  std::error_code ec;
+  const uintmax_t out_bytes = std::filesystem::file_size(args.out_path, ec);
+  std::printf("%s -> %s (%ju bytes)\n", args.kb_path.c_str(),
+              args.out_path.c_str(), ec ? static_cast<uintmax_t>(0) : out_bytes);
+  std::printf("  %s\n", kb->DebugSummary().c_str());
+  std::printf("  load %.1f ms, serialize+write %.1f ms", load_ms, write_ms);
+  if (args.verify) {
+    std::printf(", verify reload %.1f ms (equal)", reload_ms);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace detective
+
+int main(int argc, char** argv) {
+  detective::Args args;
+  if (!detective::ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: detective_kb_build --kb=IN.nt --out=OUT.dkb "
+                 "[--verify]\n");
+    return 64;
+  }
+  return detective::Run(args);
+}

@@ -46,6 +46,7 @@ constexpr int kExitUsage = 64;
 
 struct Args {
   std::string kb_path;
+  std::string kb_snapshot_path;
   std::string rules_path;
   /// Comma-separated column names, or --schema-csv: a CSV whose header row
   /// is the schema (typically the workload the service will clean).
@@ -76,7 +77,7 @@ struct Args {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: detective_serve --kb=KB.nt --rules=RULES.dr\n"
+      "usage: detective_serve --kb=KB.nt|--kb-snapshot=KB.dkb --rules=RULES.dr\n"
       "                       --schema=Col1,Col2,... | --schema-csv=FILE.csv\n"
       "                       [--port=N] [--threads=N] [--http-threads=N]\n"
       "                       [--queue-depth=N] [--max-body-bytes=N]\n"
@@ -85,6 +86,8 @@ void PrintUsage() {
       "                       [--lint=strict|warn|off]\n"
       "                       [--stratify=off|auto|strict]\n"
       "                       [--fault-plan=PLAN] [--log-json=FILE]\n\n"
+      "  --kb-snapshot        binary KB snapshot built by detective_kb_build\n"
+      "                       (mmap cold start); a rejected snapshot exits 64\n"
       "  --schema             the served relation schema; every request must\n"
       "                       match it exactly\n"
       "  --schema-csv         read the schema from a CSV header row instead\n"
@@ -126,8 +129,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
       return true;
     };
-    if (take("kb", &args->kb_path) || take("rules", &args->rules_path) ||
-        take("schema", &args->schema) ||
+    if (take("kb", &args->kb_path) ||
+        take("kb-snapshot", &args->kb_snapshot_path) ||
+        take("rules", &args->rules_path) || take("schema", &args->schema) ||
         take("schema-csv", &args->schema_csv_path) ||
         take_u64("port", &args->port) || take_u64("threads", &args->threads) ||
         take_u64("http-threads", &args->http_threads) ||
@@ -148,7 +152,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->kb_path.empty() || args->rules_path.empty()) return false;
+  if (args->rules_path.empty()) return false;
+  if (args->kb_path.empty() == args->kb_snapshot_path.empty()) {
+    std::fprintf(stderr, "exactly one of --kb and --kb-snapshot is required\n");
+    return false;
+  }
   if (args->schema.empty() == args->schema_csv_path.empty()) {
     std::fprintf(stderr,
                  "exactly one of --schema / --schema-csv is required\n");
@@ -234,6 +242,7 @@ int Run(const Args& args) {
   // ---- Load everything once ----
   serve::ServiceOptions options;
   options.kb_path = args.kb_path;
+  options.kb_snapshot_path = args.kb_snapshot_path;
   options.rules_path = args.rules_path;
   options.schema_columns = std::move(columns);
   options.workers = args.threads;
@@ -248,6 +257,7 @@ int Run(const Args& args) {
   Status init = service.Init(std::move(options));
   if (!init.ok()) {
     logs::Error("serve", "init_failed", init.ToString());
+    if (service.rejected_snapshot()) return kExitUsage;
     return service.rejected_by_analysis() ? kExitRejectedByAnalysis
                                           : kExitRuntimeFailure;
   }
